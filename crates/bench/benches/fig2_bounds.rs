@@ -1,0 +1,38 @@
+//! Bench for Fig. 2: generating the theoretical-bound series.
+//!
+//! Closed-form math, so this mostly pins the cost of the bound helpers
+//! and prints the exact series the paper plots (run with
+//! `cargo bench -p mmph-bench --bench fig2_bounds`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmph_bench::experiments;
+use mmph_core::bounds::{approx_local, approx_round_based};
+
+fn bench_fig2(c: &mut Criterion) {
+    // Print the regenerated series once, like the paper's figure.
+    for panel in experiments::fig2() {
+        println!("fig2 panel n = {}", panel.n);
+        for &(k, a1, a2) in panel.rows.iter().take(8) {
+            println!("  k = {k:>2}: approx1 = {a1:.4}  approx2 = {a2:.4}");
+        }
+        println!("  ... ({} rows total)", panel.rows.len());
+    }
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("bounds_series_n40", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 1..=40 {
+                acc += approx_round_based(black_box(k)) + approx_local(black_box(40), k);
+            }
+            acc
+        })
+    });
+    group.bench_function("full_fig2_regeneration", |b| {
+        b.iter(experiments::fig2)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benches for Figs. 4–7: the 2-D approximation-ratio sweeps.
+//!
+//! One benchmark per figure (norm × weight scheme), timing a single
+//! representative configuration at a reduced trial count, plus separate
+//! timings for the exhaustive denominator — the dominant cost of the
+//! sweep. The full-resolution regeneration lives in the `repro` binary;
+//! these benches guard the performance of its building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmph_bench::experiments::{ratio_config, SweepOptions};
+use mmph_core::solvers::Exhaustive;
+use mmph_core::Solver;
+use mmph_geom::Norm;
+use mmph_sim::gen::WeightScheme;
+use mmph_sim::scenario::Scenario;
+
+fn bench_sweep_configs(c: &mut Criterion) {
+    let opts = SweepOptions {
+        trials: 3,
+        include_greedy1: false,
+    };
+    let figures: [(&str, Norm, WeightScheme); 4] = [
+        ("fig4_l2_diff", Norm::L2, WeightScheme::PAPER_WEIGHTED),
+        ("fig5_l2_same", Norm::L2, WeightScheme::Same),
+        ("fig6_l1_diff", Norm::L1, WeightScheme::PAPER_WEIGHTED),
+        ("fig7_l1_same", Norm::L1, WeightScheme::Same),
+    ];
+    let mut group = c.benchmark_group("ratio_sweep_2d");
+    group.sample_size(10);
+    for (name, norm, weights) in figures {
+        // The cheapest and the most expensive configuration of each
+        // figure bound the sweep's per-config cost.
+        for (n, k) in [(10usize, 2usize), (40, 4)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_k{k}")),
+                &(n, k),
+                |b, &(n, k)| {
+                    b.iter(|| ratio_config(n, k, 1.0, norm, weights, opts, 1).ratio3.mean)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_denominator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_denominator");
+    group.sample_size(10);
+    for (n, k) in [(10usize, 2usize), (10, 4), (40, 2), (40, 4)] {
+        let scenario = Scenario::paper_2d(n, k, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, 5);
+        let inst = scenario.generate_2d().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("point_multisets", format!("n{n}_k{k}")),
+            &inst,
+            |b, inst| b.iter(|| Exhaustive::new().solve(inst).unwrap().total_reward),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_configs, bench_exhaustive_denominator);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benches for Figs. 8–9: the 3-D total-reward sweeps (1-norm).
+//!
+//! Times the per-configuration driver at both paper sizes (n = 40 and
+//! n = 160) and each solver individually at n = 160, where the cubic
+//! complex greedy dominates the figure's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmph_bench::experiments::{reward_config_3d, SweepOptions};
+use mmph_core::solvers::{ComplexGreedy, LocalGreedy, SimpleGreedy};
+use mmph_core::Solver;
+use mmph_geom::Norm;
+use mmph_sim::gen::WeightScheme;
+use mmph_sim::scenario::Scenario;
+
+fn bench_3d_configs(c: &mut Criterion) {
+    let opts = SweepOptions {
+        trials: 3,
+        include_greedy1: false,
+    };
+    let mut group = c.benchmark_group("reward_sweep_3d");
+    group.sample_size(10);
+    for (weights, tag) in [
+        (WeightScheme::PAPER_WEIGHTED, "fig8_diff"),
+        (WeightScheme::Same, "fig9_same"),
+    ] {
+        for n in [40usize, 160] {
+            group.bench_with_input(BenchmarkId::new(tag, format!("n{n}")), &n, |b, &n| {
+                b.iter(|| reward_config_3d(n, 4, 1.5, weights, opts, 1).reward3.mean)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_3d_solvers_at_160(c: &mut Criterion) {
+    let scenario = Scenario::paper_3d(160, 4, 1.5, Norm::L1, WeightScheme::PAPER_WEIGHTED, 5);
+    let inst = scenario.generate_3d().unwrap();
+    let mut group = c.benchmark_group("solvers_3d_n160");
+    group.sample_size(10);
+    group.bench_function("greedy2_local", |b| {
+        b.iter(|| LocalGreedy::new().solve(&inst).unwrap().total_reward)
+    });
+    group.bench_function("greedy3_simple", |b| {
+        b.iter(|| SimpleGreedy::new().solve(&inst).unwrap().total_reward)
+    });
+    group.bench_function("greedy4_complex", |b| {
+        b.iter(|| ComplexGreedy::new().solve(&inst).unwrap().total_reward)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_3d_configs, bench_3d_solvers_at_160);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Simulation-substrate throughput: workload generation and the
+//! time-slotted broadcast loop. Guards the cost of the Monte-Carlo
+//! sweeps (every figure runs hundreds of generate+solve cycles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmph_core::solvers::SimpleGreedy;
+use mmph_geom::Norm;
+use mmph_sim::broadcast::{simulate, BroadcastConfig, Population};
+use mmph_sim::gen::{PointDistribution, SpaceSpec, WeightScheme};
+use mmph_sim::rng::SeedSeq;
+use mmph_sim::scenario::Scenario;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_generators");
+    for n in [100usize, 1000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, &n| {
+            b.iter(|| {
+                PointDistribution::Uniform
+                    .sample::<2>(n, SpaceSpec::PAPER, SeedSeq::new(1))
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gaussian_clusters", n), &n, |b, &n| {
+            b.iter(|| {
+                PointDistribution::GaussianClusters {
+                    clusters: 5,
+                    rel_sigma: 0.05,
+                }
+                .sample::<2>(n, SpaceSpec::PAPER, SeedSeq::new(2))
+                .unwrap()
+                .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("zipf_weights", n), &n, |b, &n| {
+            b.iter(|| {
+                WeightScheme::Zipf { n_ranks: 10, s: 1.1 }
+                    .sample(n, SeedSeq::new(3))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scenarios");
+    for n in [40usize, 160, 1000] {
+        group.bench_with_input(BenchmarkId::new("paper_2d", n), &n, |b, &n| {
+            let sc = Scenario::paper_2d(n, 4, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, 7);
+            b.iter(|| sc.generate_2d().unwrap().n())
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_broadcast");
+    group.sample_size(10);
+    for (n, label) in [(100usize, "static"), (100, "dynamic")] {
+        let dynamic = label == "dynamic";
+        group.bench_function(BenchmarkId::new("horizon64_k4", label), |b| {
+            b.iter(|| {
+                let mut pop = Population::<2>::generate(
+                    n,
+                    SpaceSpec::PAPER,
+                    PointDistribution::Uniform,
+                    WeightScheme::PAPER_WEIGHTED,
+                    SeedSeq::new(11),
+                )
+                .unwrap();
+                let cfg = BroadcastConfig {
+                    horizon_slots: 64,
+                    churn_rate: if dynamic { 0.05 } else { 0.0 },
+                    drift_rel_sigma: if dynamic { 0.02 } else { 0.0 },
+                    threshold: 0.5,
+                    seed: 12,
+                };
+                simulate(&SimpleGreedy::new(), &mut pop, 1.0, 4, Norm::L2, &cfg)
+                    .unwrap()
+                    .total_reward
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_scenario_generation,
+    bench_broadcast_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench for Table I / Fig. 3: the worked 40-node example.
+//!
+//! Times each greedy on the pinned example instance and prints the
+//! regenerated per-round coverage-reward table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmph_bench::experiments;
+use mmph_core::solvers::{ComplexGreedy, LocalGreedy, SimpleGreedy};
+use mmph_core::Solver;
+
+fn bench_table1(c: &mut Criterion) {
+    let run = experiments::fig3_table1(experiments::ROOT_SEED);
+    println!("Table I regeneration (n = 40, k = 4, r = 1, L2, weights 1..=5):");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "algorithm", "round 1", "round 2", "round 3", "round 4", "total"
+    );
+    for sol in &run.solutions {
+        println!(
+            "{:<10} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            sol.solver,
+            sol.round_gains[0],
+            sol.round_gains[1],
+            sol.round_gains[2],
+            sol.round_gains[3],
+            sol.total_reward
+        );
+    }
+
+    let inst = run.instance.clone();
+    let mut group = c.benchmark_group("table1_example");
+    group.bench_function("greedy2_local", |b| {
+        b.iter(|| LocalGreedy::new().solve(&inst).unwrap().total_reward)
+    });
+    group.bench_function("greedy3_simple", |b| {
+        b.iter(|| SimpleGreedy::new().solve(&inst).unwrap().total_reward)
+    });
+    group.bench_function("greedy4_complex", |b| {
+        b.iter(|| ComplexGreedy::new().solve(&inst).unwrap().total_reward)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

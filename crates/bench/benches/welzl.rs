@@ -1,0 +1,58 @@
+//! Smallest-enclosing-ball throughput: exact Welzl vs Ritter's
+//! approximation, across point counts and dimensions. The complex
+//! greedy calls this in its inner loop, so its constant factor matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmph_geom::welzl::{min_enclosing_ball, ritter_ball};
+use mmph_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points2(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+        .collect()
+}
+
+fn points3(n: usize, seed: u64) -> Vec<Point<3>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+            ])
+        })
+        .collect()
+}
+
+fn bench_welzl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("welzl_2d");
+    for n in [10usize, 100, 1000, 10_000] {
+        let pts = points2(n, 42);
+        group.bench_with_input(BenchmarkId::new("exact", n), &pts, |b, pts| {
+            b.iter(|| min_enclosing_ball(pts).radius)
+        });
+        group.bench_with_input(BenchmarkId::new("ritter8", n), &pts, |b, pts| {
+            b.iter(|| ritter_ball(pts, 8).radius)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("welzl_3d");
+    for n in [100usize, 1000] {
+        let pts = points3(n, 43);
+        group.bench_with_input(BenchmarkId::new("exact", n), &pts, |b, pts| {
+            b.iter(|| min_enclosing_ball(pts).radius)
+        });
+        group.bench_with_input(BenchmarkId::new("ritter8", n), &pts, |b, pts| {
+            b.iter(|| ritter_ball(pts, 8).radius)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_welzl);
+criterion_main!(benches);

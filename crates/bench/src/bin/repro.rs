@@ -1,0 +1,214 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [TARGETS...] [--trials N] [--out DIR] [--seed S] [--no-greedy1]
+//!
+//! TARGETS: all (default) | fig2 | fig3 | table1 | fig4 | fig5 | fig6 |
+//!          fig7 | fig8 | fig9 | summary
+//! ```
+//!
+//! Artifacts are written under `--out` (default `results/`); a summary
+//! of what was produced and the headline numbers is printed to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mmph_bench::experiments::{self, SweepOptions, ROOT_SEED};
+use mmph_bench::render;
+use mmph_geom::Norm;
+use mmph_sim::gen::WeightScheme;
+
+#[derive(Debug, Clone)]
+struct Args {
+    targets: Vec<String>,
+    trials: usize,
+    out: PathBuf,
+    seed: u64,
+    include_greedy1: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        targets: Vec::new(),
+        trials: 50,
+        out: PathBuf::from("results"),
+        seed: ROOT_SEED,
+        include_greedy1: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let v = it.next().ok_or("--trials needs a value")?;
+                args.trials = v.parse().map_err(|_| format!("bad --trials value: {v}"))?;
+                if args.trials == 0 {
+                    return Err("--trials must be >= 1".into());
+                }
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--no-greedy1" => args.include_greedy1 = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [TARGETS...] [--trials N] [--out DIR] [--seed S] [--no-greedy1]\n\
+                     targets: all fig2 fig3 table1 fig4 fig5 fig6 fig7 fig8 fig9 summary baselines"
+                );
+                std::process::exit(0);
+            }
+            t if !t.starts_with('-') => args.targets.push(t.to_owned()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.targets.is_empty() {
+        args.targets.push("all".to_owned());
+    }
+    Ok(args)
+}
+
+fn wants(args: &Args, target: &str) -> bool {
+    args.targets.iter().any(|t| t == target || t == "all")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let known = [
+        "all", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "summary", "baselines",
+    ];
+    for t in &args.targets {
+        if !known.contains(&t.as_str()) {
+            eprintln!("repro: unknown target `{t}` (known: {})", known.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("repro: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(args: &Args) -> std::io::Result<()> {
+    let dir = &args.out;
+    let opts = SweepOptions {
+        trials: args.trials,
+        include_greedy1: args.include_greedy1,
+    };
+    let t0 = Instant::now();
+    println!(
+        "repro: targets {:?}, {} trials/config, out = {}",
+        args.targets,
+        args.trials,
+        dir.display()
+    );
+
+    if wants(args, "fig2") {
+        let t = Instant::now();
+        render::render_fig2(dir, &experiments::fig2())?;
+        println!("fig2: bounds panels written ({:.1?})", t.elapsed());
+    }
+
+    if wants(args, "fig3") || wants(args, "table1") {
+        let t = Instant::now();
+        let run = experiments::fig3_table1(args.seed);
+        if wants(args, "fig3") {
+            render::render_fig3(dir, &run)?;
+            println!("fig3: 12 example panels written ({:.1?})", t.elapsed());
+        }
+        if wants(args, "table1") {
+            let md = render::render_table1(dir, &run)?;
+            println!("table1 (per-round coverage rewards):\n{md}");
+        }
+    }
+
+    let mut ratio_rows_all = Vec::new();
+    let two_d: [(&str, &str, Norm, WeightScheme); 4] = [
+        (
+            "fig4",
+            "Fig. 4 — 2-norm, 2-D, different weights",
+            Norm::L2,
+            WeightScheme::PAPER_WEIGHTED,
+        ),
+        (
+            "fig5",
+            "Fig. 5 — 2-norm, 2-D, same weight",
+            Norm::L2,
+            WeightScheme::Same,
+        ),
+        (
+            "fig6",
+            "Fig. 6 — 1-norm, 2-D, different weights",
+            Norm::L1,
+            WeightScheme::PAPER_WEIGHTED,
+        ),
+        (
+            "fig7",
+            "Fig. 7 — 1-norm, 2-D, same weight",
+            Norm::L1,
+            WeightScheme::Same,
+        ),
+    ];
+    let need_sweeps_for_summary = wants(args, "summary");
+    for (name, title, norm, weights) in two_d {
+        if wants(args, name) || need_sweeps_for_summary {
+            let t = Instant::now();
+            let rows = experiments::ratio_sweep_2d(norm, weights, opts);
+            if wants(args, name) {
+                render::render_ratio_figure(dir, name, title, &rows)?;
+                println!("{name}: 4 panels + csv written ({:.1?})", t.elapsed());
+                println!("{}", render::ratio_markdown(title, &rows));
+            }
+            ratio_rows_all.extend(rows);
+        }
+    }
+
+    let mut reward_rows_all = Vec::new();
+    let three_d: [(&str, &str, WeightScheme); 2] = [
+        (
+            "fig8",
+            "Fig. 8 — 1-norm, 3-D, different weights",
+            WeightScheme::PAPER_WEIGHTED,
+        ),
+        ("fig9", "Fig. 9 — 1-norm, 3-D, same weight", WeightScheme::Same),
+    ];
+    for (name, title, weights) in three_d {
+        if wants(args, name) || need_sweeps_for_summary {
+            let t = Instant::now();
+            let rows = experiments::reward_sweep_3d(weights, opts);
+            if wants(args, name) {
+                render::render_reward_figure(dir, name, title, &rows)?;
+                println!("{name}: 4 panels + csv written ({:.1?})", t.elapsed());
+            }
+            reward_rows_all.extend(rows);
+        }
+    }
+
+    if wants(args, "baselines") {
+        let t = Instant::now();
+        let rows = experiments::baseline_sweep(WeightScheme::PAPER_WEIGHTED, args.trials);
+        let md = render::render_baselines(dir, &rows)?;
+        println!("baselines: table written ({:.1?})\n{md}", t.elapsed());
+    }
+
+    if wants(args, "summary") {
+        let agg2 = experiments::aggregate(&ratio_rows_all);
+        let agg3 = experiments::aggregate_3d(&reward_rows_all);
+        let md = render::render_summary(dir, &agg2, &agg3)?;
+        println!("{md}");
+    }
+
+    println!("repro: done in {:.1?}", t0.elapsed());
+    Ok(())
+}

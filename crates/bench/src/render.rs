@@ -1,0 +1,569 @@
+//! Renderers: experiment results → SVG figures, CSV data, Markdown
+//! tables under a results directory.
+
+use std::fs;
+use std::path::Path;
+
+use mmph_plot::chart::{CircleOverlay, ScatterPoint};
+use mmph_plot::svg::Marker;
+use mmph_plot::table::{fmt_cell, fmt_percent};
+use mmph_plot::{Heatmap, LineChart, ScatterPlot, Series, Table, TableFormat};
+
+use crate::experiments::{
+    Aggregate, Aggregate3d, BaselineRow, ExampleRun, Fig2Panel, RatioRow, RewardRow,
+};
+
+/// Writes a string artifact, creating the directory as needed.
+fn write(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(name), content)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2
+// ---------------------------------------------------------------------
+
+/// Renders Fig. 2 (both panels) as SVG + CSV.
+pub fn render_fig2(dir: &Path, panels: &[Fig2Panel]) -> std::io::Result<()> {
+    for panel in panels {
+        let mut chart = LineChart::new(
+            format!("Fig. 2 — approximation ratios, {}-node environment", panel.n),
+            "number of centers k",
+            "approximation ratio",
+        )
+        .with_y_domain(0.0, 1.0);
+        chart.push(
+            Series::new(
+                "approx. 1 = 1-(1-1/k)^k",
+                panel.rows.iter().map(|&(k, a1, _)| (k as f64, a1)).collect(),
+            )
+            .with_marker(Marker::Circle),
+        );
+        chart.push(
+            Series::new(
+                "approx. 2 = 1-(1-1/n)^k",
+                panel.rows.iter().map(|&(k, _, a2)| (k as f64, a2)).collect(),
+            )
+            .with_marker(Marker::Cross)
+            .with_dashed(true),
+        );
+        let svg = chart.render().expect("fig2 data is non-empty and finite");
+        write(dir, &format!("fig2_bounds_n{}.svg", panel.n), &svg)?;
+
+        let mut table = Table::new(["k", "approx1", "approx2"]);
+        for &(k, a1, a2) in &panel.rows {
+            table
+                .push_row([k.to_string(), fmt_cell(a1), fmt_cell(a2)])
+                .expect("3 columns");
+        }
+        write(
+            dir,
+            &format!("fig2_bounds_n{}.csv", panel.n),
+            &table.render(TableFormat::Csv),
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 + Table I
+// ---------------------------------------------------------------------
+
+/// Renders the Fig. 3 panels: for each algorithm and each round, the
+/// instance with the centers chosen so far (stars) and their coverage
+/// disks — 12 SVGs for the paper's 3 × 4 grid.
+pub fn render_fig3(dir: &Path, run: &ExampleRun) -> std::io::Result<()> {
+    let inst = &run.instance;
+    for sol in &run.solutions {
+        for round in 0..sol.centers.len() {
+            let mut plot = ScatterPlot::new(
+                format!("Fig. 3 — {} after round {}", sol.solver, round + 1),
+                0.0,
+                4.0,
+            );
+            for (p, &w) in inst.points().iter().zip(inst.weights()) {
+                plot.points.push(ScatterPoint {
+                    x: p[0],
+                    y: p[1],
+                    marker: Marker::for_weight(w as u32),
+                    color_index: 7, // black, as in the paper
+                });
+            }
+            for (ci, c) in sol.centers.iter().take(round + 1).enumerate() {
+                plot.points.push(ScatterPoint {
+                    x: c[0],
+                    y: c[1],
+                    marker: Marker::Star,
+                    color_index: ci,
+                });
+                plot.circles.push(CircleOverlay {
+                    cx: c[0],
+                    cy: c[1],
+                    r: inst.radius(),
+                    color_index: ci,
+                });
+            }
+            let svg = plot.render().expect("fig3 panel has points");
+            write(
+                dir,
+                &format!("fig3_{}_round{}.svg", sol.solver, round + 1),
+                &svg,
+            )?;
+        }
+    }
+    // Companion heatmaps (beyond the paper): the coverage-reward
+    // landscape greedy 2 faces before each round, showing the residual
+    // depletion that drives center spreading.
+    let mut residuals = mmph_core::Residuals::new(inst.n());
+    let g2 = &run.solutions[0];
+    for (round, center) in g2.centers.iter().enumerate() {
+        let hm = Heatmap::new(
+            format!("coverage-reward landscape before round {}", round + 1),
+            0.0,
+            4.0,
+        )
+        .sample(80, |x, y| {
+            mmph_core::coverage_reward(inst, &mmph_geom::Point::new([x, y]), &residuals)
+        });
+        write(
+            dir,
+            &format!("fig3_landscape_round{}.svg", round + 1),
+            &hm.render().expect("landscape renders"),
+        )?;
+        residuals.apply(inst, center);
+    }
+    Ok(())
+}
+
+/// Renders Table I: per-round coverage reward of greedy 2/3/4 plus the
+/// total, in both Markdown and CSV.
+pub fn render_table1(dir: &Path, run: &ExampleRun) -> std::io::Result<String> {
+    let rounds = run.solutions[0].round_gains.len();
+    let mut header = vec!["Coverage reward".to_owned()];
+    header.extend((1..=rounds).map(|j| j.to_string()));
+    header.push("Total".to_owned());
+    let mut table = Table::new(header);
+    for sol in &run.solutions {
+        let mut row = vec![display_name(&sol.solver).to_owned()];
+        row.extend(sol.round_gains.iter().map(|g| fmt_cell(*g)));
+        row.push(fmt_cell(sol.total_reward));
+        table.push_row(row).expect("consistent width");
+    }
+    let md = table.render(TableFormat::Markdown);
+    write(dir, "table1.md", &md)?;
+    write(dir, "table1.csv", &table.render(TableFormat::Csv))?;
+    Ok(md)
+}
+
+fn display_name(solver: &str) -> &str {
+    match solver {
+        "greedy1" => "Greedy 1",
+        "greedy2" => "Greedy 2",
+        "greedy3" => "Greedy 3",
+        "greedy4" => "Greedy 4",
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figs. 4–7
+// ---------------------------------------------------------------------
+
+/// Renders one ratio-sweep figure (Fig. 4, 5, 6 or 7): one SVG panel
+/// per `(n, k)` with the ratio-vs-radius curves of every algorithm and
+/// the two theoretical bounds, plus a combined CSV.
+pub fn render_ratio_figure(
+    dir: &Path,
+    fig_name: &str,
+    title: &str,
+    rows: &[RatioRow],
+) -> std::io::Result<()> {
+    // Group rows by (n, k); each group is one panel over r.
+    let mut keys: Vec<(usize, usize)> = rows.iter().map(|r| (r.n, r.k)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for (n, k) in keys {
+        let group: Vec<&RatioRow> = rows
+            .iter()
+            .filter(|row| row.n == n && row.k == k)
+            .collect();
+        let mut chart = LineChart::new(
+            format!("{title} — n = {n}, k = {k}"),
+            "radius r",
+            "approximation ratio",
+        )
+        .with_y_domain(0.0, 1.2);
+        let series_of = |label: &str,
+                         marker: Marker,
+                         f: &dyn Fn(&RatioRow) -> f64|
+         -> Series {
+            Series::new(
+                label,
+                group.iter().map(|row| (row.r, f(row))).collect(),
+            )
+            .with_marker(marker)
+        };
+        if group.iter().any(|r| r.ratio1.count > 0) {
+            chart.push(series_of("ratio 1 (round-based)", Marker::Dot, &|r| {
+                r.ratio1.mean
+            }));
+        }
+        chart.push(series_of("ratio 2 (local)", Marker::Circle, &|r| {
+            r.ratio2.mean
+        }));
+        chart.push(series_of("ratio 3 (simple)", Marker::Square, &|r| {
+            r.ratio3.mean
+        }));
+        chart.push(series_of("ratio 4 (complex)", Marker::Diamond, &|r| {
+            r.ratio4.mean
+        }));
+        chart.push(
+            series_of("approx. 1", Marker::Plus, &|r| r.approx1).with_dashed(true),
+        );
+        chart.push(
+            series_of("approx. 2", Marker::Cross, &|r| r.approx2).with_dashed(true),
+        );
+        let svg = chart.render().expect("sweep rows are non-empty");
+        write(dir, &format!("{fig_name}_n{n}_k{k}.svg"), &svg)?;
+    }
+    write(dir, &format!("{fig_name}.csv"), &ratio_csv(rows))?;
+    write(
+        dir,
+        &format!("{fig_name}.md"),
+        &ratio_markdown(title, rows),
+    )?;
+    Ok(())
+}
+
+/// CSV dump of ratio rows (one line per configuration).
+pub fn ratio_csv(rows: &[RatioRow]) -> String {
+    let mut table = Table::new([
+        "n", "k", "r", "norm", "weights", "trials", "ratio1", "ratio2", "ratio3", "ratio4",
+        "ci95_2", "ci95_3", "ci95_4", "approx1", "approx2",
+    ]);
+    for row in rows {
+        table
+            .push_row([
+                row.n.to_string(),
+                row.k.to_string(),
+                row.r.to_string(),
+                row.norm.name(),
+                row.weights.clone(),
+                row.trials.to_string(),
+                fmt_cell(row.ratio1.mean),
+                fmt_cell(row.ratio2.mean),
+                fmt_cell(row.ratio3.mean),
+                fmt_cell(row.ratio4.mean),
+                fmt_cell(row.ratio2.ci95()),
+                fmt_cell(row.ratio3.ci95()),
+                fmt_cell(row.ratio4.ci95()),
+                fmt_cell(row.approx1),
+                fmt_cell(row.approx2),
+            ])
+            .expect("consistent width");
+    }
+    table.render(TableFormat::Csv)
+}
+
+/// Markdown table of ratio rows.
+pub fn ratio_markdown(title: &str, rows: &[RatioRow]) -> String {
+    let mut table = Table::new([
+        "n", "k", "r", "ratio 1", "ratio 2", "ratio 3", "ratio 4", "approx1", "approx2",
+    ]);
+    for row in rows {
+        table
+            .push_row([
+                row.n.to_string(),
+                row.k.to_string(),
+                row.r.to_string(),
+                fmt_percent(row.ratio1.mean),
+                fmt_percent(row.ratio2.mean),
+                fmt_percent(row.ratio3.mean),
+                fmt_percent(row.ratio4.mean),
+                fmt_percent(row.approx1),
+                fmt_percent(row.approx2),
+            ])
+            .expect("consistent width");
+    }
+    format!("### {title}\n\n{}", table.render(TableFormat::Markdown))
+}
+
+// ---------------------------------------------------------------------
+// Figs. 8–9
+// ---------------------------------------------------------------------
+
+/// Renders one reward-sweep figure (Fig. 8 or 9): per `(n, k)` panel of
+/// total reward vs radius, plus CSV and Markdown.
+pub fn render_reward_figure(
+    dir: &Path,
+    fig_name: &str,
+    title: &str,
+    rows: &[RewardRow],
+) -> std::io::Result<()> {
+    let mut keys: Vec<(usize, usize)> = rows.iter().map(|r| (r.n, r.k)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for (n, k) in keys {
+        let group: Vec<&RewardRow> = rows
+            .iter()
+            .filter(|row| row.n == n && row.k == k)
+            .collect();
+        let mut chart = LineChart::new(
+            format!("{title} — n = {n}, k = {k}"),
+            "radius r",
+            "total reward",
+        );
+        if group.iter().any(|r| r.reward1.count > 0) {
+            chart.push(
+                Series::new(
+                    "greedy 1 (round-based)",
+                    group.iter().map(|r| (r.r, r.reward1.mean)).collect(),
+                )
+                .with_marker(Marker::Dot),
+            );
+        }
+        chart.push(
+            Series::new(
+                "greedy 2 (local)",
+                group.iter().map(|r| (r.r, r.reward2.mean)).collect(),
+            )
+            .with_marker(Marker::Circle),
+        );
+        chart.push(
+            Series::new(
+                "greedy 3 (simple)",
+                group.iter().map(|r| (r.r, r.reward3.mean)).collect(),
+            )
+            .with_marker(Marker::Square),
+        );
+        chart.push(
+            Series::new(
+                "greedy 4 (complex)",
+                group.iter().map(|r| (r.r, r.reward4.mean)).collect(),
+            )
+            .with_marker(Marker::Diamond),
+        );
+        let svg = chart.render().expect("sweep rows are non-empty");
+        write(dir, &format!("{fig_name}_n{n}_k{k}.svg"), &svg)?;
+    }
+    let mut table = Table::new([
+        "n", "k", "r", "trials", "greedy1", "greedy2", "greedy3", "greedy4", "max_reward",
+    ]);
+    for row in rows {
+        table
+            .push_row([
+                row.n.to_string(),
+                row.k.to_string(),
+                row.r.to_string(),
+                row.trials.to_string(),
+                fmt_cell(row.reward1.mean),
+                fmt_cell(row.reward2.mean),
+                fmt_cell(row.reward3.mean),
+                fmt_cell(row.reward4.mean),
+                fmt_cell(row.max_reward.mean),
+            ])
+            .expect("consistent width");
+    }
+    write(dir, &format!("{fig_name}.csv"), &table.render(TableFormat::Csv))?;
+    write(
+        dir,
+        &format!("{fig_name}.md"),
+        &format!("### {title}\n\n{}", table.render(TableFormat::Markdown)),
+    )?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Baselines extension
+// ---------------------------------------------------------------------
+
+/// Renders the clustering-baseline comparison table (extension).
+pub fn render_baselines(dir: &Path, rows: &[BaselineRow]) -> std::io::Result<String> {
+    let mut table = Table::new([
+        "n", "k", "r", "greedy2", "local-search", "kcenter", "kmeans",
+    ]);
+    for row in rows {
+        table
+            .push_row([
+                row.n.to_string(),
+                row.k.to_string(),
+                row.r.to_string(),
+                fmt_percent(row.greedy2.mean),
+                fmt_percent(row.local_search.mean),
+                fmt_percent(row.kcenter.mean),
+                fmt_percent(row.kmeans.mean),
+            ])
+            .expect("consistent width");
+    }
+    let md = format!(
+        "### Baselines (extension) — ratio to the exhaustive optimum, 2-norm, different weights\n\n{}",
+        table.render(TableFormat::Markdown)
+    );
+    write(dir, "baselines.md", &md)?;
+    write(dir, "baselines.csv", &table.render(TableFormat::Csv))?;
+    Ok(md)
+}
+
+// ---------------------------------------------------------------------
+// Summary (§VI-B)
+// ---------------------------------------------------------------------
+
+/// Renders the §VI-B aggregate comparison: our measured grand means
+/// next to the paper's quoted numbers.
+pub fn render_summary(
+    dir: &Path,
+    agg_2d: &Aggregate,
+    agg_3d: &Aggregate3d,
+) -> std::io::Result<String> {
+    let mut md = String::from("## §VI-B aggregate comparison\n\n");
+    md.push_str("### 2-D mean approximation ratios (Figs. 4–7)\n\n");
+    let mut t = Table::new(["algorithm", "measured mean ratio"]);
+    t.push_row(["greedy 1 (round-based, grid oracle)", &fmt_percent(agg_2d.mean1)])
+        .expect("2 cols");
+    t.push_row(["greedy 2 (local)", &fmt_percent(agg_2d.mean2)])
+        .expect("2 cols");
+    t.push_row(["greedy 3 (simple)", &fmt_percent(agg_2d.mean3)])
+        .expect("2 cols");
+    t.push_row(["greedy 4 (complex)", &fmt_percent(agg_2d.mean4)])
+        .expect("2 cols");
+    md.push_str(&t.render(TableFormat::Markdown));
+    md.push_str(
+        "\nPaper (§VI-B, labels as printed): \"greedy 3 ≈ 84.22% (best), \
+         greedy 1 ≈ 68.87%, greedy 2 ≈ 55.97%\" for 2-norm; \
+         \"greedy 3 ≈ 82.76%, greedy 1 ≈ 68.77%, greedy 2 ≈ 57%\" for 1-norm.\n\n",
+    );
+    md.push_str("### 3-D mean rewards relative to the best algorithm (Figs. 8–9)\n\n");
+    let mut t = Table::new(["algorithm", "relative reward"]);
+    t.push_row(["greedy 1 (round-based, grid oracle)", &fmt_percent(agg_3d.rel1)])
+        .expect("2 cols");
+    t.push_row(["greedy 2 (local)", &fmt_percent(agg_3d.rel2)])
+        .expect("2 cols");
+    t.push_row(["greedy 3 (simple)", &fmt_percent(agg_3d.rel3)])
+        .expect("2 cols");
+    t.push_row(["greedy 4 (complex)", &fmt_percent(agg_3d.rel4)])
+        .expect("2 cols");
+    md.push_str(&t.render(TableFormat::Markdown));
+    md.push_str(
+        "\nPaper (§VI-B): \"using greedy 3 will get the highest reward; greedy 1 gets \
+         about 61.04% of the reward that greedy 3 gets, and greedy 2 gets about 31.14%\".\n",
+    );
+    write(dir, "summary.md", &md)?;
+    Ok(md)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{self, SweepOptions};
+    use mmph_geom::Norm;
+    use mmph_sim::gen::WeightScheme;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mmph-render-tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fig2_renders_two_panels() {
+        let dir = tmp_dir("fig2");
+        render_fig2(&dir, &experiments::fig2()).unwrap();
+        assert!(dir.join("fig2_bounds_n10.svg").exists());
+        assert!(dir.join("fig2_bounds_n40.svg").exists());
+        let csv = std::fs::read_to_string(dir.join("fig2_bounds_n10.csv")).unwrap();
+        assert!(csv.starts_with("k,approx1,approx2"));
+        assert_eq!(csv.lines().count(), 11);
+    }
+
+    #[test]
+    fn fig3_and_table1_render() {
+        let dir = tmp_dir("fig3");
+        let run = experiments::fig3_table1(3);
+        render_fig3(&dir, &run).unwrap();
+        // 3 algorithms × 4 rounds = 12 panels.
+        for solver in ["greedy2", "greedy3", "greedy4"] {
+            for round in 1..=4 {
+                assert!(
+                    dir.join(format!("fig3_{solver}_round{round}.svg")).exists(),
+                    "{solver} round {round}"
+                );
+            }
+        }
+        let md = render_table1(&dir, &run).unwrap();
+        assert!(md.contains("Greedy 2"));
+        assert!(md.contains("Total"));
+        assert!(dir.join("table1.csv").exists());
+    }
+
+    #[test]
+    fn ratio_figure_renders() {
+        let dir = tmp_dir("ratio");
+        let opts = SweepOptions {
+            trials: 3,
+            include_greedy1: false,
+        };
+        let rows = vec![
+            experiments::ratio_config(10, 2, 1.0, Norm::L2, WeightScheme::Same, opts, 1),
+            experiments::ratio_config(10, 2, 1.5, Norm::L2, WeightScheme::Same, opts, 2),
+        ];
+        render_ratio_figure(&dir, "figX", "test sweep", &rows).unwrap();
+        assert!(dir.join("figX_n10_k2.svg").exists());
+        let csv = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 3);
+        let md = std::fs::read_to_string(dir.join("figX.md")).unwrap();
+        assert!(md.contains("### test sweep"));
+    }
+
+    #[test]
+    fn reward_figure_renders() {
+        let dir = tmp_dir("reward");
+        let opts = SweepOptions {
+            trials: 2,
+            include_greedy1: false,
+        };
+        let rows = vec![
+            experiments::reward_config_3d(40, 2, 1.0, WeightScheme::Same, opts, 1),
+            experiments::reward_config_3d(40, 2, 1.5, WeightScheme::Same, opts, 2),
+        ];
+        render_reward_figure(&dir, "figY", "3d sweep", &rows).unwrap();
+        assert!(dir.join("figY_n40_k2.svg").exists());
+        assert!(dir.join("figY.csv").exists());
+    }
+
+    #[test]
+    fn baselines_render() {
+        let dir = tmp_dir("baselines");
+        let rows = vec![crate::experiments::baseline_config(
+            10,
+            2,
+            1.0,
+            mmph_sim::gen::WeightScheme::Same,
+            2,
+            1,
+        )];
+        let md = render_baselines(&dir, &rows).unwrap();
+        assert!(md.contains("kcenter"));
+        assert!(dir.join("baselines.csv").exists());
+    }
+
+    #[test]
+    fn summary_renders() {
+        let dir = tmp_dir("summary");
+        let agg2 = Aggregate {
+            mean1: 0.69,
+            mean2: 0.56,
+            mean3: 0.84,
+            mean4: 0.80,
+        };
+        let agg3 = Aggregate3d {
+            rel1: 0.6,
+            rel2: 0.3,
+            rel3: 1.0,
+            rel4: 0.9,
+        };
+        let md = render_summary(&dir, &agg2, &agg3).unwrap();
+        assert!(md.contains("84.00%"));
+        assert!(md.contains("Paper"));
+        assert!(dir.join("summary.md").exists());
+    }
+}

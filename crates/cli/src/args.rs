@@ -1,0 +1,182 @@
+//! Tiny flag parser shared by all subcommands.
+//!
+//! Supports `--flag value` and boolean `--flag` forms, collects
+//! unknown-flag errors with the offending name, and type-checks values
+//! on extraction. No positional arguments are used by this CLI.
+
+use std::collections::BTreeMap;
+
+use crate::{CliError, Result};
+
+/// Parsed `--key [value]` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    bools: Vec<String>,
+}
+
+/// Parses `argv` given the sets of value-taking and boolean flag names
+/// (without the `--` prefix).
+pub fn parse(argv: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Flags> {
+    let mut flags = Flags::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(CliError::Usage(format!(
+                "unexpected positional argument `{arg}`"
+            )));
+        };
+        if bool_flags.contains(&name) {
+            flags.bools.push(name.to_owned());
+        } else if value_flags.contains(&name) {
+            let value = it.next().ok_or_else(|| {
+                CliError::Usage(format!("flag --{name} requires a value"))
+            })?;
+            flags.values.insert(name.to_owned(), value.clone());
+        } else {
+            return Err(CliError::Usage(format!("unknown flag --{name}")));
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    /// True iff the boolean flag was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+
+    /// Raw string value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Usage(format!("invalid value `{raw}` for --{name}"))
+            }),
+        }
+    }
+
+    /// Required typed value.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T> {
+        let raw = self
+            .get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for --{name}")))
+    }
+}
+
+/// Parses a norm name ("l1", "l2", "linf", or a number like "3").
+pub fn parse_norm(raw: &str) -> Result<mmph_geom::Norm> {
+    match raw.to_ascii_lowercase().as_str() {
+        "l1" | "1" => Ok(mmph_geom::Norm::L1),
+        "l2" | "2" => Ok(mmph_geom::Norm::L2),
+        "linf" | "inf" => Ok(mmph_geom::Norm::LInf),
+        other => other
+            .parse::<f64>()
+            .ok()
+            .and_then(|p| mmph_geom::Norm::lp(p).ok())
+            .ok_or_else(|| CliError::Usage(format!("unknown norm `{raw}`"))),
+    }
+}
+
+/// Parses a weight-scheme name ("same", "diff", "zipf").
+pub fn parse_weights(raw: &str) -> Result<mmph_sim::gen::WeightScheme> {
+    use mmph_sim::gen::WeightScheme;
+    match raw.to_ascii_lowercase().as_str() {
+        "same" => Ok(WeightScheme::Same),
+        "diff" | "different" => Ok(WeightScheme::PAPER_WEIGHTED),
+        "zipf" => Ok(WeightScheme::Zipf {
+            n_ranks: 8,
+            s: 1.1,
+        }),
+        other => Err(CliError::Usage(format!("unknown weight scheme `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_bools() {
+        let f = parse(
+            &argv(&["--n", "40", "--all", "--r", "1.5"]),
+            &["n", "r"],
+            &["all"],
+        )
+        .unwrap();
+        assert_eq!(f.get_or("n", 0usize).unwrap(), 40);
+        assert_eq!(f.get_or("r", 0.0f64).unwrap(), 1.5);
+        assert!(f.has("all"));
+        assert!(!f.has("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let f = parse(&argv(&[]), &["n"], &[]).unwrap();
+        assert_eq!(f.get_or("n", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&argv(&["--bogus", "1"]), &["n"], &[]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&argv(&["--n"]), &["n"], &[]).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse(&argv(&["oops"]), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn bad_typed_value_rejected() {
+        let f = parse(&argv(&["--n", "forty"]), &["n"], &[]).unwrap();
+        assert!(f.get_or("n", 0usize).is_err());
+        assert!(f.require::<usize>("n").is_err());
+    }
+
+    #[test]
+    fn require_missing_flag() {
+        let f = parse(&argv(&[]), &["n"], &[]).unwrap();
+        assert!(f.require::<usize>("n").is_err());
+    }
+
+    #[test]
+    fn norm_parsing() {
+        assert_eq!(parse_norm("l1").unwrap(), mmph_geom::Norm::L1);
+        assert_eq!(parse_norm("L2").unwrap(), mmph_geom::Norm::L2);
+        assert_eq!(parse_norm("inf").unwrap(), mmph_geom::Norm::LInf);
+        assert_eq!(parse_norm("3").unwrap(), mmph_geom::Norm::Lp(3.0));
+        assert!(parse_norm("manhattan-ish").is_err());
+        assert!(parse_norm("0.5").is_err());
+    }
+
+    #[test]
+    fn weights_parsing() {
+        use mmph_sim::gen::WeightScheme;
+        assert_eq!(parse_weights("same").unwrap(), WeightScheme::Same);
+        assert_eq!(
+            parse_weights("diff").unwrap(),
+            WeightScheme::PAPER_WEIGHTED
+        );
+        assert!(matches!(
+            parse_weights("zipf").unwrap(),
+            WeightScheme::Zipf { .. }
+        ));
+        assert!(parse_weights("heavy").is_err());
+    }
+}

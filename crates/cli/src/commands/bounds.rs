@@ -1,0 +1,77 @@
+//! `mmph bounds` — print the paper's approximation bounds (Fig. 2).
+
+use std::io::Write;
+
+use mmph_core::bounds::{approx_local, approx_round_based, ONE_MINUS_INV_E};
+
+use crate::args::parse;
+use crate::Result;
+
+const HELP: &str = "\
+mmph bounds — the paper's approximation-ratio bounds (Fig. 2 data)
+
+OPTIONS:
+  --n N        environment size for approx. 2 (default 40)
+  --k-max K    largest k to print (default n)";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let flags = parse(argv, &["n", "k-max"], &[])?;
+    let n: usize = flags.get_or("n", 40)?;
+    let k_max: usize = flags.get_or("k-max", n)?;
+    writeln!(
+        out,
+        "approx. 1 = 1-(1-1/k)^k (Theorem 1, round-based)  — limit 1-1/e = {ONE_MINUS_INV_E:.4}"
+    )?;
+    writeln!(out, "approx. 2 = 1-(1-1/n)^k (Theorem 2, local greedy), n = {n}")?;
+    writeln!(out, "{:>4} {:>10} {:>10}", "k", "approx1", "approx2")?;
+    for k in 1..=k_max.max(1) {
+        writeln!(
+            out,
+            "{:>4} {:>10.4} {:>10.4}",
+            k,
+            approx_round_based(k),
+            approx_local(n, k)
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (Result<()>, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let r = run(&argv, &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn prints_table() {
+        let (r, out) = run_capture(&["--n", "10", "--k-max", "4"]);
+        assert!(r.is_ok());
+        assert!(out.contains("0.7500")); // approx1 at k = 2
+        assert!(out.contains("0.1900")); // approx2 at n = 10, k = 2
+        assert_eq!(out.lines().count(), 3 + 4);
+    }
+
+    #[test]
+    fn defaults_to_n_rows() {
+        let (r, out) = run_capture(&["--n", "5"]);
+        assert!(r.is_ok());
+        assert_eq!(out.lines().count(), 3 + 5);
+    }
+
+    #[test]
+    fn help_flag() {
+        let (r, out) = run_capture(&["-h"]);
+        assert!(r.is_ok());
+        assert!(out.contains("Fig. 2"));
+    }
+}

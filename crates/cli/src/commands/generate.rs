@@ -1,0 +1,132 @@
+//! `mmph generate` — create an instance trace JSON.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use mmph_sim::scenario::Scenario;
+use mmph_sim::trace::{save_traces, InstanceTrace};
+
+use crate::args::{parse, parse_norm, parse_weights};
+use crate::{CliError, Result};
+
+const HELP: &str = "\
+mmph generate — generate a problem instance and write it as JSON
+
+OPTIONS:
+  --n N          number of users (default 40)
+  --k K          number of broadcasts (default 4)
+  --r R          interest radius (default 1.0)
+  --dim D        2 or 3 (default 2)
+  --norm NORM    l1 | l2 | linf | <p> (default l2)
+  --weights W    same | diff | zipf (default diff)
+  --seed S       RNG seed (default 0)
+  --out FILE     output path (required)";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let flags = parse(
+        argv,
+        &["n", "k", "r", "dim", "norm", "weights", "seed", "out"],
+        &[],
+    )?;
+    let n: usize = flags.get_or("n", 40)?;
+    let k: usize = flags.get_or("k", 4)?;
+    let r: f64 = flags.get_or("r", 1.0)?;
+    let dim: usize = flags.get_or("dim", 2)?;
+    let norm = parse_norm(flags.get("norm").unwrap_or("l2"))?;
+    let weights = parse_weights(flags.get("weights").unwrap_or("diff"))?;
+    let seed: u64 = flags.get_or("seed", 0)?;
+    let path: PathBuf = flags.require("out")?;
+
+    match dim {
+        2 => {
+            let scenario = Scenario::paper_2d(n, k, r, norm, weights, seed);
+            let trace = InstanceTrace::<2>::record(scenario)?;
+            save_traces(&path, std::slice::from_ref(&trace))?;
+        }
+        3 => {
+            let scenario = Scenario::paper_3d(n, k, r, norm, weights, seed);
+            let trace = InstanceTrace::<3>::record(scenario)?;
+            save_traces(&path, std::slice::from_ref(&trace))?;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--dim must be 2 or 3, got {other}"
+            )))
+        }
+    }
+    writeln!(
+        out,
+        "wrote {dim}-D instance (n = {n}, k = {k}, r = {r}, norm = {norm}) to {}",
+        path.display()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (Result<()>, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let r = run(&argv, &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mmph-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generates_2d_instance_file() {
+        let path = tmp("gen2d.json");
+        let (r, out) = run_capture(&[
+            "--n", "10", "--k", "2", "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("wrote 2-D instance"));
+        let traces: Vec<InstanceTrace<2>> = mmph_sim::trace::load_traces(&path).unwrap();
+        assert_eq!(traces[0].instance.n(), 10);
+        assert!(traces[0].verify());
+    }
+
+    #[test]
+    fn generates_3d_instance_file() {
+        let path = tmp("gen3d.json");
+        let (r, _) = run_capture(&[
+            "--n", "8", "--dim", "3", "--norm", "l1", "--weights", "same", "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        let traces: Vec<InstanceTrace<3>> = mmph_sim::trace::load_traces(&path).unwrap();
+        assert_eq!(traces[0].instance.norm(), mmph_geom::Norm::L1);
+    }
+
+    #[test]
+    fn requires_out() {
+        let (r, _) = run_capture(&["--n", "5"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_bad_dim() {
+        let path = tmp("gen4d.json");
+        let (r, _) = run_capture(&["--dim", "4", "--out", path.to_str().unwrap()]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_flag() {
+        let (r, out) = run_capture(&["--help"]);
+        assert!(r.is_ok());
+        assert!(out.contains("OPTIONS"));
+    }
+}

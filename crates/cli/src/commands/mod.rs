@@ -1,0 +1,7 @@
+//! Subcommand implementations.
+
+pub mod bounds;
+pub mod generate;
+pub mod report;
+pub mod simulate;
+pub mod solve;

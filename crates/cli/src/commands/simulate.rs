@@ -1,0 +1,167 @@
+//! `mmph simulate` — the time-slotted broadcast simulation.
+
+use std::io::Write;
+
+use mmph_core::solvers::{LocalGreedy, SimpleGreedy};
+use mmph_sim::broadcast::{simulate, BroadcastConfig, Population};
+use mmph_sim::gen::{PointDistribution, SpaceSpec};
+use mmph_sim::rng::SeedSeq;
+
+use crate::args::{parse, parse_norm, parse_weights};
+use crate::{CliError, Result};
+
+const HELP: &str = "\
+mmph simulate — time-slotted broadcast simulation (2-D)
+
+OPTIONS:
+  --n N          number of users (default 80)
+  --k K          broadcasts per period (default 4)
+  --r R          interest radius (default 1.0)
+  --norm NORM    l1 | l2 | linf | <p> (default l2)
+  --weights W    same | diff | zipf (default diff)
+  --horizon H    total broadcast slots (default 48)
+  --churn C      per-period churn probability (default 0)
+  --drift S      per-period drift sigma, fraction of space (default 0)
+  --clusters M   Gaussian interest clusters; 0 = uniform (default 0)
+  --solver NAME  greedy2 | greedy3 (default greedy3)
+  --seed S       RNG seed (default 0)";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let flags = parse(
+        argv,
+        &[
+            "n", "k", "r", "norm", "weights", "horizon", "churn", "drift", "clusters",
+            "solver", "seed",
+        ],
+        &[],
+    )?;
+    let n: usize = flags.get_or("n", 80)?;
+    let k: usize = flags.get_or("k", 4)?;
+    let r: f64 = flags.get_or("r", 1.0)?;
+    let norm = parse_norm(flags.get("norm").unwrap_or("l2"))?;
+    let weights = parse_weights(flags.get("weights").unwrap_or("diff"))?;
+    let clusters: usize = flags.get_or("clusters", 0)?;
+    let seed: u64 = flags.get_or("seed", 0)?;
+    let config = BroadcastConfig {
+        horizon_slots: flags.get_or("horizon", 48)?,
+        churn_rate: flags.get_or("churn", 0.0)?,
+        drift_rel_sigma: flags.get_or("drift", 0.0)?,
+        threshold: 0.5,
+        seed,
+    };
+    let distribution = if clusters == 0 {
+        PointDistribution::Uniform
+    } else {
+        PointDistribution::GaussianClusters {
+            clusters,
+            rel_sigma: 0.08,
+        }
+    };
+    let mut population = Population::<2>::generate(
+        n,
+        SpaceSpec::PAPER,
+        distribution,
+        weights,
+        SeedSeq::new(seed),
+    )?;
+    let solver_name = flags.get("solver").unwrap_or("greedy3");
+    let run = match solver_name {
+        "greedy2" => simulate(&LocalGreedy::new(), &mut population, r, k, norm, &config)?,
+        "greedy3" => simulate(&SimpleGreedy::new(), &mut population, r, k, norm, &config)?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "simulate supports greedy2 or greedy3, got `{other}`"
+            )))
+        }
+    };
+    writeln!(
+        out,
+        "{} periods of k = {} broadcasts over {} slots ({} used)",
+        run.periods, run.k, config.horizon_slots, run.slots_used
+    )?;
+    writeln!(
+        out,
+        "{:>7} {:>12} {:>12} {:>8} {:>8}",
+        "period", "reward", "mean sat.", "happy", "churned"
+    )?;
+    for p in &run.per_period {
+        writeln!(
+            out,
+            "{:>7} {:>12.3} {:>11.1}% {:>8} {:>8}",
+            p.period,
+            p.reward,
+            100.0 * p.mean_fraction,
+            p.satisfied_users,
+            p.churned
+        )?;
+    }
+    writeln!(
+        out,
+        "total reward {:.3}, reward/slot {:.3}, mean satisfaction {:.1}%",
+        run.total_reward,
+        run.reward_per_slot(),
+        100.0 * run.mean_satisfaction()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (Result<()>, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let r = run(&argv, &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn default_simulation_runs() {
+        let (r, out) = run_capture(&["--n", "20", "--horizon", "8", "--k", "2"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("4 periods"));
+        assert!(out.contains("reward/slot"));
+    }
+
+    #[test]
+    fn with_dynamics_and_clusters() {
+        let (r, out) = run_capture(&[
+            "--n", "30", "--horizon", "12", "--k", "3", "--churn", "0.1", "--drift",
+            "0.02", "--clusters", "2", "--solver", "greedy2",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("total reward"));
+    }
+
+    #[test]
+    fn rejects_unknown_solver() {
+        let (r, _) = run_capture(&["--solver", "greedy9"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_bad_churn() {
+        let (r, _) = run_capture(&["--churn", "1.5"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn help_flag() {
+        let (r, out) = run_capture(&["--help"]);
+        assert!(r.is_ok());
+        assert!(out.contains("OPTIONS"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, a) = run_capture(&["--n", "15", "--horizon", "8", "--seed", "3"]);
+        let (_, b) = run_capture(&["--n", "15", "--horizon", "8", "--seed", "3"]);
+        assert_eq!(a, b);
+    }
+}

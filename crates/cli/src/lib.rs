@@ -1,0 +1,134 @@
+//! # mmph-cli — command-line interface
+//!
+//! ```text
+//! mmph generate --n 40 --k 4 --r 1.0 --out instance.json
+//! mmph solve --input instance.json --solver greedy3
+//! mmph solve --n 40 --k 4 --r 1 --all --svg coverage.svg
+//! mmph report --n 80 --k 4 --solver greedy2
+//! mmph simulate --n 80 --k 4 --horizon 48 --drift 0.02
+//! mmph bounds --n 40 --k-max 10
+//! mmph solvers
+//! ```
+//!
+//! The binary is a thin wrapper over [`run`]; everything is exercised
+//! directly by unit tests (argument parsing and command execution are
+//! ordinary functions).
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+/// CLI error type.
+#[derive(Debug, thiserror::Error)]
+pub enum CliError {
+    /// Bad command-line usage (message is user-facing).
+    #[error("{0}")]
+    Usage(String),
+    /// Propagated core error.
+    #[error(transparent)]
+    Core(#[from] mmph_core::CoreError),
+    /// Propagated simulation error.
+    #[error(transparent)]
+    Sim(#[from] mmph_sim::SimError),
+    /// Propagated plot error.
+    #[error(transparent)]
+    Plot(#[from] mmph_plot::PlotError),
+    /// I/O failure.
+    #[error("io: {0}")]
+    Io(#[from] std::io::Error),
+    /// JSON (de)serialization failure.
+    #[error("json: {0}")]
+    Json(#[from] serde_json::Error),
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mmph — Making Many People Happy: greedy content distribution
+
+USAGE:
+  mmph <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate   generate a problem instance and write it as JSON
+  solve      solve an instance with one solver (or --all)
+  report     solve and explain the plan (per-center stats, histogram)
+  simulate   run the time-slotted broadcast simulation
+  bounds     print the paper's approximation bounds (Fig. 2 data)
+  solvers    list available solvers
+  help       show this message
+
+Run `mmph <COMMAND> --help` for per-command options.";
+
+/// Dispatches a full argument vector (excluding `argv[0]`). Output goes
+/// to `out` so tests can capture it.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "generate" => commands::generate::run(rest, out),
+        "solve" => commands::solve::run(rest, out),
+        "report" => commands::report::run(rest, out),
+        "simulate" => commands::simulate::run(rest, out),
+        "bounds" => commands::bounds::run(rest, out),
+        "solvers" => commands::solve::list_solvers(out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; run `mmph help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (Result<()>, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let r = run(&argv, &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (r, out) = run_capture(&[]);
+        assert!(r.is_ok());
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        for flag in ["help", "--help", "-h"] {
+            let (r, out) = run_capture(&[flag]);
+            assert!(r.is_ok());
+            assert!(out.contains("COMMANDS"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let (r, _) = run_capture(&["frobnicate"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn solvers_lists_all() {
+        let (r, out) = run_capture(&["solvers"]);
+        assert!(r.is_ok());
+        for name in [
+            "greedy1", "greedy2", "greedy3", "greedy4", "lazy", "stochastic", "seeded",
+            "local-search", "kcenter", "kmeans", "exhaustive",
+        ] {
+            assert!(out.contains(name), "missing {name} in\n{out}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! `mmph` binary entry point — see [`mmph_cli`] for everything.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match mmph_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mmph: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Solution diagnostics: who is served by what, how much coverage
+//! overlaps, and how satisfaction is distributed.
+//!
+//! These are the questions an operator asks *after* solving — the paper
+//! stops at total reward, but a deployable system needs to explain its
+//! broadcast plan. Used by `mmph report` and the examples.
+
+use mmph_geom::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::instance::Instance;
+use crate::reward::Residuals;
+
+/// The raw coverage fractions `frac_{j,i} = kernel((d(c_j, x_i))/r)`
+/// for every center `j` and point `i` — before residual capping.
+pub fn coverage_matrix<const D: usize>(
+    inst: &Instance<D>,
+    centers: &[Point<D>],
+) -> Vec<Vec<f64>> {
+    let r = inst.radius();
+    let norm = inst.norm();
+    let kernel = inst.kernel();
+    centers
+        .iter()
+        .map(|c| {
+            (0..inst.n())
+                .map(|i| kernel.frac(norm.dist(c, inst.point(i)), r))
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-center diagnostics for a solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CenterReport {
+    /// Index of the center in selection order.
+    pub index: usize,
+    /// Number of points inside this center's interest radius.
+    pub points_in_range: usize,
+    /// Points for which this center is the *closest* one.
+    pub primary_points: usize,
+    /// Reward this center actually claimed in its round (capped by
+    /// residuals left by earlier centers).
+    pub claimed_reward: f64,
+    /// Reward this center would claim alone on a fresh instance —
+    /// `claimed / standalone` measures how much earlier centers ate.
+    pub standalone_reward: f64,
+}
+
+impl CenterReport {
+    /// Fraction of this center's standalone value it actually realized
+    /// (1.0 = no overlap with earlier centers).
+    pub fn efficiency(&self) -> f64 {
+        if self.standalone_reward > 0.0 {
+            self.claimed_reward / self.standalone_reward
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Full diagnostics of a center set against an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionReport {
+    /// Per-center breakdown, in selection order.
+    pub centers: Vec<CenterReport>,
+    /// Points covered by no center at all.
+    pub uncovered_points: usize,
+    /// Points covered by 2+ centers (overlap).
+    pub multiply_covered_points: usize,
+    /// Mean number of covering centers per point.
+    pub mean_coverage_multiplicity: f64,
+    /// Histogram of final satisfaction fractions in ten 0.1-wide bins
+    /// (`bins[9]` additionally holds exactly-1.0).
+    pub satisfaction_histogram: [usize; 10],
+}
+
+/// Computes the [`SolutionReport`] for `centers` on `inst`.
+pub fn analyze<const D: usize>(inst: &Instance<D>, centers: &[Point<D>]) -> SolutionReport {
+    let matrix = coverage_matrix(inst, centers);
+    let n = inst.n();
+    let norm = inst.norm();
+    // Per-center round rewards (with residuals) and standalone rewards.
+    let mut residuals = Residuals::new(n);
+    let mut reports = Vec::with_capacity(centers.len());
+    for (j, c) in centers.iter().enumerate() {
+        let mut standalone = Residuals::new(n);
+        let standalone_reward = standalone.apply(inst, c);
+        let claimed_reward = residuals.apply(inst, c);
+        let points_in_range = matrix[j].iter().filter(|&&f| f > 0.0).count();
+        let primary_points = (0..n)
+            .filter(|&i| {
+                let d = norm.dist(c, inst.point(i));
+                centers
+                    .iter()
+                    .enumerate()
+                    .all(|(jj, cc)| jj == j || norm.dist(cc, inst.point(i)) >= d)
+            })
+            .count();
+        reports.push(CenterReport {
+            index: j,
+            points_in_range,
+            primary_points,
+            claimed_reward,
+            standalone_reward,
+        });
+    }
+    // Coverage multiplicity.
+    let mut uncovered = 0usize;
+    let mut multiple = 0usize;
+    let mut total_mult = 0usize;
+    for i in 0..n {
+        let covering = matrix.iter().filter(|row| row[i] > 0.0).count();
+        total_mult += covering;
+        if covering == 0 {
+            uncovered += 1;
+        } else if covering >= 2 {
+            multiple += 1;
+        }
+    }
+    // Satisfaction histogram from the final residuals.
+    let mut histogram = [0usize; 10];
+    for &y in residuals.as_slice() {
+        let satisfied = 1.0 - y;
+        let bin = ((satisfied * 10.0) as usize).min(9);
+        histogram[bin] += 1;
+    }
+    SolutionReport {
+        centers: reports,
+        uncovered_points: uncovered,
+        multiply_covered_points: multiple,
+        mean_coverage_multiplicity: total_mult as f64 / n as f64,
+        satisfaction_histogram: histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::solvers::LocalGreedy;
+    use crate::Solver;
+
+    fn inst() -> Instance<2> {
+        InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.5, 0.0], 2.0)
+            .point([3.0, 3.0], 3.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn coverage_matrix_values() {
+        let inst = inst();
+        let m = coverage_matrix(&inst, &[Point::new([0.0, 0.0])]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].len(), 3);
+        assert!((m[0][0] - 1.0).abs() < 1e-12);
+        assert!((m[0][1] - 0.5).abs() < 1e-12);
+        assert_eq!(m[0][2], 0.0);
+    }
+
+    #[test]
+    fn analyze_disjoint_centers() {
+        let inst = inst();
+        let report = analyze(&inst, &[Point::new([0.25, 0.0]), Point::new([3.0, 3.0])]);
+        assert_eq!(report.centers.len(), 2);
+        assert_eq!(report.uncovered_points, 0);
+        // Center 0 covers p0+p1, center 1 covers p2: no overlap.
+        assert_eq!(report.multiply_covered_points, 0);
+        assert!((report.mean_coverage_multiplicity - 1.0).abs() < 1e-12);
+        // Disjoint centers claim their full standalone value.
+        for c in &report.centers {
+            assert!((c.efficiency() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analyze_overlapping_centers() {
+        let inst = inst();
+        let c = Point::new([0.25, 0.0]);
+        let report = analyze(&inst, &[c, c]);
+        // Everything the second copy could claim was already taken.
+        assert!(report.centers[1].claimed_reward < report.centers[1].standalone_reward);
+        assert!(report.centers[1].efficiency() < 1.0);
+        assert_eq!(report.multiply_covered_points, 2);
+        assert_eq!(report.uncovered_points, 1); // the far point
+    }
+
+    #[test]
+    fn primary_points_partition_when_unique() {
+        let inst = inst();
+        let report = analyze(&inst, &[Point::new([0.0, 0.0]), Point::new([3.0, 3.0])]);
+        let total_primary: usize = report.centers.iter().map(|c| c.primary_points).sum();
+        // Every point has a unique closest center here.
+        assert_eq!(total_primary, 3);
+    }
+
+    #[test]
+    fn histogram_counts_all_points() {
+        let inst = inst();
+        let sol = LocalGreedy::new().solve(&inst).unwrap();
+        let report = analyze(&inst, &sol.centers);
+        let total: usize = report.satisfaction_histogram.iter().sum();
+        assert_eq!(total, inst.n());
+    }
+
+    #[test]
+    fn fully_satisfied_points_land_in_top_bin() {
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let report = analyze(&inst, &[Point::new([0.0, 0.0])]);
+        assert_eq!(report.satisfaction_histogram[9], 1);
+        assert_eq!(report.uncovered_points, 0);
+    }
+
+    #[test]
+    fn empty_center_set() {
+        let inst = inst();
+        let report = analyze(&inst, &[]);
+        assert_eq!(report.uncovered_points, 3);
+        assert_eq!(report.mean_coverage_multiplicity, 0.0);
+        assert_eq!(report.satisfaction_histogram[0], 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = inst();
+        let report = analyze(&inst, &[Point::new([0.0, 0.0])]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SolutionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's approximation-ratio bounds (Theorems 1 and 2, Fig. 2).
+
+/// `1 − 1/e ≈ 0.632`, the limit of [`approx_round_based`] as `k → ∞`
+/// and the classic submodular-maximization bound (Eq. 20).
+pub const ONE_MINUS_INV_E: f64 = 1.0 - std::f64::consts::E.recip();
+
+/// Theorem 1: the round-based heuristic (Algorithm 1, with optimal round
+/// subproblems) achieves at least `1 − (1 − 1/k)^k` of the optimum.
+/// Decreasing in `k`, bounded below by `1 − 1/e`. The paper's "approx. 1".
+///
+/// ```
+/// use mmph_core::bounds::{approx_round_based, ONE_MINUS_INV_E};
+/// assert_eq!(approx_round_based(2), 0.75);
+/// assert!(approx_round_based(1_000) > ONE_MINUS_INV_E);
+/// ```
+pub fn approx_round_based(k: usize) -> f64 {
+    assert!(k >= 1, "k must be >= 1");
+    1.0 - (1.0 - 1.0 / k as f64).powi(k as i32)
+}
+
+/// Theorem 2: the local greedy (Algorithm 2) achieves at least
+/// `1 − (1 − 1/n)^k` of the optimum, where `n` is the number of points.
+/// The paper's "approx. 2"; it also bounds Algorithm 3.
+///
+/// ```
+/// use mmph_core::bounds::approx_local;
+/// assert!((approx_local(10, 2) - 0.19).abs() < 1e-12);
+/// ```
+pub fn approx_local(n: usize, k: usize) -> f64 {
+    assert!(n >= 1, "n must be >= 1");
+    assert!(k >= 1, "k must be >= 1");
+    1.0 - (1.0 - 1.0 / n as f64).powi(k as i32)
+}
+
+/// One (k, bound₁, bound₂) row of Fig. 2's comparison for a fixed `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsRow {
+    /// Number of centers.
+    pub k: usize,
+    /// Theorem 1's bound, `1 − (1 − 1/k)^k` ("approx. 1").
+    pub approx1: f64,
+    /// Theorem 2's bound, `1 − (1 − 1/n)^k` ("approx. 2").
+    pub approx2: f64,
+}
+
+/// The data of one Fig. 2 panel: both bounds for `k = 1..=k_max` at a
+/// fixed environment size `n` (the paper plots n = 10 and n = 40).
+pub fn fig2_series(n: usize, k_max: usize) -> Vec<BoundsRow> {
+    (1..=k_max)
+        .map(|k| BoundsRow {
+            k,
+            approx1: approx_round_based(k),
+            approx2: approx_local(n, k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx1_known_values() {
+        assert_eq!(approx_round_based(1), 1.0);
+        assert!((approx_round_based(2) - 0.75).abs() < 1e-12);
+        // k = 4: 1 - (3/4)^4 = 1 - 81/256
+        assert!((approx_round_based(4) - (1.0 - 81.0 / 256.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx1_decreases_to_one_minus_inv_e() {
+        let mut prev = approx_round_based(1);
+        for k in 2..200 {
+            let cur = approx_round_based(k);
+            assert!(cur < prev, "k = {k}");
+            assert!(cur > ONE_MINUS_INV_E);
+            prev = cur;
+        }
+        assert!((approx_round_based(100_000) - ONE_MINUS_INV_E).abs() < 1e-4);
+    }
+
+    #[test]
+    fn approx2_known_values() {
+        // n = 10, k = 2: 1 - 0.9^2 = 0.19
+        assert!((approx_local(10, 2) - 0.19).abs() < 1e-12);
+        // n = n, k = n behaves like approx1 at k = n
+        assert!((approx_local(5, 5) - approx_round_based(5)).abs() < 1e-12);
+        assert_eq!(approx_local(1, 1), 1.0);
+    }
+
+    #[test]
+    fn approx2_increases_in_k_and_decreases_in_n() {
+        assert!(approx_local(10, 3) > approx_local(10, 2));
+        assert!(approx_local(40, 2) < approx_local(10, 2));
+    }
+
+    #[test]
+    fn approx1_dominates_approx2_for_k_less_than_n() {
+        // The paper's Fig. 2 observation: approx. 1 is much larger.
+        for n in [10usize, 40] {
+            for k in 1..n {
+                assert!(
+                    approx_round_based(k) >= approx_local(n, k) - 1e-12,
+                    "n = {n}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_series_shape() {
+        let rows = fig2_series(10, 10);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].k, 1);
+        assert_eq!(rows[9].k, 10);
+        assert!((rows[1].approx1 - 0.75).abs() < 1e-12);
+        assert!((rows[1].approx2 - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn approx1_rejects_zero_k() {
+        approx_round_based(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be >= 1")]
+    fn approx2_rejects_zero_n() {
+        approx_local(0, 1);
+    }
+
+    #[test]
+    fn one_minus_inv_e_value() {
+        assert!((ONE_MINUS_INV_E - 0.6321205588285577).abs() < 1e-15);
+    }
+}

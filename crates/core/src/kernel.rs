@@ -1,0 +1,184 @@
+//! Reward decay kernels — a generalization of the paper's Eq. (1).
+//!
+//! The paper's reward decays **linearly** with interest distance:
+//! `psi = w (1 − d/r)` inside the radius. Nothing in the round
+//! framework, the submodularity proof (Lemma 0a works for any
+//! per-center contribution in `[0, 1]`), or the greedy machinery
+//! depends on linearity — only on the per-center coverage fraction
+//! being in `[0, 1]` and non-increasing in `d`. [`Kernel`] captures
+//! exactly that family:
+//!
+//! * [`Kernel::Linear`] — the paper's kernel (the default).
+//! * [`Kernel::Step`] — 1 inside the radius, 0 outside: the classic
+//!   **weighted maximum coverage** objective the paper cites as its
+//!   ancestor (§II-B); with this kernel `LocalGreedy` *is* the textbook
+//!   weighted max-coverage greedy, giving the natural baseline.
+//! * [`Kernel::Quadratic`] — `1 − (d/r)²`: flatter near the center,
+//!   steeper at the rim (users tolerate small mismatches).
+//! * [`Kernel::Exponential`] — `(e^{−λ d/r} − e^{−λ}) / (1 − e^{−λ})`,
+//!   normalized to hit 1 at `d = 0` and 0 at `d = r`: sharply peaked
+//!   interest matching.
+//!
+//! Every kernel is continuous on `[0, r]` except `Step`, maps `d = 0`
+//! to 1 (full reward at a perfect match) and `d > r` to 0, and is
+//! non-increasing — properties the tests pin down, because they are
+//! what keeps the objective monotone submodular and every greedy bound
+//! valid.
+
+use serde::{Deserialize, Serialize};
+
+/// A reward decay kernel: coverage fraction as a function of `d / r`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Kernel {
+    /// The paper's linear decay `[1 − d/r]₊` (Eq. 1).
+    #[default]
+    Linear,
+    /// Binary coverage `1{d ≤ r}` — classic weighted max coverage.
+    Step,
+    /// Quadratic decay `[1 − (d/r)²]₊`.
+    Quadratic,
+    /// Truncated, normalized exponential decay with rate `lambda > 0`.
+    Exponential {
+        /// Decay rate; larger is more sharply peaked.
+        lambda: f64,
+    },
+}
+
+impl Kernel {
+    /// The coverage fraction contributed by one center at distance `d`
+    /// with interest radius `r`. Always in `[0, 1]`, non-increasing in
+    /// `d`, and 0 beyond the radius. Boundary `d = r` is covered (with
+    /// fraction 0 for the continuous kernels, 1 for `Step`), matching
+    /// the paper's `d ≤ r` condition.
+    #[inline]
+    pub fn frac(&self, d: f64, r: f64) -> f64 {
+        debug_assert!(r > 0.0);
+        if d > r {
+            return 0.0;
+        }
+        let t = d / r;
+        match *self {
+            Kernel::Linear => 1.0 - t,
+            Kernel::Step => 1.0,
+            Kernel::Quadratic => 1.0 - t * t,
+            Kernel::Exponential { lambda } => {
+                let e_r = (-lambda).exp();
+                (((-lambda * t).exp()) - e_r) / (1.0 - e_r)
+            }
+        }
+    }
+
+    /// Validates kernel parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Kernel::Exponential { lambda } if !lambda.is_finite() || lambda <= 0.0 => Err(
+                format!("Exponential kernel needs finite lambda > 0, got {lambda}"),
+            ),
+            _ => Ok(()),
+        }
+    }
+
+    /// Short name for tables ("linear", "step", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Linear => "linear",
+            Kernel::Step => "step",
+            Kernel::Quadratic => "quadratic",
+            Kernel::Exponential { .. } => "exponential",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNELS: [Kernel; 4] = [
+        Kernel::Linear,
+        Kernel::Step,
+        Kernel::Quadratic,
+        Kernel::Exponential { lambda: 3.0 },
+    ];
+
+    #[test]
+    fn perfect_match_gives_full_fraction() {
+        for k in KERNELS {
+            assert!((k.frac(0.0, 1.0) - 1.0).abs() < 1e-12, "{k:?}");
+            assert!((k.frac(0.0, 2.5) - 1.0).abs() < 1e-12, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn outside_radius_gives_zero() {
+        for k in KERNELS {
+            assert_eq!(k.frac(1.0 + 1e-9, 1.0), 0.0, "{k:?}");
+            assert_eq!(k.frac(100.0, 2.0), 0.0, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        // Continuous kernels vanish at the rim; step stays 1.
+        assert!(Kernel::Linear.frac(1.0, 1.0).abs() < 1e-12);
+        assert!(Kernel::Quadratic.frac(1.0, 1.0).abs() < 1e-12);
+        assert!(Kernel::Exponential { lambda: 2.0 }.frac(1.0, 1.0).abs() < 1e-12);
+        assert_eq!(Kernel::Step.frac(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn fractions_in_unit_interval_and_nonincreasing() {
+        for k in KERNELS {
+            let mut prev = f64::INFINITY;
+            for i in 0..=100 {
+                let d = i as f64 / 100.0 * 1.5; // sweep past the radius
+                let f = k.frac(d, 1.0);
+                assert!((0.0..=1.0).contains(&f), "{k:?} at d={d}: {f}");
+                assert!(f <= prev + 1e-12, "{k:?} not monotone at d={d}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_ordering_inside_radius() {
+        // step >= quadratic >= linear for all d in (0, r).
+        for i in 1..10 {
+            let d = i as f64 / 10.0;
+            assert!(Kernel::Step.frac(d, 1.0) >= Kernel::Quadratic.frac(d, 1.0));
+            assert!(Kernel::Quadratic.frac(d, 1.0) >= Kernel::Linear.frac(d, 1.0));
+        }
+    }
+
+    #[test]
+    fn linear_matches_paper_formula() {
+        assert!((Kernel::Linear.frac(0.25, 1.0) - 0.75).abs() < 1e-12);
+        assert!((Kernel::Linear.frac(1.0, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_validation() {
+        assert!(Kernel::Exponential { lambda: 1.0 }.validate().is_ok());
+        assert!(Kernel::Exponential { lambda: 0.0 }.validate().is_err());
+        assert!(Kernel::Exponential { lambda: -1.0 }.validate().is_err());
+        assert!(Kernel::Exponential { lambda: f64::NAN }.validate().is_err());
+        assert!(Kernel::Linear.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip_and_default() {
+        assert_eq!(Kernel::default(), Kernel::Linear);
+        for k in KERNELS {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: Kernel = serde_json::from_str(&json).unwrap();
+            assert_eq!(k, back);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Kernel::Linear.name(), "linear");
+        assert_eq!(Kernel::Step.name(), "step");
+        assert_eq!(Kernel::Quadratic.name(), "quadratic");
+        assert_eq!(Kernel::Exponential { lambda: 1.0 }.name(), "exponential");
+    }
+}

@@ -1,0 +1,78 @@
+//! # mmph-core — the paper's contribution
+//!
+//! Problem model and solvers for the optimal content distribution problem
+//! of Wang, Guo & Wu, *"Making Many People Happy: Greedy Solutions for
+//! Content Distribution"* (ICPP 2011).
+//!
+//! The problem (paper §III–IV): given `n` user interest points `x_i` with
+//! maximum rewards `w_i` in `R^D`, choose `k` broadcast centers
+//! `C = {c_1..c_k}` of interest radius `r` maximizing
+//!
+//! ```text
+//! f(C) = Σ_i  w_i · min( Σ_j [1 − d(c_j, x_i)/r]_+ , 1 )
+//! ```
+//!
+//! `f` is monotone submodular (paper Lemma 0b; verified empirically in
+//! [`submodular`]) and maximizing it under `|C| = k` is NP-hard.
+//!
+//! Solvers provided (paper §IV–V):
+//!
+//! | module | paper | bound |
+//! |---|---|---|
+//! | [`solvers::RoundBased`] | Algorithm 1 | `1−(1−1/k)^k` (Thm 1) |
+//! | [`solvers::LocalGreedy`] | Algorithm 2 ("greedy 2") | `1−(1−1/n)^k` (Thm 2) |
+//! | [`solvers::SimpleGreedy`] | Algorithm 3 ("greedy 3") | `1−(1−1/n)^k` |
+//! | [`solvers::ComplexGreedy`] | Algorithm 4 ("greedy 4") | open |
+//! | [`solvers::Exhaustive`] | the evaluation's "exhaustive reward" | exact over candidates |
+//! | [`solvers::LazyGreedy`] | — (CELF extension) | ≡ Algorithm 2 |
+//! | [`solvers::StochasticGreedy`] | — (extension) | `1−1/e−ε` in expectation |
+//!
+//! All solvers share the residual-satisfaction state machine
+//! [`reward::Residuals`] implementing the `y_i^j` updates of the paper's
+//! round framework, so their per-round gains telescope exactly to `f(C)`.
+
+// Solver hot loops index several parallel arrays (points, weights,
+// residuals) by a shared index; that is clearer than zipped iterators
+// here and compiles identically.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analysis;
+pub mod bounds;
+pub mod instance;
+pub mod kernel;
+pub mod reward;
+pub mod solver;
+pub mod solvers;
+pub mod submodular;
+
+pub use instance::{Instance, InstanceBuilder};
+pub use kernel::Kernel;
+pub use reward::{coverage_reward, objective, psi, Residuals};
+pub use solver::{Solution, Solver};
+
+/// Errors produced by instance construction and solvers.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum CoreError {
+    /// The instance failed validation.
+    #[error("invalid instance: {0}")]
+    InvalidInstance(String),
+    /// A solver restricted to point-located candidates needs `k <= n`.
+    #[error("solver `{solver}` requires k <= n (k = {k}, n = {n})")]
+    KTooLarge {
+        /// Solver name.
+        solver: &'static str,
+        /// Requested number of centers.
+        k: usize,
+        /// Number of points.
+        n: usize,
+    },
+    /// A geometry error surfaced from `mmph-geom`.
+    #[error(transparent)]
+    Geom(#[from] mmph_geom::GeomError),
+    /// A solver parameter is out of range.
+    #[error("invalid solver configuration: {0}")]
+    InvalidConfig(String),
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,491 @@
+//! The reward function and the residual-satisfaction state machine.
+//!
+//! Paper §IV-A, Equations (1)–(7):
+//!
+//! * `psi(c, x_i) = w_i (1 − d(c, x_i)/r)` when `d ≤ r`, else 0 — the
+//!   partial reward a single broadcast gives user `i` (Eq. 1).
+//! * `f(C) = Σ_i w_i min(Σ_j [1 − d(c_j, x_i)/r]_+, 1)` — the capped
+//!   total (Eq. 7), computed by [`objective`].
+//! * The round framework (Algorithms 1–4) maintains residuals
+//!   `y_i^j ∈ [0, 1]`, selects a center maximizing the *coverage reward*
+//!   `Σ_i w_i min([1 − d/r]_+, y_i)` and subtracts the assigned
+//!   fractions. [`Residuals`] implements this state machine; because the
+//!   per-point coverage fractions are non-negative, the per-round gains
+//!   telescope exactly to `f(C)` (tested below), so every solver's
+//!   reported total equals the closed-form objective.
+
+use mmph_geom::{BallTree, KdTree, Norm, Point};
+
+use crate::instance::Instance;
+
+/// Coverage fraction `[1 − d(c, x)/r]_+` of a point at distance `d`
+/// (Eq. 1 without the weight).
+#[inline]
+pub fn coverage_frac(d: f64, r: f64) -> f64 {
+    let v = 1.0 - d / r;
+    if v > 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// The single-broadcast reward `psi(c, x)` of Eq. (1): weight times
+/// coverage fraction.
+///
+/// ```
+/// use mmph_core::psi;
+/// use mmph_geom::{Norm, Point};
+///
+/// let center = Point::new([0.0, 0.0]);
+/// let user = Point::new([0.5, 0.0]);
+/// // w (1 - d/r) = 2 * (1 - 0.5) = 1.0
+/// assert_eq!(psi(2.0, &center, &user, 1.0, Norm::L2), 1.0);
+/// ```
+#[inline]
+pub fn psi<const D: usize>(w: f64, c: &Point<D>, x: &Point<D>, r: f64, norm: Norm) -> f64 {
+    w * coverage_frac(norm.dist(c, x), r)
+}
+
+/// The exact objective `f(C)` of Eq. (7) for an arbitrary center set.
+///
+/// ```
+/// use mmph_core::{objective, InstanceBuilder};
+/// use mmph_geom::Point;
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .point([1.0, 0.0], 2.0)
+///     .radius(1.0)
+///     .k(1)
+///     .build()
+///     .unwrap();
+/// // A center on the second point earns its full weight; the first
+/// // point sits exactly on the rim (fraction 0).
+/// assert_eq!(objective(&inst, &[Point::new([1.0, 0.0])]), 2.0);
+/// ```
+pub fn objective<const D: usize>(inst: &Instance<D>, centers: &[Point<D>]) -> f64 {
+    let r = inst.radius();
+    let norm = inst.norm();
+    let kernel = inst.kernel();
+    let mut total = 0.0;
+    for (x, &w) in inst.points().iter().zip(inst.weights()) {
+        let mut cov = 0.0;
+        for c in centers {
+            cov += kernel.frac(norm.dist(c, x), r);
+            if cov >= 1.0 {
+                cov = 1.0;
+                break; // saturated; further centers cannot add reward
+            }
+        }
+        total += w * cov;
+    }
+    total
+}
+
+/// Coverage reward of a candidate center against the current residuals:
+/// `Σ_i w_i min([1 − d(c, x_i)/r]_+, y_i)` — the objective of the round
+/// subproblems, Eqs. (10), (13), (14), (15).
+pub fn coverage_reward<const D: usize>(
+    inst: &Instance<D>,
+    c: &Point<D>,
+    residuals: &Residuals,
+) -> f64 {
+    debug_assert_eq!(residuals.len(), inst.n());
+    let r = inst.radius();
+    let norm = inst.norm();
+    let kernel = inst.kernel();
+    let mut total = 0.0;
+    for i in 0..inst.n() {
+        let y = residuals.y(i);
+        if y <= 0.0 {
+            continue;
+        }
+        let frac = kernel.frac(norm.dist(c, inst.point(i)), r);
+        if frac > 0.0 {
+            total += inst.weight(i) * frac.min(y);
+        }
+    }
+    total
+}
+
+/// Residual satisfactions `y_i` (paper's `y_i^j`), the shared state of
+/// all round-based algorithms. `y_i` starts at 1 and decreases by the
+/// assigned fraction `z_i^j = min([1 − d/r]_+, y_i^j)` each round.
+///
+/// ```
+/// use mmph_core::{InstanceBuilder, Residuals};
+/// use mmph_geom::Point;
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .radius(2.0)
+///     .k(2)
+///     .build()
+///     .unwrap();
+/// let mut res = Residuals::new(inst.n());
+/// let c = Point::new([1.0, 0.0]); // coverage fraction 0.5
+/// assert_eq!(res.apply(&inst, &c), 0.5);
+/// assert_eq!(res.y(0), 0.5);
+/// assert_eq!(res.apply(&inst, &c), 0.5); // second pass claims the rest
+/// assert!(res.all_satisfied(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Residuals {
+    y: Vec<f64>,
+}
+
+impl Residuals {
+    /// Fresh residuals: `y_i = 1` for all `i` (line 1 of every
+    /// algorithm in the paper).
+    pub fn new(n: usize) -> Self {
+        Residuals { y: vec![1.0; n] }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the instance has no points (never via solvers; part of
+    /// the container contract).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Residual satisfaction of point `i`.
+    #[inline]
+    pub fn y(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// All residuals.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// True when every point is (numerically) fully satisfied, at which
+    /// point no further broadcast can add reward.
+    pub fn all_satisfied(&self, eps: f64) -> bool {
+        self.y.iter().all(|&y| y <= eps)
+    }
+
+    /// The assignment vector `z_i = min([1 − d/r]_+, y_i)` a center
+    /// would claim, without mutating the residuals.
+    pub fn assignments<const D: usize>(&self, inst: &Instance<D>, c: &Point<D>) -> Vec<f64> {
+        let r = inst.radius();
+        let norm = inst.norm();
+        let kernel = inst.kernel();
+        (0..inst.n())
+            .map(|i| kernel.frac(norm.dist(c, inst.point(i)), r).min(self.y[i]))
+            .collect()
+    }
+
+    /// Commits a selected center: subtracts its assignments from the
+    /// residuals and returns the round gain `Σ w_i z_i` (line 4 of
+    /// Algorithms 1–4).
+    pub fn apply<const D: usize>(&mut self, inst: &Instance<D>, c: &Point<D>) -> f64 {
+        debug_assert_eq!(self.len(), inst.n());
+        let r = inst.radius();
+        let norm = inst.norm();
+        let kernel = inst.kernel();
+        let mut gain = 0.0;
+        for i in 0..inst.n() {
+            let y = self.y[i];
+            if y <= 0.0 {
+                continue;
+            }
+            let z = kernel.frac(norm.dist(c, inst.point(i)), r).min(y);
+            if z > 0.0 {
+                gain += inst.weight(i) * z;
+                self.y[i] = y - z;
+            }
+        }
+        gain
+    }
+}
+
+/// Reward evaluation engine: computes coverage rewards either by linear
+/// scan or through a kd-tree radius query, and counts evaluations (used
+/// by the CELF ablation to demonstrate the saved work).
+#[derive(Debug)]
+pub struct RewardEngine<'a, const D: usize> {
+    inst: &'a Instance<D>,
+    index: Option<Index<D>>,
+    evals: std::cell::Cell<u64>,
+}
+
+/// The spatial index backing an indexed [`RewardEngine`].
+#[derive(Debug)]
+enum Index<const D: usize> {
+    Kd(KdTree<D>),
+    Ball(BallTree<D>),
+}
+
+impl<'a, const D: usize> RewardEngine<'a, D> {
+    /// Engine that evaluates by linear scan over all points.
+    pub fn scan(inst: &'a Instance<D>) -> Self {
+        RewardEngine {
+            inst,
+            index: None,
+            evals: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Engine backed by a kd-tree radius query. Worth it when the
+    /// interest radius covers a small fraction of the instance (see the
+    /// `ablation_spatial_index` bench for the crossover).
+    pub fn indexed(inst: &'a Instance<D>) -> Self {
+        RewardEngine {
+            inst,
+            index: Some(Index::Kd(KdTree::build(inst.points()))),
+            evals: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Engine backed by a ball-tree radius query — same results as
+    /// [`Self::indexed`], typically better pruning as `D` grows.
+    pub fn ball_indexed(inst: &'a Instance<D>) -> Self {
+        RewardEngine {
+            inst,
+            index: Some(Index::Ball(BallTree::build(inst.points()))),
+            evals: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The instance this engine evaluates against.
+    pub fn instance(&self) -> &Instance<D> {
+        self.inst
+    }
+
+    /// Number of coverage-reward evaluations performed so far.
+    pub fn evals(&self) -> u64 {
+        self.evals.get()
+    }
+
+    /// Coverage reward of `c` against `residuals` (Eq. 13's inner
+    /// objective), via the configured evaluation strategy.
+    pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
+        self.evals.set(self.evals.get() + 1);
+        let Some(index) = &self.index else {
+            return coverage_reward(self.inst, c, residuals);
+        };
+        let r = self.inst.radius();
+        let kernel = self.inst.kernel();
+        let mut total = 0.0;
+        let mut add = |i: usize, d: f64| {
+            let y = residuals.y(i);
+            if y > 0.0 {
+                total += self.inst.weight(i) * kernel.frac(d, r).min(y);
+            }
+        };
+        match index {
+            Index::Kd(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
+            Index::Ball(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use mmph_geom::Point;
+
+    fn line_instance(k: usize, r: f64) -> Instance<2> {
+        InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([1.0, 0.0], 2.0)
+            .point([2.0, 0.0], 3.0)
+            .radius(r)
+            .k(k)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn coverage_frac_cases() {
+        assert_eq!(coverage_frac(0.0, 1.0), 1.0); // at the center
+        assert_eq!(coverage_frac(1.0, 1.0), 0.0); // on the boundary
+        assert_eq!(coverage_frac(0.5, 1.0), 0.5);
+        assert_eq!(coverage_frac(2.0, 1.0), 0.0); // outside
+        assert_eq!(coverage_frac(3.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn psi_matches_equation_1() {
+        let c = Point::new([0.0, 0.0]);
+        let x = Point::new([0.6, 0.0]);
+        // w (1 - d/r) = 2 * (1 - 0.6/1.0) = 0.8
+        assert!((psi(2.0, &c, &x, 1.0, Norm::L2) - 0.8).abs() < 1e-12);
+        // outside the radius: zero
+        assert_eq!(psi(2.0, &c, &Point::new([1.5, 0.0]), 1.0, Norm::L2), 0.0);
+    }
+
+    #[test]
+    fn objective_single_center() {
+        let inst = line_instance(1, 1.0);
+        // Center at point 1 (1,0): covers p0 at d=1 (frac 0), p1 at d=0
+        // (frac 1), p2 at d=1 (frac 0). f = 2.
+        let f = objective(&inst, &[Point::new([1.0, 0.0])]);
+        assert!((f - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_caps_overlapping_centers() {
+        let inst = line_instance(2, 2.0);
+        // Two identical centers at p1: each gives p1 frac 1; cap keeps
+        // p1's contribution at w=2. p0/p2 at d=1, frac 0.5 each from both
+        // centers -> cov = 1.0 (capped exactly), contributing w each.
+        let c = Point::new([1.0, 0.0]);
+        let f = objective(&inst, &[c, c]);
+        assert!((f - (1.0 + 2.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_empty_center_set_is_zero() {
+        let inst = line_instance(1, 1.0);
+        assert_eq!(objective(&inst, &[]), 0.0);
+    }
+
+    #[test]
+    fn residuals_start_at_one_and_deplete() {
+        let inst = line_instance(2, 2.0);
+        let mut res = Residuals::new(inst.n());
+        assert_eq!(res.as_slice(), &[1.0, 1.0, 1.0]);
+        let c = Point::new([1.0, 0.0]);
+        let g1 = res.apply(&inst, &c);
+        // z = (0.5, 1.0, 0.5); gain = 1*0.5 + 2*1 + 3*0.5 = 4.0
+        assert!((g1 - 4.0).abs() < 1e-12);
+        assert!((res.y(0) - 0.5).abs() < 1e-12);
+        assert_eq!(res.y(1), 0.0);
+        assert!((res.y(2) - 0.5).abs() < 1e-12);
+        // Re-applying the same center claims only the residual halves.
+        let g2 = res.apply(&inst, &c);
+        assert!((g2 - (1.0 * 0.5 + 3.0 * 0.5)).abs() < 1e-12);
+        assert!(res.all_satisfied(1e-12));
+    }
+
+    #[test]
+    fn round_gains_telescope_to_objective() {
+        // The invariant that justifies Solution::total_reward.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..20);
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+                .collect();
+            let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..5.0)).collect();
+            let inst = Instance::new(pts.clone(), ws, 1.5, 3, Norm::L2).unwrap();
+            let centers: Vec<Point<2>> = (0..3)
+                .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+                .collect();
+            let mut res = Residuals::new(n);
+            let total: f64 = centers.iter().map(|c| res.apply(&inst, c)).sum();
+            let f = objective(&inst, &centers);
+            assert!(
+                (total - f).abs() < 1e-9,
+                "telescoped {total} vs objective {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_reward_respects_residuals() {
+        let inst = line_instance(1, 2.0);
+        let mut res = Residuals::new(inst.n());
+        let c = Point::new([1.0, 0.0]);
+        let before = coverage_reward(&inst, &c, &res);
+        assert!((before - 4.0).abs() < 1e-12);
+        res.apply(&inst, &c);
+        let after = coverage_reward(&inst, &c, &res);
+        assert!((after - 2.0).abs() < 1e-12); // only the residual halves
+    }
+
+    #[test]
+    fn assignments_do_not_mutate() {
+        let inst = line_instance(1, 2.0);
+        let res = Residuals::new(inst.n());
+        let c = Point::new([1.0, 0.0]);
+        let z = res.assignments(&inst, &c);
+        assert_eq!(z.len(), 3);
+        assert!((z[0] - 0.5).abs() < 1e-12);
+        assert!((z[1] - 1.0).abs() < 1e-12);
+        assert_eq!(res.as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn engine_scan_and_indexed_agree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(88);
+        let pts: Vec<Point<2>> = (0..100)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..100).map(|_| rng.gen_range(1.0..5.0)).collect();
+        for norm in [Norm::L1, Norm::L2] {
+            let inst = Instance::new(pts.clone(), ws.clone(), 1.0, 2, norm).unwrap();
+            let scan = RewardEngine::scan(&inst);
+            let indexed = RewardEngine::indexed(&inst);
+            let mut res = Residuals::new(inst.n());
+            for trial in 0..20 {
+                let c = Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]);
+                let a = scan.gain(&c, &res);
+                let b = indexed.gain(&c, &res);
+                assert!((a - b).abs() < 1e-9, "trial {trial} norm {norm}: {a} vs {b}");
+                if trial == 9 {
+                    res.apply(&inst, &c); // change residual state mid-way
+                }
+            }
+            assert_eq!(scan.evals(), 20);
+            assert_eq!(indexed.evals(), 20);
+        }
+    }
+
+    #[test]
+    fn ball_engine_agrees_with_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        let pts: Vec<Point<2>> = (0..80)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let inst = Instance::new(pts, vec![1.0; 80], 1.2, 2, Norm::L2).unwrap();
+        let scan = RewardEngine::scan(&inst);
+        let ball = RewardEngine::ball_indexed(&inst);
+        let res = Residuals::new(inst.n());
+        for _ in 0..25 {
+            let c = Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]);
+            assert!((scan.gain(&c, &res) - ball.gain(&c, &res)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn engine_counts_evaluations() {
+        let inst = line_instance(1, 1.0);
+        let engine = RewardEngine::scan(&inst);
+        let res = Residuals::new(inst.n());
+        assert_eq!(engine.evals(), 0);
+        engine.gain(&Point::new([0.0, 0.0]), &res);
+        engine.gain(&Point::new([1.0, 0.0]), &res);
+        assert_eq!(engine.evals(), 2);
+    }
+
+    #[test]
+    fn l1_norm_reward() {
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.5, 0.5], 1.0)
+            .radius(1.0)
+            .k(1)
+            .norm(Norm::L1)
+            .build()
+            .unwrap();
+        // L1 distance from origin to (0.5, 0.5) is 1.0: boundary, frac 0.
+        let f = objective(&inst, &[Point::new([0.0, 0.0])]);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+}

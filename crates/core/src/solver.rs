@@ -1,0 +1,169 @@
+//! The [`Solver`] trait and [`Solution`] type shared by all algorithms.
+
+use mmph_geom::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::instance::Instance;
+use crate::reward::{objective, Residuals, RewardEngine};
+use crate::Result;
+
+/// A solver for the optimal content distribution problem: selects
+/// `inst.k()` broadcast centers.
+pub trait Solver<const D: usize> {
+    /// Short identifier (e.g. `"greedy3"`), used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Solves the instance, returning the selected centers with
+    /// per-round bookkeeping.
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>>;
+}
+
+/// The output of a solve: centers in selection order plus per-round
+/// gains, whose sum equals `f(centers)` exactly (see
+/// [`crate::reward::Residuals`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution<const D: usize> {
+    /// Name of the solver that produced this solution.
+    pub solver: String,
+    /// Selected centers, in round order.
+    pub centers: Vec<Point<D>>,
+    /// Coverage reward gained in each round (the paper's `g(j)`;
+    /// Table I reports exactly these numbers).
+    pub round_gains: Vec<f64>,
+    /// Total reward `Σ_j g(j) = f(centers)`.
+    pub total_reward: f64,
+    /// Number of coverage-reward evaluations performed (work metric for
+    /// the CELF ablation).
+    pub evals: u64,
+    /// Per-round assignment vectors `z_i^j` when tracing was enabled.
+    pub assignments: Option<Vec<Vec<f64>>>,
+}
+
+impl<const D: usize> Solution<D> {
+    /// Recomputes `f(centers)` from scratch and asserts it matches the
+    /// telescoped `total_reward`. Used in tests and debug assertions.
+    pub fn verify_consistency(&self, inst: &Instance<D>) -> bool {
+        let f = objective(inst, &self.centers);
+        (f - self.total_reward).abs() <= 1e-9 * (1.0 + f.abs())
+    }
+
+    /// The cumulative reward after each round (`f(j)` in the paper's
+    /// Theorem proofs).
+    pub fn cumulative_gains(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.round_gains
+            .iter()
+            .map(|g| {
+                acc += g;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Runs the shared round loop of Algorithms 1–4: `k` rounds, each round
+/// asking `pick` for a center given the engine and current residuals,
+/// then committing it. Returns the assembled [`Solution`].
+///
+/// `pick` receives the 0-based round number; tie-breaking and candidate
+/// policy live entirely inside it, which is the only place the four
+/// algorithms differ.
+pub(crate) fn run_rounds<const D: usize>(
+    name: &str,
+    inst: &Instance<D>,
+    engine: &RewardEngine<'_, D>,
+    trace: bool,
+    mut pick: impl FnMut(&RewardEngine<'_, D>, &Residuals, usize) -> Point<D>,
+) -> Solution<D> {
+    let mut residuals = Residuals::new(inst.n());
+    let mut centers = Vec::with_capacity(inst.k());
+    let mut round_gains = Vec::with_capacity(inst.k());
+    let mut assignments = trace.then(Vec::new);
+    for round in 0..inst.k() {
+        let c = pick(engine, &residuals, round);
+        if let Some(tr) = assignments.as_mut() {
+            tr.push(residuals.assignments(inst, &c));
+        }
+        let gain = residuals.apply(inst, &c);
+        centers.push(c);
+        round_gains.push(gain);
+    }
+    let total_reward = round_gains.iter().sum();
+    Solution {
+        solver: name.to_owned(),
+        centers,
+        round_gains,
+        total_reward,
+        evals: engine.evals(),
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst() -> Instance<2> {
+        InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([2.0, 0.0], 2.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_rounds_assembles_solution() {
+        let inst = inst();
+        let engine = RewardEngine::scan(&inst);
+        let sol = run_rounds("test", &inst, &engine, true, |_, _, round| {
+            *inst.point(round)
+        });
+        assert_eq!(sol.solver, "test");
+        assert_eq!(sol.centers.len(), 2);
+        assert_eq!(sol.round_gains, vec![1.0, 2.0]);
+        assert_eq!(sol.total_reward, 3.0);
+        assert!(sol.verify_consistency(&inst));
+        let tr = sol.assignments.unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0], vec![1.0, 0.0]);
+        assert_eq!(tr[1], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn cumulative_gains() {
+        let sol = Solution::<2> {
+            solver: "s".into(),
+            centers: vec![],
+            round_gains: vec![3.0, 2.0, 1.0],
+            total_reward: 6.0,
+            evals: 0,
+            assignments: None,
+        };
+        assert_eq!(sol.cumulative_gains(), vec![3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn verify_consistency_detects_mismatch() {
+        let inst = inst();
+        let sol = Solution {
+            solver: "bad".into(),
+            centers: vec![*inst.point(0)],
+            round_gains: vec![99.0],
+            total_reward: 99.0,
+            evals: 0,
+            assignments: None,
+        };
+        assert!(!sol.verify_consistency(&inst));
+    }
+
+    #[test]
+    fn trace_disabled_by_default_shape() {
+        let inst = inst();
+        let engine = RewardEngine::scan(&inst);
+        let sol = run_rounds("t", &inst, &engine, false, |_, _, _| *inst.point(0));
+        assert!(sol.assignments.is_none());
+    }
+}

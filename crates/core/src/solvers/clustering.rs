@@ -1,0 +1,370 @@
+//! Clustering baselines (extension).
+//!
+//! The paper's related work connects the problem to **facility
+//! location** (§II-C: the smallest circle problem "is an example of a
+//! facility location problem"). The natural facility-location baselines
+//! are therefore worth having on the shelf:
+//!
+//! * [`KCenter`] — Gonzalez's farthest-point traversal, the classic
+//!   2-approximation for minimax k-center. It optimizes the *wrong*
+//!   objective (cover everyone's distance, ignore weights and the
+//!   reward cap), which is exactly why it makes an instructive
+//!   baseline: it spreads centers for worst-case coverage rather than
+//!   chasing reward mass.
+//! * [`KMeans`] — weighted Lloyd's algorithm (k-means) seeded by
+//!   [`KCenter`]. Minimizes weighted squared Euclidean distortion;
+//!   again reward-agnostic, but its centroids land near dense weighted
+//!   clusters, so it often scores surprisingly well under the paper's
+//!   linear kernel.
+//!
+//! Both implement [`Solver`], so they drop into every harness, table
+//! and figure next to the paper's greedies.
+
+use mmph_geom::{Norm, Point};
+
+use crate::instance::Instance;
+use crate::reward::Residuals;
+use crate::solver::{Solution, Solver};
+use crate::{CoreError, Result};
+
+/// Gonzalez's farthest-point k-center baseline.
+#[derive(Debug, Clone, Default)]
+pub struct KCenter;
+
+impl KCenter {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        KCenter
+    }
+
+    /// The raw farthest-point traversal: returns the chosen point
+    /// indices (first center = the point of maximum weight, a
+    /// deterministic and sensible anchor).
+    pub fn select<const D: usize>(inst: &Instance<D>) -> Vec<usize> {
+        let n = inst.n();
+        let k = inst.k().min(n);
+        let norm = inst.norm();
+        let mut chosen = Vec::with_capacity(k);
+        // Anchor: heaviest point (ties -> smallest index).
+        let mut first = 0;
+        for i in 1..n {
+            if inst.weight(i) > inst.weight(first) {
+                first = i;
+            }
+        }
+        chosen.push(first);
+        // dist[i] = distance from i to its nearest chosen center.
+        let mut dist: Vec<f64> = (0..n)
+            .map(|i| norm.dist(inst.point(i), inst.point(first)))
+            .collect();
+        while chosen.len() < k {
+            let mut far = 0;
+            for i in 1..n {
+                if dist[i] > dist[far] {
+                    far = i;
+                }
+            }
+            chosen.push(far);
+            for i in 0..n {
+                let d = norm.dist(inst.point(i), inst.point(far));
+                if d < dist[i] {
+                    dist[i] = d;
+                }
+            }
+        }
+        chosen
+    }
+}
+
+impl<const D: usize> Solver<D> for KCenter {
+    fn name(&self) -> &'static str {
+        "kcenter"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        let mut centers: Vec<Point<D>> = KCenter::select(inst)
+            .into_iter()
+            .map(|i| *inst.point(i))
+            .collect();
+        // k > n: pad by repeating the anchor (legal multiset).
+        while centers.len() < inst.k() {
+            centers.push(centers[0]);
+        }
+        Ok(finish("kcenter", inst, centers))
+    }
+}
+
+/// Weighted Lloyd's algorithm (k-means), seeded by the k-center
+/// traversal. Euclidean-only by nature (centroids minimize squared L2);
+/// rejected for other norms.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    max_iters: usize,
+    tol: f64,
+}
+
+impl Default for KMeans {
+    fn default() -> Self {
+        KMeans {
+            max_iters: 100,
+            tol: 1e-9,
+        }
+    }
+}
+
+impl KMeans {
+    /// Default configuration (up to 100 Lloyd iterations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of Lloyd iterations.
+    pub fn with_max_iters(mut self, iters: usize) -> Result<Self> {
+        if iters == 0 {
+            return Err(CoreError::InvalidConfig("max_iters must be >= 1".into()));
+        }
+        self.max_iters = iters;
+        Ok(self)
+    }
+
+    /// Runs weighted Lloyd iterations from the given initial centers;
+    /// returns the final centers.
+    pub fn lloyd<const D: usize>(
+        &self,
+        inst: &Instance<D>,
+        mut centers: Vec<Point<D>>,
+    ) -> Vec<Point<D>> {
+        let n = inst.n();
+        let k = centers.len();
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.max_iters {
+            // Assignment step (squared L2).
+            for i in 0..n {
+                let p = inst.point(i);
+                let mut best = 0;
+                let mut best_d = p.dist_sq(&centers[0]);
+                for (j, c) in centers.iter().enumerate().skip(1) {
+                    let d = p.dist_sq(c);
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                assign[i] = best;
+            }
+            // Update step: weighted centroids.
+            let mut sums = vec![Point::<D>::ORIGIN; k];
+            let mut mass = vec![0.0f64; k];
+            for i in 0..n {
+                let j = assign[i];
+                sums[j] += *inst.point(i) * inst.weight(i);
+                mass[j] += inst.weight(i);
+            }
+            let mut moved: f64 = 0.0;
+            for j in 0..k {
+                if mass[j] > 0.0 {
+                    let next = sums[j] / mass[j];
+                    moved = moved.max(next.dist_l2(&centers[j]));
+                    centers[j] = next;
+                }
+                // Empty cluster: keep the old center (deterministic).
+            }
+            if moved <= self.tol {
+                break;
+            }
+        }
+        centers
+    }
+}
+
+impl<const D: usize> Solver<D> for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        if inst.norm() != Norm::L2 {
+            return Err(CoreError::InvalidConfig(format!(
+                "kmeans centroids assume the L2 norm; instance uses {}",
+                inst.norm()
+            )));
+        }
+        let mut seed: Vec<Point<D>> = KCenter::select(inst)
+            .into_iter()
+            .map(|i| *inst.point(i))
+            .collect();
+        while seed.len() < inst.k() {
+            seed.push(seed[0]);
+        }
+        let centers = self.lloyd(inst, seed);
+        Ok(finish("kmeans", inst, centers))
+    }
+}
+
+/// Packages arbitrary centers as a [`Solution`] with replayed per-round
+/// gains.
+fn finish<const D: usize>(name: &str, inst: &Instance<D>, centers: Vec<Point<D>>) -> Solution<D> {
+    let mut residuals = Residuals::new(inst.n());
+    let round_gains: Vec<f64> = centers.iter().map(|c| residuals.apply(inst, c)).collect();
+    let total_reward = round_gains.iter().sum();
+    Solution {
+        solver: name.to_owned(),
+        centers,
+        round_gains,
+        total_reward,
+        evals: 0,
+        assignments: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::solvers::LocalGreedy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, 1.0, k, Norm::L2).unwrap()
+    }
+
+    #[test]
+    fn kcenter_picks_spread_out_points() {
+        // Two tight clusters: the two centers must land in different
+        // clusters (that is the whole point of farthest-point traversal).
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.1, 0.0], 1.0)
+            .point([4.0, 4.0], 1.0)
+            .point([3.9, 4.0], 1.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let idx = KCenter::select(&inst);
+        let a = inst.point(idx[0]);
+        let b = inst.point(idx[1]);
+        assert!(a.dist_l2(b) > 5.0, "centers {a} and {b} not spread");
+    }
+
+    #[test]
+    fn kcenter_anchor_is_heaviest_point() {
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([2.0, 2.0], 5.0)
+            .point([4.0, 0.0], 2.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        assert_eq!(KCenter::select(&inst)[0], 1);
+    }
+
+    #[test]
+    fn kcenter_solution_is_consistent() {
+        let inst = random_instance(30, 4, 1);
+        let sol = KCenter::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 4);
+        assert!(sol.verify_consistency(&inst));
+    }
+
+    #[test]
+    fn kcenter_pads_when_k_exceeds_n() {
+        let inst = InstanceBuilder::new()
+            .point([1.0, 1.0], 1.0)
+            .point([2.0, 2.0], 1.0)
+            .radius(1.0)
+            .k(4)
+            .build()
+            .unwrap();
+        let sol = KCenter::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 4);
+        assert!(sol.verify_consistency(&inst));
+    }
+
+    #[test]
+    fn kmeans_requires_l2() {
+        let inst = random_instance(10, 2, 2).with_norm(Norm::L1).unwrap();
+        assert!(matches!(
+            KMeans::new().solve(&inst),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn kmeans_centroids_settle_on_clusters() {
+        // Two clusters with distinct masses: Lloyd must place one
+        // centroid per cluster near the weighted centroid.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.2, 0.0], 1.0)
+            .point([3.8, 4.0], 1.0)
+            .point([4.0, 4.0], 1.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = KMeans::new().solve(&inst).unwrap();
+        let mut xs: Vec<f64> = sol.centers.iter().map(|c| c[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!((xs[0] - 0.1).abs() < 1e-9, "low centroid {}", xs[0]);
+        assert!((xs[1] - 3.9).abs() < 1e-9, "high centroid {}", xs[1]);
+    }
+
+    #[test]
+    fn kmeans_respects_weights() {
+        // One cluster, two points of very different weight: the single
+        // centroid must sit close to the heavy point.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 9.0)
+            .point([1.0, 0.0], 1.0)
+            .radius(2.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let sol = KMeans::new().solve(&inst).unwrap();
+        assert!((sol.centers[0][0] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_beats_or_ties_baselines_on_reward() {
+        // The baselines optimize different objectives; on the reward
+        // metric the purpose-built greedy must win on average.
+        let mut greedy_wins = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let inst = random_instance(40, 4, 100 + seed);
+            let g2 = LocalGreedy::new().solve(&inst).unwrap();
+            let kc = KCenter::new().solve(&inst).unwrap();
+            let km = KMeans::new().solve(&inst).unwrap();
+            if g2.total_reward >= kc.total_reward - 1e-9
+                && g2.total_reward >= km.total_reward - 1e-9
+            {
+                greedy_wins += 1;
+            }
+        }
+        assert!(greedy_wins >= trials * 3 / 4, "greedy won only {greedy_wins}/{trials}");
+    }
+
+    #[test]
+    fn lloyd_is_deterministic() {
+        let inst = random_instance(25, 3, 5);
+        let a = KMeans::new().solve(&inst).unwrap();
+        let b = KMeans::new().solve(&inst).unwrap();
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    fn kmeans_iteration_cap_config() {
+        assert!(KMeans::new().with_max_iters(0).is_err());
+        let inst = random_instance(20, 2, 6);
+        let one_iter = KMeans::new().with_max_iters(1).unwrap().solve(&inst).unwrap();
+        assert!(one_iter.verify_consistency(&inst));
+    }
+}

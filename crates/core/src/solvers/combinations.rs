@@ -1,0 +1,296 @@
+//! Enumeration of k-combinations, used by the exhaustive baseline.
+//!
+//! Callback-based so the hot loop runs with a single reusable index
+//! buffer and zero allocation per combination.
+
+/// Number of k-combinations of n items, `C(n, k)`, computed without
+/// overflow for the sizes the exhaustive solver accepts.
+pub fn count(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+/// Calls `f` with every k-combination of `0..n` in lexicographic order.
+/// The slice passed to `f` is a reused buffer; copy it if you need to
+/// keep it.
+pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    if k == 0 {
+        f(&[]);
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Calls `f` with every k-combination of `0..n` whose smallest element is
+/// `first`, in lexicographic order. Lets callers parallelize over the
+/// first element while keeping the zero-allocation inner enumeration.
+pub fn for_each_combination_with_first(
+    n: usize,
+    k: usize,
+    first: usize,
+    mut f: impl FnMut(&[usize]),
+) {
+    debug_assert!(k >= 1);
+    if first >= n || k > n - first {
+        return;
+    }
+    let mut idx = vec![0usize; k];
+    idx[0] = first;
+    for_each_combination(n - first - 1, k - 1, |rest| {
+        for (slot, &r) in idx[1..].iter_mut().zip(rest) {
+            *slot = first + 1 + r;
+        }
+        f(&idx);
+    });
+}
+
+/// Number of k-multicombinations (combinations with repetition) of n
+/// items: `C(n + k - 1, k)`.
+pub fn multiset_count(n: usize, k: usize) -> u128 {
+    if n == 0 {
+        return if k == 0 { 1 } else { 0 };
+    }
+    count(n + k - 1, k)
+}
+
+/// Calls `f` with every k-multicombination of `0..n` (non-decreasing
+/// index tuples) in lexicographic order. Needed by the exhaustive
+/// baseline because a *repeated* broadcast center is legal in the
+/// paper's model — coverage fractions from duplicate centers stack up
+/// to the cap — and occasionally optimal.
+pub fn for_each_multicombination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k == 0 {
+        f(&[]);
+        return;
+    }
+    if n == 0 {
+        return;
+    }
+    let mut idx = vec![0usize; k];
+    loop {
+        f(&idx);
+        // Advance: find the rightmost slot that can still grow.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] + 1 < n {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        let v = idx[i] + 1;
+        for slot in idx[i..].iter_mut() {
+            *slot = v;
+        }
+    }
+}
+
+/// Calls `f` with every k-multicombination of `0..n` whose smallest
+/// element is exactly `first`.
+pub fn for_each_multicombination_with_first(
+    n: usize,
+    k: usize,
+    first: usize,
+    mut f: impl FnMut(&[usize]),
+) {
+    debug_assert!(k >= 1);
+    if first >= n {
+        return;
+    }
+    let mut idx = vec![first; k];
+    for_each_multicombination(n - first, k - 1, |rest| {
+        for (slot, &r) in idx[1..].iter_mut().zip(rest) {
+            *slot = first + r;
+        }
+        f(&idx);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for_each_combination(n, k, |c| out.push(c.to_vec()));
+        out
+    }
+
+    #[test]
+    fn count_known_values() {
+        assert_eq!(count(5, 2), 10);
+        assert_eq!(count(40, 4), 91_390);
+        assert_eq!(count(10, 0), 1);
+        assert_eq!(count(10, 10), 1);
+        assert_eq!(count(3, 5), 0);
+        assert_eq!(count(160, 4), 26_294_360);
+    }
+
+    #[test]
+    fn enumerates_5_choose_2() {
+        let all = collect(5, 2);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0], vec![0, 1]);
+        assert_eq!(all[1], vec![0, 2]);
+        assert_eq!(all[9], vec![3, 4]);
+        // Lexicographic order.
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        for n in 0..8 {
+            for k in 0..=n {
+                assert_eq!(collect(n, k).len() as u128, count(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_yields_empty_combination() {
+        assert_eq!(collect(4, 0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        assert_eq!(collect(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn k_greater_than_n_yields_nothing() {
+        assert!(collect(2, 3).is_empty());
+    }
+
+    #[test]
+    fn with_first_partitions_the_space() {
+        let n = 7;
+        let k = 3;
+        let mut partitioned = Vec::new();
+        for first in 0..n {
+            for_each_combination_with_first(n, k, first, |c| {
+                assert_eq!(c[0], first);
+                partitioned.push(c.to_vec());
+            });
+        }
+        partitioned.sort();
+        assert_eq!(partitioned, collect(n, k));
+    }
+
+    #[test]
+    fn with_first_out_of_range_is_empty() {
+        let mut called = false;
+        for_each_combination_with_first(5, 3, 4, |_| called = true);
+        assert!(!called); // only 1 element follows index 4, need 2
+        for_each_combination_with_first(5, 3, 9, |_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn combinations_are_strictly_increasing() {
+        for_each_combination(6, 3, |c| {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        });
+    }
+
+    fn collect_multi(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for_each_multicombination(n, k, |c| out.push(c.to_vec()));
+        out
+    }
+
+    #[test]
+    fn multiset_count_known_values() {
+        assert_eq!(multiset_count(3, 2), 6); // 00 01 02 11 12 22
+        assert_eq!(multiset_count(40, 4), 123_410); // C(43, 4)
+        assert_eq!(multiset_count(5, 0), 1);
+        assert_eq!(multiset_count(0, 0), 1);
+        assert_eq!(multiset_count(0, 3), 0);
+    }
+
+    #[test]
+    fn multicombination_enumeration_matches_count() {
+        for n in 0..7 {
+            for k in 0..5 {
+                assert_eq!(
+                    collect_multi(n, k).len() as u128,
+                    multiset_count(n, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multicombinations_are_nondecreasing_and_ordered() {
+        let all = collect_multi(4, 3);
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] <= w[1]));
+        }
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "not lexicographic: {:?} then {:?}", w[0], w[1]);
+        }
+        assert_eq!(all[0], vec![0, 0, 0]);
+        assert_eq!(all.last().unwrap(), &vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn multicombination_includes_repeats() {
+        let all = collect_multi(3, 2);
+        assert!(all.contains(&vec![1, 1]));
+        assert!(all.contains(&vec![0, 2]));
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn multi_with_first_partitions_the_space() {
+        let n = 5;
+        let k = 3;
+        let mut partitioned = Vec::new();
+        for first in 0..n {
+            for_each_multicombination_with_first(n, k, first, |c| {
+                assert_eq!(c[0], first);
+                partitioned.push(c.to_vec());
+            });
+        }
+        partitioned.sort();
+        assert_eq!(partitioned, collect_multi(n, k));
+    }
+}

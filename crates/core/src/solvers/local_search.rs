@@ -1,0 +1,209 @@
+//! Swap local search (extension).
+//!
+//! Classic post-processing for submodular maximization (Nemhauser,
+//! Wolsey & Fisher 1978): start from a feasible center multiset (here:
+//! Algorithm 2's output) and repeatedly apply the best single-center
+//! swap `C ← C − {c} + {p}` over point-located candidates while it
+//! improves `f`. For monotone submodular objectives, swap-stable
+//! solutions are within factor 1/2 of optimal even from arbitrary
+//! starts; seeded with the greedy the practical gap is far smaller.
+//!
+//! The paper stops at one-shot greedies; this shows how much a cheap
+//! polish recovers (`ablation` benches compare against greedy 2 and
+//! the exhaustive optimum).
+
+use crate::instance::Instance;
+use crate::reward::objective;
+use crate::solver::{Solution, Solver};
+use crate::solvers::LocalGreedy;
+use crate::{CoreError, Result};
+
+/// Greedy-seeded best-improvement swap local search.
+#[derive(Debug, Clone)]
+pub struct LocalSearch {
+    max_passes: usize,
+    min_improvement: f64,
+}
+
+impl Default for LocalSearch {
+    fn default() -> Self {
+        LocalSearch {
+            max_passes: 50,
+            min_improvement: 1e-9,
+        }
+    }
+}
+
+impl LocalSearch {
+    /// Default configuration (up to 50 full swap passes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of full passes over all (center, candidate)
+    /// swaps.
+    pub fn with_max_passes(mut self, passes: usize) -> Result<Self> {
+        if passes == 0 {
+            return Err(CoreError::InvalidConfig(
+                "max_passes must be >= 1".into(),
+            ));
+        }
+        self.max_passes = passes;
+        Ok(self)
+    }
+}
+
+impl<const D: usize> Solver<D> for LocalSearch {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        // Seed with Algorithm 2.
+        let seed = LocalGreedy::new().solve(inst)?;
+        let mut centers = seed.centers;
+        let mut best_f = seed.total_reward;
+        let mut evals = seed.evals;
+        for _pass in 0..self.max_passes {
+            let mut best_swap: Option<(usize, usize, f64)> = None;
+            for slot in 0..centers.len() {
+                let original = centers[slot];
+                for cand in 0..inst.n() {
+                    let p = *inst.point(cand);
+                    if p == original {
+                        continue;
+                    }
+                    centers[slot] = p;
+                    evals += 1;
+                    let f = objective(inst, &centers);
+                    if f > best_f + self.min_improvement
+                        && best_swap.is_none_or(|(_, _, bf)| f > bf)
+                    {
+                        best_swap = Some((slot, cand, f));
+                    }
+                }
+                centers[slot] = original;
+            }
+            match best_swap {
+                Some((slot, cand, f)) => {
+                    centers[slot] = *inst.point(cand);
+                    best_f = f;
+                }
+                None => break, // swap-stable
+            }
+        }
+        // Re-derive per-round gains by replaying the final centers.
+        let mut residuals = crate::reward::Residuals::new(inst.n());
+        let round_gains: Vec<f64> = centers.iter().map(|c| residuals.apply(inst, c)).collect();
+        let total_reward = round_gains.iter().sum();
+        Ok(Solution {
+            solver: Solver::<D>::name(self).to_owned(),
+            centers,
+            round_gains,
+            total_reward,
+            evals,
+            assignments: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::Exhaustive;
+    use mmph_geom::{Norm, Point};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, 1.0, k, Norm::L2).unwrap()
+    }
+
+    #[test]
+    fn never_worse_than_greedy_seed() {
+        for seed in 0..15 {
+            let inst = random_instance(20, 3, seed);
+            let greedy = LocalGreedy::new().solve(&inst).unwrap();
+            let polished = LocalSearch::new().solve(&inst).unwrap();
+            assert!(
+                polished.total_reward >= greedy.total_reward - 1e-9,
+                "seed {seed}"
+            );
+            assert!(polished.verify_consistency(&inst));
+        }
+    }
+
+    #[test]
+    fn bounded_by_exhaustive() {
+        for seed in 0..8 {
+            let inst = random_instance(12, 2, seed);
+            let opt = Exhaustive::new().solve(&inst).unwrap();
+            let polished = LocalSearch::new().solve(&inst).unwrap();
+            assert!(polished.total_reward <= opt.total_reward + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strictly_improves_on_some_instances() {
+        // Greedy 2 is suboptimal on a sizeable fraction of random
+        // instances (its mean ratio is ≈ 99%, not 100%); the swap polish
+        // must close part of that gap somewhere in this seed range.
+        let mut improved = 0;
+        let mut closed_to_opt = 0;
+        for seed in 0..30 {
+            let inst = random_instance(14, 3, 1000 + seed);
+            let greedy = LocalGreedy::new().solve(&inst).unwrap();
+            let polished = LocalSearch::new().solve(&inst).unwrap();
+            let opt = Exhaustive::new().solve(&inst).unwrap();
+            assert!(polished.total_reward >= greedy.total_reward - 1e-9);
+            assert!(polished.total_reward <= opt.total_reward + 1e-9);
+            if polished.total_reward > greedy.total_reward + 1e-9 {
+                improved += 1;
+            }
+            if (polished.total_reward - opt.total_reward).abs() < 1e-9 {
+                closed_to_opt += 1;
+            }
+        }
+        assert!(improved >= 1, "local search never improved on the seed range");
+        assert!(closed_to_opt >= 15, "optimal on only {closed_to_opt}/30");
+    }
+
+    #[test]
+    fn stable_solution_terminates_early() {
+        let inst = random_instance(15, 2, 3);
+        let a = LocalSearch::new().solve(&inst).unwrap();
+        let b = LocalSearch::new()
+            .with_max_passes(1000)
+            .unwrap()
+            .solve(&inst)
+            .unwrap();
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(LocalSearch::new().with_max_passes(0).is_err());
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<Point<3>> = (0..15)
+            .map(|_| {
+                Point::new([
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                ])
+            })
+            .collect();
+        let inst = Instance::unweighted(pts, 1.5, 2, Norm::L1).unwrap();
+        let sol = LocalSearch::new().solve(&inst).unwrap();
+        assert!(sol.verify_consistency(&inst));
+    }
+}

@@ -1,0 +1,218 @@
+//! Partial enumeration + greedy completion (extension).
+//!
+//! Khuller, Moss & Naor's technique for budgeted maximum coverage
+//! (which the paper cites as related work, §II-B): exhaustively try
+//! every size-`t` prefix of point-located centers, complete each with
+//! the residual greedy, and return the best. `t = 0` is exactly
+//! Algorithm 2; larger `t` trades `O(n^t)` extra work for strictly
+//! better worst cases (the greedy's pathological first pick is ruled
+//! out by enumeration).
+
+use mmph_geom::Point;
+use rayon::prelude::*;
+
+use crate::instance::Instance;
+use crate::reward::{Residuals, RewardEngine};
+use crate::solver::{Solution, Solver};
+use crate::solvers::combinations::{for_each_multicombination, multiset_count};
+use crate::solvers::local_greedy::best_point_candidate;
+use crate::{CoreError, Result};
+
+/// Greedy with an exhaustively enumerated size-`t` prefix.
+#[derive(Debug, Clone)]
+pub struct SeededGreedy {
+    prefix: usize,
+    parallel: bool,
+    /// Safety cap on enumerated prefixes.
+    max_prefixes: u128,
+}
+
+impl Default for SeededGreedy {
+    fn default() -> Self {
+        SeededGreedy {
+            prefix: 1,
+            parallel: true,
+            max_prefixes: 10_000_000,
+        }
+    }
+}
+
+impl SeededGreedy {
+    /// Default: enumerate all single-center prefixes (`t = 1`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the enumerated prefix length `t` (0 = plain Algorithm 2).
+    pub fn with_prefix(mut self, t: usize) -> Self {
+        self.prefix = t;
+        self
+    }
+
+    /// Runs the prefix enumeration single-threaded.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Completes a fixed prefix greedily and returns (gains, centers).
+    fn complete<const D: usize>(
+        &self,
+        inst: &Instance<D>,
+        prefix: &[usize],
+    ) -> (Vec<Point<D>>, Vec<f64>, u64) {
+        let engine = RewardEngine::scan(inst);
+        let mut residuals = Residuals::new(inst.n());
+        let mut centers = Vec::with_capacity(inst.k());
+        let mut gains = Vec::with_capacity(inst.k());
+        for &i in prefix {
+            let c = *inst.point(i);
+            gains.push(residuals.apply(inst, &c));
+            centers.push(c);
+        }
+        for _ in prefix.len()..inst.k() {
+            let c = best_point_candidate(&engine, &residuals);
+            gains.push(residuals.apply(inst, &c));
+            centers.push(c);
+        }
+        (centers, gains, engine.evals())
+    }
+}
+
+impl<const D: usize> Solver<D> for SeededGreedy {
+    fn name(&self) -> &'static str {
+        "greedy2-seeded"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        let t = self.prefix.min(inst.k());
+        let total = multiset_count(inst.n(), t);
+        if total > self.max_prefixes {
+            return Err(CoreError::InvalidConfig(format!(
+                "seeded greedy would enumerate {total} prefixes (cap {})",
+                self.max_prefixes
+            )));
+        }
+        // Materialize the prefixes (cheap relative to completions).
+        let mut prefixes: Vec<Vec<usize>> = Vec::new();
+        for_each_multicombination(inst.n(), t, |p| prefixes.push(p.to_vec()));
+        let run = |prefix: &Vec<usize>| {
+            let (centers, gains, evals) = self.complete(inst, prefix);
+            let total: f64 = gains.iter().sum();
+            (total, centers, gains, evals)
+        };
+        let results: Vec<(f64, Vec<Point<D>>, Vec<f64>, u64)> = if self.parallel {
+            prefixes.par_iter().map(run).collect()
+        } else {
+            prefixes.iter().map(run).collect()
+        };
+        let mut evals = 0;
+        let mut best: Option<&(f64, Vec<Point<D>>, Vec<f64>, u64)> = None;
+        for r in &results {
+            evals += r.3;
+            // Strict `>` keeps the lexicographically first prefix on
+            // ties (prefixes are generated in lexicographic order).
+            if best.is_none_or(|b| r.0 > b.0) {
+                best = Some(r);
+            }
+        }
+        let (total_reward, centers, round_gains, _) =
+            best.expect("at least the empty prefix").clone();
+        Ok(Solution {
+            solver: Solver::<D>::name(self).to_owned(),
+            centers,
+            round_gains,
+            total_reward,
+            evals,
+            assignments: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{Exhaustive, LocalGreedy};
+    use mmph_geom::Norm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, 1.0, k, Norm::L2).unwrap()
+    }
+
+    #[test]
+    fn prefix_zero_equals_local_greedy() {
+        for seed in 0..10 {
+            let inst = random_instance(20, 3, seed);
+            let plain = LocalGreedy::new().solve(&inst).unwrap();
+            let seeded = SeededGreedy::new().with_prefix(0).solve(&inst).unwrap();
+            assert_eq!(plain.centers, seeded.centers, "seed {seed}");
+            assert!((plain.total_reward - seeded.total_reward).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn never_worse_than_plain_greedy() {
+        for t in [1usize, 2] {
+            for seed in 0..10 {
+                let inst = random_instance(15, 3, seed);
+                let plain = LocalGreedy::new().solve(&inst).unwrap();
+                let seeded = SeededGreedy::new().with_prefix(t).solve(&inst).unwrap();
+                assert!(
+                    seeded.total_reward >= plain.total_reward - 1e-9,
+                    "t={t} seed={seed}"
+                );
+                assert!(seeded.verify_consistency(&inst));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_k_equals_exhaustive() {
+        // Enumerating the entire selection IS the exhaustive search.
+        for seed in 0..5 {
+            let inst = random_instance(10, 2, seed);
+            let opt = Exhaustive::new().solve(&inst).unwrap();
+            let seeded = SeededGreedy::new().with_prefix(2).solve(&inst).unwrap();
+            assert!(
+                (seeded.total_reward - opt.total_reward).abs() < 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let inst = random_instance(18, 3, 4);
+        let a = SeededGreedy::new().solve(&inst).unwrap();
+        let b = SeededGreedy::new().sequential().solve(&inst).unwrap();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.total_reward, b.total_reward);
+    }
+
+    #[test]
+    fn prefix_larger_than_k_clamped() {
+        let inst = random_instance(8, 2, 5);
+        let seeded = SeededGreedy::new().with_prefix(10).solve(&inst).unwrap();
+        let opt = Exhaustive::new().solve(&inst).unwrap();
+        assert!((seeded.total_reward - opt.total_reward).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_cap_enforced() {
+        let inst = random_instance(30, 4, 6);
+        let e = SeededGreedy {
+            prefix: 4,
+            parallel: false,
+            max_prefixes: 10,
+        }
+        .solve(&inst);
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Algorithm 3 — the simple local greedy algorithm ("greedy 3").
+//!
+//! Each round picks the point with the **largest residual single-point
+//! reward** `w_i · y_i` as the center (line 3 of Algorithm 3:
+//! `c_j ← x_{i*}` for `i* = argmax_i w_i y_i^j`), then commits the full
+//! coverage reward of that center. No candidate scan is needed, giving
+//! `O(k n)` total complexity (Theorem 3) — the paper's cheapest
+//! algorithm, and per its evaluation the best-performing one.
+//!
+//! Ties break toward the smaller index, as the paper specifies.
+
+use crate::instance::Instance;
+use crate::reward::RewardEngine;
+use crate::solver::{run_rounds, Solution, Solver};
+use crate::Result;
+
+/// Algorithm 3 of the paper. See the module docs.
+///
+/// ```
+/// use mmph_core::solvers::SimpleGreedy;
+/// use mmph_core::{InstanceBuilder, Solver};
+/// use mmph_geom::Point;
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .point([2.0, 0.0], 5.0) // heaviest: chosen first
+///     .radius(1.0)
+///     .k(1)
+///     .build()
+///     .unwrap();
+/// let sol = SimpleGreedy::new().solve(&inst).unwrap();
+/// assert_eq!(sol.centers[0], Point::new([2.0, 0.0]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimpleGreedy {
+    trace: bool,
+}
+
+impl SimpleGreedy {
+    /// Plain configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record per-round assignment vectors in the solution.
+    pub fn with_trace(mut self, yes: bool) -> Self {
+        self.trace = yes;
+        self
+    }
+}
+
+impl<const D: usize> Solver<D> for SimpleGreedy {
+    fn name(&self) -> &'static str {
+        "greedy3"
+    }
+
+    fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        let engine = RewardEngine::scan(inst);
+        Ok(run_rounds(
+            Solver::<D>::name(self),
+            inst,
+            &engine,
+            self.trace,
+            |engine, residuals, _| {
+                let inst = engine.instance();
+                let mut best_i = 0usize;
+                let mut best = f64::NEG_INFINITY;
+                for i in 0..inst.n() {
+                    let v = inst.weight(i) * residuals.y(i);
+                    if v > best {
+                        best = v;
+                        best_i = i;
+                    }
+                }
+                *inst.point(best_i)
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::solvers::LocalGreedy;
+    use mmph_geom::{Norm, Point};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn picks_heaviest_point_first() {
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([2.0, 0.0], 5.0)
+            .point([0.0, 2.0], 3.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = SimpleGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers[0], Point::new([2.0, 0.0])); // w = 5
+        assert_eq!(sol.centers[1], Point::new([0.0, 2.0])); // w = 3
+    }
+
+    #[test]
+    fn residuals_steer_later_rounds() {
+        // Heaviest point gets satisfied in round 1; round 2 must go by
+        // residual weight, not raw weight.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 5.0)
+            .point([0.0, 0.0], 4.9) // co-located: satisfied together
+            .point([3.0, 3.0], 3.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let sol = SimpleGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers[0], Point::new([0.0, 0.0]));
+        assert_eq!(sol.centers[1], Point::new([3.0, 3.0]));
+        assert!((sol.total_reward - (5.0 + 4.9 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_index() {
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 2.0)
+            .point([3.0, 0.0], 2.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        let sol = SimpleGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers[0], *inst.point(0));
+    }
+
+    #[test]
+    fn unweighted_equals_weighted_with_equal_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<Point<2>> = (0..20)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let a = Instance::new(pts.clone(), vec![1.0; 20], 1.5, 3, Norm::L2).unwrap();
+        let b = Instance::new(pts, vec![2.0; 20], 1.5, 3, Norm::L2).unwrap();
+        let sa = SimpleGreedy::new().solve(&a).unwrap();
+        let sb = SimpleGreedy::new().solve(&b).unwrap();
+        assert_eq!(sa.centers, sb.centers);
+        assert!((sb.total_reward - 2.0 * sa.total_reward).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_beats_local_greedy_in_round_one() {
+        // Greedy 2 maximizes round gain over all point candidates, so its
+        // first-round gain dominates greedy 3's by construction.
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let pts: Vec<Point<2>> = (0..25)
+                .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+                .collect();
+            let ws: Vec<f64> = (0..25).map(|_| rng.gen_range(1..=5) as f64).collect();
+            let inst = Instance::new(pts, ws, 1.0, 2, Norm::L2).unwrap();
+            let g2 = LocalGreedy::new().solve(&inst).unwrap();
+            let g3 = SimpleGreedy::new().solve(&inst).unwrap();
+            assert!(g3.round_gains[0] <= g2.round_gains[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn solution_consistent_with_objective() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<Point<2>> = (0..30)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..30).map(|_| rng.gen_range(1..=5) as f64).collect();
+        let inst = Instance::new(pts, ws, 1.5, 4, Norm::L1).unwrap();
+        let sol = SimpleGreedy::new().solve(&inst).unwrap();
+        assert!(sol.verify_consistency(&inst));
+    }
+
+    #[test]
+    fn three_dimensional_instance() {
+        let inst = Instance::unweighted(
+            vec![
+                Point::new([0.0, 0.0, 0.0]),
+                Point::new([4.0, 4.0, 4.0]),
+                Point::new([0.1, 0.1, 0.0]),
+            ],
+            1.0,
+            2,
+            Norm::L1,
+        )
+        .unwrap();
+        let sol = SimpleGreedy::new().solve(&inst).unwrap();
+        assert_eq!(sol.centers.len(), 2);
+        assert!(sol.verify_consistency(&inst));
+    }
+}

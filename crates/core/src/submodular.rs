@@ -1,0 +1,191 @@
+//! Empirical verification of the objective's structural properties.
+//!
+//! The paper's NP-hardness proof (Theorem 0, Lemmas 0a/0b) rests on
+//! `f(C)` being a **monotone submodular** set function. These helpers
+//! verify the properties on concrete instances — they back the property
+//! tests and the `validation` integration suite, and catch regressions
+//! in the reward implementation (e.g. a mis-placed cap would silently
+//! break submodularity and with it every greedy guarantee).
+
+use mmph_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::Instance;
+use crate::reward::objective;
+
+/// The marginal gain `f(C ∪ {s}) − f(C)`.
+pub fn marginal_gain<const D: usize>(
+    inst: &Instance<D>,
+    set: &[Point<D>],
+    s: &Point<D>,
+) -> f64 {
+    let mut with_s: Vec<Point<D>> = set.to_vec();
+    with_s.push(*s);
+    objective(inst, &with_s) - objective(inst, set)
+}
+
+/// Checks monotonicity on one pair: `f(A ∪ {s}) >= f(A)`.
+pub fn check_monotone<const D: usize>(
+    inst: &Instance<D>,
+    a: &[Point<D>],
+    s: &Point<D>,
+    eps: f64,
+) -> bool {
+    marginal_gain(inst, a, s) >= -eps
+}
+
+/// Checks the submodularity (diminishing-returns) inequality of Lemma
+/// 0b on one triple: with `A ⊆ B`,
+/// `f(A ∪ {s}) − f(A) >= f(B ∪ {s}) − f(B)`.
+pub fn check_submodular<const D: usize>(
+    inst: &Instance<D>,
+    a: &[Point<D>],
+    b_extra: &[Point<D>],
+    s: &Point<D>,
+    eps: f64,
+) -> bool {
+    let mut b: Vec<Point<D>> = a.to_vec();
+    b.extend_from_slice(b_extra);
+    marginal_gain(inst, a, s) >= marginal_gain(inst, &b, s) - eps
+}
+
+/// Outcome of a randomized structural audit of an instance's objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Trials exercised.
+    pub trials: usize,
+    /// Monotonicity violations found.
+    pub monotone_violations: usize,
+    /// Submodularity violations found.
+    pub submodular_violations: usize,
+}
+
+impl AuditReport {
+    /// True iff no violations were observed.
+    pub fn passed(&self) -> bool {
+        self.monotone_violations == 0 && self.submodular_violations == 0
+    }
+}
+
+/// Randomized audit: samples random center sets `A ⊆ B` and probes `s`,
+/// checking both properties `trials` times. Centers are drawn uniformly
+/// from a slightly inflated bounding box so boundary behaviour is
+/// exercised too.
+pub fn audit<const D: usize>(inst: &Instance<D>, trials: usize, seed: u64) -> AuditReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bbox = inst.bounding_box();
+    let random_center = |rng: &mut StdRng| -> Point<D> {
+        let mut coords = [0.0f64; D];
+        for (d, c) in coords.iter_mut().enumerate() {
+            let pad = 0.25 * (bbox.extent(d) + 1.0);
+            *c = rng.gen_range(bbox.lo[d] - pad..=bbox.hi[d] + pad);
+        }
+        Point::new(coords)
+    };
+    let mut report = AuditReport {
+        trials,
+        monotone_violations: 0,
+        submodular_violations: 0,
+    };
+    const EPS: f64 = 1e-9;
+    for _ in 0..trials {
+        let a_len = rng.gen_range(0..4);
+        let extra_len = rng.gen_range(1..4);
+        let a: Vec<Point<D>> = (0..a_len).map(|_| random_center(&mut rng)).collect();
+        let extra: Vec<Point<D>> = (0..extra_len).map(|_| random_center(&mut rng)).collect();
+        let s = random_center(&mut rng);
+        if !check_monotone(inst, &a, &s, EPS) {
+            report.monotone_violations += 1;
+        }
+        if !check_submodular(inst, &a, &extra, &s, EPS) {
+            report.submodular_violations += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use mmph_geom::Norm;
+
+    fn random_instance(n: usize, norm: Norm, seed: u64) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, 1.0, 2, norm).unwrap()
+    }
+
+    #[test]
+    fn audit_passes_on_random_instances_all_norms() {
+        for (i, norm) in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)]
+            .into_iter()
+            .enumerate()
+        {
+            let inst = random_instance(25, norm, i as u64);
+            let report = audit(&inst, 500, 99);
+            assert!(report.passed(), "norm {norm}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn marginal_gain_of_empty_set_is_objective() {
+        let inst = random_instance(10, Norm::L2, 5);
+        let s = *inst.point(0);
+        let mg = marginal_gain(&inst, &[], &s);
+        assert!((mg - objective(&inst, &[s])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_center_adds_nothing_beyond_cap() {
+        // f({c, c}) = f({c}) when c fully satisfies its coverage — the
+        // second copy's marginal must be >= 0 and <= the first's.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([0.5, 0.0], 2.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let c = Point::new([0.25, 0.0]);
+        let first = marginal_gain(&inst, &[], &c);
+        let second = marginal_gain(&inst, &[c], &c);
+        assert!(second >= -1e-12);
+        assert!(second <= first + 1e-12);
+    }
+
+    #[test]
+    fn far_away_center_has_zero_marginal() {
+        let inst = random_instance(10, Norm::L2, 6);
+        let far = Point::new([100.0, 100.0]);
+        assert!(marginal_gain(&inst, &[], &far).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_0a_inequality_direct() {
+        // The scalar inequality behind Lemma 0b, checked numerically:
+        // min(y+a,1) - min(a,1) - min(y+a+b,1) + min(a+b,1) >= 0.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a: f64 = rng.gen_range(0.0..2.0);
+            let b: f64 = rng.gen_range(0.0..2.0);
+            let y: f64 = rng.gen_range(0.0..2.0);
+            let g = (y + a).min(1.0) - a.min(1.0) - (y + a + b).min(1.0) + (a + b).min(1.0);
+            assert!(g >= -1e-12, "a={a} b={b} y={y} g={g}");
+        }
+    }
+
+    #[test]
+    fn audit_report_accessors() {
+        let r = AuditReport {
+            trials: 10,
+            monotone_violations: 0,
+            submodular_violations: 1,
+        };
+        assert!(!r.passed());
+    }
+}

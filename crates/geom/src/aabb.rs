@@ -1,0 +1,263 @@
+//! Axis-aligned bounding boxes and the per-dimension projection center.
+//!
+//! Algorithm 4's "new-center" under the 1-norm is described in the paper
+//! (§V-B, Theorem 4 proof) as: *"Along each dimension, the boundary can be
+//! determined through a projection on the dimension. The min and max
+//! values are determined. The center position along this dimension is
+//! (min + max)/2."* That is exactly the center of the axis-aligned
+//! bounding box — the Chebyshev (L∞) minimax center. [`Aabb`] implements
+//! it; [`crate::l1ball`] additionally provides a *true* L1 minimax center
+//! for the ablation study.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::{GeomError, Result};
+
+/// An axis-aligned box `[lo, hi]` in `R^D` (inclusive on both ends).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb<const D: usize> {
+    /// Component-wise lower corner.
+    pub lo: Point<D>,
+    /// Component-wise upper corner.
+    pub hi: Point<D>,
+}
+
+impl<const D: usize> Aabb<D> {
+    /// Creates a box from two corners, swapping coordinates as needed so
+    /// that `lo <= hi` holds component-wise.
+    pub fn new(a: Point<D>, b: Point<D>) -> Self {
+        Aabb {
+            lo: a.min_components(&b),
+            hi: a.max_components(&b),
+        }
+    }
+
+    /// The degenerate box containing only `p`.
+    pub fn point(p: Point<D>) -> Self {
+        Aabb { lo: p, hi: p }
+    }
+
+    /// The cube `[lo, hi]^D`.
+    pub fn cube(lo: f64, hi: f64) -> Self {
+        Aabb::new(Point::splat(lo), Point::splat(hi))
+    }
+
+    /// Tight bounding box of a non-empty point set.
+    pub fn from_points(points: &[Point<D>]) -> Result<Self> {
+        let (first, rest) = points.split_first().ok_or(GeomError::EmptyPointSet)?;
+        let mut b = Aabb::point(*first);
+        for p in rest {
+            b.expand(p);
+        }
+        Ok(b)
+    }
+
+    /// Grows the box to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: &Point<D>) {
+        self.lo = self.lo.min_components(p);
+        self.hi = self.hi.max_components(p);
+    }
+
+    /// The box center — per dimension `(min + max) / 2`. This is the
+    /// paper's projection "new-center" and the exact minimax center under
+    /// the L∞ norm.
+    #[inline]
+    pub fn center(&self) -> Point<D> {
+        self.lo.midpoint(&self.hi)
+    }
+
+    /// Half of the largest side length: the L∞ minimax radius, i.e. the
+    /// smallest `r` such that the L∞ ball of radius `r` at
+    /// [`Self::center`] covers the box.
+    pub fn linf_radius(&self) -> f64 {
+        let mut r: f64 = 0.0;
+        for i in 0..D {
+            r = r.max((self.hi[i] - self.lo[i]) * 0.5);
+        }
+        r
+    }
+
+    /// Side length along dimension `i`.
+    #[inline]
+    pub fn extent(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// True iff `p` lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        for i in 0..D {
+            if p[i] < self.lo[i] || p[i] > self.hi[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Volume (product of side lengths).
+    pub fn volume(&self) -> f64 {
+        (0..D).map(|i| self.extent(i)).product()
+    }
+
+    /// Squared Euclidean distance from `p` to the box (0 inside).
+    #[inline]
+    pub fn dist_sq_to(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = if p[i] < self.lo[i] {
+                self.lo[i] - p[i]
+            } else if p[i] > self.hi[i] {
+                p[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Minimum distance from `p` to the box under `norm` (0 inside).
+    pub fn dist_to(&self, p: &Point<D>, norm: crate::Norm) -> f64 {
+        let mut gap = [0.0; D];
+        for i in 0..D {
+            gap[i] = if p[i] < self.lo[i] {
+                self.lo[i] - p[i]
+            } else if p[i] > self.hi[i] {
+                p[i] - self.hi[i]
+            } else {
+                0.0
+            };
+        }
+        norm.length(&Point::new(gap))
+    }
+
+    /// Clamps `p` into the box component-wise.
+    pub fn clamp(&self, p: &Point<D>) -> Point<D> {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = p[i].clamp(self.lo[i], self.hi[i]);
+        }
+        Point::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Norm;
+
+    type P = Point<2>;
+
+    #[test]
+    fn new_swaps_corners() {
+        let b = Aabb::new(P::new([2.0, -1.0]), P::new([0.0, 3.0]));
+        assert_eq!(b.lo, P::new([0.0, -1.0]));
+        assert_eq!(b.hi, P::new([2.0, 3.0]));
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [
+            P::new([1.0, 1.0]),
+            P::new([-2.0, 0.5]),
+            P::new([0.0, 4.0]),
+        ];
+        let b = Aabb::from_points(&pts).unwrap();
+        assert_eq!(b.lo, P::new([-2.0, 0.5]));
+        assert_eq!(b.hi, P::new([1.0, 4.0]));
+        for p in &pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn from_points_empty_errors() {
+        assert!(Aabb::<2>::from_points(&[]).is_err());
+    }
+
+    #[test]
+    fn center_is_projection_center() {
+        // The paper's §V-B projection procedure on {(0,0), (4,2)}:
+        // per-dim (min+max)/2 = (2, 1).
+        let b = Aabb::from_points(&[P::new([0.0, 0.0]), P::new([4.0, 2.0])]).unwrap();
+        assert_eq!(b.center(), P::new([2.0, 1.0]));
+    }
+
+    #[test]
+    fn linf_radius_covers_all_corners() {
+        let b = Aabb::new(P::new([0.0, 0.0]), P::new([4.0, 2.0]));
+        let c = b.center();
+        let r = b.linf_radius();
+        assert_eq!(r, 2.0);
+        for corner in [
+            P::new([0.0, 0.0]),
+            P::new([4.0, 0.0]),
+            P::new([0.0, 2.0]),
+            P::new([4.0, 2.0]),
+        ] {
+            assert!(c.dist_linf(&corner) <= r + 1e-12);
+        }
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = Aabb::cube(0.0, 1.0);
+        assert!(b.contains(&P::new([0.0, 1.0])));
+        assert!(b.contains(&P::new([0.5, 0.5])));
+        assert!(!b.contains(&P::new([1.0 + 1e-12, 0.5])));
+    }
+
+    #[test]
+    fn volume_and_extent() {
+        let b = Aabb::new(P::new([0.0, 0.0]), P::new([4.0, 2.0]));
+        assert_eq!(b.extent(0), 4.0);
+        assert_eq!(b.extent(1), 2.0);
+        assert_eq!(b.volume(), 8.0);
+    }
+
+    #[test]
+    fn dist_sq_inside_is_zero() {
+        let b = Aabb::cube(0.0, 4.0);
+        assert_eq!(b.dist_sq_to(&P::new([2.0, 2.0])), 0.0);
+    }
+
+    #[test]
+    fn dist_sq_outside_matches_nearest_point() {
+        let b = Aabb::cube(0.0, 1.0);
+        // (2, 2): nearest box point (1,1); distance sqrt(2).
+        assert!((b.dist_sq_to(&P::new([2.0, 2.0])) - 2.0).abs() < 1e-12);
+        // (−1, 0.5): nearest (0, 0.5); distance 1.
+        assert!((b.dist_sq_to(&P::new([-1.0, 0.5])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_to_under_l1() {
+        let b = Aabb::cube(0.0, 1.0);
+        assert!((b.dist_to(&P::new([2.0, 3.0]), Norm::L1) - 3.0).abs() < 1e-12);
+        assert_eq!(b.dist_to(&P::new([0.5, 0.5]), Norm::L1), 0.0);
+    }
+
+    #[test]
+    fn clamp_projects_into_box() {
+        let b = Aabb::cube(0.0, 1.0);
+        assert_eq!(b.clamp(&P::new([2.0, -1.0])), P::new([1.0, 0.0]));
+        assert_eq!(b.clamp(&P::new([0.5, 0.25])), P::new([0.5, 0.25]));
+    }
+
+    #[test]
+    fn expand_grows_box() {
+        let mut b = Aabb::point(P::new([1.0, 1.0]));
+        b.expand(&P::new([3.0, 0.0]));
+        assert_eq!(b.lo, P::new([1.0, 0.0]));
+        assert_eq!(b.hi, P::new([3.0, 1.0]));
+    }
+
+    #[test]
+    fn cube_in_3d() {
+        let b = Aabb::<3>::cube(0.0, 4.0);
+        assert_eq!(b.volume(), 64.0);
+        assert_eq!(b.center(), Point::new([2.0, 2.0, 2.0]));
+    }
+}

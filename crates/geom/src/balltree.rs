@@ -1,0 +1,389 @@
+//! A ball tree over `Point<D>` supporting within-radius queries.
+//!
+//! Third spatial index next to [`crate::KdTree`] and
+//! [`crate::GridIndex`]. Ball trees bound each subtree by an enclosing
+//! *ball* instead of an axis-aligned box, which prunes better when the
+//! data is not axis-aligned or when dimensionality grows — the regime
+//! where the paper's m-D generalization (§V-C) lives.
+//!
+//! Construction splits on the diameter endpoints (the classic
+//! "farthest-pair seeds" heuristic): pick the point farthest from the
+//! node centroid, then the point farthest from it, and partition by
+//! nearer-seed. Pruning uses the triangle inequality in L2 and falls
+//! back to the enclosing-ball-vs-query-ball test via the norm-specific
+//! center distance for L1/L∞/Lp (valid because every p-norm ball of
+//! radius `s` is contained in the L2 ball of radius `s·D^{1/2}`; we
+//! store per-node radii measured in the query norm directly, see
+//! `radius_under`).
+
+use crate::norm::Norm;
+use crate::point::Point;
+
+/// Node of the ball tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+struct Node<const D: usize> {
+    /// Pivot (centroid) of the subtree's points.
+    center: Point<D>,
+    /// Radius under L2 — distances to `center` of all member points.
+    radius_l2: f64,
+    /// Radius under L1 (precomputed so L1 queries prune exactly).
+    radius_l1: f64,
+    /// Radius under L∞.
+    radius_linf: f64,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { start: u32, end: u32 },
+    Internal { left: u32, right: u32 },
+}
+
+/// Immutable ball tree over a point set.
+///
+/// ```
+/// use mmph_geom::{BallTree, Norm, Point};
+///
+/// let pts = vec![Point::new([0.0, 0.0]), Point::new([2.0, 2.0])];
+/// let tree = BallTree::build(&pts);
+/// assert_eq!(tree.within(&Point::new([2.0, 2.0]), 0.5, Norm::L1).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BallTree<const D: usize> {
+    nodes: Vec<Node<D>>,
+    order: Vec<u32>,
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> BallTree<D> {
+    /// Default leaf capacity.
+    pub const DEFAULT_LEAF_SIZE: usize = 16;
+
+    /// Builds a ball tree over `points` (copied into the tree).
+    pub fn build(points: &[Point<D>]) -> Self {
+        Self::build_with_leaf_size(points, Self::DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds with an explicit leaf size (>= 1).
+    pub fn build_with_leaf_size(points: &[Point<D>], leaf_size: usize) -> Self {
+        let leaf_size = leaf_size.max(1);
+        let n = points.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::new();
+        if n > 0 {
+            build_node(points, &mut order, 0, n, leaf_size, &mut nodes);
+        }
+        BallTree {
+            nodes,
+            order,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Calls `f(index, distance)` for every point within `radius` of
+    /// `center` under `norm` (boundary inclusive).
+    pub fn for_each_within(
+        &self,
+        center: &Point<D>,
+        radius: f64,
+        norm: Norm,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        if self.nodes.is_empty() || radius < 0.0 {
+            return;
+        }
+        self.visit(0, center, radius, norm, &mut f);
+    }
+
+    /// Collects `(index, distance)` pairs within `radius` of `center`.
+    pub fn within(&self, center: &Point<D>, radius: f64, norm: Norm) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, norm, |i, d| out.push((i, d)));
+        out
+    }
+
+    fn visit(
+        &self,
+        node: usize,
+        center: &Point<D>,
+        radius: f64,
+        norm: Norm,
+        f: &mut impl FnMut(usize, f64),
+    ) {
+        let n = &self.nodes[node];
+        // Triangle inequality in the query norm: any member point p has
+        // norm(center, p) >= norm(center, pivot) - node_radius(norm).
+        let pivot_d = norm.dist(center, &n.center);
+        if pivot_d - n.radius_under(norm) > radius {
+            return;
+        }
+        match n.kind {
+            NodeKind::Leaf { start, end } => {
+                for &idx in &self.order[start as usize..end as usize] {
+                    let p = &self.points[idx as usize];
+                    let d = norm.dist(center, p);
+                    if d <= radius {
+                        f(idx as usize, d);
+                    }
+                }
+            }
+            NodeKind::Internal { left, right } => {
+                self.visit(left as usize, center, radius, norm, f);
+                self.visit(right as usize, center, radius, norm, f);
+            }
+        }
+    }
+}
+
+impl<const D: usize> Node<D> {
+    /// The node radius measured in the query norm. For Lp norms other
+    /// than the precomputed three, the L1 radius upper-bounds every
+    /// `p >= 1` radius, so pruning stays conservative (correct).
+    fn radius_under(&self, norm: Norm) -> f64 {
+        match norm {
+            Norm::L2 => self.radius_l2,
+            Norm::L1 => self.radius_l1,
+            Norm::LInf => self.radius_linf,
+            Norm::Lp(_) => self.radius_l1,
+        }
+    }
+}
+
+fn build_node<const D: usize>(
+    points: &[Point<D>],
+    order: &mut [u32],
+    start: usize,
+    end: usize,
+    leaf_size: usize,
+    nodes: &mut Vec<Node<D>>,
+) -> usize {
+    let slice = &order[start..end];
+    let member_points: Vec<&Point<D>> = slice.iter().map(|&i| &points[i as usize]).collect();
+    // Pivot: centroid of the members.
+    let mut acc = [0.0f64; D];
+    for p in &member_points {
+        for d in 0..D {
+            acc[d] += p[d];
+        }
+    }
+    let inv = 1.0 / member_points.len() as f64;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+    let center = Point::new(acc);
+    let mut radius_l2: f64 = 0.0;
+    let mut radius_l1: f64 = 0.0;
+    let mut radius_linf: f64 = 0.0;
+    for p in &member_points {
+        radius_l2 = radius_l2.max(center.dist_l2(p));
+        radius_l1 = radius_l1.max(center.dist_l1(p));
+        radius_linf = radius_linf.max(center.dist_linf(p));
+    }
+    let me = nodes.len();
+    nodes.push(Node {
+        center,
+        radius_l2,
+        radius_l1,
+        radius_linf,
+        kind: NodeKind::Leaf {
+            start: start as u32,
+            end: end as u32,
+        },
+    });
+    if end - start <= leaf_size || radius_l2 == 0.0 {
+        return me;
+    }
+    // Farthest-pair seeds.
+    let seed_a = *slice
+        .iter()
+        .max_by(|&&a, &&b| {
+            center
+                .dist_sq(&points[a as usize])
+                .total_cmp(&center.dist_sq(&points[b as usize]))
+        })
+        .expect("non-empty");
+    let pa = points[seed_a as usize];
+    let seed_b = *slice
+        .iter()
+        .max_by(|&&a, &&b| {
+            pa.dist_sq(&points[a as usize])
+                .total_cmp(&pa.dist_sq(&points[b as usize]))
+        })
+        .expect("non-empty");
+    let pb = points[seed_b as usize];
+    // Partition by nearer seed (ties and the degenerate pa == pb case
+    // fall back to a balanced median split on the longest axis).
+    let mid = if pa == pb {
+        (start + end) / 2
+    } else {
+        let slice_mut = &mut order[start..end];
+        let mut lo = 0usize;
+        let mut hi = slice_mut.len();
+        // Hoare-style partition: nearer-to-pa to the front.
+        while lo < hi {
+            let p = &points[slice_mut[lo] as usize];
+            if p.dist_sq(&pa) <= p.dist_sq(&pb) {
+                lo += 1;
+            } else {
+                hi -= 1;
+                slice_mut.swap(lo, hi);
+            }
+        }
+        start + lo
+    };
+    // Guard against degenerate splits (all points on one side).
+    let mid = if mid == start || mid == end {
+        (start + end) / 2
+    } else {
+        mid
+    };
+    let left = build_node(points, order, start, mid, leaf_size, nodes);
+    let right = build_node(points, order, mid, end, leaf_size, nodes);
+    debug_assert_eq!(left, me + 1);
+    nodes[me].kind = NodeKind::Internal {
+        left: left as u32,
+        right: right as u32,
+    };
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type P2 = Point<2>;
+
+    fn random_points(n: usize, seed: u64) -> Vec<P2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect()
+    }
+
+    fn hits(t: &BallTree<2>, c: &P2, r: f64, norm: Norm) -> Vec<usize> {
+        let mut v: Vec<usize> = t.within(c, r, norm).into_iter().map(|(i, _)| i).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn linear(points: &[P2], c: &P2, r: f64, norm: Norm) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| norm.dist(c, p) <= r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = BallTree::<2>::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.within(&Point::new([0.0, 0.0]), 5.0, Norm::L2).is_empty());
+        let t = BallTree::build(&[Point::new([1.0, 1.0])]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(hits(&t, &Point::new([1.0, 1.0]), 0.0, Norm::L2), vec![0]);
+    }
+
+    #[test]
+    fn matches_linear_scan_all_norms() {
+        let pts = random_points(300, 61);
+        let t = BallTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(62);
+        for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)] {
+            for _ in 0..30 {
+                let c = Point::new([rng.gen_range(-1.0..5.0), rng.gen_range(-1.0..5.0)]);
+                let r = rng.gen_range(0.0..3.0);
+                assert_eq!(
+                    hits(&t, &c, r, norm),
+                    linear(&pts, &c, r, norm),
+                    "norm {norm} c {c} r {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let pts = vec![Point::new([2.0, 2.0]); 50];
+        let t = BallTree::build(&pts);
+        assert_eq!(hits(&t, &Point::new([2.0, 2.0]), 0.0, Norm::L2).len(), 50);
+        assert!(hits(&t, &Point::new([3.0, 2.0]), 0.5, Norm::L2).is_empty());
+    }
+
+    #[test]
+    fn leaf_size_one() {
+        let pts = random_points(64, 63);
+        let t = BallTree::build_with_leaf_size(&pts, 1);
+        let c = Point::new([2.0, 2.0]);
+        assert_eq!(hits(&t, &c, 1.5, Norm::L2), linear(&pts, &c, 1.5, Norm::L2));
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let pts: Vec<Point<3>> = (0..200)
+            .map(|_| {
+                Point::new([
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                ])
+            })
+            .collect();
+        let t = BallTree::build(&pts);
+        for _ in 0..20 {
+            let c = Point::new([
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+            ]);
+            let r = rng.gen_range(0.1..2.0);
+            let mut got: Vec<usize> =
+                t.within(&c, r, Norm::L1).into_iter().map(|(i, _)| i).collect();
+            got.sort_unstable();
+            let want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| Norm::L1.dist(&c, p) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn agrees_with_kdtree() {
+        let pts = random_points(150, 65);
+        let ball = BallTree::build(&pts);
+        let kd = crate::KdTree::build(&pts);
+        let c = Point::new([1.5, 2.5]);
+        for r in [0.3, 1.0, 2.5] {
+            let mut a = hits(&ball, &c, r, Norm::L2);
+            let mut b: Vec<usize> = kd.within(&c, r, Norm::L2).into_iter().map(|(i, _)| i).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<P2> = (0..40).map(|i| Point::new([i as f64 * 0.1, 0.0])).collect();
+        let t = BallTree::build(&pts);
+        let c = Point::new([2.0, 0.0]);
+        assert_eq!(hits(&t, &c, 0.55, Norm::L2), linear(&pts, &c, 0.55, Norm::L2));
+    }
+}

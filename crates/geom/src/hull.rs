@@ -1,0 +1,193 @@
+//! 2-D convex hull (Andrew's monotone chain).
+//!
+//! Used by the figure renderer to draw cluster outlines and by tests as
+//! an independent oracle: the smallest enclosing circle of a point set is
+//! determined entirely by its hull, so `welzl(points) == welzl(hull)`.
+
+use crate::point::Point2;
+
+/// Convex hull of a 2-D point set, counter-clockwise, starting from the
+/// lexicographically smallest point. Collinear points on hull edges are
+/// discarded. Returns fewer than 3 points for degenerate inputs (empty,
+/// single point, all collinear returns the two extremes).
+///
+/// ```
+/// use mmph_geom::hull::convex_hull;
+/// use mmph_geom::Point;
+///
+/// let square_plus_center = [
+///     Point::new([0.0, 0.0]),
+///     Point::new([1.0, 0.0]),
+///     Point::new([1.0, 1.0]),
+///     Point::new([0.0, 1.0]),
+///     Point::new([0.5, 0.5]),
+/// ];
+/// assert_eq!(convex_hull(&square_plus_center).len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| a.x().total_cmp(&b.x()).then(a.y().total_cmp(&b.y())));
+    pts.dedup_by(|a, b| a.approx_eq(b, 0.0));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let cross = |o: &Point2, a: &Point2, b: &Point2| (*a - *o).cross(&(*b - *o));
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// True iff `p` lies inside or on the boundary of the convex polygon
+/// `hull` (counter-clockwise vertex order, as produced by
+/// [`convex_hull`]).
+pub fn hull_contains(hull: &[Point2], p: &Point2, eps: f64) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].approx_eq(p, eps),
+        2 => {
+            // Segment containment.
+            let ab = hull[1] - hull[0];
+            let ap = *p - hull[0];
+            let cross = ab.cross(&ap).abs();
+            let dot = ab.dot(&ap);
+            cross <= eps * ab.length().max(1.0) && dot >= -eps && dot <= ab.dot(&ab) + eps
+        }
+        _ => {
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                if (b - a).cross(&(*p - a)) < -eps {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::welzl::min_enclosing_ball;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p2(x: f64, y: f64) -> Point2 {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[p2(1.0, 1.0)]), vec![p2(1.0, 1.0)]);
+        let two = convex_hull(&[p2(1.0, 1.0), p2(0.0, 0.0)]);
+        assert_eq!(two, vec![p2(0.0, 0.0), p2(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn square_hull() {
+        let pts = [
+            p2(0.0, 0.0),
+            p2(1.0, 0.0),
+            p2(1.0, 1.0),
+            p2(0.0, 1.0),
+            p2(0.5, 0.5), // interior
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(hull.contains(&p2(0.0, 0.0)));
+        assert!(!hull.contains(&p2(0.5, 0.5)));
+    }
+
+    #[test]
+    fn collinear_points_collapse_to_extremes() {
+        let pts: Vec<Point2> = (0..5).map(|i| p2(i as f64, i as f64)).collect();
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert!(hull.contains(&p2(0.0, 0.0)));
+        assert!(hull.contains(&p2(4.0, 4.0)));
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let pts = [p2(0.0, 0.0), p2(0.0, 0.0), p2(1.0, 0.0), p2(0.0, 1.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let pts: Vec<Point2> = (0..40)
+            .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+            .collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        // Shoelace area must be positive for CCW polygons.
+        let mut area = 0.0;
+        for i in 0..hull.len() {
+            let a = hull[i];
+            let b = hull[(i + 1) % hull.len()];
+            area += a.cross(&b);
+        }
+        assert!(area > 0.0);
+    }
+
+    #[test]
+    fn all_points_inside_hull() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..10 {
+            let pts: Vec<Point2> = (0..30)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let hull = convex_hull(&pts);
+            for p in &pts {
+                assert!(hull_contains(&hull, p, 1e-9));
+            }
+            assert!(!hull_contains(&hull, &p2(10.0, 10.0), 1e-9));
+        }
+    }
+
+    #[test]
+    fn welzl_of_hull_equals_welzl_of_points() {
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..10 {
+            let pts: Vec<Point2> = (0..60)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let hull = convex_hull(&pts);
+            let full = min_enclosing_ball(&pts);
+            let hull_ball = min_enclosing_ball(&hull);
+            assert!((full.radius - hull_ball.radius).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn segment_containment_in_degenerate_hull() {
+        let hull = convex_hull(&[p2(0.0, 0.0), p2(2.0, 0.0)]);
+        assert!(hull_contains(&hull, &p2(1.0, 0.0), 1e-9));
+        assert!(!hull_contains(&hull, &p2(1.0, 0.5), 1e-9));
+        assert!(!hull_contains(&hull, &p2(3.0, 0.0), 1e-9));
+    }
+}

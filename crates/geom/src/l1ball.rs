@@ -1,0 +1,223 @@
+//! Minimax centers under the 1-norm.
+//!
+//! The paper's complex local greedy computes its "new-center" under the
+//! 1-norm by projecting onto each dimension and taking `(min + max)/2`
+//! (§V-B) — which is actually the **L∞** (Chebyshev) minimax center, not
+//! the L1 one. This module provides:
+//!
+//! * [`projection_center`] — the paper's procedure, verbatim (delegates to
+//!   [`crate::Aabb`]); used by the faithful Algorithm 4 implementation.
+//! * [`l1_minimax_center_2d`] — the *exact* smallest enclosing L1 ball in
+//!   2-D via the 45° rotation duality (`L1` in the plane is an `L∞` norm
+//!   in rotated coordinates); used by the `ablation_l1_center` bench to
+//!   quantify how much the paper's approximation costs.
+//! * [`l1_minimax_center_approx`] — an iterative minimizer of
+//!   `max_i ||c − p_i||_1` for arbitrary dimension.
+
+use crate::aabb::Aabb;
+use crate::point::{Point, Point2};
+use crate::{GeomError, Result};
+
+/// The paper's §V-B projection "new-center": per dimension
+/// `(min + max) / 2` over the point set. This is the exact minimax center
+/// under the **L∞** norm, and an approximation under L1.
+pub fn projection_center<const D: usize>(points: &[Point<D>]) -> Result<Point<D>> {
+    Ok(Aabb::from_points(points)?.center())
+}
+
+/// L1 radius of the smallest L1 ball centered at `c` covering `points`
+/// (i.e. the farthest L1 distance from `c`).
+pub fn l1_radius_at<const D: usize>(c: &Point<D>, points: &[Point<D>]) -> f64 {
+    points.iter().map(|p| c.dist_l1(p)).fold(0.0f64, f64::max)
+}
+
+/// Exact smallest enclosing L1 ball (diamond) in the plane.
+///
+/// Uses the linear isometry `(x, y) ↦ (x + y, y − x)` which maps L1
+/// distances to L∞ distances; the L∞ minimax center in rotated space is
+/// the bounding-box center, which we map back. Returns `(center, radius)`
+/// with `radius` measured in the original L1 norm.
+pub fn l1_minimax_center_2d(points: &[Point2]) -> Result<(Point2, f64)> {
+    if points.is_empty() {
+        return Err(GeomError::EmptyPointSet);
+    }
+    let rotated: Vec<Point2> = points.iter().map(|p| p.rotate_l1_to_linf()).collect();
+    let bbox = Aabb::from_points(&rotated)?;
+    let center = bbox.center().rotate_linf_to_l1();
+    let radius = bbox.linf_radius();
+    Ok((center, radius))
+}
+
+/// Approximate minimax L1 center in any dimension: subgradient descent on
+/// `g(c) = max_i ||c − p_i||_1`, stepping toward the farthest point along
+/// the sign vector with a geometrically decaying step. Initialized at the
+/// projection center (already optimal when the farthest-point geometry is
+/// axis-aligned). Returns `(center, radius)`.
+pub fn l1_minimax_center_approx<const D: usize>(
+    points: &[Point<D>],
+    iters: usize,
+) -> Result<(Point<D>, f64)> {
+    if points.is_empty() {
+        return Err(GeomError::EmptyPointSet);
+    }
+    let mut c = projection_center(points)?;
+    let mut r = l1_radius_at(&c, points);
+    // Step starts at the radius scale and halves whenever no descent
+    // direction at the current scale improves the objective.
+    let mut step = r * 0.5;
+    for _ in 0..iters {
+        if step < 1e-12 || r < 1e-15 {
+            break;
+        }
+        // Active set: points whose distance is within `tol` of the max.
+        // Averaging their subgradients avoids ping-ponging between two
+        // opposite farthest points.
+        let tol = step * 0.5;
+        let mut dir = [0.0f64; D];
+        let mut active = 0usize;
+        for p in points {
+            if c.dist_l1(p) >= r - tol {
+                active += 1;
+                for i in 0..D {
+                    dir[i] += (p[i] - c[i]).signum();
+                }
+            }
+        }
+        let dir = Point::new(dir) * (1.0 / active.max(1) as f64);
+        let cand = c + dir * step;
+        let cand_r = l1_radius_at(&cand, points);
+        if cand_r < r - 1e-15 {
+            c = cand;
+            r = cand_r;
+        } else {
+            step *= 0.5;
+        }
+    }
+    Ok((c, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p2(x: f64, y: f64) -> Point2 {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn projection_center_matches_paper_example() {
+        let pts = [p2(0.0, 0.0), p2(4.0, 2.0), p2(1.0, 1.0)];
+        assert_eq!(projection_center(&pts).unwrap(), p2(2.0, 1.0));
+    }
+
+    #[test]
+    fn projection_center_empty_errors() {
+        assert!(projection_center::<2>(&[]).is_err());
+    }
+
+    #[test]
+    fn exact_2d_on_axis_pair() {
+        // Two points on the x-axis: L1 center anywhere on the "taxicab
+        // bisector"; the rotation method gives a center with radius = half
+        // the L1 distance.
+        let pts = [p2(0.0, 0.0), p2(2.0, 0.0)];
+        let (c, r) = l1_minimax_center_2d(&pts).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!(l1_radius_at(&c, &pts) <= r + 1e-12);
+    }
+
+    #[test]
+    fn exact_2d_radius_lower_bounds_any_center() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let pts: Vec<Point2> = (0..12)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let (c, r) = l1_minimax_center_2d(&pts).unwrap();
+            assert!((l1_radius_at(&c, &pts) - r).abs() < 1e-9);
+            // No random center may beat the claimed optimum.
+            for _ in 0..50 {
+                let cand = p2(rng.gen_range(-1.0..5.0), rng.gen_range(-1.0..5.0));
+                assert!(l1_radius_at(&cand, &pts) >= r - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_beats_or_ties_projection_center() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let pts: Vec<Point2> = (0..10)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let (_, r_exact) = l1_minimax_center_2d(&pts).unwrap();
+            let r_proj = l1_radius_at(&projection_center(&pts).unwrap(), &pts);
+            assert!(r_exact <= r_proj + 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_center_can_be_strictly_worse_under_l1() {
+        // Diamond-unfriendly configuration: projection (bbox) center
+        // (1, 0.5) has L1 radius 1.5, while the true L1 center (1, 0)
+        // achieves radius 1.
+        let pts = [p2(0.0, 0.0), p2(1.0, 1.0), p2(2.0, 0.0)];
+        let (_, r_exact) = l1_minimax_center_2d(&pts).unwrap();
+        let r_proj = l1_radius_at(&projection_center(&pts).unwrap(), &pts);
+        assert!(r_exact < r_proj - 1e-9, "exact {r_exact} proj {r_proj}");
+    }
+
+    #[test]
+    fn approx_close_to_exact_in_2d() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..30 {
+            let pts: Vec<Point2> = (0..15)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let (_, r_exact) = l1_minimax_center_2d(&pts).unwrap();
+            let (_, r_approx) = l1_minimax_center_approx(&pts, 500).unwrap();
+            assert!(r_approx >= r_exact - 1e-9);
+            assert!(
+                r_approx <= r_exact * 1.10 + 1e-9,
+                "approx {r_approx} vs exact {r_exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_3d_improves_on_or_ties_projection() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..20 {
+            let pts: Vec<Point<3>> = (0..12)
+                .map(|_| {
+                    Point::new([
+                        rng.gen_range(0.0..4.0),
+                        rng.gen_range(0.0..4.0),
+                        rng.gen_range(0.0..4.0),
+                    ])
+                })
+                .collect();
+            let r_proj = l1_radius_at(&projection_center(&pts).unwrap(), &pts);
+            let (_, r_approx) = l1_minimax_center_approx(&pts, 300).unwrap();
+            assert!(r_approx <= r_proj + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_point_radius_zero() {
+        let (c, r) = l1_minimax_center_2d(&[p2(1.0, -2.0)]).unwrap();
+        assert!(c.approx_eq(&p2(1.0, -2.0), 1e-12));
+        assert_eq!(r, 0.0);
+        let (c3, r3) = l1_minimax_center_approx(&[Point::new([1.0, 2.0, 3.0])], 10).unwrap();
+        assert!(c3.approx_eq(&Point::new([1.0, 2.0, 3.0]), 1e-12));
+        assert_eq!(r3, 0.0);
+    }
+
+    #[test]
+    fn approx_empty_errors() {
+        assert!(l1_minimax_center_approx::<2>(&[], 10).is_err());
+        assert!(l1_minimax_center_2d(&[]).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! The general p-norm family of the paper (§III-B).
+//!
+//! The interest distance between a broadcast content vector and a user's
+//! interest vector is measured by a p-norm. The paper focuses on the
+//! 1-norm (taxicab) and 2-norm (Euclidean); we additionally provide the
+//! ∞-norm limit and arbitrary finite `p >= 1`, so the library covers the
+//! paper's "general p-norm" formulation rather than only the two special
+//! cases it evaluates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::{GeomError, Result};
+
+/// A p-norm used as the interest-distance measure.
+///
+/// ```
+/// use mmph_geom::{Norm, Point};
+///
+/// let a = Point::new([0.0, 0.0]);
+/// let b = Point::new([1.0, 1.0]);
+/// assert_eq!(Norm::L1.dist(&a, &b), 2.0);
+/// assert_eq!(Norm::LInf.dist(&a, &b), 1.0);
+/// assert!(Norm::lp(0.5).is_err()); // not a norm
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Norm {
+    /// 1-norm (taxicab / Manhattan): `||x||_1 = Σ |x_i|`.
+    L1,
+    /// 2-norm (Euclidean): `||x||_2 = sqrt(Σ x_i²)`.
+    L2,
+    /// ∞-norm (Chebyshev): `||x||_∞ = max |x_i|`. The `p → ∞` limit.
+    LInf,
+    /// General finite p-norm with `p >= 1`.
+    Lp(f64),
+}
+
+impl Norm {
+    /// Validated constructor for [`Norm::Lp`]; `p < 1` does not satisfy the
+    /// triangle inequality and is rejected. `p = 1`, `p = 2` and
+    /// `p = +inf` are canonicalized to the dedicated variants so that the
+    /// fast paths are taken.
+    pub fn lp(p: f64) -> Result<Self> {
+        if p.is_nan() || p < 1.0 {
+            return Err(GeomError::InvalidExponent(p));
+        }
+        if p == 1.0 {
+            Ok(Norm::L1)
+        } else if p == 2.0 {
+            Ok(Norm::L2)
+        } else if p.is_infinite() {
+            Ok(Norm::LInf)
+        } else {
+            Ok(Norm::Lp(p))
+        }
+    }
+
+    /// The exponent `p` of this norm (`f64::INFINITY` for [`Norm::LInf`]).
+    pub fn exponent(&self) -> f64 {
+        match self {
+            Norm::L1 => 1.0,
+            Norm::L2 => 2.0,
+            Norm::LInf => f64::INFINITY,
+            Norm::Lp(p) => *p,
+        }
+    }
+
+    /// Distance between two points under this norm.
+    #[inline]
+    pub fn dist<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match self {
+            Norm::L1 => a.dist_l1(b),
+            Norm::L2 => a.dist_l2(b),
+            Norm::LInf => a.dist_linf(b),
+            Norm::Lp(p) => {
+                let mut acc = 0.0;
+                for i in 0..D {
+                    acc += (a[i] - b[i]).abs().powf(*p);
+                }
+                acc.powf(1.0 / *p)
+            }
+        }
+    }
+
+    /// Length of the vector `x` under this norm.
+    #[inline]
+    pub fn length<const D: usize>(&self, x: &Point<D>) -> f64 {
+        self.dist(x, &Point::ORIGIN)
+    }
+
+    /// Returns `true` iff `a` and `b` are within distance `radius` of each
+    /// other. For L2 this avoids the square root.
+    #[inline]
+    pub fn within<const D: usize>(&self, a: &Point<D>, b: &Point<D>, radius: f64) -> bool {
+        match self {
+            Norm::L2 => a.dist_sq(b) <= radius * radius,
+            _ => self.dist(a, b) <= radius,
+        }
+    }
+
+    /// Volume of the unit ball of this norm in `R^d` (Lebesgue measure).
+    ///
+    /// Used by workload generators to reason about expected coverage:
+    /// a radius-`r` ball covers `vol(d) * r^d` of the space.
+    ///
+    /// * L1: `2^d / d!`
+    /// * L2: `π^{d/2} / Γ(d/2 + 1)`
+    /// * L∞: `2^d`
+    /// * Lp: `(2 Γ(1/p + 1))^d / Γ(d/p + 1)` (Dirichlet's formula)
+    pub fn unit_ball_volume(&self, d: usize) -> f64 {
+        let df = d as f64;
+        match self {
+            Norm::L1 => 2f64.powi(d as i32) / factorial(d),
+            Norm::L2 => std::f64::consts::PI.powf(df / 2.0) / gamma(df / 2.0 + 1.0),
+            Norm::LInf => 2f64.powi(d as i32),
+            Norm::Lp(p) => {
+                (2.0 * gamma(1.0 / p + 1.0)).powf(df) / gamma(df / p + 1.0)
+            }
+        }
+    }
+
+    /// Human-readable short name ("L1", "L2", "Linf", "L2.5").
+    pub fn name(&self) -> String {
+        match self {
+            Norm::L1 => "L1".to_owned(),
+            Norm::L2 => "L2".to_owned(),
+            Norm::LInf => "Linf".to_owned(),
+            Norm::Lp(p) => format!("L{p}"),
+        }
+    }
+}
+
+impl Default for Norm {
+    /// Euclidean distance, the paper's primary illustration (§V: "2-D and
+    /// 2-norm").
+    fn default() -> Self {
+        Norm::L2
+    }
+}
+
+impl std::fmt::Display for Norm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+fn factorial(n: usize) -> f64 {
+    (1..=n).fold(1.0, |acc, i| acc * i as f64)
+}
+
+/// Lanczos approximation of the Gamma function, accurate to ~1e-13 for the
+/// positive arguments we use (half-integers and small reals).
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    fn p2(x: f64, y: f64) -> Point2 {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn lp_constructor_canonicalizes() {
+        assert_eq!(Norm::lp(1.0).unwrap(), Norm::L1);
+        assert_eq!(Norm::lp(2.0).unwrap(), Norm::L2);
+        assert_eq!(Norm::lp(f64::INFINITY).unwrap(), Norm::LInf);
+        assert_eq!(Norm::lp(3.0).unwrap(), Norm::Lp(3.0));
+    }
+
+    #[test]
+    fn lp_constructor_rejects_invalid() {
+        assert!(Norm::lp(0.5).is_err());
+        assert!(Norm::lp(0.0).is_err());
+        assert!(Norm::lp(-1.0).is_err());
+        assert!(Norm::lp(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn distances_of_345_triangle() {
+        let a = p2(0.0, 0.0);
+        let b = p2(3.0, 4.0);
+        assert_eq!(Norm::L2.dist(&a, &b), 5.0);
+        assert_eq!(Norm::L1.dist(&a, &b), 7.0);
+        assert_eq!(Norm::LInf.dist(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn lp_interpolates_between_l1_and_linf() {
+        let a = p2(0.0, 0.0);
+        let b = p2(1.0, 1.0);
+        let d1 = Norm::L1.dist(&a, &b); // 2.0
+        let d2 = Norm::L2.dist(&a, &b); // sqrt(2)
+        let d15 = Norm::Lp(1.5).dist(&a, &b);
+        let dinf = Norm::LInf.dist(&a, &b); // 1.0
+        assert!(d1 > d15 && d15 > d2 && d2 > dinf);
+    }
+
+    #[test]
+    fn lp_matches_l2_at_p2_numerically() {
+        // Norm::Lp(2.0) shouldn't arise via the constructor, but if built
+        // directly it must agree with the fast path.
+        let a = p2(1.2, -0.7);
+        let b = p2(-3.4, 2.5);
+        let slow = Norm::Lp(2.0).dist(&a, &b);
+        let fast = Norm::L2.dist(&a, &b);
+        assert!((slow - fast).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_agrees_with_dist() {
+        let a = p2(0.0, 0.0);
+        let b = p2(3.0, 4.0);
+        for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.0)] {
+            let d = norm.dist(&a, &b);
+            assert!(norm.within(&a, &b, d + 1e-9));
+            assert!(!norm.within(&a, &b, d - 1e-9));
+        }
+    }
+
+    #[test]
+    fn within_boundary_is_inclusive() {
+        // ψ uses d <= r, so the boundary must count as covered.
+        let a = p2(0.0, 0.0);
+        let b = p2(1.0, 0.0);
+        assert!(Norm::L2.within(&a, &b, 1.0));
+        assert!(Norm::L1.within(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn unit_ball_volumes_in_2d() {
+        // L1 diamond: 2. L2 disk: π. L∞ square: 4.
+        assert!((Norm::L1.unit_ball_volume(2) - 2.0).abs() < 1e-10);
+        assert!((Norm::L2.unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-10);
+        assert!((Norm::LInf.unit_ball_volume(2) - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unit_ball_volumes_in_3d() {
+        // L1 octahedron: 8/6 = 4/3. L2 ball: 4π/3. L∞ cube: 8.
+        assert!((Norm::L1.unit_ball_volume(3) - 4.0 / 3.0).abs() < 1e-10);
+        assert!(
+            (Norm::L2.unit_ball_volume(3) - 4.0 * std::f64::consts::PI / 3.0).abs() < 1e-9
+        );
+        assert!((Norm::LInf.unit_ball_volume(3) - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lp_volume_formula_consistent_with_special_cases() {
+        for d in 1..=4 {
+            let via_lp = Norm::Lp(1.0 + 1e-12).unit_ball_volume(d);
+            let exact = Norm::L1.unit_ball_volume(d);
+            assert!(
+                (via_lp - exact).abs() / exact < 1e-6,
+                "d={d}: {via_lp} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Norm::L1.name(), "L1");
+        assert_eq!(Norm::L2.to_string(), "L2");
+        assert_eq!(Norm::LInf.name(), "Linf");
+        assert_eq!(Norm::Lp(2.5).name(), "L2.5");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::Lp(3.5)] {
+            let json = serde_json::to_string(&norm).unwrap();
+            let back: Norm = serde_json::from_str(&json).unwrap();
+            assert_eq!(norm, back);
+        }
+    }
+
+    #[test]
+    fn default_is_l2() {
+        assert_eq!(Norm::default(), Norm::L2);
+    }
+}

@@ -1,0 +1,551 @@
+//! Fixed-dimension points in `R^D`.
+//!
+//! `Point<D>` wraps a `[f64; D]`, so a slice of points is a dense,
+//! cache-friendly array — the hot loops of the solvers (distance scans over
+//! all `n` points, every round, for every candidate) iterate over
+//! contiguous memory with no indirection.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::{GeomError, Result};
+
+/// A point (or vector) in `R^D`.
+///
+/// ```
+/// use mmph_geom::Point;
+///
+/// let a = Point::new([0.0, 0.0]);
+/// let b = Point::new([3.0, 4.0]);
+/// assert_eq!(a.dist_l2(&b), 5.0);
+/// assert_eq!(a.dist_l1(&b), 7.0);
+/// assert_eq!(a.midpoint(&b), Point::new([1.5, 2.0]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+/// A point in the plane, the paper's primary illustration space.
+pub type Point2 = Point<2>;
+/// A point in 3-space, used by the paper's Figs. 8–9.
+pub type Point3 = Point<3>;
+
+impl<const D: usize> Point<D> {
+    /// The origin.
+    pub const ORIGIN: Self = Point([0.0; D]);
+
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+
+    /// Creates a point with every coordinate equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Point([v; D])
+    }
+
+    /// Creates a point from a slice, checking length and finiteness.
+    pub fn try_from_slice(coords: &[f64]) -> Result<Self> {
+        if coords.len() != D {
+            return Err(GeomError::DimensionMismatch {
+                expected: D,
+                got: coords.len(),
+            });
+        }
+        let mut arr = [0.0; D];
+        for (i, &c) in coords.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(GeomError::NonFinite { index: i, value: c });
+            }
+            arr[i] = c;
+        }
+        Ok(Point(arr))
+    }
+
+    /// The dimensionality `D`.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Coordinate array by value.
+    #[inline]
+    pub const fn coords(&self) -> [f64; D] {
+        self.0
+    }
+
+    /// Coordinates as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// True if every coordinate is finite (no NaN / ±inf).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite())
+    }
+
+    /// Squared Euclidean distance to `other`. This is the innermost kernel
+    /// of every solver; it is branch-free and auto-vectorizes for small `D`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean (2-norm) distance to `other`.
+    #[inline]
+    pub fn dist_l2(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Taxicab (1-norm) distance to `other`.
+    #[inline]
+    pub fn dist_l1(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += (self.0[i] - other.0[i]).abs();
+        }
+        acc
+    }
+
+    /// Chebyshev (∞-norm) distance to `other`.
+    #[inline]
+    pub fn dist_linf(&self, other: &Self) -> f64 {
+        let mut acc: f64 = 0.0;
+        for i in 0..D {
+            acc = acc.max((self.0[i] - other.0[i]).abs());
+        }
+        acc
+    }
+
+    /// Euclidean length of this vector.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.dist_sq(&Self::ORIGIN).sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += self.0[i] * other.0[i];
+        }
+        acc
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.0[i] + t * (other.0[i] - self.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Midpoint of `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Self) -> Self {
+        self.lerp(other, 0.5)
+    }
+
+    /// Arithmetic mean of a non-empty point set.
+    pub fn centroid(points: &[Self]) -> Result<Self> {
+        if points.is_empty() {
+            return Err(GeomError::EmptyPointSet);
+        }
+        let mut acc = [0.0; D];
+        for p in points {
+            for i in 0..D {
+                acc[i] += p.0[i];
+            }
+        }
+        let inv = 1.0 / points.len() as f64;
+        for c in acc.iter_mut() {
+            *c *= inv;
+        }
+        Ok(Point(acc))
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min_components(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.0[i].min(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max_components(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = self.0[i].max(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Maps each coordinate through `f`.
+    #[inline]
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Self {
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = f(self.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Approximate equality with absolute tolerance `eps` in every
+    /// coordinate. Useful in tests and iterative refinement stop rules.
+    #[inline]
+    pub fn approx_eq(&self, other: &Self, eps: f64) -> bool {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(a, b)| (a - b).abs() <= eps)
+    }
+}
+
+impl Point2 {
+    /// x coordinate.
+    #[inline]
+    pub const fn x(&self) -> f64 {
+        self.0[0]
+    }
+    /// y coordinate.
+    #[inline]
+    pub const fn y(&self) -> f64 {
+        self.0[1]
+    }
+    /// 2-D cross product (z component of the 3-D cross product of the
+    /// vectors `self` and `other`). Positive iff `other` is counter-
+    /// clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: &Self) -> f64 {
+        self.0[0] * other.0[1] - self.0[1] * other.0[0]
+    }
+    /// Rotates the point by 45° and scales by `1/sqrt(2)`, mapping the L1
+    /// ball onto the L∞ ball: `(x, y) -> ((x+y)/2, (y-x)/2)` up to scale.
+    /// See [`crate::l1ball`].
+    #[inline]
+    pub fn rotate_l1_to_linf(&self) -> Self {
+        Point([self.0[0] + self.0[1], self.0[1] - self.0[0]])
+    }
+    /// Inverse of [`Self::rotate_l1_to_linf`].
+    #[inline]
+    pub fn rotate_linf_to_l1(&self) -> Self {
+        Point([
+            (self.0[0] - self.0[1]) * 0.5,
+            (self.0[0] + self.0[1]) * 0.5,
+        ])
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::ORIGIN
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] += rhs.0[i];
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> AddAssign for Point<D> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] -= rhs.0[i];
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> SubAssign for Point<D> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.0[i] -= rhs.0[i];
+        }
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        self.map(|c| c * s)
+    }
+}
+
+impl<const D: usize> Div<f64> for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f64) -> Self {
+        self.map(|c| c / s)
+    }
+}
+
+impl<const D: usize> Neg for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        self.map(|c| -c)
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+// Manual serde impls: serialize as a plain coordinate sequence, and
+// validate length + finiteness on deserialize (the derive for const
+// generic arrays would accept NaN).
+impl<const D: usize> serde::Serialize for Point<D> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(D))?;
+        for c in &self.0 {
+            seq.serialize_element(c)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, const D: usize> serde::Deserialize<'de> for Point<D> {
+    fn deserialize<De: serde::Deserializer<'de>>(deserializer: De) -> std::result::Result<Self, De::Error> {
+        let v = Vec::<f64>::deserialize(deserializer)?;
+        Point::try_from_slice(&v).map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2(x: f64, y: f64) -> Point2 {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = p2(1.0, 2.0);
+        assert_eq!(p.x(), 1.0);
+        assert_eq!(p.y(), 2.0);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.as_slice(), &[1.0, 2.0]);
+        assert_eq!(p.coords(), [1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_from_slice_validates_length() {
+        let err = Point::<2>::try_from_slice(&[1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(
+            err,
+            GeomError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn try_from_slice_rejects_nan() {
+        let err = Point::<2>::try_from_slice(&[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, GeomError::NonFinite { index: 1, .. }));
+    }
+
+    #[test]
+    fn try_from_slice_rejects_infinity() {
+        let err = Point::<3>::try_from_slice(&[1.0, f64::INFINITY, 0.0]).unwrap_err();
+        assert!(matches!(err, GeomError::NonFinite { index: 1, .. }));
+    }
+
+    #[test]
+    fn distances_match_hand_computed_values() {
+        let a = p2(0.0, 0.0);
+        let b = p2(3.0, 4.0);
+        assert_eq!(a.dist_l2(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist_l1(&b), 7.0);
+        assert_eq!(a.dist_linf(&b), 4.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = p2(-1.5, 2.0);
+        let b = p2(4.0, -0.25);
+        assert_eq!(a.dist_l2(&b), b.dist_l2(&a));
+        assert_eq!(a.dist_l1(&b), b.dist_l1(&a));
+        assert_eq!(a.dist_linf(&b), b.dist_linf(&a));
+    }
+
+    #[test]
+    fn three_dimensional_distances() {
+        let a = Point::new([1.0, 2.0, 3.0]);
+        let b = Point::new([4.0, 6.0, 3.0]);
+        assert_eq!(a.dist_l2(&b), 5.0);
+        assert_eq!(a.dist_l1(&b), 7.0);
+        assert_eq!(a.dist_linf(&b), 4.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = p2(1.0, 2.0);
+        let b = p2(3.0, -1.0);
+        assert_eq!(a + b, p2(4.0, 1.0));
+        assert_eq!(a - b, p2(-2.0, 3.0));
+        assert_eq!(a * 2.0, p2(2.0, 4.0));
+        assert_eq!(a / 2.0, p2(0.5, 1.0));
+        assert_eq!(-a, p2(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, p2(4.0, 1.0));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn lerp_and_midpoint() {
+        let a = p2(0.0, 0.0);
+        let b = p2(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.midpoint(&b), p2(1.0, 2.0));
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [p2(0.0, 0.0), p2(2.0, 0.0), p2(2.0, 2.0), p2(0.0, 2.0)];
+        assert_eq!(Point::centroid(&pts).unwrap(), p2(1.0, 1.0));
+    }
+
+    #[test]
+    fn centroid_of_empty_set_errors() {
+        assert_eq!(
+            Point::<2>::centroid(&[]).unwrap_err(),
+            GeomError::EmptyPointSet
+        );
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = p2(1.0, 0.0);
+        let b = p2(0.0, 1.0);
+        assert_eq!(a.dot(&b), 0.0);
+        assert_eq!(a.cross(&b), 1.0);
+        assert_eq!(b.cross(&a), -1.0);
+    }
+
+    #[test]
+    fn l1_linf_rotation_roundtrip() {
+        let p = p2(0.3, -1.7);
+        let back = p.rotate_l1_to_linf().rotate_linf_to_l1();
+        assert!(p.approx_eq(&back, 1e-12));
+    }
+
+    #[test]
+    fn rotation_maps_l1_distance_to_linf_distance() {
+        let a = p2(0.25, 1.5);
+        let b = p2(-2.0, 0.5);
+        let l1 = a.dist_l1(&b);
+        let linf = a.rotate_l1_to_linf().dist_linf(&b.rotate_l1_to_linf());
+        assert!((l1 - linf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = p2(1.0, 5.0);
+        let b = p2(3.0, 2.0);
+        assert_eq!(a.min_components(&b), p2(1.0, 2.0));
+        assert_eq!(a.max_components(&b), p2(3.0, 5.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Point::new([1.5, -2.25, 0.0]);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "[1.5,-2.25,0.0]");
+        let back: Point<3> = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn serde_rejects_wrong_length() {
+        let r: std::result::Result<Point<2>, _> = serde_json::from_str("[1.0,2.0,3.0]");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(p2(1.0, -2.5).to_string(), "(1, -2.5)");
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = p2(1.0, 1.0);
+        let b = p2(1.0 + 1e-10, 1.0 - 1e-10);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-11));
+    }
+}

@@ -1,0 +1,487 @@
+//! Smallest enclosing circle / ball (the paper's §II-C substrate).
+//!
+//! Algorithm 4 (complex local greedy) repeatedly grows a disk by adding
+//! the heaviest remaining point and recomputing *"the smallest disk that
+//! covers all points in D plus point j"* (§V-B, step 4). The paper cites
+//! Welzl's randomized expected-`O(n)` algorithm; we implement it for any
+//! constant dimension `D` (support sets of at most `D+1` points, solved
+//! through a small Gram linear system), plus Ritter's 2-pass
+//! approximation with iterative refinement as a fast approximate path.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// Tolerance used for "inside the ball" tests. Relative to the radius so
+/// that instances at any scale behave identically.
+const EPS: f64 = 1e-10;
+
+/// A ball `{ x : ||x - center||_2 <= radius }`.
+///
+/// A radius of exactly `-1.0` denotes the empty ball (contains nothing);
+/// it only arises internally for empty input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ball<const D: usize> {
+    /// Center of the ball.
+    pub center: Point<D>,
+    /// Radius (`>= 0` for non-empty balls).
+    pub radius: f64,
+}
+
+impl<const D: usize> Ball<D> {
+    /// The empty ball.
+    pub const EMPTY: Self = Ball {
+        center: Point::ORIGIN,
+        radius: -1.0,
+    };
+
+    /// A ball from center and radius.
+    pub fn new(center: Point<D>, radius: f64) -> Self {
+        Ball { center, radius }
+    }
+
+    /// True iff `p` is inside the ball, with a small relative tolerance.
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        let slack = self.radius * EPS + EPS;
+        let r = self.radius + slack;
+        self.center.dist_sq(p) <= r * r
+    }
+
+    /// True iff every point of `points` is inside the ball.
+    pub fn contains_all(&self, points: &[Point<D>]) -> bool {
+        points.iter().all(|p| self.contains(p))
+    }
+}
+
+/// Exact smallest enclosing ball of `points` (deterministic: the internal
+/// Welzl shuffle is seeded from the input length, so repeated calls with
+/// the same input return the same ball).
+///
+/// Returns [`Ball::EMPTY`] for an empty input; a zero-radius ball for a
+/// single point; handles duplicate and affinely dependent point sets.
+///
+/// ```
+/// use mmph_geom::{min_enclosing_ball, Point};
+///
+/// let pts = [
+///     Point::new([0.0, 0.0]),
+///     Point::new([2.0, 0.0]),
+///     Point::new([1.0, 0.5]),
+/// ];
+/// let ball = min_enclosing_ball(&pts);
+/// assert!(ball.contains_all(&pts));
+/// assert!((ball.radius - 1.0).abs() < 1e-9); // diameter ball of the pair
+/// ```
+pub fn min_enclosing_ball<const D: usize>(points: &[Point<D>]) -> Ball<D> {
+    let mut rng = StdRng::seed_from_u64(0x5eed ^ points.len() as u64);
+    min_enclosing_ball_with_rng(points, &mut rng)
+}
+
+/// Exact smallest enclosing ball with a caller-supplied RNG for the
+/// Welzl shuffle (the result is the same ball regardless of the shuffle;
+/// only the running time distribution depends on it).
+pub fn min_enclosing_ball_with_rng<const D: usize>(
+    points: &[Point<D>],
+    rng: &mut impl Rng,
+) -> Ball<D> {
+    if points.is_empty() {
+        return Ball::EMPTY;
+    }
+    let mut pts: Vec<Point<D>> = points.to_vec();
+    pts.shuffle(rng);
+    let mut boundary: Vec<Point<D>> = Vec::with_capacity(D + 1);
+    welzl(&mut pts, points.len(), &mut boundary)
+}
+
+/// Recursive Welzl with move-to-front. `n` is the active prefix length of
+/// `pts`; `boundary` is the set of points forced onto the ball surface.
+fn welzl<const D: usize>(
+    pts: &mut [Point<D>],
+    n: usize,
+    boundary: &mut Vec<Point<D>>,
+) -> Ball<D> {
+    if n == 0 || boundary.len() == D + 1 {
+        return circumball(boundary);
+    }
+    let p = pts[n - 1];
+    let ball = welzl(pts, n - 1, boundary);
+    if ball.contains(&p) {
+        return ball;
+    }
+    boundary.push(p);
+    let ball = welzl(pts, n - 1, boundary);
+    boundary.pop();
+    // Move-to-front heuristic: points that ended up on the boundary are
+    // likely to constrain future balls too, so test them early.
+    pts[..n].rotate_right(1);
+    ball
+}
+
+/// The unique smallest ball whose surface passes through every point of
+/// `support` (at most `D + 1` points). The center is the solution of the
+/// Gram linear system
+/// `(p_i - p_0) . (c - p_0) = |p_i - p_0|^2 / 2` restricted to the affine
+/// hull of the support set. Affinely dependent (including duplicate)
+/// support points are projected out rather than causing a failure.
+pub fn circumball<const D: usize>(support: &[Point<D>]) -> Ball<D> {
+    match support.len() {
+        0 => Ball::EMPTY,
+        1 => Ball::new(support[0], 0.0),
+        2 => {
+            let c = support[0].midpoint(&support[1]);
+            Ball::new(c, c.dist_l2(&support[0]))
+        }
+        m => {
+            let p0 = support[0];
+            let k = m - 1; // system size, k <= D
+            let mut a = vec![[0.0f64; 8]; k]; // D+1 <= 8 covers D <= 7
+            debug_assert!(k <= 8);
+            let mut b = vec![0.0f64; k];
+            let vs: Vec<Point<D>> = support[1..].iter().map(|p| *p - p0).collect();
+            for i in 0..k {
+                for j in 0..k {
+                    a[i][j] = vs[i].dot(&vs[j]);
+                }
+                b[i] = vs[i].dot(&vs[i]) * 0.5;
+            }
+            let lambda = solve_spd_with_pivot_skip(&mut a, &mut b, k);
+            let mut c = p0;
+            for (i, v) in vs.iter().enumerate() {
+                c += *v * lambda[i];
+            }
+            // Radius: max distance to support (robust against projected-out
+            // dependent directions).
+            let r = support
+                .iter()
+                .map(|p| c.dist_l2(p))
+                .fold(0.0f64, f64::max);
+            Ball::new(c, r)
+        }
+    }
+}
+
+/// Gaussian elimination with partial pivoting over the `k x k` prefix of
+/// `a`. Pivots below a small threshold (affinely dependent support
+/// directions) are skipped and their variables fixed to 0, which projects
+/// the solution into the span of the independent directions.
+fn solve_spd_with_pivot_skip(a: &mut [[f64; 8]], b: &mut [f64], k: usize) -> Vec<f64> {
+    const PIVOT_EPS: f64 = 1e-12;
+    let mut skipped = vec![false; k];
+    for col in 0..k {
+        // Partial pivot within rows col..k.
+        let mut piv = col;
+        for row in col + 1..k {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() < PIVOT_EPS {
+            skipped[col] = true;
+            continue;
+        }
+        if piv != col {
+            a.swap(piv, col);
+            b.swap(piv, col);
+        }
+        let inv = 1.0 / a[col][col];
+        for row in col + 1..k {
+            let f = a[row][col] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..k {
+                a[row][c] -= f * a[col][c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        if skipped[col] || a[col][col].abs() < PIVOT_EPS {
+            x[col] = 0.0;
+            continue;
+        }
+        let mut s = b[col];
+        for c in col + 1..k {
+            s -= a[col][c] * x[c];
+        }
+        x[col] = s / a[col][col];
+    }
+    x
+}
+
+/// Ritter's two-pass approximate bounding ball, optionally tightened by
+/// `refine_iters` rounds of shrink-toward-farthest refinement. Guarantees
+/// containment of all points; the radius is within a few percent of
+/// optimal in practice. Used as the fast path in ablation benches.
+pub fn ritter_ball<const D: usize>(points: &[Point<D>], refine_iters: usize) -> Ball<D> {
+    if points.is_empty() {
+        return Ball::EMPTY;
+    }
+    // Pass 1: pick p, farthest q from p, farthest s from q; start with
+    // the ball on segment qs.
+    let p = points[0];
+    let q = *points
+        .iter()
+        .max_by(|a, b| p.dist_sq(a).total_cmp(&p.dist_sq(b)))
+        .expect("non-empty");
+    let s = *points
+        .iter()
+        .max_by(|a, b| q.dist_sq(a).total_cmp(&q.dist_sq(b)))
+        .expect("non-empty");
+    let mut center = q.midpoint(&s);
+    let mut radius = q.dist_l2(&s) * 0.5;
+    // Pass 2: grow to include stragglers.
+    for pt in points {
+        let d = center.dist_l2(pt);
+        if d > radius {
+            let new_r = (radius + d) * 0.5;
+            let t = (new_r - radius) / d; // move center toward pt
+            center = center.lerp(pt, t);
+            radius = new_r;
+        }
+    }
+    // Refinement: shrink slightly and re-grow; keeps containment while
+    // typically reducing the radius by 1-3%.
+    for _ in 0..refine_iters {
+        let mut r = radius * 0.95;
+        let mut c = center;
+        for pt in points {
+            let d = c.dist_l2(pt);
+            if d > r {
+                let new_r = (r + d) * 0.5;
+                let t = (new_r - r) / d;
+                c = c.lerp(pt, t);
+                r = new_r;
+            }
+        }
+        if r < radius {
+            radius = r;
+            center = c;
+        }
+    }
+    Ball::new(center, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type P2 = Point<2>;
+    type P3 = Point<3>;
+
+    fn p2(x: f64, y: f64) -> P2 {
+        Point::new([x, y])
+    }
+
+    /// Brute-force smallest enclosing circle in 2-D: best over all balls
+    /// defined by 1, 2, or 3 points. O(n^4) — tests only.
+    fn brute_force_2d(points: &[P2]) -> Ball<2> {
+        let n = points.len();
+        let mut best = Ball::<2>::EMPTY;
+        let mut consider = |b: Ball<2>| {
+            if b.contains_all(points) && (best.radius < 0.0 || b.radius < best.radius) {
+                best = b;
+            }
+        };
+        for i in 0..n {
+            consider(Ball::new(points[i], 0.0));
+            for j in i + 1..n {
+                consider(circumball(&[points[i], points[j]]));
+                for k in j + 1..n {
+                    consider(circumball(&[points[i], points[j], points[k]]));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_input_gives_empty_ball() {
+        let b = min_enclosing_ball::<2>(&[]);
+        assert_eq!(b, Ball::EMPTY);
+        assert!(!b.contains(&p2(0.0, 0.0)));
+    }
+
+    #[test]
+    fn single_point_zero_radius() {
+        let b = min_enclosing_ball(&[p2(1.0, 2.0)]);
+        assert_eq!(b.center, p2(1.0, 2.0));
+        assert_eq!(b.radius, 0.0);
+        assert!(b.contains(&p2(1.0, 2.0)));
+    }
+
+    #[test]
+    fn two_points_diameter_ball() {
+        let b = min_enclosing_ball(&[p2(0.0, 0.0), p2(2.0, 0.0)]);
+        assert!(b.center.approx_eq(&p2(1.0, 0.0), 1e-9));
+        assert!((b.radius - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilateral_triangle_circumcircle() {
+        let h = 3f64.sqrt() / 2.0;
+        let pts = [p2(0.0, 0.0), p2(1.0, 0.0), p2(0.5, h)];
+        let b = min_enclosing_ball(&pts);
+        // Circumradius of unit equilateral triangle = 1/sqrt(3).
+        assert!((b.radius - 1.0 / 3f64.sqrt()).abs() < 1e-9);
+        assert!(b.center.approx_eq(&p2(0.5, h / 3.0), 1e-9));
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter_of_longest_side() {
+        // For an obtuse triangle the smallest circle is on the longest side.
+        let pts = [p2(0.0, 0.0), p2(4.0, 0.0), p2(2.0, 0.5)];
+        let b = min_enclosing_ball(&pts);
+        assert!((b.radius - 2.0).abs() < 1e-9);
+        assert!(b.center.approx_eq(&p2(2.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = [p2(1.0, 1.0); 5];
+        let b = min_enclosing_ball(&pts);
+        assert!(b.radius.abs() < 1e-9);
+        assert!(b.center.approx_eq(&p2(1.0, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn collinear_points_handled() {
+        let pts: Vec<P2> = (0..10).map(|i| p2(i as f64, 2.0 * i as f64)).collect();
+        let b = min_enclosing_ball(&pts);
+        assert!(b.contains_all(&pts));
+        let expected_r = pts[0].dist_l2(&pts[9]) * 0.5;
+        assert!((b.radius - expected_r).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..60 {
+            let n = 3 + (trial % 12);
+            let pts: Vec<P2> = (0..n)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let fast = min_enclosing_ball(&pts);
+            let slow = brute_force_2d(&pts);
+            assert!(fast.contains_all(&pts), "trial {trial}: not covering");
+            assert!(
+                (fast.radius - slow.radius).abs() < 1e-7,
+                "trial {trial}: welzl r={} brute r={}",
+                fast.radius,
+                slow.radius
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<P2> = (0..50)
+            .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+            .collect();
+        let a = min_enclosing_ball(&pts);
+        let b = min_enclosing_ball(&pts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_dimensional_regular_tetrahedron() {
+        // Regular tetrahedron on alternating cube corners; the
+        // circumcenter is the origin and the circumradius is sqrt(3).
+        let pts = [
+            Point::new([1.0, 1.0, 1.0]),
+            Point::new([1.0, -1.0, -1.0]),
+            Point::new([-1.0, 1.0, -1.0]),
+            Point::new([-1.0, -1.0, 1.0]),
+        ];
+        let b = min_enclosing_ball(&pts);
+        assert!(b.center.approx_eq(&Point::new([0.0, 0.0, 0.0]), 1e-9));
+        assert!((b.radius - 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_dimensional_random_containment_and_local_minimality() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let pts: Vec<P3> = (0..40)
+                .map(|_| {
+                    Point::new([
+                        rng.gen_range(0.0..4.0),
+                        rng.gen_range(0.0..4.0),
+                        rng.gen_range(0.0..4.0),
+                    ])
+                })
+                .collect();
+            let b = min_enclosing_ball(&pts);
+            assert!(b.contains_all(&pts));
+            // Minimality sanity: centroid ball must not beat it.
+            let c = Point::centroid(&pts).unwrap();
+            let r_centroid = pts
+                .iter()
+                .map(|p| c.dist_l2(p))
+                .fold(0.0f64, f64::max);
+            assert!(b.radius <= r_centroid + 1e-9);
+        }
+    }
+
+    #[test]
+    fn circumball_of_right_triangle() {
+        // Right triangle: hypotenuse midpoint is the circumcenter.
+        let b = circumball(&[p2(0.0, 0.0), p2(4.0, 0.0), p2(0.0, 3.0)]);
+        assert!(b.center.approx_eq(&p2(2.0, 1.5), 1e-9));
+        assert!((b.radius - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circumball_degenerate_duplicate_support() {
+        let b = circumball(&[p2(1.0, 1.0), p2(1.0, 1.0), p2(3.0, 1.0)]);
+        assert!(b.contains(&p2(1.0, 1.0)));
+        assert!(b.contains(&p2(3.0, 1.0)));
+    }
+
+    #[test]
+    fn ritter_contains_all_and_close_to_optimal() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let pts: Vec<P2> = (0..100)
+                .map(|_| p2(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)))
+                .collect();
+            let approx = ritter_ball(&pts, 8);
+            let exact = min_enclosing_ball(&pts);
+            assert!(approx.contains_all(&pts));
+            assert!(approx.radius >= exact.radius - 1e-9);
+            assert!(
+                approx.radius <= exact.radius * 1.10,
+                "ritter {} vs exact {}",
+                approx.radius,
+                exact.radius
+            );
+        }
+    }
+
+    #[test]
+    fn ritter_empty_and_single() {
+        assert_eq!(ritter_ball::<2>(&[], 3), Ball::EMPTY);
+        let b = ritter_ball(&[p2(1.0, 1.0)], 3);
+        assert!(b.radius.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_serde_roundtrip() {
+        let b = Ball::new(p2(1.0, 2.0), 3.5);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Ball<2> = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

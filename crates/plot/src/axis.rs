@@ -1,0 +1,177 @@
+//! Linear scales and "nice number" tick generation (Heckbert's
+//! algorithm from Graphics Gems).
+
+/// A linear mapping from a data domain to a pixel range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    /// Domain lower bound.
+    pub d0: f64,
+    /// Domain upper bound.
+    pub d1: f64,
+    /// Range lower bound (pixels).
+    pub r0: f64,
+    /// Range upper bound (pixels).
+    pub r1: f64,
+}
+
+impl LinearScale {
+    /// Creates a scale; a degenerate domain (`d0 == d1`) is widened by
+    /// ±0.5 so rendering never divides by zero.
+    pub fn new(d0: f64, d1: f64, r0: f64, r1: f64) -> Self {
+        if d0 == d1 {
+            LinearScale {
+                d0: d0 - 0.5,
+                d1: d1 + 0.5,
+                r0,
+                r1,
+            }
+        } else {
+            LinearScale { d0, d1, r0, r1 }
+        }
+    }
+
+    /// Maps a domain value to pixels.
+    #[inline]
+    pub fn map(&self, v: f64) -> f64 {
+        self.r0 + (v - self.d0) / (self.d1 - self.d0) * (self.r1 - self.r0)
+    }
+}
+
+/// Rounds `x` to a "nice" value (1, 2, or 5 times a power of ten).
+/// `round = true` picks the nearest; `false` picks the ceiling.
+pub fn nice_number(x: f64, round: bool) -> f64 {
+    if x <= 0.0 || !x.is_finite() {
+        return 1.0;
+    }
+    let exp = x.log10().floor();
+    let frac = x / 10f64.powf(exp);
+    let nice_frac = if round {
+        if frac < 1.5 {
+            1.0
+        } else if frac < 3.0 {
+            2.0
+        } else if frac < 7.0 {
+            5.0
+        } else {
+            10.0
+        }
+    } else if frac <= 1.0 {
+        1.0
+    } else if frac <= 2.0 {
+        2.0
+    } else if frac <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice_frac * 10f64.powf(exp)
+}
+
+/// Generates ~`target` nicely-spaced tick values covering `[lo, hi]`.
+/// Returns `(ticks, nice_lo, nice_hi)` where the nice bounds enclose the
+/// data.
+pub fn ticks(lo: f64, hi: f64, target: usize) -> (Vec<f64>, f64, f64) {
+    let target = target.max(2);
+    let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+    let range = nice_number(hi - lo, false);
+    let step = nice_number(range / (target - 1) as f64, true);
+    let nice_lo = (lo / step).floor() * step;
+    let nice_hi = (hi / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = nice_lo;
+    // Half-step epsilon guards against accumulation error at the end.
+    while t <= nice_hi + step * 0.5 {
+        // Snap near-zero to exactly zero for clean labels.
+        out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+    }
+    (out, nice_lo, nice_hi)
+}
+
+/// Formats a tick value compactly ("0.5", "2", "1000").
+pub fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    if v.abs() >= 1000.0 || v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else if (v * 10.0).fract().abs() < 1e-9 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_endpoints() {
+        let s = LinearScale::new(0.0, 10.0, 100.0, 200.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+    }
+
+    #[test]
+    fn scale_inverted_range() {
+        // SVG y axes grow downward: r0 > r1 must work.
+        let s = LinearScale::new(0.0, 1.0, 300.0, 20.0);
+        assert_eq!(s.map(0.0), 300.0);
+        assert_eq!(s.map(1.0), 20.0);
+        assert!(s.map(0.5) > 20.0 && s.map(0.5) < 300.0);
+    }
+
+    #[test]
+    fn degenerate_domain_widened() {
+        let s = LinearScale::new(2.0, 2.0, 0.0, 100.0);
+        assert_eq!(s.map(2.0), 50.0);
+    }
+
+    #[test]
+    fn nice_number_values() {
+        assert_eq!(nice_number(0.9, true), 1.0);
+        assert_eq!(nice_number(2.2, true), 2.0);
+        assert_eq!(nice_number(4.0, true), 5.0);
+        assert_eq!(nice_number(8.0, true), 10.0);
+        assert_eq!(nice_number(3.0, false), 5.0);
+        assert_eq!(nice_number(1.0, false), 1.0);
+        assert_eq!(nice_number(0.0, true), 1.0);
+        assert_eq!(nice_number(-5.0, true), 1.0);
+    }
+
+    #[test]
+    fn ticks_cover_range() {
+        let (ts, lo, hi) = ticks(0.13, 0.87, 5);
+        assert!(lo <= 0.13);
+        assert!(hi >= 0.87);
+        assert!(ts.len() >= 3 && ts.len() <= 12);
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(ts.first().copied().unwrap(), lo);
+    }
+
+    #[test]
+    fn ticks_handle_degenerate_range() {
+        let (ts, lo, hi) = ticks(5.0, 5.0, 5);
+        assert!(lo < 5.0 && hi > 5.0);
+        assert!(ts.len() >= 2);
+    }
+
+    #[test]
+    fn ticks_include_zero_cleanly() {
+        let (ts, _, _) = ticks(-1.0, 1.0, 5);
+        assert!(ts.contains(&0.0));
+    }
+
+    #[test]
+    fn fmt_tick_cases() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(2.0), "2");
+        assert_eq!(fmt_tick(0.5), "0.5");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(1500.0), "1500");
+    }
+}

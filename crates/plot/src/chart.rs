@@ -1,0 +1,548 @@
+//! Chart types: line charts, grouped bar charts, scatter plots.
+//!
+//! All charts validate their data (non-empty, finite) and render to a
+//! deterministic SVG string.
+
+use crate::axis::{fmt_tick, ticks, LinearScale};
+use crate::svg::{Anchor, Marker, SvgDoc, PALETTE};
+use crate::{PlotError, Result};
+
+const MARGIN_L: f64 = 56.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 34.0;
+const MARGIN_B: f64 = 46.0;
+
+/// One named data series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Marker drawn at each point.
+    pub marker: Marker,
+    /// Render the connecting line dashed (used for theoretical bounds).
+    pub dashed: bool,
+}
+
+impl Series {
+    /// Creates a solid-line series with dot markers.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            marker: Marker::Dot,
+            dashed: false,
+        }
+    }
+
+    /// Sets the marker.
+    pub fn with_marker(mut self, marker: Marker) -> Self {
+        self.marker = marker;
+        self
+    }
+
+    /// Renders the connecting line dashed.
+    pub fn with_dashed(mut self, dashed: bool) -> Self {
+        self.dashed = dashed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(PlotError::NonFinite {
+                    series: self.label.clone(),
+                    index: i,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multi-series line chart with axes, ticks and a legend.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Pixel size (width, height).
+    pub size: (f64, f64),
+    /// Optional fixed y-domain (e.g. ratios in `[0, 1]`).
+    pub y_domain: Option<(f64, f64)>,
+}
+
+impl LineChart {
+    /// An empty chart with the given labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            size: (560.0, 380.0),
+            y_domain: None,
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Fixes the y domain.
+    pub fn with_y_domain(mut self, lo: f64, hi: f64) -> Self {
+        self.y_domain = Some((lo, hi));
+        self
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> Result<String> {
+        if self.series.is_empty() || self.series.iter().all(|s| s.points.is_empty()) {
+            return Err(PlotError::Empty);
+        }
+        for s in &self.series {
+            s.validate()?;
+        }
+        let (w, h) = self.size;
+        let mut doc = SvgDoc::new(w, h);
+        // Data extents.
+        let all = self.series.iter().flat_map(|s| s.points.iter());
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in all {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+        if let Some((lo, hi)) = self.y_domain {
+            y0 = lo;
+            y1 = hi;
+        }
+        let (xt, nx0, nx1) = ticks(x0, x1, 6);
+        let (yt, ny0, ny1) = ticks(y0, y1, 6);
+        let xs = LinearScale::new(nx0, nx1, MARGIN_L, w - MARGIN_R);
+        let ys = LinearScale::new(ny0, ny1, h - MARGIN_B, MARGIN_T);
+        // Frame + grid + ticks.
+        doc.rect(
+            MARGIN_L,
+            MARGIN_T,
+            w - MARGIN_L - MARGIN_R,
+            h - MARGIN_T - MARGIN_B,
+            "none",
+            "#444444",
+        );
+        for &t in &xt {
+            let px = xs.map(t);
+            doc.line(px, h - MARGIN_B, px, h - MARGIN_B + 4.0, "#444444", 1.0);
+            doc.line(px, MARGIN_T, px, h - MARGIN_B, "#eeeeee", 0.8);
+            doc.text(px, h - MARGIN_B + 16.0, &fmt_tick(t), 10.0, Anchor::Middle);
+        }
+        for &t in &yt {
+            let py = ys.map(t);
+            doc.line(MARGIN_L - 4.0, py, MARGIN_L, py, "#444444", 1.0);
+            doc.line(MARGIN_L, py, w - MARGIN_R, py, "#eeeeee", 0.8);
+            doc.text(MARGIN_L - 7.0, py + 3.5, &fmt_tick(t), 10.0, Anchor::End);
+        }
+        // Labels + title.
+        doc.text(w / 2.0, h - 10.0, &self.x_label, 12.0, Anchor::Middle);
+        doc.vtext(16.0, (MARGIN_T + h - MARGIN_B) / 2.0, &self.y_label, 12.0);
+        doc.text(w / 2.0, 18.0, &self.title, 13.0, Anchor::Middle);
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let pts: Vec<(f64, f64)> =
+                s.points.iter().map(|(x, y)| (xs.map(*x), ys.map(*y))).collect();
+            if s.dashed {
+                for pair in pts.windows(2) {
+                    doc.dashed_line(pair[0].0, pair[0].1, pair[1].0, pair[1].1, color, 1.5);
+                }
+            } else {
+                doc.polyline(&pts, color, 1.5);
+            }
+            for &(px, py) in &pts {
+                s.marker.draw(&mut doc, px, py, 3.5, color);
+            }
+        }
+        // Legend (top-left inside the frame).
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let ly = MARGIN_T + 14.0 + 15.0 * i as f64;
+            let lx = MARGIN_L + 10.0;
+            if s.dashed {
+                doc.dashed_line(lx, ly - 3.0, lx + 22.0, ly - 3.0, color, 1.5);
+            } else {
+                doc.line(lx, ly - 3.0, lx + 22.0, ly - 3.0, color, 1.5);
+            }
+            s.marker.draw(&mut doc, lx + 11.0, ly - 3.0, 3.0, color);
+            doc.text(lx + 27.0, ly, &s.label, 10.0, Anchor::Start);
+        }
+        Ok(doc.finish())
+    }
+}
+
+/// A grouped bar chart: `groups` along x, one bar per series member.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Group labels along x.
+    pub groups: Vec<String>,
+    /// `(series label, per-group values)`; every value vec must have
+    /// `groups.len()` entries.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Pixel size (width, height).
+    pub size: (f64, f64),
+}
+
+impl BarChart {
+    /// An empty bar chart.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            groups: Vec::new(),
+            series: Vec::new(),
+            size: (560.0, 380.0),
+        }
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> Result<String> {
+        if self.groups.is_empty() || self.series.is_empty() {
+            return Err(PlotError::Empty);
+        }
+        for (label, vals) in &self.series {
+            if vals.len() != self.groups.len() {
+                return Err(PlotError::Shape(format!(
+                    "series `{label}` has {} values for {} groups",
+                    vals.len(),
+                    self.groups.len()
+                )));
+            }
+            if let Some(i) = vals.iter().position(|v| !v.is_finite()) {
+                return Err(PlotError::NonFinite {
+                    series: label.clone(),
+                    index: i,
+                });
+            }
+        }
+        let (w, h) = self.size;
+        let mut doc = SvgDoc::new(w, h);
+        let vmax = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter())
+            .fold(0.0f64, |a, &b| a.max(b));
+        let (yt, _, ny1) = ticks(0.0, vmax.max(1e-9), 6);
+        let ys = LinearScale::new(0.0, ny1, h - MARGIN_B, MARGIN_T);
+        doc.rect(
+            MARGIN_L,
+            MARGIN_T,
+            w - MARGIN_L - MARGIN_R,
+            h - MARGIN_T - MARGIN_B,
+            "none",
+            "#444444",
+        );
+        for &t in &yt {
+            let py = ys.map(t);
+            doc.line(MARGIN_L - 4.0, py, MARGIN_L, py, "#444444", 1.0);
+            doc.line(MARGIN_L, py, w - MARGIN_R, py, "#eeeeee", 0.8);
+            doc.text(MARGIN_L - 7.0, py + 3.5, &fmt_tick(t), 10.0, Anchor::End);
+        }
+        let plot_w = w - MARGIN_L - MARGIN_R;
+        let group_w = plot_w / self.groups.len() as f64;
+        let bar_w = group_w * 0.8 / self.series.len() as f64;
+        for (gi, gl) in self.groups.iter().enumerate() {
+            let gx = MARGIN_L + gi as f64 * group_w;
+            doc.text(gx + group_w / 2.0, h - MARGIN_B + 16.0, gl, 10.0, Anchor::Middle);
+            for (si, (_, vals)) in self.series.iter().enumerate() {
+                let color = PALETTE[si % PALETTE.len()];
+                let x = gx + group_w * 0.1 + si as f64 * bar_w;
+                let top = ys.map(vals[gi]);
+                doc.rect(x, top, bar_w * 0.92, (h - MARGIN_B) - top, color, "none");
+            }
+        }
+        doc.vtext(16.0, (MARGIN_T + h - MARGIN_B) / 2.0, &self.y_label, 12.0);
+        doc.text(w / 2.0, 18.0, &self.title, 13.0, Anchor::Middle);
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let lx = MARGIN_L + 10.0;
+            let ly = MARGIN_T + 14.0 + 15.0 * si as f64;
+            doc.rect(lx, ly - 9.0, 10.0, 10.0, color, "none");
+            doc.text(lx + 15.0, ly, label, 10.0, Anchor::Start);
+        }
+        Ok(doc.finish())
+    }
+}
+
+/// One point of a scatter plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// Data x.
+    pub x: f64,
+    /// Data y.
+    pub y: f64,
+    /// Marker shape.
+    pub marker: Marker,
+    /// Marker color.
+    pub color_index: usize,
+}
+
+/// A circle overlay (coverage disk of a chosen center).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircleOverlay {
+    /// Center x (data coordinates).
+    pub cx: f64,
+    /// Center y (data coordinates).
+    pub cy: f64,
+    /// Radius (data units).
+    pub r: f64,
+    /// Palette color index.
+    pub color_index: usize,
+}
+
+/// A square-frame scatter plot over a fixed data domain — the Fig. 3
+/// panel type: weighted points with per-weight markers, selected centers
+/// as stars, coverage disks as outlines.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    /// Chart title.
+    pub title: String,
+    /// Data domain (applied to both axes: the paper's square space).
+    pub domain: (f64, f64),
+    /// Points.
+    pub points: Vec<ScatterPoint>,
+    /// Coverage circles.
+    pub circles: Vec<CircleOverlay>,
+    /// Pixel size of the (square) plot area.
+    pub size: f64,
+}
+
+impl ScatterPlot {
+    /// An empty scatter plot over `[lo, hi]²`.
+    pub fn new(title: impl Into<String>, lo: f64, hi: f64) -> Self {
+        ScatterPlot {
+            title: title.into(),
+            domain: (lo, hi),
+            points: Vec::new(),
+            circles: Vec::new(),
+            size: 380.0,
+        }
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> Result<String> {
+        if self.points.is_empty() {
+            return Err(PlotError::Empty);
+        }
+        for (i, p) in self.points.iter().enumerate() {
+            if !p.x.is_finite() || !p.y.is_finite() {
+                return Err(PlotError::NonFinite {
+                    series: "scatter".to_owned(),
+                    index: i,
+                });
+            }
+        }
+        let side = self.size;
+        let w = side + MARGIN_L + MARGIN_R;
+        let h = side + MARGIN_T + MARGIN_B;
+        let mut doc = SvgDoc::new(w, h);
+        let (lo, hi) = self.domain;
+        let xs = LinearScale::new(lo, hi, MARGIN_L, MARGIN_L + side);
+        let ys = LinearScale::new(lo, hi, MARGIN_T + side, MARGIN_T);
+        doc.rect(MARGIN_L, MARGIN_T, side, side, "none", "#444444");
+        let (ts, _, _) = ticks(lo, hi, 5);
+        for &t in &ts {
+            if t < lo || t > hi {
+                continue;
+            }
+            let px = xs.map(t);
+            let py = ys.map(t);
+            doc.line(px, MARGIN_T + side, px, MARGIN_T + side + 4.0, "#444444", 1.0);
+            doc.text(px, MARGIN_T + side + 16.0, &fmt_tick(t), 10.0, Anchor::Middle);
+            doc.line(MARGIN_L - 4.0, py, MARGIN_L, py, "#444444", 1.0);
+            doc.text(MARGIN_L - 7.0, py + 3.5, &fmt_tick(t), 10.0, Anchor::End);
+        }
+        // Coverage circles under the points. The pixel radius uses the x
+        // scale; the plot is square so x and y scales agree.
+        let px_per_unit = side / (hi - lo);
+        for c in &self.circles {
+            let color = PALETTE[c.color_index % PALETTE.len()];
+            doc.circle(
+                xs.map(c.cx),
+                ys.map(c.cy),
+                c.r * px_per_unit,
+                "none",
+                color,
+                1.2,
+            );
+        }
+        for p in &self.points {
+            let color = PALETTE[p.color_index % PALETTE.len()];
+            p.marker.draw(&mut doc, xs.map(p.x), ys.map(p.y), 4.0, color);
+        }
+        doc.text(w / 2.0, 18.0, &self.title, 13.0, Anchor::Middle);
+        Ok(doc.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders() {
+        let mut chart = LineChart::new("t", "x", "y");
+        chart.push(Series::new("a", vec![(1.0, 0.5), (2.0, 0.7), (3.0, 0.9)]));
+        chart.push(
+            Series::new("bound", vec![(1.0, 0.4), (3.0, 0.4)])
+                .with_dashed(true)
+                .with_marker(Marker::Cross),
+        );
+        let svg = chart.render().unwrap();
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">bound</text>"));
+    }
+
+    #[test]
+    fn line_chart_empty_errors() {
+        let chart = LineChart::new("t", "x", "y");
+        assert_eq!(chart.render().unwrap_err(), PlotError::Empty);
+        let mut chart2 = LineChart::new("t", "x", "y");
+        chart2.push(Series::new("a", vec![]));
+        assert_eq!(chart2.render().unwrap_err(), PlotError::Empty);
+    }
+
+    #[test]
+    fn line_chart_rejects_nan() {
+        let mut chart = LineChart::new("t", "x", "y");
+        chart.push(Series::new("a", vec![(0.0, f64::NAN)]));
+        assert!(matches!(
+            chart.render().unwrap_err(),
+            PlotError::NonFinite { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn line_chart_deterministic() {
+        let build = || {
+            let mut c = LineChart::new("t", "x", "y");
+            c.push(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]));
+            c.render().unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn line_chart_fixed_domain() {
+        let mut c = LineChart::new("t", "x", "ratio").with_y_domain(0.0, 1.0);
+        c.push(Series::new("a", vec![(0.0, 0.2), (1.0, 0.4)]));
+        let svg = c.render().unwrap();
+        assert!(svg.contains(">1</text>")); // y tick at 1.0 present
+    }
+
+    #[test]
+    fn bar_chart_renders() {
+        let chart = BarChart {
+            title: "rewards".into(),
+            y_label: "reward".into(),
+            groups: vec!["r=1".into(), "r=1.5".into()],
+            series: vec![
+                ("greedy2".into(), vec![10.0, 12.0]),
+                ("greedy3".into(), vec![11.0, 13.5]),
+            ],
+            size: (400.0, 300.0),
+        };
+        let svg = chart.render().unwrap();
+        assert!(svg.matches("<rect").count() > 4);
+        assert!(svg.contains(">greedy2</text>"));
+        assert!(svg.contains(">r=1.5</text>"));
+    }
+
+    #[test]
+    fn bar_chart_shape_mismatch() {
+        let chart = BarChart {
+            title: "t".into(),
+            y_label: "y".into(),
+            groups: vec!["a".into(), "b".into()],
+            series: vec![("s".into(), vec![1.0])],
+            size: (300.0, 200.0),
+        };
+        assert!(matches!(chart.render().unwrap_err(), PlotError::Shape(_)));
+    }
+
+    #[test]
+    fn bar_chart_empty_errors() {
+        let chart = BarChart::new("t", "y");
+        assert_eq!(chart.render().unwrap_err(), PlotError::Empty);
+    }
+
+    #[test]
+    fn scatter_renders_points_and_circles() {
+        let mut plot = ScatterPlot::new("round 1", 0.0, 4.0);
+        plot.points.push(ScatterPoint {
+            x: 1.0,
+            y: 1.0,
+            marker: Marker::for_weight(5),
+            color_index: 0,
+        });
+        plot.points.push(ScatterPoint {
+            x: 3.0,
+            y: 2.0,
+            marker: Marker::Star,
+            color_index: 1,
+        });
+        plot.circles.push(CircleOverlay {
+            cx: 3.0,
+            cy: 2.0,
+            r: 1.0,
+            color_index: 1,
+        });
+        let svg = plot.render().unwrap();
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<path")); // star + asterisk paths
+    }
+
+    #[test]
+    fn scatter_empty_errors() {
+        let plot = ScatterPlot::new("t", 0.0, 4.0);
+        assert_eq!(plot.render().unwrap_err(), PlotError::Empty);
+    }
+
+    #[test]
+    fn scatter_circle_radius_scales() {
+        let mut plot = ScatterPlot::new("t", 0.0, 4.0);
+        plot.size = 400.0; // 100 px per data unit
+        plot.points.push(ScatterPoint {
+            x: 2.0,
+            y: 2.0,
+            marker: Marker::Dot,
+            color_index: 0,
+        });
+        plot.circles.push(CircleOverlay {
+            cx: 2.0,
+            cy: 2.0,
+            r: 1.0,
+            color_index: 0,
+        });
+        let svg = plot.render().unwrap();
+        assert!(svg.contains(r#"r="100""#), "circle radius should be 100px");
+    }
+}

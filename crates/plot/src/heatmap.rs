@@ -1,0 +1,279 @@
+//! Heatmaps over a 2-D domain — used to render the coverage-reward
+//! landscape `g(c)` that the round oracles of Algorithm 1 climb.
+
+use crate::axis::{fmt_tick, ticks, LinearScale};
+use crate::svg::{Anchor, SvgDoc};
+use crate::{PlotError, Result};
+
+/// A dense grid of values over a square 2-D domain, rendered as colored
+/// cells with a colorbar.
+///
+/// ```
+/// use mmph_plot::Heatmap;
+///
+/// let svg = Heatmap::new("distance field", 0.0, 4.0)
+///     .sample(32, |x, y| (x - 2.0).hypot(y - 2.0))
+///     .render()
+///     .unwrap();
+/// assert!(svg.starts_with("<svg"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Chart title.
+    pub title: String,
+    /// Domain (both axes): `[lo, hi]`.
+    pub domain: (f64, f64),
+    /// Row-major values; `values[row][col]`, row 0 at the domain's low
+    /// y edge. All rows must have equal length.
+    pub values: Vec<Vec<f64>>,
+    /// Pixel size of the (square) plot area.
+    pub size: f64,
+}
+
+impl Heatmap {
+    /// Creates an empty heatmap over `[lo, hi]²`.
+    pub fn new(title: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Heatmap {
+            title: title.into(),
+            domain: (lo, hi),
+            values: Vec::new(),
+            size: 380.0,
+        }
+    }
+
+    /// Fills the grid by sampling `f(x, y)` on a `res × res` lattice of
+    /// cell centers.
+    pub fn sample(mut self, res: usize, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        let res = res.max(1);
+        let (lo, hi) = self.domain;
+        let cell = (hi - lo) / res as f64;
+        self.values = (0..res)
+            .map(|row| {
+                (0..res)
+                    .map(|col| {
+                        let x = lo + (col as f64 + 0.5) * cell;
+                        let y = lo + (row as f64 + 0.5) * cell;
+                        f(x, y)
+                    })
+                    .collect()
+            })
+            .collect();
+        self
+    }
+
+    /// Renders to SVG.
+    pub fn render(&self) -> Result<String> {
+        if self.values.is_empty() || self.values[0].is_empty() {
+            return Err(PlotError::Empty);
+        }
+        let cols = self.values[0].len();
+        for (r, row) in self.values.iter().enumerate() {
+            if row.len() != cols {
+                return Err(PlotError::Shape(format!(
+                    "row {r} has {} cells, row 0 has {cols}",
+                    row.len()
+                )));
+            }
+            if let Some(i) = row.iter().position(|v| !v.is_finite()) {
+                return Err(PlotError::NonFinite {
+                    series: format!("row {r}"),
+                    index: i,
+                });
+            }
+        }
+        let rows = self.values.len();
+        let (mut vmin, mut vmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in &self.values {
+            for &v in row {
+                vmin = vmin.min(v);
+                vmax = vmax.max(v);
+            }
+        }
+        if vmin == vmax {
+            vmax = vmin + 1.0; // flat field: render all-low
+        }
+        const ML: f64 = 50.0;
+        const MT: f64 = 34.0;
+        const MB: f64 = 40.0;
+        const BAR_W: f64 = 14.0;
+        const BAR_GAP: f64 = 16.0;
+        const MR: f64 = 64.0; // room for the colorbar + labels
+        let side = self.size;
+        let w = side + ML + MR;
+        let h = side + MT + MB;
+        let mut doc = SvgDoc::new(w, h);
+        let (lo, hi) = self.domain;
+        let xs = LinearScale::new(lo, hi, ML, ML + side);
+        let ys = LinearScale::new(lo, hi, MT + side, MT);
+        // Cells.
+        let cw = side / cols as f64;
+        let ch = side / rows as f64;
+        for (r, row) in self.values.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                let t = (v - vmin) / (vmax - vmin);
+                let x = ML + c as f64 * cw;
+                let y = MT + side - (r as f64 + 1.0) * ch;
+                doc.rect(x, y, cw + 0.5, ch + 0.5, &viridis_like(t), "none");
+            }
+        }
+        // Frame + ticks.
+        doc.rect(ML, MT, side, side, "none", "#444444");
+        let (ts, _, _) = ticks(lo, hi, 5);
+        for &t in &ts {
+            if t < lo || t > hi {
+                continue;
+            }
+            doc.text(xs.map(t), MT + side + 16.0, &fmt_tick(t), 10.0, Anchor::Middle);
+            doc.text(ML - 6.0, ys.map(t) + 3.5, &fmt_tick(t), 10.0, Anchor::End);
+        }
+        doc.text(w / 2.0, 18.0, &self.title, 13.0, Anchor::Middle);
+        // Colorbar.
+        let bx = ML + side + BAR_GAP;
+        let steps = 48;
+        for i in 0..steps {
+            let t = i as f64 / (steps - 1) as f64;
+            let y = MT + side * (1.0 - t) - side / steps as f64;
+            doc.rect(
+                bx,
+                y,
+                BAR_W,
+                side / steps as f64 + 0.5,
+                &viridis_like(t),
+                "none",
+            );
+        }
+        doc.rect(bx, MT, BAR_W, side, "none", "#444444");
+        doc.text(
+            bx + BAR_W + 4.0,
+            MT + 10.0,
+            &format!("{vmax:.2}"),
+            9.0,
+            Anchor::Start,
+        );
+        doc.text(
+            bx + BAR_W + 4.0,
+            MT + side,
+            &format!("{vmin:.2}"),
+            9.0,
+            Anchor::Start,
+        );
+        Ok(doc.finish())
+    }
+}
+
+/// A perceptually-reasonable dark-blue → teal → yellow ramp (a compact
+/// approximation of viridis), `t ∈ [0, 1]`.
+fn viridis_like(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Piecewise-linear through 5 anchor colors.
+    const ANCHORS: [(f64, [u8; 3]); 5] = [
+        (0.00, [68, 1, 84]),
+        (0.25, [59, 82, 139]),
+        (0.50, [33, 145, 140]),
+        (0.75, [94, 201, 98]),
+        (1.00, [253, 231, 37]),
+    ];
+    let mut lo = ANCHORS[0];
+    let mut hi = ANCHORS[4];
+    for w in ANCHORS.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let f = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+    let mix = |a: u8, b: u8| -> u8 { (a as f64 + f * (b as f64 - a as f64)).round() as u8 };
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        mix(lo.1[0], hi.1[0]),
+        mix(lo.1[1], hi.1[1]),
+        mix(lo.1[2], hi.1[2])
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_fills_grid() {
+        let hm = Heatmap::new("t", 0.0, 4.0).sample(8, |x, y| x + y);
+        assert_eq!(hm.values.len(), 8);
+        assert_eq!(hm.values[0].len(), 8);
+        // Bottom-left cell center = (0.25, 0.25).
+        assert!((hm.values[0][0] - 0.5).abs() < 1e-12);
+        // Top-right cell center = (3.75, 3.75).
+        assert!((hm.values[7][7] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_produces_cells_and_colorbar() {
+        let svg = Heatmap::new("landscape", 0.0, 4.0)
+            .sample(6, |x, y| (x - 2.0).hypot(y - 2.0))
+            .render()
+            .unwrap();
+        assert!(svg.starts_with("<svg"));
+        // 36 cells + colorbar steps + frames.
+        assert!(svg.matches("<rect").count() > 36);
+        assert!(svg.contains("landscape"));
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert_eq!(
+            Heatmap::new("t", 0.0, 1.0).render().unwrap_err(),
+            PlotError::Empty
+        );
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let mut hm = Heatmap::new("t", 0.0, 1.0);
+        hm.values = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(hm.render().unwrap_err(), PlotError::Shape(_)));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut hm = Heatmap::new("t", 0.0, 1.0);
+        hm.values = vec![vec![1.0, f64::NAN]];
+        assert!(matches!(
+            hm.render().unwrap_err(),
+            PlotError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn flat_field_renders() {
+        let svg = Heatmap::new("flat", 0.0, 1.0)
+            .sample(4, |_, _| 3.0)
+            .render()
+            .unwrap();
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    fn color_ramp_endpoints() {
+        assert_eq!(viridis_like(0.0), "#440154");
+        assert_eq!(viridis_like(1.0), "#fde725");
+        // Monotone-ish: middle differs from both ends.
+        let mid = viridis_like(0.5);
+        assert_ne!(mid, viridis_like(0.0));
+        assert_ne!(mid, viridis_like(1.0));
+        // Out-of-range clamps.
+        assert_eq!(viridis_like(-1.0), viridis_like(0.0));
+        assert_eq!(viridis_like(2.0), viridis_like(1.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let build = || {
+            Heatmap::new("d", 0.0, 2.0)
+                .sample(5, |x, y| x * y)
+                .render()
+                .unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,52 @@
+//! # mmph-plot — figure and table rendering substrate
+//!
+//! Rust has no convenient stock plotting toolchain (the reproduction
+//! hint for this paper calls that out explicitly), so this crate
+//! implements the small slice of one that regenerating the paper's
+//! figures requires, with zero third-party dependencies:
+//!
+//! * [`svg`] — a typed SVG document builder;
+//! * [`axis`] — linear scales and "nice number" tick generation;
+//! * [`chart`] — line charts with markers + legends (Figs. 2, 4–9),
+//!   grouped bar charts (the reward panels), and scatter plots with the
+//!   paper's per-weight marker symbols and coverage outlines (Fig. 3);
+//! * [`heatmap`] — dense 2-D heatmaps with a colorbar (used to render
+//!   the coverage-reward landscape the Algorithm-1 oracles climb);
+//! * [`table`] — Markdown and CSV emitters for Table I and
+//!   EXPERIMENTS.md.
+//!
+//! Everything renders deterministically: same input, same bytes — so
+//! figure files can be diffed across runs.
+
+pub mod axis;
+pub mod chart;
+pub mod heatmap;
+pub mod svg;
+pub mod table;
+
+pub use chart::{BarChart, LineChart, ScatterPlot, Series};
+pub use heatmap::Heatmap;
+pub use table::{Table, TableFormat};
+
+/// Errors from chart construction.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum PlotError {
+    /// A chart was asked to render with no data.
+    #[error("chart has no data")]
+    Empty,
+    /// Inconsistent data shape (e.g. series of different lengths where
+    /// equal lengths are required).
+    #[error("inconsistent data: {0}")]
+    Shape(String),
+    /// Non-finite value in chart data.
+    #[error("non-finite value in series `{series}` at index {index}")]
+    NonFinite {
+        /// Series label.
+        series: String,
+        /// Index of the offending value.
+        index: usize,
+    },
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PlotError>;

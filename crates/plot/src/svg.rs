@@ -1,0 +1,401 @@
+//! A minimal typed SVG document builder.
+//!
+//! Only the elements the charts need: lines, polylines, circles, rects,
+//! paths, text, groups. Coordinates are emitted with fixed precision so
+//! output is deterministic and diff-friendly.
+
+use std::fmt::Write as _;
+
+/// Formats a coordinate with 2-decimal precision, trimming trailing
+/// zeros ("12.50" → "12.5", "3.00" → "3").
+fn fmt_coord(v: f64) -> String {
+    let s = format!("{v:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" || s == "-0" {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Escapes text content for XML.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Text anchoring for [`SvgDoc::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned at the given x.
+    Start,
+    /// Centered on the given x.
+    Middle,
+    /// Right-aligned at the given x.
+    End,
+}
+
+impl Anchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Creates an empty document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A straight line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(x1),
+            fmt_coord(y1),
+            fmt_coord(x2),
+            fmt_coord(y2),
+            stroke,
+            fmt_coord(width),
+        );
+    }
+
+    /// A dashed straight line segment.
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}" stroke-dasharray="5,4"/>"#,
+            fmt_coord(x1),
+            fmt_coord(y1),
+            fmt_coord(x2),
+            fmt_coord(y2),
+            stroke,
+            fmt_coord(width),
+        );
+    }
+
+    /// An open polyline through the given points.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64) {
+        if pts.is_empty() {
+            return;
+        }
+        let coords: Vec<String> = pts
+            .iter()
+            .map(|(x, y)| format!("{},{}", fmt_coord(*x), fmt_coord(*y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            coords.join(" "),
+            stroke,
+            fmt_coord(width),
+        );
+    }
+
+    /// A circle; pass `fill = "none"` with a stroke for an outline.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(cx),
+            fmt_coord(cy),
+            fmt_coord(r),
+            fill,
+            stroke,
+            fmt_coord(width),
+        );
+    }
+
+    /// An axis-aligned rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" stroke="{}"/>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(w),
+            fmt_coord(h),
+            fill,
+            stroke,
+        );
+    }
+
+    /// An arbitrary path (`d` attribute passed through).
+    pub fn path(&mut self, d: &str, fill: &str, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<path d="{}" fill="{}" stroke="{}" stroke-width="{}"/>"#,
+            d,
+            fill,
+            stroke,
+            fmt_coord(width),
+        );
+    }
+
+    /// A text label.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: Anchor) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="sans-serif" text-anchor="{}">{}</text>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(size),
+            anchor.as_str(),
+            escape(content),
+        );
+    }
+
+    /// Text rotated 90° counter-clockwise around its anchor (y-axis
+    /// labels).
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x}" y="{y}" font-size="{s}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x} {y})">{c}</text>"#,
+            x = fmt_coord(x),
+            y = fmt_coord(y),
+            s = fmt_coord(size),
+            c = escape(content),
+        );
+    }
+
+    /// Serializes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n<rect x=\"0\" y=\"0\" width=\"{w}\" height=\"{h}\" fill=\"white\" stroke=\"none\"/>\n{body}</svg>\n",
+            w = fmt_coord(self.width),
+            h = fmt_coord(self.height),
+            body = self.body,
+        )
+    }
+}
+
+/// Marker shapes mirroring the paper's Fig. 3 weight symbols:
+/// `5: *, 4: □, 3: ◇, 2: +, 1: ○`, with `★` for selected centers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// Open circle (weight 1).
+    Circle,
+    /// Plus sign (weight 2).
+    Plus,
+    /// Open diamond (weight 3).
+    Diamond,
+    /// Open square (weight 4).
+    Square,
+    /// Asterisk (weight 5).
+    Asterisk,
+    /// Filled five-pointed star (selected centers).
+    Star,
+    /// Cross / X.
+    Cross,
+    /// Filled dot.
+    Dot,
+}
+
+impl Marker {
+    /// The paper's marker for an integer weight in 1..=5.
+    pub fn for_weight(w: u32) -> Marker {
+        match w {
+            1 => Marker::Circle,
+            2 => Marker::Plus,
+            3 => Marker::Diamond,
+            4 => Marker::Square,
+            _ => Marker::Asterisk,
+        }
+    }
+
+    /// Draws the marker centered at `(x, y)` with half-size `s`.
+    pub fn draw(self, doc: &mut SvgDoc, x: f64, y: f64, s: f64, color: &str) {
+        match self {
+            Marker::Circle => doc.circle(x, y, s, "none", color, 1.2),
+            Marker::Dot => doc.circle(x, y, s * 0.8, color, "none", 0.0),
+            Marker::Plus => {
+                doc.line(x - s, y, x + s, y, color, 1.2);
+                doc.line(x, y - s, x, y + s, color, 1.2);
+            }
+            Marker::Cross => {
+                doc.line(x - s, y - s, x + s, y + s, color, 1.2);
+                doc.line(x - s, y + s, x + s, y - s, color, 1.2);
+            }
+            Marker::Diamond => {
+                let d = format!(
+                    "M {} {} L {} {} L {} {} L {} {} Z",
+                    fmt_coord(x),
+                    fmt_coord(y - s),
+                    fmt_coord(x + s),
+                    fmt_coord(y),
+                    fmt_coord(x),
+                    fmt_coord(y + s),
+                    fmt_coord(x - s),
+                    fmt_coord(y),
+                );
+                doc.path(&d, "none", color, 1.2);
+            }
+            Marker::Square => doc.rect(x - s, y - s, 2.0 * s, 2.0 * s, "none", color),
+            Marker::Asterisk => {
+                doc.line(x - s, y, x + s, y, color, 1.2);
+                doc.line(x, y - s, x, y + s, color, 1.2);
+                let d = s * std::f64::consts::FRAC_1_SQRT_2;
+                doc.line(x - d, y - d, x + d, y + d, color, 1.2);
+                doc.line(x - d, y + d, x + d, y - d, color, 1.2);
+            }
+            Marker::Star => {
+                // Five-pointed star path.
+                let mut d = String::new();
+                for i in 0..10 {
+                    let ang = std::f64::consts::PI * (-0.5 + i as f64 / 5.0);
+                    let rr = if i % 2 == 0 { s * 1.3 } else { s * 0.55 };
+                    let px = x + rr * ang.cos();
+                    let py = y + rr * ang.sin();
+                    let _ = write!(
+                        d,
+                        "{}{} {} ",
+                        if i == 0 { "M " } else { "L " },
+                        fmt_coord(px),
+                        fmt_coord(py)
+                    );
+                }
+                d.push('Z');
+                doc.path(&d, color, color, 0.5);
+            }
+        }
+    }
+}
+
+/// A qualitative color cycle for chart series (Okabe–Ito, color-blind
+/// safe).
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", // blue
+    "#D55E00", // vermillion
+    "#009E73", // green
+    "#CC79A7", // purple-pink
+    "#E69F00", // orange
+    "#56B4E9", // sky
+    "#F0E442", // yellow
+    "#000000", // black
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_coord_trims() {
+        assert_eq!(fmt_coord(3.0), "3");
+        assert_eq!(fmt_coord(12.5), "12.5");
+        assert_eq!(fmt_coord(12.504), "12.5");
+        assert_eq!(fmt_coord(-0.001), "0");
+        assert_eq!(fmt_coord(0.0), "0");
+    }
+
+    #[test]
+    fn escape_xml() {
+        assert_eq!(escape("a<b & \"c\">"), "a&lt;b &amp; &quot;c&quot;&gt;");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.line(0.0, 0.0, 10.0, 10.0, "black", 1.0);
+        doc.text(5.0, 5.0, "hi", 10.0, Anchor::Middle);
+        let out = doc.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("width=\"100\""));
+        assert!(out.contains("<line"));
+        assert!(out.contains(">hi</text>"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut doc = SvgDoc::new(10.0, 10.0);
+            doc.circle(5.0, 5.0, 2.0, "red", "none", 0.0);
+            doc.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn polyline_empty_is_noop() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.polyline(&[], "black", 1.0);
+        assert!(!doc.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn polyline_points_formatted() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.polyline(&[(0.0, 1.0), (2.5, 3.25)], "black", 1.0);
+        let out = doc.finish();
+        assert!(out.contains(r#"points="0,1 2.5,3.25""#));
+    }
+
+    #[test]
+    fn markers_for_paper_weights() {
+        assert_eq!(Marker::for_weight(1), Marker::Circle);
+        assert_eq!(Marker::for_weight(2), Marker::Plus);
+        assert_eq!(Marker::for_weight(3), Marker::Diamond);
+        assert_eq!(Marker::for_weight(4), Marker::Square);
+        assert_eq!(Marker::for_weight(5), Marker::Asterisk);
+        assert_eq!(Marker::for_weight(99), Marker::Asterisk);
+    }
+
+    #[test]
+    fn all_markers_draw_something() {
+        for m in [
+            Marker::Circle,
+            Marker::Plus,
+            Marker::Diamond,
+            Marker::Square,
+            Marker::Asterisk,
+            Marker::Star,
+            Marker::Cross,
+            Marker::Dot,
+        ] {
+            let mut doc = SvgDoc::new(20.0, 20.0);
+            m.draw(&mut doc, 10.0, 10.0, 4.0, "black");
+            let out = doc.finish();
+            assert!(
+                out.contains("<circle") || out.contains("<line") || out.contains("<path")
+                    || out.contains("<rect"),
+                "{m:?} drew nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn vtext_rotates() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.vtext(3.0, 7.0, "axis", 8.0);
+        assert!(doc.finish().contains("rotate(-90 3 7)"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Markdown and CSV table emitters (Table I, EXPERIMENTS.md).
+
+use crate::{PlotError, Result};
+
+/// Output format for [`Table::render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableFormat {
+    /// GitHub-flavored Markdown.
+    Markdown,
+    /// RFC-4180-ish CSV (quotes fields containing commas/quotes).
+    Csv,
+}
+
+/// A simple rectangular table of strings.
+///
+/// ```
+/// use mmph_plot::{Table, TableFormat};
+///
+/// let mut t = Table::new(["algo", "reward"]);
+/// t.push_row(["greedy3", "44.66"]).unwrap();
+/// let md = t.render(TableFormat::Markdown);
+/// assert!(md.starts_with("| algo"));
+/// assert!(t.render(TableFormat::Csv).contains("greedy3,44.66"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; errors on width mismatch.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = impl Into<String>>) -> Result<()> {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        if row.len() != self.header.len() {
+            return Err(PlotError::Shape(format!(
+                "row has {} cells, header has {}",
+                row.len(),
+                self.header.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self, format: TableFormat) -> String {
+        match format {
+            TableFormat::Markdown => self.render_markdown(),
+            TableFormat::Csv => self.render_csv(),
+        }
+    }
+
+    fn render_markdown(&self) -> String {
+        // Column widths for aligned, readable source.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float for table cells with 4 decimal places, matching the
+/// paper's Table I precision.
+pub fn fmt_cell(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a ratio as a percentage with 2 decimals ("84.22%").
+pub fn fmt_percent(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["algo", "round 1", "total"]);
+        t.push_row(["greedy2", "14.3145", "44.6301"]).unwrap();
+        t.push_row(["greedy4", "20.3867", "63.5571"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().render(TableFormat::Markdown);
+        let lines: Vec<&str> = md.trim_end().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| algo"));
+        assert!(lines[1].contains("---"));
+        assert!(lines[3].contains("20.3867"));
+        // All lines same width (aligned).
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().render(TableFormat::Csv);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("algo,round 1,total\n"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["x,y", "he said \"hi\""]).unwrap();
+        let csv = t.render(TableFormat::Csv);
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn row_width_mismatch_errors() {
+        let mut t = Table::new(["a", "b"]);
+        assert!(t.push_row(["only one"]).is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn len_counts_rows() {
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_cell(14.31449), "14.3145");
+        assert_eq!(fmt_percent(0.8422), "84.22%");
+        assert_eq!(fmt_percent(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,435 @@
+//! Time-slotted broadcast-system simulation.
+//!
+//! The paper frames the static problem inside a time-slotted content
+//! distribution system and remarks (§III-A): *"a larger value of k tends
+//! to have a higher average of satisfiability, but it will also have
+//! less frequent service."* This module makes that trade-off concrete:
+//!
+//! * The base station owns a fixed horizon of `horizon_slots` time
+//!   slots; each broadcast occupies one slot, so with `k` broadcasts per
+//!   period the station completes `horizon_slots / k` periods.
+//! * Each period it re-solves the (possibly changed) instance with a
+//!   pluggable [`mmph_core::Solver`] and broadcasts the chosen centers.
+//! * Between periods, users may **churn** (leave and be replaced by a
+//!   fresh user) and their interests may **drift** (Gaussian walk,
+//!   clamped to the space), so the solver faces a moving workload.
+//!
+//! The per-slot satisfaction rate aggregated by [`BroadcastRun`] is the
+//! quantity that makes different `k` values comparable.
+
+use mmph_core::{Instance, Solver};
+use mmph_geom::Point;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{PointDistribution, SpaceSpec, WeightScheme};
+use crate::metrics::SatisfactionReport;
+use crate::rng::SeedSeq;
+use crate::{Result, SimError};
+
+/// Dynamics configuration for a broadcast simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastConfig {
+    /// Total number of broadcast slots available to the base station.
+    pub horizon_slots: usize,
+    /// Per-period probability that each user churns (is replaced by a
+    /// freshly sampled user). In `[0, 1]`.
+    pub churn_rate: f64,
+    /// Std-dev of the per-period Gaussian interest drift, as a fraction
+    /// of the space extent. 0 disables drift.
+    pub drift_rel_sigma: f64,
+    /// Satisfaction threshold for counting a user as happy in a period.
+    pub threshold: f64,
+    /// Root seed for churn/drift randomness.
+    pub seed: u64,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        BroadcastConfig {
+            horizon_slots: 64,
+            churn_rate: 0.0,
+            drift_rel_sigma: 0.0,
+            threshold: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl BroadcastConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.horizon_slots == 0 {
+            return Err(SimError::InvalidConfig("horizon_slots must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.churn_rate) {
+            return Err(SimError::InvalidConfig(format!(
+                "churn_rate must be in [0, 1], got {}",
+                self.churn_rate
+            )));
+        }
+        if !self.drift_rel_sigma.is_finite() || self.drift_rel_sigma < 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "drift_rel_sigma must be finite and >= 0, got {}",
+                self.drift_rel_sigma
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.threshold) {
+            return Err(SimError::InvalidConfig(format!(
+                "threshold must be in [0, 1], got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Statistics for one broadcast period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodStats {
+    /// 0-based period number.
+    pub period: usize,
+    /// Reward `f(C)` earned this period.
+    pub reward: f64,
+    /// Mean per-user satisfied fraction.
+    pub mean_fraction: f64,
+    /// Users at or above the satisfaction threshold.
+    pub satisfied_users: usize,
+    /// Users that churned *before* this period.
+    pub churned: usize,
+}
+
+/// The outcome of a full broadcast simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastRun {
+    /// Broadcasts per period (`k`).
+    pub k: usize,
+    /// Periods completed within the horizon.
+    pub periods: usize,
+    /// Slots actually used (`periods * k`).
+    pub slots_used: usize,
+    /// Per-period statistics.
+    pub per_period: Vec<PeriodStats>,
+    /// Total reward across the horizon.
+    pub total_reward: f64,
+}
+
+impl BroadcastRun {
+    /// Reward earned per slot of the horizon — the metric that trades
+    /// off per-period quality (grows with k) against service frequency
+    /// (shrinks with k).
+    pub fn reward_per_slot(&self) -> f64 {
+        if self.slots_used == 0 {
+            0.0
+        } else {
+            self.total_reward / self.slots_used as f64
+        }
+    }
+
+    /// Mean of the per-period mean satisfaction fractions.
+    pub fn mean_satisfaction(&self) -> f64 {
+        if self.per_period.is_empty() {
+            return 0.0;
+        }
+        self.per_period.iter().map(|p| p.mean_fraction).sum::<f64>() / self.per_period.len() as f64
+    }
+}
+
+/// A dynamic population of users inside a space.
+#[derive(Debug, Clone)]
+pub struct Population<const D: usize> {
+    space: SpaceSpec,
+    distribution: PointDistribution,
+    weights_scheme: WeightScheme,
+    points: Vec<Point<D>>,
+    weights: Vec<f64>,
+}
+
+impl<const D: usize> Population<D> {
+    /// Samples an initial population.
+    pub fn generate(
+        n: usize,
+        space: SpaceSpec,
+        distribution: PointDistribution,
+        weights_scheme: WeightScheme,
+        seeds: SeedSeq,
+    ) -> Result<Self> {
+        let points = distribution.sample::<D>(n, space, seeds)?;
+        let weights = weights_scheme.sample(n, seeds)?;
+        Ok(Population {
+            space,
+            distribution,
+            weights_scheme,
+            points,
+            weights,
+        })
+    }
+
+    /// Current user interests.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Current user weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Snapshot as a solvable instance.
+    pub fn instance(&self, r: f64, k: usize, norm: mmph_geom::Norm) -> Result<Instance<D>> {
+        Ok(Instance::new(
+            self.points.clone(),
+            self.weights.clone(),
+            r,
+            k,
+            norm,
+        )?)
+    }
+
+    /// Applies one period of churn; returns how many users churned.
+    fn churn(&mut self, rate: f64, rng: &mut impl Rng, seeds: SeedSeq) -> Result<usize> {
+        if rate <= 0.0 {
+            return Ok(0);
+        }
+        let mut churned = 0;
+        for i in 0..self.points.len() {
+            if rng.gen_bool(rate) {
+                churned += 1;
+                let fresh: Vec<Point<D>> =
+                    self.distribution
+                        .sample(1, self.space, seeds.child(i as u64))?;
+                let fresh_w = self.weights_scheme.sample(1, seeds.child(i as u64))?;
+                self.points[i] = fresh[0];
+                self.weights[i] = fresh_w[0];
+            }
+        }
+        Ok(churned)
+    }
+
+    /// Applies one period of Gaussian interest drift, clamped to the
+    /// space.
+    fn drift(&mut self, rel_sigma: f64, rng: &mut impl Rng) -> Result<()> {
+        if rel_sigma <= 0.0 {
+            return Ok(());
+        }
+        let sigma = rel_sigma * self.space.extent();
+        let normal = Normal::new(0.0, sigma)
+            .map_err(|e| SimError::InvalidConfig(format!("drift sigma: {e}")))?;
+        let bbox = self.space.aabb::<D>();
+        for p in &mut self.points {
+            let mut c = p.coords();
+            for x in c.iter_mut() {
+                *x += normal.sample(rng);
+            }
+            *p = bbox.clamp(&Point::new(c));
+        }
+        Ok(())
+    }
+}
+
+/// Runs a broadcast simulation: re-solve and broadcast every period
+/// until the slot horizon is exhausted.
+pub fn simulate<const D: usize, S: Solver<D>>(
+    solver: &S,
+    population: &mut Population<D>,
+    r: f64,
+    k: usize,
+    norm: mmph_geom::Norm,
+    config: &BroadcastConfig,
+) -> Result<BroadcastRun> {
+    config.validate()?;
+    if k == 0 {
+        return Err(SimError::InvalidConfig("k must be >= 1".into()));
+    }
+    let periods = config.horizon_slots / k;
+    let seeds = SeedSeq::new(config.seed);
+    let mut rng = seeds.stream("dynamics").rng();
+    let mut per_period = Vec::with_capacity(periods);
+    let mut total_reward = 0.0;
+    for period in 0..periods {
+        let churned = if period > 0 {
+            let c = population.churn(config.churn_rate, &mut rng, seeds.child(period as u64))?;
+            population.drift(config.drift_rel_sigma, &mut rng)?;
+            c
+        } else {
+            0
+        };
+        let inst = population.instance(r, k, norm)?;
+        let solution = solver.solve(&inst)?;
+        let report = SatisfactionReport::compute(&inst, &solution.centers, config.threshold);
+        total_reward += report.total_reward;
+        per_period.push(PeriodStats {
+            period,
+            reward: report.total_reward,
+            mean_fraction: report.mean_fraction(),
+            satisfied_users: report.satisfied_users,
+            churned,
+        });
+    }
+    Ok(BroadcastRun {
+        k,
+        periods,
+        slots_used: periods * k,
+        per_period,
+        total_reward,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmph_core::solvers::SimpleGreedy;
+    use mmph_geom::Norm;
+
+    fn population(n: usize, seed: u64) -> Population<2> {
+        Population::generate(
+            n,
+            SpaceSpec::PAPER,
+            PointDistribution::Uniform,
+            WeightScheme::PAPER_WEIGHTED,
+            SeedSeq::new(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BroadcastConfig::default().validate().is_ok());
+        assert!(BroadcastConfig {
+            horizon_slots: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BroadcastConfig {
+            churn_rate: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BroadcastConfig {
+            drift_rel_sigma: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BroadcastConfig {
+            threshold: 2.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn static_population_repeats_identically() {
+        let mut pop = population(20, 1);
+        let cfg = BroadcastConfig {
+            horizon_slots: 8,
+            ..Default::default()
+        };
+        let run = simulate(&SimpleGreedy::new(), &mut pop, 1.0, 2, Norm::L2, &cfg).unwrap();
+        assert_eq!(run.periods, 4);
+        assert_eq!(run.slots_used, 8);
+        // No churn/drift: every period earns the same reward.
+        let first = run.per_period[0].reward;
+        for p in &run.per_period {
+            assert!((p.reward - first).abs() < 1e-12);
+            assert_eq!(p.churned, 0);
+        }
+    }
+
+    #[test]
+    fn horizon_divides_into_periods() {
+        let mut pop = population(10, 2);
+        let cfg = BroadcastConfig {
+            horizon_slots: 10,
+            ..Default::default()
+        };
+        let run = simulate(&SimpleGreedy::new(), &mut pop, 1.0, 4, Norm::L2, &cfg).unwrap();
+        assert_eq!(run.periods, 2); // 10 / 4
+        assert_eq!(run.slots_used, 8); // 2 leftover slots unused
+    }
+
+    #[test]
+    fn churn_replaces_users() {
+        let mut pop = population(30, 3);
+        let before = pop.points().to_vec();
+        let cfg = BroadcastConfig {
+            horizon_slots: 4,
+            churn_rate: 1.0, // everyone churns each period
+            ..Default::default()
+        };
+        let run = simulate(&SimpleGreedy::new(), &mut pop, 1.0, 2, Norm::L2, &cfg).unwrap();
+        assert_eq!(run.per_period[1].churned, 30);
+        assert_ne!(pop.points(), &before[..]);
+    }
+
+    #[test]
+    fn drift_moves_users_within_space() {
+        let mut pop = population(25, 4);
+        let before = pop.points().to_vec();
+        let cfg = BroadcastConfig {
+            horizon_slots: 6,
+            drift_rel_sigma: 0.05,
+            ..Default::default()
+        };
+        simulate(&SimpleGreedy::new(), &mut pop, 1.0, 2, Norm::L2, &cfg).unwrap();
+        assert_ne!(pop.points(), &before[..]);
+        for p in pop.points() {
+            assert!(p[0] >= 0.0 && p[0] <= 4.0);
+            assert!(p[1] >= 0.0 && p[1] <= 4.0);
+        }
+    }
+
+    #[test]
+    fn larger_k_earns_more_per_period_fewer_periods() {
+        // The paper's §III-A trade-off, on a static population.
+        let cfg = BroadcastConfig {
+            horizon_slots: 24,
+            ..Default::default()
+        };
+        let mut pop_a = population(40, 5);
+        let mut pop_b = population(40, 5);
+        let run_k2 = simulate(&SimpleGreedy::new(), &mut pop_a, 1.0, 2, Norm::L2, &cfg).unwrap();
+        let run_k6 = simulate(&SimpleGreedy::new(), &mut pop_b, 1.0, 6, Norm::L2, &cfg).unwrap();
+        assert!(run_k6.per_period[0].reward > run_k2.per_period[0].reward);
+        assert!(run_k6.periods < run_k2.periods);
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let mut pop = population(5, 6);
+        let cfg = BroadcastConfig::default();
+        assert!(simulate(&SimpleGreedy::new(), &mut pop, 1.0, 0, Norm::L2, &cfg).is_err());
+    }
+
+    #[test]
+    fn reward_per_slot_and_mean_satisfaction() {
+        let mut pop = population(20, 7);
+        let cfg = BroadcastConfig {
+            horizon_slots: 12,
+            ..Default::default()
+        };
+        let run = simulate(&SimpleGreedy::new(), &mut pop, 1.5, 3, Norm::L2, &cfg).unwrap();
+        assert!(run.reward_per_slot() > 0.0);
+        assert!(run.mean_satisfaction() > 0.0 && run.mean_satisfaction() <= 1.0);
+        assert!(
+            (run.reward_per_slot() - run.total_reward / run.slots_used as f64).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn run_serde_roundtrip() {
+        let mut pop = population(8, 8);
+        let cfg = BroadcastConfig {
+            horizon_slots: 4,
+            ..Default::default()
+        };
+        let run = simulate(&SimpleGreedy::new(), &mut pop, 1.0, 2, Norm::L2, &cfg).unwrap();
+        let json = serde_json::to_string(&run).unwrap();
+        let back: BroadcastRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(run, back);
+    }
+}

@@ -1,0 +1,53 @@
+//! # mmph-sim — simulation substrate
+//!
+//! Trace-driven evaluation tooling for the `mmph` workspace: everything
+//! the paper's §VI simulation needs that is not the algorithms
+//! themselves.
+//!
+//! * [`rng`] — deterministic seed fan-out so every experiment is
+//!   reproducible from a single `u64`.
+//! * [`gen`] — synthetic workload generators: the paper's uniform
+//!   placements in `[0,4]^2` / `[0,4]^3` with same/different integer
+//!   weights, plus Gaussian clusters, grids, rings and Zipf weights as
+//!   extensions.
+//! * [`scenario`] — serializable experiment configurations, including
+//!   the paper's full parameter sweep.
+//! * [`broadcast`] — a time-slotted broadcast-system simulation around
+//!   the solvers: per period the base station broadcasts its `k` chosen
+//!   contents; users accumulate satisfaction, may churn in/out, and
+//!   their interests may drift. Exercises the paper's remark that larger
+//!   `k` raises per-period satisfaction but lowers service frequency.
+//! * [`metrics`] — satisfaction statistics (means, quantiles, Jain
+//!   fairness, satisfied-user counts).
+//! * [`trace`] — record/replay of generated instances so figures can be
+//!   regenerated from pinned inputs.
+
+pub mod broadcast;
+pub mod gen;
+pub mod metrics;
+pub mod rng;
+pub mod scenario;
+pub mod trace;
+
+pub use gen::{SpaceSpec, WeightScheme};
+pub use scenario::Scenario;
+
+/// Errors from simulation configuration and I/O.
+#[derive(Debug, thiserror::Error)]
+pub enum SimError {
+    /// Invalid scenario or generator configuration.
+    #[error("invalid configuration: {0}")]
+    InvalidConfig(String),
+    /// Propagated core-model error.
+    #[error(transparent)]
+    Core(#[from] mmph_core::CoreError),
+    /// Trace (de)serialization failure.
+    #[error("trace serialization: {0}")]
+    Serde(#[from] serde_json::Error),
+    /// Trace file I/O failure.
+    #[error("trace io: {0}")]
+    Io(#[from] std::io::Error),
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,287 @@
+//! Satisfaction metrics over solutions and simulation runs.
+
+use mmph_core::{Instance, Residuals};
+use mmph_geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// Per-user satisfaction summary of a center set against an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatisfactionReport {
+    /// Per-user satisfied fraction `min(Σ_j cov_j, 1) ∈ [0, 1]`.
+    pub fractions: Vec<f64>,
+    /// Total weighted reward `f(C)`.
+    pub total_reward: f64,
+    /// Maximum possible reward `Σ w_i`.
+    pub max_reward: f64,
+    /// Users with fraction >= the satisfaction threshold.
+    pub satisfied_users: usize,
+    /// The threshold used for `satisfied_users`.
+    pub threshold: f64,
+}
+
+impl SatisfactionReport {
+    /// Computes the report for `centers` on `inst`, counting users with
+    /// satisfied fraction `>= threshold` as happy.
+    pub fn compute<const D: usize>(
+        inst: &Instance<D>,
+        centers: &[Point<D>],
+        threshold: f64,
+    ) -> Self {
+        let mut residuals = Residuals::new(inst.n());
+        for c in centers {
+            residuals.apply(inst, c);
+        }
+        let fractions: Vec<f64> = residuals.as_slice().iter().map(|y| 1.0 - y).collect();
+        let total_reward = fractions
+            .iter()
+            .zip(inst.weights())
+            .map(|(f, w)| f * w)
+            .sum();
+        let satisfied_users = fractions.iter().filter(|&&f| f >= threshold).count();
+        SatisfactionReport {
+            fractions,
+            total_reward,
+            max_reward: inst.total_weight(),
+            satisfied_users,
+            threshold,
+        }
+    }
+
+    /// Mean satisfied fraction across users (unweighted).
+    pub fn mean_fraction(&self) -> f64 {
+        mean(&self.fractions)
+    }
+
+    /// Fraction of the maximum possible reward achieved.
+    pub fn reward_ratio(&self) -> f64 {
+        if self.max_reward > 0.0 {
+            self.total_reward / self.max_reward
+        } else {
+            0.0
+        }
+    }
+
+    /// Jain's fairness index over the satisfaction fractions:
+    /// `(Σ f)² / (n · Σ f²)` — 1.0 when everyone is equally satisfied,
+    /// `1/n` when one user takes everything.
+    pub fn jain_fairness(&self) -> f64 {
+        let n = self.fractions.len() as f64;
+        let sum: f64 = self.fractions.iter().sum();
+        let sum_sq: f64 = self.fractions.iter().map(|f| f * f).sum();
+        if sum_sq <= 0.0 {
+            1.0 // vacuously fair: nobody got anything
+        } else {
+            sum * sum / (n * sum_sq)
+        }
+    }
+}
+
+/// Streaming summary statistics (Welford) used by the sweep drivers to
+/// aggregate per-instance results without storing them all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    m2: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample variance (n − 1 denominator); 0 for fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% normal confidence interval.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.stderr()
+    }
+
+    /// Merges another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmph_core::InstanceBuilder;
+
+    fn inst() -> Instance<2> {
+        InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([2.0, 0.0], 2.0)
+            .point([0.0, 2.0], 3.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn report_full_coverage() {
+        let inst = inst();
+        let centers = [
+            Point::new([0.0, 0.0]),
+            Point::new([2.0, 0.0]),
+            Point::new([0.0, 2.0]),
+        ];
+        let rep = SatisfactionReport::compute(&inst, &centers, 0.99);
+        assert_eq!(rep.satisfied_users, 3);
+        assert!((rep.total_reward - 6.0).abs() < 1e-12);
+        assert!((rep.reward_ratio() - 1.0).abs() < 1e-12);
+        assert!((rep.mean_fraction() - 1.0).abs() < 1e-12);
+        assert!((rep.jain_fairness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_no_coverage() {
+        let inst = inst();
+        let rep = SatisfactionReport::compute(&inst, &[Point::new([100.0, 100.0])], 0.5);
+        assert_eq!(rep.satisfied_users, 0);
+        assert_eq!(rep.total_reward, 0.0);
+        assert_eq!(rep.reward_ratio(), 0.0);
+        assert_eq!(rep.jain_fairness(), 1.0); // vacuous fairness
+    }
+
+    #[test]
+    fn report_partial_coverage() {
+        let inst = inst();
+        // Center at p0 only: p0 fully satisfied, others untouched.
+        let rep = SatisfactionReport::compute(&inst, &[Point::new([0.0, 0.0])], 0.5);
+        assert_eq!(rep.satisfied_users, 1);
+        assert!((rep.total_reward - 1.0).abs() < 1e-12);
+        assert!((rep.mean_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // One of three users served: fairness = (1)^2 / (3 · 1) = 1/3.
+        assert!((rep.jain_fairness() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, whole.count);
+        assert!((a.mean - whole.mean).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min, whole.min);
+        assert_eq!(a.max, whole.max);
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut s = Summary::new();
+        s.push(3.0);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        let s = Summary::new();
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+        let mut one = Summary::new();
+        one.push(5.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.mean, 5.0);
+    }
+}

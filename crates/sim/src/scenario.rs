@@ -1,0 +1,227 @@
+//! Serializable experiment configurations.
+//!
+//! A [`Scenario`] pins everything needed to regenerate an instance:
+//! space, point distribution, weight scheme, `n`, `k`, `r`, norm and
+//! seed. The paper's full §VI sweep is available via
+//! [`Scenario::paper_sweep_2d`] and [`Scenario::paper_sweep_3d`].
+
+use mmph_core::Instance;
+use mmph_geom::Norm;
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{PointDistribution, SpaceSpec, WeightScheme};
+use crate::rng::SeedSeq;
+use crate::Result;
+
+/// A fully pinned experiment configuration.
+///
+/// ```
+/// use mmph_geom::Norm;
+/// use mmph_sim::gen::WeightScheme;
+/// use mmph_sim::Scenario;
+///
+/// let sc = Scenario::paper_2d(40, 4, 1.0, Norm::L2, WeightScheme::Same, 7);
+/// let inst = sc.generate_2d().unwrap();
+/// assert_eq!(inst.n(), 40);
+/// // Same seed, same instance — experiments are pinned.
+/// assert_eq!(inst, sc.generate_2d().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label used in tables and file names.
+    pub label: String,
+    /// The interest space.
+    pub space: SpaceSpec,
+    /// Point placement.
+    pub distribution: PointDistribution,
+    /// Weight assignment.
+    pub weights: WeightScheme,
+    /// Number of users.
+    pub n: usize,
+    /// Number of broadcasts.
+    pub k: usize,
+    /// Interest radius.
+    pub r: f64,
+    /// Interest-distance norm.
+    pub norm: Norm,
+    /// Root seed for this scenario.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's 2-D setup: uniform points in `[0,4]²`.
+    pub fn paper_2d(
+        n: usize,
+        k: usize,
+        r: f64,
+        norm: Norm,
+        weights: WeightScheme,
+        seed: u64,
+    ) -> Self {
+        Scenario {
+            label: format!("2d-{}-n{n}-k{k}-r{r}-{}", norm.name(), weights_tag(&weights)),
+            space: SpaceSpec::PAPER,
+            distribution: PointDistribution::Uniform,
+            weights,
+            n,
+            k,
+            r,
+            norm,
+            seed,
+        }
+    }
+
+    /// The paper's 3-D setup: uniform points in `[0,4]³`.
+    pub fn paper_3d(
+        n: usize,
+        k: usize,
+        r: f64,
+        norm: Norm,
+        weights: WeightScheme,
+        seed: u64,
+    ) -> Self {
+        let mut s = Self::paper_2d(n, k, r, norm, weights, seed);
+        s.label = format!("3d-{}-n{n}-k{k}-r{r}-{}", norm.name(), weights_tag(&weights));
+        s
+    }
+
+    /// Generates the 2-D instance this scenario pins.
+    pub fn generate_2d(&self) -> Result<Instance<2>> {
+        self.generate::<2>()
+    }
+
+    /// Generates the 3-D instance this scenario pins.
+    pub fn generate_3d(&self) -> Result<Instance<3>> {
+        self.generate::<3>()
+    }
+
+    /// Generates the instance in arbitrary dimension.
+    pub fn generate<const D: usize>(&self) -> Result<Instance<D>> {
+        let seeds = SeedSeq::new(self.seed);
+        let points = self.distribution.sample::<D>(self.n, self.space, seeds)?;
+        let weights = self.weights.sample(self.n, seeds)?;
+        Ok(Instance::new(points, weights, self.r, self.k, self.norm)?)
+    }
+
+    /// A copy with a different seed (for Monte-Carlo replication).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut s = self.clone();
+        s.seed = seed;
+        s
+    }
+
+    /// The paper's complete 2-D sweep for one norm and one weight
+    /// scheme: `n ∈ {10, 40} × k ∈ {2, 4} × r ∈ {1, 1.5, 2}` (§VI-A).
+    pub fn paper_sweep_2d(norm: Norm, weights: WeightScheme, seed: u64) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &n in &[10usize, 40] {
+            for &k in &[2usize, 4] {
+                for &r in &[1.0f64, 1.5, 2.0] {
+                    out.push(Self::paper_2d(n, k, r, norm, weights, seed));
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's complete 3-D sweep for one weight scheme (1-norm
+    /// only, as in Figs. 8–9): `n ∈ {40, 160} × k ∈ {2, 4} ×
+    /// r ∈ {1, 1.5, 2}`.
+    pub fn paper_sweep_3d(weights: WeightScheme, seed: u64) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &n in &[40usize, 160] {
+            for &k in &[2usize, 4] {
+                for &r in &[1.0f64, 1.5, 2.0] {
+                    out.push(Self::paper_3d(n, k, r, Norm::L1, weights, seed));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn weights_tag(w: &WeightScheme) -> &'static str {
+    match w {
+        WeightScheme::Same => "same",
+        WeightScheme::UniformInt { .. } => "diff",
+        WeightScheme::Zipf { .. } => "zipf",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2d_generates_valid_instance() {
+        let sc = Scenario::paper_2d(40, 4, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, 7);
+        let inst = sc.generate_2d().unwrap();
+        assert_eq!(inst.n(), 40);
+        assert_eq!(inst.k(), 4);
+        assert_eq!(inst.radius(), 1.0);
+        assert_eq!(inst.norm(), Norm::L2);
+        for p in inst.points() {
+            assert!(p[0] >= 0.0 && p[0] < 4.0);
+            assert!(p[1] >= 0.0 && p[1] < 4.0);
+        }
+        for &w in inst.weights() {
+            assert!((1.0..=5.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sc = Scenario::paper_2d(20, 2, 1.5, Norm::L1, WeightScheme::Same, 11);
+        assert_eq!(sc.generate_2d().unwrap(), sc.generate_2d().unwrap());
+        let other = sc.with_seed(12).generate_2d().unwrap();
+        assert_ne!(sc.generate_2d().unwrap(), other);
+    }
+
+    #[test]
+    fn points_and_weights_use_independent_streams() {
+        // Same seed, different weight schemes: the points must match.
+        let a = Scenario::paper_2d(15, 2, 1.0, Norm::L2, WeightScheme::Same, 3)
+            .generate_2d()
+            .unwrap();
+        let b = Scenario::paper_2d(15, 2, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, 3)
+            .generate_2d()
+            .unwrap();
+        assert_eq!(a.points(), b.points());
+        assert_ne!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn sweep_2d_has_12_configs() {
+        let sweep = Scenario::paper_sweep_2d(Norm::L2, WeightScheme::Same, 0);
+        assert_eq!(sweep.len(), 12);
+        assert!(sweep.iter().any(|s| s.n == 10 && s.k == 2 && s.r == 1.0));
+        assert!(sweep.iter().any(|s| s.n == 40 && s.k == 4 && s.r == 2.0));
+    }
+
+    #[test]
+    fn sweep_3d_has_12_configs_l1_only() {
+        let sweep = Scenario::paper_sweep_3d(WeightScheme::PAPER_WEIGHTED, 0);
+        assert_eq!(sweep.len(), 12);
+        assert!(sweep.iter().all(|s| s.norm == Norm::L1));
+        assert!(sweep.iter().any(|s| s.n == 160));
+        let inst = sweep[0].generate_3d().unwrap();
+        assert_eq!(inst.n(), 40);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sc = Scenario::paper_3d(160, 4, 2.0, Norm::L1, WeightScheme::Same, 5);
+        let json = serde_json::to_string_pretty(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn labels_are_distinct_across_sweep() {
+        let sweep = Scenario::paper_sweep_2d(Norm::L1, WeightScheme::Same, 0);
+        let mut labels: Vec<&str> = sweep.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), sweep.len());
+    }
+}

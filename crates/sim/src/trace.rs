@@ -1,0 +1,114 @@
+//! Record/replay of generated instances.
+//!
+//! Experiments are regenerated from pinned traces so figures stay
+//! byte-stable even if a generator implementation detail changes. A
+//! trace bundles the [`Scenario`] that produced an instance with the
+//! instance itself; on load, [`InstanceTrace::verify`] can confirm the
+//! scenario still regenerates the recorded instance.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use mmph_core::Instance;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+use crate::Result;
+
+/// One recorded instance with its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceTrace<const D: usize> {
+    /// The configuration that generated the instance.
+    pub scenario: Scenario,
+    /// The materialized instance.
+    pub instance: Instance<D>,
+}
+
+impl<const D: usize> InstanceTrace<D> {
+    /// Records a scenario by generating its instance now.
+    pub fn record(scenario: Scenario) -> Result<Self> {
+        let instance = scenario.generate::<D>()?;
+        Ok(InstanceTrace { scenario, instance })
+    }
+
+    /// True iff the scenario still regenerates exactly the recorded
+    /// instance (guards against silent generator drift).
+    pub fn verify(&self) -> bool {
+        self.scenario
+            .generate::<D>()
+            .map(|fresh| fresh == self.instance)
+            .unwrap_or(false)
+    }
+}
+
+/// Writes traces as pretty JSON to `path`.
+pub fn save_traces<const D: usize>(path: &Path, traces: &[InstanceTrace<D>]) -> Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer_pretty(file, traces)?;
+    Ok(())
+}
+
+/// Loads traces from a JSON file written by [`save_traces`].
+pub fn load_traces<const D: usize>(path: &Path) -> Result<Vec<InstanceTrace<D>>> {
+    let file = BufReader::new(File::open(path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WeightScheme;
+    use mmph_geom::Norm;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::paper_2d(10, 2, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, seed)
+    }
+
+    #[test]
+    fn record_and_verify() {
+        let t = InstanceTrace::<2>::record(scenario(5)).unwrap();
+        assert!(t.verify());
+        assert_eq!(t.instance.n(), 10);
+    }
+
+    #[test]
+    fn verify_detects_tampering() {
+        let mut t = InstanceTrace::<2>::record(scenario(5)).unwrap();
+        t.scenario.seed += 1;
+        assert!(!t.verify());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("mmph-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.json");
+        let traces: Vec<InstanceTrace<2>> = (0..3)
+            .map(|s| InstanceTrace::record(scenario(s)).unwrap())
+            .collect();
+        save_traces(&path, &traces).unwrap();
+        let back: Vec<InstanceTrace<2>> = load_traces(&path).unwrap();
+        assert_eq!(traces, back);
+        assert!(back.iter().all(InstanceTrace::verify));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let r: Result<Vec<InstanceTrace<2>>> =
+            load_traces(Path::new("/nonexistent/mmph-traces.json"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn load_corrupt_json_errors() {
+        let dir = std::env::temp_dir().join("mmph-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let r: Result<Vec<InstanceTrace<2>>> = load_traces(&path);
+        assert!(r.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

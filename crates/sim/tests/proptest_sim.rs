@@ -1,0 +1,146 @@
+//! Property-based tests for the simulation substrate.
+
+use mmph_sim::broadcast::{simulate, BroadcastConfig, Population};
+use mmph_sim::gen::{PointDistribution, SpaceSpec, WeightScheme};
+use mmph_sim::metrics::Summary;
+use mmph_sim::rng::SeedSeq;
+use mmph_sim::scenario::Scenario;
+use proptest::prelude::*;
+
+fn weight_scheme() -> impl Strategy<Value = WeightScheme> {
+    prop_oneof![
+        Just(WeightScheme::Same),
+        (1u32..4, 4u32..9).prop_map(|(lo, hi)| WeightScheme::UniformInt { lo, hi }),
+        (2u32..10, 0.5..2.5f64).prop_map(|(n_ranks, s)| WeightScheme::Zipf { n_ranks, s }),
+    ]
+}
+
+fn distribution() -> impl Strategy<Value = PointDistribution> {
+    prop_oneof![
+        Just(PointDistribution::Uniform),
+        (1usize..5, 0.01..0.3f64).prop_map(|(clusters, rel_sigma)| {
+            PointDistribution::GaussianClusters {
+                clusters,
+                rel_sigma,
+            }
+        }),
+        (0.0..0.5f64).prop_map(|rel_jitter| PointDistribution::JitteredGrid { rel_jitter }),
+        (0.1..1.0f64, 0.0..0.1f64).prop_map(|(rel_radius, rel_sigma)| {
+            PointDistribution::Ring {
+                rel_radius,
+                rel_sigma,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generators_respect_count_and_bounds(
+        n in 1usize..120,
+        dist in distribution(),
+        seed in 0u64..1000,
+    ) {
+        let pts = dist
+            .sample::<2>(n, SpaceSpec::PAPER, SeedSeq::new(seed))
+            .unwrap();
+        prop_assert_eq!(pts.len(), n);
+        for p in &pts {
+            prop_assert!(p[0] >= 0.0 && p[0] <= 4.0, "x out of range: {}", p[0]);
+            prop_assert!(p[1] >= 0.0 && p[1] <= 4.0, "y out of range: {}", p[1]);
+        }
+    }
+
+    #[test]
+    fn weights_positive_and_deterministic(
+        n in 1usize..100,
+        scheme in weight_scheme(),
+        seed in 0u64..1000,
+    ) {
+        let a = scheme.sample(n, SeedSeq::new(seed)).unwrap();
+        let b = scheme.sample(n, SeedSeq::new(seed)).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&w| w > 0.0 && w.is_finite()));
+    }
+
+    #[test]
+    fn scenario_instances_are_always_valid(
+        n in 1usize..60,
+        k in 1usize..6,
+        r in 0.1..3.0f64,
+        seed in 0u64..500,
+        scheme in weight_scheme(),
+    ) {
+        let sc = Scenario::paper_2d(n, k, r, mmph_geom::Norm::L2, scheme, seed);
+        let inst = sc.generate_2d().unwrap();
+        prop_assert_eq!(inst.n(), n);
+        prop_assert_eq!(inst.k(), k);
+        prop_assert!(inst.total_weight() > 0.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant(mut xs in prop::collection::vec(-100.0..100.0f64, 2..60)) {
+        let mut fwd = Summary::new();
+        for &x in &xs {
+            fwd.push(x);
+        }
+        xs.reverse();
+        let mut rev = Summary::new();
+        for &x in &xs {
+            rev.push(x);
+        }
+        prop_assert_eq!(fwd.count, rev.count);
+        prop_assert!((fwd.mean - rev.mean).abs() < 1e-9);
+        prop_assert!((fwd.variance() - rev.variance()).abs() < 1e-7);
+        prop_assert_eq!(fwd.min, rev.min);
+        prop_assert_eq!(fwd.max, rev.max);
+    }
+
+    #[test]
+    fn broadcast_accounting_invariants(
+        n in 2usize..40,
+        k in 1usize..5,
+        horizon in 1usize..30,
+        churn in 0.0..0.5f64,
+        drift in 0.0..0.1f64,
+        seed in 0u64..200,
+    ) {
+        let mut pop = Population::<2>::generate(
+            n,
+            SpaceSpec::PAPER,
+            PointDistribution::Uniform,
+            WeightScheme::Same,
+            SeedSeq::new(seed),
+        )
+        .unwrap();
+        let cfg = BroadcastConfig {
+            horizon_slots: horizon,
+            churn_rate: churn,
+            drift_rel_sigma: drift,
+            threshold: 0.5,
+            seed,
+        };
+        let run = simulate(
+            &mmph_core::solvers::SimpleGreedy::new(),
+            &mut pop,
+            1.0,
+            k,
+            mmph_geom::Norm::L2,
+            &cfg,
+        )
+        .unwrap();
+        prop_assert_eq!(run.periods, horizon / k);
+        prop_assert_eq!(run.slots_used, run.periods * k);
+        prop_assert_eq!(run.per_period.len(), run.periods);
+        let sum: f64 = run.per_period.iter().map(|p| p.reward).sum();
+        prop_assert!((sum - run.total_reward).abs() < 1e-9);
+        for p in &run.per_period {
+            prop_assert!(p.reward >= 0.0);
+            prop_assert!(p.reward <= n as f64 + 1e-9); // weights all 1
+            prop_assert!(p.satisfied_users <= n);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p.mean_fraction));
+        }
+    }
+}

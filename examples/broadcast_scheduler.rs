@@ -1,0 +1,108 @@
+//! Broadcast scheduler: the paper's motivating wireless scenario.
+//!
+//! A base station streams music to listeners. Each listener's taste is
+//! a point in a 2-D interest space (x = tempo, y = acousticness); the
+//! station can broadcast `k` programs per period, each a point in the
+//! same space with interest radius `r`: the closer a program is to your
+//! taste, the happier you are (the paper's §I example — broadcast light
+//! music and the classical fan is partly happy, broadcast rock and they
+//! get nothing).
+//!
+//! The station owns a fixed horizon of broadcast slots. Choosing `k` is
+//! a real trade-off (paper §III-A): more programs per period satisfy
+//! more tastes at once, but each period then consumes more slots, so
+//! service is less frequent. This example quantifies the trade-off with
+//! the time-slotted simulator.
+//!
+//! ```text
+//! cargo run --release --example broadcast_scheduler
+//! ```
+
+use mmph::prelude::*;
+use mmph::sim::broadcast::{simulate, BroadcastConfig, Population};
+use mmph::sim::gen::{PointDistribution, SpaceSpec};
+use mmph::sim::rng::SeedSeq;
+
+fn main() {
+    // Listeners cluster around a few genres rather than spreading
+    // uniformly: three Gaussian clusters in the 4×4 taste space.
+    let make_population = || {
+        Population::<2>::generate(
+            120,
+            SpaceSpec::PAPER,
+            PointDistribution::GaussianClusters {
+                clusters: 3,
+                rel_sigma: 0.08,
+            },
+            WeightScheme::UniformInt { lo: 1, hi: 5 },
+            SeedSeq::new(90125),
+        )
+        .expect("valid generator config")
+    };
+
+    let config = BroadcastConfig {
+        horizon_slots: 48,
+        churn_rate: 0.02,
+        drift_rel_sigma: 0.01,
+        threshold: 0.5,
+        seed: 7,
+    };
+
+    println!("music broadcast over a 48-slot horizon, 120 listeners, 3 genre clusters\n");
+    println!(
+        "{:>3} {:>8} {:>12} {:>14} {:>16}",
+        "k", "periods", "reward/slot", "mean satisf.", "happy users/period"
+    );
+    for k in [1usize, 2, 3, 4, 6, 8, 12] {
+        let mut population = make_population();
+        let run = simulate(
+            &SimpleGreedy::new(), // the paper's best performer
+            &mut population,
+            1.0,
+            k,
+            Norm::L2,
+            &config,
+        )
+        .expect("simulation runs");
+        let mean_happy: f64 = run
+            .per_period
+            .iter()
+            .map(|p| p.satisfied_users as f64)
+            .sum::<f64>()
+            / run.periods.max(1) as f64;
+        println!(
+            "{:>3} {:>8} {:>12.3} {:>13.1}% {:>16.1}",
+            k,
+            run.periods,
+            run.reward_per_slot(),
+            100.0 * run.mean_satisfaction(),
+            mean_happy,
+        );
+    }
+
+    println!(
+        "\nreading: per-period satisfaction rises with k (more genres on air),\n\
+         but reward *per slot* peaks at a moderate k — beyond it, extra\n\
+         programs mostly duplicate coverage of already-happy listeners\n\
+         while halving how often anyone is served."
+    );
+
+    // Which solver should the station run online? Compare one period.
+    let population = make_population();
+    let instance = population
+        .instance(1.0, 4, Norm::L2)
+        .expect("valid instance");
+    println!("\nsingle-period solver comparison (n = 120, k = 4):");
+    let solvers: Vec<(&str, Solution<2>)> = vec![
+        ("greedy 2 (local)", LocalGreedy::new().solve(&instance).expect("g2")),
+        ("greedy 3 (simple)", SimpleGreedy::new().solve(&instance).expect("g3")),
+        ("greedy 4 (complex)", ComplexGreedy::new().solve(&instance).expect("g4")),
+        ("lazy greedy (CELF)", LazyGreedy::new().solve(&instance).expect("lazy")),
+    ];
+    for (name, sol) in &solvers {
+        println!(
+            "  {:<20} reward {:>8.2}  candidate evaluations {:>7}",
+            name, sol.total_reward, sol.evals
+        );
+    }
+}

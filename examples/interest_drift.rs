@@ -1,0 +1,129 @@
+//! Interest drift: why the base station should re-solve every period.
+//!
+//! User interests are not static — tastes drift and audiences churn.
+//! This example runs the time-slotted broadcast simulator twice over
+//! the same drifting population:
+//!
+//! * **adaptive** — re-solve the content selection every period
+//!   (what `mmph_sim::broadcast::simulate` does);
+//! * **frozen** — solve once on the initial snapshot and rebroadcast
+//!   the same `k` contents forever.
+//!
+//! The gap between the two quantifies the value of adaptation as a
+//! function of drift intensity.
+//!
+//! ```text
+//! cargo run --release --example interest_drift
+//! ```
+
+use mmph::prelude::*;
+use mmph::sim::broadcast::{simulate, BroadcastConfig, Population};
+use mmph::sim::gen::{PointDistribution, SpaceSpec};
+use mmph::sim::metrics::SatisfactionReport;
+use mmph::sim::rng::SeedSeq;
+
+/// Re-runs the drifting population but never re-solves: the period-0
+/// centers are rebroadcast for the whole horizon.
+fn simulate_frozen(
+    population: &mut Population<2>,
+    r: f64,
+    k: usize,
+    config: &BroadcastConfig,
+) -> f64 {
+    // Solve once on the initial snapshot.
+    let initial = population
+        .instance(r, k, Norm::L2)
+        .expect("valid instance");
+    let frozen = LocalGreedy::new().solve(&initial).expect("solves");
+    // Replay the same dynamics through the adaptive simulator by using
+    // a "solver" that ignores the instance and returns the frozen
+    // centers. A tiny adapter implementing Solver keeps the dynamics
+    // code identical between the two arms.
+    struct Frozen(Vec<Point<2>>);
+    impl Solver<2> for Frozen {
+        fn name(&self) -> &'static str {
+            "frozen"
+        }
+        fn solve(
+            &self,
+            inst: &mmph::core::Instance<2>,
+        ) -> mmph::core::Result<Solution<2>> {
+            let report = SatisfactionReport::compute(inst, &self.0, 0.5);
+            Ok(Solution {
+                solver: "frozen".into(),
+                centers: self.0.clone(),
+                round_gains: vec![report.total_reward],
+                total_reward: report.total_reward,
+                evals: 0,
+                assignments: None,
+            })
+        }
+    }
+    let run = simulate(
+        &Frozen(frozen.centers),
+        population,
+        r,
+        k,
+        Norm::L2,
+        config,
+    )
+    .expect("simulation runs");
+    run.total_reward
+}
+
+fn main() {
+    println!("adaptive vs frozen content selection under interest drift\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "drift sigma", "adaptive", "frozen", "advantage"
+    );
+    for drift in [0.0, 0.01, 0.02, 0.05, 0.10] {
+        let make_population = || {
+            Population::<2>::generate(
+                80,
+                SpaceSpec::PAPER,
+                PointDistribution::GaussianClusters {
+                    clusters: 3,
+                    rel_sigma: 0.06,
+                },
+                WeightScheme::UniformInt { lo: 1, hi: 5 },
+                SeedSeq::new(1999),
+            )
+            .expect("valid generator config")
+        };
+        let config = BroadcastConfig {
+            horizon_slots: 64,
+            churn_rate: 0.0,
+            drift_rel_sigma: drift,
+            threshold: 0.5,
+            seed: 55, // same dynamics seed for both arms
+        };
+        let mut pop_a = make_population();
+        let adaptive = simulate(
+            &LocalGreedy::new(),
+            &mut pop_a,
+            1.0,
+            4,
+            Norm::L2,
+            &config,
+        )
+        .expect("simulation runs")
+        .total_reward;
+        let mut pop_f = make_population();
+        let frozen = simulate_frozen(&mut pop_f, 1.0, 4, &config);
+        println!(
+            "{:>12.2} {:>14.1} {:>14.1} {:>11.1}%",
+            drift,
+            adaptive,
+            frozen,
+            100.0 * (adaptive - frozen) / frozen.max(1e-9),
+        );
+    }
+    println!(
+        "\nreading: with no drift the two arms coincide. At tiny drift the\n\
+         frozen centers can even edge ahead — individual points jitter\n\
+         around stationary cluster cores, and chasing them adds noise.\n\
+         Once drift disperses the clusters the frozen selection decays\n\
+         and per-period re-solving wins by a widening margin."
+    );
+}

@@ -1,0 +1,90 @@
+//! Reward landscape: visualize the round subproblem Algorithm 1 faces.
+//!
+//! The paper proves that picking one optimal broadcast center in
+//! continuous space (Eq. 10) is NP-hard — the coverage-reward landscape
+//! `g(c) = Σ_i w_i · min(frac(d(c, x_i)), y_i)` is a rugged multi-modal
+//! surface. This example renders that surface as a heatmap across the
+//! greedy rounds: after each commitment the residuals `y_i` deplete and
+//! whole mountain ranges vanish from the landscape.
+//!
+//! Outputs one heatmap SVG per round into a temp directory, plus a
+//! norm/kernel comparison of the landscape's shape.
+//!
+//! ```text
+//! cargo run --release --example reward_landscape
+//! ```
+
+use mmph::core::{Kernel, Residuals};
+use mmph::plot::Heatmap;
+use mmph::prelude::*;
+
+fn main() {
+    let scenario = Scenario::paper_2d(
+        40,
+        4,
+        1.0,
+        Norm::L2,
+        WeightScheme::UniformInt { lo: 1, hi: 5 },
+        20110913,
+    );
+    let instance = scenario.generate_2d().expect("valid scenario");
+    let out_dir = std::env::temp_dir().join("mmph_landscapes");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // Replay greedy 2 and render the landscape before each round.
+    let solution = LocalGreedy::new().solve(&instance).expect("solves");
+    let mut residuals = Residuals::new(instance.n());
+    for (round, center) in solution.centers.iter().enumerate() {
+        let hm = Heatmap::new(
+            format!(
+                "coverage-reward landscape before round {} (next gain {:.2})",
+                round + 1,
+                solution.round_gains[round]
+            ),
+            0.0,
+            4.0,
+        )
+        .sample(96, |x, y| {
+            mmph::core::coverage_reward(&instance, &Point::new([x, y]), &residuals)
+        });
+        let path = out_dir.join(format!("landscape_round{}.svg", round + 1));
+        std::fs::write(&path, hm.render().expect("render")).expect("write");
+        println!(
+            "round {}: landscape written to {} (peak region then claimed by center at ({:.2}, {:.2}))",
+            round + 1,
+            path.display(),
+            center[0],
+            center[1]
+        );
+        residuals.apply(&instance, center);
+    }
+
+    // How the landscape's *shape* depends on the norm and the kernel.
+    println!("\nlandscape shape comparison (fresh residuals):");
+    let fresh = Residuals::new(instance.n());
+    for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+        let inst = instance.with_norm(norm).expect("valid norm");
+        let hm = Heatmap::new(format!("landscape under {norm}"), 0.0, 4.0).sample(96, |x, y| {
+            mmph::core::coverage_reward(&inst, &Point::new([x, y]), &fresh)
+        });
+        let path = out_dir.join(format!("landscape_{}.svg", norm.name()));
+        std::fs::write(&path, hm.render().expect("render")).expect("write");
+        println!("  {norm}: {}", path.display());
+    }
+    for kernel in [Kernel::Step, Kernel::Quadratic, Kernel::Exponential { lambda: 4.0 }] {
+        let inst = instance.with_kernel(kernel).expect("valid kernel");
+        let hm = Heatmap::new(format!("landscape under {} kernel", kernel.name()), 0.0, 4.0)
+            .sample(96, |x, y| {
+                mmph::core::coverage_reward(&inst, &Point::new([x, y]), &fresh)
+            });
+        let path = out_dir.join(format!("landscape_kernel_{}.svg", kernel.name()));
+        std::fs::write(&path, hm.render().expect("render")).expect("write");
+        println!("  {} kernel: {}", kernel.name(), path.display());
+    }
+    println!(
+        "\nreading: the linear kernel yields cones around users; the step\n\
+         kernel yields flat-topped mesas (classic max coverage); residual\n\
+         depletion after each round erases the claimed peaks, which is\n\
+         exactly why the sequential greedy spreads its centers."
+    );
+}

@@ -1,0 +1,192 @@
+//! Full-pipeline integration tests: scenario → trace → solve →
+//! metrics → figure rendering, plus determinism of the experiment
+//! drivers.
+
+use mmph::prelude::*;
+use mmph::sim::metrics::SatisfactionReport;
+use mmph::sim::trace::{load_traces, save_traces, InstanceTrace};
+use mmph_bench::experiments::{self, SweepOptions};
+use mmph_bench::render;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mmph-pipeline-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn scenario_to_figure_pipeline() {
+    // Generate → solve → report → render, all through public APIs.
+    let scenario = Scenario::paper_2d(30, 3, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, 12);
+    let inst = scenario.generate_2d().unwrap();
+    let sol = LocalGreedy::new().solve(&inst).unwrap();
+    let report = SatisfactionReport::compute(&inst, &sol.centers, 0.5);
+    assert!(report.total_reward > 0.0);
+    assert!((report.total_reward - sol.total_reward).abs() < 1e-9);
+    assert!(report.satisfied_users > 0);
+    assert!(report.jain_fairness() > 0.0 && report.jain_fairness() <= 1.0);
+
+    // Render a coverage map of the solution.
+    use mmph::plot::chart::{CircleOverlay, ScatterPoint};
+    use mmph::plot::svg::Marker;
+    let mut plot = mmph::plot::ScatterPlot::new("pipeline", 0.0, 4.0);
+    for (p, &w) in inst.points().iter().zip(inst.weights()) {
+        plot.points.push(ScatterPoint {
+            x: p[0],
+            y: p[1],
+            marker: Marker::for_weight(w as u32),
+            color_index: 7,
+        });
+    }
+    for (i, c) in sol.centers.iter().enumerate() {
+        plot.circles.push(CircleOverlay {
+            cx: c[0],
+            cy: c[1],
+            r: inst.radius(),
+            color_index: i,
+        });
+    }
+    let svg = plot.render().unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("<circle"));
+}
+
+#[test]
+fn trace_pins_the_experiment() {
+    let dir = tmp_dir("trace");
+    let path = dir.join("pinned.json");
+    let scenario = Scenario::paper_2d(15, 2, 1.5, Norm::L1, WeightScheme::Same, 99);
+    let trace = InstanceTrace::<2>::record(scenario).unwrap();
+    let reward_now = LocalGreedy::new()
+        .solve(&trace.instance)
+        .unwrap()
+        .total_reward;
+    save_traces(&path, std::slice::from_ref(&trace)).unwrap();
+
+    // Reload and resolve: identical instance, identical reward.
+    let loaded: Vec<InstanceTrace<2>> = load_traces(&path).unwrap();
+    assert_eq!(loaded.len(), 1);
+    assert!(loaded[0].verify(), "generator drift detected");
+    let reward_later = LocalGreedy::new()
+        .solve(&loaded[0].instance)
+        .unwrap()
+        .total_reward;
+    assert_eq!(reward_now, reward_later);
+}
+
+#[test]
+fn experiment_drivers_are_deterministic() {
+    let opts = SweepOptions {
+        trials: 3,
+        include_greedy1: false,
+    };
+    let a = experiments::ratio_config(10, 2, 1.0, Norm::L2, WeightScheme::Same, opts, 5);
+    let b = experiments::ratio_config(10, 2, 1.0, Norm::L2, WeightScheme::Same, opts, 5);
+    assert_eq!(a.ratio2.mean, b.ratio2.mean);
+    assert_eq!(a.ratio3.mean, b.ratio3.mean);
+    assert_eq!(a.ratio4.mean, b.ratio4.mean);
+
+    let ra = experiments::reward_config_3d(40, 2, 1.0, WeightScheme::Same, opts, 6);
+    let rb = experiments::reward_config_3d(40, 2, 1.0, WeightScheme::Same, opts, 6);
+    assert_eq!(ra.reward2.mean, rb.reward2.mean);
+    assert_eq!(ra.reward4.mean, rb.reward4.mean);
+}
+
+#[test]
+fn repro_renderers_write_all_expected_artifacts() {
+    let dir = tmp_dir("artifacts");
+    render::render_fig2(&dir, &experiments::fig2()).unwrap();
+    let run = experiments::fig3_table1(1);
+    render::render_fig3(&dir, &run).unwrap();
+    render::render_table1(&dir, &run).unwrap();
+    let opts = SweepOptions {
+        trials: 2,
+        include_greedy1: false,
+    };
+    let rows = vec![experiments::ratio_config(
+        10,
+        2,
+        1.0,
+        Norm::L2,
+        WeightScheme::Same,
+        opts,
+        7,
+    )];
+    render::render_ratio_figure(&dir, "fig_t", "test", &rows).unwrap();
+    let rrows = vec![experiments::reward_config_3d(
+        40,
+        2,
+        1.0,
+        WeightScheme::Same,
+        opts,
+        8,
+    )];
+    render::render_reward_figure(&dir, "fig_r", "test3d", &rrows).unwrap();
+    render::render_summary(
+        &dir,
+        &experiments::aggregate(&rows),
+        &experiments::aggregate_3d(&rrows),
+    )
+    .unwrap();
+
+    for name in [
+        "fig2_bounds_n10.svg",
+        "fig2_bounds_n40.svg",
+        "fig2_bounds_n10.csv",
+        "fig3_greedy2_round1.svg",
+        "fig3_greedy4_round4.svg",
+        "fig3_landscape_round1.svg",
+        "fig3_landscape_round4.svg",
+        "table1.md",
+        "table1.csv",
+        "fig_t_n10_k2.svg",
+        "fig_t.csv",
+        "fig_t.md",
+        "fig_r_n40_k2.svg",
+        "fig_r.csv",
+        "summary.md",
+    ] {
+        assert!(dir.join(name).exists(), "missing artifact {name}");
+    }
+    // SVGs parse-sanity: well-formed header and footer.
+    let svg = std::fs::read_to_string(dir.join("fig3_greedy2_round1.svg")).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.trim_end().ends_with("</svg>"));
+}
+
+#[test]
+fn three_dimensional_pipeline() {
+    let scenario = Scenario::paper_3d(40, 4, 1.5, Norm::L1, WeightScheme::PAPER_WEIGHTED, 21);
+    let inst = scenario.generate_3d().unwrap();
+    for sol in [
+        LocalGreedy::new().solve(&inst).unwrap(),
+        SimpleGreedy::new().solve(&inst).unwrap(),
+        ComplexGreedy::new().solve(&inst).unwrap(),
+    ] {
+        assert_eq!(sol.centers.len(), 4);
+        assert!(sol.verify_consistency(&inst));
+        let report = SatisfactionReport::compute(&inst, &sol.centers, 0.5);
+        assert!((report.total_reward - sol.total_reward).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn facade_prelude_exposes_the_advertised_api() {
+    // Compile-time check that the README quickstart keeps working.
+    let scenario = Scenario::paper_2d(
+        40,
+        4,
+        1.0,
+        Norm::L2,
+        WeightScheme::UniformInt { lo: 1, hi: 5 },
+        7,
+    );
+    let instance = scenario.generate_2d().unwrap();
+    let solution = SimpleGreedy::new().solve(&instance).unwrap();
+    assert_eq!(solution.centers.len(), 4);
+    assert!(solution.total_reward > 0.0);
+    // Bounds are reachable from the prelude.
+    assert!(approx_local(40, 4) < approx_round_based(4));
+    let bound = ONE_MINUS_INV_E;
+    assert!((bound - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+}
