@@ -46,18 +46,72 @@ fn bench_lazy_greedy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_oracle(c: &mut Criterion) {
+    use mmph_core::{GainOracle, OracleStrategy, Residuals};
+    let mut group = c.benchmark_group("ablation_oracle");
+    group.sample_size(10);
+    // On a single-core host the parallel oracle degenerates to one
+    // worker; report the thread count so timings can be interpreted.
+    println!(
+        "oracle ablation on {} rayon thread(s)",
+        rayon::current_num_threads()
+    );
+    for n in [2_000usize, 10_000] {
+        let scenario = Scenario::paper_2d(n, 4, 0.5, Norm::L2, WeightScheme::PAPER_WEIGHTED, 29);
+        let inst = scenario.generate_2d().unwrap();
+        // Exactness across strategies plus the CELF work saved, once
+        // per size (the acceptance check behind `--oracle`).
+        let seq = LocalGreedy::new()
+            .with_oracle(OracleStrategy::Seq)
+            .solve(&inst)
+            .unwrap();
+        let par = LocalGreedy::new()
+            .with_oracle(OracleStrategy::Par)
+            .solve(&inst)
+            .unwrap();
+        let lazy = LocalGreedy::new()
+            .with_oracle(OracleStrategy::Lazy)
+            .solve(&inst)
+            .unwrap();
+        assert_eq!(seq.centers, par.centers, "par oracle must be exact");
+        assert_eq!(seq.centers, lazy.centers, "lazy oracle must be exact");
+        println!(
+            "n = {n}: seq {} evals, lazy {} evals ({:.1}% of seq), identical centers",
+            seq.evals,
+            lazy.evals,
+            100.0 * lazy.evals as f64 / seq.evals as f64
+        );
+        // The per-round hot path the strategies compete on: one full
+        // candidate sweep against fresh residuals.
+        let residuals = Residuals::new(inst.n());
+        for (name, strategy) in [("seq", OracleStrategy::Seq), ("par", OracleStrategy::Par)] {
+            let oracle = GainOracle::new(&inst, strategy);
+            group.bench_with_input(
+                BenchmarkId::new(format!("score_all_{name}"), n),
+                &inst,
+                |b, _| b.iter(|| oracle.score_all(&residuals).iter().sum::<f64>()),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("solve_lazy", n), &inst, |b, inst| {
+            b.iter(|| LazyGreedy::new().solve(inst).unwrap().total_reward)
+        });
+    }
+    group.finish();
+}
+
 fn bench_spatial_index(c: &mut Criterion) {
     use mmph_core::reward::RewardEngine;
     use mmph_core::Residuals;
     let mut group = c.benchmark_group("ablation_spatial_index");
     group.sample_size(10);
     for r in [0.2f64, 0.5, 1.0, 2.0] {
-        let scenario =
-            Scenario::paper_2d(600, 4, r, Norm::L2, WeightScheme::PAPER_WEIGHTED, 11);
+        let scenario = Scenario::paper_2d(600, 4, r, Norm::L2, WeightScheme::PAPER_WEIGHTED, 11);
         let inst = scenario.generate_2d().unwrap();
-        group.bench_with_input(BenchmarkId::new("scan", format!("r{r}")), &inst, |b, inst| {
-            b.iter(|| LocalGreedy::new().solve(inst).unwrap().total_reward)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scan", format!("r{r}")),
+            &inst,
+            |b, inst| b.iter(|| LocalGreedy::new().solve(inst).unwrap().total_reward),
+        );
         group.bench_with_input(
             BenchmarkId::new("kdtree", format!("r{r}")),
             &inst,
@@ -215,6 +269,7 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lazy_greedy,
+    bench_oracle,
     bench_spatial_index,
     bench_round_oracle,
     bench_l1_center,

@@ -28,9 +28,7 @@ fn bench_fig2(c: &mut Criterion) {
             acc
         })
     });
-    group.bench_function("full_fig2_regeneration", |b| {
-        b.iter(experiments::fig2)
-    });
+    group.bench_function("full_fig2_regeneration", |b| b.iter(experiments::fig2));
     group.finish();
 }
 

@@ -34,9 +34,7 @@ fn bench_sweep_configs(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("n{n}_k{k}")),
                 &(n, k),
-                |b, &(n, k)| {
-                    b.iter(|| ratio_config(n, k, 1.0, norm, weights, opts, 1).ratio3.mean)
-                },
+                |b, &(n, k)| b.iter(|| ratio_config(n, k, 1.0, norm, weights, opts, 1).ratio3.mean),
             );
         }
     }

@@ -35,10 +35,13 @@ fn bench_generators(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("zipf_weights", n), &n, |b, &n| {
             b.iter(|| {
-                WeightScheme::Zipf { n_ranks: 10, s: 1.1 }
-                    .sample(n, SeedSeq::new(3))
-                    .unwrap()
-                    .len()
+                WeightScheme::Zipf {
+                    n_ranks: 10,
+                    s: 1.1,
+                }
+                .sample(n, SeedSeq::new(3))
+                .unwrap()
+                .len()
             })
         });
     }

@@ -84,8 +84,18 @@ fn main() -> ExitCode {
         }
     };
     let known = [
-        "all", "fig2", "fig3", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "summary", "baselines",
+        "all",
+        "fig2",
+        "fig3",
+        "table1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "summary",
+        "baselines",
     ];
     for t in &args.targets {
         if !known.contains(&t.as_str()) {
@@ -181,7 +191,11 @@ fn run(args: &Args) -> std::io::Result<()> {
             "Fig. 8 — 1-norm, 3-D, different weights",
             WeightScheme::PAPER_WEIGHTED,
         ),
-        ("fig9", "Fig. 9 — 1-norm, 3-D, same weight", WeightScheme::Same),
+        (
+            "fig9",
+            "Fig. 9 — 1-norm, 3-D, same weight",
+            WeightScheme::Same,
+        ),
     ];
     for (name, title, weights) in three_d {
         if wants(args, name) || need_sweeps_for_summary {

@@ -2,8 +2,7 @@
 
 use mmph_core::bounds::{approx_local, approx_round_based};
 use mmph_core::solvers::{
-    ComplexGreedy, Exhaustive, KCenter, KMeans, LocalGreedy, LocalSearch, RoundBased,
-    SimpleGreedy,
+    ComplexGreedy, Exhaustive, KCenter, KMeans, LocalGreedy, LocalSearch, RoundBased, SimpleGreedy,
 };
 use mmph_core::{Instance, Solution, Solver};
 use mmph_geom::Norm;
@@ -72,14 +71,7 @@ pub struct ExampleRun {
 /// instance; the paper's exact instance is unpublished, so any seed
 /// gives an equivalent workload.
 pub fn fig3_table1(seed: u64) -> ExampleRun {
-    let scenario = Scenario::paper_2d(
-        40,
-        4,
-        1.0,
-        Norm::L2,
-        WeightScheme::PAPER_WEIGHTED,
-        seed,
-    );
+    let scenario = Scenario::paper_2d(40, 4, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, seed);
     let instance = scenario.generate_2d().expect("valid paper scenario");
     let solutions = vec![
         LocalGreedy::new().solve(&instance).expect("greedy2"),
@@ -167,13 +159,25 @@ pub fn ratio_config(
                 .expect("exhaustive within cap")
                 .total_reward;
             let g1 = if opts.include_greedy1 {
-                RoundBased::grid().solve(&inst).expect("greedy1").total_reward
+                RoundBased::grid()
+                    .solve(&inst)
+                    .expect("greedy1")
+                    .total_reward
             } else {
                 0.0
             };
-            let g2 = LocalGreedy::new().solve(&inst).expect("greedy2").total_reward;
-            let g3 = SimpleGreedy::new().solve(&inst).expect("greedy3").total_reward;
-            let g4 = ComplexGreedy::new().solve(&inst).expect("greedy4").total_reward;
+            let g2 = LocalGreedy::new()
+                .solve(&inst)
+                .expect("greedy2")
+                .total_reward;
+            let g3 = SimpleGreedy::new()
+                .solve(&inst)
+                .expect("greedy3")
+                .total_reward;
+            let g4 = ComplexGreedy::new()
+                .solve(&inst)
+                .expect("greedy4")
+                .total_reward;
             // greedy 1 and 4 pick continuous centers, so they can exceed
             // the point-candidate optimum; ratios may exceed 1 slightly.
             (g1 / opt, g2 / opt, g3 / opt, g4 / opt)
@@ -281,13 +285,25 @@ pub fn reward_config_3d(
             let scenario = Scenario::paper_3d(n, k, r, Norm::L1, weights, seed_base ^ trial);
             let inst = scenario.generate_3d().expect("valid scenario");
             let g1 = if opts.include_greedy1 {
-                RoundBased::grid().solve(&inst).expect("greedy1").total_reward
+                RoundBased::grid()
+                    .solve(&inst)
+                    .expect("greedy1")
+                    .total_reward
             } else {
                 0.0
             };
-            let g2 = LocalGreedy::new().solve(&inst).expect("greedy2").total_reward;
-            let g3 = SimpleGreedy::new().solve(&inst).expect("greedy3").total_reward;
-            let g4 = ComplexGreedy::new().solve(&inst).expect("greedy4").total_reward;
+            let g2 = LocalGreedy::new()
+                .solve(&inst)
+                .expect("greedy2")
+                .total_reward;
+            let g3 = SimpleGreedy::new()
+                .solve(&inst)
+                .expect("greedy3")
+                .total_reward;
+            let g4 = ComplexGreedy::new()
+                .solve(&inst)
+                .expect("greedy4")
+                .total_reward;
             (g1, g2, g3, g4, inst.total_weight())
         })
         .collect();
@@ -380,8 +396,14 @@ pub fn baseline_config(
                 .solve(&inst)
                 .expect("exhaustive")
                 .total_reward;
-            let g2 = LocalGreedy::new().solve(&inst).expect("greedy2").total_reward;
-            let ls = LocalSearch::new().solve(&inst).expect("local search").total_reward;
+            let g2 = LocalGreedy::new()
+                .solve(&inst)
+                .expect("greedy2")
+                .total_reward;
+            let ls = LocalSearch::new()
+                .solve(&inst)
+                .expect("local search")
+                .total_reward;
             let kc = KCenter::new().solve(&inst).expect("kcenter").total_reward;
             let km = KMeans::new().solve(&inst).expect("kmeans").total_reward;
             (g2 / opt, ls / opt, kc / opt, km / opt)
@@ -415,8 +437,8 @@ pub fn baseline_sweep(weights: WeightScheme, trials: usize) -> Vec<BaselineRow> 
     for &n in &[10usize, 40] {
         for &k in &[2usize, 4] {
             for &r in &[1.0f64, 1.5, 2.0] {
-                let seed_base = ROOT_SEED ^ 0xba5e ^ (n as u64) << 32 ^ (k as u64) << 16
-                    ^ ((r * 10.0) as u64);
+                let seed_base =
+                    ROOT_SEED ^ 0xba5e ^ (n as u64) << 32 ^ (k as u64) << 16 ^ ((r * 10.0) as u64);
                 rows.push(baseline_config(n, k, r, weights, trials, seed_base));
             }
         }
@@ -529,15 +551,7 @@ mod tests {
 
     #[test]
     fn ratio_config_produces_sane_ratios() {
-        let row = ratio_config(
-            10,
-            2,
-            1.0,
-            Norm::L2,
-            WeightScheme::Same,
-            small_opts(),
-            1,
-        );
+        let row = ratio_config(10, 2, 1.0, Norm::L2, WeightScheme::Same, small_opts(), 1);
         assert_eq!(row.ratio2.count, 5);
         // Point-candidate greedies cannot exceed the point exhaustive.
         assert!(row.ratio2.max <= 1.0 + 1e-9);
@@ -588,9 +602,7 @@ mod tests {
         ];
         let agg = aggregate(&rows);
         assert!(agg.mean2 > 0.0 && agg.mean2 <= 1.0 + 1e-9);
-        assert!(
-            (agg.mean2 - (rows[0].ratio2.mean + rows[1].ratio2.mean) / 2.0).abs() < 1e-12
-        );
+        assert!((agg.mean2 - (rows[0].ratio2.mean + rows[1].ratio2.mean) / 2.0).abs() < 1e-12);
     }
 
     #[test]

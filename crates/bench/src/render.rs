@@ -27,7 +27,10 @@ fn write(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
 pub fn render_fig2(dir: &Path, panels: &[Fig2Panel]) -> std::io::Result<()> {
     for panel in panels {
         let mut chart = LineChart::new(
-            format!("Fig. 2 — approximation ratios, {}-node environment", panel.n),
+            format!(
+                "Fig. 2 — approximation ratios, {}-node environment",
+                panel.n
+            ),
             "number of centers k",
             "approximation ratio",
         )
@@ -35,14 +38,22 @@ pub fn render_fig2(dir: &Path, panels: &[Fig2Panel]) -> std::io::Result<()> {
         chart.push(
             Series::new(
                 "approx. 1 = 1-(1-1/k)^k",
-                panel.rows.iter().map(|&(k, a1, _)| (k as f64, a1)).collect(),
+                panel
+                    .rows
+                    .iter()
+                    .map(|&(k, a1, _)| (k as f64, a1))
+                    .collect(),
             )
             .with_marker(Marker::Circle),
         );
         chart.push(
             Series::new(
                 "approx. 2 = 1-(1-1/n)^k",
-                panel.rows.iter().map(|&(k, _, a2)| (k as f64, a2)).collect(),
+                panel
+                    .rows
+                    .iter()
+                    .map(|&(k, _, a2)| (k as f64, a2))
+                    .collect(),
             )
             .with_marker(Marker::Cross)
             .with_dashed(true),
@@ -183,25 +194,16 @@ pub fn render_ratio_figure(
     keys.sort_unstable();
     keys.dedup();
     for (n, k) in keys {
-        let group: Vec<&RatioRow> = rows
-            .iter()
-            .filter(|row| row.n == n && row.k == k)
-            .collect();
+        let group: Vec<&RatioRow> = rows.iter().filter(|row| row.n == n && row.k == k).collect();
         let mut chart = LineChart::new(
             format!("{title} — n = {n}, k = {k}"),
             "radius r",
             "approximation ratio",
         )
         .with_y_domain(0.0, 1.2);
-        let series_of = |label: &str,
-                         marker: Marker,
-                         f: &dyn Fn(&RatioRow) -> f64|
-         -> Series {
-            Series::new(
-                label,
-                group.iter().map(|row| (row.r, f(row))).collect(),
-            )
-            .with_marker(marker)
+        let series_of = |label: &str, marker: Marker, f: &dyn Fn(&RatioRow) -> f64| -> Series {
+            Series::new(label, group.iter().map(|row| (row.r, f(row))).collect())
+                .with_marker(marker)
         };
         if group.iter().any(|r| r.ratio1.count > 0) {
             chart.push(series_of("ratio 1 (round-based)", Marker::Dot, &|r| {
@@ -217,21 +219,13 @@ pub fn render_ratio_figure(
         chart.push(series_of("ratio 4 (complex)", Marker::Diamond, &|r| {
             r.ratio4.mean
         }));
-        chart.push(
-            series_of("approx. 1", Marker::Plus, &|r| r.approx1).with_dashed(true),
-        );
-        chart.push(
-            series_of("approx. 2", Marker::Cross, &|r| r.approx2).with_dashed(true),
-        );
+        chart.push(series_of("approx. 1", Marker::Plus, &|r| r.approx1).with_dashed(true));
+        chart.push(series_of("approx. 2", Marker::Cross, &|r| r.approx2).with_dashed(true));
         let svg = chart.render().expect("sweep rows are non-empty");
         write(dir, &format!("{fig_name}_n{n}_k{k}.svg"), &svg)?;
     }
     write(dir, &format!("{fig_name}.csv"), &ratio_csv(rows))?;
-    write(
-        dir,
-        &format!("{fig_name}.md"),
-        &ratio_markdown(title, rows),
-    )?;
+    write(dir, &format!("{fig_name}.md"), &ratio_markdown(title, rows))?;
     Ok(())
 }
 
@@ -304,10 +298,7 @@ pub fn render_reward_figure(
     keys.sort_unstable();
     keys.dedup();
     for (n, k) in keys {
-        let group: Vec<&RewardRow> = rows
-            .iter()
-            .filter(|row| row.n == n && row.k == k)
-            .collect();
+        let group: Vec<&RewardRow> = rows.iter().filter(|row| row.n == n && row.k == k).collect();
         let mut chart = LineChart::new(
             format!("{title} — n = {n}, k = {k}"),
             "radius r",
@@ -347,7 +338,15 @@ pub fn render_reward_figure(
         write(dir, &format!("{fig_name}_n{n}_k{k}.svg"), &svg)?;
     }
     let mut table = Table::new([
-        "n", "k", "r", "trials", "greedy1", "greedy2", "greedy3", "greedy4", "max_reward",
+        "n",
+        "k",
+        "r",
+        "trials",
+        "greedy1",
+        "greedy2",
+        "greedy3",
+        "greedy4",
+        "max_reward",
     ]);
     for row in rows {
         table
@@ -364,7 +363,11 @@ pub fn render_reward_figure(
             ])
             .expect("consistent width");
     }
-    write(dir, &format!("{fig_name}.csv"), &table.render(TableFormat::Csv))?;
+    write(
+        dir,
+        &format!("{fig_name}.csv"),
+        &table.render(TableFormat::Csv),
+    )?;
     write(
         dir,
         &format!("{fig_name}.md"),
@@ -380,7 +383,13 @@ pub fn render_reward_figure(
 /// Renders the clustering-baseline comparison table (extension).
 pub fn render_baselines(dir: &Path, rows: &[BaselineRow]) -> std::io::Result<String> {
     let mut table = Table::new([
-        "n", "k", "r", "greedy2", "local-search", "kcenter", "kmeans",
+        "n",
+        "k",
+        "r",
+        "greedy2",
+        "local-search",
+        "kcenter",
+        "kmeans",
     ]);
     for row in rows {
         table
@@ -418,8 +427,11 @@ pub fn render_summary(
     let mut md = String::from("## §VI-B aggregate comparison\n\n");
     md.push_str("### 2-D mean approximation ratios (Figs. 4–7)\n\n");
     let mut t = Table::new(["algorithm", "measured mean ratio"]);
-    t.push_row(["greedy 1 (round-based, grid oracle)", &fmt_percent(agg_2d.mean1)])
-        .expect("2 cols");
+    t.push_row([
+        "greedy 1 (round-based, grid oracle)",
+        &fmt_percent(agg_2d.mean1),
+    ])
+    .expect("2 cols");
     t.push_row(["greedy 2 (local)", &fmt_percent(agg_2d.mean2)])
         .expect("2 cols");
     t.push_row(["greedy 3 (simple)", &fmt_percent(agg_2d.mean3)])
@@ -434,8 +446,11 @@ pub fn render_summary(
     );
     md.push_str("### 3-D mean rewards relative to the best algorithm (Figs. 8–9)\n\n");
     let mut t = Table::new(["algorithm", "relative reward"]);
-    t.push_row(["greedy 1 (round-based, grid oracle)", &fmt_percent(agg_3d.rel1)])
-        .expect("2 cols");
+    t.push_row([
+        "greedy 1 (round-based, grid oracle)",
+        &fmt_percent(agg_3d.rel1),
+    ])
+    .expect("2 cols");
     t.push_row(["greedy 2 (local)", &fmt_percent(agg_3d.rel2)])
         .expect("2 cols");
     t.push_row(["greedy 3 (simple)", &fmt_percent(agg_3d.rel3)])

@@ -29,9 +29,9 @@ pub fn parse(argv: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Resu
         if bool_flags.contains(&name) {
             flags.bools.push(name.to_owned());
         } else if value_flags.contains(&name) {
-            let value = it.next().ok_or_else(|| {
-                CliError::Usage(format!("flag --{name} requires a value"))
-            })?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{name} requires a value")))?;
             flags.values.insert(name.to_owned(), value.clone());
         } else {
             return Err(CliError::Usage(format!("unknown flag --{name}")));
@@ -55,9 +55,9 @@ impl Flags {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("invalid value `{raw}` for --{name}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for --{name}"))),
         }
     }
 
@@ -85,16 +85,38 @@ pub fn parse_norm(raw: &str) -> Result<mmph_geom::Norm> {
     }
 }
 
+/// Parses an oracle strategy name ("seq", "par", "lazy").
+pub fn parse_oracle(raw: &str) -> Result<mmph_core::OracleStrategy> {
+    raw.parse().map_err(CliError::Usage)
+}
+
+/// Installs the global rayon pool when `--threads N` was passed.
+///
+/// Idempotent by construction of the vendored pool (re-initialisation
+/// overwrites the worker count), so subcommands can call this freely.
+pub fn install_thread_pool(flags: &Flags) -> Result<()> {
+    if let Some(raw) = flags.get("threads") {
+        let threads: usize = raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for --threads")))?;
+        if threads == 0 {
+            return Err(CliError::Usage("--threads must be >= 1".into()));
+        }
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .map_err(|e| CliError::Usage(format!("failed to set --threads: {e}")))?;
+    }
+    Ok(())
+}
+
 /// Parses a weight-scheme name ("same", "diff", "zipf").
 pub fn parse_weights(raw: &str) -> Result<mmph_sim::gen::WeightScheme> {
     use mmph_sim::gen::WeightScheme;
     match raw.to_ascii_lowercase().as_str() {
         "same" => Ok(WeightScheme::Same),
         "diff" | "different" => Ok(WeightScheme::PAPER_WEIGHTED),
-        "zipf" => Ok(WeightScheme::Zipf {
-            n_ranks: 8,
-            s: 1.1,
-        }),
+        "zipf" => Ok(WeightScheme::Zipf { n_ranks: 8, s: 1.1 }),
         other => Err(CliError::Usage(format!("unknown weight scheme `{other}`"))),
     }
 }
@@ -166,13 +188,31 @@ mod tests {
     }
 
     #[test]
+    fn oracle_parsing() {
+        use mmph_core::OracleStrategy;
+        assert_eq!(parse_oracle("seq").unwrap(), OracleStrategy::Seq);
+        assert_eq!(parse_oracle("par").unwrap(), OracleStrategy::Par);
+        assert_eq!(parse_oracle("lazy").unwrap(), OracleStrategy::Lazy);
+        assert!(parse_oracle("eager").is_err());
+    }
+
+    #[test]
+    fn thread_pool_flag_validation() {
+        let ok = parse(&argv(&["--threads", "2"]), &["threads"], &[]).unwrap();
+        assert!(install_thread_pool(&ok).is_ok());
+        let zero = parse(&argv(&["--threads", "0"]), &["threads"], &[]).unwrap();
+        assert!(install_thread_pool(&zero).is_err());
+        let junk = parse(&argv(&["--threads", "many"]), &["threads"], &[]).unwrap();
+        assert!(install_thread_pool(&junk).is_err());
+        let absent = parse(&argv(&[]), &["threads"], &[]).unwrap();
+        assert!(install_thread_pool(&absent).is_ok());
+    }
+
+    #[test]
     fn weights_parsing() {
         use mmph_sim::gen::WeightScheme;
         assert_eq!(parse_weights("same").unwrap(), WeightScheme::Same);
-        assert_eq!(
-            parse_weights("diff").unwrap(),
-            WeightScheme::PAPER_WEIGHTED
-        );
+        assert_eq!(parse_weights("diff").unwrap(), WeightScheme::PAPER_WEIGHTED);
         assert!(matches!(
             parse_weights("zipf").unwrap(),
             WeightScheme::Zipf { .. }

@@ -27,7 +27,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         out,
         "approx. 1 = 1-(1-1/k)^k (Theorem 1, round-based)  — limit 1-1/e = {ONE_MINUS_INV_E:.4}"
     )?;
-    writeln!(out, "approx. 2 = 1-(1-1/n)^k (Theorem 2, local greedy), n = {n}")?;
+    writeln!(
+        out,
+        "approx. 2 = 1-(1-1/n)^k (Theorem 2, local greedy), n = {n}"
+    )?;
     writeln!(out, "{:>4} {:>10} {:>10}", "k", "approx1", "approx2")?;
     for k in 1..=k_max.max(1) {
         writeln!(

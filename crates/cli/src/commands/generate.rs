@@ -87,10 +87,7 @@ mod tests {
     #[test]
     fn generates_2d_instance_file() {
         let path = tmp("gen2d.json");
-        let (r, out) = run_capture(&[
-            "--n", "10", "--k", "2", "--out",
-            path.to_str().unwrap(),
-        ]);
+        let (r, out) = run_capture(&["--n", "10", "--k", "2", "--out", path.to_str().unwrap()]);
         assert!(r.is_ok(), "{r:?}");
         assert!(out.contains("wrote 2-D instance"));
         let traces: Vec<InstanceTrace<2>> = mmph_sim::trace::load_traces(&path).unwrap();
@@ -102,7 +99,15 @@ mod tests {
     fn generates_3d_instance_file() {
         let path = tmp("gen3d.json");
         let (r, _) = run_capture(&[
-            "--n", "8", "--dim", "3", "--norm", "l1", "--weights", "same", "--out",
+            "--n",
+            "8",
+            "--dim",
+            "3",
+            "--norm",
+            "l1",
+            "--weights",
+            "same",
+            "--out",
             path.to_str().unwrap(),
         ]);
         assert!(r.is_ok(), "{r:?}");

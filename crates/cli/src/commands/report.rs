@@ -5,7 +5,7 @@ use std::io::Write;
 use mmph_core::analysis::analyze;
 use mmph_core::Solution;
 
-use crate::args::parse;
+use crate::args::{install_thread_pool, parse, parse_oracle};
 use crate::commands::solve::{load_or_generate_2d, solve_by_name};
 use crate::Result;
 
@@ -17,7 +17,9 @@ INPUT (one of):
   --n/--k/--r/--norm/--weights/--seed   generate inline
 
 OPTIONS:
-  --solver NAME  one of the names from `mmph solvers` (default greedy2)";
+  --solver NAME  one of the names from `mmph solvers` (default greedy2)
+  --oracle S     candidate-scoring strategy: seq | par | lazy (default seq)
+  --threads N    rayon worker threads for --oracle par";
 
 /// Renders a 10-bin satisfaction histogram as ASCII bars.
 fn histogram_lines(hist: &[usize; 10]) -> Vec<String> {
@@ -25,7 +27,11 @@ fn histogram_lines(hist: &[usize; 10]) -> Vec<String> {
     (0..10)
         .map(|b| {
             let bar = "#".repeat(hist[b] * 40 / max);
-            let hi = if b == 9 { "1.0]".to_owned() } else { format!("{:.1})", (b + 1) as f64 / 10.0) };
+            let hi = if b == 9 {
+                "1.0]".to_owned()
+            } else {
+                format!("{:.1})", (b + 1) as f64 / 10.0)
+            };
             format!("  [{:.1}, {hi:<5} {:>4}  {bar}", b as f64 / 10.0, hist[b])
         })
         .collect()
@@ -39,12 +45,16 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     }
     let flags = parse(
         argv,
-        &["input", "solver", "n", "k", "r", "norm", "weights", "seed"],
+        &[
+            "input", "solver", "n", "k", "r", "norm", "weights", "seed", "oracle", "threads",
+        ],
         &[],
     )?;
+    let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    install_thread_pool(&flags)?;
     let inst = load_or_generate_2d(&flags)?;
     let solver = flags.get("solver").unwrap_or("greedy2");
-    let sol: Solution<2> = solve_by_name(solver, &inst)?;
+    let sol: Solution<2> = solve_by_name(solver, &inst, strategy)?;
     let report = analyze(&inst, &sol.centers);
 
     writeln!(
@@ -79,9 +89,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     writeln!(
         out,
         "\ncoverage: {} uncovered, {} multiply covered, mean multiplicity {:.2}",
-        report.uncovered_points,
-        report.multiply_covered_points,
-        report.mean_coverage_multiplicity
+        report.uncovered_points, report.multiply_covered_points, report.mean_coverage_multiplicity
     )?;
     writeln!(out, "\nsatisfaction histogram:")?;
     for line in histogram_lines(&report.satisfaction_histogram) {

@@ -7,7 +7,7 @@ use mmph_sim::broadcast::{simulate, BroadcastConfig, Population};
 use mmph_sim::gen::{PointDistribution, SpaceSpec};
 use mmph_sim::rng::SeedSeq;
 
-use crate::args::{parse, parse_norm, parse_weights};
+use crate::args::{install_thread_pool, parse, parse_norm, parse_oracle, parse_weights};
 use crate::{CliError, Result};
 
 const HELP: &str = "\
@@ -24,6 +24,8 @@ OPTIONS:
   --drift S      per-period drift sigma, fraction of space (default 0)
   --clusters M   Gaussian interest clusters; 0 = uniform (default 0)
   --solver NAME  greedy2 | greedy3 (default greedy3)
+  --oracle S     seq | par | lazy candidate scoring for greedy2 (default seq)
+  --threads N    rayon worker threads for --oracle par
   --seed S       RNG seed (default 0)";
 
 /// Runs the subcommand.
@@ -35,11 +37,13 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let flags = parse(
         argv,
         &[
-            "n", "k", "r", "norm", "weights", "horizon", "churn", "drift", "clusters",
-            "solver", "seed",
+            "n", "k", "r", "norm", "weights", "horizon", "churn", "drift", "clusters", "solver",
+            "seed", "oracle", "threads",
         ],
         &[],
     )?;
+    let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    install_thread_pool(&flags)?;
     let n: usize = flags.get_or("n", 80)?;
     let k: usize = flags.get_or("k", 4)?;
     let r: f64 = flags.get_or("r", 1.0)?;
@@ -71,7 +75,16 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     )?;
     let solver_name = flags.get("solver").unwrap_or("greedy3");
     let run = match solver_name {
-        "greedy2" => simulate(&LocalGreedy::new(), &mut population, r, k, norm, &config)?,
+        // greedy3's argmax over residual mass is not a candidate scan, so
+        // only greedy2 routes through the strategy.
+        "greedy2" => simulate(
+            &LocalGreedy::new().with_oracle(strategy),
+            &mut population,
+            r,
+            k,
+            norm,
+            &config,
+        )?,
         "greedy3" => simulate(&SimpleGreedy::new(), &mut population, r, k, norm, &config)?,
         other => {
             return Err(CliError::Usage(format!(
@@ -132,8 +145,20 @@ mod tests {
     #[test]
     fn with_dynamics_and_clusters() {
         let (r, out) = run_capture(&[
-            "--n", "30", "--horizon", "12", "--k", "3", "--churn", "0.1", "--drift",
-            "0.02", "--clusters", "2", "--solver", "greedy2",
+            "--n",
+            "30",
+            "--horizon",
+            "12",
+            "--k",
+            "3",
+            "--churn",
+            "0.1",
+            "--drift",
+            "0.02",
+            "--clusters",
+            "2",
+            "--solver",
+            "greedy2",
         ]);
         assert!(r.is_ok(), "{r:?}");
         assert!(out.contains("total reward"));
@@ -156,6 +181,25 @@ mod tests {
         let (r, out) = run_capture(&["--help"]);
         assert!(r.is_ok());
         assert!(out.contains("OPTIONS"));
+    }
+
+    #[test]
+    fn oracle_strategies_match_in_simulation() {
+        let base = [
+            "--n",
+            "25",
+            "--horizon",
+            "8",
+            "--k",
+            "2",
+            "--solver",
+            "greedy2",
+        ];
+        let (r, seq) = run_capture(&[&base[..], &["--oracle", "seq"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        let (r, lazy) = run_capture(&[&base[..], &["--oracle", "lazy"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(seq, lazy);
     }
 
     #[test]

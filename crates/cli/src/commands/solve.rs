@@ -4,14 +4,14 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use mmph_core::solvers::{
-    BeamSearch, ComplexGreedy, Exhaustive, KCenter, KMeans, LazyGreedy, LocalGreedy,
-    LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
+    BeamSearch, ComplexGreedy, Exhaustive, KCenter, KMeans, LazyGreedy, LocalGreedy, LocalSearch,
+    RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
 };
-use mmph_core::{Instance, Solution, Solver};
+use mmph_core::{Instance, OracleStrategy, Solution, Solver};
 use mmph_sim::scenario::Scenario;
 use mmph_sim::trace::{load_traces, InstanceTrace};
 
-use crate::args::{parse, parse_norm, parse_weights, Flags};
+use crate::args::{install_thread_pool, parse, parse_norm, parse_oracle, parse_weights, Flags};
 use crate::{CliError, Result};
 
 const HELP: &str = "\
@@ -24,6 +24,9 @@ INPUT (one of):
 OPTIONS:
   --solver NAME  one of the names from `mmph solvers` (default greedy3)
   --all          run every solver and print a comparison table
+  --oracle S     candidate-scoring strategy: seq | par | lazy (default seq);
+                 all three produce identical solutions
+  --threads N    rayon worker threads for --oracle par (default: all cores)
   --svg FILE     write a coverage map of the (first) solution
   --dim D        2 or 3 when using --input (default 2)";
 
@@ -44,18 +47,29 @@ pub const SOLVER_NAMES: [&str; 13] = [
     "exhaustive",
 ];
 
-pub(crate) fn solve_by_name<const D: usize>(name: &str, inst: &Instance<D>) -> Result<Solution<D>> {
+pub(crate) fn solve_by_name<const D: usize>(
+    name: &str,
+    inst: &Instance<D>,
+    strategy: OracleStrategy,
+) -> Result<Solution<D>> {
+    // Solvers with a candidate-scan hot path accept the strategy;
+    // `lazy` is the CELF wrapper itself and greedy3/greedy4/seeded/
+    // kcenter/kmeans/exhaustive have no eager scan to switch.
     let mut sol = match name {
-        "greedy1" => RoundBased::grid().solve(inst)?,
-        "greedy1-sa" => RoundBased::annealing().solve(inst)?,
-        "greedy2" => LocalGreedy::new().solve(inst)?,
+        "greedy1" => RoundBased::grid()
+            .with_oracle_strategy(strategy)
+            .solve(inst)?,
+        "greedy1-sa" => RoundBased::annealing()
+            .with_oracle_strategy(strategy)
+            .solve(inst)?,
+        "greedy2" => LocalGreedy::new().with_oracle(strategy).solve(inst)?,
         "greedy3" => SimpleGreedy::new().solve(inst)?,
         "greedy4" => ComplexGreedy::new().solve(inst)?,
         "lazy" => LazyGreedy::new().solve(inst)?,
-        "stochastic" => StochasticGreedy::new().solve(inst)?,
+        "stochastic" => StochasticGreedy::new().with_oracle(strategy).solve(inst)?,
         "seeded" => SeededGreedy::new().solve(inst)?,
-        "beam" => BeamSearch::new().solve(inst)?,
-        "local-search" => LocalSearch::new().solve(inst)?,
+        "beam" => BeamSearch::new().with_oracle(strategy).solve(inst)?,
+        "local-search" => LocalSearch::new().with_oracle(strategy).solve(inst)?,
         "kcenter" => KCenter::new().solve(inst)?,
         "kmeans" => KMeans::new().solve(inst)?,
         "exhaustive" => Exhaustive::new().solve(inst)?,
@@ -129,7 +143,11 @@ fn print_solutions(
         inst.norm(),
         inst.total_weight()
     )?;
-    writeln!(out, "{:<18} {:>12} {:>10} {:>10}", "solver", "reward", "% of Σw", "evals")?;
+    writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>10}",
+        "solver", "reward", "% of Σw", "evals"
+    )?;
     for sol in solutions {
         writeln!(
             out,
@@ -189,7 +207,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let flags = parse(
         argv,
         &[
-            "input", "solver", "svg", "n", "k", "r", "norm", "weights", "seed", "dim",
+            "input", "solver", "svg", "n", "k", "r", "norm", "weights", "seed", "dim", "oracle",
+            "threads",
         ],
         &["all"],
     )?;
@@ -199,16 +218,19 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
             "solve currently supports --dim 2 (use the library API for 3-D)".into(),
         ));
     }
+    let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    install_thread_pool(&flags)?;
     let inst = load_or_generate_2d(&flags)?;
     let solutions: Vec<Solution<2>> = if flags.has("all") {
         SOLVER_NAMES
             .iter()
-            .map(|name| solve_by_name(name, &inst))
+            .map(|name| solve_by_name(name, &inst, strategy))
             .collect::<Result<_>>()?
     } else {
         vec![solve_by_name(
             flags.get("solver").unwrap_or("greedy3"),
             &inst,
+            strategy,
         )?]
     };
     print_solutions(out, &inst, &solutions)?;
@@ -287,14 +309,56 @@ mod tests {
     #[test]
     fn svg_output_written() {
         let path = tmp("solve.svg");
-        let (r, out) = run_capture(&[
-            "--n", "10", "--k", "2", "--svg",
-            path.to_str().unwrap(),
-        ]);
+        let (r, out) = run_capture(&["--n", "10", "--k", "2", "--svg", path.to_str().unwrap()]);
         assert!(r.is_ok(), "{r:?}");
         assert!(out.contains("coverage map"));
         let svg = std::fs::read_to_string(&path).unwrap();
         assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn oracle_strategies_agree_on_output() {
+        let base = ["--n", "18", "--k", "3", "--solver", "greedy2"];
+        let (r, seq) = run_capture(&[&base[..], &["--oracle", "seq"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        let (r, par) = run_capture(&[&base[..], &["--oracle", "par", "--threads", "2"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        let (r, lazy) = run_capture(&[&base[..], &["--oracle", "lazy"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(seq, par);
+        // The lazy oracle reports fewer evals, so compare the reward line
+        // only up to the evals column.
+        let reward = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("greedy2"))
+                .unwrap()
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(reward(&seq), reward(&lazy));
+    }
+
+    #[test]
+    fn oracle_flag_applies_to_all_table() {
+        let (r, seq) = run_capture(&["--n", "10", "--k", "2", "--all"]);
+        assert!(r.is_ok(), "{r:?}");
+        let (r, par) = run_capture(&["--n", "10", "--k", "2", "--all", "--oracle", "par"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn bad_oracle_rejected() {
+        let (r, _) = run_capture(&["--n", "10", "--oracle", "eager"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_threads_rejected() {
+        let (r, _) = run_capture(&["--n", "10", "--threads", "0"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -125,8 +125,17 @@ mod tests {
         let (r, out) = run_capture(&["solvers"]);
         assert!(r.is_ok());
         for name in [
-            "greedy1", "greedy2", "greedy3", "greedy4", "lazy", "stochastic", "seeded",
-            "local-search", "kcenter", "kmeans", "exhaustive",
+            "greedy1",
+            "greedy2",
+            "greedy3",
+            "greedy4",
+            "lazy",
+            "stochastic",
+            "seeded",
+            "local-search",
+            "kcenter",
+            "kmeans",
+            "exhaustive",
         ] {
             assert!(out.contains(name), "missing {name} in\n{out}");
         }

@@ -13,10 +13,7 @@ use crate::reward::Residuals;
 
 /// The raw coverage fractions `frac_{j,i} = kernel((d(c_j, x_i))/r)`
 /// for every center `j` and point `i` — before residual capping.
-pub fn coverage_matrix<const D: usize>(
-    inst: &Instance<D>,
-    centers: &[Point<D>],
-) -> Vec<Vec<f64>> {
+pub fn coverage_matrix<const D: usize>(inst: &Instance<D>, centers: &[Point<D>]) -> Vec<Vec<f64>> {
     let r = inst.radius();
     let norm = inst.norm();
     let kernel = inst.kernel();

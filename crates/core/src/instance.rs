@@ -224,9 +224,7 @@ impl<const D: usize> Instance<D> {
 
     /// Returns a copy of this instance with a different reward kernel.
     pub fn with_kernel(&self, kernel: Kernel) -> Result<Self> {
-        kernel
-            .validate()
-            .map_err(CoreError::InvalidInstance)?;
+        kernel.validate().map_err(CoreError::InvalidInstance)?;
         let mut inst = self.clone();
         inst.kernel = kernel;
         Ok(inst)
@@ -322,8 +320,7 @@ impl<const D: usize> InstanceBuilder<D> {
         let k = self
             .k
             .ok_or_else(|| CoreError::InvalidInstance("k not set".into()))?;
-        Instance::new(self.points, self.weights, radius, k, self.norm)?
-            .with_kernel(self.kernel)
+        Instance::new(self.points, self.weights, radius, k, self.norm)?.with_kernel(self.kernel)
     }
 }
 
@@ -360,8 +357,14 @@ mod tests {
 
     #[test]
     fn rejects_length_mismatch() {
-        let e = Instance::new(vec![Point::new([0.0, 0.0])], vec![1.0, 2.0], 1.0, 1, Norm::L2)
-            .unwrap_err();
+        let e = Instance::new(
+            vec![Point::new([0.0, 0.0])],
+            vec![1.0, 2.0],
+            1.0,
+            1,
+            Norm::L2,
+        )
+        .unwrap_err();
         assert!(e.to_string().contains("1 points but 2 weights"));
     }
 
@@ -381,8 +384,8 @@ mod tests {
     #[test]
     fn rejects_bad_weights() {
         for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
-            let e = Instance::new(vec![Point::new([0.0, 0.0])], vec![w], 1.0, 1, Norm::L2)
-                .unwrap_err();
+            let e =
+                Instance::new(vec![Point::new([0.0, 0.0])], vec![w], 1.0, 1, Norm::L2).unwrap_err();
             assert!(matches!(e, CoreError::InvalidInstance(_)), "w={w}");
         }
     }
@@ -390,16 +393,16 @@ mod tests {
     #[test]
     fn rejects_bad_radius() {
         for r in [0.0, -2.0, f64::NAN, f64::INFINITY] {
-            let e = Instance::new(vec![Point::new([0.0, 0.0])], vec![1.0], r, 1, Norm::L2)
-                .unwrap_err();
+            let e =
+                Instance::new(vec![Point::new([0.0, 0.0])], vec![1.0], r, 1, Norm::L2).unwrap_err();
             assert!(matches!(e, CoreError::InvalidInstance(_)), "r={r}");
         }
     }
 
     #[test]
     fn rejects_zero_k() {
-        let e = Instance::new(vec![Point::new([0.0, 0.0])], vec![1.0], 1.0, 0, Norm::L2)
-            .unwrap_err();
+        let e =
+            Instance::new(vec![Point::new([0.0, 0.0])], vec![1.0], 1.0, 0, Norm::L2).unwrap_err();
         assert!(e.to_string().contains("k"));
     }
 
@@ -419,9 +422,13 @@ mod tests {
 
     #[test]
     fn unweighted_sets_all_weights_to_one() {
-        let inst =
-            Instance::unweighted(vec![Point::new([0.0, 0.0]), Point::new([1.0, 0.0])], 1.0, 1, Norm::L1)
-                .unwrap();
+        let inst = Instance::unweighted(
+            vec![Point::new([0.0, 0.0]), Point::new([1.0, 0.0])],
+            1.0,
+            1,
+            Norm::L1,
+        )
+        .unwrap();
         assert_eq!(inst.weights(), &[1.0, 1.0]);
     }
 

@@ -71,9 +71,9 @@ impl Kernel {
     /// Validates kernel parameters.
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            Kernel::Exponential { lambda } if !lambda.is_finite() || lambda <= 0.0 => Err(
-                format!("Exponential kernel needs finite lambda > 0, got {lambda}"),
-            ),
+            Kernel::Exponential { lambda } if !lambda.is_finite() || lambda <= 0.0 => Err(format!(
+                "Exponential kernel needs finite lambda > 0, got {lambda}"
+            )),
             _ => Ok(()),
         }
     }

@@ -40,6 +40,7 @@ pub mod analysis;
 pub mod bounds;
 pub mod instance;
 pub mod kernel;
+pub mod oracle;
 pub mod reward;
 pub mod solver;
 pub mod solvers;
@@ -47,6 +48,7 @@ pub mod submodular;
 
 pub use instance::{Instance, InstanceBuilder};
 pub use kernel::Kernel;
+pub use oracle::{GainOracle, OracleStrategy, Pruning, Scored};
 pub use reward::{coverage_reward, objective, psi, Residuals};
 pub use solver::{Solution, Solver};
 

@@ -1,0 +1,643 @@
+//! The candidate-scoring hot path, unified behind one oracle layer.
+//!
+//! Every greedy solver in this crate repeatedly answers the same
+//! question: *which candidate center has the largest coverage reward
+//! against the current residuals?* [`GainOracle`] owns that question.
+//! Solvers ask it through a small API ([`GainOracle::best_candidate`],
+//! [`GainOracle::score_all`], [`GainOracle::gain`], …) and stay
+//! agnostic to *how* the answer is produced:
+//!
+//! * [`OracleStrategy::Seq`] — the reference implementation: a linear
+//!   scan over candidates `0..n`, keeping the first maximum (strict
+//!   `>`), i.e. the smallest index among ties.
+//! * [`OracleStrategy::Par`] — scores all candidates with rayon and
+//!   reduces sequentially in index order. Because the parallel map is
+//!   order-preserving and the reduction is the same strict-`>` scan,
+//!   the result is bit-identical to `Seq`.
+//! * [`OracleStrategy::Lazy`] — CELF lazy evaluation (Leskovec et al.,
+//!   KDD '07) on a max-heap of cached gains. Residuals only shrink
+//!   between rounds, so a cached gain is an upper bound on the current
+//!   gain; a popped entry whose cached gain is up to date must be the
+//!   true argmax. The heap breaks ties toward the smaller index, so
+//!   the selected sequence is identical to `Seq` — only the number of
+//!   reward evaluations changes.
+//!
+//! Independently of the strategy, the oracle can *prune* candidates
+//! through a spatial index ([`Pruning`]): a candidate whose radius-`r`
+//! ball contains no residual mass has gain exactly 0, so the oracle
+//! substitutes 0.0 without charging a reward evaluation. Gains are
+//! non-negative, hence substituting the exact value 0 never changes an
+//! argmax and the pruned oracle stays bit-identical to the unpruned
+//! one whenever some candidate has positive gain.
+
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+use mmph_geom::{BallTree, KdTree, Point};
+use rayon::prelude::*;
+
+use crate::instance::Instance;
+use crate::reward::{objective, Residuals, RewardEngine};
+
+/// How [`GainOracle`] finds the best candidate each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleStrategy {
+    /// Sequential reference scan (first maximum wins).
+    #[default]
+    Seq,
+    /// Rayon-parallel batched scoring, sequential index-order reduce.
+    Par,
+    /// CELF lazy priority queue over cached upper-bound gains.
+    Lazy,
+}
+
+impl std::fmt::Display for OracleStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OracleStrategy::Seq => "seq",
+            OracleStrategy::Par => "par",
+            OracleStrategy::Lazy => "lazy",
+        })
+    }
+}
+
+impl std::str::FromStr for OracleStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seq" => Ok(OracleStrategy::Seq),
+            "par" => Ok(OracleStrategy::Par),
+            "lazy" => Ok(OracleStrategy::Lazy),
+            other => Err(format!(
+                "unknown oracle strategy `{other}` (expected seq|par|lazy)"
+            )),
+        }
+    }
+}
+
+/// Optional spatial pruning of zero-gain candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pruning {
+    /// Score every candidate.
+    #[default]
+    Off,
+    /// Skip candidates whose radius-`r` kd-tree ball holds no residual
+    /// mass.
+    Kd,
+    /// Same, via a ball tree (better pruning as `D` grows).
+    Ball,
+}
+
+/// A candidate index together with its coverage-reward gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Index into the instance's point set.
+    pub index: usize,
+    /// Coverage reward of that point against the queried residuals.
+    pub gain: f64,
+}
+
+#[derive(Debug)]
+enum PruneIndex<const D: usize> {
+    Kd(KdTree<D>),
+    Ball(BallTree<D>),
+}
+
+/// CELF heap entry: a cached gain for candidate `idx`, valid as an
+/// upper bound for any residual version `>= version`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    gain: f64,
+    idx: usize,
+    version: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on gain; at equal gain the *smaller* index ranks
+        // higher so lazy selection matches the sequential first-max scan.
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+#[derive(Debug, Default)]
+struct LazyState {
+    heap: BinaryHeap<Entry>,
+    primed: bool,
+}
+
+/// Candidate-scoring oracle shared by all greedy solvers.
+///
+/// Wraps a [`RewardEngine`] (which owns the per-evaluation strategy —
+/// linear scan or tree-accelerated radius query) and adds the
+/// per-*round* strategy: how the argmax over candidates is organized.
+///
+/// ```
+/// use mmph_core::{GainOracle, InstanceBuilder, OracleStrategy, Residuals};
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .point([1.0, 0.0], 3.0)
+///     .radius(0.5)
+///     .k(1)
+///     .build()
+///     .unwrap();
+/// let oracle = GainOracle::new(&inst, OracleStrategy::Seq);
+/// let res = Residuals::new(inst.n());
+/// let best = oracle.best_candidate(&res);
+/// assert_eq!(best.index, 1); // the heavier point wins
+/// assert_eq!(best.gain, 3.0);
+/// ```
+#[derive(Debug)]
+pub struct GainOracle<'a, const D: usize> {
+    engine: RewardEngine<'a, D>,
+    strategy: OracleStrategy,
+    prune: Option<PruneIndex<D>>,
+    // Interior mutability for the CELF heap; a Mutex (not RefCell)
+    // keeps the oracle Sync so `Par` solvers can share it.
+    lazy: Mutex<LazyState>,
+}
+
+impl<'a, const D: usize> GainOracle<'a, D> {
+    /// Oracle over a linear-scan [`RewardEngine`].
+    pub fn new(inst: &'a Instance<D>, strategy: OracleStrategy) -> Self {
+        Self::from_engine(RewardEngine::scan(inst), strategy)
+    }
+
+    /// Oracle over a kd-tree-indexed [`RewardEngine`].
+    pub fn indexed(inst: &'a Instance<D>, strategy: OracleStrategy) -> Self {
+        Self::from_engine(RewardEngine::indexed(inst), strategy)
+    }
+
+    /// Oracle over a ball-tree-indexed [`RewardEngine`].
+    pub fn ball_indexed(inst: &'a Instance<D>, strategy: OracleStrategy) -> Self {
+        Self::from_engine(RewardEngine::ball_indexed(inst), strategy)
+    }
+
+    /// Oracle over an explicitly-constructed engine.
+    pub fn from_engine(engine: RewardEngine<'a, D>, strategy: OracleStrategy) -> Self {
+        GainOracle {
+            engine,
+            strategy,
+            prune: None,
+            lazy: Mutex::new(LazyState::default()),
+        }
+    }
+
+    /// Enables (or disables) spatial pruning of zero-gain candidates.
+    pub fn with_pruning(mut self, pruning: Pruning) -> Self {
+        self.prune = match pruning {
+            Pruning::Off => None,
+            Pruning::Kd => Some(PruneIndex::Kd(KdTree::build(
+                self.engine.instance().points(),
+            ))),
+            Pruning::Ball => Some(PruneIndex::Ball(BallTree::build(
+                self.engine.instance().points(),
+            ))),
+        };
+        self
+    }
+
+    /// The instance this oracle scores against.
+    pub fn instance(&self) -> &Instance<D> {
+        self.engine.instance()
+    }
+
+    /// The configured argmax strategy.
+    pub fn strategy(&self) -> OracleStrategy {
+        self.strategy
+    }
+
+    /// Number of reward evaluations charged so far (candidate gains,
+    /// arbitrary-point gains, and whole-objective evaluations alike).
+    pub fn evals(&self) -> u64 {
+        self.engine.evals()
+    }
+
+    /// Coverage reward of an arbitrary point (not necessarily a
+    /// candidate) against `residuals`. Charges one evaluation.
+    pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
+        self.engine.gain(c, residuals)
+    }
+
+    /// Exact objective `f(C)` of a full center set. Charges one
+    /// evaluation, so solvers that score whole solutions (beam search,
+    /// local search) share the same work metric as the greedy scans.
+    pub fn objective(&self, centers: &[Point<D>]) -> f64 {
+        self.engine.note_eval();
+        objective(self.instance(), centers)
+    }
+
+    /// True when the candidate's radius-`r` ball provably contains no
+    /// residual mass, i.e. its gain is exactly 0.
+    fn pruned(&self, i: usize, residuals: &Residuals) -> bool {
+        let Some(index) = &self.prune else {
+            return false;
+        };
+        let inst = self.engine.instance();
+        let c = inst.point(i);
+        let r = inst.radius();
+        let mut mass = false;
+        let mut probe = |j: usize, _d: f64| {
+            if residuals.y(j) > 0.0 {
+                mass = true;
+            }
+        };
+        match index {
+            PruneIndex::Kd(tree) => tree.for_each_within(c, r, inst.norm(), &mut probe),
+            PruneIndex::Ball(tree) => tree.for_each_within(c, r, inst.norm(), &mut probe),
+        }
+        !mass
+    }
+
+    /// Gain of candidate `i`, with pruning applied. A pruned candidate
+    /// returns exact 0.0 without charging an evaluation.
+    fn candidate_gain(&self, i: usize, residuals: &Residuals) -> f64 {
+        if self.pruned(i, residuals) {
+            return 0.0;
+        }
+        self.engine.gain(self.instance().point(i), residuals)
+    }
+
+    /// Scores every candidate, returning `gains[i]` = coverage reward
+    /// of point `i` against `residuals`.
+    ///
+    /// `Seq` and `Lazy` score eagerly in index order; `Par` fans the
+    /// scoring out over rayon (the parallel map is order-preserving, so
+    /// the resulting vector is identical).
+    pub fn score_all(&self, residuals: &Residuals) -> Vec<f64> {
+        let n = self.instance().n();
+        match self.strategy {
+            OracleStrategy::Par => (0..n)
+                .into_par_iter()
+                .map(|i| self.candidate_gain(i, residuals))
+                .collect(),
+            OracleStrategy::Seq | OracleStrategy::Lazy => {
+                (0..n).map(|i| self.candidate_gain(i, residuals)).collect()
+            }
+        }
+    }
+
+    /// The candidate with the maximum gain, breaking ties toward the
+    /// smallest index — the inner argmax of Eq. (13), shared by every
+    /// candidate-restricted solver. All three strategies return the
+    /// same `Scored`; they differ only in how much work they do.
+    pub fn best_candidate(&self, residuals: &Residuals) -> Scored {
+        debug_assert!(self.instance().n() > 0);
+        match self.strategy {
+            OracleStrategy::Seq => self.argmax_seq(residuals),
+            OracleStrategy::Par => Self::reduce_first_max(&self.score_all(residuals)),
+            OracleStrategy::Lazy => self.argmax_lazy(residuals),
+        }
+    }
+
+    /// Strict-`>` scan: the reference argmax.
+    fn argmax_seq(&self, residuals: &Residuals) -> Scored {
+        let mut best = Scored {
+            index: 0,
+            gain: f64::NEG_INFINITY,
+        };
+        for i in 0..self.instance().n() {
+            let g = self.candidate_gain(i, residuals);
+            if g > best.gain {
+                best = Scored { index: i, gain: g };
+            }
+        }
+        best
+    }
+
+    /// Sequential first-maximum reduction over a scored vector.
+    fn reduce_first_max(gains: &[f64]) -> Scored {
+        let mut best = Scored {
+            index: 0,
+            gain: f64::NEG_INFINITY,
+        };
+        for (i, &g) in gains.iter().enumerate() {
+            if g > best.gain {
+                best = Scored { index: i, gain: g };
+            }
+        }
+        best
+    }
+
+    /// CELF: pop cached gains until the top entry is current. Stale
+    /// entries are re-scored and pushed back; because residuals only
+    /// shrink, a current top dominates every other entry's true gain.
+    fn argmax_lazy(&self, residuals: &Residuals) -> Scored {
+        let version = residuals.version();
+        let mut state = self.lazy.lock().expect("lazy oracle poisoned");
+        if !state.primed {
+            // First call: full scan, exactly like the eager round 0.
+            for i in 0..self.instance().n() {
+                let gain = self.candidate_gain(i, residuals);
+                state.heap.push(Entry {
+                    gain,
+                    idx: i,
+                    version,
+                });
+            }
+            state.primed = true;
+        }
+        loop {
+            let top = *state.heap.peek().expect("lazy heap empty");
+            if top.version == version {
+                // The entry stays in the heap at the current version:
+                // once the caller commits the round (bumping the
+                // residual version) it reads stale and will be
+                // re-scored before it can win again.
+                return Scored {
+                    index: top.idx,
+                    gain: top.gain,
+                };
+            }
+            state.heap.pop();
+            let gain = self.candidate_gain(top.idx, residuals);
+            state.heap.push(Entry {
+                gain,
+                idx: top.idx,
+                version,
+            });
+        }
+    }
+
+    /// Best candidate among an explicit index subset (strict-`>` over
+    /// the given order) — the stochastic-greedy inner argmax. `Par`
+    /// scores the subset in parallel; `Seq`/`Lazy` scan (laziness does
+    /// not apply: the subset is resampled every round).
+    pub fn best_among(&self, indices: &[usize], residuals: &Residuals) -> Scored {
+        debug_assert!(!indices.is_empty());
+        let gains: Vec<f64> = match self.strategy {
+            OracleStrategy::Par => indices
+                .to_vec()
+                .into_par_iter()
+                .map(|i| self.candidate_gain(i, residuals))
+                .collect(),
+            OracleStrategy::Seq | OracleStrategy::Lazy => indices
+                .iter()
+                .map(|&i| self.candidate_gain(i, residuals))
+                .collect(),
+        };
+        let mut best = Scored {
+            index: indices[0],
+            gain: f64::NEG_INFINITY,
+        };
+        for (&i, &g) in indices.iter().zip(&gains) {
+            if g > best.gain {
+                best = Scored { index: i, gain: g };
+            }
+        }
+        best
+    }
+
+    /// Best of an explicit point list (centers that need not be input
+    /// points — grown candidates, grid cells, …). Returns the position
+    /// in `points` and its gain, first maximum winning.
+    pub fn best_of_points(&self, points: &[Point<D>], residuals: &Residuals) -> Scored {
+        debug_assert!(!points.is_empty());
+        let gains: Vec<f64> = match self.strategy {
+            OracleStrategy::Par => points
+                .to_vec()
+                .into_par_iter()
+                .map(|c| self.engine.gain(&c, residuals))
+                .collect(),
+            OracleStrategy::Seq | OracleStrategy::Lazy => points
+                .iter()
+                .map(|c| self.engine.gain(c, residuals))
+                .collect(),
+        };
+        Self::reduce_first_max(&gains)
+    }
+
+    /// The point with the largest *residual weight* `w_i · y_i` —
+    /// greedy3's argmax (Eq. 14). Pure bookkeeping over the residual
+    /// vector: charges no reward evaluations, so the CELF work metric
+    /// keeps meaning "coverage-reward computations".
+    pub fn best_residual_point(&self, residuals: &Residuals) -> Scored {
+        let inst = self.instance();
+        let mut best = Scored {
+            index: 0,
+            gain: f64::NEG_INFINITY,
+        };
+        for i in 0..inst.n() {
+            let g = inst.weight(i) * residuals.y(i);
+            if g > best.gain {
+                best = Scored { index: i, gain: g };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use mmph_geom::Norm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(seed: u64, n: usize) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..5.0)).collect();
+        Instance::new(pts, ws, 0.9, 4, Norm::L2).unwrap()
+    }
+
+    fn greedy_rounds<const D: usize>(oracle: &GainOracle<'_, D>) -> (Vec<usize>, f64) {
+        let inst = oracle.instance();
+        let mut residuals = Residuals::new(inst.n());
+        let mut picks = Vec::new();
+        let mut total = 0.0;
+        for _ in 0..inst.k() {
+            let best = oracle.best_candidate(&residuals);
+            picks.push(best.index);
+            total += residuals.apply(inst, inst.point(best.index));
+        }
+        (picks, total)
+    }
+
+    #[test]
+    fn strategies_agree_bitwise() {
+        for seed in 0..5 {
+            let inst = random_instance(seed, 60);
+            let seq = GainOracle::new(&inst, OracleStrategy::Seq);
+            let par = GainOracle::new(&inst, OracleStrategy::Par);
+            let lazy = GainOracle::new(&inst, OracleStrategy::Lazy);
+            let (ps, ts) = greedy_rounds(&seq);
+            let (pp, tp) = greedy_rounds(&par);
+            let (pl, tl) = greedy_rounds(&lazy);
+            assert_eq!(ps, pp, "seed {seed}: par diverged");
+            assert_eq!(ps, pl, "seed {seed}: lazy diverged");
+            assert_eq!(ts.to_bits(), tp.to_bits(), "seed {seed}: par total");
+            assert_eq!(ts.to_bits(), tl.to_bits(), "seed {seed}: lazy total");
+        }
+    }
+
+    #[test]
+    fn lazy_charges_fewer_evals() {
+        let inst = random_instance(9, 120);
+        let seq = GainOracle::new(&inst, OracleStrategy::Seq);
+        let lazy = GainOracle::new(&inst, OracleStrategy::Lazy);
+        greedy_rounds(&seq);
+        greedy_rounds(&lazy);
+        assert_eq!(seq.evals(), (inst.n() * inst.k()) as u64);
+        assert!(
+            lazy.evals() < seq.evals(),
+            "lazy {} vs seq {}",
+            lazy.evals(),
+            seq.evals()
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_selection_and_saves_evals() {
+        for pruning in [Pruning::Kd, Pruning::Ball] {
+            let inst = random_instance(17, 80);
+            let plain = GainOracle::new(&inst, OracleStrategy::Seq);
+            let pruned = GainOracle::new(&inst, OracleStrategy::Seq).with_pruning(pruning);
+            let (pa, ta) = greedy_rounds(&plain);
+            let (pb, tb) = greedy_rounds(&pruned);
+            assert_eq!(pa, pb, "{pruning:?} changed the selection");
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert!(pruned.evals() <= plain.evals());
+        }
+    }
+
+    #[test]
+    fn pruned_candidate_scores_exact_zero() {
+        // Two far-apart clusters: once a cluster is satisfied, its
+        // candidates carry no residual mass and must be pruned to 0.0.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 1.0)
+            .point([100.0, 0.0], 1.0)
+            .radius(1.0)
+            .k(2)
+            .build()
+            .unwrap();
+        let oracle = GainOracle::new(&inst, OracleStrategy::Seq).with_pruning(Pruning::Kd);
+        let mut residuals = Residuals::new(inst.n());
+        residuals.apply(&inst, inst.point(0));
+        let before = oracle.evals();
+        let gains = oracle.score_all(&residuals);
+        assert_eq!(gains[0], 0.0);
+        assert_eq!(gains[1], 1.0);
+        // Candidate 0 was pruned: only candidate 1 was evaluated.
+        assert_eq!(oracle.evals() - before, 1);
+    }
+
+    #[test]
+    fn ties_break_to_lower_index_under_all_strategies() {
+        // Symmetric instance: points 0 and 2 have identical gains.
+        let inst = InstanceBuilder::new()
+            .point([0.0, 0.0], 2.0)
+            .point([5.0, 0.0], 1.0)
+            .point([10.0, 0.0], 2.0)
+            .radius(1.0)
+            .k(1)
+            .build()
+            .unwrap();
+        for strategy in [
+            OracleStrategy::Seq,
+            OracleStrategy::Par,
+            OracleStrategy::Lazy,
+        ] {
+            let oracle = GainOracle::new(&inst, strategy);
+            let res = Residuals::new(inst.n());
+            assert_eq!(oracle.best_candidate(&res).index, 0, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn score_all_matches_direct_gains() {
+        let inst = random_instance(3, 40);
+        for strategy in [OracleStrategy::Seq, OracleStrategy::Par] {
+            let oracle = GainOracle::new(&inst, strategy);
+            let res = Residuals::new(inst.n());
+            let gains = oracle.score_all(&res);
+            for i in 0..inst.n() {
+                let direct = oracle.gain(inst.point(i), &res);
+                assert_eq!(gains[i].to_bits(), direct.to_bits(), "candidate {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_parses_and_displays() {
+        for s in ["seq", "par", "lazy"] {
+            let strategy: OracleStrategy = s.parse().unwrap();
+            assert_eq!(strategy.to_string(), s);
+        }
+        assert!("eager".parse::<OracleStrategy>().is_err());
+    }
+
+    #[test]
+    fn best_among_respects_subset() {
+        let inst = random_instance(5, 30);
+        let oracle = GainOracle::new(&inst, OracleStrategy::Seq);
+        let res = Residuals::new(inst.n());
+        let subset = [3usize, 7, 11, 19];
+        let best = oracle.best_among(&subset, &res);
+        assert!(subset.contains(&best.index));
+        let full = oracle.score_all(&res);
+        let expect = subset.iter().fold(
+            Scored {
+                index: subset[0],
+                gain: f64::NEG_INFINITY,
+            },
+            |acc, &i| {
+                if full[i] > acc.gain {
+                    Scored {
+                        index: i,
+                        gain: full[i],
+                    }
+                } else {
+                    acc
+                }
+            },
+        );
+        assert_eq!(best.index, expect.index);
+        assert_eq!(best.gain.to_bits(), expect.gain.to_bits());
+    }
+
+    #[test]
+    fn objective_charges_one_eval() {
+        let inst = random_instance(2, 10);
+        let oracle = GainOracle::new(&inst, OracleStrategy::Seq);
+        let before = oracle.evals();
+        oracle.objective(&[*inst.point(0), *inst.point(1)]);
+        assert_eq!(oracle.evals() - before, 1);
+    }
+
+    #[test]
+    fn best_residual_point_charges_nothing() {
+        let inst = random_instance(4, 25);
+        let oracle = GainOracle::new(&inst, OracleStrategy::Lazy);
+        let res = Residuals::new(inst.n());
+        let best = oracle.best_residual_point(&res);
+        assert_eq!(oracle.evals(), 0);
+        // With fresh residuals this is simply the heaviest point.
+        let heaviest = (0..inst.n())
+            .max_by(|&a, &b| inst.weight(a).total_cmp(&inst.weight(b)))
+            .unwrap();
+        assert_eq!(best.index, heaviest);
+    }
+}

@@ -130,16 +130,36 @@ pub fn coverage_reward<const D: usize>(
 /// assert_eq!(res.apply(&inst, &c), 0.5); // second pass claims the rest
 /// assert!(res.all_satisfied(1e-12));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Residuals {
     y: Vec<f64>,
+    version: u64,
+}
+
+impl PartialEq for Residuals {
+    fn eq(&self, other: &Self) -> bool {
+        // The version is bookkeeping for lazy oracles, not state.
+        self.y == other.y
+    }
 }
 
 impl Residuals {
     /// Fresh residuals: `y_i = 1` for all `i` (line 1 of every
     /// algorithm in the paper).
     pub fn new(n: usize) -> Self {
-        Residuals { y: vec![1.0; n] }
+        Residuals {
+            y: vec![1.0; n],
+            version: 0,
+        }
+    }
+
+    /// Monotone commit counter: incremented by every [`Self::apply`].
+    /// Residuals only ever shrink, so a gain computed at version `v` is
+    /// an upper bound on the gain at any later version — the invariant
+    /// behind the CELF lazy oracle's staleness test.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of points.
@@ -186,6 +206,7 @@ impl Residuals {
     /// Algorithms 1–4).
     pub fn apply<const D: usize>(&mut self, inst: &Instance<D>, c: &Point<D>) -> f64 {
         debug_assert_eq!(self.len(), inst.n());
+        self.version += 1;
         let r = inst.radius();
         let norm = inst.norm();
         let kernel = inst.kernel();
@@ -212,7 +233,10 @@ impl Residuals {
 pub struct RewardEngine<'a, const D: usize> {
     inst: &'a Instance<D>,
     index: Option<Index<D>>,
-    evals: std::cell::Cell<u64>,
+    // Atomic (not Cell) so the engine is Sync and the parallel oracle can
+    // share it across worker threads; ordering is Relaxed because the
+    // counter is a pure statistic, never used for synchronization.
+    evals: std::sync::atomic::AtomicU64,
 }
 
 /// The spatial index backing an indexed [`RewardEngine`].
@@ -228,7 +252,7 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
         RewardEngine {
             inst,
             index: None,
-            evals: std::cell::Cell::new(0),
+            evals: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -239,7 +263,7 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
         RewardEngine {
             inst,
             index: Some(Index::Kd(KdTree::build(inst.points()))),
-            evals: std::cell::Cell::new(0),
+            evals: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -249,7 +273,7 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
         RewardEngine {
             inst,
             index: Some(Index::Ball(BallTree::build(inst.points()))),
-            evals: std::cell::Cell::new(0),
+            evals: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -260,13 +284,21 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
 
     /// Number of coverage-reward evaluations performed so far.
     pub fn evals(&self) -> u64 {
-        self.evals.get()
+        self.evals.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Records one reward evaluation without computing anything — used
+    /// by the oracle layer to charge whole-objective evaluations (swap
+    /// moves, beam rescoring) to the same counter as candidate gains.
+    pub(crate) fn note_eval(&self) {
+        self.evals
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Coverage reward of `c` against `residuals` (Eq. 13's inner
     /// objective), via the configured evaluation strategy.
     pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
-        self.evals.set(self.evals.get() + 1);
+        self.note_eval();
         let Some(index) = &self.index else {
             return coverage_reward(self.inst, c, residuals);
         };
@@ -435,7 +467,10 @@ mod tests {
                 let c = Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]);
                 let a = scan.gain(&c, &res);
                 let b = indexed.gain(&c, &res);
-                assert!((a - b).abs() < 1e-9, "trial {trial} norm {norm}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "trial {trial} norm {norm}: {a} vs {b}"
+                );
                 if trial == 9 {
                     res.apply(&inst, &c); // change residual state mid-way
                 }

@@ -4,7 +4,8 @@ use mmph_geom::Point;
 use serde::{Deserialize, Serialize};
 
 use crate::instance::Instance;
-use crate::reward::{objective, Residuals, RewardEngine};
+use crate::oracle::GainOracle;
+use crate::reward::{objective, Residuals};
 use crate::Result;
 
 /// A solver for the optimal content distribution problem: selects
@@ -62,7 +63,7 @@ impl<const D: usize> Solution<D> {
 }
 
 /// Runs the shared round loop of Algorithms 1–4: `k` rounds, each round
-/// asking `pick` for a center given the engine and current residuals,
+/// asking `pick` for a center given the oracle and current residuals,
 /// then committing it. Returns the assembled [`Solution`].
 ///
 /// `pick` receives the 0-based round number; tie-breaking and candidate
@@ -71,16 +72,16 @@ impl<const D: usize> Solution<D> {
 pub(crate) fn run_rounds<const D: usize>(
     name: &str,
     inst: &Instance<D>,
-    engine: &RewardEngine<'_, D>,
+    oracle: &GainOracle<'_, D>,
     trace: bool,
-    mut pick: impl FnMut(&RewardEngine<'_, D>, &Residuals, usize) -> Point<D>,
+    mut pick: impl FnMut(&GainOracle<'_, D>, &Residuals, usize) -> Point<D>,
 ) -> Solution<D> {
     let mut residuals = Residuals::new(inst.n());
     let mut centers = Vec::with_capacity(inst.k());
     let mut round_gains = Vec::with_capacity(inst.k());
     let mut assignments = trace.then(Vec::new);
     for round in 0..inst.k() {
-        let c = pick(engine, &residuals, round);
+        let c = pick(oracle, &residuals, round);
         if let Some(tr) = assignments.as_mut() {
             tr.push(residuals.assignments(inst, &c));
         }
@@ -94,7 +95,7 @@ pub(crate) fn run_rounds<const D: usize>(
         centers,
         round_gains,
         total_reward,
-        evals: engine.evals(),
+        evals: oracle.evals(),
         assignments,
     }
 }
@@ -117,8 +118,8 @@ mod tests {
     #[test]
     fn run_rounds_assembles_solution() {
         let inst = inst();
-        let engine = RewardEngine::scan(&inst);
-        let sol = run_rounds("test", &inst, &engine, true, |_, _, round| {
+        let oracle = GainOracle::new(&inst, crate::oracle::OracleStrategy::Seq);
+        let sol = run_rounds("test", &inst, &oracle, true, |_, _, round| {
             *inst.point(round)
         });
         assert_eq!(sol.solver, "test");
@@ -162,8 +163,8 @@ mod tests {
     #[test]
     fn trace_disabled_by_default_shape() {
         let inst = inst();
-        let engine = RewardEngine::scan(&inst);
-        let sol = run_rounds("t", &inst, &engine, false, |_, _, _| *inst.point(0));
+        let oracle = GainOracle::new(&inst, crate::oracle::OracleStrategy::Seq);
+        let sol = run_rounds("t", &inst, &oracle, false, |_, _, _| *inst.point(0));
         assert!(sol.assignments.is_none());
     }
 }

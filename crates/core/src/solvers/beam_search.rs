@@ -16,7 +16,8 @@
 use std::collections::HashSet;
 
 use crate::instance::Instance;
-use crate::reward::{coverage_reward, Residuals};
+use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
 use crate::{CoreError, Result};
 
@@ -24,11 +25,15 @@ use crate::{CoreError, Result};
 #[derive(Debug, Clone)]
 pub struct BeamSearch {
     width: usize,
+    strategy: OracleStrategy,
 }
 
 impl Default for BeamSearch {
     fn default() -> Self {
-        BeamSearch { width: 16 }
+        BeamSearch {
+            width: 16,
+            strategy: OracleStrategy::Seq,
+        }
     }
 }
 
@@ -56,6 +61,15 @@ impl BeamSearch {
         self.width = width;
         Ok(self)
     }
+
+    /// Selects the oracle strategy used to score the expansions. Each
+    /// beam state has its own residual vector, so `Lazy` degrades to
+    /// `Seq`; `Par` scores candidates in parallel with identical
+    /// results.
+    pub fn with_oracle(mut self, strategy: OracleStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
 }
 
 impl<const D: usize> Solver<D> for BeamSearch {
@@ -65,30 +79,25 @@ impl<const D: usize> Solver<D> for BeamSearch {
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
         let n = inst.n();
+        let oracle = GainOracle::new(inst, self.strategy);
         let mut beam = vec![BeamState {
             chosen: Vec::new(),
             residuals: Residuals::new(n),
             round_gains: Vec::new(),
             total: 0.0,
         }];
-        let mut evals: u64 = 0;
         for _round in 0..inst.k() {
             // Expand: score every (state, candidate) pair.
             let mut scored: Vec<(f64, usize, u32)> = Vec::with_capacity(beam.len() * n);
             for (si, state) in beam.iter().enumerate() {
-                for cand in 0..n {
-                    evals += 1;
-                    let gain = coverage_reward(inst, inst.point(cand), &state.residuals);
+                let gains = oracle.score_all(&state.residuals);
+                for (cand, &gain) in gains.iter().enumerate() {
                     scored.push((state.total + gain, si, cand as u32));
                 }
             }
             // Best-first; ties toward earlier states / lower candidate
             // indices for determinism (matching the paper's index rule).
-            scored.sort_by(|a, b| {
-                b.0.total_cmp(&a.0)
-                    .then(a.1.cmp(&b.1))
-                    .then(a.2.cmp(&b.2))
-            });
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
             // Prune to width, deduplicating by center multiset.
             let mut next: Vec<BeamState> = Vec::with_capacity(self.width);
             let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(self.width);
@@ -125,7 +134,7 @@ impl<const D: usize> Solver<D> for BeamSearch {
                 .collect(),
             round_gains: best.round_gains,
             total_reward: best.total,
-            evals,
+            evals: oracle.evals(),
             assignments: None,
         })
     }
@@ -153,7 +162,11 @@ mod tests {
         for seed in 0..10 {
             let inst = random_instance(20, 3, seed);
             let greedy = LocalGreedy::new().solve(&inst).unwrap();
-            let beam = BeamSearch::new().with_width(1).unwrap().solve(&inst).unwrap();
+            let beam = BeamSearch::new()
+                .with_width(1)
+                .unwrap()
+                .solve(&inst)
+                .unwrap();
             assert_eq!(greedy.centers, beam.centers, "seed {seed}");
             assert!((greedy.total_reward - beam.total_reward).abs() < 1e-12);
         }

@@ -349,7 +349,10 @@ mod tests {
                 greedy_wins += 1;
             }
         }
-        assert!(greedy_wins >= trials * 3 / 4, "greedy won only {greedy_wins}/{trials}");
+        assert!(
+            greedy_wins >= trials * 3 / 4,
+            "greedy won only {greedy_wins}/{trials}"
+        );
     }
 
     #[test]
@@ -364,7 +367,11 @@ mod tests {
     fn kmeans_iteration_cap_config() {
         assert!(KMeans::new().with_max_iters(0).is_err());
         let inst = random_instance(20, 2, 6);
-        let one_iter = KMeans::new().with_max_iters(1).unwrap().solve(&inst).unwrap();
+        let one_iter = KMeans::new()
+            .with_max_iters(1)
+            .unwrap()
+            .solve(&inst)
+            .unwrap();
         assert!(one_iter.verify_consistency(&inst));
     }
 }

@@ -33,7 +33,8 @@ use mmph_geom::welzl::min_enclosing_ball;
 use mmph_geom::{Norm, Point};
 
 use crate::instance::Instance;
-use crate::reward::{Residuals, RewardEngine};
+use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::Residuals;
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::Result;
 
@@ -104,7 +105,7 @@ impl ComplexGreedy {
     fn grow<const D: usize>(
         &self,
         inst: &Instance<D>,
-        engine: &RewardEngine<'_, D>,
+        oracle: &GainOracle<'_, D>,
         residuals: &Residuals,
         start: usize,
         considered: &mut [bool],
@@ -118,7 +119,7 @@ impl ComplexGreedy {
         grown.clear();
         grown.push(*inst.point(start));
         let mut center = *inst.point(start);
-        let mut gain = engine.gain(&center, residuals);
+        let mut gain = oracle.gain(&center, residuals);
         for _l in 1..n {
             // Step 2: heaviest remaining (unconsidered, unsatisfied) point.
             let mut best_j = usize::MAX;
@@ -145,7 +146,7 @@ impl ComplexGreedy {
             grown.push(*inst.point(best_j));
             let cand = self.new_center(grown, norm);
             // Step 5: keep only if the coverage reward improves.
-            let cand_gain = engine.gain(&cand, residuals);
+            let cand_gain = oracle.gain(&cand, residuals);
             if cand_gain > gain {
                 center = cand;
                 gain = cand_gain;
@@ -163,20 +164,23 @@ impl<const D: usize> Solver<D> for ComplexGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        let engine = RewardEngine::scan(inst);
+        // The growth iteration is inherently sequential per start point
+        // (each recenter depends on the previous acceptance), so the
+        // oracle serves as the shared gain evaluator and eval counter.
+        let oracle = GainOracle::new(inst, OracleStrategy::Seq);
         let mut considered = vec![false; inst.n()];
         let mut grown: Vec<Point<D>> = Vec::with_capacity(inst.n());
         Ok(run_rounds(
             Solver::<D>::name(self),
             inst,
-            &engine,
+            &oracle,
             self.trace,
-            |engine, residuals, _| {
+            |oracle, residuals, _| {
                 let mut best_c = *inst.point(0);
                 let mut best_gain = f64::NEG_INFINITY;
                 for start in 0..inst.n() {
                     let (c, gain) =
-                        self.grow(inst, engine, residuals, start, &mut considered, &mut grown);
+                        self.grow(inst, oracle, residuals, start, &mut considered, &mut grown);
                     // Strict `>` keeps the smallest start index on ties.
                     if gain > best_gain {
                         best_gain = gain;
@@ -268,7 +272,11 @@ mod tests {
             .unwrap();
         let g2 = LocalGreedy::new().solve(&inst).unwrap();
         let g4 = ComplexGreedy::new().solve(&inst).unwrap();
-        assert!((g2.total_reward - 1.1).abs() < 1e-9, "g2 {}", g2.total_reward);
+        assert!(
+            (g2.total_reward - 1.1).abs() < 1e-9,
+            "g2 {}",
+            g2.total_reward
+        );
         assert!(g4.total_reward > 1.3, "g4 {}", g4.total_reward);
     }
 

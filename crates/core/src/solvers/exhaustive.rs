@@ -22,12 +22,12 @@ use mmph_geom::Point;
 use rayon::prelude::*;
 
 use crate::instance::Instance;
+#[cfg(test)]
+use crate::instance::InstanceBuilder;
 use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
 use crate::solvers::combinations::{for_each_multicombination_with_first, multiset_count};
 use crate::{CoreError, Result};
-#[cfg(test)]
-use crate::instance::InstanceBuilder;
 
 /// Exact maximizer of `f` over k-multisets of a finite candidate pool
 /// (the instance points, optionally extended).

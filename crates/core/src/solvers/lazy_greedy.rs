@@ -8,49 +8,19 @@
 //! candidates in a max-heap keyed by their last-known gain and only
 //! re-evaluate the top until a freshly-evaluated candidate surfaces.
 //!
-//! Produces *identical* selections to [`crate::solvers::LocalGreedy`]
-//! (ties included — the heap breaks ties toward smaller indices, like
-//! the paper's index rule) while evaluating a small fraction of the
+//! The heap itself lives in [`GainOracle`] ([`OracleStrategy::Lazy`]);
+//! this solver is [`crate::solvers::LocalGreedy`] pinned to that
+//! strategy, kept as a named entry point for the CLI and the ablation
+//! benches. Produces *identical* selections to the eager solver (ties
+//! included — the heap breaks ties toward smaller indices, like the
+//! paper's index rule) while evaluating a small fraction of the
 //! candidates after round 1. The saving is quantified by the
 //! `ablation_lazy_greedy` bench.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::instance::Instance;
-use crate::reward::{Residuals, RewardEngine};
-use crate::solver::{Solution, Solver};
+use crate::oracle::{GainOracle, OracleStrategy};
+use crate::solver::{run_rounds, Solution, Solver};
 use crate::Result;
-
-/// Heap entry: candidate `idx` whose gain was last computed in
-/// `fresh_round`.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    gain: f64,
-    idx: usize,
-    fresh_round: usize,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on gain; ties pop the smaller index first, matching
-        // the paper's index tie-break.
-        self.gain
-            .total_cmp(&other.gain)
-            .then_with(|| other.idx.cmp(&self.idx))
-    }
-}
 
 /// Lazily-evaluated Algorithm 2. See the module docs.
 #[derive(Debug, Clone, Default)]
@@ -77,58 +47,14 @@ impl<const D: usize> Solver<D> for LazyGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        let engine = RewardEngine::scan(inst);
-        let mut residuals = Residuals::new(inst.n());
-        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(inst.n());
-        // Round 0: evaluate everyone once (the unavoidable full scan).
-        for idx in 0..inst.n() {
-            heap.push(Entry {
-                gain: engine.gain(inst.point(idx), &residuals),
-                idx,
-                fresh_round: 0,
-            });
-        }
-        let mut centers = Vec::with_capacity(inst.k());
-        let mut round_gains = Vec::with_capacity(inst.k());
-        let mut assignments = self.trace.then(Vec::new);
-        for round in 0..inst.k() {
-            let chosen = loop {
-                let top = heap.pop().expect("heap holds all candidates");
-                if top.fresh_round == round {
-                    break top;
-                }
-                // Stale: refresh against current residuals and reinsert.
-                heap.push(Entry {
-                    gain: engine.gain(inst.point(top.idx), &residuals),
-                    idx: top.idx,
-                    fresh_round: round,
-                });
-            };
-            let c = *inst.point(chosen.idx);
-            if let Some(tr) = assignments.as_mut() {
-                tr.push(residuals.assignments(inst, &c));
-            }
-            let gain = residuals.apply(inst, &c);
-            centers.push(c);
-            round_gains.push(gain);
-            // The candidate stays eligible for later rounds (Algorithm 2
-            // allows re-picking a point); its pre-apply gain remains a
-            // valid upper bound, so reinsert it stale.
-            heap.push(Entry {
-                gain: chosen.gain,
-                idx: chosen.idx,
-                fresh_round: round, // will read as stale in round + 1
-            });
-        }
-        let total_reward = round_gains.iter().sum();
-        Ok(Solution {
-            solver: Solver::<D>::name(self).to_owned(),
-            centers,
-            round_gains,
-            total_reward,
-            evals: engine.evals(),
-            assignments,
-        })
+        let oracle = GainOracle::new(inst, OracleStrategy::Lazy);
+        Ok(run_rounds(
+            Solver::<D>::name(self),
+            inst,
+            &oracle,
+            self.trace,
+            |oracle, residuals, _| *inst.point(oracle.best_candidate(residuals).index),
+        ))
     }
 }
 
@@ -169,12 +95,7 @@ mod tests {
         for seed in 0..15 {
             let mut rng = StdRng::seed_from_u64(seed);
             let pts: Vec<Point<2>> = (0..20)
-                .map(|_| {
-                    Point::new([
-                        rng.gen_range(0..4) as f64,
-                        rng.gen_range(0..4) as f64,
-                    ])
-                })
+                .map(|_| Point::new([rng.gen_range(0..4) as f64, rng.gen_range(0..4) as f64]))
                 .collect();
             let inst = Instance::unweighted(pts, 1.0, 4, Norm::L1).unwrap();
             let eager = LocalGreedy::new().solve(&inst).unwrap();

@@ -8,12 +8,13 @@
 //! index of the points."*
 //!
 //! Complexity `O(k n²)` (paper §V-A); approximation ratio
-//! `1 − (1 − 1/n)^k` (Theorem 2).
-
-use mmph_geom::Point;
+//! `1 − (1 − 1/n)^k` (Theorem 2). The per-round argmax is delegated to
+//! [`GainOracle`], so the same solver runs sequentially, in parallel, or
+//! with CELF lazy evaluation depending on the configured
+//! [`OracleStrategy`].
 
 use crate::instance::Instance;
-use crate::reward::{Residuals, RewardEngine};
+use crate::oracle::{GainOracle, OracleStrategy, Pruning};
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::Result;
 
@@ -38,11 +39,14 @@ use crate::Result;
 #[derive(Debug, Clone, Default)]
 pub struct LocalGreedy {
     use_index: bool,
+    strategy: OracleStrategy,
+    pruning: Pruning,
     trace: bool,
 }
 
 impl LocalGreedy {
-    /// Plain configuration: linear-scan evaluation, no tracing.
+    /// Plain configuration: sequential oracle, linear-scan evaluation,
+    /// no tracing.
     pub fn new() -> Self {
         Self::default()
     }
@@ -55,40 +59,33 @@ impl LocalGreedy {
         self
     }
 
+    /// Selects the candidate-argmax strategy (identical results under
+    /// all of them; see [`GainOracle`]).
+    pub fn with_oracle(mut self, strategy: OracleStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables spatial pruning of provably-zero-gain candidates.
+    pub fn with_pruning(mut self, pruning: Pruning) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
     /// Record per-round assignment vectors in the solution.
     pub fn with_trace(mut self, yes: bool) -> Self {
         self.trace = yes;
         self
     }
 
-    fn engine<'a, const D: usize>(&self, inst: &'a Instance<D>) -> RewardEngine<'a, D> {
-        if self.use_index {
-            RewardEngine::indexed(inst)
+    fn oracle<'a, const D: usize>(&self, inst: &'a Instance<D>) -> GainOracle<'a, D> {
+        let oracle = if self.use_index {
+            GainOracle::indexed(inst, self.strategy)
         } else {
-            RewardEngine::scan(inst)
-        }
+            GainOracle::new(inst, self.strategy)
+        };
+        oracle.with_pruning(self.pruning)
     }
-}
-
-/// Scans all point-located candidates and returns the best one by
-/// coverage reward, breaking ties toward the smaller index. Shared with
-/// the paper-faithful candidate policies of other solvers.
-pub(crate) fn best_point_candidate<const D: usize>(
-    engine: &RewardEngine<'_, D>,
-    residuals: &Residuals,
-) -> Point<D> {
-    let inst = engine.instance();
-    let mut best_i = 0usize;
-    let mut best_gain = f64::NEG_INFINITY;
-    for i in 0..inst.n() {
-        let gain = engine.gain(inst.point(i), residuals);
-        // Strict `>` keeps the smallest index on ties.
-        if gain > best_gain {
-            best_gain = gain;
-            best_i = i;
-        }
-    }
-    *inst.point(best_i)
 }
 
 impl<const D: usize> Solver<D> for LocalGreedy {
@@ -97,13 +94,13 @@ impl<const D: usize> Solver<D> for LocalGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        let engine = self.engine(inst);
+        let oracle = self.oracle(inst);
         Ok(run_rounds(
             Solver::<D>::name(self),
             inst,
-            &engine,
+            &oracle,
             self.trace,
-            |engine, residuals, _| best_point_candidate(engine, residuals),
+            |oracle, residuals, _| *inst.point(oracle.best_candidate(residuals).index),
         ))
     }
 }
@@ -167,7 +164,10 @@ mod tests {
             let ws: Vec<f64> = (0..60).map(|_| rng.gen_range(1..=5) as f64).collect();
             let inst = Instance::new(pts, ws, 1.0, 4, norm).unwrap();
             let plain = LocalGreedy::new().solve(&inst).unwrap();
-            let indexed = LocalGreedy::new().with_spatial_index(true).solve(&inst).unwrap();
+            let indexed = LocalGreedy::new()
+                .with_spatial_index(true)
+                .solve(&inst)
+                .unwrap();
             assert_eq!(plain.centers, indexed.centers);
             assert!((plain.total_reward - indexed.total_reward).abs() < 1e-9);
         }

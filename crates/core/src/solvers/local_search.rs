@@ -13,7 +13,7 @@
 //! the exhaustive optimum).
 
 use crate::instance::Instance;
-use crate::reward::objective;
+use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{Solution, Solver};
 use crate::solvers::LocalGreedy;
 use crate::{CoreError, Result};
@@ -23,6 +23,7 @@ use crate::{CoreError, Result};
 pub struct LocalSearch {
     max_passes: usize,
     min_improvement: f64,
+    strategy: OracleStrategy,
 }
 
 impl Default for LocalSearch {
@@ -30,6 +31,7 @@ impl Default for LocalSearch {
         LocalSearch {
             max_passes: 50,
             min_improvement: 1e-9,
+            strategy: OracleStrategy::Seq,
         }
     }
 }
@@ -44,12 +46,18 @@ impl LocalSearch {
     /// swaps.
     pub fn with_max_passes(mut self, passes: usize) -> Result<Self> {
         if passes == 0 {
-            return Err(CoreError::InvalidConfig(
-                "max_passes must be >= 1".into(),
-            ));
+            return Err(CoreError::InvalidConfig("max_passes must be >= 1".into()));
         }
         self.max_passes = passes;
         Ok(self)
+    }
+
+    /// Selects the oracle strategy used by the greedy seeding phase
+    /// (the swap phase scores whole center sets, which is inherently
+    /// sequential).
+    pub fn with_oracle(mut self, strategy: OracleStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 
@@ -60,10 +68,12 @@ impl<const D: usize> Solver<D> for LocalSearch {
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
         // Seed with Algorithm 2.
-        let seed = LocalGreedy::new().solve(inst)?;
+        let seed = LocalGreedy::new().with_oracle(self.strategy).solve(inst)?;
+        // All swap evaluations flow through the oracle so the reported
+        // `evals` uses one consistent metric (seed scans + swap scores).
+        let oracle = GainOracle::new(inst, self.strategy);
         let mut centers = seed.centers;
         let mut best_f = seed.total_reward;
-        let mut evals = seed.evals;
         for _pass in 0..self.max_passes {
             let mut best_swap: Option<(usize, usize, f64)> = None;
             for slot in 0..centers.len() {
@@ -74,8 +84,7 @@ impl<const D: usize> Solver<D> for LocalSearch {
                         continue;
                     }
                     centers[slot] = p;
-                    evals += 1;
-                    let f = objective(inst, &centers);
+                    let f = oracle.objective(&centers);
                     if f > best_f + self.min_improvement
                         && best_swap.is_none_or(|(_, _, bf)| f > bf)
                     {
@@ -101,7 +110,7 @@ impl<const D: usize> Solver<D> for LocalSearch {
             centers,
             round_gains,
             total_reward,
-            evals,
+            evals: seed.evals + oracle.evals(),
             assignments: None,
         })
     }
@@ -144,7 +153,10 @@ mod tests {
             let inst = random_instance(12, 2, seed);
             let opt = Exhaustive::new().solve(&inst).unwrap();
             let polished = LocalSearch::new().solve(&inst).unwrap();
-            assert!(polished.total_reward <= opt.total_reward + 1e-9, "seed {seed}");
+            assert!(
+                polished.total_reward <= opt.total_reward + 1e-9,
+                "seed {seed}"
+            );
         }
     }
 
@@ -169,7 +181,10 @@ mod tests {
                 closed_to_opt += 1;
             }
         }
-        assert!(improved >= 1, "local search never improved on the seed range");
+        assert!(
+            improved >= 1,
+            "local search never improved on the seed range"
+        );
         assert!(closed_to_opt >= 15, "optimal on only {closed_to_opt}/30");
     }
 

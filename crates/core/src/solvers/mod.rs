@@ -41,9 +41,9 @@ pub use exhaustive::Exhaustive;
 pub use lazy_greedy::LazyGreedy;
 pub use local_greedy::LocalGreedy;
 pub use local_search::LocalSearch;
-pub use seeded_greedy::SeededGreedy;
 pub use round_based::{
     AnnealingOracle, CandidateOracle, GridOracle, MultistartOracle, RoundBased, RoundOracle,
 };
+pub use seeded_greedy::SeededGreedy;
 pub use simple_greedy::SimpleGreedy;
 pub use stochastic_greedy::StochasticGreedy;

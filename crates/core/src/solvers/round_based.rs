@@ -20,11 +20,10 @@ use mmph_geom::{Aabb, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-
 use crate::instance::Instance;
-use crate::reward::{Residuals, RewardEngine};
+use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::Residuals;
 use crate::solver::{run_rounds, Solution, Solver};
-use crate::solvers::local_greedy::best_point_candidate;
 use crate::Result;
 
 /// An (approximate) optimizer for the round subproblem of Eq. (10):
@@ -35,12 +34,7 @@ pub trait RoundOracle<const D: usize> {
     fn name(&self) -> &'static str;
 
     /// Proposes a center for the given round.
-    fn propose(
-        &self,
-        engine: &RewardEngine<'_, D>,
-        residuals: &Residuals,
-        round: usize,
-    ) -> Point<D>;
+    fn propose(&self, oracle: &GainOracle<'_, D>, residuals: &Residuals, round: usize) -> Point<D>;
 }
 
 /// Multi-level grid search: evaluate a `resolution^D` lattice over the
@@ -81,14 +75,14 @@ impl<const D: usize> RoundOracle<D> for GridOracle {
 
     fn propose(
         &self,
-        engine: &RewardEngine<'_, D>,
+        oracle: &GainOracle<'_, D>,
         residuals: &Residuals,
         _round: usize,
     ) -> Point<D> {
-        let inst = engine.instance();
+        let inst = oracle.instance();
         let mut bbox = inst.bounding_box();
         let mut best_c = bbox.center();
-        let mut best_gain = engine.gain(&best_c, residuals);
+        let mut best_gain = oracle.gain(&best_c, residuals);
         for _level in 0..self.levels {
             let mut steps = [0.0f64; D];
             for d in 0..D {
@@ -102,7 +96,7 @@ impl<const D: usize> RoundOracle<D> for GridOracle {
                     coords[d] = bbox.lo[d] + idx[d] as f64 * steps[d];
                 }
                 let c = Point::new(coords);
-                let gain = engine.gain(&c, residuals);
+                let gain = oracle.gain(&c, residuals);
                 if gain > best_gain {
                     best_gain = gain;
                     best_c = c;
@@ -175,13 +169,13 @@ impl MultistartOracle {
     /// and its gain.
     fn refine<const D: usize>(
         &self,
-        engine: &RewardEngine<'_, D>,
+        oracle: &GainOracle<'_, D>,
         residuals: &Residuals,
         start: Point<D>,
     ) -> (Point<D>, f64) {
-        let r = engine.instance().radius();
+        let r = oracle.instance().radius();
         let mut c = start;
-        let mut gain = engine.gain(&c, residuals);
+        let mut gain = oracle.gain(&c, residuals);
         let mut step = r * 0.5;
         for _ in 0..self.iters {
             if step < 1e-9 * r {
@@ -192,7 +186,7 @@ impl MultistartOracle {
                 for sign in [1.0, -1.0] {
                     let mut cand = c;
                     cand[d] += sign * step;
-                    let g = engine.gain(&cand, residuals);
+                    let g = oracle.gain(&cand, residuals);
                     if g > gain {
                         gain = g;
                         c = cand;
@@ -213,13 +207,8 @@ impl<const D: usize> RoundOracle<D> for MultistartOracle {
         "multistart"
     }
 
-    fn propose(
-        &self,
-        engine: &RewardEngine<'_, D>,
-        residuals: &Residuals,
-        round: usize,
-    ) -> Point<D> {
-        let inst = engine.instance();
+    fn propose(&self, oracle: &GainOracle<'_, D>, residuals: &Residuals, round: usize) -> Point<D> {
+        let inst = oracle.instance();
         let bbox = inst.bounding_box();
         // Seeds: heaviest residual points...
         let mut order: Vec<usize> = (0..inst.n()).collect();
@@ -243,7 +232,7 @@ impl<const D: usize> RoundOracle<D> for MultistartOracle {
         let mut best_c = seeds[0];
         let mut best_gain = f64::NEG_INFINITY;
         for s in seeds {
-            let (c, gain) = self.refine(engine, residuals, s);
+            let (c, gain) = self.refine(oracle, residuals, s);
             if gain > best_gain {
                 best_gain = gain;
                 best_c = c;
@@ -286,17 +275,11 @@ impl<const D: usize> RoundOracle<D> for AnnealingOracle {
         "annealing"
     }
 
-    fn propose(
-        &self,
-        engine: &RewardEngine<'_, D>,
-        residuals: &Residuals,
-        round: usize,
-    ) -> Point<D> {
+    fn propose(&self, oracle: &GainOracle<'_, D>, residuals: &Residuals, round: usize) -> Point<D> {
         use rand_distr::{Distribution, Normal};
-        let inst = engine.instance();
+        let inst = oracle.instance();
         let r = inst.radius();
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ (round as u64).wrapping_mul(0x51_7c_c1_b7));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (round as u64).wrapping_mul(0x51_7c_c1_b7));
         // Start at the heaviest residual point.
         let mut start = 0usize;
         let mut best_w = f64::NEG_INFINITY;
@@ -308,7 +291,7 @@ impl<const D: usize> RoundOracle<D> for AnnealingOracle {
             }
         }
         let mut current = *inst.point(start);
-        let mut current_gain = engine.gain(&current, residuals);
+        let mut current_gain = oracle.gain(&current, residuals);
         let mut best = current;
         let mut best_gain = current_gain;
         let normal = Normal::new(0.0, 1.0).expect("unit normal");
@@ -321,7 +304,7 @@ impl<const D: usize> RoundOracle<D> for AnnealingOracle {
             for d in 0..D {
                 cand[d] += normal.sample(&mut rng) * scale;
             }
-            let gain = engine.gain(&cand, residuals);
+            let gain = oracle.gain(&cand, residuals);
             let accept = gain >= current_gain
                 || rng.gen_range(0.0..1.0) < ((gain - current_gain) / temperature).exp();
             if accept {
@@ -351,11 +334,13 @@ impl<const D: usize> RoundOracle<D> for CandidateOracle {
 
     fn propose(
         &self,
-        engine: &RewardEngine<'_, D>,
+        oracle: &GainOracle<'_, D>,
         residuals: &Residuals,
         _round: usize,
     ) -> Point<D> {
-        best_point_candidate(engine, residuals)
+        *oracle
+            .instance()
+            .point(oracle.best_candidate(residuals).index)
     }
 }
 
@@ -363,6 +348,7 @@ impl<const D: usize> RoundOracle<D> for CandidateOracle {
 #[derive(Debug, Clone, Default)]
 pub struct RoundBased<O> {
     oracle: O,
+    strategy: OracleStrategy,
     trace: bool,
 }
 
@@ -371,8 +357,17 @@ impl<O> RoundBased<O> {
     pub fn new(oracle: O) -> Self {
         RoundBased {
             oracle,
+            strategy: OracleStrategy::Seq,
             trace: false,
         }
+    }
+
+    /// Selects the gain-oracle strategy handed to the round oracle.
+    /// Only [`CandidateOracle`] performs candidate scans, so the other
+    /// oracles are unaffected by this setting.
+    pub fn with_oracle_strategy(mut self, strategy: OracleStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Record per-round assignment vectors in the solution.
@@ -414,13 +409,13 @@ impl<O: RoundOracle<D>, const D: usize> Solver<D> for RoundBased<O> {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        let engine = RewardEngine::scan(inst);
+        let oracle = GainOracle::new(inst, self.strategy);
         Ok(run_rounds(
             Solver::<D>::name(self),
             inst,
-            &engine,
+            &oracle,
             self.trace,
-            |engine, residuals, round| self.oracle.propose(engine, residuals, round),
+            |oracle, residuals, round| self.oracle.propose(oracle, residuals, round),
         ))
     }
 }

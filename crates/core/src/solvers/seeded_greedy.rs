@@ -12,10 +12,10 @@ use mmph_geom::Point;
 use rayon::prelude::*;
 
 use crate::instance::Instance;
-use crate::reward::{Residuals, RewardEngine};
+use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
 use crate::solvers::combinations::{for_each_multicombination, multiset_count};
-use crate::solvers::local_greedy::best_point_candidate;
 use crate::{CoreError, Result};
 
 /// Greedy with an exhaustively enumerated size-`t` prefix.
@@ -61,7 +61,9 @@ impl SeededGreedy {
         inst: &Instance<D>,
         prefix: &[usize],
     ) -> (Vec<Point<D>>, Vec<f64>, u64) {
-        let engine = RewardEngine::scan(inst);
+        // Sequential oracle per completion: parallelism lives at the
+        // prefix level, one thread per enumerated prefix.
+        let oracle = GainOracle::new(inst, OracleStrategy::Seq);
         let mut residuals = Residuals::new(inst.n());
         let mut centers = Vec::with_capacity(inst.k());
         let mut gains = Vec::with_capacity(inst.k());
@@ -71,11 +73,11 @@ impl SeededGreedy {
             centers.push(c);
         }
         for _ in prefix.len()..inst.k() {
-            let c = best_point_candidate(&engine, &residuals);
+            let c = *inst.point(oracle.best_candidate(&residuals).index);
             gains.push(residuals.apply(inst, &c));
             centers.push(c);
         }
-        (centers, gains, engine.evals())
+        (centers, gains, oracle.evals())
     }
 }
 

@@ -10,7 +10,7 @@
 //! Ties break toward the smaller index, as the paper specifies.
 
 use crate::instance::Instance;
-use crate::reward::RewardEngine;
+use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::Result;
 
@@ -55,25 +55,15 @@ impl<const D: usize> Solver<D> for SimpleGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        let engine = RewardEngine::scan(inst);
+        // The w·y argmax is residual bookkeeping, not a coverage-reward
+        // evaluation, so the strategy is irrelevant here: `evals` stays 0.
+        let oracle = GainOracle::new(inst, OracleStrategy::Seq);
         Ok(run_rounds(
             Solver::<D>::name(self),
             inst,
-            &engine,
+            &oracle,
             self.trace,
-            |engine, residuals, _| {
-                let inst = engine.instance();
-                let mut best_i = 0usize;
-                let mut best = f64::NEG_INFINITY;
-                for i in 0..inst.n() {
-                    let v = inst.weight(i) * residuals.y(i);
-                    if v > best {
-                        best = v;
-                        best_i = i;
-                    }
-                }
-                *inst.point(best_i)
-            },
+            |oracle, residuals, _| *inst.point(oracle.best_residual_point(residuals).index),
         ))
     }
 }

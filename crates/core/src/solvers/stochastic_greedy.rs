@@ -7,13 +7,12 @@
 //! expectation for submodular objectives. Useful when `n` is far beyond
 //! the paper's 160-point instances.
 
-
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
 
 use crate::instance::Instance;
-use crate::reward::RewardEngine;
+use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::{CoreError, Result};
 
@@ -22,6 +21,7 @@ use crate::{CoreError, Result};
 pub struct StochasticGreedy {
     epsilon: f64,
     seed: u64,
+    strategy: OracleStrategy,
     trace: bool,
 }
 
@@ -30,6 +30,7 @@ impl Default for StochasticGreedy {
         StochasticGreedy {
             epsilon: 0.1,
             seed: 0,
+            strategy: OracleStrategy::Seq,
             trace: false,
         }
     }
@@ -59,6 +60,14 @@ impl StochasticGreedy {
         self
     }
 
+    /// Selects the oracle strategy used to score the per-round sample.
+    /// The sample is redrawn each round, so `Lazy` degrades to `Seq`;
+    /// `Par` scores the sample in parallel with identical results.
+    pub fn with_oracle(mut self, strategy: OracleStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Record per-round assignment vectors in the solution.
     pub fn with_trace(mut self, yes: bool) -> Self {
         self.trace = yes;
@@ -79,27 +88,18 @@ impl<const D: usize> Solver<D> for StochasticGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        let engine = RewardEngine::scan(inst);
+        let oracle = GainOracle::new(inst, self.strategy);
         let s = self.sample_size(inst.n(), inst.k());
         let mut rng = StdRng::seed_from_u64(self.seed);
         Ok(run_rounds(
             Solver::<D>::name(self),
             inst,
-            &engine,
+            &oracle,
             self.trace,
-            |engine, residuals, _| {
-                let inst = engine.instance();
-                let mut best: Option<(f64, usize)> = None;
+            |oracle, residuals, _| {
                 let mut chosen: Vec<usize> = sample(&mut rng, inst.n(), s).into_vec();
                 chosen.sort_unstable(); // deterministic index tie-break
-                for i in chosen {
-                    let gain = engine.gain(inst.point(i), residuals);
-                    if best.is_none_or(|(bg, _)| gain > bg) {
-                        best = Some((gain, i));
-                    }
-                }
-                let (_, idx) = best.expect("sample size >= 1");
-                *inst.point(idx)
+                *inst.point(oracle.best_among(&chosen, residuals).index)
             },
         ))
     }

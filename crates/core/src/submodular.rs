@@ -15,11 +15,7 @@ use crate::instance::Instance;
 use crate::reward::objective;
 
 /// The marginal gain `f(C ∪ {s}) − f(C)`.
-pub fn marginal_gain<const D: usize>(
-    inst: &Instance<D>,
-    set: &[Point<D>],
-    s: &Point<D>,
-) -> f64 {
+pub fn marginal_gain<const D: usize>(inst: &Instance<D>, set: &[Point<D>], s: &Point<D>) -> f64 {
     let mut with_s: Vec<Point<D>> = set.to_vec();
     with_s.push(*s);
     objective(inst, &with_s) - objective(inst, set)

@@ -159,11 +159,7 @@ mod tests {
 
     #[test]
     fn from_points_is_tight() {
-        let pts = [
-            P::new([1.0, 1.0]),
-            P::new([-2.0, 0.5]),
-            P::new([0.0, 4.0]),
-        ];
+        let pts = [P::new([1.0, 1.0]), P::new([-2.0, 0.5]), P::new([0.0, 4.0])];
         let b = Aabb::from_points(&pts).unwrap();
         assert_eq!(b.lo, P::new([-2.0, 0.5]));
         assert_eq!(b.hi, P::new([1.0, 4.0]));

@@ -351,8 +351,11 @@ mod tests {
                 rng.gen_range(0.0..4.0),
             ]);
             let r = rng.gen_range(0.1..2.0);
-            let mut got: Vec<usize> =
-                t.within(&c, r, Norm::L1).into_iter().map(|(i, _)| i).collect();
+            let mut got: Vec<usize> = t
+                .within(&c, r, Norm::L1)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             got.sort_unstable();
             let want: Vec<usize> = pts
                 .iter()
@@ -372,7 +375,11 @@ mod tests {
         let c = Point::new([1.5, 2.5]);
         for r in [0.3, 1.0, 2.5] {
             let mut a = hits(&ball, &c, r, Norm::L2);
-            let mut b: Vec<usize> = kd.within(&c, r, Norm::L2).into_iter().map(|(i, _)| i).collect();
+            let mut b: Vec<usize> = kd
+                .within(&c, r, Norm::L2)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "r = {r}");
@@ -384,6 +391,9 @@ mod tests {
         let pts: Vec<P2> = (0..40).map(|i| Point::new([i as f64 * 0.1, 0.0])).collect();
         let t = BallTree::build(&pts);
         let c = Point::new([2.0, 0.0]);
-        assert_eq!(hits(&t, &c, 0.55, Norm::L2), linear(&pts, &c, 0.55, Norm::L2));
+        assert_eq!(
+            hits(&t, &c, 0.55, Norm::L2),
+            linear(&pts, &c, 0.55, Norm::L2)
+        );
     }
 }

@@ -274,7 +274,11 @@ mod tests {
                 rng.gen_range(0.0..4.0),
             ]);
             let r = rng.gen_range(0.1..2.0);
-            let mut got: Vec<usize> = g.within(&c, r, Norm::L1).into_iter().map(|(i, _)| i).collect();
+            let mut got: Vec<usize> = g
+                .within(&c, r, Norm::L1)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             got.sort_unstable();
             let want: Vec<usize> = pts
                 .iter()

@@ -354,8 +354,11 @@ mod tests {
             ]);
             let r = rng.gen_range(0.1..2.0);
             let tree_hits: Vec<usize> = {
-                let mut v: Vec<usize> =
-                    t.within(&c, r, Norm::L1).into_iter().map(|(i, _)| i).collect();
+                let mut v: Vec<usize> = t
+                    .within(&c, r, Norm::L1)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
                 v.sort_unstable();
                 v
             };

@@ -113,9 +113,7 @@ impl Norm {
             Norm::L1 => 2f64.powi(d as i32) / factorial(d),
             Norm::L2 => std::f64::consts::PI.powf(df / 2.0) / gamma(df / 2.0 + 1.0),
             Norm::LInf => 2f64.powi(d as i32),
-            Norm::Lp(p) => {
-                (2.0 * gamma(1.0 / p + 1.0)).powf(df) / gamma(df / p + 1.0)
-            }
+            Norm::Lp(p) => (2.0 * gamma(1.0 / p + 1.0)).powf(df) / gamma(df / p + 1.0),
         }
     }
 
@@ -267,9 +265,7 @@ mod tests {
     fn unit_ball_volumes_in_3d() {
         // L1 octahedron: 8/6 = 4/3. L2 ball: 4π/3. L∞ cube: 8.
         assert!((Norm::L1.unit_ball_volume(3) - 4.0 / 3.0).abs() < 1e-10);
-        assert!(
-            (Norm::L2.unit_ball_volume(3) - 4.0 * std::f64::consts::PI / 3.0).abs() < 1e-9
-        );
+        assert!((Norm::L2.unit_ball_volume(3) - 4.0 * std::f64::consts::PI / 3.0).abs() < 1e-9);
         assert!((Norm::LInf.unit_ball_volume(3) - 8.0).abs() < 1e-10);
     }
 

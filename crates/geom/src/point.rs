@@ -244,10 +244,7 @@ impl Point2 {
     /// Inverse of [`Self::rotate_l1_to_linf`].
     #[inline]
     pub fn rotate_linf_to_l1(&self) -> Self {
-        Point([
-            (self.0[0] - self.0[1]) * 0.5,
-            (self.0[0] + self.0[1]) * 0.5,
-        ])
+        Point([(self.0[0] - self.0[1]) * 0.5, (self.0[0] + self.0[1]) * 0.5])
     }
 }
 
@@ -362,7 +359,10 @@ impl<const D: usize> fmt::Display for Point<D> {
 // validate length + finiteness on deserialize (the derive for const
 // generic arrays would accept NaN).
 impl<const D: usize> serde::Serialize for Point<D> {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         use serde::ser::SerializeSeq;
         let mut seq = serializer.serialize_seq(Some(D))?;
         for c in &self.0 {
@@ -373,7 +373,9 @@ impl<const D: usize> serde::Serialize for Point<D> {
 }
 
 impl<'de, const D: usize> serde::Deserialize<'de> for Point<D> {
-    fn deserialize<De: serde::Deserializer<'de>>(deserializer: De) -> std::result::Result<Self, De::Error> {
+    fn deserialize<De: serde::Deserializer<'de>>(
+        deserializer: De,
+    ) -> std::result::Result<Self, De::Error> {
         let v = Vec::<f64>::deserialize(deserializer)?;
         Point::try_from_slice(&v).map_err(serde::de::Error::custom)
     }

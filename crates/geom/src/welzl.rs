@@ -102,11 +102,7 @@ pub fn min_enclosing_ball_with_rng<const D: usize>(
 
 /// Recursive Welzl with move-to-front. `n` is the active prefix length of
 /// `pts`; `boundary` is the set of points forced onto the ball surface.
-fn welzl<const D: usize>(
-    pts: &mut [Point<D>],
-    n: usize,
-    boundary: &mut Vec<Point<D>>,
-) -> Ball<D> {
+fn welzl<const D: usize>(pts: &mut [Point<D>], n: usize, boundary: &mut Vec<Point<D>>) -> Ball<D> {
     if n == 0 || boundary.len() == D + 1 {
         return circumball(boundary);
     }
@@ -158,10 +154,7 @@ pub fn circumball<const D: usize>(support: &[Point<D>]) -> Ball<D> {
             }
             // Radius: max distance to support (robust against projected-out
             // dependent directions).
-            let r = support
-                .iter()
-                .map(|p| c.dist_l2(p))
-                .fold(0.0f64, f64::max);
+            let r = support.iter().map(|p| c.dist_l2(p)).fold(0.0f64, f64::max);
             Ball::new(c, r)
         }
     }
@@ -427,10 +420,7 @@ mod tests {
             assert!(b.contains_all(&pts));
             // Minimality sanity: centroid ball must not beat it.
             let c = Point::centroid(&pts).unwrap();
-            let r_centroid = pts
-                .iter()
-                .map(|p| c.dist_l2(p))
-                .fold(0.0f64, f64::max);
+            let r_centroid = pts.iter().map(|p| c.dist_l2(p)).fold(0.0f64, f64::max);
             assert!(b.radius <= r_centroid + 1e-9);
         }
     }

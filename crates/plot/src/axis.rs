@@ -72,7 +72,11 @@ pub fn nice_number(x: f64, round: bool) -> f64 {
 /// data.
 pub fn ticks(lo: f64, hi: f64, target: usize) -> (Vec<f64>, f64, f64) {
     let target = target.max(2);
-    let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+    let (lo, hi) = if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    };
     let range = nice_number(hi - lo, false);
     let step = nice_number(range / (target - 1) as f64, true);
     let nice_lo = (lo / step).floor() * step;

@@ -163,8 +163,11 @@ impl LineChart {
         // Series.
         for (i, s) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
-            let pts: Vec<(f64, f64)> =
-                s.points.iter().map(|(x, y)| (xs.map(*x), ys.map(*y))).collect();
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|(x, y)| (xs.map(*x), ys.map(*y)))
+                .collect();
             if s.dashed {
                 for pair in pts.windows(2) {
                     doc.dashed_line(pair[0].0, pair[0].1, pair[1].0, pair[1].1, color, 1.5);
@@ -269,7 +272,13 @@ impl BarChart {
         let bar_w = group_w * 0.8 / self.series.len() as f64;
         for (gi, gl) in self.groups.iter().enumerate() {
             let gx = MARGIN_L + gi as f64 * group_w;
-            doc.text(gx + group_w / 2.0, h - MARGIN_B + 16.0, gl, 10.0, Anchor::Middle);
+            doc.text(
+                gx + group_w / 2.0,
+                h - MARGIN_B + 16.0,
+                gl,
+                10.0,
+                Anchor::Middle,
+            );
             for (si, (_, vals)) in self.series.iter().enumerate() {
                 let color = PALETTE[si % PALETTE.len()];
                 let x = gx + group_w * 0.1 + si as f64 * bar_w;
@@ -373,8 +382,21 @@ impl ScatterPlot {
             }
             let px = xs.map(t);
             let py = ys.map(t);
-            doc.line(px, MARGIN_T + side, px, MARGIN_T + side + 4.0, "#444444", 1.0);
-            doc.text(px, MARGIN_T + side + 16.0, &fmt_tick(t), 10.0, Anchor::Middle);
+            doc.line(
+                px,
+                MARGIN_T + side,
+                px,
+                MARGIN_T + side + 4.0,
+                "#444444",
+                1.0,
+            );
+            doc.text(
+                px,
+                MARGIN_T + side + 16.0,
+                &fmt_tick(t),
+                10.0,
+                Anchor::Middle,
+            );
             doc.line(MARGIN_L - 4.0, py, MARGIN_L, py, "#444444", 1.0);
             doc.text(MARGIN_L - 7.0, py + 3.5, &fmt_tick(t), 10.0, Anchor::End);
         }
@@ -394,7 +416,8 @@ impl ScatterPlot {
         }
         for p in &self.points {
             let color = PALETTE[p.color_index % PALETTE.len()];
-            p.marker.draw(&mut doc, xs.map(p.x), ys.map(p.y), 4.0, color);
+            p.marker
+                .draw(&mut doc, xs.map(p.x), ys.map(p.y), 4.0, color);
         }
         doc.text(w / 2.0, 18.0, &self.title, 13.0, Anchor::Middle);
         Ok(doc.finish())

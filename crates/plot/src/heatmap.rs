@@ -123,7 +123,13 @@ impl Heatmap {
             if t < lo || t > hi {
                 continue;
             }
-            doc.text(xs.map(t), MT + side + 16.0, &fmt_tick(t), 10.0, Anchor::Middle);
+            doc.text(
+                xs.map(t),
+                MT + side + 16.0,
+                &fmt_tick(t),
+                10.0,
+                Anchor::Middle,
+            );
             doc.text(ML - 6.0, ys.map(t) + 3.5, &fmt_tick(t), 10.0, Anchor::End);
         }
         doc.text(w / 2.0, 18.0, &self.title, 13.0, Anchor::Middle);
@@ -182,7 +188,11 @@ fn viridis_like(t: f64) -> String {
             break;
         }
     }
-    let f = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+    let f = if hi.0 > lo.0 {
+        (t - lo.0) / (hi.0 - lo.0)
+    } else {
+        0.0
+    };
     let mix = |a: u8, b: u8| -> u8 { (a as f64 + f * (b as f64 - a as f64)).round() as u8 };
     format!(
         "#{:02x}{:02x}{:02x}",

@@ -385,7 +385,9 @@ mod tests {
             m.draw(&mut doc, 10.0, 10.0, 4.0, "black");
             let out = doc.finish();
             assert!(
-                out.contains("<circle") || out.contains("<line") || out.contains("<path")
+                out.contains("<circle")
+                    || out.contains("<line")
+                    || out.contains("<path")
                     || out.contains("<rect"),
                 "{m:?} drew nothing"
             );

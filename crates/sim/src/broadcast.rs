@@ -415,9 +415,7 @@ mod tests {
         let run = simulate(&SimpleGreedy::new(), &mut pop, 1.5, 3, Norm::L2, &cfg).unwrap();
         assert!(run.reward_per_slot() > 0.0);
         assert!(run.mean_satisfaction() > 0.0 && run.mean_satisfaction() <= 1.0);
-        assert!(
-            (run.reward_per_slot() - run.total_reward / run.slots_used as f64).abs() < 1e-12
-        );
+        assert!((run.reward_per_slot() - run.total_reward / run.slots_used as f64).abs() < 1e-12);
     }
 
     #[test]

@@ -163,7 +163,10 @@ impl PointDistribution {
         let bad = |msg: String| Err(SimError::InvalidConfig(msg));
         match *self {
             PointDistribution::Uniform => Ok(()),
-            PointDistribution::GaussianClusters { clusters, rel_sigma } => {
+            PointDistribution::GaussianClusters {
+                clusters,
+                rel_sigma,
+            } => {
                 if clusters == 0 || !rel_sigma.is_finite() || rel_sigma <= 0.0 {
                     bad(format!(
                         "GaussianClusters needs clusters >= 1 and rel_sigma > 0, got {clusters}, {rel_sigma}"
@@ -174,12 +177,17 @@ impl PointDistribution {
             }
             PointDistribution::JitteredGrid { rel_jitter } => {
                 if !rel_jitter.is_finite() || rel_jitter < 0.0 {
-                    bad(format!("JitteredGrid needs rel_jitter >= 0, got {rel_jitter}"))
+                    bad(format!(
+                        "JitteredGrid needs rel_jitter >= 0, got {rel_jitter}"
+                    ))
                 } else {
                     Ok(())
                 }
             }
-            PointDistribution::Ring { rel_radius, rel_sigma } => {
+            PointDistribution::Ring {
+                rel_radius,
+                rel_sigma,
+            } => {
                 if !rel_radius.is_finite()
                     || rel_radius <= 0.0
                     || rel_radius > 1.0
@@ -217,7 +225,10 @@ impl PointDistribution {
                     out.push(Point::new(c));
                 }
             }
-            PointDistribution::GaussianClusters { clusters, rel_sigma } => {
+            PointDistribution::GaussianClusters {
+                clusters,
+                rel_sigma,
+            } => {
                 let centers: Vec<Point<D>> = (0..clusters)
                     .map(|_| {
                         let mut c = [0.0; D];
@@ -271,7 +282,10 @@ impl PointDistribution {
                     out.push(Point::new(c));
                 }
             }
-            PointDistribution::Ring { rel_radius, rel_sigma } => {
+            PointDistribution::Ring {
+                rel_radius,
+                rel_sigma,
+            } => {
                 let center = Point::<D>::splat((space.lo + space.hi) * 0.5);
                 let radius = rel_radius * space.extent() * 0.5;
                 let normal = Normal::new(0.0, (rel_sigma * space.extent()).max(1e-12))
@@ -372,18 +386,32 @@ mod tests {
 
     #[test]
     fn weight_scheme_validation() {
-        assert!(WeightScheme::UniformInt { lo: 0, hi: 5 }.validate().is_err());
-        assert!(WeightScheme::UniformInt { lo: 3, hi: 2 }.validate().is_err());
-        assert!(WeightScheme::Zipf { n_ranks: 0, s: 1.0 }.validate().is_err());
-        assert!(WeightScheme::Zipf { n_ranks: 5, s: -1.0 }.validate().is_err());
+        assert!(WeightScheme::UniformInt { lo: 0, hi: 5 }
+            .validate()
+            .is_err());
+        assert!(WeightScheme::UniformInt { lo: 3, hi: 2 }
+            .validate()
+            .is_err());
+        assert!(WeightScheme::Zipf { n_ranks: 0, s: 1.0 }
+            .validate()
+            .is_err());
+        assert!(WeightScheme::Zipf {
+            n_ranks: 5,
+            s: -1.0
+        }
+        .validate()
+        .is_err());
         assert!(WeightScheme::Zipf { n_ranks: 5, s: 1.1 }.validate().is_ok());
     }
 
     #[test]
     fn zipf_weights_heavy_tailed() {
-        let ws = WeightScheme::Zipf { n_ranks: 10, s: 1.2 }
-            .sample(2000, seeds())
-            .unwrap();
+        let ws = WeightScheme::Zipf {
+            n_ranks: 10,
+            s: 1.2,
+        }
+        .sample(2000, seeds())
+        .unwrap();
         assert!(ws.iter().all(|&w| (1.0..=10.0).contains(&w)));
         // Rank 1 must dominate.
         let ones = ws.iter().filter(|&&w| w == 1.0).count();
@@ -448,16 +476,27 @@ mod tests {
 
     #[test]
     fn distribution_validation() {
-        assert!(PointDistribution::GaussianClusters { clusters: 0, rel_sigma: 0.1 }
+        assert!(PointDistribution::GaussianClusters {
+            clusters: 0,
+            rel_sigma: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(PointDistribution::GaussianClusters {
+            clusters: 2,
+            rel_sigma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(PointDistribution::JitteredGrid { rel_jitter: -0.1 }
             .validate()
             .is_err());
-        assert!(PointDistribution::GaussianClusters { clusters: 2, rel_sigma: 0.0 }
-            .validate()
-            .is_err());
-        assert!(PointDistribution::JitteredGrid { rel_jitter: -0.1 }.validate().is_err());
-        assert!(PointDistribution::Ring { rel_radius: 1.5, rel_sigma: 0.1 }
-            .validate()
-            .is_err());
+        assert!(PointDistribution::Ring {
+            rel_radius: 1.5,
+            rel_sigma: 0.1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl Scenario {
         seed: u64,
     ) -> Self {
         Scenario {
-            label: format!("2d-{}-n{n}-k{k}-r{r}-{}", norm.name(), weights_tag(&weights)),
+            label: format!(
+                "2d-{}-n{n}-k{k}-r{r}-{}",
+                norm.name(),
+                weights_tag(&weights)
+            ),
             space: SpaceSpec::PAPER,
             distribution: PointDistribution::Uniform,
             weights,
@@ -81,7 +85,11 @@ impl Scenario {
         seed: u64,
     ) -> Self {
         let mut s = Self::paper_2d(n, k, r, norm, weights, seed);
-        s.label = format!("3d-{}-n{n}-k{k}-r{r}-{}", norm.name(), weights_tag(&weights));
+        s.label = format!(
+            "3d-{}-n{n}-k{k}-r{r}-{}",
+            norm.name(),
+            weights_tag(&weights)
+        );
         s
     }
 

@@ -94,10 +94,22 @@ fn main() {
         .expect("valid instance");
     println!("\nsingle-period solver comparison (n = 120, k = 4):");
     let solvers: Vec<(&str, Solution<2>)> = vec![
-        ("greedy 2 (local)", LocalGreedy::new().solve(&instance).expect("g2")),
-        ("greedy 3 (simple)", SimpleGreedy::new().solve(&instance).expect("g3")),
-        ("greedy 4 (complex)", ComplexGreedy::new().solve(&instance).expect("g4")),
-        ("lazy greedy (CELF)", LazyGreedy::new().solve(&instance).expect("lazy")),
+        (
+            "greedy 2 (local)",
+            LocalGreedy::new().solve(&instance).expect("g2"),
+        ),
+        (
+            "greedy 3 (simple)",
+            SimpleGreedy::new().solve(&instance).expect("g3"),
+        ),
+        (
+            "greedy 4 (complex)",
+            ComplexGreedy::new().solve(&instance).expect("g4"),
+        ),
+        (
+            "lazy greedy (CELF)",
+            LazyGreedy::new().solve(&instance).expect("lazy"),
+        ),
     ];
     for (name, sol) in &solvers {
         println!(

@@ -31,10 +31,7 @@ fn main() {
         3,
         0.9,
         Norm::L2,
-        WeightScheme::Zipf {
-            n_ranks: 8,
-            s: 1.1,
-        },
+        WeightScheme::Zipf { n_ranks: 8, s: 1.1 },
         424242,
     );
     scenario.distribution = PointDistribution::GaussianClusters {
@@ -61,7 +58,10 @@ fn main() {
             .solve(&instance)
             .expect("stochastic"),
     ];
-    println!("\n{:<22} {:>12} {:>16} {:>10}", "solver", "served demand", "% of exhaustive", "% of total");
+    println!(
+        "\n{:<22} {:>12} {:>16} {:>10}",
+        "solver", "served demand", "% of exhaustive", "% of total"
+    );
     for sol in solutions.iter().chain(std::iter::once(&opt)) {
         println!(
             "{:<22} {:>12.2} {:>15.2}% {:>9.2}%",
@@ -75,7 +75,10 @@ fn main() {
     // Render the winning placement as a coverage map.
     let best = &opt;
     let mut plot = ScatterPlot::new(
-        format!("cache coverage map — {} (reward {:.1})", best.solver, best.total_reward),
+        format!(
+            "cache coverage map — {} (reward {:.1})",
+            best.solver, best.total_reward
+        ),
         0.0,
         4.0,
     );

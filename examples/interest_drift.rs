@@ -31,9 +31,7 @@ fn simulate_frozen(
     config: &BroadcastConfig,
 ) -> f64 {
     // Solve once on the initial snapshot.
-    let initial = population
-        .instance(r, k, Norm::L2)
-        .expect("valid instance");
+    let initial = population.instance(r, k, Norm::L2).expect("valid instance");
     let frozen = LocalGreedy::new().solve(&initial).expect("solves");
     // Replay the same dynamics through the adaptive simulator by using
     // a "solver" that ignores the instance and returns the frozen
@@ -44,10 +42,7 @@ fn simulate_frozen(
         fn name(&self) -> &'static str {
             "frozen"
         }
-        fn solve(
-            &self,
-            inst: &mmph::core::Instance<2>,
-        ) -> mmph::core::Result<Solution<2>> {
+        fn solve(&self, inst: &mmph::core::Instance<2>) -> mmph::core::Result<Solution<2>> {
             let report = SatisfactionReport::compute(inst, &self.0, 0.5);
             Ok(Solution {
                 solver: "frozen".into(),
@@ -59,15 +54,8 @@ fn simulate_frozen(
             })
         }
     }
-    let run = simulate(
-        &Frozen(frozen.centers),
-        population,
-        r,
-        k,
-        Norm::L2,
-        config,
-    )
-    .expect("simulation runs");
+    let run = simulate(&Frozen(frozen.centers), population, r, k, Norm::L2, config)
+        .expect("simulation runs");
     run.total_reward
 }
 
@@ -99,16 +87,9 @@ fn main() {
             seed: 55, // same dynamics seed for both arms
         };
         let mut pop_a = make_population();
-        let adaptive = simulate(
-            &LocalGreedy::new(),
-            &mut pop_a,
-            1.0,
-            4,
-            Norm::L2,
-            &config,
-        )
-        .expect("simulation runs")
-        .total_reward;
+        let adaptive = simulate(&LocalGreedy::new(), &mut pop_a, 1.0, 4, Norm::L2, &config)
+            .expect("simulation runs")
+            .total_reward;
         let mut pop_f = make_population();
         let frozen = simulate_frozen(&mut pop_f, 1.0, 4, &config);
         println!(

@@ -30,11 +30,18 @@ fn main() {
         .map(|sc| InstanceTrace::record(sc).expect("record"))
         .collect();
     save_traces(&path, &traces).expect("save");
-    println!("recorded {} pinned instances to {}", traces.len(), path.display());
+    println!(
+        "recorded {} pinned instances to {}",
+        traces.len(),
+        path.display()
+    );
 
     // A release later: reload, verify provenance, re-run, and compare.
     let loaded: Vec<InstanceTrace<2>> = load_traces(&path).expect("load");
-    println!("\n{:<34} {:>9} {:>12} {:>10}", "scenario", "verified", "greedy3", "greedy2");
+    println!(
+        "\n{:<34} {:>9} {:>12} {:>10}",
+        "scenario", "verified", "greedy3", "greedy2"
+    );
     let mut all_verified = true;
     for trace in &loaded {
         let ok = trace.verify();

@@ -46,7 +46,10 @@ fn main() {
         .expect("exhaustive ran")
         .total_reward;
 
-    println!("\n{:<18} {:>10} {:>8} {:>10}", "solver", "reward", "ratio", "evals");
+    println!(
+        "\n{:<18} {:>10} {:>8} {:>10}",
+        "solver", "reward", "ratio", "evals"
+    );
     for sol in &solutions {
         println!(
             "{:<18} {:>10.4} {:>7.2}% {:>10}",

@@ -71,12 +71,20 @@ fn main() {
         std::fs::write(&path, hm.render().expect("render")).expect("write");
         println!("  {norm}: {}", path.display());
     }
-    for kernel in [Kernel::Step, Kernel::Quadratic, Kernel::Exponential { lambda: 4.0 }] {
+    for kernel in [
+        Kernel::Step,
+        Kernel::Quadratic,
+        Kernel::Exponential { lambda: 4.0 },
+    ] {
         let inst = instance.with_kernel(kernel).expect("valid kernel");
-        let hm = Heatmap::new(format!("landscape under {} kernel", kernel.name()), 0.0, 4.0)
-            .sample(96, |x, y| {
-                mmph::core::coverage_reward(&inst, &Point::new([x, y]), &fresh)
-            });
+        let hm = Heatmap::new(
+            format!("landscape under {} kernel", kernel.name()),
+            0.0,
+            4.0,
+        )
+        .sample(96, |x, y| {
+            mmph::core::coverage_reward(&inst, &Point::new([x, y]), &fresh)
+        });
         let path = out_dir.join(format!("landscape_kernel_{}.svg", kernel.name()));
         std::fs::write(&path, hm.render().expect("render")).expect("write");
         println!("  {} kernel: {}", kernel.name(), path.display());

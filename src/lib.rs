@@ -43,8 +43,8 @@ pub mod prelude {
     pub use mmph_core::reward::{coverage_reward, objective, psi, Residuals};
     pub use mmph_core::solver::{Solution, Solver};
     pub use mmph_core::solvers::{
-        BeamSearch, ComplexGreedy, Exhaustive, LazyGreedy, LocalGreedy, LocalSearch,
-        RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
+        BeamSearch, ComplexGreedy, Exhaustive, LazyGreedy, LocalGreedy, LocalSearch, RoundBased,
+        SeededGreedy, SimpleGreedy, StochasticGreedy,
     };
     pub use mmph_geom::{Norm, Point, Point2, Point3};
     pub use mmph_sim::gen::WeightScheme;

@@ -35,8 +35,8 @@ fn instance_rejections_are_typed_and_descriptive() {
     assert!(e.to_string().contains("radius"));
 
     // Zero weight.
-    let e = Instance::<2>::new(vec![GPoint::new([0.0, 0.0])], vec![0.0], 1.0, 1, Norm::L2)
-        .unwrap_err();
+    let e =
+        Instance::<2>::new(vec![GPoint::new([0.0, 0.0])], vec![0.0], 1.0, 1, Norm::L2).unwrap_err();
     assert!(e.to_string().contains("weight"));
 
     // Empty instance.
@@ -47,7 +47,13 @@ fn instance_rejections_are_typed_and_descriptive() {
 #[test]
 fn geometry_rejections() {
     let e = GPoint::<2>::try_from_slice(&[1.0]).unwrap_err();
-    assert!(matches!(e, GeomError::DimensionMismatch { expected: 2, got: 1 }));
+    assert!(matches!(
+        e,
+        GeomError::DimensionMismatch {
+            expected: 2,
+            got: 1
+        }
+    ));
     assert!(e.to_string().contains("expected 2"));
 
     let e = mmph_geom::Norm::lp(0.3).unwrap_err();
@@ -92,15 +98,22 @@ fn kernel_rejections() {
         .generate_2d()
         .unwrap();
     for lambda in [0.0, -1.0, f64::NAN, f64::INFINITY] {
-        let e = inst.with_kernel(Kernel::Exponential { lambda }).unwrap_err();
-        assert!(matches!(e, CoreError::InvalidInstance(_)), "lambda={lambda}");
+        let e = inst
+            .with_kernel(Kernel::Exponential { lambda })
+            .unwrap_err();
+        assert!(
+            matches!(e, CoreError::InvalidInstance(_)),
+            "lambda={lambda}"
+        );
     }
 }
 
 #[test]
 fn sim_rejections() {
     assert!(SpaceSpec::new(2.0, 2.0).is_err());
-    assert!(WeightScheme::UniformInt { lo: 5, hi: 2 }.validate().is_err());
+    assert!(WeightScheme::UniformInt { lo: 5, hi: 2 }
+        .validate()
+        .is_err());
     assert!(PointDistribution::GaussianClusters {
         clusters: 0,
         rel_sigma: 0.1

@@ -75,7 +75,10 @@ fn welzl_handles_five_dimensions() {
     let ball = min_enclosing_ball(&pts);
     assert!(ball.contains_all(&pts));
     let centroid = GPoint::centroid(&pts).unwrap();
-    let r_centroid = pts.iter().map(|p| centroid.dist_l2(p)).fold(0.0f64, f64::max);
+    let r_centroid = pts
+        .iter()
+        .map(|p| centroid.dist_l2(p))
+        .fold(0.0f64, f64::max);
     assert!(ball.radius <= r_centroid + 1e-9);
 }
 
@@ -94,7 +97,11 @@ fn spatial_indexes_agree_in_five_dimensions() {
         let r = rng.gen_range(0.5..3.0);
         for norm in [Norm::L1, Norm::L2, Norm::LInf] {
             let mut a: Vec<usize> = kd.within(&c, r, norm).into_iter().map(|(i, _)| i).collect();
-            let mut b: Vec<usize> = ball.within(&c, r, norm).into_iter().map(|(i, _)| i).collect();
+            let mut b: Vec<usize> = ball
+                .within(&c, r, norm)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             let want: Vec<usize> = pts

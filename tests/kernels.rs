@@ -81,10 +81,7 @@ fn kernel_ordering_transfers_to_rewards() {
     let base = instance_with(Kernel::Linear, 42);
     let centers = LocalGreedy::new().solve(&base).unwrap().centers;
     let f_linear = mmph::core::objective(&base, &centers);
-    let f_quad = mmph::core::objective(
-        &base.with_kernel(Kernel::Quadratic).unwrap(),
-        &centers,
-    );
+    let f_quad = mmph::core::objective(&base.with_kernel(Kernel::Quadratic).unwrap(), &centers);
     let f_step = mmph::core::objective(&base.with_kernel(Kernel::Step).unwrap(), &centers);
     assert!(f_step >= f_quad - 1e-9);
     assert!(f_quad >= f_linear - 1e-9);
@@ -110,7 +107,8 @@ fn exhaustive_dominates_greedies_under_every_kernel() {
 fn legacy_json_without_kernel_field_still_loads() {
     // Instances serialized before the kernel extension must default to
     // the paper's linear kernel.
-    let json = r#"{"points":[[0.0,0.0],[1.0,1.0]],"weights":[1.0,2.0],"radius":1.0,"k":1,"norm":"L2"}"#;
+    let json =
+        r#"{"points":[[0.0,0.0],[1.0,1.0]],"weights":[1.0,2.0],"radius":1.0,"k":1,"norm":"L2"}"#;
     let inst: Instance<2> = serde_json::from_str(json).unwrap();
     assert_eq!(inst.kernel(), Kernel::Linear);
 }

@@ -1,0 +1,183 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use:
+//! [`strategy::Strategy`] with `prop_map`/`boxed`, range and tuple
+//! strategies, [`strategy::Just`], `prop::collection::vec`,
+//! [`test_runner::ProptestConfig`], and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from upstream: cases are sampled from a deterministic
+//! per-test seed (derived from the test name), and there is **no
+//! shrinking** — a failing case panics with the sampled inputs via the
+//! ordinary assert message.
+
+pub mod strategy;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Subset of upstream's config: only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; this stub trims to 64 to keep
+            // single-threaded CI runtimes reasonable.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// `prop::` namespace (collection strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy for `Vec`s with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy::new(element, size.into())
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Deterministic 64-bit FNV-1a over the test name, for per-test seeds.
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The runner macro: each `#[test] fn name(bindings in strategies)`
+/// becomes a plain test that samples `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg(<$crate::test_runner::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg = $cfg;
+                for __case in 0..u64::from(__cfg.cases) {
+                    let mut __rng = $crate::strategy::new_rng(
+                        $crate::seed_for(stringify!($name), __case),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Builds a named strategy function out of sampled bindings.
+#[macro_export]
+macro_rules! prop_compose {
+    (fn $name:ident $(($($outer:tt)*))? ($($arg:pat_param in $strat:expr),* $(,)?) -> $ret:ty $body:block) => {
+        fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::fn_strategy(move |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assertion inside a proptest body (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0u32..10, b in 10u32..20) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5.0..5.0f64, n in 1usize..9) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn composed_pairs_ordered(p in pair()) {
+            prop_assert!(p.0 < p.1);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0u32..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u32), Just(2u32), (5u32..7).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || x == 2 || x == 50 || x == 60);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::strategy::new_rng(7);
+        let v = prop::collection::vec(0.0..1.0f64, 25).sample(&mut rng);
+        assert_eq!(v.len(), 25);
+    }
+}

@@ -1,0 +1,102 @@
+//! Sequence helpers: [`SliceRandom::shuffle`] and [`index::sample`].
+
+use crate::{Rng, RngCore};
+
+/// Extension trait for slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Index sampling without replacement (`rand::seq::index`).
+pub mod index {
+    use crate::{Rng, RngCore};
+
+    /// The sampled indices, in selection order.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Consumes into a plain `Vec<usize>`.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`
+    /// via a partial Fisher–Yates pass.
+    ///
+    /// # Panics
+    /// If `amount > length`, matching upstream.
+    pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from {length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let picks = index::sample(&mut rng, 100, 30).into_vec();
+        assert_eq!(picks.len(), 30);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(picks.iter().all(|&i| i < 100));
+    }
+}

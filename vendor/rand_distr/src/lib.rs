@@ -1,0 +1,156 @@
+//! Vendored, dependency-free stand-in for `rand_distr`.
+//!
+//! Implements exactly what this workspace uses: the [`Distribution`]
+//! trait, [`Normal`] (Box–Muller) and [`Zipf`] (cumulative-table
+//! inversion).
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// A distribution that can be sampled with any RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid [`Normal`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid normal parameters (std_dev must be finite and >= 0)")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std_dev^2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the second variate is discarded because
+        // `sample(&self)` cannot cache state.
+        let mut u1: f64 = rng.gen();
+        // Avoid ln(0).
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Error from invalid [`Zipf`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid Zipf parameters (need n >= 1 and finite s > 0)")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Sampled by inverting a precomputed CDF table.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Table size guard: the repo only uses small rank counts.
+    const MAX_N: u64 = 1 << 24;
+
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 || n > Self::MAX_N || !s.is_finite() || s <= 0.0 {
+            return Err(ZipfError);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let d = Zipf::new(10, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=10.0).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        // Rank 1 must dominate rank 10 roughly 10:1.
+        assert!(counts[0] > 5 * counts[9], "counts {counts:?}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(5, 0.0).is_err());
+        assert!(Zipf::new(5, f64::INFINITY).is_err());
+    }
+}

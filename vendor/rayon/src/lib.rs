@@ -1,0 +1,316 @@
+//! Vendored, dependency-free stand-in for `rayon`.
+//!
+//! Provides the subset this workspace uses — `par_iter()` /
+//! `into_par_iter()` with `.map(..).collect()` chains plus
+//! [`ThreadPoolBuilder`] / [`current_num_threads`] — backed by
+//! `std::thread::scope` with contiguous chunking. `map` is **eager**:
+//! each call runs one parallel pass and materializes its results in
+//! input order, so chained combinators stay deterministic and
+//! order-preserving just like upstream's indexed parallel iterators.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// Configured global thread count; 0 = not configured (use hardware).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (the stub never
+/// actually fails; upstream errors on double initialization).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build global thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global pool. Only `num_threads` + `build_global`
+/// are supported; re-initialization silently overwrites (unlike
+/// upstream, which errors), which is more convenient for tests.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (hardware) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; 0 means hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// Number of threads parallel passes will use.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// An order-preserving "parallel iterator" over materialized items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped
+/// threads, contiguous chunks, results concatenated in input order.
+fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// The combinator surface this workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes into the materialized item vector (in order).
+    fn into_vec(self) -> Vec<Self::Item>;
+
+    /// Eager, order-preserving parallel map.
+    fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        ParIter {
+            items: parallel_map(self.into_vec(), f),
+        }
+    }
+
+    /// Eager parallel filter (order-preserving).
+    fn filter<F>(self, pred: F) -> ParIter<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        let kept = parallel_map(self.into_vec(), |x| if pred(&x) { Some(x) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel for-each.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        parallel_map(self.into_vec(), f);
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_vec().into_iter().collect()
+    }
+
+    /// Sum over items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_vec().into_iter().sum()
+    }
+
+    /// Minimum by a comparison function (first minimum wins, matching
+    /// sequential `Iterator::min_by` on the materialized order).
+    fn min_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.into_vec().into_iter().min_by(cmp)
+    }
+
+    /// Maximum by a comparison function (last maximum wins, matching
+    /// sequential `Iterator::max_by`).
+    fn max_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.into_vec().into_iter().max_by(cmp)
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// By-value conversion (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u32, u64, usize, i32, i64);
+
+/// By-shared-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// By-mutable-reference conversion (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (a mutable reference).
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIter<&'a mut T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<u64> = (0..100u64).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..=100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_reduction() {
+        let v: Vec<usize> = (0..5000).collect();
+        let s: usize = v.par_iter().map(|&x| x % 7).sum();
+        let seq: usize = v.iter().map(|&x| x % 7).sum();
+        assert_eq!(s, seq);
+    }
+
+    #[test]
+    fn thread_config_roundtrip() {
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 3);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
+    }
+}

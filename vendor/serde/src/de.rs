@@ -1,0 +1,242 @@
+//! Deserialization traits.
+//!
+//! Unlike upstream serde's visitor architecture, this stub is
+//! **value-based**: a [`Deserializer`] yields one owned [`Content`]
+//! tree (the parse of a self-describing format) and every
+//! `Deserialize` impl pattern-matches on it. For JSON — the only
+//! format in this workspace — the two designs accept the same inputs.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error constraint for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// An owned parse tree of a self-describing format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer (always < 0; non-negative parse as `U64`).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A non-integer number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in source order.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) => "an integer",
+            Content::F64(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "an array",
+            Content::Map(_) => "an object",
+        }
+    }
+}
+
+/// A data format that can produce a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Parses the whole input into one content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Re-deserializes an already-parsed [`Content`] value — the engine
+/// behind nested fields in derived impls.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a `T` out of an owned content tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format_args!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected("a boolean", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let v = match content {
+                    Content::U64(u) => u,
+                    ref other => return Err(unexpected("an unsigned integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de>  for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let v: i64 = match content {
+                    Content::I64(i) => i,
+                    Content::U64(u) => i64::try_from(u).map_err(|_| {
+                        D::Error::custom(format_args!("integer {u} out of range for i64"))
+                    })?,
+                    ref other => return Err(unexpected("an integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(x) => Ok(x),
+            Content::U64(u) => Ok(u as f64),
+            Content::I64(i) => Ok(i as f64),
+            other => Err(unexpected("a number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("a string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(unexpected("an array", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            D::Error::custom(format_args!("expected an array of length {N}, got {len}"))
+        })
+    }
+}
+
+macro_rules! deserialize_tuple_impl {
+    ($(($($name:ident),+) => $len:expr;)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items = match deserializer.deserialize_content()? {
+                    Content::Seq(items) => items,
+                    other => return Err(unexpected("an array (tuple)", &other)),
+                };
+                if items.len() != $len {
+                    return Err(D::Error::custom(format_args!(
+                        "expected a tuple of length {}, got {}", $len, items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($(from_content::<$name, D::Error>(it.next().unwrap())?,)+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple_impl! {
+    (A, B) => 2;
+    (A, B, C) => 3;
+    (A, B, C, E) => 4;
+}

@@ -1,0 +1,18 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The serializer side mirrors upstream's trait surface (enough for the
+//! hand-written impls in `mmph-geom` and the vendored derive). The
+//! deserializer side is **value-based** instead of visitor-based: a
+//! [`Deserializer`] produces one [`de::Content`] tree and `Deserialize`
+//! impls pattern-match on it. This is semantically equivalent for
+//! self-describing formats, and JSON (the only format this workspace
+//! uses) is self-describing.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

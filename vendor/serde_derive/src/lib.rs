@@ -1,0 +1,287 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! A hand-rolled derive (no `syn`/`quote`: the registry is
+//! unreachable) that walks the raw token trees. It supports the shapes
+//! this workspace actually uses:
+//!
+//! - structs with named fields, optionally generic (incl. const
+//!   generics), with `#[serde(default)]` field attributes;
+//! - externally-tagged enums with unit, newtype and struct variants;
+//! - container-level `#[serde(try_from = "…", into = "…")]`.
+//!
+//! Generated code targets the *vendored* value-based `serde` stub: the
+//! `Deserialize` impls pull one `serde::de::Content` tree and
+//! pattern-match on it.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Body, Input, VariantKind};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse::parse(input) {
+        Ok(i) => i,
+        Err(msg) => return compile_error(&msg),
+    };
+    expand_serialize(&input)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse::parse(input) {
+        Ok(i) => i,
+        Err(msg) => return compile_error(&msg),
+    };
+    expand_deserialize(&input)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn impl_header(input: &Input, extra_lifetime: bool) -> (String, String) {
+    let lt = if extra_lifetime { "'de" } else { "" };
+    let params = if input.generic_params.is_empty() {
+        if lt.is_empty() {
+            String::new()
+        } else {
+            format!("<{lt}>")
+        }
+    } else if lt.is_empty() {
+        format!("<{}>", input.generic_params)
+    } else {
+        format!("<{lt}, {}>", input.generic_params)
+    };
+    let args = if input.generic_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.generic_args)
+    };
+    (params, args)
+}
+
+fn expand_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (params, args) = impl_header(input, false);
+    let body = if let Some(into) = &input.into {
+        format!(
+            "let __converted: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&__converted, __serializer)"
+        )
+    } else {
+        match &input.body {
+            Body::Struct(fields) => {
+                let mut code = format!(
+                    "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                    fields.len()
+                );
+                for f in fields {
+                    let fname = &f.name;
+                    code.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &self.{fname})?;\n"
+                    ));
+                }
+                code.push_str("::serde::ser::SerializeStruct::end(__st)");
+                code
+            }
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for (idx, v) in variants.iter().enumerate() {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        )),
+                        VariantKind::Tuple(tys) if tys.len() == 1 => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        )),
+                        VariantKind::Tuple(_) => arms.push_str(&format!(
+                            "{name}::{vname}(..) => {{ compile_error!(\"serde_derive stub: multi-field tuple variants are unsupported\"); }}\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let mut arm = format!(
+                                "{name}::{vname} {{ {} }} => {{\n\
+                                 let mut __sv = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                                binders.join(", "),
+                                fields.len()
+                            );
+                            for f in fields {
+                                let fname = &f.name;
+                                arm.push_str(&format!(
+                                    "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{fname}\", {fname})?;\n"
+                                ));
+                            }
+                            arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                            arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unreachable_patterns, clippy::all)]\n\
+         impl{params} ::serde::Serialize for {name}{args} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Emits the "collect named fields out of a map" block shared by
+/// structs and struct variants. `constructor` is e.g. `Name` or
+/// `Name::Variant`; `entries_expr` names the `Vec<(Content, Content)>`
+/// binding to consume.
+fn field_map_block(
+    constructor: &str,
+    type_label: &str,
+    fields: &[parse::Field],
+    entries_expr: &str,
+) -> String {
+    let mut code = String::new();
+    for (i, _) in fields.iter().enumerate() {
+        code.push_str(&format!(
+            "let mut __field{i} = ::core::option::Option::None;\n"
+        ));
+    }
+    code.push_str(&format!("for (__key, __value) in {entries_expr} {{\n"));
+    code.push_str(
+        "let __key = match __key {\n\
+         ::serde::de::Content::Str(__s) => __s,\n\
+         _ => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"non-string object key\")),\n\
+         };\n",
+    );
+    code.push_str("match __key.as_str() {\n");
+    for (i, f) in fields.iter().enumerate() {
+        let fname = &f.name;
+        code.push_str(&format!(
+            "\"{fname}\" => {{ __field{i} = ::core::option::Option::Some(::serde::de::from_content(__value)?); }}\n"
+        ));
+    }
+    code.push_str("_ => { let _ = __value; }\n}\n}\n");
+    code.push_str(&format!("::core::result::Result::Ok({constructor} {{\n"));
+    for (i, f) in fields.iter().enumerate() {
+        let fname = &f.name;
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"missing field `{fname}` in `{type_label}`\"))"
+            )
+        };
+        code.push_str(&format!(
+            "{fname}: match __field{i} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => {missing} }},\n"
+        ));
+    }
+    code.push_str("})\n");
+    code
+}
+
+fn expand_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (params, args) = impl_header(input, true);
+    let body = if let Some(try_from) = &input.try_from {
+        format!(
+            "let __raw: {try_from} = <{try_from} as ::serde::Deserialize<'de>>::deserialize(__deserializer)?;\n\
+             <{name}{args} as ::core::convert::TryFrom<{try_from}>>::try_from(__raw)\n\
+             .map_err(<__D::Error as ::serde::de::Error>::custom)"
+        )
+    } else {
+        match &input.body {
+            Body::Struct(fields) => {
+                let mut code = format!(
+                    "let __content = ::serde::de::Deserializer::deserialize_content(__deserializer)?;\n\
+                     let __entries = match __content {{\n\
+                     ::serde::de::Content::Map(__m) => __m,\n\
+                     ref __other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"expected an object for struct `{name}`, found {{}}\", __other.kind()))),\n\
+                     }};\n"
+                );
+                code.push_str(&field_map_block(name, name, fields, "__entries"));
+                code
+            }
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantKind::Tuple(tys) if tys.len() == 1 => data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::de::from_content(__value)?)),\n"
+                        )),
+                        VariantKind::Tuple(_) => data_arms.push_str(&format!(
+                            "\"{vname}\" => {{ compile_error!(\"serde_derive stub: multi-field tuple variants are unsupported\"); }}\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut arm = format!(
+                                "\"{vname}\" => {{\n\
+                                 let __entries = match __value {{\n\
+                                 ::serde::de::Content::Map(__m) => __m,\n\
+                                 ref __other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"expected an object for variant `{name}::{vname}`, found {{}}\", __other.kind()))),\n\
+                                 }};\n"
+                            );
+                            arm.push_str(&field_map_block(
+                                &format!("{name}::{vname}"),
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__entries",
+                            ));
+                            arm.push_str("}\n");
+                            data_arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!(
+                    "let __content = ::serde::de::Deserializer::deserialize_content(__deserializer)?;\n\
+                     match __content {{\n\
+                     ::serde::de::Content::Str(__variant) => match __variant.as_str() {{\n\
+                     {unit_arms}\
+                     _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"unknown unit variant `{{}}` of enum `{name}`\", __variant))),\n\
+                     }},\n\
+                     ::serde::de::Content::Map(__m) => {{\n\
+                     let mut __it = __m.into_iter();\n\
+                     let (__tag, __value) = match (__it.next(), __it.next()) {{\n\
+                     (::core::option::Option::Some(__e), ::core::option::Option::None) => __e,\n\
+                     _ => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"expected an object with exactly one key for enum `{name}`\")),\n\
+                     }};\n\
+                     let __variant = match __tag {{\n\
+                     ::serde::de::Content::Str(__s) => __s,\n\
+                     _ => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"non-string enum tag\")),\n\
+                     }};\n\
+                     let _ = &__value;\n\
+                     match __variant.as_str() {{\n\
+                     {data_arms}\
+                     _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"unknown variant `{{}}` of enum `{name}`\", __variant))),\n\
+                     }}\n\
+                     }},\n\
+                     ref __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"expected a string or single-key object for enum `{name}`, found {{}}\", __other.kind()))),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, unreachable_patterns, clippy::all)]\n\
+         impl{params} ::serde::Deserialize<'de> for {name}{args} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

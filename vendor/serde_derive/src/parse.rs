@@ -1,0 +1,386 @@
+//! Minimal token-tree parser for derive input (structs and enums).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field.
+pub struct Field {
+    /// Field identifier.
+    pub name: String,
+    /// Whether `#[serde(default)]` was present.
+    pub default: bool,
+}
+
+/// The shape of one enum variant.
+pub enum VariantKind {
+    /// `Variant`
+    Unit,
+    /// `Variant(T, ...)` — holds the type text of each field.
+    Tuple(Vec<String>),
+    /// `Variant { name: T, ... }`
+    Struct(Vec<Field>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant identifier.
+    pub name: String,
+    /// Field shape.
+    pub kind: VariantKind,
+}
+
+/// The parsed item body.
+pub enum Body {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+/// A parsed derive input.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// Generic parameter list source (without `<>`), `""` if none.
+    pub generic_params: String,
+    /// Generic argument names (e.g. `"D"`), `""` if none.
+    pub generic_args: String,
+    /// Struct or enum body.
+    pub body: Body,
+    /// `#[serde(try_from = "...")]` container attribute.
+    pub try_from: Option<String>,
+    /// `#[serde(into = "...")]` container attribute.
+    pub into: Option<String>,
+}
+
+/// Key-value and flag content of one `#[serde(...)]` attribute.
+#[derive(Default)]
+struct SerdeAttr {
+    default: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses the inside of a `#[serde(...)]` group.
+fn parse_serde_attr(tokens: &[TokenTree]) -> SerdeAttr {
+    let mut out = SerdeAttr::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let key = id.to_string();
+            if key == "default" {
+                out.default = true;
+                i += 1;
+            } else if i + 2 < tokens.len()
+                && matches!(&tokens[i + 1], TokenTree::Punct(p) if p.as_char() == '=')
+            {
+                if let TokenTree::Literal(l) = &tokens[i + 2] {
+                    let val = strip_quotes(&l.to_string());
+                    match key.as_str() {
+                        "try_from" => out.try_from = Some(val),
+                        "into" => out.into = Some(val),
+                        _ => {}
+                    }
+                }
+                i += 3;
+            } else {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes leading attributes at `tokens[*i..]`, returning the merged
+/// serde attribute content.
+fn consume_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttr {
+    let mut merged = SerdeAttr::default();
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let parsed =
+                                parse_serde_attr(&args.stream().into_iter().collect::<Vec<_>>());
+                            merged.default |= parsed.default;
+                            merged.try_from = merged.try_from.or(parsed.try_from);
+                            merged.into = merged.into.or(parsed.into);
+                        }
+                    }
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    merged
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, ... at `tokens[*i..]`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Collects tokens from `*i` until a top-level `stop` punct, tracking
+/// `<`/`>` depth (groups are opaque single tokens, so parens/brackets
+/// never confuse the scan). Returns the collected source text.
+fn collect_until(tokens: &[TokenTree], i: &mut usize, stop: char) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == stop && depth == 0 {
+                break;
+            }
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&tokens[*i].to_string());
+        *i += 1;
+    }
+    out
+}
+
+/// Parses the fields of a named-field body (struct or struct variant).
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attr = consume_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other}`"
+                ))
+            }
+        }
+        let _ty = collect_until(&tokens, &mut i, ',');
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field {
+            name,
+            default: attr.default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parses the comma-separated types of a tuple variant.
+fn parse_tuple_types(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut tys = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Tuple fields may carry attrs (e.g. thiserror's #[from]) and
+        // visibility; tolerate both.
+        let _ = consume_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let ty = collect_until(&tokens, &mut i, ',');
+        if i < tokens.len() {
+            i += 1;
+        }
+        if !ty.is_empty() {
+            tys.push(ty);
+        }
+    }
+    tys
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attrs: #[default], #[serde(...)], doc comments. The
+        // generic attr consumer skips them all.
+        let _ = consume_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let tys = parse_tuple_types(g);
+                    i += 1;
+                    VariantKind::Tuple(tys)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g)?;
+                    i += 1;
+                    VariantKind::Struct(fields)
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => {
+                    return Err(format!(
+                        "expected `,` after variant `{name}`, found `{other}`"
+                    ))
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Extracts `(params_source, arg_names)` from a generic parameter
+/// token list (the tokens strictly between `<` and `>`).
+fn split_generics(tokens: &[TokenTree]) -> (String, String) {
+    let params: String = tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut args = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // One parameter: up to the next top-level comma.
+        let start = i;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let param = &tokens[start..i];
+        if i < tokens.len() {
+            i += 1; // consume comma
+        }
+        // `const D : usize` → D; `T : Bound` / `T` → T.
+        let mut idents = param.iter().filter_map(|t| match t {
+            TokenTree::Ident(id) => Some(id.to_string()),
+            _ => None,
+        });
+        let first = idents.next();
+        match first.as_deref() {
+            Some("const") => {
+                if let Some(n) = idents.next() {
+                    args.push(n);
+                }
+            }
+            Some(other) => args.push(other.to_string()),
+            None => {}
+        }
+    }
+    (params, args.join(", "))
+}
+
+/// Parses a full derive input.
+pub fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attr = consume_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    let mut generic_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+            }
+            generic_tokens.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    let (generic_params, generic_args) = split_generics(&generic_tokens);
+    // Skip any where-clause (none in this workspace, but cheap to
+    // tolerate) by scanning forward to the body group.
+    let body_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => return Err(format!("`{name}` has no braced body")),
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group)?),
+        "enum" => Body::Enum(parse_enum_variants(body_group)?),
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input {
+        name,
+        generic_params,
+        generic_args,
+        body,
+        try_from: attr.try_from,
+        into: attr.into,
+    })
+}

@@ -1,0 +1,169 @@
+//! Vendored, dependency-free stand-in for `serde_json`.
+//!
+//! Supports exactly what this workspace calls: [`to_string`],
+//! [`to_string_pretty`], [`to_writer_pretty`], [`from_str`],
+//! [`from_reader`]. Serialization writes JSON text directly off the
+//! vendored `serde::Serializer` trait; deserialization parses into the
+//! vendored value-based `serde::de::Content` tree.
+//!
+//! f64 round-trips exactly: numbers are written with Rust's
+//! shortest-roundtrip `Display` formatting and re-parsed with `str::parse`.
+
+mod read;
+mod write;
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+use std::fmt;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(write::Serializer::compact(&mut out))?;
+    Ok(out)
+}
+
+/// Serializes to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(write::Serializer::pretty(&mut out))?;
+    Ok(out)
+}
+
+/// Serializes pretty-printed JSON into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let s = to_string_pretty(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let content = read::parse(s)?;
+    serde::de::from_content(content)
+}
+
+/// Deserializes a value from a reader.
+pub fn from_reader<R: std::io::Read, T: for<'de> Deserialize<'de>>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::new(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        for &x in &[0.1, 1.0 / 3.0, 6.02e23, f64::MIN_POSITIVE, -0.0, 4.0] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn seq_and_option_roundtrip() {
+        let v = vec![1.0f64, 2.5, -3.0];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1.0,2.5,-3.0]");
+        assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), v);
+
+        let some: Option<Vec<u32>> = Some(vec![1, 2]);
+        let none: Option<Vec<u32>> = None;
+        assert_eq!(to_string(&none).unwrap(), "null");
+        let s = to_string(&some).unwrap();
+        assert_eq!(from_str::<Option<Vec<u32>>>(&s).unwrap(), some);
+        assert_eq!(from_str::<Option<Vec<u32>>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode \u{1F600} control \u{1}";
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        // \uXXXX escapes (incl. surrogate pairs) parse too.
+        assert_eq!(
+            from_str::<String>("\"\\u0041\\ud83d\\ude00\"").unwrap(),
+            "A\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = vec![(1usize, 2.0f64, 3.0f64), (4, 5.5, 6.25)];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<(usize, f64, f64)>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<bool>("truthy").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+}

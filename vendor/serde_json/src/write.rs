@@ -1,0 +1,313 @@
+//! JSON text emission off the vendored `serde::Serializer` trait.
+
+use crate::Error;
+use serde::ser::Serialize;
+
+/// Writes one JSON value into a `String` buffer.
+pub struct Serializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+}
+
+impl<'a> Serializer<'a> {
+    /// Compact (single-line) output.
+    pub fn compact(out: &'a mut String) -> Self {
+        Serializer {
+            out,
+            pretty: false,
+            indent: 0,
+        }
+    }
+
+    /// Pretty (2-space indented) output.
+    pub fn pretty(out: &'a mut String) -> Self {
+        Serializer {
+            out,
+            pretty: true,
+            indent: 0,
+        }
+    }
+
+    fn write_f64(self, v: f64) -> Result<(), Error> {
+        if !v.is_finite() {
+            return Err(Error::new(format!("cannot serialize non-finite float {v}")));
+        }
+        // Rust's `Debug` for floats is the shortest string that
+        // round-trips (keeping f64 bit-exact through JSON) and always
+        // includes a decimal point, matching upstream serde_json.
+        use std::fmt::Write;
+        write!(self.out, "{v:?}").expect("write to String cannot fail");
+        Ok(())
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0c}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write;
+                    write!(out, "\\u{:04x}", c as u32).expect("write to String cannot fail");
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// In-progress seq/tuple/struct/variant emission.
+pub struct Compound<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn newline(out: &mut String, indent: usize) {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        if self.pretty {
+            Self::newline(self.out, self.indent);
+        }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.pretty && !self.first {
+            Self::newline(self.out, self.indent - 1);
+        }
+        self.out.push_str(self.close);
+        Ok(())
+    }
+
+    fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.sep();
+        value.serialize(Serializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        })
+    }
+
+    fn field<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<(), Error> {
+        self.sep();
+        Serializer::write_escaped(self.out, key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(Serializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        })
+    }
+}
+
+impl<'a> serde::Serializer for Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        use std::fmt::Write;
+        write!(self.out, "{v}").expect("write to String cannot fail");
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        use std::fmt::Write;
+        write!(self.out, "{v}").expect("write to String cannot fail");
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.write_f64(v)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        Self::write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            indent: self.indent + 1,
+            out: self.out,
+            pretty: self.pretty,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            indent: self.indent + 1,
+            out: self.out,
+            pretty: self.pretty,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        Self::write_escaped(self.out, variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        let pretty = self.pretty;
+        let indent = self.indent;
+        value.serialize(Serializer {
+            out: self.out,
+            pretty,
+            indent,
+        })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Self::write_escaped(self.out, variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.out.push('{');
+        Ok(Compound {
+            indent: self.indent + 1,
+            out: self.out,
+            pretty: self.pretty,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+impl serde::ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl serde::ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.element(value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl serde::ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.field(key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl serde::ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.field(key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}

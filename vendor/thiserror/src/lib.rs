@@ -1,0 +1,4 @@
+//! Vendored, dependency-free stand-in for `thiserror`: re-exports the
+//! hand-rolled `#[derive(Error)]` from `thiserror_impl`.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,364 @@
+//! Vendored `#[derive(Error)]` (the `thiserror` derive), hand-rolled
+//! over raw token trees (no `syn`: the registry is unreachable).
+//!
+//! Supported surface — exactly what this workspace's error enums use:
+//! `#[error("fmt with {0} and {named}")]`, `#[error(transparent)]`,
+//! and `#[from]` on single-field tuple variants (which also marks the
+//! field as the `source()`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct NamedField {
+    name: String,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields: (type text, has #[from]).
+    Tuple(Vec<(String, bool)>),
+    Named(Vec<NamedField>),
+}
+
+enum DisplaySpec {
+    /// `#[error("...")]` — the raw string literal including quotes.
+    Format(String),
+    /// `#[error(transparent)]`.
+    Transparent,
+}
+
+struct Variant {
+    name: String,
+    display: DisplaySpec,
+    fields: Fields,
+}
+
+/// Derives `Display`, `std::error::Error` (with `source()`), and
+/// `From` impls for `#[from]` fields.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match parse_enum(input).map(|(name, variants)| expand(&name, &variants)) {
+        Ok(code) => {
+            if std::env::var("THISERROR_DEBUG").is_ok() {
+                eprintln!("{code}");
+            }
+            code.parse()
+                .expect("thiserror_impl: generated invalid code")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Collects attributes at `tokens[*i..]`; returns the display spec if
+/// an `#[error(...)]` attribute is among them.
+fn consume_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<Option<DisplaySpec>, String> {
+    let mut display = None;
+    while *i + 1 < tokens.len() {
+        if !matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#') {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "error" {
+                let Some(TokenTree::Group(args)) = inner.get(1) else {
+                    return Err("#[error] needs arguments".to_string());
+                };
+                let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                display = Some(match args.first() {
+                    Some(TokenTree::Literal(l)) => DisplaySpec::Format(l.to_string()),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+                        DisplaySpec::Transparent
+                    }
+                    _ => return Err("unsupported #[error(...)] argument".to_string()),
+                });
+            }
+        }
+        *i += 2;
+    }
+    Ok(display)
+}
+
+/// True if the token run contains a bare `#[from]` attribute.
+fn strip_leading_field_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut from = false;
+    while *i + 1 < tokens.len() {
+        if !matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#') {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            let name = id.to_string();
+            if name == "from" || name == "source" {
+                from = true;
+            }
+        }
+        *i += 2;
+    }
+    from
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn collect_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                break;
+            }
+        }
+        // Join punctuation without spaces so `::` survives re-parsing.
+        let is_punct = matches!(&tokens[*i], TokenTree::Punct(_));
+        let prev_punct = out.ends_with(|c: char| !c.is_alphanumeric() && c != '_');
+        if !out.is_empty() && !is_punct && !prev_punct {
+            out.push(' ');
+        }
+        out.push_str(&tokens[*i].to_string());
+        *i += 1;
+    }
+    out
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let from = strip_leading_field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let ty = collect_type(&tokens, &mut i);
+        if i < tokens.len() {
+            i += 1; // comma
+        }
+        if !ty.is_empty() {
+            fields.push((ty, from));
+        }
+    }
+    fields
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<NamedField>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = strip_leading_field_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found `{other:?}`")),
+        }
+        let _ty = collect_type(&tokens, &mut i);
+        if i < tokens.len() {
+            i += 1;
+        }
+        fields.push(NamedField { name });
+    }
+    Ok(fields)
+}
+
+fn parse_enum(input: TokenStream) -> Result<(String, Vec<Variant>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = consume_attrs(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => i += 1,
+        other => {
+            return Err(format!(
+                "this thiserror stub only derives on enums, found `{other:?}`"
+            ))
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected enum name, found `{other:?}`")),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic error enum `{name}` is unsupported"))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("enum `{name}` has no body")),
+        }
+    };
+    let vt: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < vt.len() {
+        let display = consume_attrs(&vt, &mut j)?;
+        if j >= vt.len() {
+            break;
+        }
+        let vname = match &vt[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        j += 1;
+        let fields = match vt.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Fields::Named(parse_named_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(vt.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+        let display = display
+            .ok_or_else(|| format!("variant `{vname}` of `{name}` is missing #[error(...)]"))?;
+        variants.push(Variant {
+            name: vname,
+            display,
+            fields,
+        });
+    }
+    Ok((name, variants))
+}
+
+/// Rewrites positional `{0}`/`{1:…}` placeholders in a format literal
+/// to the generated `__f0` bindings (named placeholders pass through
+/// as Rust 2021 implicit captures of the bound field names).
+fn rewrite_positions(lit: &str) -> String {
+    let mut out = String::new();
+    let mut chars = lit.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '{' {
+            if chars.peek() == Some(&'{') {
+                out.push(chars.next().unwrap());
+                continue;
+            }
+            if matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                out.push_str("__f");
+            }
+        }
+    }
+    out
+}
+
+fn binder(fields: &Fields, vname: &str, ename: &str) -> String {
+    match fields {
+        Fields::Unit => format!("{ename}::{vname}"),
+        Fields::Tuple(tys) => {
+            let binds: Vec<String> = (0..tys.len()).map(|i| format!("__f{i}")).collect();
+            format!("{ename}::{vname}({})", binds.join(", "))
+        }
+        Fields::Named(fs) => {
+            let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+            format!("{ename}::{vname} {{ {} }}", binds.join(", "))
+        }
+    }
+}
+
+fn expand(name: &str, variants: &[Variant]) -> String {
+    // Display impl.
+    let mut display_arms = String::new();
+    for v in variants {
+        let pat = binder(&v.fields, &v.name, name);
+        match &v.display {
+            DisplaySpec::Transparent => {
+                display_arms.push_str(&format!(
+                    "{pat} => ::core::fmt::Display::fmt(__f0, __formatter),\n"
+                ));
+            }
+            DisplaySpec::Format(lit) => {
+                let lit = rewrite_positions(lit);
+                display_arms.push_str(&format!("{pat} => ::core::write!(__formatter, {lit}),\n"));
+            }
+        }
+    }
+    // source() arms: transparent delegates, #[from]/#[source] fields
+    // are returned directly.
+    let mut source_arms = String::new();
+    for v in variants {
+        match (&v.display, &v.fields) {
+            (DisplaySpec::Transparent, Fields::Tuple(tys)) if tys.len() == 1 => {
+                let pat = binder(&v.fields, &v.name, name);
+                source_arms.push_str(&format!("{pat} => ::std::error::Error::source(__f0),\n"));
+            }
+            (_, Fields::Tuple(tys)) if tys.iter().any(|(_, from)| *from) => {
+                let pat = binder(&v.fields, &v.name, name);
+                let idx = tys.iter().position(|(_, from)| *from).unwrap();
+                source_arms.push_str(&format!(
+                    "{pat} => ::core::option::Option::Some(__f{idx} as &(dyn ::std::error::Error + 'static)),\n"
+                ));
+            }
+            _ => {}
+        }
+    }
+    // From impls for single-field #[from] tuple variants.
+    let mut from_impls = String::new();
+    for v in variants {
+        if let Fields::Tuple(tys) = &v.fields {
+            if tys.len() == 1 && tys[0].1 {
+                let ty = &tys[0].0;
+                let vname = &v.name;
+                from_impls.push_str(&format!(
+                    "#[automatically_derived]\n\
+                     impl ::core::convert::From<{ty}> for {name} {{\n\
+                     fn from(__source: {ty}) -> Self {{ {name}::{vname}(__source) }}\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unreachable_patterns, clippy::all)]\n\
+         impl ::core::fmt::Display for {name} {{\n\
+         fn fmt(&self, __formatter: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         match self {{\n{display_arms}}}\n\
+         }}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         #[allow(unused_variables, unreachable_patterns, clippy::all)]\n\
+         impl ::std::error::Error for {name} {{\n\
+         fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+         match self {{\n{source_arms}_ => ::core::option::Option::None,\n}}\n\
+         }}\n\
+         }}\n\
+         {from_impls}"
+    )
+}
