@@ -90,6 +90,26 @@ pub fn parse_oracle(raw: &str) -> Result<mmph_core::OracleStrategy> {
     raw.parse().map_err(CliError::Usage)
 }
 
+/// Builds a [`SolveBudget`](mmph_core::SolveBudget) from the optional
+/// `--deadline-ms` and `--max-evals` flags. Absent flags leave the
+/// budget unlimited.
+pub fn parse_budget(flags: &Flags) -> Result<mmph_core::SolveBudget> {
+    let mut budget = mmph_core::SolveBudget::unlimited();
+    if let Some(raw) = flags.get("deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for --deadline-ms")))?;
+        budget = budget.with_deadline_ms(ms);
+    }
+    if let Some(raw) = flags.get("max-evals") {
+        let evals: u64 = raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value `{raw}` for --max-evals")))?;
+        budget = budget.with_max_evals(evals);
+    }
+    Ok(budget)
+}
+
 /// Installs the global rayon pool when `--threads N` was passed.
 ///
 /// Idempotent by construction of the vendored pool (re-initialisation
@@ -206,6 +226,23 @@ mod tests {
         assert!(install_thread_pool(&junk).is_err());
         let absent = parse(&argv(&[]), &["threads"], &[]).unwrap();
         assert!(install_thread_pool(&absent).is_ok());
+    }
+
+    #[test]
+    fn budget_parsing() {
+        let absent = parse(&argv(&[]), &["deadline-ms", "max-evals"], &[]).unwrap();
+        assert!(parse_budget(&absent).unwrap().is_unlimited());
+        let both = parse(
+            &argv(&["--deadline-ms", "250", "--max-evals", "1000"]),
+            &["deadline-ms", "max-evals"],
+            &[],
+        )
+        .unwrap();
+        assert!(!parse_budget(&both).unwrap().is_unlimited());
+        let junk = parse(&argv(&["--max-evals", "lots"]), &["max-evals"], &[]).unwrap();
+        assert!(matches!(parse_budget(&junk), Err(CliError::Usage(_))));
+        let junk = parse(&argv(&["--deadline-ms", "-4"]), &["deadline-ms"], &[]).unwrap();
+        assert!(matches!(parse_budget(&junk), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! `mmph simulate` — the time-slotted broadcast simulation.
 
 use std::io::Write;
+use std::path::Path;
 
-use mmph_core::solvers::{LocalGreedy, SimpleGreedy};
-use mmph_sim::broadcast::{simulate, BroadcastConfig, Population};
+use mmph_core::solvers::{AdaptiveSolver, LocalGreedy, SimpleGreedy};
+use mmph_core::{SolveBudget, Solver};
+use mmph_sim::broadcast::{
+    run_to_completion, BroadcastConfig, BroadcastRun, Checkpoint, FaultPlan, OutageWindow,
+    Population,
+};
 use mmph_sim::gen::{PointDistribution, SpaceSpec};
 use mmph_sim::rng::SeedSeq;
 
-use crate::args::{install_thread_pool, parse, parse_norm, parse_oracle, parse_weights};
+use crate::args::{
+    install_thread_pool, parse, parse_budget, parse_norm, parse_oracle, parse_weights,
+};
 use crate::{CliError, Result};
 
 const HELP: &str = "\
@@ -23,10 +30,134 @@ OPTIONS:
   --churn C      per-period churn probability (default 0)
   --drift S      per-period drift sigma, fraction of space (default 0)
   --clusters M   Gaussian interest clusters; 0 = uniform (default 0)
-  --solver NAME  greedy2 | greedy3 (default greedy3)
+  --solver NAME  greedy2 | greedy3 | adaptive (default greedy3)
   --oracle S     seq | par | lazy candidate scoring for greedy2 (default seq)
   --threads N    rayon worker threads for --oracle par
-  --seed S       RNG seed (default 0)";
+  --seed S       RNG seed (default 0)
+
+FAULT INJECTION:
+  --loss P       per-slot broadcast loss probability in [0, 1] (default 0)
+  --outage SPEC  base-station outage windows `start:len[,start:len...]`
+  --retries N    retransmission attempts per lost broadcast (default 2)
+  --backoff N    slots to back off after a loss (default 1)
+
+SOLVE BUDGET:
+  --deadline-ms MS  per-period wall-clock solve budget
+  --max-evals N     per-period objective-evaluation budget
+
+CHECKPOINTING:
+  --checkpoint FILE   write a resumable JSON checkpoint during the run
+  --checkpoint-every N  periods between checkpoint writes (default 1)
+  --resume            continue from the checkpoint file instead of a
+                      fresh population (generation flags are ignored;
+                      the checkpoint carries the full state)";
+
+fn parse_outages(raw: &str) -> Result<Vec<OutageWindow>> {
+    raw.split(',')
+        .map(|item| {
+            let bad = || {
+                CliError::Usage(format!(
+                    "invalid outage window `{item}`; expected `start:len` (slots)"
+                ))
+            };
+            let (start, len) = item.split_once(':').ok_or_else(bad)?;
+            Ok(OutageWindow {
+                start: start.trim().parse().map_err(|_| bad())?,
+                len: len.trim().parse().map_err(|_| bad())?,
+            })
+        })
+        .collect()
+}
+
+fn drive<S: Solver<2>>(
+    ck: &mut Checkpoint<2>,
+    solver: &S,
+    budget: &SolveBudget,
+    checkpoint_path: Option<&str>,
+    checkpoint_every: usize,
+) -> Result<BroadcastRun> {
+    let every = if checkpoint_path.is_some() {
+        checkpoint_every
+    } else {
+        0
+    };
+    let run = run_to_completion(ck, solver, budget, every, |snapshot| {
+        // `every > 0` only when a path is present.
+        snapshot.save(Path::new(checkpoint_path.expect("checkpoint path")))
+    })?;
+    if let Some(path) = checkpoint_path {
+        ck.save(Path::new(path))?;
+    }
+    Ok(run)
+}
+
+fn print_run(
+    out: &mut dyn Write,
+    run: &BroadcastRun,
+    horizon_slots: usize,
+    active: bool,
+) -> Result<()> {
+    writeln!(
+        out,
+        "{} periods of k = {} broadcasts over {} slots ({} used)",
+        run.periods, run.k, horizon_slots, run.slots_used
+    )?;
+    if active {
+        writeln!(
+            out,
+            "{:>7} {:>12} {:>12} {:>8} {:>8} {:>6} {:>5} {:>6} {:>5}",
+            "period", "reward", "mean sat.", "happy", "churned", "deliv", "lost", "retry", "degr"
+        )?;
+    } else {
+        writeln!(
+            out,
+            "{:>7} {:>12} {:>12} {:>8} {:>8}",
+            "period", "reward", "mean sat.", "happy", "churned"
+        )?;
+    }
+    for p in &run.per_period {
+        if active {
+            writeln!(
+                out,
+                "{:>7} {:>12.3} {:>11.1}% {:>8} {:>8} {:>6} {:>5} {:>6} {:>5}",
+                p.period,
+                p.reward,
+                100.0 * p.mean_fraction,
+                p.satisfied_users,
+                p.churned,
+                p.delivered,
+                p.lost_broadcasts,
+                p.retries,
+                if p.degraded { "yes" } else { "no" }
+            )?;
+        } else {
+            writeln!(
+                out,
+                "{:>7} {:>12.3} {:>11.1}% {:>8} {:>8}",
+                p.period,
+                p.reward,
+                100.0 * p.mean_fraction,
+                p.satisfied_users,
+                p.churned
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "total reward {:.3}, reward/slot {:.3}, mean satisfaction {:.1}%",
+        run.total_reward,
+        run.reward_per_slot(),
+        100.0 * run.mean_satisfaction()
+    )?;
+    if active {
+        writeln!(
+            out,
+            "degraded periods {}, lost broadcasts {}, retries {}",
+            run.degraded_periods, run.lost_broadcasts, run.retries
+        )?;
+    }
+    Ok(())
+}
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
@@ -37,89 +168,131 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let flags = parse(
         argv,
         &[
-            "n", "k", "r", "norm", "weights", "horizon", "churn", "drift", "clusters", "solver",
-            "seed", "oracle", "threads",
+            "n",
+            "k",
+            "r",
+            "norm",
+            "weights",
+            "horizon",
+            "churn",
+            "drift",
+            "clusters",
+            "solver",
+            "seed",
+            "oracle",
+            "threads",
+            "loss",
+            "outage",
+            "retries",
+            "backoff",
+            "deadline-ms",
+            "max-evals",
+            "checkpoint",
+            "checkpoint-every",
         ],
-        &[],
-    )?;
-    let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
-    install_thread_pool(&flags)?;
-    let n: usize = flags.get_or("n", 80)?;
-    let k: usize = flags.get_or("k", 4)?;
-    let r: f64 = flags.get_or("r", 1.0)?;
-    let norm = parse_norm(flags.get("norm").unwrap_or("l2"))?;
-    let weights = parse_weights(flags.get("weights").unwrap_or("diff"))?;
-    let clusters: usize = flags.get_or("clusters", 0)?;
-    let seed: u64 = flags.get_or("seed", 0)?;
-    let config = BroadcastConfig {
-        horizon_slots: flags.get_or("horizon", 48)?,
-        churn_rate: flags.get_or("churn", 0.0)?,
-        drift_rel_sigma: flags.get_or("drift", 0.0)?,
-        threshold: 0.5,
-        seed,
-    };
-    let distribution = if clusters == 0 {
-        PointDistribution::Uniform
-    } else {
-        PointDistribution::GaussianClusters {
-            clusters,
-            rel_sigma: 0.08,
-        }
-    };
-    let mut population = Population::<2>::generate(
-        n,
-        SpaceSpec::PAPER,
-        distribution,
-        weights,
-        SeedSeq::new(seed),
+        &["resume"],
     )?;
     let solver_name = flags.get("solver").unwrap_or("greedy3");
+    // greedy3's argmax over residual mass is not a candidate scan and the
+    // adaptive ladder picks its own oracles, so only greedy2 routes
+    // through --oracle / --threads; passing them elsewhere is an error
+    // rather than a silent no-op.
+    if solver_name != "greedy2" && (flags.get("oracle").is_some() || flags.get("threads").is_some())
+    {
+        return Err(CliError::Usage(format!(
+            "--oracle/--threads only apply to --solver greedy2; `{solver_name}` ignores them"
+        )));
+    }
+    let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    install_thread_pool(&flags)?;
+    let budget = parse_budget(&flags)?;
+    let faults = FaultPlan {
+        loss: flags.get_or("loss", 0.0)?,
+        outages: match flags.get("outage") {
+            Some(raw) => parse_outages(raw)?,
+            None => Vec::new(),
+        },
+        max_retries: flags.get_or("retries", FaultPlan::default().max_retries)?,
+        backoff_slots: flags.get_or("backoff", FaultPlan::default().backoff_slots)?,
+    };
+    faults
+        .validate()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let checkpoint_path = flags.get("checkpoint");
+    let checkpoint_every: usize = flags.get_or("checkpoint-every", 1)?;
+    if checkpoint_every == 0 {
+        return Err(CliError::Usage("--checkpoint-every must be >= 1".into()));
+    }
+    let mut ck: Checkpoint<2> = if flags.has("resume") {
+        let path = checkpoint_path.ok_or_else(|| {
+            CliError::Usage("--resume requires --checkpoint FILE to load from".into())
+        })?;
+        Checkpoint::load(Path::new(path))?
+    } else {
+        let n: usize = flags.get_or("n", 80)?;
+        let k: usize = flags.get_or("k", 4)?;
+        let r: f64 = flags.get_or("r", 1.0)?;
+        let norm = parse_norm(flags.get("norm").unwrap_or("l2"))?;
+        let weights = parse_weights(flags.get("weights").unwrap_or("diff"))?;
+        let clusters: usize = flags.get_or("clusters", 0)?;
+        let seed: u64 = flags.get_or("seed", 0)?;
+        let config = BroadcastConfig {
+            horizon_slots: flags.get_or("horizon", 48)?,
+            churn_rate: flags.get_or("churn", 0.0)?,
+            drift_rel_sigma: flags.get_or("drift", 0.0)?,
+            threshold: 0.5,
+            seed,
+        };
+        let distribution = if clusters == 0 {
+            PointDistribution::Uniform
+        } else {
+            PointDistribution::GaussianClusters {
+                clusters,
+                rel_sigma: 0.08,
+            }
+        };
+        let population = Population::<2>::generate(
+            n,
+            SpaceSpec::PAPER,
+            distribution,
+            weights,
+            SeedSeq::new(seed),
+        )?;
+        Checkpoint::new(&config, &faults, population, r, k, norm)?
+    };
     let run = match solver_name {
-        // greedy3's argmax over residual mass is not a candidate scan, so
-        // only greedy2 routes through the strategy.
-        "greedy2" => simulate(
+        "greedy2" => drive(
+            &mut ck,
             &LocalGreedy::new().with_oracle(strategy),
-            &mut population,
-            r,
-            k,
-            norm,
-            &config,
+            &budget,
+            checkpoint_path,
+            checkpoint_every,
         )?,
-        "greedy3" => simulate(&SimpleGreedy::new(), &mut population, r, k, norm, &config)?,
+        "greedy3" => drive(
+            &mut ck,
+            &SimpleGreedy::new(),
+            &budget,
+            checkpoint_path,
+            checkpoint_every,
+        )?,
+        "adaptive" => drive(
+            &mut ck,
+            &AdaptiveSolver::new(),
+            &budget,
+            checkpoint_path,
+            checkpoint_every,
+        )?,
         other => {
             return Err(CliError::Usage(format!(
-                "simulate supports greedy2 or greedy3, got `{other}`"
+                "simulate supports greedy2, greedy3 or adaptive, got `{other}`"
             )))
         }
     };
-    writeln!(
-        out,
-        "{} periods of k = {} broadcasts over {} slots ({} used)",
-        run.periods, run.k, config.horizon_slots, run.slots_used
-    )?;
-    writeln!(
-        out,
-        "{:>7} {:>12} {:>12} {:>8} {:>8}",
-        "period", "reward", "mean sat.", "happy", "churned"
-    )?;
-    for p in &run.per_period {
-        writeln!(
-            out,
-            "{:>7} {:>12.3} {:>11.1}% {:>8} {:>8}",
-            p.period,
-            p.reward,
-            100.0 * p.mean_fraction,
-            p.satisfied_users,
-            p.churned
-        )?;
-    }
-    writeln!(
-        out,
-        "total reward {:.3}, reward/slot {:.3}, mean satisfaction {:.1}%",
-        run.total_reward,
-        run.reward_per_slot(),
-        100.0 * run.mean_satisfaction()
-    )?;
+    // The fault/degradation columns only appear when something can
+    // actually lose a broadcast or trip a budget, so default output is
+    // byte-identical to the fault-free simulator.
+    let active = ck.faults.is_active() || !budget.is_unlimited();
+    print_run(out, &run, ck.config.horizon_slots, active)?;
     Ok(())
 }
 
@@ -132,6 +305,12 @@ mod tests {
         let mut buf = Vec::new();
         let r = run(&argv, &mut buf);
         (r, String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mmph-cli-sim-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
     }
 
     #[test]
@@ -181,6 +360,7 @@ mod tests {
         let (r, out) = run_capture(&["--help"]);
         assert!(r.is_ok());
         assert!(out.contains("OPTIONS"));
+        assert!(out.contains("FAULT INJECTION"));
     }
 
     #[test]
@@ -207,5 +387,132 @@ mod tests {
         let (_, a) = run_capture(&["--n", "15", "--horizon", "8", "--seed", "3"]);
         let (_, b) = run_capture(&["--n", "15", "--horizon", "8", "--seed", "3"]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_oracle_for_solvers_that_ignore_it() {
+        let (r, _) = run_capture(&["--solver", "greedy3", "--oracle", "par"]);
+        assert!(matches!(r, Err(CliError::Usage(_))), "{r:?}");
+        let (r, _) = run_capture(&["--solver", "adaptive", "--threads", "2"]);
+        assert!(matches!(r, Err(CliError::Usage(_))), "{r:?}");
+        // greedy3 without the inapplicable flags still works.
+        let (r, _) = run_capture(&["--n", "10", "--horizon", "4", "--k", "2"]);
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn fault_flags_add_columns_and_counters() {
+        let (r, out) = run_capture(&[
+            "--n",
+            "20",
+            "--horizon",
+            "12",
+            "--k",
+            "2",
+            "--loss",
+            "0.4",
+            "--seed",
+            "7",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("deliv"));
+        assert!(out.contains("degraded periods"));
+    }
+
+    #[test]
+    fn loss_free_output_has_no_fault_columns() {
+        let (_, out) = run_capture(&["--n", "15", "--horizon", "8", "--loss", "0"]);
+        assert!(!out.contains("deliv"));
+        assert!(!out.contains("degraded periods"));
+    }
+
+    #[test]
+    fn outage_flag_parses_and_runs() {
+        let (r, out) = run_capture(&[
+            "--n",
+            "15",
+            "--horizon",
+            "16",
+            "--k",
+            "2",
+            "--outage",
+            "0:3,8:2",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("degraded periods"));
+        let (r, _) = run_capture(&["--outage", "3"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        let (r, _) = run_capture(&["--outage", "3:0"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rejects_bad_loss() {
+        let (r, _) = run_capture(&["--loss", "1.5"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn adaptive_solver_with_budget_runs() {
+        let (r, out) = run_capture(&[
+            "--n",
+            "20",
+            "--horizon",
+            "8",
+            "--k",
+            "2",
+            "--solver",
+            "adaptive",
+            "--max-evals",
+            "0",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("degr"));
+        assert!(out.contains("yes"));
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let path = tmp("resume.json");
+        let base = [
+            "--n",
+            "20",
+            "--horizon",
+            "24",
+            "--k",
+            "2",
+            "--churn",
+            "0.1",
+            "--drift",
+            "0.02",
+            "--loss",
+            "0.2",
+            "--seed",
+            "9",
+        ];
+        let (r, reference) = run_capture(&base);
+        assert!(r.is_ok(), "{r:?}");
+        // Same run, writing checkpoints every period.
+        let (r, checkpointed) =
+            run_capture(&[&base[..], &["--checkpoint", path.to_str().unwrap()]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(reference, checkpointed);
+        // Resuming the finished checkpoint re-reports the same totals
+        // without running any further periods.
+        let (r, resumed) = run_capture(&[
+            "--checkpoint",
+            path.to_str().unwrap(),
+            "--resume",
+            "--loss",
+            "0.2",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(resumed.contains("total reward"));
+    }
+
+    #[test]
+    fn resume_requires_checkpoint_path() {
+        let (r, _) = run_capture(&["--resume"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 }

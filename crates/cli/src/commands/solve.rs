@@ -3,15 +3,18 @@
 use std::io::Write;
 use std::path::PathBuf;
 
+use mmph_core::budget::{SolveBudget, SolveOutcome, SolveStatus};
 use mmph_core::solvers::{
-    BeamSearch, ComplexGreedy, Exhaustive, KCenter, KMeans, LazyGreedy, LocalGreedy, LocalSearch,
-    RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
+    AdaptiveSolver, BeamSearch, ComplexGreedy, Exhaustive, KCenter, KMeans, LazyGreedy,
+    LocalGreedy, LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
 };
 use mmph_core::{Instance, OracleStrategy, Solution, Solver};
 use mmph_sim::scenario::Scenario;
 use mmph_sim::trace::{load_traces, InstanceTrace};
 
-use crate::args::{install_thread_pool, parse, parse_norm, parse_oracle, parse_weights, Flags};
+use crate::args::{
+    install_thread_pool, parse, parse_budget, parse_norm, parse_oracle, parse_weights, Flags,
+};
 use crate::{CliError, Result};
 
 const HELP: &str = "\
@@ -28,10 +31,13 @@ OPTIONS:
                  all three produce identical solutions
   --threads N    rayon worker threads for --oracle par (default: all cores)
   --svg FILE     write a coverage map of the (first) solution
-  --dim D        2 or 3 when using --input (default 2)";
+  --dim D        2 or 3 when using --input (default 2)
+  --deadline-ms MS  wall-clock budget per solve; past it the solver
+                 returns its best-so-far centers marked `degraded`
+  --max-evals N  objective-evaluation budget per solve (same semantics)";
 
 /// The solver registry: names accepted by `--solver`.
-pub const SOLVER_NAMES: [&str; 13] = [
+pub const SOLVER_NAMES: [&str; 14] = [
     "greedy1",
     "greedy1-sa",
     "greedy2",
@@ -45,34 +51,45 @@ pub const SOLVER_NAMES: [&str; 13] = [
     "kcenter",
     "kmeans",
     "exhaustive",
+    "adaptive",
 ];
 
-pub(crate) fn solve_by_name<const D: usize>(
+pub(crate) fn solve_outcome_by_name<const D: usize>(
     name: &str,
     inst: &Instance<D>,
     strategy: OracleStrategy,
-) -> Result<Solution<D>> {
+    budget: &SolveBudget,
+) -> Result<SolveOutcome<D>> {
     // Solvers with a candidate-scan hot path accept the strategy;
     // `lazy` is the CELF wrapper itself and greedy3/greedy4/seeded/
     // kcenter/kmeans/exhaustive have no eager scan to switch.
-    let mut sol = match name {
+    let mut out = match name {
         "greedy1" => RoundBased::grid()
             .with_oracle_strategy(strategy)
-            .solve(inst)?,
+            .solve_within(inst, budget)?,
         "greedy1-sa" => RoundBased::annealing()
             .with_oracle_strategy(strategy)
-            .solve(inst)?,
-        "greedy2" => LocalGreedy::new().with_oracle(strategy).solve(inst)?,
-        "greedy3" => SimpleGreedy::new().solve(inst)?,
-        "greedy4" => ComplexGreedy::new().solve(inst)?,
-        "lazy" => LazyGreedy::new().solve(inst)?,
-        "stochastic" => StochasticGreedy::new().with_oracle(strategy).solve(inst)?,
-        "seeded" => SeededGreedy::new().solve(inst)?,
-        "beam" => BeamSearch::new().with_oracle(strategy).solve(inst)?,
-        "local-search" => LocalSearch::new().with_oracle(strategy).solve(inst)?,
-        "kcenter" => KCenter::new().solve(inst)?,
-        "kmeans" => KMeans::new().solve(inst)?,
-        "exhaustive" => Exhaustive::new().solve(inst)?,
+            .solve_within(inst, budget)?,
+        "greedy2" => LocalGreedy::new()
+            .with_oracle(strategy)
+            .solve_within(inst, budget)?,
+        "greedy3" => SimpleGreedy::new().solve_within(inst, budget)?,
+        "greedy4" => ComplexGreedy::new().solve_within(inst, budget)?,
+        "lazy" => LazyGreedy::new().solve_within(inst, budget)?,
+        "stochastic" => StochasticGreedy::new()
+            .with_oracle(strategy)
+            .solve_within(inst, budget)?,
+        "seeded" => SeededGreedy::new().solve_within(inst, budget)?,
+        "beam" => BeamSearch::new()
+            .with_oracle(strategy)
+            .solve_within(inst, budget)?,
+        "local-search" => LocalSearch::new()
+            .with_oracle(strategy)
+            .solve_within(inst, budget)?,
+        "kcenter" => KCenter::new().solve_within(inst, budget)?,
+        "kmeans" => KMeans::new().solve_within(inst, budget)?,
+        "exhaustive" => Exhaustive::new().solve_within(inst, budget)?,
+        "adaptive" => AdaptiveSolver::new().solve_within(inst, budget)?,
         other => {
             return Err(CliError::Usage(format!(
                 "unknown solver `{other}`; run `mmph solvers`"
@@ -80,9 +97,20 @@ pub(crate) fn solve_by_name<const D: usize>(
         }
     };
     // Present the registry name so `--all` tables are unambiguous even
-    // when two registry entries share an underlying solver type.
-    sol.solver = name.to_owned();
-    Ok(sol)
+    // when two registry entries share an underlying solver type. The
+    // adaptive ladder keeps its rung-qualified name (`adaptive:greedy4`).
+    if name != "adaptive" {
+        out.solution.solver = name.to_owned();
+    }
+    Ok(out)
+}
+
+pub(crate) fn solve_by_name<const D: usize>(
+    name: &str,
+    inst: &Instance<D>,
+    strategy: OracleStrategy,
+) -> Result<Solution<D>> {
+    Ok(solve_outcome_by_name(name, inst, strategy, &SolveBudget::unlimited())?.into_solution())
 }
 
 /// `mmph solvers` — prints the registry.
@@ -102,6 +130,7 @@ pub fn list_solvers(out: &mut dyn Write) -> Result<()> {
         "kcenter" => "Gonzalez farthest-point k-center baseline",
         "kmeans" => "weighted Lloyd k-means baseline (L2 only)",
         "exhaustive" => "exact over point-located center multisets",
+        "adaptive" => "budget-aware ladder: greedy4 -> lazy -> greedy3",
         _ => "",
     };
     for name in SOLVER_NAMES {
@@ -129,10 +158,10 @@ pub(crate) fn load_or_generate_2d(flags: &Flags) -> Result<Instance<2>> {
     }
 }
 
-fn print_solutions(
+fn print_outcomes(
     out: &mut dyn Write,
     inst: &Instance<2>,
-    solutions: &[Solution<2>],
+    outcomes: &[SolveOutcome<2>],
 ) -> Result<()> {
     writeln!(
         out,
@@ -148,7 +177,8 @@ fn print_solutions(
         "{:<18} {:>12} {:>10} {:>10}",
         "solver", "reward", "% of Σw", "evals"
     )?;
-    for sol in solutions {
+    for outcome in outcomes {
+        let sol = &outcome.solution;
         writeln!(
             out,
             "{:<18} {:>12.4} {:>9.2}% {:>10}",
@@ -157,6 +187,9 @@ fn print_solutions(
             100.0 * sol.total_reward / inst.total_weight(),
             sol.evals
         )?;
+        if let SolveStatus::Degraded { reason } = &outcome.status {
+            writeln!(out, "  ^ degraded: {reason}")?;
+        }
     }
     Ok(())
 }
@@ -207,8 +240,20 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let flags = parse(
         argv,
         &[
-            "input", "solver", "svg", "n", "k", "r", "norm", "weights", "seed", "dim", "oracle",
+            "input",
+            "solver",
+            "svg",
+            "n",
+            "k",
+            "r",
+            "norm",
+            "weights",
+            "seed",
+            "dim",
+            "oracle",
             "threads",
+            "deadline-ms",
+            "max-evals",
         ],
         &["all"],
     )?;
@@ -219,23 +264,25 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         ));
     }
     let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    let budget = parse_budget(&flags)?;
     install_thread_pool(&flags)?;
     let inst = load_or_generate_2d(&flags)?;
-    let solutions: Vec<Solution<2>> = if flags.has("all") {
+    let outcomes: Vec<SolveOutcome<2>> = if flags.has("all") {
         SOLVER_NAMES
             .iter()
-            .map(|name| solve_by_name(name, &inst, strategy))
+            .map(|name| solve_outcome_by_name(name, &inst, strategy, &budget))
             .collect::<Result<_>>()?
     } else {
-        vec![solve_by_name(
+        vec![solve_outcome_by_name(
             flags.get("solver").unwrap_or("greedy3"),
             &inst,
             strategy,
+            &budget,
         )?]
     };
-    print_solutions(out, &inst, &solutions)?;
+    print_outcomes(out, &inst, &outcomes)?;
     if let Some(svg_path) = flags.get("svg") {
-        write_svg(svg_path, &inst, &solutions[0])?;
+        write_svg(svg_path, &inst, &outcomes[0].solution)?;
         writeln!(out, "coverage map written to {svg_path}")?;
     }
     Ok(())
@@ -358,6 +405,48 @@ mod tests {
     #[test]
     fn bad_threads_rejected() {
         let (r, _) = run_capture(&["--n", "10", "--threads", "0"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn adaptive_solver_reports_winning_rung() {
+        let (r, out) = run_capture(&["--n", "12", "--k", "2", "--solver", "adaptive"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("adaptive:greedy4"), "{out}");
+        assert!(!out.contains("degraded"));
+    }
+
+    #[test]
+    fn exhausted_eval_budget_marks_degraded() {
+        let (r, out) = run_capture(&[
+            "--n",
+            "12",
+            "--k",
+            "2",
+            "--solver",
+            "greedy2",
+            "--max-evals",
+            "0",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("degraded"), "{out}");
+    }
+
+    #[test]
+    fn generous_budget_output_matches_unbudgeted() {
+        let base = ["--n", "14", "--k", "2", "--solver", "greedy4"];
+        let (r, plain) = run_capture(&base);
+        assert!(r.is_ok(), "{r:?}");
+        let (r, budgeted) = run_capture(&[&base[..], &["--max-evals", "1000000"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn bad_budget_flags_rejected() {
+        let (r, _) = run_capture(&["--n", "10", "--max-evals", "lots"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        let (r, _) = run_capture(&["--n", "10", "--deadline-ms", "-3"]);
         assert!(matches!(r, Err(CliError::Usage(_))));
     }
 

@@ -1,0 +1,347 @@
+//! Budgeted, interruptible solving.
+//!
+//! The paper's system model re-solves the center-selection problem
+//! every broadcast period; in a deployed base station that re-solve has
+//! a hard deadline (the next slot). [`SolveBudget`] bounds a solve by
+//! wall-clock time and/or by objective evaluations (the oracle's shared
+//! eval counter), and [`SolveOutcome`] reports whether the solver ran
+//! to completion or degraded to its best-so-far prefix.
+//!
+//! The contract every budgeted solver upholds:
+//!
+//! * the budget is checked at least once per round (and inside the
+//!   expensive inner loops of the enumeration solvers), so overshoot is
+//!   bounded by one round of work;
+//! * on a trip the solver returns the centers committed so far — for
+//!   the greedy family this is a *prefix* of the unbudgeted selection,
+//!   so by monotonicity its objective value never exceeds the
+//!   unbudgeted value;
+//! * an already-exhausted budget (zero deadline or zero evals) yields
+//!   `Degraded` with an empty center set, never a panic.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::solver::Solution;
+
+/// Resource limits for one solve. The default is unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveBudget {
+    deadline: Option<Duration>,
+    max_evals: Option<u64>,
+}
+
+impl SolveBudget {
+    /// No limits: budgeted solving behaves exactly like `solve`.
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// Caps wall-clock time, measured from [`SolveBudget::start`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps wall-clock time in milliseconds.
+    pub fn with_deadline_ms(self, ms: u64) -> Self {
+        self.with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Caps objective evaluations (the oracle's shared eval counter).
+    pub fn with_max_evals(mut self, max_evals: u64) -> Self {
+        self.max_evals = Some(max_evals);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The configured evaluation cap, if any.
+    pub fn max_evals(&self) -> Option<u64> {
+        self.max_evals
+    }
+
+    /// True when neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_evals.is_none()
+    }
+
+    /// Starts the wall clock for this budget.
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            started: Instant::now(),
+            budget: *self,
+        }
+    }
+}
+
+/// A started [`SolveBudget`]: limits plus the instant the solve began.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetClock {
+    started: Instant,
+    budget: SolveBudget,
+}
+
+impl BudgetClock {
+    /// A clock that never trips.
+    pub fn unlimited() -> Self {
+        SolveBudget::unlimited().start()
+    }
+
+    /// Checks the budget against `evals` spent so far. Returns the
+    /// reason when a limit is reached. The eval cap trips at
+    /// `evals >= max`, so a zero-eval budget is exhausted immediately —
+    /// even for solvers whose argmax charges nothing.
+    pub fn check(&self, evals: u64) -> Option<DegradeReason> {
+        if let Some(max) = self.budget.max_evals {
+            if evals >= max {
+                return Some(DegradeReason::EvalsExhausted { evals, max });
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.started.elapsed() >= deadline {
+                return Some(DegradeReason::DeadlineExceeded {
+                    deadline_ms: deadline.as_millis() as u64,
+                });
+            }
+        }
+        None
+    }
+
+    /// True when [`BudgetClock::check`] would report a trip.
+    pub fn exceeded(&self, evals: u64) -> bool {
+        self.check(evals).is_some()
+    }
+
+    /// The budget left after spending `evals`: the remaining wall-clock
+    /// window and eval headroom, saturating at zero. Used by the
+    /// degradation ladder to hand each rung what the previous rungs
+    /// left over.
+    pub fn remaining(&self, evals: u64) -> SolveBudget {
+        SolveBudget {
+            deadline: self
+                .budget
+                .deadline
+                .map(|d| d.saturating_sub(self.started.elapsed())),
+            max_evals: self.budget.max_evals.map(|m| m.saturating_sub(evals)),
+        }
+    }
+}
+
+/// Why a budgeted solve stopped short of completion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded {
+        /// The deadline that tripped, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The objective-evaluation cap was reached.
+    EvalsExhausted {
+        /// Evaluations spent when the cap tripped.
+        evals: u64,
+        /// The configured cap.
+        max: u64,
+    },
+    /// A ladder rung panicked and was isolated by `catch_unwind`.
+    RungPanicked {
+        /// Name of the rung that panicked.
+        rung: String,
+    },
+    /// A ladder rung returned a typed error.
+    RungFailed {
+        /// Name of the rung that failed.
+        rung: String,
+        /// The error it reported.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded")
+            }
+            DegradeReason::EvalsExhausted { evals, max } => {
+                write!(f, "evaluation budget exhausted ({evals} of {max})")
+            }
+            DegradeReason::RungPanicked { rung } => write!(f, "rung `{rung}` panicked"),
+            DegradeReason::RungFailed { rung, error } => {
+                write!(f, "rung `{rung}` failed: {error}")
+            }
+        }
+    }
+}
+
+/// Whether a budgeted solve ran to completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// The solver finished its full selection within budget.
+    Completed,
+    /// The budget tripped (or a rung failed); the attached solution
+    /// holds the best-so-far centers.
+    Degraded {
+        /// Why the solve stopped short.
+        reason: DegradeReason,
+    },
+}
+
+impl SolveStatus {
+    /// True for [`SolveStatus::Completed`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SolveStatus::Completed)
+    }
+}
+
+/// The result of a budgeted solve: the (possibly partial) solution plus
+/// whether it completed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutcome<const D: usize> {
+    /// The selected centers with per-round bookkeeping. When degraded,
+    /// a valid best-so-far set (possibly empty).
+    pub solution: Solution<D>,
+    /// Completion status.
+    pub status: SolveStatus,
+}
+
+impl<const D: usize> SolveOutcome<D> {
+    /// Wraps a fully-solved solution.
+    pub fn completed(solution: Solution<D>) -> Self {
+        SolveOutcome {
+            solution,
+            status: SolveStatus::Completed,
+        }
+    }
+
+    /// Wraps a best-so-far solution with the reason it stopped.
+    pub fn degraded(solution: Solution<D>, reason: DegradeReason) -> Self {
+        SolveOutcome {
+            solution,
+            status: SolveStatus::Degraded { reason },
+        }
+    }
+
+    /// The selected centers.
+    pub fn centers(&self) -> &[mmph_geom::Point<D>] {
+        &self.solution.centers
+    }
+
+    /// Objective value of the selection (`f(centers)`).
+    pub fn value(&self) -> f64 {
+        self.solution.total_reward
+    }
+
+    /// True when the solve finished within budget.
+    pub fn is_complete(&self) -> bool {
+        self.status.is_complete()
+    }
+
+    /// Unwraps into the inner solution, discarding the status.
+    pub fn into_solution(self) -> Solution<D> {
+        self.solution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let clock = BudgetClock::unlimited();
+        assert!(clock.check(0).is_none());
+        assert!(clock.check(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn zero_eval_budget_trips_immediately() {
+        let clock = SolveBudget::unlimited().with_max_evals(0).start();
+        assert!(matches!(
+            clock.check(0),
+            Some(DegradeReason::EvalsExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_cap_trips_at_or_above_max() {
+        let clock = SolveBudget::unlimited().with_max_evals(10).start();
+        assert!(clock.check(9).is_none());
+        assert!(clock.exceeded(10));
+        assert!(clock.exceeded(11));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let clock = SolveBudget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .start();
+        assert!(matches!(
+            clock.check(0),
+            Some(DegradeReason::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let clock = SolveBudget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .start();
+        assert!(clock.check(0).is_none());
+    }
+
+    #[test]
+    fn remaining_saturates() {
+        let clock = SolveBudget::unlimited().with_max_evals(5).start();
+        assert_eq!(clock.remaining(3).max_evals(), Some(2));
+        assert_eq!(clock.remaining(9).max_evals(), Some(0));
+        assert_eq!(clock.remaining(9).deadline(), None);
+    }
+
+    #[test]
+    fn eval_cap_checked_before_deadline() {
+        // Both exhausted: the eval reason wins, deterministically.
+        let clock = SolveBudget::unlimited()
+            .with_max_evals(0)
+            .with_deadline(Duration::ZERO)
+            .start();
+        assert!(matches!(
+            clock.check(0),
+            Some(DegradeReason::EvalsExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn reasons_display() {
+        let r = DegradeReason::DeadlineExceeded { deadline_ms: 50 };
+        assert!(r.to_string().contains("50 ms"));
+        let r = DegradeReason::EvalsExhausted { evals: 7, max: 5 };
+        assert!(r.to_string().contains("7 of 5"));
+        let r = DegradeReason::RungPanicked {
+            rung: "greedy4".into(),
+        };
+        assert!(r.to_string().contains("greedy4"));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let sol = Solution::<2> {
+            solver: "s".into(),
+            centers: vec![],
+            round_gains: vec![],
+            total_reward: 0.0,
+            evals: 0,
+            assignments: None,
+        };
+        let done = SolveOutcome::completed(sol.clone());
+        assert!(done.is_complete());
+        assert_eq!(done.value(), 0.0);
+        let deg = SolveOutcome::degraded(sol, DegradeReason::EvalsExhausted { evals: 0, max: 0 });
+        assert!(!deg.is_complete());
+        assert!(deg.centers().is_empty());
+    }
+}

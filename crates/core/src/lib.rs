@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod bounds;
+pub mod budget;
 pub mod instance;
 pub mod kernel;
 pub mod oracle;
@@ -46,11 +47,45 @@ pub mod solver;
 pub mod solvers;
 pub mod submodular;
 
+pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 pub use instance::{Instance, InstanceBuilder};
 pub use kernel::Kernel;
 pub use oracle::{GainOracle, OracleStrategy, Pruning, Scored};
 pub use reward::{coverage_reward, objective, psi, Residuals};
 pub use solver::{Solution, Solver};
+
+/// Runtime failures inside a solver: conditions a malformed-but-validated
+/// instance can trigger mid-solve. Typed so callers can degrade instead
+/// of unwinding.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum SolverError {
+    /// A geometric construction (enclosing ball, projection center)
+    /// collapsed — e.g. an empty grown set.
+    #[error("solver `{solver}`: degenerate geometry: {detail}")]
+    DegenerateGeometry {
+        /// Solver name.
+        solver: &'static str,
+        /// What collapsed.
+        detail: String,
+    },
+    /// An argmax ran over an empty candidate pool.
+    #[error("solver `{solver}`: no candidates to select from: {detail}")]
+    NoCandidates {
+        /// Solver name.
+        solver: &'static str,
+        /// Which pool was empty.
+        detail: String,
+    },
+    /// A sampling distribution could not be constructed from the
+    /// instance's parameters.
+    #[error("solver `{solver}`: sampling distribution rejected: {detail}")]
+    BadDistribution {
+        /// Solver name.
+        solver: &'static str,
+        /// The distribution error.
+        detail: String,
+    },
+}
 
 /// Errors produced by instance construction and solvers.
 #[derive(Debug, Clone, PartialEq, thiserror::Error)]
@@ -74,6 +109,9 @@ pub enum CoreError {
     /// A solver parameter is out of range.
     #[error("invalid solver configuration: {0}")]
     InvalidConfig(String),
+    /// A solver hit a runtime failure mid-solve.
+    #[error(transparent)]
+    Solver(#[from] SolverError),
 }
 
 /// Convenience result alias.

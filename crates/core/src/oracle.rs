@@ -342,9 +342,14 @@ impl<'a, const D: usize> GainOracle<'a, D> {
     /// shrink, a current top dominates every other entry's true gain.
     fn argmax_lazy(&self, residuals: &Residuals) -> Scored {
         let version = residuals.version();
-        let mut state = self.lazy.lock().expect("lazy oracle poisoned");
+        // Recover from poisoning: the heap is rebuilt from scratch below
+        // if a panicked holder left it unprimed, and a primed heap only
+        // ever holds stale-able upper bounds, which re-score safely.
+        let mut state = self.lazy.lock().unwrap_or_else(|p| p.into_inner());
         if !state.primed {
-            // First call: full scan, exactly like the eager round 0.
+            // First call: full scan, exactly like the eager round 0. The
+            // clear discards any partial prime left by a poisoned holder.
+            state.heap.clear();
             for i in 0..self.instance().n() {
                 let gain = self.candidate_gain(i, residuals);
                 state.heap.push(Entry {

@@ -3,6 +3,7 @@
 use mmph_geom::Point;
 use serde::{Deserialize, Serialize};
 
+use crate::budget::{BudgetClock, SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::GainOracle;
 use crate::reward::{objective, Residuals};
@@ -17,6 +18,17 @@ pub trait Solver<const D: usize> {
     /// Solves the instance, returning the selected centers with
     /// per-round bookkeeping.
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>>;
+
+    /// Solves under a resource budget, returning the best-so-far
+    /// centers with a completion status when the budget trips.
+    ///
+    /// Every solver in this crate overrides this with a genuinely
+    /// interruptible path; the default runs `solve` to completion and
+    /// reports `Completed`, so third-party solvers keep compiling.
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
+        let _ = budget;
+        Ok(SolveOutcome::completed(self.solve(inst)?))
+    }
 }
 
 /// The output of a solve: centers in selection order plus per-round
@@ -64,24 +76,33 @@ impl<const D: usize> Solution<D> {
 
 /// Runs the shared round loop of Algorithms 1–4: `k` rounds, each round
 /// asking `pick` for a center given the oracle and current residuals,
-/// then committing it. Returns the assembled [`Solution`].
+/// then committing it. The budget is checked at every round boundary
+/// against the oracle's eval counter; on a trip the rounds committed so
+/// far — a *prefix* of the full selection — are returned as a degraded
+/// [`SolveOutcome`].
 ///
 /// `pick` receives the 0-based round number; tie-breaking and candidate
 /// policy live entirely inside it, which is the only place the four
-/// algorithms differ.
+/// algorithms differ. A `pick` error aborts the solve with that error.
 pub(crate) fn run_rounds<const D: usize>(
     name: &str,
     inst: &Instance<D>,
     oracle: &GainOracle<'_, D>,
     trace: bool,
-    mut pick: impl FnMut(&GainOracle<'_, D>, &Residuals, usize) -> Point<D>,
-) -> Solution<D> {
+    clock: &BudgetClock,
+    mut pick: impl FnMut(&GainOracle<'_, D>, &Residuals, usize) -> Result<Point<D>>,
+) -> Result<SolveOutcome<D>> {
     let mut residuals = Residuals::new(inst.n());
     let mut centers = Vec::with_capacity(inst.k());
     let mut round_gains = Vec::with_capacity(inst.k());
     let mut assignments = trace.then(Vec::new);
+    let mut tripped = None;
     for round in 0..inst.k() {
-        let c = pick(oracle, &residuals, round);
+        if let Some(reason) = clock.check(oracle.evals()) {
+            tripped = Some(reason);
+            break;
+        }
+        let c = pick(oracle, &residuals, round)?;
         if let Some(tr) = assignments.as_mut() {
             tr.push(residuals.assignments(inst, &c));
         }
@@ -90,14 +111,18 @@ pub(crate) fn run_rounds<const D: usize>(
         round_gains.push(gain);
     }
     let total_reward = round_gains.iter().sum();
-    Solution {
+    let solution = Solution {
         solver: name.to_owned(),
         centers,
         round_gains,
         total_reward,
         evals: oracle.evals(),
         assignments,
-    }
+    };
+    Ok(match tripped {
+        Some(reason) => SolveOutcome::degraded(solution, reason),
+        None => SolveOutcome::completed(solution),
+    })
 }
 
 #[cfg(test)]
@@ -119,9 +144,16 @@ mod tests {
     fn run_rounds_assembles_solution() {
         let inst = inst();
         let oracle = GainOracle::new(&inst, crate::oracle::OracleStrategy::Seq);
-        let sol = run_rounds("test", &inst, &oracle, true, |_, _, round| {
-            *inst.point(round)
-        });
+        let sol = run_rounds(
+            "test",
+            &inst,
+            &oracle,
+            true,
+            &BudgetClock::unlimited(),
+            |_, _, round| Ok(*inst.point(round)),
+        )
+        .unwrap()
+        .into_solution();
         assert_eq!(sol.solver, "test");
         assert_eq!(sol.centers.len(), 2);
         assert_eq!(sol.round_gains, vec![1.0, 2.0]);
@@ -164,7 +196,46 @@ mod tests {
     fn trace_disabled_by_default_shape() {
         let inst = inst();
         let oracle = GainOracle::new(&inst, crate::oracle::OracleStrategy::Seq);
-        let sol = run_rounds("t", &inst, &oracle, false, |_, _, _| *inst.point(0));
+        let sol = run_rounds(
+            "t",
+            &inst,
+            &oracle,
+            false,
+            &BudgetClock::unlimited(),
+            |_, _, _| Ok(*inst.point(0)),
+        )
+        .unwrap()
+        .into_solution();
         assert!(sol.assignments.is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_with_empty_prefix() {
+        let inst = inst();
+        let oracle = GainOracle::new(&inst, crate::oracle::OracleStrategy::Seq);
+        let clock = SolveBudget::unlimited().with_max_evals(0).start();
+        let out = run_rounds("t", &inst, &oracle, false, &clock, |_, _, _| {
+            panic!("pick must not run on an exhausted budget")
+        })
+        .unwrap();
+        assert!(!out.is_complete());
+        assert!(out.centers().is_empty());
+        assert_eq!(out.value(), 0.0);
+    }
+
+    #[test]
+    fn partial_budget_returns_prefix() {
+        let inst = inst();
+        let oracle = GainOracle::new(&inst, crate::oracle::OracleStrategy::Seq);
+        // One eval allowed: round 0 passes the check (0 < 1), charges an
+        // eval in pick, and round 1's check trips.
+        let clock = SolveBudget::unlimited().with_max_evals(1).start();
+        let out = run_rounds("t", &inst, &oracle, false, &clock, |o, res, _| {
+            Ok(*inst.point(o.best_candidate(res).index))
+        })
+        .unwrap();
+        assert!(!out.is_complete());
+        assert_eq!(out.centers().len(), 1);
+        assert!(out.value() > 0.0);
     }
 }

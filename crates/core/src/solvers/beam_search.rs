@@ -15,11 +15,12 @@
 
 use std::collections::HashSet;
 
+use crate::budget::{DegradeReason, SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
-use crate::{CoreError, Result};
+use crate::{CoreError, Result, SolverError};
 
 /// Beam-search solver over point-located candidates.
 #[derive(Debug, Clone)]
@@ -78,18 +79,34 @@ impl<const D: usize> Solver<D> for BeamSearch {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let n = inst.n();
         let oracle = GainOracle::new(inst, self.strategy);
+        let clock = budget.start();
+        let mut tripped: Option<DegradeReason> = None;
         let mut beam = vec![BeamState {
             chosen: Vec::new(),
             residuals: Residuals::new(n),
             round_gains: Vec::new(),
             total: 0.0,
         }];
-        for _round in 0..inst.k() {
-            // Expand: score every (state, candidate) pair.
+        'rounds: for _round in 0..inst.k() {
+            // Expand: score every (state, candidate) pair. The budget is
+            // checked before each state's candidate scan; on a trip the
+            // beam stays at the last completed round, whose best total is
+            // at most the final one (round gains are non-negative and the
+            // top-scored child always survives pruning).
             let mut scored: Vec<(f64, usize, u32)> = Vec::with_capacity(beam.len() * n);
             for (si, state) in beam.iter().enumerate() {
+                if let Some(reason) = clock.check(oracle.evals()) {
+                    tripped = Some(reason);
+                    break 'rounds;
+                }
                 let gains = oracle.score_all(&state.residuals);
                 for (cand, &gain) in gains.iter().enumerate() {
                     scored.push((state.total + gain, si, cand as u32));
@@ -124,8 +141,11 @@ impl<const D: usize> Solver<D> for BeamSearch {
         let best = beam
             .into_iter()
             .max_by(|a, b| a.total.total_cmp(&b.total))
-            .expect("beam is non-empty");
-        Ok(Solution {
+            .ok_or_else(|| SolverError::NoCandidates {
+                solver: "beam",
+                detail: "beam emptied during pruning".into(),
+            })?;
+        let sol = Solution {
             solver: Solver::<D>::name(self).to_owned(),
             centers: best
                 .chosen
@@ -136,6 +156,10 @@ impl<const D: usize> Solver<D> for BeamSearch {
             total_reward: best.total,
             evals: oracle.evals(),
             assignments: None,
+        };
+        Ok(match tripped {
+            Some(reason) => SolveOutcome::degraded(sol, reason),
+            None => SolveOutcome::completed(sol),
         })
     }
 }

@@ -22,6 +22,7 @@
 
 use mmph_geom::{Norm, Point};
 
+use crate::budget::{BudgetClock, DegradeReason, SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
@@ -82,6 +83,13 @@ impl<const D: usize> Solver<D> for KCenter {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
+        let clock = budget.start();
         let mut centers: Vec<Point<D>> = KCenter::select(inst)
             .into_iter()
             .map(|i| *inst.point(i))
@@ -90,7 +98,7 @@ impl<const D: usize> Solver<D> for KCenter {
         while centers.len() < inst.k() {
             centers.push(centers[0]);
         }
-        Ok(finish("kcenter", inst, centers))
+        Ok(finish_within("kcenter", inst, centers, &clock))
     }
 }
 
@@ -183,12 +191,19 @@ impl<const D: usize> Solver<D> for KMeans {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         if inst.norm() != Norm::L2 {
             return Err(CoreError::InvalidConfig(format!(
                 "kmeans centroids assume the L2 norm; instance uses {}",
                 inst.norm()
             )));
         }
+        let clock = budget.start();
         let mut seed: Vec<Point<D>> = KCenter::select(inst)
             .into_iter()
             .map(|i| *inst.point(i))
@@ -197,23 +212,45 @@ impl<const D: usize> Solver<D> for KMeans {
             seed.push(seed[0]);
         }
         let centers = self.lloyd(inst, seed);
-        Ok(finish("kmeans", inst, centers))
+        Ok(finish_within("kmeans", inst, centers, &clock))
     }
 }
 
 /// Packages arbitrary centers as a [`Solution`] with replayed per-round
-/// gains.
-fn finish<const D: usize>(name: &str, inst: &Instance<D>, centers: Vec<Point<D>>) -> Solution<D> {
+/// gains, checking the budget before each center is committed. Neither
+/// clustering baseline charges objective evaluations, so only a zero
+/// eval cap or an elapsed deadline can trip; the kept prefix's replayed
+/// value is at most the full set's (gains are non-negative).
+fn finish_within<const D: usize>(
+    name: &str,
+    inst: &Instance<D>,
+    centers: Vec<Point<D>>,
+    clock: &BudgetClock,
+) -> SolveOutcome<D> {
     let mut residuals = Residuals::new(inst.n());
-    let round_gains: Vec<f64> = centers.iter().map(|c| residuals.apply(inst, c)).collect();
+    let mut kept: Vec<Point<D>> = Vec::with_capacity(centers.len());
+    let mut round_gains: Vec<f64> = Vec::with_capacity(centers.len());
+    let mut tripped: Option<DegradeReason> = None;
+    for c in centers {
+        if let Some(reason) = clock.check(0) {
+            tripped = Some(reason);
+            break;
+        }
+        round_gains.push(residuals.apply(inst, &c));
+        kept.push(c);
+    }
     let total_reward = round_gains.iter().sum();
-    Solution {
+    let sol = Solution {
         solver: name.to_owned(),
-        centers,
+        centers: kept,
         round_gains,
         total_reward,
         evals: 0,
         assignments: None,
+    };
+    match tripped {
+        Some(reason) => SolveOutcome::degraded(sol, reason),
+        None => SolveOutcome::completed(sol),
     }
 }
 

@@ -32,11 +32,12 @@ use mmph_geom::l1ball::projection_center;
 use mmph_geom::welzl::min_enclosing_ball;
 use mmph_geom::{Norm, Point};
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::reward::Residuals;
 use crate::solver::{run_rounds, Solution, Solver};
-use crate::Result;
+use crate::{Result, SolverError};
 
 /// How the recentering step (step 4) computes the new center.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,16 +87,22 @@ impl ComplexGreedy {
         self
     }
 
-    fn new_center<const D: usize>(&self, grown: &[Point<D>], norm: Norm) -> Point<D> {
+    fn new_center<const D: usize>(&self, grown: &[Point<D>], norm: Norm) -> Result<Point<D>> {
         let use_ball = match self.rule {
             RecenterRule::Paper => matches!(norm, Norm::L2),
             RecenterRule::Projection => false,
             RecenterRule::EuclideanBall => true,
         };
         if use_ball {
-            min_enclosing_ball(grown).center
+            Ok(min_enclosing_ball(grown).center)
         } else {
-            projection_center(grown).expect("grown set is non-empty")
+            projection_center(grown).map_err(|e| {
+                SolverError::DegenerateGeometry {
+                    solver: "greedy4",
+                    detail: format!("projection center of the grown set: {e}"),
+                }
+                .into()
+            })
         }
     }
 
@@ -110,7 +117,7 @@ impl ComplexGreedy {
         start: usize,
         considered: &mut [bool],
         grown: &mut Vec<Point<D>>,
-    ) -> (Point<D>, f64) {
+    ) -> Result<(Point<D>, f64)> {
         let n = inst.n();
         let norm = inst.norm();
         let r = inst.radius();
@@ -144,7 +151,7 @@ impl ComplexGreedy {
             considered[best_j] = true;
             // Step 4: recenter on the grown set plus the new point.
             grown.push(*inst.point(best_j));
-            let cand = self.new_center(grown, norm);
+            let cand = self.new_center(grown, norm)?;
             // Step 5: keep only if the coverage reward improves.
             let cand_gain = oracle.gain(&cand, residuals);
             if cand_gain > gain {
@@ -154,7 +161,7 @@ impl ComplexGreedy {
                 grown.pop(); // rejected: the point does not join the disk
             }
         }
-        (center, gain)
+        Ok((center, gain))
     }
 }
 
@@ -164,32 +171,48 @@ impl<const D: usize> Solver<D> for ComplexGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         // The growth iteration is inherently sequential per start point
         // (each recenter depends on the previous acceptance), so the
         // oracle serves as the shared gain evaluator and eval counter.
         let oracle = GainOracle::new(inst, OracleStrategy::Seq);
         let mut considered = vec![false; inst.n()];
         let mut grown: Vec<Point<D>> = Vec::with_capacity(inst.n());
-        Ok(run_rounds(
+        let clock = budget.start();
+        run_rounds(
             Solver::<D>::name(self),
             inst,
             &oracle,
             self.trace,
+            &clock,
             |oracle, residuals, _| {
                 let mut best_c = *inst.point(0);
                 let mut best_gain = f64::NEG_INFINITY;
                 for start in 0..inst.n() {
                     let (c, gain) =
-                        self.grow(inst, oracle, residuals, start, &mut considered, &mut grown);
+                        self.grow(inst, oracle, residuals, start, &mut considered, &mut grown)?;
                     // Strict `>` keeps the smallest start index on ties.
                     if gain > best_gain {
                         best_gain = gain;
                         best_c = c;
                     }
+                    // A round is O(n³); stop scanning start points once
+                    // the budget trips. The committed center is the best
+                    // grown so far — its gain is at most the full argmax,
+                    // so the degraded value stays below the unbudgeted
+                    // one, and the boundary check ends the solve next.
+                    if start + 1 < inst.n() && clock.exceeded(oracle.evals()) {
+                        break;
+                    }
                 }
-                best_c
+                Ok(best_c)
             },
-        ))
+        )
     }
 }
 

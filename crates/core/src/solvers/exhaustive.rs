@@ -21,13 +21,14 @@
 use mmph_geom::Point;
 use rayon::prelude::*;
 
+use crate::budget::{BudgetClock, DegradeReason, SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 #[cfg(test)]
 use crate::instance::InstanceBuilder;
 use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
 use crate::solvers::combinations::{for_each_multicombination_with_first, multiset_count};
-use crate::{CoreError, Result};
+use crate::{CoreError, Result, SolverError};
 
 /// Exact maximizer of `f` over k-multisets of a finite candidate pool
 /// (the instance points, optionally extended).
@@ -175,12 +176,54 @@ fn search_slice<const D: usize>(
     best
 }
 
+/// Budgeted slice search: stops evaluating once the clock trips, keeping
+/// the best combination seen so far. The best over a lexicographic prefix
+/// of the enumeration is at most the global optimum, so a degraded result
+/// never exceeds the unbudgeted one.
+fn search_slice_budgeted<const D: usize>(
+    inst: &Instance<D>,
+    cands: &[Point<D>],
+    k: usize,
+    first: usize,
+    clock: &BudgetClock,
+    base_evals: u64,
+    tripped: &mut Option<DegradeReason>,
+) -> SliceBest {
+    let mut best = SliceBest {
+        obj: f64::NEG_INFINITY,
+        combo: Vec::new(),
+        evals: 0,
+    };
+    for_each_multicombination_with_first(cands.len(), k, first, |combo| {
+        if tripped.is_some() {
+            return;
+        }
+        if let Some(reason) = clock.check(base_evals + best.evals) {
+            *tripped = Some(reason);
+            return;
+        }
+        best.evals += 1;
+        let obj = objective_of_combo(inst, cands, combo);
+        if obj > best.obj {
+            best.obj = obj;
+            best.combo = combo.to_vec();
+        }
+    });
+    best
+}
+
 impl<const D: usize> Solver<D> for Exhaustive {
     fn name(&self) -> &'static str {
         "exhaustive"
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let cands = self.candidates(inst);
         let k = inst.k();
         let total = multiset_count(cands.len(), k);
@@ -191,17 +234,35 @@ impl<const D: usize> Solver<D> for Exhaustive {
                 self.max_combinations
             )));
         }
+        let clock = budget.start();
+        let mut tripped: Option<DegradeReason> = None;
         let firsts: Vec<usize> = (0..cands.len()).collect();
-        let slices: Vec<SliceBest> = if self.parallel {
+        // A budgeted run enumerates sequentially so the evaluated prefix
+        // (and thus the committed best-so-far) is deterministic under an
+        // eval cap.
+        let slices: Vec<SliceBest> = if self.parallel && budget.is_unlimited() {
             firsts
                 .par_iter()
                 .map(|&f| search_slice(inst, &cands, k, f))
                 .collect()
         } else {
-            firsts
-                .iter()
-                .map(|&f| search_slice(inst, &cands, k, f))
-                .collect()
+            let mut out = Vec::with_capacity(firsts.len());
+            let mut evals_so_far = 0u64;
+            for &f in &firsts {
+                if tripped.is_none() {
+                    if let Some(reason) = clock.check(evals_so_far) {
+                        tripped = Some(reason);
+                    }
+                }
+                if tripped.is_some() {
+                    break;
+                }
+                let s =
+                    search_slice_budgeted(inst, &cands, k, f, &clock, evals_so_far, &mut tripped);
+                evals_so_far += s.evals;
+                out.push(s);
+            }
+            out
         };
         // Deterministic reduction in first-index order.
         let mut best: Option<&SliceBest> = None;
@@ -212,20 +273,38 @@ impl<const D: usize> Solver<D> for Exhaustive {
                 best = Some(s);
             }
         }
-        let best = best.expect("at least one slice");
-        let centers: Vec<Point<D>> = best.combo.iter().map(|&c| cands[c]).collect();
+        let centers: Vec<Point<D>> = match best {
+            Some(b) if !b.combo.is_empty() => b.combo.iter().map(|&c| cands[c]).collect(),
+            // No combination evaluated: only legal when the budget tripped
+            // before the first evaluation — return an empty prefix.
+            _ if tripped.is_some() => Vec::new(),
+            _ => {
+                return Err(SolverError::NoCandidates {
+                    solver: "exhaustive",
+                    detail: format!(
+                        "no combination enumerated over {} candidates with k = {k}",
+                        cands.len()
+                    ),
+                }
+                .into())
+            }
+        };
         // Present per-round gains by replaying the chosen set through the
         // residual machine (order = combination order); the sum equals f.
         let mut residuals = Residuals::new(inst.n());
         let round_gains: Vec<f64> = centers.iter().map(|c| residuals.apply(inst, c)).collect();
         let total_reward = round_gains.iter().sum();
-        Ok(Solution {
+        let sol = Solution {
             solver: Solver::<D>::name(self).to_owned(),
             centers,
             round_gains,
             total_reward,
             evals,
             assignments: None,
+        };
+        Ok(match tripped {
+            Some(reason) => SolveOutcome::degraded(sol, reason),
+            None => SolveOutcome::completed(sol),
         })
     }
 }

@@ -17,6 +17,7 @@
 //! candidates after round 1. The saving is quantified by the
 //! `ablation_lazy_greedy` bench.
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{run_rounds, Solution, Solver};
@@ -47,14 +48,22 @@ impl<const D: usize> Solver<D> for LazyGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let oracle = GainOracle::new(inst, OracleStrategy::Lazy);
-        Ok(run_rounds(
+        let clock = budget.start();
+        run_rounds(
             Solver::<D>::name(self),
             inst,
             &oracle,
             self.trace,
-            |oracle, residuals, _| *inst.point(oracle.best_candidate(residuals).index),
-        ))
+            &clock,
+            |oracle, residuals, _| Ok(*inst.point(oracle.best_candidate(residuals).index)),
+        )
     }
 }
 

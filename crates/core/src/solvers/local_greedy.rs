@@ -13,6 +13,7 @@
 //! with CELF lazy evaluation depending on the configured
 //! [`OracleStrategy`].
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy, Pruning};
 use crate::solver::{run_rounds, Solution, Solver};
@@ -94,14 +95,22 @@ impl<const D: usize> Solver<D> for LocalGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let oracle = self.oracle(inst);
-        Ok(run_rounds(
+        let clock = budget.start();
+        run_rounds(
             Solver::<D>::name(self),
             inst,
             &oracle,
             self.trace,
-            |oracle, residuals, _| *inst.point(oracle.best_candidate(residuals).index),
-        ))
+            &clock,
+            |oracle, residuals, _| Ok(*inst.point(oracle.best_candidate(residuals).index)),
+        )
     }
 }
 

@@ -12,6 +12,7 @@
 //! polish recovers (`ablation` benches compare against greedy 2 and
 //! the exhaustive optimum).
 
+use crate::budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{Solution, Solver};
@@ -67,16 +68,43 @@ impl<const D: usize> Solver<D> for LocalSearch {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
-        // Seed with Algorithm 2.
-        let seed = LocalGreedy::new().with_oracle(self.strategy).solve(inst)?;
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
+        let clock = budget.start();
+        // Seed with Algorithm 2 under the same budget; if the seed phase
+        // already degrades, skip the polish and pass its prefix through.
+        let seed_outcome = LocalGreedy::new()
+            .with_oracle(self.strategy)
+            .solve_within(inst, budget)?;
+        let seed_status = seed_outcome.status.clone();
+        let seed = seed_outcome.into_solution();
+        if let SolveStatus::Degraded { reason } = seed_status {
+            let sol = Solution {
+                solver: Solver::<D>::name(self).to_owned(),
+                ..seed
+            };
+            return Ok(SolveOutcome::degraded(sol, reason));
+        }
         // All swap evaluations flow through the oracle so the reported
         // `evals` uses one consistent metric (seed scans + swap scores).
         let oracle = GainOracle::new(inst, self.strategy);
         let mut centers = seed.centers;
         let mut best_f = seed.total_reward;
-        for _pass in 0..self.max_passes {
+        let mut tripped: Option<DegradeReason> = None;
+        // A mid-pass trip discards the uncommitted best_swap and returns
+        // the last committed centers; commit values only ever increase,
+        // so the degraded value is at most the unbudgeted one.
+        'passes: for _pass in 0..self.max_passes {
             let mut best_swap: Option<(usize, usize, f64)> = None;
             for slot in 0..centers.len() {
+                if let Some(reason) = clock.check(seed.evals + oracle.evals()) {
+                    tripped = Some(reason);
+                    break 'passes;
+                }
                 let original = centers[slot];
                 for cand in 0..inst.n() {
                     let p = *inst.point(cand);
@@ -105,13 +133,17 @@ impl<const D: usize> Solver<D> for LocalSearch {
         let mut residuals = crate::reward::Residuals::new(inst.n());
         let round_gains: Vec<f64> = centers.iter().map(|c| residuals.apply(inst, c)).collect();
         let total_reward = round_gains.iter().sum();
-        Ok(Solution {
+        let sol = Solution {
             solver: Solver::<D>::name(self).to_owned(),
             centers,
             round_gains,
             total_reward,
             evals: seed.evals + oracle.evals(),
             assignments: None,
+        };
+        Ok(match tripped {
+            Some(reason) => SolveOutcome::degraded(sol, reason),
+            None => SolveOutcome::completed(sol),
         })
     }
 }

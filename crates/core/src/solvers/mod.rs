@@ -19,7 +19,10 @@
 //! * [`KCenter`] / [`KMeans`] — facility-location clustering baselines.
 //! * [`BeamSearch`] — width-B beam over point candidates (greedy ⊂ beam
 //!   ⊂ exhaustive).
+//! * [`AdaptiveSolver`] — budget-aware degradation ladder
+//!   (greedy4 → greedy2-lazy → greedy3) with panic isolation.
 
+mod adaptive;
 mod beam_search;
 mod clustering;
 mod complex_greedy;
@@ -34,6 +37,7 @@ mod stochastic_greedy;
 
 pub mod combinations;
 
+pub use adaptive::AdaptiveSolver;
 pub use beam_search::BeamSearch;
 pub use clustering::{KCenter, KMeans};
 pub use complex_greedy::{ComplexGreedy, RecenterRule};

@@ -20,11 +20,12 @@ use mmph_geom::{Aabb, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::reward::Residuals;
 use crate::solver::{run_rounds, Solution, Solver};
-use crate::Result;
+use crate::{Result, SolverError};
 
 /// An (approximate) optimizer for the round subproblem of Eq. (10):
 /// propose a center anywhere in space maximizing the coverage reward
@@ -33,8 +34,14 @@ pub trait RoundOracle<const D: usize> {
     /// Oracle identifier for experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Proposes a center for the given round.
-    fn propose(&self, oracle: &GainOracle<'_, D>, residuals: &Residuals, round: usize) -> Point<D>;
+    /// Proposes a center for the given round. Errors abort the solve
+    /// with a typed [`SolverError`] instead of panicking.
+    fn propose(
+        &self,
+        oracle: &GainOracle<'_, D>,
+        residuals: &Residuals,
+        round: usize,
+    ) -> Result<Point<D>>;
 }
 
 /// Multi-level grid search: evaluate a `resolution^D` lattice over the
@@ -78,7 +85,7 @@ impl<const D: usize> RoundOracle<D> for GridOracle {
         oracle: &GainOracle<'_, D>,
         residuals: &Residuals,
         _round: usize,
-    ) -> Point<D> {
+    ) -> Result<Point<D>> {
         let inst = oracle.instance();
         let mut bbox = inst.bounding_box();
         let mut best_c = bbox.center();
@@ -134,7 +141,7 @@ impl<const D: usize> RoundOracle<D> for GridOracle {
             }
             bbox = Aabb::new(Point::new(lo), Point::new(hi));
         }
-        best_c
+        Ok(best_c)
     }
 }
 
@@ -207,7 +214,12 @@ impl<const D: usize> RoundOracle<D> for MultistartOracle {
         "multistart"
     }
 
-    fn propose(&self, oracle: &GainOracle<'_, D>, residuals: &Residuals, round: usize) -> Point<D> {
+    fn propose(
+        &self,
+        oracle: &GainOracle<'_, D>,
+        residuals: &Residuals,
+        round: usize,
+    ) -> Result<Point<D>> {
         let inst = oracle.instance();
         let bbox = inst.bounding_box();
         // Seeds: heaviest residual points...
@@ -229,7 +241,14 @@ impl<const D: usize> RoundOracle<D> for MultistartOracle {
             }
             seeds.push(Point::new(coords));
         }
-        let mut best_c = seeds[0];
+        let Some(&first) = seeds.first() else {
+            return Err(SolverError::NoCandidates {
+                solver: "greedy1",
+                detail: "multistart oracle produced no seeds".into(),
+            }
+            .into());
+        };
+        let mut best_c = first;
         let mut best_gain = f64::NEG_INFINITY;
         for s in seeds {
             let (c, gain) = self.refine(oracle, residuals, s);
@@ -238,7 +257,7 @@ impl<const D: usize> RoundOracle<D> for MultistartOracle {
                 best_c = c;
             }
         }
-        best_c
+        Ok(best_c)
     }
 }
 
@@ -275,7 +294,12 @@ impl<const D: usize> RoundOracle<D> for AnnealingOracle {
         "annealing"
     }
 
-    fn propose(&self, oracle: &GainOracle<'_, D>, residuals: &Residuals, round: usize) -> Point<D> {
+    fn propose(
+        &self,
+        oracle: &GainOracle<'_, D>,
+        residuals: &Residuals,
+        round: usize,
+    ) -> Result<Point<D>> {
         use rand_distr::{Distribution, Normal};
         let inst = oracle.instance();
         let r = inst.radius();
@@ -294,7 +318,10 @@ impl<const D: usize> RoundOracle<D> for AnnealingOracle {
         let mut current_gain = oracle.gain(&current, residuals);
         let mut best = current;
         let mut best_gain = current_gain;
-        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        let normal = Normal::new(0.0, 1.0).map_err(|e| SolverError::BadDistribution {
+            solver: "greedy1",
+            detail: format!("unit normal: {e:?}"),
+        })?;
         let mut scale = self.initial_scale * r;
         // Temperature tied to the gain scale so acceptance is
         // problem-size independent.
@@ -318,7 +345,7 @@ impl<const D: usize> RoundOracle<D> for AnnealingOracle {
             scale = (scale * self.cooling).max(1e-4 * r);
             temperature = (temperature * self.cooling).max(1e-9);
         }
-        best
+        Ok(best)
     }
 }
 
@@ -337,10 +364,10 @@ impl<const D: usize> RoundOracle<D> for CandidateOracle {
         oracle: &GainOracle<'_, D>,
         residuals: &Residuals,
         _round: usize,
-    ) -> Point<D> {
-        *oracle
+    ) -> Result<Point<D>> {
+        Ok(*oracle
             .instance()
-            .point(oracle.best_candidate(residuals).index)
+            .point(oracle.best_candidate(residuals).index))
     }
 }
 
@@ -409,14 +436,22 @@ impl<O: RoundOracle<D>, const D: usize> Solver<D> for RoundBased<O> {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let oracle = GainOracle::new(inst, self.strategy);
-        Ok(run_rounds(
+        let clock = budget.start();
+        run_rounds(
             Solver::<D>::name(self),
             inst,
             &oracle,
             self.trace,
+            &clock,
             |oracle, residuals, round| self.oracle.propose(oracle, residuals, round),
-        ))
+        )
     }
 }
 

@@ -11,12 +11,13 @@
 use mmph_geom::Point;
 use rayon::prelude::*;
 
+use crate::budget::{DegradeReason, SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::reward::Residuals;
 use crate::solver::{Solution, Solver};
 use crate::solvers::combinations::{for_each_multicombination, multiset_count};
-use crate::{CoreError, Result};
+use crate::{CoreError, Result, SolverError};
 
 /// Greedy with an exhaustively enumerated size-`t` prefix.
 #[derive(Debug, Clone)]
@@ -87,6 +88,12 @@ impl<const D: usize> Solver<D> for SeededGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let t = self.prefix.min(inst.k());
         let total = multiset_count(inst.n(), t);
         if total > self.max_prefixes {
@@ -98,16 +105,33 @@ impl<const D: usize> Solver<D> for SeededGreedy {
         // Materialize the prefixes (cheap relative to completions).
         let mut prefixes: Vec<Vec<usize>> = Vec::new();
         for_each_multicombination(inst.n(), t, |p| prefixes.push(p.to_vec()));
+        let clock = budget.start();
+        let mut tripped: Option<DegradeReason> = None;
         let run = |prefix: &Vec<usize>| {
             let (centers, gains, evals) = self.complete(inst, prefix);
             let total: f64 = gains.iter().sum();
             (total, centers, gains, evals)
         };
-        let results: Vec<(f64, Vec<Point<D>>, Vec<f64>, u64)> = if self.parallel {
-            prefixes.par_iter().map(run).collect()
-        } else {
-            prefixes.iter().map(run).collect()
-        };
+        // A budgeted run scans prefixes sequentially and keeps the best
+        // fully-completed one; the max over a prefix of the enumeration
+        // is at most the max over all of it.
+        let results: Vec<(f64, Vec<Point<D>>, Vec<f64>, u64)> =
+            if self.parallel && budget.is_unlimited() {
+                prefixes.par_iter().map(run).collect()
+            } else {
+                let mut out = Vec::with_capacity(prefixes.len());
+                let mut evals_so_far = 0u64;
+                for p in &prefixes {
+                    if let Some(reason) = clock.check(evals_so_far) {
+                        tripped = Some(reason);
+                        break;
+                    }
+                    let r = run(p);
+                    evals_so_far += r.3;
+                    out.push(r);
+                }
+                out
+            };
         let mut evals = 0;
         let mut best: Option<&(f64, Vec<Point<D>>, Vec<f64>, u64)> = None;
         for r in &results {
@@ -118,15 +142,32 @@ impl<const D: usize> Solver<D> for SeededGreedy {
                 best = Some(r);
             }
         }
-        let (total_reward, centers, round_gains, _) =
-            best.expect("at least the empty prefix").clone();
-        Ok(Solution {
+        let (total_reward, centers, round_gains) = match best {
+            Some((total, centers, gains, _)) => (*total, centers.clone(), gains.clone()),
+            // Tripped before the first completion: empty prefix.
+            None if tripped.is_some() => (0.0, Vec::new(), Vec::new()),
+            None => {
+                return Err(SolverError::NoCandidates {
+                    solver: "greedy2-seeded",
+                    detail: format!(
+                        "no prefix of length {t} enumerated over {} points",
+                        inst.n()
+                    ),
+                }
+                .into())
+            }
+        };
+        let sol = Solution {
             solver: Solver::<D>::name(self).to_owned(),
             centers,
             round_gains,
             total_reward,
             evals,
             assignments: None,
+        };
+        Ok(match tripped {
+            Some(reason) => SolveOutcome::degraded(sol, reason),
+            None => SolveOutcome::completed(sol),
         })
     }
 }

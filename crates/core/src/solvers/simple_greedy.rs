@@ -9,6 +9,7 @@
 //!
 //! Ties break toward the smaller index, as the paper specifies.
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{run_rounds, Solution, Solver};
@@ -55,16 +56,24 @@ impl<const D: usize> Solver<D> for SimpleGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         // The w·y argmax is residual bookkeeping, not a coverage-reward
         // evaluation, so the strategy is irrelevant here: `evals` stays 0.
         let oracle = GainOracle::new(inst, OracleStrategy::Seq);
-        Ok(run_rounds(
+        let clock = budget.start();
+        run_rounds(
             Solver::<D>::name(self),
             inst,
             &oracle,
             self.trace,
-            |oracle, residuals, _| *inst.point(oracle.best_residual_point(residuals).index),
-        ))
+            &clock,
+            |oracle, residuals, _| Ok(*inst.point(oracle.best_residual_point(residuals).index)),
+        )
     }
 }
 

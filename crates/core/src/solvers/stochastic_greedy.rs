@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
 
+use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::solver::{run_rounds, Solution, Solver};
@@ -88,20 +89,28 @@ impl<const D: usize> Solver<D> for StochasticGreedy {
     }
 
     fn solve(&self, inst: &Instance<D>) -> Result<Solution<D>> {
+        Ok(self
+            .solve_within(inst, &SolveBudget::unlimited())?
+            .into_solution())
+    }
+
+    fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let oracle = GainOracle::new(inst, self.strategy);
         let s = self.sample_size(inst.n(), inst.k());
         let mut rng = StdRng::seed_from_u64(self.seed);
-        Ok(run_rounds(
+        let clock = budget.start();
+        run_rounds(
             Solver::<D>::name(self),
             inst,
             &oracle,
             self.trace,
+            &clock,
             |oracle, residuals, _| {
                 let mut chosen: Vec<usize> = sample(&mut rng, inst.n(), s).into_vec();
                 chosen.sort_unstable(); // deterministic index tie-break
-                *inst.point(oracle.best_among(&chosen, residuals).index)
+                Ok(*inst.point(oracle.best_among(&chosen, residuals).index))
             },
-        ))
+        )
     }
 }
 

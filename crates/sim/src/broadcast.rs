@@ -16,9 +16,29 @@
 //!
 //! The per-slot satisfaction rate aggregated by [`BroadcastRun`] is the
 //! quantity that makes different `k` values comparable.
+//!
+//! ## Fault injection and checkpointing
+//!
+//! Real base stations lose broadcasts and go down for maintenance. A
+//! seeded [`FaultPlan`] adds per-slot broadcast loss (with bounded
+//! retry-with-backoff against the remaining horizon) and base-station
+//! [`OutageWindow`]s; a per-period [`mmph_core::SolveBudget`] models
+//! solver-deadline pressure. The fault stream is drawn from a dedicated
+//! `"faults"` RNG stream, so an inactive plan leaves the dynamics
+//! stream — and therefore every existing output — untouched.
+//!
+//! The whole simulation state is a serializable [`Checkpoint`]:
+//! population, both RNG states, the slot cursor and accumulated
+//! metrics. [`step_period`] advances it one period at a time, so a run
+//! interrupted at any period boundary and resumed from a saved
+//! checkpoint reproduces the exact same [`BroadcastRun`] as an
+//! uninterrupted one.
 
-use mmph_core::{Instance, Solver};
-use mmph_geom::Point;
+use std::path::Path;
+
+use mmph_core::{Instance, SolveBudget, Solver};
+use mmph_geom::{Norm, Point};
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
@@ -85,6 +105,94 @@ impl BroadcastConfig {
     }
 }
 
+/// A half-open window `[start, start + len)` of global slot indices
+/// during which the base station is down and cannot broadcast. Slots in
+/// an outage still consume horizon time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First slot of the outage.
+    pub start: usize,
+    /// Number of consecutive down slots.
+    pub len: usize,
+}
+
+impl OutageWindow {
+    /// Whether `slot` falls inside the window.
+    pub fn contains(&self, slot: usize) -> bool {
+        slot >= self.start && slot - self.start < self.len
+    }
+}
+
+/// Seeded, deterministic fault model for the broadcast channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-slot probability that a broadcast is lost. In `[0, 1]`.
+    pub loss: f64,
+    /// Base-station outage windows (global slot indices).
+    pub outages: Vec<OutageWindow>,
+    /// How many times a lost broadcast is retried before the center is
+    /// given up for the period.
+    pub max_retries: u32,
+    /// Idle slots consumed before each retry (bounded by the remaining
+    /// horizon).
+    pub backoff_slots: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            loss: 0.0,
+            outages: Vec::new(),
+            max_retries: 2,
+            backoff_slots: 1,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no loss, no outages.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan can perturb a run at all. An inactive plan
+    /// never draws from the fault RNG stream, keeping fault-free runs
+    /// bit-identical to the pre-fault simulator.
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || !self.outages.is_empty()
+    }
+
+    /// Validates the plan.
+    pub fn validate(&self) -> Result<()> {
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(SimError::InvalidConfig(format!(
+                "fault loss probability must be in [0, 1], got {}",
+                self.loss
+            )));
+        }
+        for w in &self.outages {
+            if w.len == 0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "outage window at slot {} has zero length",
+                    w.start
+                )));
+            }
+            if w.start.checked_add(w.len).is_none() {
+                return Err(SimError::InvalidConfig(format!(
+                    "outage window at slot {} overflows the slot range",
+                    w.start
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the station is down at `slot`.
+    pub fn in_outage(&self, slot: usize) -> bool {
+        self.outages.iter().any(|w| w.contains(slot))
+    }
+}
+
 /// Statistics for one broadcast period.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PeriodStats {
@@ -98,6 +206,23 @@ pub struct PeriodStats {
     pub satisfied_users: usize,
     /// Users that churned *before* this period.
     pub churned: usize,
+    /// Centers actually delivered this period (equals `k` without
+    /// faults).
+    #[serde(default)]
+    pub delivered: usize,
+    /// Broadcast attempts lost to the channel this period.
+    #[serde(default)]
+    pub lost_broadcasts: usize,
+    /// Retries spent on lost broadcasts this period.
+    #[serde(default)]
+    pub retries: usize,
+    /// Slots consumed by base-station outages this period.
+    #[serde(default)]
+    pub outage_slots: usize,
+    /// Whether the solver degraded (budget trip or ladder step-down)
+    /// this period.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The outcome of a full broadcast simulation.
@@ -113,6 +238,15 @@ pub struct BroadcastRun {
     pub per_period: Vec<PeriodStats>,
     /// Total reward across the horizon.
     pub total_reward: f64,
+    /// Periods in which the solver degraded under its budget.
+    #[serde(default)]
+    pub degraded_periods: usize,
+    /// Broadcasts lost to the channel across the horizon.
+    #[serde(default)]
+    pub lost_broadcasts: usize,
+    /// Retries spent across the horizon.
+    #[serde(default)]
+    pub retries: usize,
 }
 
 impl BroadcastRun {
@@ -137,7 +271,7 @@ impl BroadcastRun {
 }
 
 /// A dynamic population of users inside a space.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Population<const D: usize> {
     space: SpaceSpec,
     distribution: PointDistribution,
@@ -228,8 +362,219 @@ impl<const D: usize> Population<D> {
     }
 }
 
+/// The full serializable state of an in-flight broadcast simulation.
+///
+/// A checkpoint written after period `p` and resumed produces the exact
+/// same [`BroadcastRun`] as a run that was never interrupted: both RNG
+/// streams are captured as raw generator states and the population,
+/// slot cursor and accumulated metrics ride along.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint<const D: usize> {
+    /// Dynamics configuration.
+    pub config: BroadcastConfig,
+    /// Fault model.
+    pub faults: FaultPlan,
+    /// Broadcast radius.
+    pub r: f64,
+    /// Broadcasts per period.
+    pub k: usize,
+    /// Distance norm.
+    pub norm: Norm,
+    /// Current user population.
+    pub population: Population<D>,
+    /// Raw state of the churn/drift RNG stream.
+    pub dynamics_state: [u64; 4],
+    /// Raw state of the fault RNG stream.
+    pub faults_state: [u64; 4],
+    /// Next period to simulate.
+    pub next_period: usize,
+    /// Global slot cursor (slots consumed so far).
+    pub slot: usize,
+    /// Completed per-period statistics.
+    pub per_period: Vec<PeriodStats>,
+    /// Accumulated reward.
+    pub total_reward: f64,
+}
+
+impl<const D: usize> Checkpoint<D> {
+    /// Fresh simulation state at period 0.
+    pub fn new(
+        config: &BroadcastConfig,
+        faults: &FaultPlan,
+        population: Population<D>,
+        r: f64,
+        k: usize,
+        norm: Norm,
+    ) -> Result<Self> {
+        config.validate()?;
+        faults.validate()?;
+        if k == 0 {
+            return Err(SimError::InvalidConfig("k must be >= 1".into()));
+        }
+        let seeds = SeedSeq::new(config.seed);
+        Ok(Checkpoint {
+            config: config.clone(),
+            faults: faults.clone(),
+            r,
+            k,
+            norm,
+            population,
+            dynamics_state: seeds.stream("dynamics").rng().state(),
+            faults_state: seeds.stream("faults").rng().state(),
+            next_period: 0,
+            slot: 0,
+            per_period: Vec::new(),
+            total_reward: 0.0,
+        })
+    }
+
+    /// Whether another full period fits into the horizon.
+    pub fn finished(&self) -> bool {
+        self.slot + self.k > self.config.horizon_slots
+    }
+
+    /// Assembles the (possibly partial) run accumulated so far.
+    pub fn run(&self) -> BroadcastRun {
+        BroadcastRun {
+            k: self.k,
+            periods: self.next_period,
+            slots_used: self.slot,
+            per_period: self.per_period.clone(),
+            total_reward: self.total_reward,
+            degraded_periods: self.per_period.iter().filter(|p| p.degraded).count(),
+            lost_broadcasts: self.per_period.iter().map(|p| p.lost_broadcasts).sum(),
+            retries: self.per_period.iter().map(|p| p.retries).sum(),
+        }
+    }
+
+    /// Writes the checkpoint as JSON.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint written by [`Checkpoint::save`].
+    pub fn load(path: &Path) -> Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let ck: Checkpoint<D> = serde_json::from_str(&json)?;
+        ck.config.validate()?;
+        ck.faults.validate()?;
+        Ok(ck)
+    }
+}
+
+/// Advances the simulation by one period: churn/drift, solve under the
+/// budget, broadcast each chosen center through the fault model, score
+/// what was delivered. Returns `false` (without touching the state)
+/// when no full period fits into the remaining horizon.
+pub fn step_period<const D: usize, S: Solver<D>>(
+    ck: &mut Checkpoint<D>,
+    solver: &S,
+    budget: &SolveBudget,
+) -> Result<bool> {
+    if ck.finished() {
+        return Ok(false);
+    }
+    let horizon = ck.config.horizon_slots;
+    let period = ck.next_period;
+    let seeds = SeedSeq::new(ck.config.seed);
+    let mut dynamics = StdRng::from_state(ck.dynamics_state);
+    let churned = if period > 0 {
+        let c = ck.population.churn(
+            ck.config.churn_rate,
+            &mut dynamics,
+            seeds.child(period as u64),
+        )?;
+        ck.population
+            .drift(ck.config.drift_rel_sigma, &mut dynamics)?;
+        c
+    } else {
+        0
+    };
+    let inst = ck.population.instance(ck.r, ck.k, ck.norm)?;
+    let outcome = solver.solve_within(&inst, budget)?;
+    let degraded = !outcome.is_complete();
+    let centers = outcome.into_solution().centers;
+    // Broadcast phase: each center needs one clear slot; lost slots are
+    // retried (with backoff) up to the plan's bound, and only against
+    // slots still left in the horizon.
+    let mut delivered: Vec<Point<D>> = Vec::with_capacity(centers.len());
+    let mut lost = 0usize;
+    let mut retries = 0usize;
+    let mut outage_slots = 0usize;
+    if ck.faults.is_active() {
+        let mut faults_rng = StdRng::from_state(ck.faults_state);
+        'centers: for c in &centers {
+            let mut failures = 0u32;
+            loop {
+                while ck.slot < horizon && ck.faults.in_outage(ck.slot) {
+                    ck.slot += 1;
+                    outage_slots += 1;
+                }
+                if ck.slot >= horizon {
+                    break 'centers;
+                }
+                ck.slot += 1;
+                if ck.faults.loss > 0.0 && faults_rng.gen_bool(ck.faults.loss) {
+                    lost += 1;
+                    failures += 1;
+                    if failures > ck.faults.max_retries {
+                        break; // center given up for this period
+                    }
+                    retries += 1;
+                    ck.slot = (ck.slot + ck.faults.backoff_slots).min(horizon);
+                    continue;
+                }
+                delivered.push(*c);
+                break;
+            }
+        }
+        ck.faults_state = faults_rng.state();
+    } else {
+        ck.slot += ck.k;
+        delivered = centers;
+    }
+    let report = SatisfactionReport::compute(&inst, &delivered, ck.config.threshold);
+    ck.total_reward += report.total_reward;
+    ck.per_period.push(PeriodStats {
+        period,
+        reward: report.total_reward,
+        mean_fraction: report.mean_fraction(),
+        satisfied_users: report.satisfied_users,
+        churned,
+        delivered: delivered.len(),
+        lost_broadcasts: lost,
+        retries,
+        outage_slots,
+        degraded,
+    });
+    ck.dynamics_state = dynamics.state();
+    ck.next_period = period + 1;
+    Ok(true)
+}
+
+/// Runs the simulation from `ck` to the end of the horizon, invoking
+/// `sink` with the fresh state after every `checkpoint_every` periods
+/// (0 disables the callback).
+pub fn run_to_completion<const D: usize, S: Solver<D>>(
+    ck: &mut Checkpoint<D>,
+    solver: &S,
+    budget: &SolveBudget,
+    checkpoint_every: usize,
+    mut sink: impl FnMut(&Checkpoint<D>) -> Result<()>,
+) -> Result<BroadcastRun> {
+    while step_period(ck, solver, budget)? {
+        if checkpoint_every > 0 && ck.next_period.is_multiple_of(checkpoint_every) {
+            sink(ck)?;
+        }
+    }
+    Ok(ck.run())
+}
+
 /// Runs a broadcast simulation: re-solve and broadcast every period
-/// until the slot horizon is exhausted.
+/// until the slot horizon is exhausted. Fault-free, unbudgeted; see
+/// [`run_to_completion`] for the fault-injecting engine underneath.
 pub fn simulate<const D: usize, S: Solver<D>>(
     solver: &S,
     population: &mut Population<D>,
@@ -238,42 +583,10 @@ pub fn simulate<const D: usize, S: Solver<D>>(
     norm: mmph_geom::Norm,
     config: &BroadcastConfig,
 ) -> Result<BroadcastRun> {
-    config.validate()?;
-    if k == 0 {
-        return Err(SimError::InvalidConfig("k must be >= 1".into()));
-    }
-    let periods = config.horizon_slots / k;
-    let seeds = SeedSeq::new(config.seed);
-    let mut rng = seeds.stream("dynamics").rng();
-    let mut per_period = Vec::with_capacity(periods);
-    let mut total_reward = 0.0;
-    for period in 0..periods {
-        let churned = if period > 0 {
-            let c = population.churn(config.churn_rate, &mut rng, seeds.child(period as u64))?;
-            population.drift(config.drift_rel_sigma, &mut rng)?;
-            c
-        } else {
-            0
-        };
-        let inst = population.instance(r, k, norm)?;
-        let solution = solver.solve(&inst)?;
-        let report = SatisfactionReport::compute(&inst, &solution.centers, config.threshold);
-        total_reward += report.total_reward;
-        per_period.push(PeriodStats {
-            period,
-            reward: report.total_reward,
-            mean_fraction: report.mean_fraction(),
-            satisfied_users: report.satisfied_users,
-            churned,
-        });
-    }
-    Ok(BroadcastRun {
-        k,
-        periods,
-        slots_used: periods * k,
-        per_period,
-        total_reward,
-    })
+    let mut ck = Checkpoint::new(config, &FaultPlan::none(), population.clone(), r, k, norm)?;
+    let run = run_to_completion(&mut ck, solver, &SolveBudget::unlimited(), 0, |_| Ok(()))?;
+    *population = ck.population;
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -416,6 +729,203 @@ mod tests {
         assert!(run.reward_per_slot() > 0.0);
         assert!(run.mean_satisfaction() > 0.0 && run.mean_satisfaction() <= 1.0);
         assert!((run.reward_per_slot() - run.total_reward / run.slots_used as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan {
+            loss: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            loss: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            outages: vec![OutageWindow { start: 3, len: 0 }],
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan {
+            loss: 0.1,
+            ..Default::default()
+        }
+        .is_active());
+    }
+
+    #[test]
+    fn inactive_plan_matches_legacy_simulate() {
+        let cfg = BroadcastConfig {
+            horizon_slots: 24,
+            churn_rate: 0.2,
+            drift_rel_sigma: 0.05,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut pop_a = population(30, 9);
+        let legacy = simulate(&SimpleGreedy::new(), &mut pop_a, 1.0, 3, Norm::L2, &cfg).unwrap();
+        let pop_b = population(30, 9);
+        let mut ck = Checkpoint::new(&cfg, &FaultPlan::none(), pop_b, 1.0, 3, Norm::L2).unwrap();
+        let engine = run_to_completion(
+            &mut ck,
+            &SimpleGreedy::new(),
+            &SolveBudget::unlimited(),
+            0,
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(legacy, engine);
+        assert_eq!(pop_a, ck.population);
+    }
+
+    #[test]
+    fn total_loss_without_retries_delivers_nothing() {
+        let pop = population(20, 10);
+        let cfg = BroadcastConfig {
+            horizon_slots: 8,
+            ..Default::default()
+        };
+        let faults = FaultPlan {
+            loss: 1.0,
+            max_retries: 0,
+            ..Default::default()
+        };
+        let mut ck = Checkpoint::new(&cfg, &faults, pop, 1.0, 2, Norm::L2).unwrap();
+        let run = run_to_completion(
+            &mut ck,
+            &SimpleGreedy::new(),
+            &SolveBudget::unlimited(),
+            0,
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(run.total_reward, 0.0);
+        assert!(run.lost_broadcasts >= run.periods * 2);
+        for p in &run.per_period {
+            assert_eq!(p.delivered, 0);
+            assert_eq!(p.reward, 0.0);
+        }
+    }
+
+    #[test]
+    fn retries_recover_lost_broadcasts() {
+        let pop = population(20, 11);
+        let cfg = BroadcastConfig {
+            horizon_slots: 64,
+            seed: 5,
+            ..Default::default()
+        };
+        let faults = FaultPlan {
+            loss: 0.5,
+            max_retries: 5,
+            backoff_slots: 0,
+            ..Default::default()
+        };
+        let mut ck = Checkpoint::new(&cfg, &faults, pop, 1.0, 2, Norm::L2).unwrap();
+        let run = run_to_completion(
+            &mut ck,
+            &SimpleGreedy::new(),
+            &SolveBudget::unlimited(),
+            0,
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert!(run.retries > 0);
+        assert!(run.total_reward > 0.0);
+        let delivered: usize = run.per_period.iter().map(|p| p.delivered).sum();
+        assert!(delivered > 0);
+        // Retries consume slots, so fewer periods fit than loss-free.
+        assert!(run.periods <= 32);
+    }
+
+    #[test]
+    fn outage_slots_are_consumed_not_broadcast() {
+        let pop = population(15, 12);
+        let cfg = BroadcastConfig {
+            horizon_slots: 16,
+            ..Default::default()
+        };
+        let faults = FaultPlan {
+            outages: vec![OutageWindow { start: 0, len: 4 }],
+            ..Default::default()
+        };
+        let mut ck = Checkpoint::new(&cfg, &faults, pop, 1.0, 2, Norm::L2).unwrap();
+        let run = run_to_completion(
+            &mut ck,
+            &SimpleGreedy::new(),
+            &SolveBudget::unlimited(),
+            0,
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(run.per_period[0].outage_slots, 4);
+        // 4 slots burned by the outage: fewer periods fit.
+        assert!(run.periods < 8, "periods {}", run.periods);
+        assert!(run.total_reward > 0.0);
+    }
+
+    #[test]
+    fn zero_eval_budget_degrades_every_period() {
+        let pop = population(15, 13);
+        let cfg = BroadcastConfig {
+            horizon_slots: 8,
+            ..Default::default()
+        };
+        let mut ck = Checkpoint::new(&cfg, &FaultPlan::none(), pop, 1.0, 2, Norm::L2).unwrap();
+        let run = run_to_completion(
+            &mut ck,
+            &SimpleGreedy::new(),
+            &SolveBudget::unlimited().with_max_evals(0),
+            0,
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(run.degraded_periods, run.periods);
+        for p in &run.per_period {
+            assert!(p.degraded);
+            assert_eq!(p.delivered, 0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_run_exactly() {
+        let cfg = BroadcastConfig {
+            horizon_slots: 48,
+            churn_rate: 0.15,
+            drift_rel_sigma: 0.04,
+            seed: 21,
+            ..Default::default()
+        };
+        let faults = FaultPlan {
+            loss: 0.25,
+            outages: vec![OutageWindow { start: 10, len: 3 }],
+            max_retries: 2,
+            backoff_slots: 1,
+        };
+        let solver = SimpleGreedy::new();
+        let budget = SolveBudget::unlimited();
+        let pop = population(25, 14);
+        // Uninterrupted reference run.
+        let mut full = Checkpoint::new(&cfg, &faults, pop.clone(), 1.0, 3, Norm::L2).unwrap();
+        let reference = run_to_completion(&mut full, &solver, &budget, 0, |_| Ok(())).unwrap();
+        // Interrupted run: stop after 4 periods, serialize, resume.
+        let mut first = Checkpoint::new(&cfg, &faults, pop, 1.0, 3, Norm::L2).unwrap();
+        for _ in 0..4 {
+            assert!(step_period(&mut first, &solver, &budget).unwrap());
+        }
+        let json = serde_json::to_string(&first).unwrap();
+        drop(first);
+        let mut resumed: Checkpoint<2> = serde_json::from_str(&json).unwrap();
+        let replay = run_to_completion(&mut resumed, &solver, &budget, 0, |_| Ok(())).unwrap();
+        assert_eq!(reference, replay);
+        assert_eq!(full, resumed);
     }
 
     #[test]

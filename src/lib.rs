@@ -39,12 +39,13 @@ pub use mmph_sim as sim;
 /// Most-used items in one import.
 pub mod prelude {
     pub use mmph_core::bounds::{approx_local, approx_round_based, ONE_MINUS_INV_E};
+    pub use mmph_core::budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
     pub use mmph_core::instance::{Instance, InstanceBuilder};
     pub use mmph_core::reward::{coverage_reward, objective, psi, Residuals};
     pub use mmph_core::solver::{Solution, Solver};
     pub use mmph_core::solvers::{
-        BeamSearch, ComplexGreedy, Exhaustive, LazyGreedy, LocalGreedy, LocalSearch, RoundBased,
-        SeededGreedy, SimpleGreedy, StochasticGreedy,
+        AdaptiveSolver, BeamSearch, ComplexGreedy, Exhaustive, LazyGreedy, LocalGreedy,
+        LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
     };
     pub use mmph_geom::{Norm, Point, Point2, Point3};
     pub use mmph_sim::gen::WeightScheme;

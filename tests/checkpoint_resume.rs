@@ -1,0 +1,129 @@
+//! Checkpoint/resume determinism: interrupting a fault-injected
+//! simulation at ANY period boundary, serializing the checkpoint to
+//! disk, reloading it and finishing must reproduce the uninterrupted
+//! run exactly — same rewards, same fault draws, same dynamics.
+
+use mmph::core::solvers::AdaptiveSolver;
+use mmph::core::SolveBudget;
+use mmph::prelude::*;
+use mmph::sim::broadcast::{
+    run_to_completion, step_period, BroadcastConfig, BroadcastRun, Checkpoint, FaultPlan,
+    OutageWindow, Population,
+};
+use mmph::sim::gen::{PointDistribution, SpaceSpec};
+use mmph::sim::rng::SeedSeq;
+
+fn faulty_checkpoint(seed: u64) -> Checkpoint<2> {
+    let config = BroadcastConfig {
+        horizon_slots: 40,
+        churn_rate: 0.15,
+        drift_rel_sigma: 0.03,
+        threshold: 0.5,
+        seed,
+    };
+    let faults = FaultPlan {
+        loss: 0.3,
+        outages: vec![
+            OutageWindow { start: 6, len: 2 },
+            OutageWindow { start: 20, len: 3 },
+        ],
+        max_retries: 2,
+        backoff_slots: 1,
+    };
+    let population = Population::<2>::generate(
+        25,
+        SpaceSpec::PAPER,
+        PointDistribution::Uniform,
+        WeightScheme::PAPER_WEIGHTED,
+        SeedSeq::new(seed),
+    )
+    .unwrap();
+    Checkpoint::new(&config, &faults, population, 1.0, 3, Norm::L2).unwrap()
+}
+
+fn finish(ck: &mut Checkpoint<2>) -> BroadcastRun {
+    run_to_completion(
+        ck,
+        &SimpleGreedy::new(),
+        &SolveBudget::unlimited(),
+        0,
+        |_| Ok(()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn resume_from_any_period_boundary_is_lossless() {
+    let reference = finish(&mut faulty_checkpoint(17));
+    assert!(reference.periods >= 4, "need a multi-period run");
+    for stop_after in 1..reference.periods {
+        let mut ck = faulty_checkpoint(17);
+        for _ in 0..stop_after {
+            assert!(step_period(&mut ck, &SimpleGreedy::new(), &SolveBudget::unlimited()).unwrap());
+        }
+        // Full disk round-trip, as `mmph simulate --checkpoint/--resume`
+        // performs it.
+        let dir = std::env::temp_dir().join("mmph-resume-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("stop{stop_after}.json"));
+        ck.save(&path).unwrap();
+        let mut resumed = Checkpoint::<2>::load(&path).unwrap();
+        let replay = finish(&mut resumed);
+        assert_eq!(reference, replay, "diverged when stopped at {stop_after}");
+    }
+}
+
+#[test]
+fn resume_determinism_holds_under_budgeted_adaptive_solver() {
+    let budget = SolveBudget::unlimited().with_max_evals(40);
+    let drive = |ck: &mut Checkpoint<2>| {
+        run_to_completion(ck, &AdaptiveSolver::new(), &budget, 0, |_| Ok(())).unwrap()
+    };
+    let reference = drive(&mut faulty_checkpoint(23));
+    let mut ck = faulty_checkpoint(23);
+    while ck.next_period < 2 {
+        assert!(step_period(&mut ck, &AdaptiveSolver::new(), &budget).unwrap());
+    }
+    let json = serde_json::to_string(&ck).unwrap();
+    let mut resumed: Checkpoint<2> = serde_json::from_str(&json).unwrap();
+    let replay = drive(&mut resumed);
+    assert_eq!(reference, replay);
+}
+
+#[test]
+fn fault_free_engine_matches_legacy_simulate() {
+    let config = BroadcastConfig {
+        horizon_slots: 24,
+        churn_rate: 0.1,
+        drift_rel_sigma: 0.02,
+        threshold: 0.5,
+        seed: 3,
+    };
+    let make_pop = || {
+        Population::<2>::generate(
+            20,
+            SpaceSpec::PAPER,
+            PointDistribution::Uniform,
+            WeightScheme::PAPER_WEIGHTED,
+            SeedSeq::new(3),
+        )
+        .unwrap()
+    };
+    let mut legacy_pop = make_pop();
+    let legacy = mmph::sim::broadcast::simulate(
+        &SimpleGreedy::new(),
+        &mut legacy_pop,
+        1.0,
+        2,
+        Norm::L2,
+        &config,
+    )
+    .unwrap();
+    let mut ck =
+        Checkpoint::new(&config, &FaultPlan::none(), make_pop(), 1.0, 2, Norm::L2).unwrap();
+    let engine = finish(&mut ck);
+    assert_eq!(legacy, engine);
+    assert_eq!(legacy_pop, ck.population);
+    assert_eq!(engine.lost_broadcasts, 0);
+    assert_eq!(engine.degraded_periods, 0);
+}

@@ -2,12 +2,32 @@
 //! with a typed, descriptive error — never a panic, never a silent
 //! wrong answer.
 
-use mmph::core::solvers::{KMeans, StochasticGreedy};
+use mmph::core::solvers::{KCenter, KMeans, StochasticGreedy};
 use mmph::core::{CoreError, Kernel};
 use mmph::prelude::*;
-use mmph::sim::broadcast::BroadcastConfig;
+use mmph::sim::broadcast::{BroadcastConfig, FaultPlan, OutageWindow};
 use mmph::sim::gen::{PointDistribution, SpaceSpec};
 use mmph_geom::{GeomError, Point as GPoint};
+
+/// Every solver in the registry, boxed for uniform sweeps.
+fn all_solvers() -> Vec<(&'static str, Box<dyn Solver<2>>)> {
+    vec![
+        ("greedy1", Box::new(RoundBased::grid())),
+        ("greedy1-sa", Box::new(RoundBased::annealing())),
+        ("greedy2", Box::new(LocalGreedy::new())),
+        ("greedy3", Box::new(SimpleGreedy::new())),
+        ("greedy4", Box::new(ComplexGreedy::new())),
+        ("lazy", Box::new(LazyGreedy::new())),
+        ("stochastic", Box::new(StochasticGreedy::new())),
+        ("seeded", Box::new(SeededGreedy::new())),
+        ("beam", Box::new(BeamSearch::new())),
+        ("local-search", Box::new(LocalSearch::new())),
+        ("kcenter", Box::new(KCenter::new())),
+        ("kmeans", Box::new(KMeans::new())),
+        ("exhaustive", Box::new(Exhaustive::new())),
+        ("adaptive", Box::new(AdaptiveSolver::new())),
+    ]
+}
 
 #[test]
 fn instance_rejections_are_typed_and_descriptive() {
@@ -163,6 +183,97 @@ fn scenario_deserialization_rejects_corrupt_configs() {
     }"#;
     let sc: Scenario = serde_json::from_str(json).unwrap();
     assert!(sc.generate_2d().is_err());
+}
+
+#[test]
+fn pathological_instances_reject_before_any_solver_runs() {
+    // The instance boundary is the only gate: NaN / ±inf weights,
+    // non-positive radii and empty point sets must produce a typed error
+    // there, so no solver can ever observe them.
+    let p = GPoint::new([0.0, 0.0]);
+    for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0] {
+        let e = Instance::<2>::new(vec![p], vec![w], 1.0, 1, Norm::L2).unwrap_err();
+        assert!(matches!(e, CoreError::InvalidInstance(_)), "weight {w}");
+    }
+    for r in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+        let e = Instance::<2>::new(vec![p], vec![1.0], r, 1, Norm::L2).unwrap_err();
+        assert!(matches!(e, CoreError::InvalidInstance(_)), "radius {r}");
+    }
+    let e = Instance::<2>::new(vec![], vec![], 1.0, 1, Norm::L2).unwrap_err();
+    assert!(matches!(e, CoreError::InvalidInstance(_)));
+}
+
+#[test]
+fn every_solver_handles_duplicate_points_cleanly() {
+    // Six coincident heavy points plus two satellites: degenerate
+    // geometry (zero-radius enclosing balls, zero-variance clusters)
+    // that must never panic or return a non-finite reward.
+    let dup = GPoint::new([1.0, 1.0]);
+    let pts = vec![
+        dup,
+        dup,
+        dup,
+        dup,
+        dup,
+        dup,
+        GPoint::new([3.0, 3.0]),
+        GPoint::new([0.5, 2.5]),
+    ];
+    let ws = vec![5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 2.0, 2.0];
+    let inst = Instance::<2>::new(pts, ws, 1.0, 2, Norm::L2).unwrap();
+    for (name, solver) in all_solvers() {
+        let sol = solver
+            .solve(&inst)
+            .unwrap_or_else(|e| panic!("{name} failed on duplicates: {e}"));
+        assert!(sol.total_reward.is_finite(), "{name}");
+        assert!(
+            sol.total_reward <= inst.total_weight() + 1e-9,
+            "{name}: reward {} exceeds total weight",
+            sol.total_reward
+        );
+        assert_eq!(sol.centers.len(), 2, "{name}");
+    }
+}
+
+#[test]
+fn every_solver_survives_an_exhausted_budget() {
+    let inst = Scenario::paper_2d(12, 2, 1.0, Norm::L2, WeightScheme::Same, 3)
+        .generate_2d()
+        .unwrap();
+    for (name, solver) in all_solvers() {
+        let out = solver
+            .solve_within(&inst, &SolveBudget::unlimited().with_max_evals(0))
+            .unwrap_or_else(|e| panic!("{name} errored under zero budget: {e}"));
+        assert!(!out.is_complete(), "{name} claimed completion");
+        assert!(out.value().is_finite(), "{name}");
+        let full = solver.solve(&inst).unwrap();
+        assert!(
+            out.value() <= full.total_reward + 1e-9,
+            "{name}: degraded {} > unbudgeted {}",
+            out.value(),
+            full.total_reward
+        );
+    }
+}
+
+#[test]
+fn fault_plan_rejections() {
+    for loss in [-0.1, 1.1, f64::NAN] {
+        let e = FaultPlan {
+            loss,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(e.to_string().contains("loss"), "loss {loss}: {e}");
+    }
+    let e = FaultPlan {
+        outages: vec![OutageWindow { start: 0, len: 0 }],
+        ..Default::default()
+    }
+    .validate()
+    .unwrap_err();
+    assert!(e.to_string().contains("outage"));
 }
 
 #[test]

@@ -10,6 +10,26 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// Snapshots the raw xoshiro256++ state, for serializable
+    /// checkpoints of in-flight simulations.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Restores a generator from a [`Self::state`] snapshot so the
+    /// output sequence continues exactly where the snapshot was taken.
+    /// The all-zero state (a fixed point of the generator, never
+    /// produced by `from_seed` or stepping) is remapped the same way
+    /// `from_seed` remaps it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return <StdRng as SeedableRng>::from_seed([0u8; 32]);
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
