@@ -1,0 +1,314 @@
+//! `perfsuite` — the persisted engine-performance baseline behind
+//! `BENCH_PR4.json`.
+//!
+//! ```text
+//! perfsuite [--quick] [--out PATH] [--seed S]
+//! ```
+//!
+//! Sweeps n × k × oracle strategy × evaluation engine over uniform
+//! paper-space instances whose radius is chosen so the expected
+//! neighbor degree stays ~48 at every n, and records wall time,
+//! charged/skipped evaluation counts, and CSR build cost per row.
+//!
+//! The suite doubles as a correctness gate: within each
+//! `(n, k, strategy)` group every engine must select byte-identical
+//! centers, and the sparse engine must never charge more evaluations
+//! than the dense scan. Violations exit non-zero so CI can run this
+//! binary directly.
+
+use std::f64::consts::PI;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mmph_core::{EngineKind, GainOracle, Instance, OracleStrategy, Residuals};
+use mmph_sim::gen::{PointDistribution, SpaceSpec, WeightScheme};
+use mmph_sim::rng::SeedSeq;
+use serde::Serialize;
+
+const DEFAULT_SEED: u64 = 0x5EED_BA5E;
+/// Target expected neighbor count within radius, held constant across n.
+const TARGET_DEGREE: f64 = 48.0;
+/// Dense scan is O(n) per eval; above this n it is skipped (recorded,
+/// not silently dropped).
+const SCAN_MAX_N: usize = 10_000;
+
+#[derive(Debug, Clone)]
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("BENCH_PR4.json"),
+        seed: DEFAULT_SEED,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: perfsuite [--quick] [--out PATH] [--seed S]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    n: usize,
+    k: usize,
+    strategy: String,
+    engine: String,
+    skipped: bool,
+    wall_ms: f64,
+    evals: u64,
+    evals_skipped: u64,
+    csr_build_ms: f64,
+    csr_bytes: usize,
+    reward: f64,
+    selection: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Speedup {
+    n: usize,
+    k: usize,
+    strategy: String,
+    scan_wall_ms: f64,
+    sparse_wall_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    suite: String,
+    quick: bool,
+    seed: u64,
+    target_degree: f64,
+    rows: Vec<Row>,
+    speedups: Vec<Speedup>,
+    checks_ok: bool,
+}
+
+/// The four engine columns of the sweep: forced engine kind plus
+/// whether the dirty-region CELF upgrade is enabled on top.
+const ENGINES: [(&str, EngineKind, bool); 4] = [
+    ("scan", EngineKind::Scan, false),
+    ("kd", EngineKind::Kd, false),
+    ("sparse", EngineKind::Sparse, false),
+    ("sparse+dirty", EngineKind::Sparse, true),
+];
+
+fn strategies() -> [(&'static str, OracleStrategy); 2] {
+    [("seq", OracleStrategy::Seq), ("lazy", OracleStrategy::Lazy)]
+}
+
+/// Radius keeping the expected within-radius degree at `TARGET_DEGREE`
+/// for n uniform points in the paper's `[0, 4]^2` space.
+fn radius_for(n: usize) -> f64 {
+    SpaceSpec::PAPER.extent() * (TARGET_DEGREE / (PI * n as f64)).sqrt()
+}
+
+fn build_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
+    let seeds = SeedSeq::new(seed).child(n as u64);
+    let points = PointDistribution::Uniform
+        .sample::<2>(n, SpaceSpec::PAPER, seeds)
+        .expect("uniform sampling cannot fail");
+    let weights = WeightScheme::PAPER_WEIGHTED
+        .sample(n, seeds)
+        .expect("weight sampling cannot fail");
+    Instance::new(points, weights, radius_for(n), k, mmph_geom::Norm::L2)
+        .expect("generated instance is valid")
+}
+
+/// One timed greedy run: oracle construction (including any index /
+/// CSR build) plus k rounds of argmax-and-commit.
+fn run_one(
+    inst: &Instance<2>,
+    strategy: OracleStrategy,
+    kind: EngineKind,
+    dirty: bool,
+) -> (f64, u64, u64, f64, usize, f64, Vec<usize>) {
+    let t0 = Instant::now();
+    let oracle = GainOracle::with_engine(inst, kind, strategy).with_dirty_region(dirty);
+    let mut residuals = Residuals::new(inst.n());
+    let mut picks = Vec::with_capacity(inst.k());
+    let mut reward = 0.0;
+    for _ in 0..inst.k() {
+        let best = oracle.best_candidate(&residuals);
+        picks.push(best.index);
+        reward += residuals.apply(inst, inst.point(best.index));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (build_ms, bytes) = match oracle.sparse_stats() {
+        Some(s) => (s.build_nanos as f64 / 1e6, s.bytes),
+        None => (0.0, 0),
+    };
+    (
+        wall_ms,
+        oracle.evals(),
+        oracle.dirty_skips(),
+        build_ms,
+        bytes,
+        reward,
+        picks,
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfsuite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sizes: &[usize] = if args.quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let ks = [4usize, 16];
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut checks_ok = true;
+
+    for &n in sizes {
+        for &k in &ks {
+            let inst = build_instance(n, k, args.seed);
+            for (sname, strategy) in strategies() {
+                let mut group: Vec<&Row> = Vec::new();
+                let start = rows.len();
+                for (ename, kind, dirty) in ENGINES {
+                    if kind == EngineKind::Scan && n > SCAN_MAX_N {
+                        rows.push(Row {
+                            n,
+                            k,
+                            strategy: sname.to_owned(),
+                            engine: ename.to_owned(),
+                            skipped: true,
+                            wall_ms: 0.0,
+                            evals: 0,
+                            evals_skipped: 0,
+                            csr_build_ms: 0.0,
+                            csr_bytes: 0,
+                            reward: 0.0,
+                            selection: Vec::new(),
+                        });
+                        println!(
+                            "n={n:>6} k={k:>2} {sname:<4} {ename:<12} skipped (n > {SCAN_MAX_N})"
+                        );
+                        continue;
+                    }
+                    let (wall_ms, evals, skips, build_ms, bytes, reward, picks) =
+                        run_one(&inst, strategy, kind, dirty);
+                    println!(
+                        "n={n:>6} k={k:>2} {sname:<4} {ename:<12} {wall_ms:>10.2} ms  evals {evals:>9}  dirty-skips {skips:>7}"
+                    );
+                    rows.push(Row {
+                        n,
+                        k,
+                        strategy: sname.to_owned(),
+                        engine: ename.to_owned(),
+                        skipped: false,
+                        wall_ms,
+                        evals,
+                        evals_skipped: skips,
+                        csr_build_ms: build_ms,
+                        csr_bytes: bytes,
+                        reward,
+                        selection: picks,
+                    });
+                }
+                group.extend(rows[start..].iter());
+
+                // Cross-check 1: every engine in the group selected
+                // byte-identical centers.
+                let reference = group.iter().find(|r| !r.skipped);
+                if let Some(reference) = reference {
+                    for row in &group {
+                        if !row.skipped && row.selection != reference.selection {
+                            eprintln!(
+                                "perfsuite: SELECTION MISMATCH at n={n} k={k} {sname}: {} {:?} vs {} {:?}",
+                                reference.engine, reference.selection, row.engine, row.selection
+                            );
+                            checks_ok = false;
+                        }
+                    }
+                }
+                // Cross-check 2: sparse never charges more evals than
+                // scan, and dirty-region never charges more than plain
+                // sparse.
+                let find = |name: &str| group.iter().find(|r| r.engine == name && !r.skipped);
+                if let (Some(scan), Some(sparse)) = (find("scan"), find("sparse")) {
+                    if sparse.evals > scan.evals {
+                        eprintln!(
+                            "perfsuite: EVAL REGRESSION at n={n} k={k} {sname}: sparse {} > scan {}",
+                            sparse.evals, scan.evals
+                        );
+                        checks_ok = false;
+                    }
+                    speedups.push(Speedup {
+                        n,
+                        k,
+                        strategy: sname.to_owned(),
+                        scan_wall_ms: scan.wall_ms,
+                        sparse_wall_ms: sparse.wall_ms,
+                        speedup: scan.wall_ms / sparse.wall_ms,
+                    });
+                }
+                if let (Some(sparse), Some(dirty)) = (find("sparse"), find("sparse+dirty")) {
+                    if dirty.evals > sparse.evals {
+                        eprintln!(
+                            "perfsuite: EVAL REGRESSION at n={n} k={k} {sname}: sparse+dirty {} > sparse {}",
+                            dirty.evals, sparse.evals
+                        );
+                        checks_ok = false;
+                    }
+                }
+            }
+        }
+    }
+
+    for s in &speedups {
+        println!(
+            "speedup n={:>6} k={:>2} {:<4} scan/sparse = {:.1}x",
+            s.n, s.k, s.strategy, s.speedup
+        );
+    }
+
+    let report = Report {
+        suite: "perfsuite".to_owned(),
+        quick: args.quick,
+        seed: args.seed,
+        target_degree: TARGET_DEGREE,
+        rows,
+        speedups,
+        checks_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("perfsuite: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("perfsuite: wrote {}", args.out.display());
+
+    if !checks_ok {
+        eprintln!("perfsuite: cross-checks FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -90,6 +90,11 @@ pub fn parse_oracle(raw: &str) -> Result<mmph_core::OracleStrategy> {
     raw.parse().map_err(CliError::Usage)
 }
 
+/// Parses a reward-engine name ("auto", "scan", "kd", "ball", "sparse").
+pub fn parse_engine(raw: &str) -> Result<mmph_core::EngineKind> {
+    raw.parse().map_err(CliError::Usage)
+}
+
 /// Builds a [`SolveBudget`](mmph_core::SolveBudget) from the optional
 /// `--deadline-ms` and `--max-evals` flags. Absent flags leave the
 /// budget unlimited.
@@ -214,6 +219,17 @@ mod tests {
         assert_eq!(parse_oracle("par").unwrap(), OracleStrategy::Par);
         assert_eq!(parse_oracle("lazy").unwrap(), OracleStrategy::Lazy);
         assert!(parse_oracle("eager").is_err());
+    }
+
+    #[test]
+    fn engine_parsing() {
+        use mmph_core::EngineKind;
+        assert_eq!(parse_engine("auto").unwrap(), EngineKind::Auto);
+        assert_eq!(parse_engine("scan").unwrap(), EngineKind::Scan);
+        assert_eq!(parse_engine("kd").unwrap(), EngineKind::Kd);
+        assert_eq!(parse_engine("ball").unwrap(), EngineKind::Ball);
+        assert_eq!(parse_engine("sparse").unwrap(), EngineKind::Sparse);
+        assert!(parse_engine("dense").is_err());
     }
 
     #[test]

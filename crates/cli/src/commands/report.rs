@@ -5,7 +5,7 @@ use std::io::Write;
 use mmph_core::analysis::analyze;
 use mmph_core::Solution;
 
-use crate::args::{install_thread_pool, parse, parse_oracle};
+use crate::args::{install_thread_pool, parse, parse_engine, parse_oracle};
 use crate::commands::solve::{load_or_generate_2d, solve_by_name};
 use crate::Result;
 
@@ -19,6 +19,8 @@ INPUT (one of):
 OPTIONS:
   --solver NAME  one of the names from `mmph solvers` (default greedy2)
   --oracle S     candidate-scoring strategy: seq | par | lazy (default seq)
+  --engine E     reward-evaluation engine: auto | scan | kd | ball | sparse
+                 (default auto); all engines are bit-identical
   --threads N    rayon worker threads for --oracle par";
 
 /// Renders a 10-bin satisfaction histogram as ASCII bars.
@@ -46,15 +48,17 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let flags = parse(
         argv,
         &[
-            "input", "solver", "n", "k", "r", "norm", "weights", "seed", "oracle", "threads",
+            "input", "solver", "n", "k", "r", "norm", "weights", "seed", "oracle", "engine",
+            "threads",
         ],
         &[],
     )?;
     let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    let engine = parse_engine(flags.get("engine").unwrap_or("auto"))?;
     install_thread_pool(&flags)?;
     let inst = load_or_generate_2d(&flags)?;
     let solver = flags.get("solver").unwrap_or("greedy2");
-    let sol: Solution<2> = solve_by_name(solver, &inst, strategy)?;
+    let sol: Solution<2> = solve_by_name(solver, &inst, strategy, engine)?;
     let report = analyze(&inst, &sol.centers);
 
     writeln!(

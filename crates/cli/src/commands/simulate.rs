@@ -13,7 +13,7 @@ use mmph_sim::gen::{PointDistribution, SpaceSpec};
 use mmph_sim::rng::SeedSeq;
 
 use crate::args::{
-    install_thread_pool, parse, parse_budget, parse_norm, parse_oracle, parse_weights,
+    install_thread_pool, parse, parse_budget, parse_engine, parse_norm, parse_oracle, parse_weights,
 };
 use crate::{CliError, Result};
 
@@ -32,6 +32,8 @@ OPTIONS:
   --clusters M   Gaussian interest clusters; 0 = uniform (default 0)
   --solver NAME  greedy2 | greedy3 | adaptive (default greedy3)
   --oracle S     seq | par | lazy candidate scoring for greedy2 (default seq)
+  --engine E     auto | scan | kd | ball | sparse reward engine for greedy2
+                 (default auto); all engines are bit-identical
   --threads N    rayon worker threads for --oracle par
   --seed S       RNG seed (default 0)
 
@@ -180,6 +182,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
             "solver",
             "seed",
             "oracle",
+            "engine",
             "threads",
             "loss",
             "outage",
@@ -195,15 +198,19 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let solver_name = flags.get("solver").unwrap_or("greedy3");
     // greedy3's argmax over residual mass is not a candidate scan and the
     // adaptive ladder picks its own oracles, so only greedy2 routes
-    // through --oracle / --threads; passing them elsewhere is an error
-    // rather than a silent no-op.
-    if solver_name != "greedy2" && (flags.get("oracle").is_some() || flags.get("threads").is_some())
+    // through --oracle / --engine / --threads; passing them elsewhere is
+    // an error rather than a silent no-op.
+    if solver_name != "greedy2"
+        && (flags.get("oracle").is_some()
+            || flags.get("engine").is_some()
+            || flags.get("threads").is_some())
     {
         return Err(CliError::Usage(format!(
-            "--oracle/--threads only apply to --solver greedy2; `{solver_name}` ignores them"
+            "--oracle/--engine/--threads only apply to --solver greedy2; `{solver_name}` ignores them"
         )));
     }
     let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    let engine = parse_engine(flags.get("engine").unwrap_or("auto"))?;
     install_thread_pool(&flags)?;
     let budget = parse_budget(&flags)?;
     let faults = FaultPlan {
@@ -263,7 +270,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let run = match solver_name {
         "greedy2" => drive(
             &mut ck,
-            &LocalGreedy::new().with_oracle(strategy),
+            &LocalGreedy::new().with_oracle(strategy).with_engine(engine),
             &budget,
             checkpoint_path,
             checkpoint_every,

@@ -8,12 +8,13 @@ use mmph_core::solvers::{
     AdaptiveSolver, BeamSearch, ComplexGreedy, Exhaustive, KCenter, KMeans, LazyGreedy,
     LocalGreedy, LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
 };
-use mmph_core::{Instance, OracleStrategy, Solution, Solver};
+use mmph_core::{EngineKind, Instance, OracleStrategy, Solution, Solver};
 use mmph_sim::scenario::Scenario;
 use mmph_sim::trace::{load_traces, InstanceTrace};
 
 use crate::args::{
-    install_thread_pool, parse, parse_budget, parse_norm, parse_oracle, parse_weights, Flags,
+    install_thread_pool, parse, parse_budget, parse_engine, parse_norm, parse_oracle,
+    parse_weights, Flags,
 };
 use crate::{CliError, Result};
 
@@ -29,6 +30,9 @@ OPTIONS:
   --all          run every solver and print a comparison table
   --oracle S     candidate-scoring strategy: seq | par | lazy (default seq);
                  all three produce identical solutions
+  --engine E     reward-evaluation engine: auto | scan | kd | ball | sparse
+                 (default auto = sparse with a memory-cap fallback to kd);
+                 all engines produce bit-identical solutions
   --threads N    rayon worker threads for --oracle par (default: all cores)
   --svg FILE     write a coverage map of the (first) solution
   --dim D        2 or 3 when using --input (default 2)
@@ -58,11 +62,14 @@ pub(crate) fn solve_outcome_by_name<const D: usize>(
     name: &str,
     inst: &Instance<D>,
     strategy: OracleStrategy,
+    engine: EngineKind,
     budget: &SolveBudget,
 ) -> Result<SolveOutcome<D>> {
-    // Solvers with a candidate-scan hot path accept the strategy;
-    // `lazy` is the CELF wrapper itself and greedy3/greedy4/seeded/
-    // kcenter/kmeans/exhaustive have no eager scan to switch.
+    // Solvers with a candidate-scan hot path accept the strategy and
+    // the engine; `lazy` is the CELF wrapper itself and greedy3/
+    // greedy4/seeded/kcenter/kmeans/exhaustive have no eager scan to
+    // switch (their evaluations, if any, score arbitrary points the
+    // sparse engine cannot precompute).
     let mut out = match name {
         "greedy1" => RoundBased::grid()
             .with_oracle_strategy(strategy)
@@ -72,16 +79,21 @@ pub(crate) fn solve_outcome_by_name<const D: usize>(
             .solve_within(inst, budget)?,
         "greedy2" => LocalGreedy::new()
             .with_oracle(strategy)
+            .with_engine(engine)
             .solve_within(inst, budget)?,
         "greedy3" => SimpleGreedy::new().solve_within(inst, budget)?,
         "greedy4" => ComplexGreedy::new().solve_within(inst, budget)?,
-        "lazy" => LazyGreedy::new().solve_within(inst, budget)?,
+        "lazy" => LazyGreedy::new()
+            .with_engine(engine)
+            .solve_within(inst, budget)?,
         "stochastic" => StochasticGreedy::new()
             .with_oracle(strategy)
+            .with_engine(engine)
             .solve_within(inst, budget)?,
         "seeded" => SeededGreedy::new().solve_within(inst, budget)?,
         "beam" => BeamSearch::new()
             .with_oracle(strategy)
+            .with_engine(engine)
             .solve_within(inst, budget)?,
         "local-search" => LocalSearch::new()
             .with_oracle(strategy)
@@ -109,8 +121,12 @@ pub(crate) fn solve_by_name<const D: usize>(
     name: &str,
     inst: &Instance<D>,
     strategy: OracleStrategy,
+    engine: EngineKind,
 ) -> Result<Solution<D>> {
-    Ok(solve_outcome_by_name(name, inst, strategy, &SolveBudget::unlimited())?.into_solution())
+    Ok(
+        solve_outcome_by_name(name, inst, strategy, engine, &SolveBudget::unlimited())?
+            .into_solution(),
+    )
 }
 
 /// `mmph solvers` — prints the registry.
@@ -251,6 +267,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
             "seed",
             "dim",
             "oracle",
+            "engine",
             "threads",
             "deadline-ms",
             "max-evals",
@@ -264,19 +281,21 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         ));
     }
     let strategy = parse_oracle(flags.get("oracle").unwrap_or("seq"))?;
+    let engine = parse_engine(flags.get("engine").unwrap_or("auto"))?;
     let budget = parse_budget(&flags)?;
     install_thread_pool(&flags)?;
     let inst = load_or_generate_2d(&flags)?;
     let outcomes: Vec<SolveOutcome<2>> = if flags.has("all") {
         SOLVER_NAMES
             .iter()
-            .map(|name| solve_outcome_by_name(name, &inst, strategy, &budget))
+            .map(|name| solve_outcome_by_name(name, &inst, strategy, engine, &budget))
             .collect::<Result<_>>()?
     } else {
         vec![solve_outcome_by_name(
             flags.get("solver").unwrap_or("greedy3"),
             &inst,
             strategy,
+            engine,
             &budget,
         )?]
     };

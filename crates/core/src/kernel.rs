@@ -52,19 +52,29 @@ impl Kernel {
     /// the paper's `d ≤ r` condition.
     #[inline]
     pub fn frac(&self, d: f64, r: f64) -> f64 {
-        debug_assert!(r > 0.0);
-        if d > r {
-            return 0.0;
-        }
-        let t = d / r;
-        match *self {
-            Kernel::Linear => 1.0 - t,
-            Kernel::Step => 1.0,
-            Kernel::Quadratic => 1.0 - t * t,
+        self.prepared().frac(d, r)
+    }
+
+    /// Hoists the kernel's per-call constants (for `Exponential`, the
+    /// `e^{-λ}` endpoint and the `1 − e^{-λ}` normalizer) into a
+    /// [`PreparedKernel`]. Engines evaluating many distances against a
+    /// fixed kernel prepare once and reuse, paying one `exp()` per
+    /// distance instead of two. `PreparedKernel::frac` computes the
+    /// identical expression, so results are bit-for-bit equal to the
+    /// unprepared path.
+    #[inline]
+    pub fn prepared(&self) -> PreparedKernel {
+        let (e_r, denom) = match *self {
             Kernel::Exponential { lambda } => {
                 let e_r = (-lambda).exp();
-                (((-lambda * t).exp()) - e_r) / (1.0 - e_r)
+                (e_r, 1.0 - e_r)
             }
+            _ => (0.0, 1.0),
+        };
+        PreparedKernel {
+            kernel: *self,
+            e_r,
+            denom,
         }
     }
 
@@ -86,6 +96,43 @@ impl Kernel {
             Kernel::Quadratic => "quadratic",
             Kernel::Exponential { .. } => "exponential",
         }
+    }
+}
+
+/// A [`Kernel`] with its evaluation constants precomputed — see
+/// [`Kernel::prepared`]. Cheap to copy; engines cache one per solve.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedKernel {
+    kernel: Kernel,
+    /// `e^{-λ}` for `Exponential`; unused otherwise.
+    e_r: f64,
+    /// `1 − e^{-λ}` for `Exponential`; 1.0 otherwise.
+    denom: f64,
+}
+
+impl PreparedKernel {
+    /// Coverage fraction at distance `d` with radius `r` — the same
+    /// expression as [`Kernel::frac`], term for term (the division by
+    /// the normalizer is kept a division so results stay bit-identical).
+    #[inline]
+    pub fn frac(&self, d: f64, r: f64) -> f64 {
+        debug_assert!(r > 0.0);
+        if d > r {
+            return 0.0;
+        }
+        let t = d / r;
+        match self.kernel {
+            Kernel::Linear => 1.0 - t,
+            Kernel::Step => 1.0,
+            Kernel::Quadratic => 1.0 - t * t,
+            Kernel::Exponential { lambda } => (((-lambda * t).exp()) - self.e_r) / self.denom,
+        }
+    }
+
+    /// The kernel this was prepared from.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 }
 
@@ -171,6 +218,44 @@ mod tests {
             let json = serde_json::to_string(&k).unwrap();
             let back: Kernel = serde_json::from_str(&json).unwrap();
             assert_eq!(k, back);
+        }
+    }
+
+    #[test]
+    fn prepared_is_bit_identical_to_direct() {
+        // The prepared path must reproduce every kernel exactly,
+        // including the historical two-exp exponential expression.
+        let unhoisted = |k: Kernel, d: f64, r: f64| -> f64 {
+            if d > r {
+                return 0.0;
+            }
+            let t = d / r;
+            match k {
+                Kernel::Linear => 1.0 - t,
+                Kernel::Step => 1.0,
+                Kernel::Quadratic => 1.0 - t * t,
+                Kernel::Exponential { lambda } => {
+                    let e_r = (-lambda).exp();
+                    (((-lambda * t).exp()) - e_r) / (1.0 - e_r)
+                }
+            }
+        };
+        for k in KERNELS
+            .into_iter()
+            .chain([Kernel::Exponential { lambda: 0.7 }])
+        {
+            let p = k.prepared();
+            for i in 0..=300 {
+                let d = i as f64 / 200.0; // sweeps past r for both radii
+                for r in [1.0, 1.3] {
+                    assert_eq!(
+                        p.frac(d, r).to_bits(),
+                        unhoisted(k, d, r).to_bits(),
+                        "{k:?} d={d} r={r}"
+                    );
+                    assert_eq!(k.frac(d, r).to_bits(), p.frac(d, r).to_bits());
+                }
+            }
         }
     }
 

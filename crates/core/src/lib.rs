@@ -49,9 +49,12 @@ pub mod submodular;
 
 pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 pub use instance::{Instance, InstanceBuilder};
-pub use kernel::Kernel;
+pub use kernel::{Kernel, PreparedKernel};
 pub use oracle::{GainOracle, OracleStrategy, Pruning, Scored};
-pub use reward::{coverage_reward, objective, psi, Residuals};
+pub use reward::{
+    coverage_reward, objective, psi, EngineKind, Residuals, RewardEngine, SparseStats,
+    DEFAULT_SPARSE_CAP_BYTES,
+};
 pub use solver::{Solution, Solver};
 
 /// Runtime failures inside a solver: conditions a malformed-but-validated

@@ -37,7 +37,7 @@ use mmph_geom::{BallTree, KdTree, Point};
 use rayon::prelude::*;
 
 use crate::instance::Instance;
-use crate::reward::{objective, Residuals, RewardEngine};
+use crate::reward::{objective, EngineKind, Residuals, RewardEngine, SparseStats};
 
 /// How [`GainOracle`] finds the best candidate each round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -170,6 +170,12 @@ pub struct GainOracle<'a, const D: usize> {
     engine: RewardEngine<'a, D>,
     strategy: OracleStrategy,
     prune: Option<PruneIndex<D>>,
+    /// Dirty-region revalidation of stale CELF entries (sparse engine
+    /// only). On by default; `perfsuite` ablates it off to isolate the
+    /// effect.
+    dirty_region: bool,
+    /// Stale heap entries revalidated without charging an evaluation.
+    dirty_skips: std::sync::atomic::AtomicU64,
     // Interior mutability for the CELF heap; a Mutex (not RefCell)
     // keeps the oracle Sync so `Par` solvers can share it.
     lazy: Mutex<LazyState>,
@@ -191,14 +197,29 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         Self::from_engine(RewardEngine::ball_indexed(inst), strategy)
     }
 
+    /// Oracle over the engine selected by `kind` (see
+    /// [`RewardEngine::with_kind`]).
+    pub fn with_engine(inst: &'a Instance<D>, kind: EngineKind, strategy: OracleStrategy) -> Self {
+        Self::from_engine(RewardEngine::with_kind(inst, kind), strategy)
+    }
+
     /// Oracle over an explicitly-constructed engine.
     pub fn from_engine(engine: RewardEngine<'a, D>, strategy: OracleStrategy) -> Self {
         GainOracle {
             engine,
             strategy,
             prune: None,
+            dirty_region: true,
+            dirty_skips: std::sync::atomic::AtomicU64::new(0),
             lazy: Mutex::new(LazyState::default()),
         }
+    }
+
+    /// Enables or disables dirty-region revalidation of stale CELF
+    /// entries (only effective on the sparse engine).
+    pub fn with_dirty_region(mut self, enabled: bool) -> Self {
+        self.dirty_region = enabled;
+        self
     }
 
     /// Enables (or disables) spatial pruning of zero-gain candidates.
@@ -231,6 +252,22 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         self.engine.evals()
     }
 
+    /// Number of stale CELF entries revalidated for free by the
+    /// dirty-region test (sparse engine only; 0 otherwise).
+    pub fn dirty_skips(&self) -> u64 {
+        self.dirty_skips.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The engine backend actually in use.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
+    /// CSR build statistics when the sparse engine is active.
+    pub fn sparse_stats(&self) -> Option<SparseStats> {
+        self.engine.sparse_stats()
+    }
+
     /// Coverage reward of an arbitrary point (not necessarily a
     /// candidate) against `residuals`. Charges one evaluation.
     pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
@@ -254,17 +291,14 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         let inst = self.engine.instance();
         let c = inst.point(i);
         let r = inst.radius();
-        let mut mass = false;
-        let mut probe = |j: usize, _d: f64| {
-            if residuals.y(j) > 0.0 {
-                mass = true;
-            }
+        // Short-circuits on the first point with residual mass instead
+        // of walking the entire radius ball.
+        let mass = |j: usize, _d: f64| residuals.y(j) > 0.0;
+        let found = match index {
+            PruneIndex::Kd(tree) => tree.any_within(c, r, inst.norm(), mass),
+            PruneIndex::Ball(tree) => tree.any_within(c, r, inst.norm(), mass),
         };
-        match index {
-            PruneIndex::Kd(tree) => tree.for_each_within(c, r, inst.norm(), &mut probe),
-            PruneIndex::Ball(tree) => tree.for_each_within(c, r, inst.norm(), &mut probe),
-        }
-        !mass
+        !found
     }
 
     /// Gain of candidate `i`, with pruning applied. A pruned candidate
@@ -273,7 +307,7 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         if self.pruned(i, residuals) {
             return 0.0;
         }
-        self.engine.gain(self.instance().point(i), residuals)
+        self.engine.candidate_gain(i, residuals)
     }
 
     /// Scores every candidate, returning `gains[i]` = coverage reward
@@ -373,6 +407,25 @@ impl<'a, const D: usize> GainOracle<'a, D> {
                 };
             }
             state.heap.pop();
+            // Dirty-region shortcut: a stale entry whose CSR neighbor
+            // range provably missed every residual change since it was
+            // scored still holds its *exact* gain — revalidate at the
+            // current version for free instead of re-scoring.
+            if self.dirty_region
+                && self
+                    .engine
+                    .unchanged_since(top.idx, residuals, top.version)
+                    .unwrap_or(false)
+            {
+                self.dirty_skips
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                state.heap.push(Entry {
+                    gain: top.gain,
+                    idx: top.idx,
+                    version,
+                });
+                continue;
+            }
             let gain = self.candidate_gain(top.idx, residuals);
             state.heap.push(Entry {
                 gain,
@@ -390,9 +443,8 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         debug_assert!(!indices.is_empty());
         let gains: Vec<f64> = match self.strategy {
             OracleStrategy::Par => indices
-                .to_vec()
-                .into_par_iter()
-                .map(|i| self.candidate_gain(i, residuals))
+                .par_iter()
+                .map(|&i| self.candidate_gain(i, residuals))
                 .collect(),
             OracleStrategy::Seq | OracleStrategy::Lazy => indices
                 .iter()
@@ -418,9 +470,8 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         debug_assert!(!points.is_empty());
         let gains: Vec<f64> = match self.strategy {
             OracleStrategy::Par => points
-                .to_vec()
-                .into_par_iter()
-                .map(|c| self.engine.gain(&c, residuals))
+                .par_iter()
+                .map(|c| self.engine.gain(c, residuals))
                 .collect(),
             OracleStrategy::Seq | OracleStrategy::Lazy => points
                 .iter()

@@ -14,9 +14,10 @@
 //!   telescope exactly to `f(C)` (tested below), so every solver's
 //!   reported total equals the closed-form objective.
 
-use mmph_geom::{BallTree, KdTree, Norm, Point};
+use mmph_geom::{BallTree, GridIndex, KdTree, Norm, Point};
 
 use crate::instance::Instance;
+use crate::kernel::PreparedKernel;
 
 /// Coverage fraction `[1 − d(c, x)/r]_+` of a point at distance `d`
 /// (Eq. 1 without the weight).
@@ -67,7 +68,7 @@ pub fn psi<const D: usize>(w: f64, c: &Point<D>, x: &Point<D>, r: f64, norm: Nor
 pub fn objective<const D: usize>(inst: &Instance<D>, centers: &[Point<D>]) -> f64 {
     let r = inst.radius();
     let norm = inst.norm();
-    let kernel = inst.kernel();
+    let kernel = inst.kernel().prepared();
     let mut total = 0.0;
     for (x, &w) in inst.points().iter().zip(inst.weights()) {
         let mut cov = 0.0;
@@ -91,10 +92,20 @@ pub fn coverage_reward<const D: usize>(
     c: &Point<D>,
     residuals: &Residuals,
 ) -> f64 {
+    coverage_reward_with(inst, c, residuals, &inst.kernel().prepared())
+}
+
+/// [`coverage_reward`] with a caller-cached [`PreparedKernel`] — the
+/// engines prepare once per solve instead of once per evaluation.
+fn coverage_reward_with<const D: usize>(
+    inst: &Instance<D>,
+    c: &Point<D>,
+    residuals: &Residuals,
+    kernel: &PreparedKernel,
+) -> f64 {
     debug_assert_eq!(residuals.len(), inst.n());
     let r = inst.radius();
     let norm = inst.norm();
-    let kernel = inst.kernel();
     let mut total = 0.0;
     for i in 0..inst.n() {
         let y = residuals.y(i);
@@ -134,6 +145,10 @@ pub fn coverage_reward<const D: usize>(
 pub struct Residuals {
     y: Vec<f64>,
     version: u64,
+    /// `touched[i]` is the version at which `y_i` last shrank (0 = never).
+    /// Lets the sparse engine's dirty-region test decide whether a gain
+    /// computed at an older version can still be exact.
+    touched: Vec<u64>,
 }
 
 impl PartialEq for Residuals {
@@ -150,6 +165,7 @@ impl Residuals {
         Residuals {
             y: vec![1.0; n],
             version: 0,
+            touched: vec![0; n],
         }
     }
 
@@ -179,6 +195,14 @@ impl Residuals {
         self.y[i]
     }
 
+    /// The version at which `y_i` last changed (0 if never touched).
+    /// Monotone per point; a gain over a neighbor set whose every member
+    /// satisfies `touched(j) <= v` is unchanged since version `v`.
+    #[inline]
+    pub fn touched(&self, i: usize) -> u64 {
+        self.touched[i]
+    }
+
     /// All residuals.
     pub fn as_slice(&self) -> &[f64] {
         &self.y
@@ -195,7 +219,7 @@ impl Residuals {
     pub fn assignments<const D: usize>(&self, inst: &Instance<D>, c: &Point<D>) -> Vec<f64> {
         let r = inst.radius();
         let norm = inst.norm();
-        let kernel = inst.kernel();
+        let kernel = inst.kernel().prepared();
         (0..inst.n())
             .map(|i| kernel.frac(norm.dist(c, inst.point(i)), r).min(self.y[i]))
             .collect()
@@ -209,7 +233,7 @@ impl Residuals {
         self.version += 1;
         let r = inst.radius();
         let norm = inst.norm();
-        let kernel = inst.kernel();
+        let kernel = inst.kernel().prepared();
         let mut gain = 0.0;
         for i in 0..inst.n() {
             let y = self.y[i];
@@ -220,60 +244,366 @@ impl Residuals {
             if z > 0.0 {
                 gain += inst.weight(i) * z;
                 self.y[i] = y - z;
+                self.touched[i] = self.version;
             }
         }
         gain
     }
 }
 
-/// Reward evaluation engine: computes coverage rewards either by linear
-/// scan or through a kd-tree radius query, and counts evaluations (used
-/// by the CELF ablation to demonstrate the saved work).
+/// Which evaluation backend a [`RewardEngine`] should use. Parsed from
+/// the CLI's `--engine` flag and threaded through the solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Pick automatically: the sparse CSR engine when its estimated
+    /// footprint fits [`DEFAULT_SPARSE_CAP_BYTES`], else the kd-tree.
+    #[default]
+    Auto,
+    /// Dense linear scan over all points (the reference semantics).
+    Scan,
+    /// Kd-tree radius queries.
+    Kd,
+    /// Ball-tree radius queries.
+    Ball,
+    /// Precomputed CSR neighbor lists (forced, ignoring the memory cap).
+    Sparse,
+}
+
+impl EngineKind {
+    /// All parseable names, for CLI help strings.
+    pub const NAMES: &'static [&'static str] = &["auto", "scan", "kd", "ball", "sparse"];
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(EngineKind::Auto),
+            "scan" => Ok(EngineKind::Scan),
+            "kd" => Ok(EngineKind::Kd),
+            "ball" => Ok(EngineKind::Ball),
+            "sparse" => Ok(EngineKind::Sparse),
+            other => Err(format!(
+                "unknown engine '{other}' (expected {})",
+                Self::NAMES.join("|")
+            )),
+        }
+    }
+
+    /// CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Auto => "auto",
+            EngineKind::Scan => "scan",
+            EngineKind::Kd => "kd",
+            EngineKind::Ball => "ball",
+            EngineKind::Sparse => "sparse",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Self::parse(s)
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Default memory cap for the [`EngineKind::Auto`] sparse estimate:
+/// beyond this the CSR build is skipped in favor of the kd-tree.
+pub const DEFAULT_SPARSE_CAP_BYTES: usize = 512 << 20;
+
+/// Build/footprint statistics of a sparse CSR adjacency, surfaced by
+/// `perfsuite` and the reports.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseStats {
+    /// Wall time of the CSR build (including the enumeration index).
+    pub build_nanos: u64,
+    /// Bytes held by the CSR buffers.
+    pub bytes: usize,
+    /// Total neighbor entries (sum of row degrees).
+    pub entries: usize,
+    /// Mean row degree.
+    pub avg_degree: f64,
+    /// Largest row degree.
+    pub max_degree: usize,
+    /// True when the uniform grid enumerated the pairs; false when the
+    /// high-spread fallback used the kd-tree instead.
+    pub used_grid: bool,
+}
+
+/// Precomputed fixed-radius adjacency in CSR form: row `i` holds the
+/// ascending-index neighbors `j` with `d(x_i, x_j) ≤ r`, alongside the
+/// kernel fraction `frac(d_ij, r)` and the weight `w_j`, in flat
+/// structure-of-arrays buffers. `frac` and `weight` are kept separate
+/// (not premultiplied) because a gain term is `w_j · min(frac, y_j)` —
+/// the min must see the raw fraction for bit-identical scan semantics.
+///
+/// The candidate set and the target set are the same points and the
+/// relation `d ≤ r` is symmetric, so this structure is simultaneously
+/// the forward adjacency (row `i` = what candidate `i` covers) and the
+/// reverse index (row `i` = which candidates cover point `i`) the
+/// dirty-region test needs.
+#[derive(Debug)]
+struct SparseCsr {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    frac: Vec<f64>,
+    weight: Vec<f64>,
+    stats: SparseStats,
+}
+
+/// Radius enumerator behind the CSR build: the uniform grid for the
+/// common dense-bbox case, the kd-tree when the points are spread so
+/// wide that grid cells would outnumber points.
+enum Enumerator<const D: usize> {
+    Grid(GridIndex<D>),
+    Kd(KdTree<D>),
+}
+
+impl<const D: usize> Enumerator<D> {
+    /// Grid unless the cell count at cell side `r` would exceed
+    /// ~4n (high-spread input), in which case the kd-tree enumerates.
+    fn build(points: &[Point<D>], radius: f64) -> Self {
+        let mut cells = 1usize;
+        for d in 0..D {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in points {
+                lo = lo.min(p[d]);
+                hi = hi.max(p[d]);
+            }
+            let side = ((hi - lo) / radius.max(1e-9)).floor() as usize + 1;
+            cells = cells.saturating_mul(side.max(1));
+        }
+        if cells > 4 * points.len() + 1024 {
+            return Enumerator::Kd(KdTree::build(points));
+        }
+        match GridIndex::build_for_radius(points, radius) {
+            Ok(g) => Enumerator::Grid(g),
+            Err(_) => Enumerator::Kd(KdTree::build(points)),
+        }
+    }
+
+    fn for_each_within(
+        &self,
+        center: &Point<D>,
+        radius: f64,
+        norm: Norm,
+        f: impl FnMut(usize, f64),
+    ) {
+        match self {
+            Enumerator::Grid(g) => g.for_each_within(center, radius, norm, f),
+            Enumerator::Kd(t) => t.for_each_within(center, radius, norm, f),
+        }
+    }
+
+    fn used_grid(&self) -> bool {
+        matches!(self, Enumerator::Grid(_))
+    }
+
+    /// Recovers the kd-tree when the memory-cap fallback can reuse it.
+    fn into_kdtree(self, points: &[Point<D>]) -> KdTree<D> {
+        match self {
+            Enumerator::Kd(t) => t,
+            Enumerator::Grid(_) => KdTree::build(points),
+        }
+    }
+}
+
+impl SparseCsr {
+    const BYTES_PER_ENTRY: usize = 4 + 8 + 8; // neighbor + frac + weight
+
+    /// Builds the CSR over `inst`'s points via `enumerator`.
+    fn build<const D: usize>(inst: &Instance<D>, enumerator: &Enumerator<D>) -> Self {
+        let started = std::time::Instant::now();
+        let n = inst.n();
+        let r = inst.radius();
+        let norm = inst.norm();
+        let kernel = inst.kernel().prepared();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut neighbors: Vec<u32> = Vec::new();
+        let mut frac: Vec<f64> = Vec::new();
+        let mut weight: Vec<f64> = Vec::new();
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        let mut max_degree = 0usize;
+        for i in 0..n {
+            row.clear();
+            enumerator.for_each_within(inst.point(i), r, norm, |j, d| {
+                row.push((j as u32, d));
+            });
+            // Enumerators emit in index-unrelated order (cell or leaf
+            // order); ascending neighbor index is what makes the sparse
+            // accumulation bit-identical to the dense scan.
+            row.sort_unstable_by_key(|&(j, _)| j);
+            max_degree = max_degree.max(row.len());
+            for &(j, d) in &row {
+                neighbors.push(j);
+                frac.push(kernel.frac(d, r));
+                weight.push(inst.weight(j as usize));
+            }
+            assert!(
+                neighbors.len() <= u32::MAX as usize,
+                "sparse engine: neighbor entries overflow u32 offsets"
+            );
+            offsets.push(neighbors.len() as u32);
+        }
+        let entries = neighbors.len();
+        let bytes = offsets.len() * 4 + entries * Self::BYTES_PER_ENTRY;
+        let stats = SparseStats {
+            build_nanos: started.elapsed().as_nanos() as u64,
+            bytes,
+            entries,
+            avg_degree: entries as f64 / n as f64,
+            max_degree,
+            used_grid: enumerator.used_grid(),
+        };
+        SparseCsr {
+            offsets,
+            neighbors,
+            frac,
+            weight,
+            stats,
+        }
+    }
+
+    /// The half-open entry range of row `i`.
+    #[inline]
+    fn row(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// Estimates the full CSR footprint by probing every `stride`-th
+    /// row's degree — cheap relative to the build, accurate on the
+    /// near-uniform inputs the grid targets.
+    fn estimate_bytes<const D: usize>(inst: &Instance<D>, enumerator: &Enumerator<D>) -> usize {
+        let n = inst.n();
+        let stride = (n / 256).max(1);
+        let mut sampled = 0usize;
+        let mut entries = 0usize;
+        let mut i = 0;
+        while i < n {
+            enumerator.for_each_within(inst.point(i), inst.radius(), inst.norm(), |_, _| {
+                entries += 1;
+            });
+            sampled += 1;
+            i += stride;
+        }
+        let est_entries = entries as f64 / sampled as f64 * n as f64;
+        (n + 1) * 4 + (est_entries * Self::BYTES_PER_ENTRY as f64) as usize
+    }
+}
+
+/// Reward evaluation engine: computes coverage rewards by dense linear
+/// scan, tree radius query, or precomputed sparse CSR adjacency, and
+/// counts evaluations (used by the CELF ablation to demonstrate the
+/// saved work).
 #[derive(Debug)]
 pub struct RewardEngine<'a, const D: usize> {
     inst: &'a Instance<D>,
-    index: Option<Index<D>>,
+    backend: Backend<D>,
+    /// Kernel with per-solve constants hoisted ([`Kernel::prepared`]).
+    kernel: PreparedKernel,
     // Atomic (not Cell) so the engine is Sync and the parallel oracle can
     // share it across worker threads; ordering is Relaxed because the
     // counter is a pure statistic, never used for synchronization.
     evals: std::sync::atomic::AtomicU64,
 }
 
-/// The spatial index backing an indexed [`RewardEngine`].
+/// The evaluation backend of a [`RewardEngine`].
 #[derive(Debug)]
-enum Index<const D: usize> {
+enum Backend<const D: usize> {
+    Scan,
     Kd(KdTree<D>),
     Ball(BallTree<D>),
+    Sparse(SparseCsr),
 }
 
 impl<'a, const D: usize> RewardEngine<'a, D> {
-    /// Engine that evaluates by linear scan over all points.
-    pub fn scan(inst: &'a Instance<D>) -> Self {
+    fn with_backend(inst: &'a Instance<D>, backend: Backend<D>) -> Self {
         RewardEngine {
             inst,
-            index: None,
+            backend,
+            kernel: inst.kernel().prepared(),
             evals: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Engine that evaluates by linear scan over all points.
+    pub fn scan(inst: &'a Instance<D>) -> Self {
+        Self::with_backend(inst, Backend::Scan)
     }
 
     /// Engine backed by a kd-tree radius query. Worth it when the
     /// interest radius covers a small fraction of the instance (see the
     /// `ablation_spatial_index` bench for the crossover).
     pub fn indexed(inst: &'a Instance<D>) -> Self {
-        RewardEngine {
-            inst,
-            index: Some(Index::Kd(KdTree::build(inst.points()))),
-            evals: std::sync::atomic::AtomicU64::new(0),
-        }
+        Self::with_backend(inst, Backend::Kd(KdTree::build(inst.points())))
     }
 
     /// Engine backed by a ball-tree radius query — same results as
     /// [`Self::indexed`], typically better pruning as `D` grows.
     pub fn ball_indexed(inst: &'a Instance<D>) -> Self {
-        RewardEngine {
-            inst,
-            index: Some(Index::Ball(BallTree::build(inst.points()))),
-            evals: std::sync::atomic::AtomicU64::new(0),
+        Self::with_backend(inst, Backend::Ball(BallTree::build(inst.points())))
+    }
+
+    /// Engine backed by a precomputed CSR neighbor adjacency: candidate
+    /// gains become O(degree) sparse dot products, bit-identical to the
+    /// dense scan. Forces the build regardless of footprint; use
+    /// [`Self::auto`] for the memory-capped variant.
+    pub fn sparse(inst: &'a Instance<D>) -> Self {
+        let enumerator = Enumerator::build(inst.points(), inst.radius());
+        Self::with_backend(inst, Backend::Sparse(SparseCsr::build(inst, &enumerator)))
+    }
+
+    /// Sparse when the estimated CSR footprint fits under
+    /// [`DEFAULT_SPARSE_CAP_BYTES`], else kd-tree.
+    pub fn auto(inst: &'a Instance<D>) -> Self {
+        Self::auto_with_cap(inst, DEFAULT_SPARSE_CAP_BYTES)
+    }
+
+    /// [`Self::auto`] with an explicit cap in bytes.
+    pub fn auto_with_cap(inst: &'a Instance<D>, cap_bytes: usize) -> Self {
+        let enumerator = Enumerator::build(inst.points(), inst.radius());
+        let est = SparseCsr::estimate_bytes(inst, &enumerator);
+        if est > cap_bytes || est / SparseCsr::BYTES_PER_ENTRY >= u32::MAX as usize {
+            let tree = enumerator.into_kdtree(inst.points());
+            return Self::with_backend(inst, Backend::Kd(tree));
+        }
+        Self::with_backend(inst, Backend::Sparse(SparseCsr::build(inst, &enumerator)))
+    }
+
+    /// Engine for an [`EngineKind`] selection.
+    pub fn with_kind(inst: &'a Instance<D>, kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Auto => Self::auto(inst),
+            EngineKind::Scan => Self::scan(inst),
+            EngineKind::Kd => Self::indexed(inst),
+            EngineKind::Ball => Self::ball_indexed(inst),
+            EngineKind::Sparse => Self::sparse(inst),
+        }
+    }
+
+    /// The backend actually in use (never [`EngineKind::Auto`]).
+    pub fn kind(&self) -> EngineKind {
+        match self.backend {
+            Backend::Scan => EngineKind::Scan,
+            Backend::Kd(_) => EngineKind::Kd,
+            Backend::Ball(_) => EngineKind::Ball,
+            Backend::Sparse(_) => EngineKind::Sparse,
+        }
+    }
+
+    /// CSR build statistics when the sparse backend is active.
+    pub fn sparse_stats(&self) -> Option<SparseStats> {
+        match &self.backend {
+            Backend::Sparse(csr) => Some(csr.stats),
+            _ => None,
         }
     }
 
@@ -296,14 +626,14 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
     }
 
     /// Coverage reward of `c` against `residuals` (Eq. 13's inner
-    /// objective), via the configured evaluation strategy.
+    /// objective), via the configured evaluation strategy. Arbitrary
+    /// points have no CSR row, so the sparse backend answers these with
+    /// the dense reference scan; index candidates should go through
+    /// [`Self::candidate_gain`].
     pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
         self.note_eval();
-        let Some(index) = &self.index else {
-            return coverage_reward(self.inst, c, residuals);
-        };
         let r = self.inst.radius();
-        let kernel = self.inst.kernel();
+        let kernel = &self.kernel;
         let mut total = 0.0;
         let mut add = |i: usize, d: f64| {
             let y = residuals.y(i);
@@ -311,11 +641,55 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
                 total += self.inst.weight(i) * kernel.frac(d, r).min(y);
             }
         };
-        match index {
-            Index::Kd(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
-            Index::Ball(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
+        match &self.backend {
+            Backend::Scan | Backend::Sparse(_) => {
+                return coverage_reward_with(self.inst, c, residuals, kernel);
+            }
+            Backend::Kd(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
+            Backend::Ball(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
         }
         total
+    }
+
+    /// Coverage reward of candidate point `i` — the hot path of every
+    /// point-candidate greedy. On the sparse backend this is an
+    /// O(degree) walk of the precomputed row with the same guard and
+    /// accumulation order as the dense scan (hence bit-identical); other
+    /// backends delegate to [`Self::gain`]. Charges one evaluation.
+    pub fn candidate_gain(&self, i: usize, residuals: &Residuals) -> f64 {
+        let Backend::Sparse(csr) = &self.backend else {
+            return self.gain(self.inst.point(i), residuals);
+        };
+        self.note_eval();
+        let mut total = 0.0;
+        for idx in csr.row(i) {
+            let y = residuals.y(csr.neighbors[idx] as usize);
+            if y <= 0.0 {
+                continue;
+            }
+            let frac = csr.frac[idx];
+            if frac > 0.0 {
+                total += csr.weight[idx] * frac.min(y);
+            }
+        }
+        total
+    }
+
+    /// Dirty-region test for the CELF lazy oracle: has candidate `i`'s
+    /// gain provably not changed since residual version `version`? Only
+    /// the sparse backend can answer (`None` otherwise). `Some(true)`
+    /// means every point the candidate can touch last shrank at or
+    /// before `version`, so a gain computed then is still exact — the
+    /// oracle may reuse it without charging an evaluation. Free: an
+    /// O(degree) integer compare against the CSR row, no kernel math.
+    pub fn unchanged_since(&self, i: usize, residuals: &Residuals, version: u64) -> Option<bool> {
+        let Backend::Sparse(csr) = &self.backend else {
+            return None;
+        };
+        Some(
+            csr.row(i)
+                .all(|idx| residuals.touched(csr.neighbors[idx] as usize) <= version),
+        )
     }
 }
 

@@ -18,7 +18,7 @@ use std::collections::HashSet;
 use crate::budget::{DegradeReason, SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
-use crate::reward::Residuals;
+use crate::reward::{EngineKind, Residuals};
 use crate::solver::{Solution, Solver};
 use crate::{CoreError, Result, SolverError};
 
@@ -27,6 +27,7 @@ use crate::{CoreError, Result, SolverError};
 pub struct BeamSearch {
     width: usize,
     strategy: OracleStrategy,
+    engine: EngineKind,
 }
 
 impl Default for BeamSearch {
@@ -34,6 +35,7 @@ impl Default for BeamSearch {
         BeamSearch {
             width: 16,
             strategy: OracleStrategy::Seq,
+            engine: EngineKind::Auto,
         }
     }
 }
@@ -71,6 +73,13 @@ impl BeamSearch {
         self.strategy = strategy;
         self
     }
+
+    /// Selects the reward-evaluation engine (default
+    /// [`EngineKind::Auto`]; bit-identical results across engines).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 impl<const D: usize> Solver<D> for BeamSearch {
@@ -86,7 +95,7 @@ impl<const D: usize> Solver<D> for BeamSearch {
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let n = inst.n();
-        let oracle = GainOracle::new(inst, self.strategy);
+        let oracle = GainOracle::with_engine(inst, self.engine, self.strategy);
         let clock = budget.start();
         let mut tripped: Option<DegradeReason> = None;
         let mut beam = vec![BeamState {

@@ -20,12 +20,14 @@
 use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::EngineKind;
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::Result;
 
 /// Lazily-evaluated Algorithm 2. See the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct LazyGreedy {
+    engine: EngineKind,
     trace: bool,
 }
 
@@ -38,6 +40,15 @@ impl LazyGreedy {
     /// Record per-round assignment vectors in the solution.
     pub fn with_trace(mut self, yes: bool) -> Self {
         self.trace = yes;
+        self
+    }
+
+    /// Selects the reward-evaluation engine (default
+    /// [`EngineKind::Auto`]: sparse CSR with kd-tree fallback). The
+    /// sparse engine additionally lets the CELF heap revalidate stale
+    /// entries via the dirty-region test, charging fewer evaluations.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -54,7 +65,7 @@ impl<const D: usize> Solver<D> for LazyGreedy {
     }
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
-        let oracle = GainOracle::new(inst, OracleStrategy::Lazy);
+        let oracle = GainOracle::with_engine(inst, self.engine, OracleStrategy::Lazy);
         let clock = budget.start();
         run_rounds(
             Solver::<D>::name(self),

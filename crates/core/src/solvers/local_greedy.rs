@@ -16,6 +16,7 @@
 use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy, Pruning};
+use crate::reward::EngineKind;
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::Result;
 
@@ -39,7 +40,7 @@ use crate::Result;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LocalGreedy {
-    use_index: bool,
+    engine: EngineKind,
     strategy: OracleStrategy,
     pruning: Pruning,
     trace: bool,
@@ -53,10 +54,24 @@ impl LocalGreedy {
     }
 
     /// Evaluate coverage rewards through a kd-tree radius query instead
-    /// of a linear scan (identical results; see `ablation_spatial_index`
-    /// for when this pays off).
+    /// of the default engine (identical results; see
+    /// `ablation_spatial_index` for when this pays off). Kept for
+    /// back-compat; [`Self::with_engine`] is the general form.
     pub fn with_spatial_index(mut self, yes: bool) -> Self {
-        self.use_index = yes;
+        self.engine = if yes {
+            EngineKind::Kd
+        } else {
+            EngineKind::Auto
+        };
+        self
+    }
+
+    /// Selects the reward-evaluation engine. The default
+    /// [`EngineKind::Auto`] builds the sparse CSR engine when its
+    /// estimated footprint fits the memory cap and falls back to the
+    /// kd-tree otherwise; every choice is bit-identical.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -80,12 +95,7 @@ impl LocalGreedy {
     }
 
     fn oracle<'a, const D: usize>(&self, inst: &'a Instance<D>) -> GainOracle<'a, D> {
-        let oracle = if self.use_index {
-            GainOracle::indexed(inst, self.strategy)
-        } else {
-            GainOracle::new(inst, self.strategy)
-        };
-        oracle.with_pruning(self.pruning)
+        GainOracle::with_engine(inst, self.engine, self.strategy).with_pruning(self.pruning)
     }
 }
 

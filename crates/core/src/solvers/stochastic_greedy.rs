@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use crate::budget::{SolveBudget, SolveOutcome};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::EngineKind;
 use crate::solver::{run_rounds, Solution, Solver};
 use crate::{CoreError, Result};
 
@@ -23,6 +24,7 @@ pub struct StochasticGreedy {
     epsilon: f64,
     seed: u64,
     strategy: OracleStrategy,
+    engine: EngineKind,
     trace: bool,
 }
 
@@ -32,6 +34,7 @@ impl Default for StochasticGreedy {
             epsilon: 0.1,
             seed: 0,
             strategy: OracleStrategy::Seq,
+            engine: EngineKind::Auto,
             trace: false,
         }
     }
@@ -69,6 +72,13 @@ impl StochasticGreedy {
         self
     }
 
+    /// Selects the reward-evaluation engine (default
+    /// [`EngineKind::Auto`]; bit-identical results across engines).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Record per-round assignment vectors in the solution.
     pub fn with_trace(mut self, yes: bool) -> Self {
         self.trace = yes;
@@ -95,7 +105,7 @@ impl<const D: usize> Solver<D> for StochasticGreedy {
     }
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
-        let oracle = GainOracle::new(inst, self.strategy);
+        let oracle = GainOracle::with_engine(inst, self.engine, self.strategy);
         let s = self.sample_size(inst.n(), inst.k());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let clock = budget.start();

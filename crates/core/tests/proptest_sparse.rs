@@ -1,0 +1,234 @@
+//! Property-based pinning of the sparse CSR engine.
+//!
+//! The contract behind `--engine sparse`: candidate gains computed from
+//! the precomputed CSR rows are **bit-identical** (`to_bits`) to the
+//! dense reference scan — across all four kernels, both norms, and
+//! arbitrary mid-solve residual states — and the dirty-region CELF
+//! upgrade changes evaluation counts only, never selections.
+
+use mmph_core::solvers::LocalGreedy;
+use mmph_core::{
+    EngineKind, GainOracle, Instance, Kernel, OracleStrategy, Residuals, RewardEngine, Solver,
+};
+use mmph_geom::{Norm, Point};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -4.0..4.0f64
+}
+
+fn point2() -> impl Strategy<Value = Point<2>> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new([x, y]))
+}
+
+/// Integer weights in 1..=5 maximise gain ties, the hardest case for
+/// keeping tie-breaking aligned across engines.
+fn weighted_points(max: usize) -> impl Strategy<Value = Vec<(Point<2>, f64)>> {
+    prop::collection::vec((point2(), (1u32..=5).prop_map(f64::from)), 1..max)
+}
+
+const KERNELS: [Kernel; 4] = [
+    Kernel::Linear,
+    Kernel::Step,
+    Kernel::Quadratic,
+    Kernel::Exponential { lambda: 3.0 },
+];
+
+/// Every candidate gain from the sparse engine must match the scan
+/// engine bit-for-bit, at the fresh residual state and at every
+/// mid-solve state the greedy passes through.
+fn check_sparse_matches_scan(pts: Vec<(Point<2>, f64)>, k: usize, r: f64, norm: Norm) {
+    let (points, weights): (Vec<_>, Vec<_>) = pts.into_iter().unzip();
+    let base = Instance::new(points, weights, r, k, norm).unwrap();
+    for kernel in KERNELS {
+        let inst = base.with_kernel(kernel).unwrap();
+        let scan = RewardEngine::scan(&inst);
+        let sparse = RewardEngine::sparse(&inst);
+        prop_assert_eq!(sparse.kind(), EngineKind::Sparse);
+        let mut residuals = Residuals::new(inst.n());
+        for _round in 0..=inst.k() {
+            let mut best = 0usize;
+            let mut best_gain = f64::NEG_INFINITY;
+            for i in 0..inst.n() {
+                let a = scan.candidate_gain(i, &residuals);
+                let b = sparse.candidate_gain(i, &residuals);
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "candidate {} under {:?}/{}: scan {} vs sparse {}",
+                    i,
+                    kernel,
+                    norm,
+                    a,
+                    b
+                );
+                if a > best_gain {
+                    best_gain = a;
+                    best = i;
+                }
+            }
+            // Advance to the next mid-solve residual state the way the
+            // greedy would.
+            residuals.apply(&inst, inst.point(best));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn sparse_gains_bit_identical_l2(
+        pts in weighted_points(30),
+        k in 1usize..5,
+        r in 0.3..2.0f64,
+    ) {
+        check_sparse_matches_scan(pts, k, r, Norm::L2);
+    }
+
+    #[test]
+    fn sparse_gains_bit_identical_l1(
+        pts in weighted_points(30),
+        k in 1usize..5,
+        r in 0.3..2.0f64,
+    ) {
+        check_sparse_matches_scan(pts, k, r, Norm::L1);
+    }
+
+    #[test]
+    fn sparse_solver_selections_match_scan(
+        pts in weighted_points(40),
+        k in 1usize..6,
+        r in 0.3..2.0f64,
+    ) {
+        let (points, weights): (Vec<_>, Vec<_>) = pts.into_iter().unzip();
+        let inst = Instance::new(points, weights, r, k, Norm::L2).unwrap();
+        let scan = LocalGreedy::new().with_engine(EngineKind::Scan).solve(&inst).unwrap();
+        for engine in [EngineKind::Sparse, EngineKind::Auto] {
+            let other = LocalGreedy::new().with_engine(engine).solve(&inst).unwrap();
+            prop_assert_eq!(&scan.centers, &other.centers, "{} centers diverge", engine);
+            prop_assert_eq!(
+                scan.total_reward.to_bits(),
+                other.total_reward.to_bits(),
+                "{} total diverges",
+                engine
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_region_never_changes_selections(
+        pts in weighted_points(35),
+        k in 1usize..5,
+        r in 0.3..1.5f64,
+    ) {
+        let (points, weights): (Vec<_>, Vec<_>) = pts.into_iter().unzip();
+        let inst = Instance::new(points, weights, r, k, Norm::L2).unwrap();
+        let seq = GainOracle::with_engine(&inst, EngineKind::Scan, OracleStrategy::Seq);
+        let dirty = GainOracle::with_engine(&inst, EngineKind::Sparse, OracleStrategy::Lazy)
+            .with_dirty_region(true);
+        let (ps, ts) = greedy_rounds(&seq);
+        let (pd, td) = greedy_rounds(&dirty);
+        prop_assert_eq!(ps, pd, "dirty-region lazy diverged from seq");
+        prop_assert_eq!(ts.to_bits(), td.to_bits());
+    }
+}
+
+/// Shared k-round greedy driver over an oracle.
+fn greedy_rounds<const D: usize>(oracle: &GainOracle<'_, D>) -> (Vec<usize>, f64) {
+    let inst = oracle.instance();
+    let mut residuals = Residuals::new(inst.n());
+    let mut picks = Vec::new();
+    let mut total = 0.0;
+    for _ in 0..inst.k() {
+        let best = oracle.best_candidate(&residuals);
+        picks.push(best.index);
+        total += residuals.apply(inst, inst.point(best.index));
+    }
+    (picks, total)
+}
+
+/// Well-separated clusters: after one cluster's center commits, every
+/// other cluster's candidates provably miss the dirty region, so the
+/// dirty-region CELF revalidates their stale heap entries for free.
+fn clustered_instance() -> Instance<2> {
+    let anchors = [
+        [0.0, 0.0],
+        [10.0, 0.0],
+        [20.0, 0.0],
+        [0.0, 10.0],
+        [10.0, 10.0],
+        [20.0, 10.0],
+    ];
+    let mut points = Vec::new();
+    let mut weights = Vec::new();
+    for (ci, a) in anchors.iter().enumerate() {
+        for j in 0..12 {
+            // Deterministic jitter inside a 0.4-radius disc.
+            let ang = (ci * 12 + j) as f64 * 0.61;
+            let rad = 0.05 + 0.35 * ((j as f64) / 12.0);
+            points.push(Point::new([a[0] + rad * ang.cos(), a[1] + rad * ang.sin()]));
+            weights.push(1.0 + ((ci + j) % 5) as f64);
+        }
+    }
+    Instance::new(points, weights, 1.0, 6, Norm::L2).unwrap()
+}
+
+#[test]
+fn dirty_region_charges_strictly_fewer_evals_on_clusters() {
+    let inst = clustered_instance();
+    let seq = GainOracle::with_engine(&inst, EngineKind::Scan, OracleStrategy::Seq);
+    let plain = GainOracle::with_engine(&inst, EngineKind::Sparse, OracleStrategy::Lazy)
+        .with_dirty_region(false);
+    let dirty = GainOracle::with_engine(&inst, EngineKind::Sparse, OracleStrategy::Lazy)
+        .with_dirty_region(true);
+    let (ps, ts) = greedy_rounds(&seq);
+    let (pp, tp) = greedy_rounds(&plain);
+    let (pd, td) = greedy_rounds(&dirty);
+    assert_eq!(ps, pp, "plain lazy diverged from seq");
+    assert_eq!(ps, pd, "dirty lazy diverged from seq");
+    assert_eq!(ts.to_bits(), tp.to_bits());
+    assert_eq!(ts.to_bits(), td.to_bits());
+    // Both lazy oracles prime with one full scan (n evals); the dirty
+    // region must then save strictly more re-scores than plain CELF.
+    let n = inst.n() as u64;
+    assert!(plain.evals() >= n);
+    assert!(dirty.evals() >= n);
+    assert!(
+        dirty.evals() < plain.evals(),
+        "dirty {} vs plain {}",
+        dirty.evals(),
+        plain.evals()
+    );
+    assert!(
+        dirty.dirty_skips() > 0,
+        "no stale entries were revalidated for free"
+    );
+    // The non-sparse engines cannot answer the dirty test and must
+    // report zero skips.
+    assert_eq!(plain.dirty_skips(), 0);
+    assert_eq!(seq.dirty_skips(), 0);
+}
+
+#[test]
+fn forced_sparse_handles_high_spread_inputs() {
+    // Points so spread out that the uniform grid would allocate more
+    // cells than points: the build must fall back to kd enumeration and
+    // stay bit-identical.
+    let points: Vec<Point<2>> = (0..40)
+        .map(|i| {
+            let t = i as f64;
+            Point::new([t * t * 37.0, (t * 13.0) % 1000.0 * t])
+        })
+        .collect();
+    let inst = Instance::new(points, vec![1.0; 40], 0.5, 3, Norm::L2).unwrap();
+    let scan = RewardEngine::scan(&inst);
+    let sparse = RewardEngine::sparse(&inst);
+    let stats = sparse.sparse_stats().unwrap();
+    assert!(!stats.used_grid, "expected the kd-tree fallback");
+    let residuals = Residuals::new(inst.n());
+    for i in 0..inst.n() {
+        assert_eq!(
+            scan.candidate_gain(i, &residuals).to_bits(),
+            sparse.candidate_gain(i, &residuals).to_bits()
+        );
+    }
+}

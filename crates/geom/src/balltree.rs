@@ -112,6 +112,53 @@ impl<const D: usize> BallTree<D> {
         out
     }
 
+    /// True as soon as any point within `radius` of `center` satisfies
+    /// `pred` — short-circuits on the first hit instead of walking the
+    /// whole ball like [`Self::for_each_within`].
+    pub fn any_within(
+        &self,
+        center: &Point<D>,
+        radius: f64,
+        norm: Norm,
+        mut pred: impl FnMut(usize, f64) -> bool,
+    ) -> bool {
+        if self.nodes.is_empty() || radius < 0.0 {
+            return false;
+        }
+        self.visit_any(0, center, radius, norm, &mut pred)
+    }
+
+    fn visit_any(
+        &self,
+        node: usize,
+        center: &Point<D>,
+        radius: f64,
+        norm: Norm,
+        pred: &mut impl FnMut(usize, f64) -> bool,
+    ) -> bool {
+        let n = &self.nodes[node];
+        let pivot_d = norm.dist(center, &n.center);
+        if pivot_d - n.radius_under(norm) > radius {
+            return false;
+        }
+        match n.kind {
+            NodeKind::Leaf { start, end } => {
+                for &idx in &self.order[start as usize..end as usize] {
+                    let p = &self.points[idx as usize];
+                    let d = norm.dist(center, p);
+                    if d <= radius && pred(idx as usize, d) {
+                        return true;
+                    }
+                }
+                false
+            }
+            NodeKind::Internal { left, right } => {
+                self.visit_any(left as usize, center, radius, norm, pred)
+                    || self.visit_any(right as usize, center, radius, norm, pred)
+            }
+        }
+    }
+
     fn visit(
         &self,
         node: usize,
@@ -395,5 +442,41 @@ mod tests {
             hits(&t, &c, 0.55, Norm::L2),
             linear(&pts, &c, 0.55, Norm::L2)
         );
+    }
+
+    #[test]
+    fn any_within_agrees_with_full_walk() {
+        let pts = random_points(200, 51);
+        let t = BallTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(52);
+        for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+            for _ in 0..30 {
+                let c = Point::new([rng.gen_range(-1.0..5.0), rng.gen_range(-1.0..5.0)]);
+                let r = rng.gen_range(0.0..2.0);
+                let mut seen = 0usize;
+                let any = t.any_within(&c, r, norm, |_, _| true);
+                t.for_each_within(&c, r, norm, |_, _| seen += 1);
+                assert_eq!(any, seen > 0, "norm {norm} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_within_short_circuits_after_first_accept() {
+        let pts = random_points(300, 53);
+        let t = BallTree::build(&pts);
+        let c = Point::new([2.0, 2.0]);
+        let mut calls = 0usize;
+        assert!(t.any_within(&c, 3.0, Norm::L2, |_, _| {
+            calls += 1;
+            true
+        }));
+        assert_eq!(calls, 1, "predicate must stop the walk on first accept");
+        let mut rejected = 0usize;
+        assert!(!t.any_within(&c, 3.0, Norm::L2, |_, _| {
+            rejected += 1;
+            false
+        }));
+        assert_eq!(rejected, t.within(&c, 3.0, Norm::L2).len());
     }
 }
