@@ -2,13 +2,16 @@
 //! `BENCH_PR4.json`.
 //!
 //! ```text
-//! perfsuite [--quick] [--out PATH] [--seed S]
+//! perfsuite [--quick] [--huge] [--out PATH] [--seed S]
 //! ```
 //!
 //! Sweeps n × k × oracle strategy × evaluation engine over uniform
 //! paper-space instances whose radius is chosen so the expected
 //! neighbor degree stays ~48 at every n, and records wall time,
 //! charged/skipped evaluation counts, and CSR build cost per row.
+//! `--huge` appends an n=10⁶ group — the "millions of users" scale of
+//! the ROADMAP — where only the sparse engines under the lazy strategy
+//! are run (scan, kd and seq are recorded as skipped rows).
 //!
 //! The suite doubles as a correctness gate: within each
 //! `(n, k, strategy)` group every engine must select byte-identical
@@ -16,26 +19,21 @@
 //! than the dense scan. Violations exit non-zero so CI can run this
 //! binary directly.
 
-use std::f64::consts::PI;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
-use mmph_core::{EngineKind, GainOracle, Instance, OracleStrategy, Residuals};
-use mmph_sim::gen::{PointDistribution, SpaceSpec, WeightScheme};
-use mmph_sim::rng::SeedSeq;
+use mmph_bench::perfrows::{build_instance, run_one, Row, DEFAULT_SEED, SCAN_MAX_N, TARGET_DEGREE};
+use mmph_core::{EngineKind, OracleStrategy};
 use serde::Serialize;
 
-const DEFAULT_SEED: u64 = 0x5EED_BA5E;
-/// Target expected neighbor count within radius, held constant across n.
-const TARGET_DEGREE: f64 = 48.0;
-/// Dense scan is O(n) per eval; above this n it is skipped (recorded,
-/// not silently dropped).
-const SCAN_MAX_N: usize = 10_000;
+/// Above this n only `(lazy, sparse*)` combinations run; everything
+/// else is recorded as skipped.
+const HUGE_MIN_N: usize = 1_000_000;
 
 #[derive(Debug, Clone)]
 struct Args {
     quick: bool,
+    huge: bool,
     out: PathBuf,
     seed: u64,
 }
@@ -43,6 +41,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
+        huge: false,
         out: PathBuf::from("BENCH_PR4.json"),
         seed: DEFAULT_SEED,
     };
@@ -50,35 +49,20 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
+            "--huge" => args.huge = true,
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: perfsuite [--quick] [--out PATH] [--seed S]");
+                println!("usage: perfsuite [--quick] [--huge] [--out PATH] [--seed S]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     Ok(args)
-}
-
-#[derive(Debug, Clone, Serialize)]
-struct Row {
-    n: usize,
-    k: usize,
-    strategy: String,
-    engine: String,
-    skipped: bool,
-    wall_ms: f64,
-    evals: u64,
-    evals_skipped: u64,
-    csr_build_ms: f64,
-    csr_bytes: usize,
-    reward: f64,
-    selection: Vec<usize>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -95,6 +79,7 @@ struct Speedup {
 struct Report {
     suite: String,
     quick: bool,
+    huge: bool,
     seed: u64,
     target_degree: f64,
     rows: Vec<Row>,
@@ -115,56 +100,89 @@ fn strategies() -> [(&'static str, OracleStrategy); 2] {
     [("seq", OracleStrategy::Seq), ("lazy", OracleStrategy::Lazy)]
 }
 
-/// Radius keeping the expected within-radius degree at `TARGET_DEGREE`
-/// for n uniform points in the paper's `[0, 4]^2` space.
-fn radius_for(n: usize) -> f64 {
-    SpaceSpec::PAPER.extent() * (TARGET_DEGREE / (PI * n as f64)).sqrt()
-}
+/// Sweeps one `(n, k)` cell, appending rows/speedups and running the
+/// in-binary cross-checks. Returns false when a check failed.
+fn sweep_cell(
+    n: usize,
+    k: usize,
+    seed: u64,
+    rows: &mut Vec<Row>,
+    speedups: &mut Vec<Speedup>,
+) -> bool {
+    let mut checks_ok = true;
+    let inst = build_instance(n, k, seed);
+    for (sname, strategy) in strategies() {
+        let start = rows.len();
+        for (ename, kind, dirty) in ENGINES {
+            let scan_too_big = kind == EngineKind::Scan && n > SCAN_MAX_N;
+            // At huge n only the ROADMAP-scale serving combination
+            // (lazy × sparse) runs; O(n²)-leaning columns are recorded
+            // as skipped rather than silently dropped.
+            let huge_cut = n >= HUGE_MIN_N
+                && !(strategy == OracleStrategy::Lazy && kind == EngineKind::Sparse);
+            if scan_too_big || huge_cut {
+                rows.push(Row::skipped(n, k, sname, ename));
+                let why = if scan_too_big {
+                    format!("n > {SCAN_MAX_N}")
+                } else {
+                    format!("huge n: only lazy/sparse runs at n >= {HUGE_MIN_N}")
+                };
+                println!("n={n:>7} k={k:>2} {sname:<4} {ename:<12} skipped ({why})");
+                continue;
+            }
+            let row = run_one(&inst, sname, strategy, ename, kind, dirty);
+            println!(
+                "n={n:>7} k={k:>2} {sname:<4} {ename:<12} {:>10.2} ms  evals {:>9}  dirty-skips {:>7}",
+                row.wall_ms, row.evals, row.evals_skipped
+            );
+            rows.push(row);
+        }
+        let group: Vec<&Row> = rows[start..].iter().collect();
 
-fn build_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
-    let seeds = SeedSeq::new(seed).child(n as u64);
-    let points = PointDistribution::Uniform
-        .sample::<2>(n, SpaceSpec::PAPER, seeds)
-        .expect("uniform sampling cannot fail");
-    let weights = WeightScheme::PAPER_WEIGHTED
-        .sample(n, seeds)
-        .expect("weight sampling cannot fail");
-    Instance::new(points, weights, radius_for(n), k, mmph_geom::Norm::L2)
-        .expect("generated instance is valid")
-}
-
-/// One timed greedy run: oracle construction (including any index /
-/// CSR build) plus k rounds of argmax-and-commit.
-fn run_one(
-    inst: &Instance<2>,
-    strategy: OracleStrategy,
-    kind: EngineKind,
-    dirty: bool,
-) -> (f64, u64, u64, f64, usize, f64, Vec<usize>) {
-    let t0 = Instant::now();
-    let oracle = GainOracle::with_engine(inst, kind, strategy).with_dirty_region(dirty);
-    let mut residuals = Residuals::new(inst.n());
-    let mut picks = Vec::with_capacity(inst.k());
-    let mut reward = 0.0;
-    for _ in 0..inst.k() {
-        let best = oracle.best_candidate(&residuals);
-        picks.push(best.index);
-        reward += residuals.apply(inst, inst.point(best.index));
+        // Cross-check 1: every engine in the group selected
+        // byte-identical centers.
+        if let Some(reference) = group.iter().find(|r| !r.skipped) {
+            for row in &group {
+                if !row.skipped && row.selection != reference.selection {
+                    eprintln!(
+                        "perfsuite: SELECTION MISMATCH at n={n} k={k} {sname}: {} {:?} vs {} {:?}",
+                        reference.engine, reference.selection, row.engine, row.selection
+                    );
+                    checks_ok = false;
+                }
+            }
+        }
+        // Cross-check 2: sparse never charges more evals than scan,
+        // and dirty-region never charges more than plain sparse.
+        let find = |name: &str| group.iter().find(|r| r.engine == name && !r.skipped);
+        if let (Some(scan), Some(sparse)) = (find("scan"), find("sparse")) {
+            if sparse.evals > scan.evals {
+                eprintln!(
+                    "perfsuite: EVAL REGRESSION at n={n} k={k} {sname}: sparse {} > scan {}",
+                    sparse.evals, scan.evals
+                );
+                checks_ok = false;
+            }
+            speedups.push(Speedup {
+                n,
+                k,
+                strategy: sname.to_owned(),
+                scan_wall_ms: scan.wall_ms,
+                sparse_wall_ms: sparse.wall_ms,
+                speedup: scan.wall_ms / sparse.wall_ms,
+            });
+        }
+        if let (Some(sparse), Some(dirty)) = (find("sparse"), find("sparse+dirty")) {
+            if dirty.evals > sparse.evals {
+                eprintln!(
+                    "perfsuite: EVAL REGRESSION at n={n} k={k} {sname}: sparse+dirty {} > sparse {}",
+                    dirty.evals, sparse.evals
+                );
+                checks_ok = false;
+            }
+        }
     }
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let (build_ms, bytes) = match oracle.sparse_stats() {
-        Some(s) => (s.build_nanos as f64 / 1e6, s.bytes),
-        None => (0.0, 0),
-    };
-    (
-        wall_ms,
-        oracle.evals(),
-        oracle.dirty_skips(),
-        build_ms,
-        bytes,
-        reward,
-        picks,
-    )
+    checks_ok
 }
 
 fn main() -> ExitCode {
@@ -175,111 +193,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sizes: &[usize] = if args.quick {
-        &[1_000, 10_000]
+    let mut sizes: Vec<usize> = if args.quick {
+        vec![1_000, 10_000]
     } else {
-        &[1_000, 10_000, 100_000]
+        vec![1_000, 10_000, 100_000]
     };
+    if args.huge {
+        sizes.push(1_000_000);
+    }
     let ks = [4usize, 16];
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut checks_ok = true;
 
-    for &n in sizes {
+    for &n in &sizes {
         for &k in &ks {
-            let inst = build_instance(n, k, args.seed);
-            for (sname, strategy) in strategies() {
-                let mut group: Vec<&Row> = Vec::new();
-                let start = rows.len();
-                for (ename, kind, dirty) in ENGINES {
-                    if kind == EngineKind::Scan && n > SCAN_MAX_N {
-                        rows.push(Row {
-                            n,
-                            k,
-                            strategy: sname.to_owned(),
-                            engine: ename.to_owned(),
-                            skipped: true,
-                            wall_ms: 0.0,
-                            evals: 0,
-                            evals_skipped: 0,
-                            csr_build_ms: 0.0,
-                            csr_bytes: 0,
-                            reward: 0.0,
-                            selection: Vec::new(),
-                        });
-                        println!(
-                            "n={n:>6} k={k:>2} {sname:<4} {ename:<12} skipped (n > {SCAN_MAX_N})"
-                        );
-                        continue;
-                    }
-                    let (wall_ms, evals, skips, build_ms, bytes, reward, picks) =
-                        run_one(&inst, strategy, kind, dirty);
-                    println!(
-                        "n={n:>6} k={k:>2} {sname:<4} {ename:<12} {wall_ms:>10.2} ms  evals {evals:>9}  dirty-skips {skips:>7}"
-                    );
-                    rows.push(Row {
-                        n,
-                        k,
-                        strategy: sname.to_owned(),
-                        engine: ename.to_owned(),
-                        skipped: false,
-                        wall_ms,
-                        evals,
-                        evals_skipped: skips,
-                        csr_build_ms: build_ms,
-                        csr_bytes: bytes,
-                        reward,
-                        selection: picks,
-                    });
-                }
-                group.extend(rows[start..].iter());
-
-                // Cross-check 1: every engine in the group selected
-                // byte-identical centers.
-                let reference = group.iter().find(|r| !r.skipped);
-                if let Some(reference) = reference {
-                    for row in &group {
-                        if !row.skipped && row.selection != reference.selection {
-                            eprintln!(
-                                "perfsuite: SELECTION MISMATCH at n={n} k={k} {sname}: {} {:?} vs {} {:?}",
-                                reference.engine, reference.selection, row.engine, row.selection
-                            );
-                            checks_ok = false;
-                        }
-                    }
-                }
-                // Cross-check 2: sparse never charges more evals than
-                // scan, and dirty-region never charges more than plain
-                // sparse.
-                let find = |name: &str| group.iter().find(|r| r.engine == name && !r.skipped);
-                if let (Some(scan), Some(sparse)) = (find("scan"), find("sparse")) {
-                    if sparse.evals > scan.evals {
-                        eprintln!(
-                            "perfsuite: EVAL REGRESSION at n={n} k={k} {sname}: sparse {} > scan {}",
-                            sparse.evals, scan.evals
-                        );
-                        checks_ok = false;
-                    }
-                    speedups.push(Speedup {
-                        n,
-                        k,
-                        strategy: sname.to_owned(),
-                        scan_wall_ms: scan.wall_ms,
-                        sparse_wall_ms: sparse.wall_ms,
-                        speedup: scan.wall_ms / sparse.wall_ms,
-                    });
-                }
-                if let (Some(sparse), Some(dirty)) = (find("sparse"), find("sparse+dirty")) {
-                    if dirty.evals > sparse.evals {
-                        eprintln!(
-                            "perfsuite: EVAL REGRESSION at n={n} k={k} {sname}: sparse+dirty {} > sparse {}",
-                            dirty.evals, sparse.evals
-                        );
-                        checks_ok = false;
-                    }
-                }
-            }
+            checks_ok &= sweep_cell(n, k, args.seed, &mut rows, &mut speedups);
         }
     }
 
@@ -293,6 +223,7 @@ fn main() -> ExitCode {
     let report = Report {
         suite: "perfsuite".to_owned(),
         quick: args.quick,
+        huge: args.huge,
         seed: args.seed,
         target_degree: TARGET_DEGREE,
         rows,

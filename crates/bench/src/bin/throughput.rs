@@ -1,0 +1,399 @@
+//! `throughput` — the persisted batched-solving baseline behind
+//! `BENCH_PR5.json`.
+//!
+//! ```text
+//! throughput [--quick] [--out PATH] [--seed S] [--threads N]
+//! ```
+//!
+//! Sweeps batch shapes (distinct instances × adjacent repeats) ×
+//! {cold, warm-scratch} × {serial, parallel CSR build} through the
+//! [`BatchRunner`] pipeline at the PR4 baseline scale (n=10⁴, k=16,
+//! degree-pinned radius), and records:
+//!
+//! - per-arm throughput (requests/s) with warm-vs-cold speedups;
+//! - the parallel-vs-serial CSR build ratio plus a byte-identity
+//!   check of the two adjacency structures;
+//! - the steady-state allocation count of the warm solve path,
+//!   measured with a counting global allocator (must be 0);
+//! - in full mode, perfsuite-style rows at n=10⁶ (lazy × sparse only)
+//!   — the ROADMAP's "millions of users" scale.
+//!
+//! Every warm arm is verified bit-identical to the cold unbatched
+//! reference in-binary; any mismatch, nonzero steady-state allocation
+//! count, or CSR divergence exits non-zero so CI can run this binary
+//! directly (`--quick` in the `throughput-smoke` job).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mmph_bench::perfrows::{build_instance, run_one, Row, DEFAULT_SEED, TARGET_DEGREE};
+use mmph_core::{
+    solve_rounds, verify_reports, BatchRunner, CsrScratch, EngineKind, Instance, OracleStrategy,
+    RewardEngine, SolveScratch,
+};
+use serde::Serialize;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[derive(Debug, Clone)]
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("BENCH_PR5.json"),
+        seed: DEFAULT_SEED,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = Some(v.parse().map_err(|_| format!("bad --threads value: {v}"))?);
+            }
+            "--help" | "-h" => {
+                println!("usage: throughput [--quick] [--out PATH] [--seed S] [--threads N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One batch configuration's measured throughput.
+#[derive(Debug, Clone, Serialize)]
+struct Arm {
+    distinct: usize,
+    repeat: usize,
+    mode: String,
+    csr: String,
+    requests: usize,
+    workers: usize,
+    wall_ms: f64,
+    throughput_per_sec: f64,
+    engines_reused: usize,
+    mean_solve_ms: f64,
+    verified: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct WarmCold {
+    distinct: usize,
+    repeat: usize,
+    cold_rps: f64,
+    warm_rps: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CsrBuild {
+    n: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    byte_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    suite: String,
+    quick: bool,
+    seed: u64,
+    n: usize,
+    k: usize,
+    target_degree: f64,
+    arms: Vec<Arm>,
+    warm_vs_cold: Vec<WarmCold>,
+    csr_build: CsrBuild,
+    steady_state_allocs: Vec<(String, u64)>,
+    huge_rows: Vec<Row>,
+    checks_ok: bool,
+}
+
+/// Builds the request stream: `distinct` degree-pinned instances with
+/// consecutive seeds, each repeated `repeat` times adjacently (the
+/// serving pattern the warm path amortizes over).
+fn stream(n: usize, k: usize, seed: u64, distinct: usize, repeat: usize) -> Vec<Instance<2>> {
+    let mut out = Vec::with_capacity(distinct * repeat);
+    for d in 0..distinct {
+        let inst = build_instance(n, k, seed + d as u64);
+        for _ in 0..repeat {
+            out.push(inst.clone());
+        }
+    }
+    out
+}
+
+fn arm(
+    runner: &BatchRunner,
+    insts: &[Instance<2>],
+    distinct: usize,
+    repeat: usize,
+    mode: &str,
+    csr: &str,
+) -> (Arm, mmph_core::BatchReport) {
+    let report = runner.run(insts);
+    let a = Arm {
+        distinct,
+        repeat,
+        mode: mode.to_owned(),
+        csr: csr.to_owned(),
+        requests: report.results.len(),
+        workers: report.workers,
+        wall_ms: report.wall_nanos as f64 / 1e6,
+        throughput_per_sec: report.throughput(),
+        engines_reused: report.engines_reused(),
+        mean_solve_ms: report.total_solve_nanos() as f64 / report.results.len().max(1) as f64 / 1e6,
+        verified: false,
+    };
+    (a, report)
+}
+
+/// Times serial vs parallel CSR construction on a fresh scratch each
+/// and checks byte-identity of the resulting adjacency.
+fn csr_build_check(inst: &Instance<2>) -> CsrBuild {
+    let mut s1 = CsrScratch::new();
+    let mut s2 = CsrScratch::new();
+    // Warm both scratches so the comparison is build work, not growth.
+    RewardEngine::sparse_with_scratch(inst, &mut s1, false).reclaim(&mut s1);
+    RewardEngine::sparse_with_scratch(inst, &mut s2, true).reclaim(&mut s2);
+
+    let t0 = Instant::now();
+    let serial = RewardEngine::sparse_with_scratch(inst, &mut s1, false);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let parallel = RewardEngine::sparse_with_scratch(inst, &mut s2, true);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let (so, si, sf, sw) = serial.csr_parts().expect("serial CSR present");
+    let (po, pi, pf, pw) = parallel.csr_parts().expect("parallel CSR present");
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+    let byte_identical = so == po && si == pi && bits_eq(sf, pf) && bits_eq(sw, pw);
+    CsrBuild {
+        n: inst.n(),
+        threads: rayon::current_num_threads(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+        byte_identical,
+    }
+}
+
+/// Counts allocations during a steady-state warm solve (after one
+/// warmup solve on the same oracle + scratch). Must return 0.
+fn steady_state_allocs(inst: &Instance<2>, strategy: OracleStrategy) -> u64 {
+    let runner = BatchRunner::new().with_strategy(strategy);
+    let mut scratch = SolveScratch::new();
+    let oracle = runner.build_oracle(inst, &mut scratch);
+    solve_rounds(&oracle, &mut scratch); // warmup
+    let before = ALLOCS.load(Ordering::Relaxed);
+    solve_rounds(&oracle, &mut scratch);
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(threads) = args.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("thread pool config");
+    }
+    let (n, k, distinct, repeats): (usize, usize, usize, &[usize]) = if args.quick {
+        (2_000, 8, 2, &[1, 4])
+    } else {
+        (10_000, 16, 4, &[1, 2, 4, 8])
+    };
+
+    let mut arms = Vec::new();
+    let mut warm_vs_cold = Vec::new();
+    let mut checks_ok = true;
+
+    let cold_runner = BatchRunner::new().with_warm(false);
+    let warm_serial = BatchRunner::new();
+    let warm_parallel = BatchRunner::new().with_parallel_csr(true);
+
+    for &repeat in repeats {
+        let insts = stream(n, k, args.seed, distinct, repeat);
+        let (cold_arm, cold_report) = arm(&cold_runner, &insts, distinct, repeat, "cold", "serial");
+        println!(
+            "n={n} k={k} distinct={distinct} repeat={repeat} cold          {:>8.1} req/s",
+            cold_arm.throughput_per_sec
+        );
+        let mut cold_arm = cold_arm;
+        cold_arm.verified = true; // cold IS the unbatched reference
+        let cold_rps = cold_arm.throughput_per_sec;
+        arms.push(cold_arm);
+
+        for (runner, csr) in [(&warm_serial, "serial"), (&warm_parallel, "parallel")] {
+            let (mut warm_arm, warm_report) = arm(runner, &insts, distinct, repeat, "warm", csr);
+            match verify_reports(&warm_report, &cold_report) {
+                Ok(()) => warm_arm.verified = true,
+                Err(e) => {
+                    eprintln!("throughput: VERIFICATION FAILED (warm/{csr} repeat={repeat}): {e}");
+                    checks_ok = false;
+                }
+            }
+            println!(
+                "n={n} k={k} distinct={distinct} repeat={repeat} warm/{csr:<8} {:>8.1} req/s  ({} engines reused, verified={})",
+                warm_arm.throughput_per_sec, warm_arm.engines_reused, warm_arm.verified
+            );
+            if csr == "serial" {
+                warm_vs_cold.push(WarmCold {
+                    distinct,
+                    repeat,
+                    cold_rps,
+                    warm_rps: warm_arm.throughput_per_sec,
+                    speedup: warm_arm.throughput_per_sec / cold_rps,
+                });
+            }
+            arms.push(warm_arm);
+        }
+    }
+
+    for wc in &warm_vs_cold {
+        println!(
+            "warm/cold n={n} repeat={:>2}: {:>8.1} vs {:>8.1} req/s = {:.2}x",
+            wc.repeat, wc.warm_rps, wc.cold_rps, wc.speedup
+        );
+    }
+
+    // Parallel CSR build ratio + byte-identity, on one stream instance.
+    let probe = build_instance(n, k, args.seed);
+    let csr_build = csr_build_check(&probe);
+    println!(
+        "csr build n={n} threads={}: serial {:.2} ms vs parallel {:.2} ms = {:.2}x (byte-identical: {})",
+        csr_build.threads, csr_build.serial_ms, csr_build.parallel_ms, csr_build.speedup,
+        csr_build.byte_identical
+    );
+    if !csr_build.byte_identical {
+        eprintln!("throughput: PARALLEL CSR DIVERGED from serial build");
+        checks_ok = false;
+    }
+
+    // Zero-allocation steady state, per serving strategy.
+    let alloc_probe = build_instance(if args.quick { 2_000 } else { 10_000 }, k, args.seed);
+    let mut steady = Vec::new();
+    for (name, strategy) in [("seq", OracleStrategy::Seq), ("lazy", OracleStrategy::Lazy)] {
+        let allocs = steady_state_allocs(&alloc_probe, strategy);
+        println!("steady-state allocs ({name}): {allocs}");
+        if allocs != 0 {
+            eprintln!("throughput: STEADY-STATE SOLVE ALLOCATED ({name}: {allocs})");
+            checks_ok = false;
+        }
+        steady.push((name.to_owned(), allocs));
+    }
+
+    // The "millions of users" rows (full mode only): n=10⁶, lazy ×
+    // sparse, with the skipped columns recorded as in perfsuite.
+    let mut huge_rows = Vec::new();
+    if !args.quick {
+        let huge_n = 1_000_000;
+        let inst = build_instance(huge_n, 4, args.seed);
+        for (ename, dirty) in [("sparse", false), ("sparse+dirty", true)] {
+            let row = run_one(
+                &inst,
+                "lazy",
+                OracleStrategy::Lazy,
+                ename,
+                EngineKind::Sparse,
+                dirty,
+            );
+            println!(
+                "huge n={huge_n} k=4 lazy {ename:<12} {:>10.2} ms  evals {:>9}  dirty-skips {:>7}",
+                row.wall_ms, row.evals, row.evals_skipped
+            );
+            huge_rows.push(row);
+        }
+        for ename in ["scan", "kd"] {
+            huge_rows.push(Row::skipped(huge_n, 4, "lazy", ename));
+        }
+        for ename in ["scan", "kd", "sparse", "sparse+dirty"] {
+            huge_rows.push(Row::skipped(huge_n, 4, "seq", ename));
+        }
+        let ran: Vec<&Row> = huge_rows.iter().filter(|r| !r.skipped).collect();
+        if ran.len() == 2 {
+            if ran[0].selection != ran[1].selection {
+                eprintln!("throughput: HUGE SELECTION MISMATCH sparse vs sparse+dirty");
+                checks_ok = false;
+            }
+            if ran[1].evals > ran[0].evals {
+                eprintln!("throughput: HUGE EVAL REGRESSION: dirty charged more than plain sparse");
+                checks_ok = false;
+            }
+        }
+    }
+
+    let report = Report {
+        suite: "throughput".to_owned(),
+        quick: args.quick,
+        seed: args.seed,
+        n,
+        k,
+        target_degree: TARGET_DEGREE,
+        arms,
+        warm_vs_cold,
+        csr_build,
+        steady_state_allocs: steady,
+        huge_rows,
+        checks_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("throughput: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("throughput: wrote {}", args.out.display());
+
+    if !checks_ok {
+        eprintln!("throughput: cross-checks FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -22,4 +22,5 @@
 //! path are caught.
 
 pub mod experiments;
+pub mod perfrows;
 pub mod render;

@@ -1,0 +1,178 @@
+//! Shared plumbing for the persisted performance baselines
+//! (`perfsuite` → `BENCH_PR4.json`, `throughput` → `BENCH_PR5.json`):
+//! instance construction pinned to a constant expected neighbor
+//! degree, the timed single-solve runner, and the serialized row
+//! shape both binaries append to their reports.
+
+use std::f64::consts::PI;
+use std::time::Instant;
+
+use mmph_core::{EngineKind, GainOracle, Instance, OracleStrategy, Residuals};
+use mmph_sim::gen::{PointDistribution, SpaceSpec, WeightScheme};
+use mmph_sim::rng::SeedSeq;
+use serde::Serialize;
+
+/// Default root seed shared by the perf binaries.
+pub const DEFAULT_SEED: u64 = 0x5EED_BA5E;
+/// Target expected neighbor count within radius, held constant across n.
+pub const TARGET_DEGREE: f64 = 48.0;
+/// Dense scan is O(n) per eval; above this n it is skipped (recorded,
+/// not silently dropped).
+pub const SCAN_MAX_N: usize = 10_000;
+
+/// One engine × strategy measurement of a full k-round greedy solve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Instance size.
+    pub n: usize,
+    /// Rounds.
+    pub k: usize,
+    /// Oracle strategy name (`seq`, `lazy`, ...).
+    pub strategy: String,
+    /// Engine column name (`scan`, `kd`, `sparse`, `sparse+dirty`).
+    pub engine: String,
+    /// True when the combination was recorded but not run.
+    pub skipped: bool,
+    /// Wall time of oracle build + k rounds.
+    pub wall_ms: f64,
+    /// Charged candidate evaluations.
+    pub evals: u64,
+    /// Evaluations skipped by the dirty-region test.
+    pub evals_skipped: u64,
+    /// CSR build time (sparse engines only).
+    pub csr_build_ms: f64,
+    /// CSR footprint in bytes (sparse engines only).
+    pub csr_bytes: usize,
+    /// Total coverage reward.
+    pub reward: f64,
+    /// Selected candidate indices.
+    pub selection: Vec<usize>,
+}
+
+impl Row {
+    /// A placeholder row for a combination that was deliberately not
+    /// run (e.g. dense scan above [`SCAN_MAX_N`]).
+    pub fn skipped(n: usize, k: usize, strategy: &str, engine: &str) -> Self {
+        Row {
+            n,
+            k,
+            strategy: strategy.to_owned(),
+            engine: engine.to_owned(),
+            skipped: true,
+            wall_ms: 0.0,
+            evals: 0,
+            evals_skipped: 0,
+            csr_build_ms: 0.0,
+            csr_bytes: 0,
+            reward: 0.0,
+            selection: Vec::new(),
+        }
+    }
+}
+
+/// Radius keeping the expected within-radius degree at
+/// [`TARGET_DEGREE`] for n uniform points in the paper's `[0, 4]^2`
+/// space.
+pub fn radius_for(n: usize) -> f64 {
+    SpaceSpec::PAPER.extent() * (TARGET_DEGREE / (PI * n as f64)).sqrt()
+}
+
+/// Uniform paper-space instance with the degree-pinned radius,
+/// deterministically derived from `(seed, n)`.
+pub fn build_instance(n: usize, k: usize, seed: u64) -> Instance<2> {
+    let seeds = SeedSeq::new(seed).child(n as u64);
+    let points = PointDistribution::Uniform
+        .sample::<2>(n, SpaceSpec::PAPER, seeds)
+        .expect("uniform sampling cannot fail");
+    let weights = WeightScheme::PAPER_WEIGHTED
+        .sample(n, seeds)
+        .expect("weight sampling cannot fail");
+    Instance::new(points, weights, radius_for(n), k, mmph_geom::Norm::L2)
+        .expect("generated instance is valid")
+}
+
+/// One timed greedy run: oracle construction (including any index /
+/// CSR build) plus k rounds of argmax-and-commit. Returns a filled
+/// [`Row`].
+pub fn run_one(
+    inst: &Instance<2>,
+    sname: &str,
+    strategy: OracleStrategy,
+    ename: &str,
+    kind: EngineKind,
+    dirty: bool,
+) -> Row {
+    let t0 = Instant::now();
+    let oracle = GainOracle::with_engine(inst, kind, strategy).with_dirty_region(dirty);
+    let mut residuals = Residuals::new(inst.n());
+    let mut picks = Vec::with_capacity(inst.k());
+    let mut reward = 0.0;
+    for _ in 0..inst.k() {
+        let best = oracle.best_candidate(&residuals);
+        picks.push(best.index);
+        reward += residuals.apply(inst, inst.point(best.index));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (build_ms, bytes) = match oracle.sparse_stats() {
+        Some(s) => (s.build_nanos as f64 / 1e6, s.bytes),
+        None => (0.0, 0),
+    };
+    Row {
+        n: inst.n(),
+        k: inst.k(),
+        strategy: sname.to_owned(),
+        engine: ename.to_owned(),
+        skipped: false,
+        wall_ms,
+        evals: oracle.evals(),
+        evals_skipped: oracle.dirty_skips(),
+        csr_build_ms: build_ms,
+        csr_bytes: bytes,
+        reward,
+        selection: picks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_tracks_target_degree() {
+        // Expected degree = n * pi r^2 / extent^2 must equal the target.
+        for n in [1_000usize, 100_000] {
+            let r = radius_for(n);
+            let degree = n as f64 * PI * r * r / SpaceSpec::PAPER.extent().powi(2);
+            assert!((degree - TARGET_DEGREE).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_and_run_consistent() {
+        let a = build_instance(500, 4, DEFAULT_SEED);
+        let b = build_instance(500, 4, DEFAULT_SEED);
+        assert_eq!(a, b);
+        let scan = run_one(
+            &a,
+            "seq",
+            OracleStrategy::Seq,
+            "scan",
+            EngineKind::Scan,
+            false,
+        );
+        let sparse = run_one(
+            &a,
+            "lazy",
+            OracleStrategy::Lazy,
+            "sparse",
+            EngineKind::Sparse,
+            false,
+        );
+        assert_eq!(scan.selection, sparse.selection);
+        assert_eq!(scan.reward.to_bits(), sparse.reward.to_bits());
+        assert!(sparse.evals <= scan.evals);
+        assert!(sparse.csr_bytes > 0);
+        assert!(!scan.skipped);
+        assert!(Row::skipped(10, 2, "seq", "scan").skipped);
+    }
+}

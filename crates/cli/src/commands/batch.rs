@@ -1,0 +1,250 @@
+//! `mmph batch` — solve a stream of instances through the batched
+//! pipeline ([`BatchRunner`]): one scratch arena per worker,
+//! engine reuse across adjacent identical requests, and aggregate
+//! throughput reporting.
+
+use std::io::Write;
+
+use mmph_core::{verify_reports, BatchReport, BatchRunner, OracleStrategy};
+use serde::Serialize;
+
+use crate::args::{self, Flags};
+use crate::{CliError, Result};
+
+const HELP: &str = "\
+mmph batch — batched solving over a stream of instances
+
+USAGE:
+  mmph batch --scenarios <DIR|FILE|SPEC> [OPTIONS]
+
+OPTIONS:
+  --scenarios X    request stream: a directory of scenario *.json files,
+                   one such file, or an inline spec like
+                   n=10000,k=16,count=4,repeat=8,seed=0,norm=l2,weights=diff
+  --solver NAME    greedy2 (sequential argmax) or lazy (CELF) [lazy]
+  --oracle NAME    seq|par|lazy — overrides the solver's strategy
+  --engine NAME    auto|scan|kd|ball|sparse [sparse]
+  --threads N      worker threads (default: all cores)
+  --par-csr        build CSR adjacency with the parallel path
+  --cold           disable scratch/engine reuse (per-request baseline)
+  --verify         also run the opposite mode and require bit-identical
+                   selections and rewards
+  --json FILE      write the full report as JSON
+  --quiet          suppress per-request lines
+  --help           show this message";
+
+/// Report envelope written by `--json`. Owned fields: the vendored
+/// serde derive does not handle lifetime parameters.
+#[derive(Serialize)]
+struct JsonReport {
+    command: String,
+    scenarios: String,
+    solver: String,
+    engine: String,
+    parallel_csr: bool,
+    report: BatchReport,
+    throughput_per_sec: f64,
+    engines_reused: usize,
+    verified: Option<bool>,
+}
+
+fn strategy_from_flags(flags: &Flags) -> Result<OracleStrategy> {
+    if let Some(raw) = flags.get("oracle") {
+        return args::parse_oracle(raw);
+    }
+    match flags.get("solver").unwrap_or("lazy") {
+        "greedy2" => Ok(OracleStrategy::Seq),
+        "lazy" => Ok(OracleStrategy::Lazy),
+        other => Err(CliError::Usage(format!(
+            "--solver must be greedy2 or lazy (got `{other}`); use --oracle to force a strategy"
+        ))),
+    }
+}
+
+/// Entry point for `mmph batch`.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let flags = args::parse(
+        argv,
+        &["scenarios", "solver", "oracle", "engine", "threads", "json"],
+        &["par-csr", "cold", "verify", "quiet"],
+    )?;
+    args::install_thread_pool(&flags)?;
+    let scenarios_arg: String = flags.require("scenarios")?;
+    let strategy = strategy_from_flags(&flags)?;
+    let engine = args::parse_engine(flags.get("engine").unwrap_or("sparse"))?;
+    let warm = !flags.has("cold");
+
+    let instances = mmph_sim::instances_from_arg(&scenarios_arg)?;
+    let runner = BatchRunner::new()
+        .with_strategy(strategy)
+        .with_engine(engine)
+        .with_parallel_csr(flags.has("par-csr"))
+        .with_warm(warm);
+    let report = runner.run(&instances);
+
+    let verified = if flags.has("verify") {
+        let reference = runner.clone().with_warm(!warm).run(&instances);
+        verify_reports(&report, &reference).map_err(CliError::Usage)?;
+        Some(true)
+    } else {
+        None
+    };
+
+    if !flags.has("quiet") {
+        for r in &report.results {
+            writeln!(
+                out,
+                "req {:>4}  n={:<7} k={:<3} reward={:<12.4} evals={:<9} {:>9.3} ms{}",
+                r.index,
+                r.n,
+                r.k,
+                r.reward,
+                r.evals,
+                r.solve_nanos as f64 / 1e6,
+                if r.engine_reused {
+                    "  (engine reused)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+    }
+    writeln!(
+        out,
+        "batch: {} requests on {} worker(s) [{} | {} | {} csr] in {:.3} s = {:.1} req/s; engines reused {}/{}",
+        report.results.len(),
+        report.workers,
+        if warm { "warm" } else { "cold" },
+        strategy,
+        if flags.has("par-csr") { "parallel" } else { "serial" },
+        report.wall_nanos as f64 / 1e9,
+        report.throughput(),
+        report.engines_reused(),
+        report.results.len(),
+    )?;
+    if verified == Some(true) {
+        writeln!(
+            out,
+            "verify: selections and rewards bit-identical to the {} reference",
+            if warm { "cold" } else { "warm" }
+        )?;
+    }
+
+    if let Some(path) = flags.get("json") {
+        let envelope = JsonReport {
+            command: "batch".to_owned(),
+            scenarios: scenarios_arg.clone(),
+            solver: strategy.to_string(),
+            engine: engine.name().to_owned(),
+            parallel_csr: flags.has("par-csr"),
+            throughput_per_sec: report.throughput(),
+            engines_reused: report.engines_reused(),
+            verified,
+            report,
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&envelope)? + "\n")?;
+        writeln!(out, "batch: wrote {path}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (Result<()>, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let r = run(&argv, &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn help_prints() {
+        let (r, out) = run_capture(&["--help"]);
+        assert!(r.is_ok());
+        assert!(out.contains("mmph batch"));
+    }
+
+    #[test]
+    fn requires_scenarios() {
+        let (r, _) = run_capture(&[]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn inline_spec_runs_and_verifies() {
+        let (r, out) = run_capture(&[
+            "--scenarios",
+            "n=30,k=3,count=2,repeat=2,seed=3",
+            "--verify",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("4 requests"));
+        assert!(out.contains("engines reused 2/4"), "{out}");
+        assert!(out.contains("bit-identical"));
+    }
+
+    #[test]
+    fn cold_mode_reuses_nothing() {
+        let (r, out) = run_capture(&["--scenarios", "n=20,repeat=3", "--cold", "--quiet"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("engines reused 0/3"), "{out}");
+        assert!(out.contains("cold"));
+    }
+
+    #[test]
+    fn solver_and_oracle_flags() {
+        for extra in [
+            ["--solver", "greedy2"],
+            ["--oracle", "par"],
+            ["--engine", "kd"],
+        ] {
+            let mut argv = vec!["--scenarios", "n=15,repeat=2", "--quiet", "--verify"];
+            argv.extend(extra);
+            let (r, _) = run_capture(&argv);
+            assert!(r.is_ok(), "{extra:?}: {r:?}");
+        }
+        let (r, _) = run_capture(&["--scenarios", "n=15", "--solver", "greedy9"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn par_csr_flag_verifies_against_serial_cold() {
+        let (r, out) = run_capture(&[
+            "--scenarios",
+            "n=40,count=2,repeat=2",
+            "--par-csr",
+            "--verify",
+            "--quiet",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("parallel csr"), "{out}");
+    }
+
+    #[test]
+    fn json_report_is_written() {
+        let path = std::env::temp_dir().join(format!("mmph-batch-{}.json", std::process::id()));
+        // --threads 1 keeps both repeats on one worker regardless of
+        // what other tests set the global pool to.
+        let (r, _) = run_capture(&[
+            "--scenarios",
+            "n=12,repeat=2",
+            "--threads",
+            "1",
+            "--quiet",
+            "--json",
+            path.to_str().unwrap(),
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"command\": \"batch\""), "{text}");
+        assert!(text.contains("\"throughput_per_sec\""));
+        assert!(text.contains("\"engine_reused\": true"), "repeat reused");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

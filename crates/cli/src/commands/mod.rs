@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod batch;
 pub mod bounds;
 pub mod generate;
 pub mod report;

@@ -3,6 +3,7 @@
 //! ```text
 //! mmph generate --n 40 --k 4 --r 1.0 --out instance.json
 //! mmph solve --input instance.json --solver greedy3
+//! mmph batch --scenarios n=10000,k=16,count=4,repeat=8 --verify
 //! mmph solve --n 40 --k 4 --r 1 --all --svg coverage.svg
 //! mmph report --n 80 --k 4 --solver greedy2
 //! mmph simulate --n 80 --k 4 --horizon 48 --drift 0.02
@@ -55,6 +56,7 @@ USAGE:
 COMMANDS:
   generate   generate a problem instance and write it as JSON
   solve      solve an instance with one solver (or --all)
+  batch      solve a stream of instances with scratch/engine reuse
   report     solve and explain the plan (per-center stats, histogram)
   simulate   run the time-slotted broadcast simulation
   bounds     print the paper's approximation bounds (Fig. 2 data)
@@ -73,6 +75,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     match cmd.as_str() {
         "generate" => commands::generate::run(rest, out),
         "solve" => commands::solve::run(rest, out),
+        "batch" => commands::batch::run(rest, out),
         "report" => commands::report::run(rest, out),
         "simulate" => commands::simulate::run(rest, out),
         "bounds" => commands::bounds::run(rest, out),

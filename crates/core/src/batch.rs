@@ -1,0 +1,476 @@
+//! Batched solving: a worker pool driving [`solve_rounds`] over a
+//! stream of instances with one [`SolveScratch`] per worker.
+//!
+//! The serving regime this targets (ROADMAP north star; cf. the
+//! distributed-caching framing of Avrachenkov et al.) is *many solves
+//! per second over many instances*, where per-solve setup — CSR
+//! construction, heap and residual allocation — dominates a cold
+//! solve. The batch path amortizes both:
+//!
+//! - **Scratch reuse**: every buffer a solve touches lives in the
+//!   worker's [`SolveScratch`], so steady-state solves allocate
+//!   nothing (asserted by the `zero_alloc` integration test).
+//! - **Engine reuse**: consecutive requests for the *same* instance
+//!   (adjacent in the stream, as produced by
+//!   `mmph_sim`'s `repeat` spec) share one built [`RewardEngine`];
+//!   only the first request in a run pays the CSR build.
+//!
+//! Both reuses are bit-transparent: a warm batched solve returns the
+//! same selection and reward bits as a cold unbatched solve
+//! ([`verify_reports`] checks this in-binary; `proptest_scratch`
+//! fuzzes it).
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::instance::Instance;
+use crate::oracle::{GainOracle, OracleStrategy};
+use crate::reward::{EngineKind, RewardEngine};
+use crate::scratch::SolveScratch;
+
+/// One greedy solve through a prepared oracle, using only the buffers
+/// in `scratch`. After a warmup solve of the same shape this performs
+/// zero heap allocations for the [`OracleStrategy::Seq`] and
+/// [`OracleStrategy::Lazy`] strategies ([`OracleStrategy::Par`]
+/// allocates inside the thread-pool shim).
+///
+/// The selection is left in `scratch.picks()` / `scratch.round_gains()`
+/// and the total reward is returned. Results are bit-identical to a
+/// fresh-allocation solve regardless of what the scratch last held.
+pub fn solve_rounds<const D: usize>(oracle: &GainOracle<'_, D>, scratch: &mut SolveScratch) -> f64 {
+    let inst = oracle.instance();
+    let (n, k) = (inst.n(), inst.k());
+    scratch.residuals.reset(n);
+    scratch.picks.clear();
+    scratch.picks.reserve(k);
+    scratch.round_gains.clear();
+    scratch.round_gains.reserve(k);
+    // A reused oracle still holds the previous solve's CELF heap;
+    // those cached gains/versions are meaningless against reset
+    // residuals, so force a re-prime (which reuses the heap storage).
+    oracle.reset_lazy();
+    let mut total = 0.0;
+    for _ in 0..k {
+        let best = oracle.best_candidate(&scratch.residuals);
+        let gain = scratch.residuals.apply(inst, inst.point(best.index));
+        scratch.picks.push(best.index);
+        scratch.round_gains.push(gain);
+        total += gain;
+    }
+    total
+}
+
+/// Returns the buffers an oracle borrowed from `scratch` (CELF heap
+/// storage and, for sparse engines, the CSR arrays) so the next solve
+/// can reuse their capacity. Call when retiring an oracle built by
+/// [`BatchRunner::build_oracle`].
+pub fn recycle<const D: usize>(oracle: GainOracle<'_, D>, scratch: &mut SolveScratch) {
+    scratch.put_lazy(oracle.take_lazy_scratch());
+    oracle.into_engine().reclaim(&mut scratch.csr);
+}
+
+/// Per-request outcome of a batch run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchResult {
+    /// Position of the request in the input stream.
+    pub index: usize,
+    /// Instance size.
+    pub n: usize,
+    /// Number of centers selected.
+    pub k: usize,
+    /// Total coverage reward of the selection.
+    pub reward: f64,
+    /// Candidate evaluations charged to this request.
+    pub evals: u64,
+    /// Wall time of the solve (excludes engine build when the engine
+    /// was reused; includes it on the first request of a run).
+    pub solve_nanos: u64,
+    /// Whether this request reused the previous request's engine.
+    pub engine_reused: bool,
+    /// Selected candidate indices, in pick order.
+    pub selection: Vec<usize>,
+}
+
+/// Aggregate outcome of [`BatchRunner::run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchReport {
+    /// Per-request results, in input order.
+    pub results: Vec<BatchResult>,
+    /// End-to-end wall time of the batch, including worker spawn.
+    pub wall_nanos: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Whether scratch/engine reuse was enabled.
+    pub warm: bool,
+}
+
+impl BatchReport {
+    /// Requests completed per second of batch wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Number of requests that reused a previously built engine.
+    pub fn engines_reused(&self) -> usize {
+        self.results.iter().filter(|r| r.engine_reused).count()
+    }
+
+    /// Sum of per-request solve times (excludes batch overhead).
+    pub fn total_solve_nanos(&self) -> u64 {
+        self.results.iter().map(|r| r.solve_nanos).sum()
+    }
+
+    /// Sum of per-request rewards.
+    pub fn total_reward(&self) -> f64 {
+        self.results.iter().map(|r| r.reward).sum()
+    }
+}
+
+/// Checks that two reports over the same request stream picked
+/// bit-identical selections and rewards. Used to verify warm (reused
+/// scratch/engine) runs against cold reference runs in-binary.
+pub fn verify_reports(a: &BatchReport, b: &BatchReport) -> Result<(), String> {
+    if a.results.len() != b.results.len() {
+        return Err(format!(
+            "request count mismatch: {} vs {}",
+            a.results.len(),
+            b.results.len()
+        ));
+    }
+    for (x, y) in a.results.iter().zip(&b.results) {
+        if x.selection != y.selection {
+            return Err(format!(
+                "selection mismatch at request {}: {:?} vs {:?}",
+                x.index, x.selection, y.selection
+            ));
+        }
+        if x.reward.to_bits() != y.reward.to_bits() {
+            return Err(format!(
+                "reward bits mismatch at request {}: {} vs {}",
+                x.index, x.reward, y.reward
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drives a worker pool over a stream of instances. Configure with the
+/// builder methods, then call [`Self::run`].
+///
+/// ```
+/// use mmph_core::{BatchRunner, InstanceBuilder};
+///
+/// let inst = InstanceBuilder::new()
+///     .point([0.0, 0.0], 1.0)
+///     .point([3.0, 0.0], 2.0)
+///     .radius(1.0)
+///     .k(1)
+///     .build()
+///     .unwrap();
+/// let stream = vec![inst.clone(), inst];
+/// let report = BatchRunner::new().run(&stream);
+/// assert_eq!(report.results.len(), 2);
+/// assert_eq!(report.results[0].selection, vec![1]);
+/// assert_eq!(report.engines_reused(), 1); // identical adjacent requests
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    strategy: OracleStrategy,
+    engine: EngineKind,
+    parallel_csr: bool,
+    warm: bool,
+    dirty_region: bool,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner {
+            strategy: OracleStrategy::Lazy,
+            engine: EngineKind::Sparse,
+            parallel_csr: false,
+            warm: true,
+            dirty_region: false,
+        }
+    }
+}
+
+impl BatchRunner {
+    /// Defaults: lazy (CELF) oracle on the sparse engine, serial CSR
+    /// build, warm scratch/engine reuse on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Candidate-argmax strategy (identical selections under all).
+    pub fn with_strategy(mut self, strategy: OracleStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Reward-evaluation engine. [`EngineKind::Auto`] is treated as
+    /// [`EngineKind::Sparse`] here: batch serving is exactly the
+    /// workload the CSR engine exists for, and only the sparse engine
+    /// participates in CSR-scratch reuse.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Build the CSR adjacency with the rayon-parallel path
+    /// (byte-identical output to the serial build).
+    pub fn with_parallel_csr(mut self, yes: bool) -> Self {
+        self.parallel_csr = yes;
+        self
+    }
+
+    /// `false` disables all reuse: every request allocates fresh state
+    /// and builds its own engine — the cold per-instance baseline the
+    /// `throughput` bench compares against.
+    pub fn with_warm(mut self, yes: bool) -> Self {
+        self.warm = yes;
+        self
+    }
+
+    /// Enables the dirty-region CELF upgrade on sparse engines.
+    pub fn with_dirty_region(mut self, yes: bool) -> Self {
+        self.dirty_region = yes;
+        self
+    }
+
+    /// Builds an oracle whose engine and CELF heap borrow their
+    /// storage from `scratch`. Retire it with [`recycle`] to return
+    /// the storage.
+    pub fn build_oracle<'a, const D: usize>(
+        &self,
+        inst: &'a Instance<D>,
+        scratch: &mut SolveScratch,
+    ) -> GainOracle<'a, D> {
+        let engine = match self.engine {
+            EngineKind::Sparse | EngineKind::Auto => {
+                RewardEngine::sparse_with_scratch(inst, &mut scratch.csr, self.parallel_csr)
+            }
+            kind => RewardEngine::with_kind(inst, kind),
+        };
+        GainOracle::from_engine(engine, self.strategy)
+            .with_dirty_region(self.dirty_region)
+            .with_lazy_scratch(scratch.take_lazy())
+    }
+
+    /// Cold reference solve: fresh allocations, serial CSR build, no
+    /// reuse of any kind — the unbatched per-request baseline.
+    fn solve_cold<const D: usize>(&self, index: usize, inst: &Instance<D>) -> BatchResult {
+        let kind = match self.engine {
+            EngineKind::Auto => EngineKind::Sparse,
+            kind => kind,
+        };
+        let t0 = Instant::now();
+        let oracle =
+            GainOracle::with_engine(inst, kind, self.strategy).with_dirty_region(self.dirty_region);
+        let mut residuals = crate::reward::Residuals::new(inst.n());
+        let mut picks = Vec::with_capacity(inst.k());
+        let mut reward = 0.0;
+        for _ in 0..inst.k() {
+            let best = oracle.best_candidate(&residuals);
+            reward += residuals.apply(inst, inst.point(best.index));
+            picks.push(best.index);
+        }
+        BatchResult {
+            index,
+            n: inst.n(),
+            k: inst.k(),
+            reward,
+            evals: oracle.evals(),
+            solve_nanos: t0.elapsed().as_nanos() as u64,
+            engine_reused: false,
+            selection: picks,
+        }
+    }
+
+    /// Serves one worker's contiguous slice of the stream.
+    fn run_chunk<const D: usize>(&self, start: usize, chunk: &[Instance<D>]) -> Vec<BatchResult> {
+        let mut out = Vec::with_capacity(chunk.len());
+        if !self.warm {
+            for (off, inst) in chunk.iter().enumerate() {
+                out.push(self.solve_cold(start + off, inst));
+            }
+            return out;
+        }
+        let mut scratch = SolveScratch::new();
+        let mut i = 0;
+        while i < chunk.len() {
+            let inst = &chunk[i];
+            // Extend the run over adjacent identical requests so they
+            // share one engine build.
+            let mut j = i + 1;
+            while j < chunk.len() && chunk[j] == *inst {
+                j += 1;
+            }
+            let build0 = Instant::now();
+            let oracle = self.build_oracle(inst, &mut scratch);
+            let build_nanos = build0.elapsed().as_nanos() as u64;
+            let mut evals_before = 0u64;
+            for r in i..j {
+                let t0 = Instant::now();
+                let reward = solve_rounds(&oracle, &mut scratch);
+                let mut solve_nanos = t0.elapsed().as_nanos() as u64;
+                if r == i {
+                    // The run's first request pays for the build.
+                    solve_nanos += build_nanos;
+                }
+                let evals = oracle.evals();
+                out.push(BatchResult {
+                    index: start + r,
+                    n: inst.n(),
+                    k: inst.k(),
+                    reward,
+                    evals: evals - evals_before,
+                    solve_nanos,
+                    engine_reused: r > i,
+                    selection: scratch.picks().to_vec(),
+                });
+                evals_before = evals;
+            }
+            recycle(oracle, &mut scratch);
+            i = j;
+        }
+        out
+    }
+
+    /// Solves every instance in `instances`, in order, across
+    /// `rayon::current_num_threads()` workers (each with its own
+    /// scratch). Results come back in input order.
+    pub fn run<const D: usize>(&self, instances: &[Instance<D>]) -> BatchReport {
+        let t0 = Instant::now();
+        let workers = rayon::current_num_threads()
+            .max(1)
+            .min(instances.len().max(1));
+        let results = if workers <= 1 {
+            self.run_chunk(0, instances)
+        } else {
+            let per = instances.len().div_ceil(workers);
+            let chunks: Vec<(usize, &[Instance<D>])> = instances
+                .chunks(per)
+                .enumerate()
+                .map(|(c, slice)| (c * per, slice))
+                .collect();
+            chunks
+                .into_par_iter()
+                .map(|(start, slice)| self.run_chunk(start, slice))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        BatchReport {
+            results,
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            workers,
+            warm: self.warm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmph_geom::{Norm, Point};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(seed: u64, n: usize, k: usize, norm: Norm) -> Instance<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=5) as f64).collect();
+        Instance::new(pts, ws, 1.0, k, norm).unwrap()
+    }
+
+    fn stream(seed: u64, distinct: usize, repeat: usize, norm: Norm) -> Vec<Instance<2>> {
+        let mut out = Vec::new();
+        for d in 0..distinct {
+            let inst = random_instance(seed + d as u64, 40 + 7 * d, 3, norm);
+            for _ in 0..repeat {
+                out.push(inst.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn warm_matches_cold_across_strategies_and_norms() {
+        for norm in [Norm::L1, Norm::L2] {
+            for strategy in [
+                OracleStrategy::Seq,
+                OracleStrategy::Par,
+                OracleStrategy::Lazy,
+            ] {
+                let insts = stream(11, 3, 3, norm);
+                let runner = BatchRunner::new().with_strategy(strategy);
+                let warm = runner.run(&insts);
+                let cold = runner.clone().with_warm(false).run(&insts);
+                verify_reports(&warm, &cold).unwrap_or_else(|e| panic!("{norm:?} {strategy}: {e}"));
+                assert!(warm.engines_reused() > 0, "adjacent repeats should reuse");
+                assert_eq!(cold.engines_reused(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_csr_batch_matches_serial_batch() {
+        let insts = stream(23, 2, 2, Norm::L2);
+        let serial = BatchRunner::new().run(&insts);
+        let parallel = BatchRunner::new().with_parallel_csr(true).run(&insts);
+        verify_reports(&serial, &parallel).unwrap();
+    }
+
+    #[test]
+    fn dirty_region_batch_matches_plain() {
+        let insts = stream(29, 2, 2, Norm::L2);
+        let plain = BatchRunner::new().run(&insts);
+        let dirty = BatchRunner::new().with_dirty_region(true).run(&insts);
+        verify_reports(&plain, &dirty).unwrap();
+    }
+
+    #[test]
+    fn results_are_in_input_order_with_correct_indices() {
+        let insts = stream(37, 4, 2, Norm::L2);
+        let report = BatchRunner::new().run(&insts);
+        assert_eq!(report.results.len(), insts.len());
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.n, insts[i].n());
+            assert_eq!(r.k, insts[i].k());
+        }
+        assert!(report.throughput() > 0.0);
+        assert!(report.total_reward() > 0.0);
+    }
+
+    #[test]
+    fn verify_reports_catches_mismatch() {
+        let insts = stream(41, 1, 2, Norm::L2);
+        let a = BatchRunner::new().run(&insts);
+        let mut b = a.clone();
+        b.results[1].selection[0] += 1;
+        assert!(verify_reports(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scratch_survives_mixed_instance_sizes() {
+        // A worker serving big-then-small-then-big instances must not
+        // leak state across sizes.
+        let a = random_instance(51, 90, 4, Norm::L2);
+        let b = random_instance(52, 12, 2, Norm::L2);
+        let insts = vec![a.clone(), b.clone(), a.clone()];
+        let warm = BatchRunner::new().run(&insts);
+        let cold = BatchRunner::new().with_warm(false).run(&insts);
+        verify_reports(&warm, &cold).unwrap();
+        // a's two appearances are separated by b: no reuse possible.
+        assert_eq!(warm.engines_reused(), 0);
+    }
+}

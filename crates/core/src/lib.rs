@@ -37,24 +37,28 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod analysis;
+pub mod batch;
 pub mod bounds;
 pub mod budget;
 pub mod instance;
 pub mod kernel;
 pub mod oracle;
 pub mod reward;
+pub mod scratch;
 pub mod solver;
 pub mod solvers;
 pub mod submodular;
 
+pub use batch::{recycle, solve_rounds, verify_reports, BatchReport, BatchResult, BatchRunner};
 pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 pub use instance::{Instance, InstanceBuilder};
 pub use kernel::{Kernel, PreparedKernel};
-pub use oracle::{GainOracle, OracleStrategy, Pruning, Scored};
+pub use oracle::{GainOracle, LazyScratch, OracleStrategy, Pruning, Scored};
 pub use reward::{
-    coverage_reward, objective, psi, EngineKind, Residuals, RewardEngine, SparseStats,
+    coverage_reward, objective, psi, CsrScratch, EngineKind, Residuals, RewardEngine, SparseStats,
     DEFAULT_SPARSE_CAP_BYTES,
 };
+pub use scratch::SolveScratch;
 pub use solver::{Solution, Solver};
 
 /// Runtime failures inside a solver: conditions a malformed-but-validated

@@ -143,6 +143,31 @@ struct LazyState {
     primed: bool,
 }
 
+/// Detached storage of a CELF lazy heap: lets a warm solve pipeline
+/// carry the heap's allocation from one [`GainOracle`] to the next
+/// instead of re-allocating per solve. Obtain one with
+/// [`GainOracle::take_lazy_scratch`], re-install it with
+/// [`GainOracle::with_lazy_scratch`]; the contained entries are always
+/// discarded on install (only the capacity is reused), so a "dirty"
+/// scratch can never leak stale gains into a new solve.
+#[derive(Debug, Default)]
+pub struct LazyScratch {
+    entries: Vec<Entry>,
+}
+
+impl LazyScratch {
+    /// Empty scratch; the heap grows on the first lazy solve and its
+    /// capacity is retained across solves from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of heap slots currently retained.
+    pub fn retained_capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+}
+
 /// Candidate-scoring oracle shared by all greedy solvers.
 ///
 /// Wraps a [`RewardEngine`] (which owns the per-evaluation strategy —
@@ -222,6 +247,42 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         self
     }
 
+    /// Seeds the CELF heap with detached storage from an earlier solve
+    /// ([`LazyScratch`]): its entries are dropped, its capacity reused.
+    /// Purely an allocation optimization — selections are unaffected.
+    pub fn with_lazy_scratch(self, scratch: LazyScratch) -> Self {
+        {
+            let mut entries = scratch.entries;
+            entries.clear();
+            let mut state = self.lazy.lock().unwrap_or_else(|p| p.into_inner());
+            state.heap = BinaryHeap::from(entries);
+            state.primed = false;
+        }
+        self
+    }
+
+    /// Detaches the CELF heap storage for reuse by a later oracle. The
+    /// oracle's lazy state is left unprimed (the next lazy argmax
+    /// re-primes from the residuals it is given).
+    pub fn take_lazy_scratch(&self) -> LazyScratch {
+        let mut state = self.lazy.lock().unwrap_or_else(|p| p.into_inner());
+        state.primed = false;
+        LazyScratch {
+            entries: std::mem::take(&mut state.heap).into_vec(),
+        }
+    }
+
+    /// Forgets all cached CELF gains (keeping the heap's storage) so
+    /// the oracle can be reused for a fresh solve over the *same*
+    /// engine — the warm-batch path for repeated solves of one
+    /// instance. Without this, cached gains and dirty-region versions
+    /// from the previous solve would be read against the new solve's
+    /// reset residual versions and corrupt the selection.
+    pub fn reset_lazy(&self) {
+        let mut state = self.lazy.lock().unwrap_or_else(|p| p.into_inner());
+        state.primed = false;
+    }
+
     /// Enables (or disables) spatial pruning of zero-gain candidates.
     pub fn with_pruning(mut self, pruning: Pruning) -> Self {
         self.prune = match pruning {
@@ -239,6 +300,12 @@ impl<'a, const D: usize> GainOracle<'a, D> {
     /// The instance this oracle scores against.
     pub fn instance(&self) -> &Instance<D> {
         self.engine.instance()
+    }
+
+    /// Dissolves the oracle back into its engine, so a warm pipeline
+    /// can [`RewardEngine::reclaim`] the engine's CSR buffers.
+    pub fn into_engine(self) -> RewardEngine<'a, D> {
+        self.engine
     }
 
     /// The configured argmax strategy.
@@ -317,14 +384,28 @@ impl<'a, const D: usize> GainOracle<'a, D> {
     /// scoring out over rayon (the parallel map is order-preserving, so
     /// the resulting vector is identical).
     pub fn score_all(&self, residuals: &Residuals) -> Vec<f64> {
+        let mut gains = Vec::new();
+        self.score_all_into(residuals, &mut gains);
+        gains
+    }
+
+    /// [`Self::score_all`] into a caller-provided buffer (cleared and
+    /// refilled). With a warm buffer the `Seq`/`Lazy` paths perform no
+    /// heap allocation; `Par` still materializes the rayon map before
+    /// copying into `out`.
+    pub fn score_all_into(&self, residuals: &Residuals, out: &mut Vec<f64>) {
         let n = self.instance().n();
+        out.clear();
         match self.strategy {
-            OracleStrategy::Par => (0..n)
-                .into_par_iter()
-                .map(|i| self.candidate_gain(i, residuals))
-                .collect(),
+            OracleStrategy::Par => {
+                let gains: Vec<f64> = (0..n)
+                    .into_par_iter()
+                    .map(|i| self.candidate_gain(i, residuals))
+                    .collect();
+                out.extend_from_slice(&gains);
+            }
             OracleStrategy::Seq | OracleStrategy::Lazy => {
-                (0..n).map(|i| self.candidate_gain(i, residuals)).collect()
+                out.extend((0..n).map(|i| self.candidate_gain(i, residuals)));
             }
         }
     }
@@ -381,17 +462,25 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         // ever holds stale-able upper bounds, which re-score safely.
         let mut state = self.lazy.lock().unwrap_or_else(|p| p.into_inner());
         if !state.primed {
-            // First call: full scan, exactly like the eager round 0. The
-            // clear discards any partial prime left by a poisoned holder.
-            state.heap.clear();
+            // First call: full scan, exactly like the eager round 0.
+            // The heap's storage is detached, cleared (discarding any
+            // partial prime left by a poisoned holder — and, through a
+            // reused scratch, any previous solve's entries), refilled
+            // in index order and heapified in place: no allocation once
+            // the capacity has reached n. Entry ordering is total
+            // (distinct indices break every gain tie), so the pop
+            // sequence is independent of how the heap was built.
+            let mut entries = std::mem::take(&mut state.heap).into_vec();
+            entries.clear();
             for i in 0..self.instance().n() {
                 let gain = self.candidate_gain(i, residuals);
-                state.heap.push(Entry {
+                entries.push(Entry {
                     gain,
                     idx: i,
                     version,
                 });
             }
+            state.heap = BinaryHeap::from(entries);
             state.primed = true;
         }
         loop {
@@ -633,6 +722,62 @@ mod tests {
                 let direct = oracle.gain(inst.point(i), &res);
                 assert_eq!(gains[i].to_bits(), direct.to_bits(), "candidate {i}");
             }
+        }
+    }
+
+    #[test]
+    fn lazy_scratch_reuse_is_bit_identical() {
+        let inst_a = random_instance(21, 70);
+        let inst_b = random_instance(22, 90);
+        // Reference: fresh oracles.
+        let (pa, ta) = greedy_rounds(&GainOracle::new(&inst_a, OracleStrategy::Lazy));
+        let (pb, tb) = greedy_rounds(&GainOracle::new(&inst_b, OracleStrategy::Lazy));
+        // Scratch chain: solve A, carry the (dirty) heap storage to B.
+        let oracle_a = GainOracle::new(&inst_a, OracleStrategy::Lazy);
+        let (qa, ua) = greedy_rounds(&oracle_a);
+        let scratch = oracle_a.take_lazy_scratch();
+        assert!(scratch.retained_capacity() >= inst_a.n());
+        let oracle_b = GainOracle::new(&inst_b, OracleStrategy::Lazy).with_lazy_scratch(scratch);
+        let (qb, ub) = greedy_rounds(&oracle_b);
+        assert_eq!(pa, qa);
+        assert_eq!(ta.to_bits(), ua.to_bits());
+        assert_eq!(pb, qb, "dirty heap storage changed the selection");
+        assert_eq!(tb.to_bits(), ub.to_bits());
+    }
+
+    #[test]
+    fn reset_lazy_makes_oracle_reusable_on_same_engine() {
+        // Re-solving through the same lazy oracle without a reset would
+        // read the previous solve's cached gains and versions against
+        // freshly-reset residuals; reset_lazy forces a re-prime.
+        let inst = random_instance(31, 80);
+        let (reference, t_ref) = greedy_rounds(&GainOracle::new(&inst, OracleStrategy::Lazy));
+        let oracle = GainOracle::new(&inst, OracleStrategy::Lazy);
+        let (first, t1) = greedy_rounds(&oracle);
+        oracle.reset_lazy();
+        let (second, t2) = greedy_rounds(&oracle);
+        assert_eq!(reference, first);
+        assert_eq!(reference, second, "reused oracle diverged after reset");
+        assert_eq!(t_ref.to_bits(), t1.to_bits());
+        assert_eq!(t_ref.to_bits(), t2.to_bits());
+    }
+
+    #[test]
+    fn score_all_into_reuses_buffer() {
+        let inst = random_instance(6, 35);
+        for strategy in [
+            OracleStrategy::Seq,
+            OracleStrategy::Par,
+            OracleStrategy::Lazy,
+        ] {
+            let oracle = GainOracle::new(&inst, strategy);
+            let res = Residuals::new(inst.n());
+            let direct = oracle.score_all(&res);
+            let mut buf = vec![f64::NAN; 3]; // dirty, wrong-sized buffer
+            oracle.score_all_into(&res, &mut buf);
+            assert_eq!(buf.len(), inst.n());
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&direct), bits(&buf), "{strategy}");
         }
     }
 

@@ -141,7 +141,7 @@ fn coverage_reward_with<const D: usize>(
 /// assert_eq!(res.apply(&inst, &c), 0.5); // second pass claims the rest
 /// assert!(res.all_satisfied(1e-12));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Residuals {
     y: Vec<f64>,
     version: u64,
@@ -167,6 +167,18 @@ impl Residuals {
             version: 0,
             touched: vec![0; n],
         }
+    }
+
+    /// Restores the fresh-solve state (`y_i = 1`, version 0) for an
+    /// instance of `n` points, reusing the existing buffers. Allocates
+    /// only when `n` exceeds the retained capacity, so a warm
+    /// [`crate::scratch::SolveScratch`] resets for free.
+    pub fn reset(&mut self, n: usize) {
+        self.y.clear();
+        self.y.resize(n, 1.0);
+        self.touched.clear();
+        self.touched.resize(n, 0);
+        self.version = 0;
     }
 
     /// Monotone commit counter: incremented by every [`Self::apply`].
@@ -217,12 +229,27 @@ impl Residuals {
     /// The assignment vector `z_i = min([1 − d/r]_+, y_i)` a center
     /// would claim, without mutating the residuals.
     pub fn assignments<const D: usize>(&self, inst: &Instance<D>, c: &Point<D>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.assignments_into(inst, c, &mut out);
+        out
+    }
+
+    /// [`Self::assignments`] written into a caller-provided buffer: the
+    /// buffer is cleared and refilled, so repeated calls through a warm
+    /// scratch arena never allocate once the capacity has grown to `n`.
+    pub fn assignments_into<const D: usize>(
+        &self,
+        inst: &Instance<D>,
+        c: &Point<D>,
+        out: &mut Vec<f64>,
+    ) {
         let r = inst.radius();
         let norm = inst.norm();
         let kernel = inst.kernel().prepared();
-        (0..inst.n())
-            .map(|i| kernel.frac(norm.dist(c, inst.point(i)), r).min(self.y[i]))
-            .collect()
+        out.clear();
+        out.extend(
+            (0..inst.n()).map(|i| kernel.frac(norm.dist(c, inst.point(i)), r).min(self.y[i])),
+        );
     }
 
     /// Commits a selected center: subtracts its assignments from the
@@ -415,44 +442,94 @@ impl<const D: usize> Enumerator<D> {
     }
 }
 
+/// Reusable buffers for the sparse CSR adjacency: the four flat CSR
+/// arrays plus the per-row sort buffer the serial build uses. A
+/// [`RewardEngine::sparse_with_scratch`] build *takes* these vectors
+/// (an O(1) move), refills them in place, and
+/// [`RewardEngine::reclaim`] puts them back after the solve — so a
+/// warm batch pipeline rebuilds the CSR for each new instance without
+/// fresh heap allocations once capacities have grown to the workload's
+/// steady state.
+#[derive(Debug, Default)]
+pub struct CsrScratch {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    frac: Vec<f64>,
+    weight: Vec<f64>,
+    row: Vec<(u32, f64)>,
+}
+
+impl CsrScratch {
+    /// Empty scratch; buffers grow on first use and are retained after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes currently retained across all buffers (diagnostics).
+    pub fn retained_bytes(&self) -> usize {
+        self.offsets.capacity() * 4
+            + self.neighbors.capacity() * 4
+            + (self.frac.capacity() + self.weight.capacity()) * 8
+            + self.row.capacity() * 16
+    }
+}
+
 impl SparseCsr {
     const BYTES_PER_ENTRY: usize = 4 + 8 + 8; // neighbor + frac + weight
 
-    /// Builds the CSR over `inst`'s points via `enumerator`.
+    /// Builds the CSR over `inst`'s points via `enumerator`, with fresh
+    /// buffers and the serial fill path.
     fn build<const D: usize>(inst: &Instance<D>, enumerator: &Enumerator<D>) -> Self {
+        Self::build_with(inst, enumerator, &mut CsrScratch::default(), false)
+    }
+
+    /// Builds the CSR into the buffers taken from `scratch` (leaving it
+    /// empty; see [`RewardEngine::reclaim`]). When `parallel` is set the
+    /// rows are enumerated by contiguous chunks across the rayon pool
+    /// and stitched together with a prefix-sum pass; each row's content
+    /// (enumeration, sort, kernel math) is untouched, so the resulting
+    /// arrays are byte-identical to the serial build.
+    fn build_with<const D: usize>(
+        inst: &Instance<D>,
+        enumerator: &Enumerator<D>,
+        scratch: &mut CsrScratch,
+        parallel: bool,
+    ) -> Self {
         let started = std::time::Instant::now();
         let n = inst.n();
-        let r = inst.radius();
-        let norm = inst.norm();
-        let kernel = inst.kernel().prepared();
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut offsets = std::mem::take(&mut scratch.offsets);
+        let mut neighbors = std::mem::take(&mut scratch.neighbors);
+        let mut frac = std::mem::take(&mut scratch.frac);
+        let mut weight = std::mem::take(&mut scratch.weight);
+        offsets.clear();
+        neighbors.clear();
+        frac.clear();
+        weight.clear();
+        offsets.reserve(n + 1);
         offsets.push(0u32);
-        let mut neighbors: Vec<u32> = Vec::new();
-        let mut frac: Vec<f64> = Vec::new();
-        let mut weight: Vec<f64> = Vec::new();
-        let mut row: Vec<(u32, f64)> = Vec::new();
-        let mut max_degree = 0usize;
-        for i in 0..n {
-            row.clear();
-            enumerator.for_each_within(inst.point(i), r, norm, |j, d| {
-                row.push((j as u32, d));
-            });
-            // Enumerators emit in index-unrelated order (cell or leaf
-            // order); ascending neighbor index is what makes the sparse
-            // accumulation bit-identical to the dense scan.
-            row.sort_unstable_by_key(|&(j, _)| j);
-            max_degree = max_degree.max(row.len());
-            for &(j, d) in &row {
-                neighbors.push(j);
-                frac.push(kernel.frac(d, r));
-                weight.push(inst.weight(j as usize));
-            }
-            assert!(
-                neighbors.len() <= u32::MAX as usize,
-                "sparse engine: neighbor entries overflow u32 offsets"
+        let max_degree = if parallel && rayon::current_num_threads() > 1 && n > 1 {
+            Self::fill_parallel(
+                inst,
+                enumerator,
+                &mut offsets,
+                &mut neighbors,
+                &mut frac,
+                &mut weight,
+            )
+        } else {
+            let mut row = std::mem::take(&mut scratch.row);
+            let max = Self::fill_serial(
+                inst,
+                enumerator,
+                &mut offsets,
+                &mut neighbors,
+                &mut frac,
+                &mut weight,
+                &mut row,
             );
-            offsets.push(neighbors.len() as u32);
-        }
+            scratch.row = row;
+            max
+        };
         let entries = neighbors.len();
         let bytes = offsets.len() * 4 + entries * Self::BYTES_PER_ENTRY;
         let stats = SparseStats {
@@ -470,6 +547,136 @@ impl SparseCsr {
             weight,
             stats,
         }
+    }
+
+    /// The reference row fill: enumerate, sort ascending, append.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_serial<const D: usize>(
+        inst: &Instance<D>,
+        enumerator: &Enumerator<D>,
+        offsets: &mut Vec<u32>,
+        neighbors: &mut Vec<u32>,
+        frac: &mut Vec<f64>,
+        weight: &mut Vec<f64>,
+        row: &mut Vec<(u32, f64)>,
+    ) -> usize {
+        let n = inst.n();
+        let r = inst.radius();
+        let norm = inst.norm();
+        let kernel = inst.kernel().prepared();
+        let mut max_degree = 0usize;
+        for i in 0..n {
+            row.clear();
+            enumerator.for_each_within(inst.point(i), r, norm, |j, d| {
+                row.push((j as u32, d));
+            });
+            // Enumerators emit in index-unrelated order (cell or leaf
+            // order); ascending neighbor index is what makes the sparse
+            // accumulation bit-identical to the dense scan.
+            row.sort_unstable_by_key(|&(j, _)| j);
+            max_degree = max_degree.max(row.len());
+            for &(j, d) in row.iter() {
+                neighbors.push(j);
+                frac.push(kernel.frac(d, r));
+                weight.push(inst.weight(j as usize));
+            }
+            assert!(
+                neighbors.len() <= u32::MAX as usize,
+                "sparse engine: neighbor entries overflow u32 offsets"
+            );
+            offsets.push(neighbors.len() as u32);
+        }
+        max_degree
+    }
+
+    /// Parallel row fill: each worker enumerates a contiguous chunk of
+    /// rows into local buffers (same per-row enumeration, sort and
+    /// kernel math as [`Self::fill_serial`]), then a serial prefix-sum
+    /// pass concatenates the chunks in row order — the flat arrays come
+    /// out byte-identical to the serial build.
+    fn fill_parallel<const D: usize>(
+        inst: &Instance<D>,
+        enumerator: &Enumerator<D>,
+        offsets: &mut Vec<u32>,
+        neighbors: &mut Vec<u32>,
+        frac: &mut Vec<f64>,
+        weight: &mut Vec<f64>,
+    ) -> usize {
+        use rayon::prelude::*;
+        let n = inst.n();
+        let r = inst.radius();
+        let norm = inst.norm();
+        let kernel = inst.kernel().prepared();
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+            .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
+            .filter(|rg| !rg.is_empty())
+            .collect();
+        struct ChunkOut {
+            degrees: Vec<u32>,
+            neighbors: Vec<u32>,
+            frac: Vec<f64>,
+            weight: Vec<f64>,
+            max_degree: usize,
+        }
+        let parts: Vec<ChunkOut> = ranges
+            .into_par_iter()
+            .map(|rg| {
+                let mut out = ChunkOut {
+                    degrees: Vec::with_capacity(rg.len()),
+                    neighbors: Vec::new(),
+                    frac: Vec::new(),
+                    weight: Vec::new(),
+                    max_degree: 0,
+                };
+                let mut row: Vec<(u32, f64)> = Vec::new();
+                for i in rg {
+                    row.clear();
+                    enumerator.for_each_within(inst.point(i), r, norm, |j, d| {
+                        row.push((j as u32, d));
+                    });
+                    row.sort_unstable_by_key(|&(j, _)| j);
+                    out.max_degree = out.max_degree.max(row.len());
+                    out.degrees.push(row.len() as u32);
+                    for &(j, d) in row.iter() {
+                        out.neighbors.push(j);
+                        out.frac.push(kernel.frac(d, r));
+                        out.weight.push(inst.weight(j as usize));
+                    }
+                }
+                out
+            })
+            .collect();
+        let total: usize = parts.iter().map(|p| p.neighbors.len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "sparse engine: neighbor entries overflow u32 offsets"
+        );
+        neighbors.reserve(total);
+        frac.reserve(total);
+        weight.reserve(total);
+        let mut max_degree = 0usize;
+        let mut running = 0u32;
+        for part in parts {
+            for deg in part.degrees {
+                running += deg;
+                offsets.push(running);
+            }
+            neighbors.extend_from_slice(&part.neighbors);
+            frac.extend_from_slice(&part.frac);
+            weight.extend_from_slice(&part.weight);
+            max_degree = max_degree.max(part.max_degree);
+        }
+        max_degree
+    }
+
+    /// Moves the flat buffers back into `scratch` for the next build.
+    fn recycle(self, scratch: &mut CsrScratch) {
+        scratch.offsets = self.offsets;
+        scratch.neighbors = self.neighbors;
+        scratch.frac = self.frac;
+        scratch.weight = self.weight;
     }
 
     /// The half-open entry range of row `i`.
@@ -559,6 +766,45 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
     pub fn sparse(inst: &'a Instance<D>) -> Self {
         let enumerator = Enumerator::build(inst.points(), inst.radius());
         Self::with_backend(inst, Backend::Sparse(SparseCsr::build(inst, &enumerator)))
+    }
+
+    /// Sparse engine whose CSR buffers are taken from (and on
+    /// [`Self::reclaim`] returned to) a [`CsrScratch`] arena, with an
+    /// optional rayon-parallel row fill. The produced adjacency is
+    /// byte-identical to [`Self::sparse`] in either mode; only the
+    /// allocation behaviour (and, with `parallel`, the build
+    /// parallelism) differs.
+    pub fn sparse_with_scratch(
+        inst: &'a Instance<D>,
+        scratch: &mut CsrScratch,
+        parallel: bool,
+    ) -> Self {
+        let enumerator = Enumerator::build(inst.points(), inst.radius());
+        Self::with_backend(
+            inst,
+            Backend::Sparse(SparseCsr::build_with(inst, &enumerator, scratch, parallel)),
+        )
+    }
+
+    /// Returns the CSR buffers of a sparse engine to `scratch` so the
+    /// next [`Self::sparse_with_scratch`] build reuses their capacity.
+    /// A no-op for the other backends.
+    pub fn reclaim(self, scratch: &mut CsrScratch) {
+        if let Backend::Sparse(csr) = self.backend {
+            csr.recycle(scratch);
+        }
+    }
+
+    /// Raw CSR arrays `(offsets, neighbors, frac, weight)` of the
+    /// sparse backend — exposed so tests and benches can assert the
+    /// parallel build is byte-identical to the serial one.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn csr_parts(&self) -> Option<(&[u32], &[u32], &[f64], &[f64])> {
+        match &self.backend {
+            Backend::Sparse(csr) => Some((&csr.offsets, &csr.neighbors, &csr.frac, &csr.weight)),
+            _ => None,
+        }
     }
 
     /// Sparse when the estimated CSR footprint fits under
@@ -881,6 +1127,94 @@ mod tests {
         engine.gain(&Point::new([0.0, 0.0]), &res);
         engine.gain(&Point::new([1.0, 0.0]), &res);
         assert_eq!(engine.evals(), 2);
+    }
+
+    #[test]
+    fn reset_matches_fresh_residuals() {
+        let inst = line_instance(2, 2.0);
+        let mut res = Residuals::new(inst.n());
+        res.apply(&inst, &Point::new([1.0, 0.0]));
+        assert!(res.version() > 0);
+        res.reset(inst.n());
+        let fresh = Residuals::new(inst.n());
+        assert_eq!(res, fresh);
+        assert_eq!(res.version(), 0);
+        assert_eq!(res.touched(0), 0);
+        // Shrinking reset (smaller n) must also match a fresh build.
+        res.reset(2);
+        assert_eq!(res.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn assignments_into_matches_allocating_form() {
+        let inst = line_instance(1, 2.0);
+        let mut res = Residuals::new(inst.n());
+        res.apply(&inst, &Point::new([0.0, 0.0]));
+        let c = Point::new([1.0, 0.0]);
+        let alloc = res.assignments(&inst, &c);
+        let mut buf = vec![99.0; 7]; // dirty, over-sized buffer
+        res.assignments_into(&inst, &c, &mut buf);
+        assert_eq!(alloc, buf);
+    }
+
+    fn random_instance_for_csr(seed: u64, n: usize) -> Instance<2> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..5.0)).collect();
+        Instance::new(pts, ws, 0.7, 4, Norm::L2).unwrap()
+    }
+
+    #[test]
+    fn parallel_csr_is_byte_identical_to_serial() {
+        // Force a multi-threaded pool so the parallel path actually
+        // chunks (safe for concurrently-running tests: every parallel
+        // consumer in this workspace is order-preserving).
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        for seed in [1u64, 2, 3] {
+            let inst = random_instance_for_csr(seed, 257); // not a multiple of 4
+            let serial = RewardEngine::sparse(&inst);
+            let mut scratch = CsrScratch::new();
+            let parallel = RewardEngine::sparse_with_scratch(&inst, &mut scratch, true);
+            let (so, sn, sf, sw) = serial.csr_parts().unwrap();
+            let (po, pn, pf, pw) = parallel.csr_parts().unwrap();
+            assert_eq!(so, po, "seed {seed}: offsets diverged");
+            assert_eq!(sn, pn, "seed {seed}: neighbor indices diverged");
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(sf), bits(pf), "seed {seed}: frac bits diverged");
+            assert_eq!(bits(sw), bits(pw), "seed {seed}: weight bits diverged");
+            let (a, b) = (
+                serial.sparse_stats().unwrap(),
+                parallel.sparse_stats().unwrap(),
+            );
+            assert_eq!(a.entries, b.entries);
+            assert_eq!(a.max_degree, b.max_degree);
+        }
+    }
+
+    #[test]
+    fn scratch_build_reuses_buffers_and_reclaims() {
+        let inst = random_instance_for_csr(9, 120);
+        let mut scratch = CsrScratch::new();
+        let engine = RewardEngine::sparse_with_scratch(&inst, &mut scratch, false);
+        let entries = engine.sparse_stats().unwrap().entries;
+        // The four CSR vectors were moved into the engine; only the
+        // per-row sort buffer stays behind.
+        assert!(scratch.retained_bytes() <= scratch.row.capacity() * 16);
+        engine.reclaim(&mut scratch);
+        assert!(scratch.retained_bytes() >= entries * SparseCsr::BYTES_PER_ENTRY);
+        // A rebuild through the warm scratch matches a fresh build.
+        let warm = RewardEngine::sparse_with_scratch(&inst, &mut scratch, false);
+        let cold = RewardEngine::sparse(&inst);
+        assert_eq!(warm.csr_parts().unwrap().0, cold.csr_parts().unwrap().0);
+        assert_eq!(warm.csr_parts().unwrap().1, cold.csr_parts().unwrap().1);
+        warm.reclaim(&mut scratch);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   extensions.
 //! * [`scenario`] — serializable experiment configurations, including
 //!   the paper's full parameter sweep.
+//! * [`stream`] — request streams for batched solving: turns a
+//!   `--scenarios` argument (directory, file, or inline spec) into an
+//!   ordered instance stream for `mmph batch`.
 //! * [`broadcast`] — a time-slotted broadcast-system simulation around
 //!   the solvers: per period the base station broadcasts its `k` chosen
 //!   contents; users accumulate satisfaction, may churn in/out, and
@@ -27,10 +30,12 @@ pub mod gen;
 pub mod metrics;
 pub mod rng;
 pub mod scenario;
+pub mod stream;
 pub mod trace;
 
 pub use gen::{SpaceSpec, WeightScheme};
 pub use scenario::Scenario;
+pub use stream::{instances_from_arg, parse_spec, scenarios_from_arg, StreamSpec};
 
 /// Errors from simulation configuration and I/O.
 #[derive(Debug, thiserror::Error)]

@@ -1,0 +1,288 @@
+//! Request streams for batched solving.
+//!
+//! The `mmph batch` command and the `throughput` bench consume a
+//! stream of instances. This module turns a `--scenarios` argument
+//! into that stream. Three argument shapes are accepted:
+//!
+//! - a **directory**: every `*.json` file (sorted by name) holding a
+//!   [`Scenario`] or an array of them;
+//! - a **file**: one such JSON file;
+//! - an **inline spec**: `key=value` pairs joined by commas, e.g.
+//!   `n=10000,k=16,count=4,repeat=8`. Keys: `n` (required), `k` (4),
+//!   `r` (1.0), `count` (1) distinct scenarios with consecutive
+//!   seeds, `repeat` (1) adjacent copies of each, `seed` (0), `norm`
+//!   (`l1`|`l2`, default `l2`), `weights` (`same`|`diff`, default
+//!   `diff`).
+//!
+//! `repeat` copies are *adjacent* in the stream on purpose: the batch
+//! runner reuses a built engine across consecutive identical requests,
+//! which is the serving workload (the same catalog instance solved for
+//! many arriving broadcast periods) this layer models.
+
+use std::path::Path;
+
+use mmph_core::Instance;
+use mmph_geom::Norm;
+
+use crate::gen::WeightScheme;
+use crate::scenario::Scenario;
+use crate::{Result, SimError};
+
+/// An inline stream specification (see the module docs for syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// Users per instance.
+    pub n: usize,
+    /// Broadcasts per instance.
+    pub k: usize,
+    /// Interest radius.
+    pub r: f64,
+    /// Distinct scenarios (seeds `seed..seed+count`).
+    pub count: usize,
+    /// Adjacent copies of each distinct scenario.
+    pub repeat: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Interest-distance norm.
+    pub norm: Norm,
+    /// Weight scheme.
+    pub weights: WeightScheme,
+}
+
+impl StreamSpec {
+    /// Expands the spec into `count × repeat` scenarios, repeats
+    /// adjacent.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.count * self.repeat);
+        for d in 0..self.count {
+            let sc = Scenario::paper_2d(
+                self.n,
+                self.k,
+                self.r,
+                self.norm,
+                self.weights,
+                self.seed + d as u64,
+            );
+            for _ in 0..self.repeat {
+                out.push(sc.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Parses an inline `key=value,...` stream spec.
+pub fn parse_spec(s: &str) -> Result<StreamSpec> {
+    let mut n: Option<usize> = None;
+    let mut spec = StreamSpec {
+        n: 0,
+        k: 4,
+        r: 1.0,
+        count: 1,
+        repeat: 1,
+        seed: 0,
+        norm: Norm::L2,
+        weights: WeightScheme::PAPER_WEIGHTED,
+    };
+    for pair in s.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').ok_or_else(|| {
+            SimError::InvalidConfig(format!("spec item `{pair}` is not key=value"))
+        })?;
+        let bad = |what: &str| SimError::InvalidConfig(format!("bad {what} value: {value}"));
+        match key {
+            "n" => n = Some(value.parse().map_err(|_| bad("n"))?),
+            "k" => spec.k = value.parse().map_err(|_| bad("k"))?,
+            "r" => spec.r = value.parse().map_err(|_| bad("r"))?,
+            "count" => spec.count = value.parse().map_err(|_| bad("count"))?,
+            "repeat" => spec.repeat = value.parse().map_err(|_| bad("repeat"))?,
+            "seed" => spec.seed = value.parse().map_err(|_| bad("seed"))?,
+            "norm" => {
+                spec.norm = match value {
+                    "l1" | "L1" | "1" => Norm::L1,
+                    "l2" | "L2" | "2" => Norm::L2,
+                    _ => return Err(bad("norm")),
+                }
+            }
+            "weights" => {
+                spec.weights = match value {
+                    "same" => WeightScheme::Same,
+                    "diff" => WeightScheme::PAPER_WEIGHTED,
+                    _ => return Err(bad("weights")),
+                }
+            }
+            other => {
+                return Err(SimError::InvalidConfig(format!(
+                    "unknown spec key: {other} (known: n,k,r,count,repeat,seed,norm,weights)"
+                )))
+            }
+        }
+    }
+    spec.n = n.ok_or_else(|| SimError::InvalidConfig("spec needs n=<users>".into()))?;
+    if spec.n == 0 || spec.count == 0 || spec.repeat == 0 {
+        return Err(SimError::InvalidConfig(
+            "n, count and repeat must be >= 1".into(),
+        ));
+    }
+    Ok(spec)
+}
+
+fn scenarios_from_json(path: &Path) -> Result<Vec<Scenario>> {
+    let text = std::fs::read_to_string(path)?;
+    // A file may hold a single scenario or an array of them.
+    match serde_json::from_str::<Vec<Scenario>>(&text) {
+        Ok(v) => Ok(v),
+        Err(_) => Ok(vec![serde_json::from_str::<Scenario>(&text)?]),
+    }
+}
+
+/// Resolves a `--scenarios` argument (directory, file, or inline
+/// spec) into an ordered scenario list.
+pub fn scenarios_from_arg(arg: &str) -> Result<Vec<Scenario>> {
+    let path = Path::new(arg);
+    if path.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(SimError::InvalidConfig(format!(
+                "no *.json scenario files in {arg}"
+            )));
+        }
+        let mut out = Vec::new();
+        for f in files {
+            out.extend(scenarios_from_json(&f)?);
+        }
+        Ok(out)
+    } else if path.is_file() {
+        scenarios_from_json(path)
+    } else if arg.contains('=') {
+        Ok(parse_spec(arg)?.scenarios())
+    } else {
+        Err(SimError::InvalidConfig(format!(
+            "`{arg}` is neither a path nor a key=value spec"
+        )))
+    }
+}
+
+/// Resolves a `--scenarios` argument straight to the instance stream.
+/// Consecutive identical scenarios are generated once and cloned, so
+/// the batch runner's adjacent-equality engine reuse sees genuinely
+/// identical instances without paying regeneration.
+pub fn instances_from_arg(arg: &str) -> Result<Vec<Instance<2>>> {
+    let scenarios = scenarios_from_arg(arg)?;
+    let mut out: Vec<Instance<2>> = Vec::with_capacity(scenarios.len());
+    let mut prev: Option<(Scenario, usize)> = None;
+    for sc in scenarios {
+        match &prev {
+            Some((p, at)) if *p == sc => {
+                let copy = out[*at].clone();
+                out.push(copy);
+            }
+            _ => {
+                out.push(sc.generate_2d()?);
+                prev = Some((sc, out.len() - 1));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_defaults_and_overrides() {
+        let spec = parse_spec("n=100").unwrap();
+        assert_eq!(spec.n, 100);
+        assert_eq!(spec.k, 4);
+        assert_eq!(spec.count, 1);
+        assert_eq!(spec.repeat, 1);
+        assert_eq!(spec.norm, Norm::L2);
+        assert_eq!(spec.weights, WeightScheme::PAPER_WEIGHTED);
+
+        let spec =
+            parse_spec("n=50,k=2,r=1.5,count=3,repeat=2,seed=9,norm=l1,weights=same").unwrap();
+        assert_eq!(spec.k, 2);
+        assert_eq!(spec.r, 1.5);
+        assert_eq!(spec.count, 3);
+        assert_eq!(spec.repeat, 2);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.norm, Norm::L1);
+        assert_eq!(spec.weights, WeightScheme::Same);
+    }
+
+    #[test]
+    fn parse_spec_rejects_bad_input() {
+        assert!(parse_spec("k=4").is_err(), "n is required");
+        assert!(parse_spec("n=0").is_err());
+        assert!(parse_spec("n=10,repeat=0").is_err());
+        assert!(parse_spec("n=10,bogus=1").is_err());
+        assert!(parse_spec("n=10,norm=l7").is_err());
+        assert!(parse_spec("n=ten").is_err());
+        assert!(parse_spec("n").is_err());
+    }
+
+    #[test]
+    fn spec_expands_with_adjacent_repeats() {
+        let scs = parse_spec("n=12,count=2,repeat=3,seed=5")
+            .unwrap()
+            .scenarios();
+        assert_eq!(scs.len(), 6);
+        assert_eq!(scs[0], scs[1]);
+        assert_eq!(scs[0], scs[2]);
+        assert_ne!(scs[2], scs[3], "distinct scenarios differ by seed");
+        assert_eq!(scs[0].seed, 5);
+        assert_eq!(scs[3].seed, 6);
+    }
+
+    #[test]
+    fn instances_from_inline_spec() {
+        let insts = instances_from_arg("n=12,count=2,repeat=2,seed=1").unwrap();
+        assert_eq!(insts.len(), 4);
+        assert_eq!(insts[0], insts[1], "repeats are identical instances");
+        assert_ne!(insts[1], insts[2]);
+        assert_eq!(insts[0].n(), 12);
+    }
+
+    #[test]
+    fn instances_from_file_and_dir() {
+        let dir = std::env::temp_dir().join(format!("mmph-stream-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = Scenario::paper_2d(8, 2, 1.0, Norm::L2, WeightScheme::Same, 1);
+        let b = Scenario::paper_2d(9, 2, 1.0, Norm::L1, WeightScheme::Same, 2);
+        std::fs::write(
+            dir.join("b-pair.json"),
+            serde_json::to_string(&vec![b.clone(), b.clone()]).unwrap(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("a-single.json"),
+            serde_json::to_string(&a).unwrap(),
+        )
+        .unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not json").unwrap();
+
+        // Single file.
+        let single = instances_from_arg(dir.join("a-single.json").to_str().unwrap()).unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].n(), 8);
+
+        // Directory: files sorted by name, arrays flattened.
+        let all = instances_from_arg(dir.to_str().unwrap()).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].n(), 8);
+        assert_eq!(all[1].n(), 9);
+        assert_eq!(all[1], all[2]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_arg_reports_clearly() {
+        let err = instances_from_arg("/no/such/path").unwrap_err();
+        assert!(err.to_string().contains("neither a path nor"));
+    }
+}
