@@ -1,0 +1,520 @@
+//! `loadgen` — load generator for the `mmph serve` daemon, behind
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen [--quick] [--requests N] [--clients C] [--window W]
+//!         [--mmph PATH] [--out PATH] [--skip-stdio]
+//! ```
+//!
+//! Drives the NDJSON protocol over both transports with a fixed,
+//! deterministic request mix and records client-side latency
+//! percentiles plus request throughput:
+//!
+//! - **stdio** — spawns the real `mmph` binary (`--mmph`, default
+//!   `target/release/mmph`) as `mmph serve` and pipelines requests
+//!   into its stdin with a bounded in-flight window, then shuts it
+//!   down with the `shutdown` op and requires exit code 0.
+//! - **tcp** — starts the in-process TCP daemon
+//!   ([`mmph_serve::serve_tcp`], the exact loop behind
+//!   `mmph serve --tcp`) on an ephemeral port and fans `--clients`
+//!   concurrent connections at it, each with its own pipeline window.
+//!
+//! The mix per 10 requests: 6 hot solves of one repeated scenario
+//! (instance-cache + engine-reuse path), 2 varied-seed solves, 1
+//! eval-budgeted solve (guaranteed `degraded` — deterministic, unlike
+//! wall-clock deadlines), 1 ping. Every response must correlate to
+//! its request id and nothing may be dropped; any correlation gap,
+//! unexpected error, or non-graceful shutdown makes the binary exit
+//! non-zero so CI can run it directly.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Command, ExitCode, Stdio};
+use std::thread;
+use std::time::Instant;
+
+use mmph_serve::{serve_tcp, Request, Response, Service, ServiceConfig, ShutdownFlag};
+use mmph_sim::{Scenario, WeightScheme};
+use serde::Serialize;
+
+#[derive(Debug, Clone)]
+struct Args {
+    quick: bool,
+    requests: usize,
+    clients: usize,
+    window: usize,
+    mmph: PathBuf,
+    out: PathBuf,
+    skip_stdio: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        requests: 240,
+        clients: 4,
+        window: 16,
+        mmph: PathBuf::from("target/release/mmph"),
+        out: PathBuf::from("BENCH_serve.json"),
+        skip_stdio: false,
+    };
+    let mut requests_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--skip-stdio" => args.skip_stdio = true,
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                args.requests = v.parse().map_err(|_| format!("bad --requests: {v}"))?;
+                requests_set = true;
+            }
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                args.clients = v.parse().map_err(|_| format!("bad --clients: {v}"))?;
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value")?;
+                args.window = v.parse().map_err(|_| format!("bad --window: {v}"))?;
+            }
+            "--mmph" => args.mmph = PathBuf::from(it.next().ok_or("--mmph needs a value")?),
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--quick] [--requests N] [--clients C] [--window W] \
+                     [--mmph PATH] [--out PATH] [--skip-stdio]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.quick && !requests_set {
+        args.requests = 60;
+    }
+    if args.clients == 0 || args.window == 0 || args.requests == 0 {
+        return Err("--requests/--clients/--window must be >= 1".into());
+    }
+    Ok(args)
+}
+
+/// The deterministic request mix. Ids are offset so concurrent clients
+/// never collide.
+fn build_mix(count: usize, id_base: u64) -> Vec<Request> {
+    let hot = Scenario::paper_2d(
+        300,
+        6,
+        1.0,
+        mmph_geom::Norm::L2,
+        WeightScheme::PAPER_WEIGHTED,
+        7,
+    );
+    (0..count)
+        .map(|i| {
+            let id = id_base + i as u64;
+            match i % 10 {
+                9 => Request::control(id, "ping"),
+                8 => {
+                    // Eval-budgeted large solve: the cap always bites,
+                    // so every run exercises the degradation path.
+                    let sc = Scenario::paper_2d(
+                        1500,
+                        12,
+                        0.8,
+                        mmph_geom::Norm::L2,
+                        WeightScheme::PAPER_WEIGHTED,
+                        11,
+                    );
+                    let mut req = Request::solve(id, sc);
+                    req.max_evals = Some(50);
+                    req
+                }
+                6 | 7 => Request::solve(
+                    id,
+                    Scenario::paper_2d(
+                        200 + (i % 5) * 40,
+                        4,
+                        1.0,
+                        mmph_geom::Norm::L2,
+                        WeightScheme::PAPER_WEIGHTED,
+                        100 + i as u64,
+                    ),
+                ),
+                _ => Request::solve(id, hot.clone()),
+            }
+        })
+        .collect()
+}
+
+/// What one driven connection observed.
+#[derive(Debug, Default)]
+struct Outcome {
+    latencies_us: Vec<u64>,
+    solved: usize,
+    degraded: usize,
+    errors: usize,
+    pongs: usize,
+    uncorrelated: usize,
+}
+
+impl Outcome {
+    fn absorb(&mut self, other: Outcome) {
+        self.latencies_us.extend(other.latencies_us);
+        self.solved += other.solved;
+        self.degraded += other.degraded;
+        self.errors += other.errors;
+        self.pongs += other.pongs;
+        self.uncorrelated += other.uncorrelated;
+    }
+}
+
+/// Pipelines `reqs` with at most `window` in flight, measuring
+/// client-side latency per response. Generic over the wire so the
+/// child-process stdio pipes and TCP sockets share one driver.
+fn drive<W: Write, R: BufRead>(
+    w: &mut W,
+    r: &mut R,
+    reqs: &[Request],
+    window: usize,
+) -> Result<Outcome, String> {
+    let mut outcome = Outcome::default();
+    let mut sent: HashMap<u64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    while done < reqs.len() {
+        while next < reqs.len() && next - done < window {
+            let req = &reqs[next];
+            sent.insert(req.id, Instant::now());
+            writeln!(w, "{}", req.to_line()).map_err(|e| format!("send: {e}"))?;
+            next += 1;
+        }
+        w.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut line = String::new();
+        let read = r.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        if read == 0 {
+            return Err(format!(
+                "server closed with {} responses outstanding",
+                reqs.len() - done
+            ));
+        }
+        let resp = Response::parse(&line).map_err(|e| e.to_string())?;
+        match resp.in_reply_to.and_then(|id| sent.remove(&id)) {
+            Some(at) => outcome.latencies_us.push(at.elapsed().as_micros() as u64),
+            None => outcome.uncorrelated += 1,
+        }
+        match resp.op.as_str() {
+            "pong" => outcome.pongs += 1,
+            "error" => outcome.errors += 1,
+            "solve_ok" => {
+                if resp.status.as_deref() == Some("degraded") {
+                    outcome.degraded += 1;
+                } else {
+                    outcome.solved += 1;
+                }
+            }
+            _ => {}
+        }
+        done += 1;
+    }
+    Ok(outcome)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+/// One transport's measured results.
+#[derive(Debug, Serialize)]
+struct ArmReport {
+    transport: String,
+    skipped: bool,
+    requests: usize,
+    clients: usize,
+    window: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    latency_p50_us: u64,
+    latency_p90_us: u64,
+    latency_p99_us: u64,
+    latency_max_us: u64,
+    solved: usize,
+    degraded: usize,
+    errors: usize,
+    pongs: usize,
+    uncorrelated: usize,
+    graceful_exit: bool,
+}
+
+impl ArmReport {
+    fn skipped(transport: &str) -> Self {
+        ArmReport {
+            transport: transport.to_owned(),
+            skipped: true,
+            requests: 0,
+            clients: 0,
+            window: 0,
+            wall_ms: 0.0,
+            requests_per_sec: 0.0,
+            latency_p50_us: 0,
+            latency_p90_us: 0,
+            latency_p99_us: 0,
+            latency_max_us: 0,
+            solved: 0,
+            degraded: 0,
+            errors: 0,
+            pongs: 0,
+            uncorrelated: 0,
+            graceful_exit: false,
+        }
+    }
+
+    fn from_outcome(
+        transport: &str,
+        outcome: Outcome,
+        requests: usize,
+        clients: usize,
+        window: usize,
+        wall_ms: f64,
+        graceful_exit: bool,
+    ) -> Self {
+        let mut lat = outcome.latencies_us.clone();
+        lat.sort_unstable();
+        ArmReport {
+            transport: transport.to_owned(),
+            skipped: false,
+            requests,
+            clients,
+            window,
+            wall_ms,
+            requests_per_sec: requests as f64 / (wall_ms / 1e3).max(1e-9),
+            latency_p50_us: percentile(&lat, 0.50),
+            latency_p90_us: percentile(&lat, 0.90),
+            latency_p99_us: percentile(&lat, 0.99),
+            latency_max_us: lat.last().copied().unwrap_or(0),
+            solved: outcome.solved,
+            degraded: outcome.degraded,
+            errors: outcome.errors,
+            pongs: outcome.pongs,
+            uncorrelated: outcome.uncorrelated,
+            graceful_exit,
+        }
+    }
+
+    /// The invariants CI asserts: everything answered, correlated,
+    /// error-free, with the budgeted slice of the mix degrading and a
+    /// clean shutdown.
+    fn healthy(&self) -> bool {
+        !self.skipped
+            && self.uncorrelated == 0
+            && self.errors == 0
+            && self.degraded >= 1
+            && self.solved >= 1
+            && self.graceful_exit
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    suite: String,
+    quick: bool,
+    requests_per_arm: usize,
+    arms: Vec<ArmReport>,
+    checks_ok: bool,
+}
+
+/// Drives a spawned `mmph serve` child over its stdio pipes.
+fn stdio_arm(args: &Args) -> Result<ArmReport, String> {
+    let mut child = Command::new(&args.mmph)
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", args.mmph.display()))?;
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    let reqs = build_mix(args.requests, 0);
+    let start = Instant::now();
+    let outcome = drive(&mut stdin, &mut stdout, &reqs, args.window)?;
+    let wall_ms = start.elapsed().as_nanos() as f64 / 1e6;
+
+    // Graceful shutdown: the op gets a `bye` and the process exits 0.
+    writeln!(
+        stdin,
+        "{}",
+        Request::control(u64::MAX, "shutdown").to_line()
+    )
+    .and_then(|_| stdin.flush())
+    .map_err(|e| format!("shutdown send: {e}"))?;
+    let mut bye = String::new();
+    stdout
+        .read_line(&mut bye)
+        .map_err(|e| format!("bye recv: {e}"))?;
+    let graceful =
+        bye.contains("\"bye\"") && child.wait().map_err(|e| format!("wait: {e}"))?.success();
+
+    Ok(ArmReport::from_outcome(
+        "stdio",
+        outcome,
+        args.requests,
+        1,
+        args.window,
+        wall_ms,
+        graceful,
+    ))
+}
+
+/// Starts the in-process TCP daemon and fans concurrent clients at it.
+fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let daemon = thread::spawn(move || {
+        let mut service = Service::new(ServiceConfig::default());
+        serve_tcp(&mut service, listener, &ShutdownFlag::new())
+    });
+
+    let per_client = args.requests / args.clients;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let window = args.window;
+        let count = if c == args.clients - 1 {
+            args.requests - per_client * (args.clients - 1)
+        } else {
+            per_client
+        };
+        let id_base = (c as u64) << 32;
+        handles.push(thread::spawn(move || -> Result<Outcome, String> {
+            let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+            let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+            let mut reader = BufReader::new(stream);
+            let reqs = build_mix(count, id_base);
+            drive(&mut writer, &mut reader, &reqs, window)
+        }));
+    }
+    let mut outcome = Outcome::default();
+    for h in handles {
+        outcome.absorb(h.join().map_err(|_| "client thread panicked")??);
+    }
+    let wall_ms = start.elapsed().as_nanos() as f64 / 1e6;
+
+    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(
+        writer,
+        "{}",
+        Request::control(u64::MAX, "shutdown").to_line()
+    )
+    .map_err(|e| e.to_string())?;
+    let mut bye = String::new();
+    BufReader::new(stream)
+        .read_line(&mut bye)
+        .map_err(|e| e.to_string())?;
+    let graceful = bye.contains("\"bye\"") && daemon.join().map_err(|_| "daemon panicked")?.is_ok();
+
+    Ok(ArmReport::from_outcome(
+        "tcp",
+        outcome,
+        args.requests,
+        args.clients,
+        args.window,
+        wall_ms,
+        graceful,
+    ))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut arms = Vec::new();
+    let mut failures = Vec::new();
+
+    if args.skip_stdio {
+        eprintln!("loadgen: stdio arm skipped by flag");
+        arms.push(ArmReport::skipped("stdio"));
+    } else {
+        match stdio_arm(&args) {
+            Ok(arm) => arms.push(arm),
+            Err(e) => {
+                failures.push(format!("stdio arm: {e}"));
+                arms.push(ArmReport::skipped("stdio"));
+            }
+        }
+    }
+    match tcp_arm(&args) {
+        Ok(arm) => arms.push(arm),
+        Err(e) => {
+            failures.push(format!("tcp arm: {e}"));
+            arms.push(ArmReport::skipped("tcp"));
+        }
+    }
+
+    for arm in &arms {
+        if arm.skipped {
+            continue;
+        }
+        println!(
+            "{:>6}: {} reqs ({} clients × window {}) in {:.1} ms = {:.1} req/s; \
+             p50 {} µs, p90 {} µs, p99 {} µs, max {} µs; {} solved, {} degraded, \
+             {} errors, {} pongs{}",
+            arm.transport,
+            arm.requests,
+            arm.clients,
+            arm.window,
+            arm.wall_ms,
+            arm.requests_per_sec,
+            arm.latency_p50_us,
+            arm.latency_p90_us,
+            arm.latency_p99_us,
+            arm.latency_max_us,
+            arm.solved,
+            arm.degraded,
+            arm.errors,
+            arm.pongs,
+            if arm.graceful_exit {
+                "; graceful exit"
+            } else {
+                "; NOT graceful"
+            }
+        );
+        if !arm.healthy() {
+            failures.push(format!("{} arm failed its invariants", arm.transport));
+        }
+    }
+
+    let checks_ok = failures.is_empty();
+    let report = Report {
+        suite: "serve_loadgen".to_owned(),
+        quick: args.quick,
+        requests_per_arm: args.requests,
+        arms,
+        checks_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("loadgen: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: wrote {}", args.out.display());
+
+    if !checks_ok {
+        for f in &failures {
+            eprintln!("loadgen: FAIL {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,11 +1,17 @@
-//! `mmph batch` — solve a stream of instances through the batched
-//! pipeline ([`BatchRunner`]): one scratch arena per worker,
-//! engine reuse across adjacent identical requests, and aggregate
-//! throughput reporting.
+//! `mmph batch` — solve a stream of instances through the service
+//! layer's dispatch path: the scenario stream becomes one round of
+//! solve requests handled by [`mmph_serve::Service`], which multiplexes
+//! them onto the batched pipeline (one scratch arena per worker,
+//! engine reuse across adjacent identical requests). `mmph serve` runs
+//! the very same path behind a transport, so batch output doubles as
+//! the daemon's reference behavior — `--verify` pins the two modes
+//! bit-identically.
 
 use std::io::Write;
+use std::time::Instant;
 
-use mmph_core::{verify_reports, BatchReport, BatchRunner, OracleStrategy};
+use mmph_core::{verify_reports, BatchReport, OracleStrategy};
+use mmph_serve::{report_from_responses, Request, Service, ServiceConfig};
 use serde::Serialize;
 
 use crate::args::{self, Flags};
@@ -18,20 +24,23 @@ USAGE:
   mmph batch --scenarios <DIR|FILE|SPEC> [OPTIONS]
 
 OPTIONS:
-  --scenarios X    request stream: a directory of scenario *.json files,
-                   one such file, or an inline spec like
-                   n=10000,k=16,count=4,repeat=8,seed=0,norm=l2,weights=diff
-  --solver NAME    greedy2 (sequential argmax) or lazy (CELF) [lazy]
-  --oracle NAME    seq|par|lazy — overrides the solver's strategy
-  --engine NAME    auto|scan|kd|ball|sparse [sparse]
-  --threads N      worker threads (default: all cores)
-  --par-csr        build CSR adjacency with the parallel path
-  --cold           disable scratch/engine reuse (per-request baseline)
-  --verify         also run the opposite mode and require bit-identical
-                   selections and rewards
-  --json FILE      write the full report as JSON
-  --quiet          suppress per-request lines
-  --help           show this message";
+  --scenarios X     request stream: a directory of scenario *.json files,
+                    one such file, or an inline spec like
+                    n=10000,k=16,count=4,repeat=8,seed=0,norm=l2,weights=diff
+  --solver NAME     greedy2 (sequential argmax) or lazy (CELF) [lazy]
+  --oracle NAME     seq|par|lazy — overrides the solver's strategy
+  --engine NAME     auto|scan|kd|ball|sparse [sparse]
+  --threads N       worker threads (default: all cores)
+  --par-csr         build CSR adjacency with the parallel path
+  --cold            disable scratch/engine reuse (per-request baseline)
+  --deadline-ms N   per-request wall-clock budget (degrades, never hangs)
+  --max-evals N     per-request objective-evaluation budget
+  --verify          also run the opposite mode and require bit-identical
+                    selections and rewards (rejected with --deadline-ms:
+                    wall-clock budgets are nondeterministic)
+  --json FILE       write the full report as JSON
+  --quiet           suppress per-request lines
+  --help            show this message";
 
 /// Report envelope written by `--json`. Owned fields: the vendored
 /// serde derive does not handle lifetime parameters.
@@ -61,6 +70,40 @@ fn strategy_from_flags(flags: &Flags) -> Result<OracleStrategy> {
     }
 }
 
+/// Builds the service configuration `mmph batch` and `mmph serve`
+/// share from the common flag set.
+pub fn service_config_from_flags(flags: &Flags) -> Result<ServiceConfig> {
+    Ok(ServiceConfig {
+        strategy: strategy_from_flags(flags)?,
+        engine: args::parse_engine(flags.get("engine").unwrap_or("sparse"))?,
+        parallel_csr: flags.has("par-csr"),
+        warm: !flags.has("cold"),
+        default_budget: args::parse_budget(flags)?,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Runs one scenario stream through a fresh [`Service`] and folds the
+/// responses back into a [`BatchReport`].
+fn run_stream(config: ServiceConfig, scenarios: &[mmph_sim::Scenario]) -> Result<BatchReport> {
+    let warm = config.warm;
+    let mut service = Service::new(config);
+    let requests: Vec<Request> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, sc)| Request::solve(i as u64, sc.clone()))
+        .collect();
+    let start = Instant::now();
+    let responses = service.handle_requests(requests, start);
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    Ok(report_from_responses(
+        &responses,
+        wall_nanos,
+        rayon::current_num_threads(),
+        warm,
+    )?)
+}
+
 /// Entry point for `mmph batch`.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -69,25 +112,42 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     }
     let flags = args::parse(
         argv,
-        &["scenarios", "solver", "oracle", "engine", "threads", "json"],
+        &[
+            "scenarios",
+            "solver",
+            "oracle",
+            "engine",
+            "threads",
+            "json",
+            "deadline-ms",
+            "max-evals",
+        ],
         &["par-csr", "cold", "verify", "quiet"],
     )?;
     args::install_thread_pool(&flags)?;
     let scenarios_arg: String = flags.require("scenarios")?;
-    let strategy = strategy_from_flags(&flags)?;
-    let engine = args::parse_engine(flags.get("engine").unwrap_or("sparse"))?;
-    let warm = !flags.has("cold");
+    if flags.has("verify") && flags.get("deadline-ms").is_some() {
+        return Err(CliError::Usage(
+            "--verify cannot be combined with --deadline-ms: wall-clock budgets trip \
+             nondeterministically, so the two runs may legitimately differ (eval budgets \
+             via --max-evals are deterministic and verify fine)"
+                .into(),
+        ));
+    }
+    let config = service_config_from_flags(&flags)?;
+    let warm = config.warm;
 
-    let instances = mmph_sim::instances_from_arg(&scenarios_arg)?;
-    let runner = BatchRunner::new()
-        .with_strategy(strategy)
-        .with_engine(engine)
-        .with_parallel_csr(flags.has("par-csr"))
-        .with_warm(warm);
-    let report = runner.run(&instances);
+    let scenarios = mmph_sim::scenarios_from_arg(&scenarios_arg)?;
+    let report = run_stream(config.clone(), &scenarios)?;
 
     let verified = if flags.has("verify") {
-        let reference = runner.clone().with_warm(!warm).run(&instances);
+        let reference = run_stream(
+            ServiceConfig {
+                warm: !warm,
+                ..config.clone()
+            },
+            &scenarios,
+        )?;
         verify_reports(&report, &reference).map_err(CliError::Usage)?;
         Some(true)
     } else {
@@ -119,13 +179,21 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         report.results.len(),
         report.workers,
         if warm { "warm" } else { "cold" },
-        strategy,
-        if flags.has("par-csr") { "parallel" } else { "serial" },
+        config.strategy,
+        if config.parallel_csr { "parallel" } else { "serial" },
         report.wall_nanos as f64 / 1e9,
         report.throughput(),
         report.engines_reused(),
         report.results.len(),
     )?;
+    if report.degraded() > 0 || report.errors() > 0 {
+        writeln!(
+            out,
+            "batch: {} degraded by budget, {} errored",
+            report.degraded(),
+            report.errors()
+        )?;
+    }
     if verified == Some(true) {
         writeln!(
             out,
@@ -138,9 +206,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         let envelope = JsonReport {
             command: "batch".to_owned(),
             scenarios: scenarios_arg.clone(),
-            solver: strategy.to_string(),
-            engine: engine.name().to_owned(),
-            parallel_csr: flags.has("par-csr"),
+            solver: config.strategy.to_string(),
+            engine: config.engine.name().to_owned(),
+            parallel_csr: config.parallel_csr,
             throughput_per_sec: report.throughput(),
             engines_reused: report.engines_reused(),
             verified,
@@ -246,5 +314,38 @@ mod tests {
         assert!(text.contains("\"throughput_per_sec\""));
         assert!(text.contains("\"engine_reused\": true"), "repeat reused");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn eval_budget_degrades_and_reports() {
+        let (r, out) = run_capture(&[
+            "--scenarios",
+            "n=60,k=5,repeat=2",
+            "--max-evals",
+            "30",
+            "--quiet",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("degraded by budget"), "{out}");
+    }
+
+    #[test]
+    fn eval_budget_verifies_but_deadline_does_not() {
+        let (r, out) = run_capture(&[
+            "--scenarios",
+            "n=30,repeat=2",
+            "--max-evals",
+            "25",
+            "--verify",
+            "--quiet",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("bit-identical"), "{out}");
+
+        let (r, _) = run_capture(&["--scenarios", "n=30", "--deadline-ms", "1000", "--verify"]);
+        let Err(CliError::Usage(msg)) = r else {
+            panic!("deadline + verify must be rejected: {r:?}");
+        };
+        assert!(msg.contains("nondeterministically"), "{msg}");
     }
 }

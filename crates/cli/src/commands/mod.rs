@@ -4,5 +4,6 @@ pub mod batch;
 pub mod bounds;
 pub mod generate;
 pub mod report;
+pub mod serve;
 pub mod simulate;
 pub mod solve;

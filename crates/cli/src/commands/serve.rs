@@ -1,0 +1,177 @@
+//! `mmph serve` — run the solver as a long-lived NDJSON daemon.
+//!
+//! Same dispatch path as `mmph batch` ([`mmph_serve::Service`]), behind
+//! a transport: newline-delimited JSON requests on stdin with responses
+//! on stdout (the default), or the same protocol over TCP with
+//! `--tcp ADDR`. SIGINT, stdin EOF, and the `shutdown` op all drain
+//! in-flight requests before exiting 0.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+
+use mmph_serve::{install_sigint_flag, serve_stdio, serve_tcp, Service, ServiceStats};
+
+use crate::args;
+use crate::commands::batch::service_config_from_flags;
+use crate::Result;
+
+const HELP: &str = "\
+mmph serve — request/response solve daemon (NDJSON protocol)
+
+USAGE:
+  mmph serve [OPTIONS]                 stdin/stdout transport
+  mmph serve --tcp 127.0.0.1:7311      TCP transport
+
+REQUESTS (one JSON object per line):
+  {\"id\":1,\"op\":\"solve\",\"spec\":\"n=500,k=8,seed=3\",\"deadline_ms\":50}
+  {\"id\":2,\"op\":\"solve\",\"scenario\":{...full scenario document...}}
+  {\"id\":3,\"op\":\"ping\"} | {\"id\":4,\"op\":\"stats\"} | {\"id\":5,\"op\":\"shutdown\"}
+
+Every response echoes the request id as `in_reply_to`; solve responses
+carry status (completed|degraded), selection, reward, evals, and
+latency_us. Budget expiry degrades a request (prefix selection), it
+never hangs the daemon.
+
+OPTIONS:
+  --tcp ADDR       listen on ADDR instead of stdin/stdout
+  --solver NAME    default solver for requests without one [lazy]
+  --oracle NAME    seq|par|lazy — overrides the solver's strategy
+  --engine NAME    default engine: auto|scan|kd|ball|sparse [sparse]
+  --threads N      worker threads (default: all cores)
+  --par-csr        build CSR adjacency with the parallel path
+  --cold           disable scratch/engine reuse across requests
+  --max-batch N    max requests folded into one dispatch round [64]
+  --deadline-ms N  default per-request wall-clock budget
+  --max-evals N    default per-request evaluation budget
+  --help           show this message";
+
+fn summarize(stats: &ServiceStats) -> String {
+    format!(
+        "serve: {} received, {} responded ({} solved, {} degraded, {} errors), {} engine reuses",
+        stats.received,
+        stats.responded,
+        stats.solved,
+        stats.degraded,
+        stats.errors,
+        stats.engines_reused
+    )
+}
+
+/// Entry point for `mmph serve`: stdio transport reads the real stdin.
+/// On the stdio transport stdout carries protocol lines only, so the
+/// exit summary goes to stderr.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
+    run_with_reader(argv, std::io::stdin(), out)
+}
+
+/// Testable entry point with an injectable request reader (ignored by
+/// the TCP transport).
+pub fn run_with_reader<R>(argv: &[String], reader: R, out: &mut dyn Write) -> Result<()>
+where
+    R: Read + Send + 'static,
+{
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        writeln!(out, "{HELP}")?;
+        return Ok(());
+    }
+    let flags = args::parse(
+        argv,
+        &[
+            "tcp",
+            "solver",
+            "oracle",
+            "engine",
+            "threads",
+            "max-batch",
+            "deadline-ms",
+            "max-evals",
+        ],
+        &["par-csr", "cold"],
+    )?;
+    args::install_thread_pool(&flags)?;
+    let mut config = service_config_from_flags(&flags)?;
+    config.max_batch = flags.get_or("max-batch", config.max_batch)?;
+    let mut service = Service::new(config);
+    let shutdown = install_sigint_flag();
+
+    let stats = match flags.get("tcp") {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            writeln!(out, "serve: listening on {}", listener.local_addr()?)?;
+            out.flush()?;
+            serve_tcp(&mut service, listener, &shutdown)?
+        }
+        None => serve_stdio(&mut service, reader, out, &shutdown)?,
+    };
+    // stdout is the protocol channel on the stdio transport; the
+    // summary goes to stderr so clients never see a non-JSON line.
+    eprintln!("{}", summarize(&stats));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CliError;
+    use mmph_serve::{Request, Response};
+    use std::io::Cursor;
+
+    fn run_script(args: &[&str], script: &str) -> (Result<()>, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let r = run_with_reader(&argv, Cursor::new(script.as_bytes().to_vec()), &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn help_prints() {
+        let (r, out) = run_script(&["--help"], "");
+        assert!(r.is_ok());
+        assert!(out.contains("mmph serve"));
+        assert!(out.contains("in_reply_to"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let (r, _) = run_script(&["--udp", "x"], "");
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn stdio_session_solves_and_exits_on_eof() {
+        let script = concat!(
+            r#"{"id":1,"op":"ping"}"#,
+            "\n",
+            r#"{"id":2,"op":"solve","spec":"n=30,k=3,seed=4"}"#,
+            "\n",
+        );
+        let (r, out) = run_script(&[], script);
+        assert!(r.is_ok(), "{r:?}");
+        let responses: Vec<Response> = out.lines().map(|l| Response::parse(l).unwrap()).collect();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].op, "pong");
+        assert!(
+            responses[1].is_completed_solve(),
+            "{:?}",
+            responses[1].error
+        );
+        assert_eq!(responses[1].in_reply_to, Some(2));
+    }
+
+    #[test]
+    fn stdio_session_honors_shutdown_op() {
+        let script = format!("{}\n", Request::control(9, "shutdown").to_line());
+        let (r, out) = run_script(&[], &script);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.lines().any(|l| l.contains("\"bye\"")), "{out}");
+    }
+
+    #[test]
+    fn default_budget_flag_applies_to_requests() {
+        let script = concat!(r#"{"id":3,"op":"solve","spec":"n=80,k=6,seed=1"}"#, "\n");
+        let (r, out) = run_script(&["--max-evals", "20"], script);
+        assert!(r.is_ok(), "{r:?}");
+        let resp = Response::parse(out.lines().next().unwrap()).unwrap();
+        assert_eq!(resp.status.as_deref(), Some("degraded"), "{resp:?}");
+    }
+}

@@ -4,6 +4,7 @@
 //! mmph generate --n 40 --k 4 --r 1.0 --out instance.json
 //! mmph solve --input instance.json --solver greedy3
 //! mmph batch --scenarios n=10000,k=16,count=4,repeat=8 --verify
+//! mmph serve --tcp 127.0.0.1:7311 --engine sparse
 //! mmph solve --n 40 --k 4 --r 1 --all --svg coverage.svg
 //! mmph report --n 80 --k 4 --solver greedy2
 //! mmph simulate --n 80 --k 4 --horizon 48 --drift 0.02
@@ -32,6 +33,9 @@ pub enum CliError {
     /// Propagated simulation error.
     #[error(transparent)]
     Sim(#[from] mmph_sim::SimError),
+    /// Propagated service-layer error.
+    #[error(transparent)]
+    Serve(#[from] mmph_serve::ServeError),
     /// Propagated plot error.
     #[error(transparent)]
     Plot(#[from] mmph_plot::PlotError),
@@ -57,6 +61,7 @@ COMMANDS:
   generate   generate a problem instance and write it as JSON
   solve      solve an instance with one solver (or --all)
   batch      solve a stream of instances with scratch/engine reuse
+  serve      run the solver as an NDJSON request/response daemon
   report     solve and explain the plan (per-center stats, histogram)
   simulate   run the time-slotted broadcast simulation
   bounds     print the paper's approximation bounds (Fig. 2 data)
@@ -76,6 +81,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         "generate" => commands::generate::run(rest, out),
         "solve" => commands::solve::run(rest, out),
         "batch" => commands::batch::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
         "report" => commands::report::run(rest, out),
         "simulate" => commands::simulate::run(rest, out),
         "bounds" => commands::bounds::run(rest, out),

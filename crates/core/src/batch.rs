@@ -20,11 +20,13 @@
 //! ([`verify_reports`] checks this in-binary; `proptest_scratch`
 //! fuzzes it).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::Serialize;
 
+use crate::budget::{BudgetClock, DegradeReason, SolveBudget, SolveStatus};
 use crate::instance::Instance;
 use crate::oracle::{GainOracle, OracleStrategy};
 use crate::reward::{EngineKind, RewardEngine};
@@ -40,8 +42,28 @@ use crate::scratch::SolveScratch;
 /// and the total reward is returned. Results are bit-identical to a
 /// fresh-allocation solve regardless of what the scratch last held.
 pub fn solve_rounds<const D: usize>(oracle: &GainOracle<'_, D>, scratch: &mut SolveScratch) -> f64 {
+    solve_rounds_within(oracle, scratch, &BudgetClock::unlimited()).0
+}
+
+/// [`solve_rounds`] under a started [`SolveBudget`]: the budget is
+/// checked once per round against this solve's own evaluation count,
+/// so overshoot is bounded by one round of work. On a trip the
+/// selection committed so far stays in `scratch.picks()` — a prefix of
+/// the unbudgeted selection — and the trip reason is returned. An
+/// already-exhausted budget yields an empty selection, never a panic.
+///
+/// Like [`solve_rounds`], the unbudgeted path stays allocation-free
+/// after warmup: an unlimited clock never constructs a reason.
+pub fn solve_rounds_within<const D: usize>(
+    oracle: &GainOracle<'_, D>,
+    scratch: &mut SolveScratch,
+    clock: &BudgetClock,
+) -> (f64, Option<DegradeReason>) {
     let inst = oracle.instance();
     let (n, k) = (inst.n(), inst.k());
+    // The oracle's eval counter is cumulative across engine reuses;
+    // the budget governs this request only.
+    let evals0 = oracle.evals();
     scratch.residuals.reset(n);
     scratch.picks.clear();
     scratch.picks.reserve(k);
@@ -53,13 +75,16 @@ pub fn solve_rounds<const D: usize>(oracle: &GainOracle<'_, D>, scratch: &mut So
     oracle.reset_lazy();
     let mut total = 0.0;
     for _ in 0..k {
+        if let Some(reason) = clock.check(oracle.evals() - evals0) {
+            return (total, Some(reason));
+        }
         let best = oracle.best_candidate(&scratch.residuals);
         let gain = scratch.residuals.apply(inst, inst.point(best.index));
         scratch.picks.push(best.index);
         scratch.round_gains.push(gain);
         total += gain;
     }
-    total
+    (total, None)
 }
 
 /// Returns the buffers an oracle borrowed from `scratch` (CELF heap
@@ -89,8 +114,23 @@ pub struct BatchResult {
     pub solve_nanos: u64,
     /// Whether this request reused the previous request's engine.
     pub engine_reused: bool,
+    /// Completion status: `Completed`, or `Degraded` when the
+    /// request's budget tripped (prefix selection) or its solve
+    /// panicked (empty selection, `error` set).
+    pub status: SolveStatus,
+    /// Panic message when the solve was isolated by `catch_unwind`;
+    /// `None` for clean (completed or budget-degraded) solves.
+    pub error: Option<String>,
     /// Selected candidate indices, in pick order.
     pub selection: Vec<usize>,
+}
+
+impl BatchResult {
+    /// True when the request ran to completion without budget trips
+    /// or panics.
+    pub fn is_complete(&self) -> bool {
+        self.status.is_complete() && self.error.is_none()
+    }
 }
 
 /// Aggregate outcome of [`BatchRunner::run`].
@@ -129,6 +169,19 @@ impl BatchReport {
     pub fn total_reward(&self) -> f64 {
         self.results.iter().map(|r| r.reward).sum()
     }
+
+    /// Number of requests whose budget tripped or whose solve panicked.
+    pub fn degraded(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| !r.status.is_complete())
+            .count()
+    }
+
+    /// Number of requests isolated by `catch_unwind`.
+    pub fn errors(&self) -> usize {
+        self.results.iter().filter(|r| r.error.is_some()).count()
+    }
 }
 
 /// Checks that two reports over the same request stream picked
@@ -153,6 +206,12 @@ pub fn verify_reports(a: &BatchReport, b: &BatchReport) -> Result<(), String> {
             return Err(format!(
                 "reward bits mismatch at request {}: {} vs {}",
                 x.index, x.reward, y.reward
+            ));
+        }
+        if x.error.is_some() != y.error.is_some() {
+            return Err(format!(
+                "error mismatch at request {}: {:?} vs {:?}",
+                x.index, x.error, y.error
             ));
         }
     }
@@ -185,6 +244,7 @@ pub struct BatchRunner {
     parallel_csr: bool,
     warm: bool,
     dirty_region: bool,
+    panic_at: Option<usize>,
 }
 
 impl Default for BatchRunner {
@@ -195,6 +255,7 @@ impl Default for BatchRunner {
             parallel_csr: false,
             warm: true,
             dirty_region: false,
+            panic_at: None,
         }
     }
 }
@@ -242,6 +303,21 @@ impl BatchRunner {
         self
     }
 
+    /// Fault injection: the request at stream position `index` panics
+    /// inside its worker. Used by the panic-isolation regression tests
+    /// and the serve smoke checks; the report must still deliver an
+    /// ordered entry for every request.
+    pub fn with_injected_panic(mut self, index: usize) -> Self {
+        self.panic_at = Some(index);
+        self
+    }
+
+    fn maybe_inject_panic(&self, index: usize) {
+        if self.panic_at == Some(index) {
+            panic!("injected panic at request {index}");
+        }
+    }
+
     /// Builds an oracle whose engine and CELF heap borrow their
     /// storage from `scratch`. Retire it with [`recycle`] to return
     /// the storage.
@@ -261,42 +337,111 @@ impl BatchRunner {
             .with_lazy_scratch(scratch.take_lazy())
     }
 
+    /// An ordered error entry for a request whose solve panicked. The
+    /// selection is empty and the status is `Degraded`, so downstream
+    /// consumers (the serve layer, the report printer) can surface the
+    /// failure without losing report ordering.
+    fn panic_result<const D: usize>(
+        index: usize,
+        inst: &Instance<D>,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> BatchResult {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked".to_string());
+        BatchResult {
+            index,
+            n: inst.n(),
+            k: inst.k(),
+            reward: 0.0,
+            evals: 0,
+            solve_nanos: 0,
+            engine_reused: false,
+            status: SolveStatus::Degraded {
+                reason: DegradeReason::RungPanicked {
+                    rung: "batch-worker".into(),
+                },
+            },
+            error: Some(msg),
+            selection: Vec::new(),
+        }
+    }
+
+    fn status_from(reason: Option<DegradeReason>) -> SolveStatus {
+        match reason {
+            None => SolveStatus::Completed,
+            Some(reason) => SolveStatus::Degraded { reason },
+        }
+    }
+
     /// Cold reference solve: fresh allocations, serial CSR build, no
     /// reuse of any kind — the unbatched per-request baseline.
-    fn solve_cold<const D: usize>(&self, index: usize, inst: &Instance<D>) -> BatchResult {
+    fn solve_cold<const D: usize>(
+        &self,
+        index: usize,
+        inst: &Instance<D>,
+        budget: SolveBudget,
+    ) -> BatchResult {
         let kind = match self.engine {
             EngineKind::Auto => EngineKind::Sparse,
             kind => kind,
         };
         let t0 = Instant::now();
-        let oracle =
-            GainOracle::with_engine(inst, kind, self.strategy).with_dirty_region(self.dirty_region);
-        let mut residuals = crate::reward::Residuals::new(inst.n());
-        let mut picks = Vec::with_capacity(inst.k());
-        let mut reward = 0.0;
-        for _ in 0..inst.k() {
-            let best = oracle.best_candidate(&residuals);
-            reward += residuals.apply(inst, inst.point(best.index));
-            picks.push(best.index);
-        }
-        BatchResult {
-            index,
-            n: inst.n(),
-            k: inst.k(),
-            reward,
-            evals: oracle.evals(),
-            solve_nanos: t0.elapsed().as_nanos() as u64,
-            engine_reused: false,
-            selection: picks,
+        let clock = budget.start();
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            self.maybe_inject_panic(index);
+            let oracle = GainOracle::with_engine(inst, kind, self.strategy)
+                .with_dirty_region(self.dirty_region);
+            let mut residuals = crate::reward::Residuals::new(inst.n());
+            let mut picks = Vec::with_capacity(inst.k());
+            let mut reward = 0.0;
+            let mut tripped = None;
+            for _ in 0..inst.k() {
+                if let Some(reason) = clock.check(oracle.evals()) {
+                    tripped = Some(reason);
+                    break;
+                }
+                let best = oracle.best_candidate(&residuals);
+                reward += residuals.apply(inst, inst.point(best.index));
+                picks.push(best.index);
+            }
+            (reward, picks, oracle.evals(), tripped)
+        }));
+        match solved {
+            Ok((reward, picks, evals, tripped)) => BatchResult {
+                index,
+                n: inst.n(),
+                k: inst.k(),
+                reward,
+                evals,
+                solve_nanos: t0.elapsed().as_nanos() as u64,
+                engine_reused: false,
+                status: Self::status_from(tripped),
+                error: None,
+                selection: picks,
+            },
+            Err(payload) => Self::panic_result(index, inst, payload),
         }
     }
 
     /// Serves one worker's contiguous slice of the stream.
-    fn run_chunk<const D: usize>(&self, start: usize, chunk: &[Instance<D>]) -> Vec<BatchResult> {
+    /// `budgets[r]` (when present) bounds `chunk[r]`; a missing entry
+    /// means unlimited. A panicking request yields an ordered error
+    /// entry and a fresh scratch — the remaining requests of its run
+    /// rebuild the engine and proceed.
+    fn run_chunk<const D: usize>(
+        &self,
+        start: usize,
+        chunk: &[Instance<D>],
+        budgets: &[SolveBudget],
+    ) -> Vec<BatchResult> {
+        let budget_for = |off: usize| budgets.get(off).copied().unwrap_or_default();
         let mut out = Vec::with_capacity(chunk.len());
         if !self.warm {
             for (off, inst) in chunk.iter().enumerate() {
-                out.push(self.solve_cold(start + off, inst));
+                out.push(self.solve_cold(start + off, inst, budget_for(off)));
             }
             return out;
         }
@@ -314,29 +459,56 @@ impl BatchRunner {
             let oracle = self.build_oracle(inst, &mut scratch);
             let build_nanos = build0.elapsed().as_nanos() as u64;
             let mut evals_before = 0u64;
-            for r in i..j {
+            let mut panicked = false;
+            let run_start = i;
+            for r in run_start..j {
+                let index = start + r;
                 let t0 = Instant::now();
-                let reward = solve_rounds(&oracle, &mut scratch);
-                let mut solve_nanos = t0.elapsed().as_nanos() as u64;
-                if r == i {
-                    // The run's first request pays for the build.
-                    solve_nanos += build_nanos;
+                let clock = budget_for(r).start();
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    self.maybe_inject_panic(index);
+                    solve_rounds_within(&oracle, &mut scratch, &clock)
+                }));
+                match solved {
+                    Ok((reward, tripped)) => {
+                        let mut solve_nanos = t0.elapsed().as_nanos() as u64;
+                        if r == run_start {
+                            // The run's first request pays for the build.
+                            solve_nanos += build_nanos;
+                        }
+                        let evals = oracle.evals();
+                        out.push(BatchResult {
+                            index,
+                            n: inst.n(),
+                            k: inst.k(),
+                            reward,
+                            evals: evals - evals_before,
+                            solve_nanos,
+                            engine_reused: r > run_start,
+                            status: Self::status_from(tripped),
+                            error: None,
+                            selection: scratch.picks().to_vec(),
+                        });
+                        evals_before = evals;
+                    }
+                    Err(payload) => {
+                        out.push(Self::panic_result(index, inst, payload));
+                        i = r + 1;
+                        panicked = true;
+                        break;
+                    }
                 }
-                let evals = oracle.evals();
-                out.push(BatchResult {
-                    index: start + r,
-                    n: inst.n(),
-                    k: inst.k(),
-                    reward,
-                    evals: evals - evals_before,
-                    solve_nanos,
-                    engine_reused: r > i,
-                    selection: scratch.picks().to_vec(),
-                });
-                evals_before = evals;
             }
-            recycle(oracle, &mut scratch);
-            i = j;
+            if panicked {
+                // The oracle (and the buffers it took from the
+                // scratch) may be mid-update; drop both and let the
+                // rest of the stream rebuild from a clean arena.
+                drop(oracle);
+                scratch = SolveScratch::new();
+            } else {
+                recycle(oracle, &mut scratch);
+                i = j;
+            }
         }
         out
     }
@@ -345,22 +517,41 @@ impl BatchRunner {
     /// `rayon::current_num_threads()` workers (each with its own
     /// scratch). Results come back in input order.
     pub fn run<const D: usize>(&self, instances: &[Instance<D>]) -> BatchReport {
+        self.run_budgeted(instances, &[])
+    }
+
+    /// [`Self::run`] with per-request budgets: `budgets[i]` bounds
+    /// `instances[i]`; when `budgets` is shorter than the stream the
+    /// tail is unlimited. A tripped budget degrades that request to
+    /// its committed prefix (status [`SolveStatus::Degraded`]); it
+    /// never hangs the report.
+    pub fn run_budgeted<const D: usize>(
+        &self,
+        instances: &[Instance<D>],
+        budgets: &[SolveBudget],
+    ) -> BatchReport {
         let t0 = Instant::now();
         let workers = rayon::current_num_threads()
             .max(1)
             .min(instances.len().max(1));
         let results = if workers <= 1 {
-            self.run_chunk(0, instances)
+            self.run_chunk(0, instances, budgets)
         } else {
             let per = instances.len().div_ceil(workers);
-            let chunks: Vec<(usize, &[Instance<D>])> = instances
+            let chunks: Vec<(usize, &[Instance<D>], &[SolveBudget])> = instances
                 .chunks(per)
                 .enumerate()
-                .map(|(c, slice)| (c * per, slice))
+                .map(|(c, slice)| {
+                    let start = c * per;
+                    let bslice = budgets
+                        .get(start..)
+                        .map_or(&budgets[0..0], |rest| &rest[..rest.len().min(slice.len())]);
+                    (start, slice, bslice)
+                })
                 .collect();
             chunks
                 .into_par_iter()
-                .map(|(start, slice)| self.run_chunk(start, slice))
+                .map(|(start, slice, bslice)| self.run_chunk(start, slice, bslice))
                 .collect::<Vec<_>>()
                 .into_iter()
                 .flatten()
@@ -458,6 +649,89 @@ mod tests {
         let mut b = a.clone();
         b.results[1].selection[0] += 1;
         assert!(verify_reports(&a, &b).is_err());
+    }
+
+    #[test]
+    fn zero_budget_degrades_instead_of_hanging() {
+        let insts = stream(61, 1, 3, Norm::L2);
+        let budgets = vec![
+            SolveBudget::unlimited(),
+            SolveBudget::unlimited().with_max_evals(0),
+            SolveBudget::unlimited(),
+        ];
+        for warm in [true, false] {
+            let report = BatchRunner::new()
+                .with_warm(warm)
+                .run_budgeted(&insts, &budgets);
+            assert_eq!(report.results.len(), 3);
+            assert!(report.results[0].is_complete());
+            assert!(!report.results[1].status.is_complete());
+            assert!(report.results[1].selection.is_empty());
+            assert!(
+                report.results[1].error.is_none(),
+                "budget trip is not an error"
+            );
+            assert!(report.results[2].is_complete());
+            assert_eq!(report.degraded(), 1);
+            assert_eq!(report.errors(), 0);
+            // The budget never changes what an unconstrained request picks.
+            assert_eq!(report.results[0].selection, report.results[2].selection);
+        }
+    }
+
+    #[test]
+    fn eval_budget_yields_prefix_of_unbudgeted_selection() {
+        let inst = random_instance(67, 60, 4, Norm::L2);
+        let full = BatchRunner::new().run(std::slice::from_ref(&inst));
+        let full_sel = &full.results[0].selection;
+        assert_eq!(full_sel.len(), 4);
+        // A cap below the full solve's eval count trips mid-selection.
+        let capped = SolveBudget::unlimited().with_max_evals(full.results[0].evals / 2);
+        let report = BatchRunner::new().run_budgeted(std::slice::from_ref(&inst), &[capped]);
+        let r = &report.results[0];
+        assert!(!r.status.is_complete());
+        assert!(r.selection.len() < full_sel.len());
+        assert_eq!(r.selection[..], full_sel[..r.selection.len()], "prefix");
+    }
+
+    #[test]
+    fn injected_panic_surfaces_ordered_error_entry() {
+        // 2 distinct scenarios × 3 repeats; panic mid-run of the first
+        // so the rest of the run must rebuild the engine.
+        let insts = stream(71, 2, 3, Norm::L2);
+        for warm in [true, false] {
+            let clean = BatchRunner::new().with_warm(warm).run(&insts);
+            let faulty = BatchRunner::new()
+                .with_warm(warm)
+                .with_injected_panic(1)
+                .run(&insts);
+            assert_eq!(faulty.results.len(), insts.len(), "no stalled entries");
+            for (i, r) in faulty.results.iter().enumerate() {
+                assert_eq!(r.index, i, "report stays ordered");
+            }
+            let bad = &faulty.results[1];
+            assert!(bad.error.as_deref().unwrap().contains("injected panic"));
+            assert!(bad.selection.is_empty());
+            assert!(!bad.status.is_complete());
+            assert_eq!(faulty.errors(), 1);
+            // Every other request is untouched by the fault.
+            for (c, f) in clean.results.iter().zip(&faulty.results) {
+                if f.index == 1 {
+                    continue;
+                }
+                assert_eq!(c.selection, f.selection, "request {}", f.index);
+                assert_eq!(c.reward.to_bits(), f.reward.to_bits());
+                assert!(f.error.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn verify_reports_catches_error_mismatch() {
+        let insts = stream(73, 1, 2, Norm::L2);
+        let clean = BatchRunner::new().run(&insts);
+        let faulty = BatchRunner::new().with_injected_panic(0).run(&insts);
+        assert!(verify_reports(&clean, &faulty).is_err());
     }
 
     #[test]

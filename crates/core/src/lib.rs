@@ -49,7 +49,10 @@ pub mod solver;
 pub mod solvers;
 pub mod submodular;
 
-pub use batch::{recycle, solve_rounds, verify_reports, BatchReport, BatchResult, BatchRunner};
+pub use batch::{
+    recycle, solve_rounds, solve_rounds_within, verify_reports, BatchReport, BatchResult,
+    BatchRunner,
+};
 pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 pub use instance::{Instance, InstanceBuilder};
 pub use kernel::{Kernel, PreparedKernel};

@@ -1,0 +1,356 @@
+//! The versioned NDJSON request/response envelope.
+//!
+//! One request or response per line, Maelstrom-style: every request
+//! carries a client-chosen `id`, every response echoes it back as
+//! `in_reply_to`, so clients may pipeline arbitrarily many requests
+//! over one connection and correlate replies in any order.
+//!
+//! Request line (`op` selects the handler):
+//!
+//! ```json
+//! {"v":1,"id":7,"op":"solve","scenario":{...},"solver":"lazy",
+//!  "engine":"sparse","deadline_ms":50,"max_evals":100000}
+//! ```
+//!
+//! The scenario may be inline (`scenario`, a full
+//! [`mmph_sim::Scenario`] document) or by reference (`spec`, an inline
+//! `n=..,k=..` stream spec naming exactly one scenario). Control ops:
+//! `ping` (liveness), `stats` (service counters), `shutdown` (drain
+//! and exit). Responses:
+//!
+//! ```json
+//! {"v":1,"in_reply_to":7,"op":"solve_ok","status":"degraded",
+//!  "degrade_reason":"deadline of 50 ms exceeded","selection":[3,1],
+//!  "reward":812.5,"evals":420,"latency_us":1930,...}
+//! ```
+//!
+//! A request the service cannot parse or execute gets `op: "error"`
+//! with `in_reply_to` set when an `id` could still be extracted, and
+//! `null` otherwise. Unknown protocol versions are rejected, never
+//! guessed at.
+
+use serde::{Deserialize, Serialize};
+
+use mmph_sim::Scenario;
+
+use crate::{Result, ServeError};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Request operations understood by the service.
+pub const REQUEST_OPS: &[&str] = &["solve", "ping", "stats", "shutdown"];
+
+/// One request line. Fields beyond `id`/`op` are op-specific; see the
+/// module docs for the wire shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Protocol version; 0 (absent) is treated as the current version.
+    #[serde(default)]
+    pub v: u32,
+    /// Client-chosen correlation id, echoed back as `in_reply_to`.
+    pub id: u64,
+    /// Operation: `solve`, `ping`, `stats`, or `shutdown`.
+    pub op: String,
+    /// Inline scenario for `solve`.
+    #[serde(default)]
+    pub scenario: Option<Scenario>,
+    /// Scenario by reference: an inline `n=..,k=..` spec naming
+    /// exactly one scenario (`count`/`repeat` must stay 1).
+    #[serde(default)]
+    pub spec: Option<String>,
+    /// Solver override: `greedy2` (eager) or `lazy` (CELF).
+    #[serde(default)]
+    pub solver: Option<String>,
+    /// Engine override: `auto|scan|kd|ball|sparse`.
+    #[serde(default)]
+    pub engine: Option<String>,
+    /// Per-request wall-clock deadline in milliseconds.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Per-request objective-evaluation cap.
+    #[serde(default)]
+    pub max_evals: Option<u64>,
+}
+
+impl Request {
+    /// A minimal solve request for an inline scenario.
+    pub fn solve(id: u64, scenario: Scenario) -> Self {
+        Request {
+            v: PROTOCOL_VERSION,
+            id,
+            op: "solve".into(),
+            scenario: Some(scenario),
+            spec: None,
+            solver: None,
+            engine: None,
+            deadline_ms: None,
+            max_evals: None,
+        }
+    }
+
+    /// A control request (`ping`, `stats`, `shutdown`).
+    pub fn control(id: u64, op: &str) -> Self {
+        Request {
+            v: PROTOCOL_VERSION,
+            id,
+            op: op.into(),
+            scenario: None,
+            spec: None,
+            solver: None,
+            engine: None,
+            deadline_ms: None,
+            max_evals: None,
+        }
+    }
+
+    /// Checks version and op; normalizes an absent version to the
+    /// current one.
+    pub fn validate(mut self) -> Result<Self> {
+        if self.v == 0 {
+            self.v = PROTOCOL_VERSION;
+        }
+        if self.v != PROTOCOL_VERSION {
+            return Err(ServeError::Protocol(format!(
+                "unsupported protocol version {} (this build speaks {PROTOCOL_VERSION})",
+                self.v
+            )));
+        }
+        if !REQUEST_OPS.contains(&self.op.as_str()) {
+            return Err(ServeError::Protocol(format!(
+                "unknown op `{}` (known: {})",
+                self.op,
+                REQUEST_OPS.join(", ")
+            )));
+        }
+        Ok(self)
+    }
+
+    /// Serializes to one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("request serialization is infallible")
+    }
+
+    /// Parses and validates one request line.
+    pub fn parse(line: &str) -> Result<Self> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Err(ServeError::Protocol("empty request line".into()));
+        }
+        let req: Request = serde_json::from_str(trimmed)
+            .map_err(|e| ServeError::Protocol(format!("request JSON: {e}")))?;
+        req.validate()
+    }
+}
+
+/// Best-effort extraction of the `id` from a line that failed full
+/// parsing, so even garbled requests can get a correlated error
+/// response. Returns `None` when no numeric `"id"` key is readable.
+pub fn salvage_id(line: &str) -> Option<u64> {
+    let bytes = line.as_bytes();
+    let key = b"\"id\"";
+    let pos = line.find("\"id\"")?;
+    let mut i = pos + key.len();
+    while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b':') {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    line[start..i].parse().ok()
+}
+
+/// Aggregate service counters, reported by the `stats` op and
+/// returned by the transport loops when they exit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Request lines received (including malformed ones).
+    pub received: u64,
+    /// Responses written.
+    pub responded: u64,
+    /// Solve requests completed within budget.
+    pub solved: u64,
+    /// Solve requests degraded by a budget trip.
+    pub degraded: u64,
+    /// Error responses (parse failures, bad scenarios, worker panics).
+    pub errors: u64,
+    /// Engine reuses across adjacent identical requests.
+    pub engines_reused: u64,
+}
+
+/// One response line. `op` is `solve_ok`, `pong`, `stats_ok`, `bye`,
+/// or `error`; the optional fields are filled per op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Protocol version of the responding service.
+    pub v: u32,
+    /// The request id this answers; `null` when the request line was
+    /// too garbled to extract one.
+    pub in_reply_to: Option<u64>,
+    /// Response operation (see type docs).
+    pub op: String,
+    /// `completed` or `degraded` (solve responses).
+    #[serde(default)]
+    pub status: Option<String>,
+    /// Human-readable reason when `status` is `degraded`.
+    #[serde(default)]
+    pub degrade_reason: Option<String>,
+    /// Error message for `op: "error"`.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Instance size of the solved scenario.
+    #[serde(default)]
+    pub n: Option<usize>,
+    /// Centers requested.
+    #[serde(default)]
+    pub k: Option<usize>,
+    /// Total coverage reward of the selection.
+    #[serde(default)]
+    pub reward: Option<f64>,
+    /// Objective evaluations charged to this request.
+    #[serde(default)]
+    pub evals: Option<u64>,
+    /// Selected candidate indices, in pick order.
+    #[serde(default)]
+    pub selection: Option<Vec<usize>>,
+    /// Whether this request reused the previous request's engine.
+    #[serde(default)]
+    pub engine_reused: Option<bool>,
+    /// Solve wall time in microseconds (engine build included on the
+    /// first request of a reuse run).
+    #[serde(default)]
+    pub solve_us: Option<u64>,
+    /// Queue + solve latency in microseconds, measured from the
+    /// moment the transport read the line to response serialization.
+    #[serde(default)]
+    pub latency_us: Option<u64>,
+    /// Service counters (`stats_ok` responses).
+    #[serde(default)]
+    pub stats: Option<ServiceStats>,
+}
+
+impl Response {
+    /// A blank response of the given op.
+    pub fn new(in_reply_to: Option<u64>, op: &str) -> Self {
+        Response {
+            v: PROTOCOL_VERSION,
+            in_reply_to,
+            op: op.into(),
+            status: None,
+            degrade_reason: None,
+            error: None,
+            n: None,
+            k: None,
+            reward: None,
+            evals: None,
+            selection: None,
+            engine_reused: None,
+            solve_us: None,
+            latency_us: None,
+            stats: None,
+        }
+    }
+
+    /// An error response.
+    pub fn error(in_reply_to: Option<u64>, msg: impl Into<String>) -> Self {
+        let mut r = Self::new(in_reply_to, "error");
+        r.error = Some(msg.into());
+        r
+    }
+
+    /// Serializes to one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serialization is infallible")
+    }
+
+    /// Parses one response line (client side: loadgen, tests).
+    pub fn parse(line: &str) -> Result<Self> {
+        serde_json::from_str(line.trim())
+            .map_err(|e| ServeError::Protocol(format!("response JSON: {e}")))
+    }
+
+    /// True for a solve response that completed within budget.
+    pub fn is_completed_solve(&self) -> bool {
+        self.op == "solve_ok" && self.status.as_deref() == Some("completed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmph_geom::Norm;
+    use mmph_sim::WeightScheme;
+
+    fn scenario() -> Scenario {
+        Scenario::paper_2d(10, 2, 1.0, Norm::L2, WeightScheme::Same, 3)
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::solve(42, scenario());
+        req.deadline_ms = Some(25);
+        req.engine = Some("sparse".into());
+        let line = req.to_line();
+        let back = Request::parse(&line).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(back.to_line(), line, "reserialization is stable");
+    }
+
+    #[test]
+    fn absent_version_defaults_to_current() {
+        let req = Request::parse(r#"{"id":1,"op":"ping"}"#).unwrap();
+        assert_eq!(req.v, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let err = Request::parse(r#"{"v":9,"id":1,"op":"ping"}"#).unwrap_err();
+        assert!(err.to_string().contains("unsupported protocol version"));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let err = Request::parse(r#"{"id":1,"op":"fly"}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown op"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for line in ["", "   ", "{", "[1]", r#"{"op":"ping"}"#, "junk"] {
+            assert!(Request::parse(line).is_err(), "`{line}`");
+        }
+    }
+
+    #[test]
+    fn id_salvage_from_garbled_lines() {
+        assert_eq!(salvage_id(r#"{"id": 77, "op": "sol"#), Some(77));
+        assert_eq!(salvage_id(r#"{"op":"x","id":3}"#), Some(3));
+        assert_eq!(salvage_id("total garbage"), None);
+        assert_eq!(salvage_id(r#"{"id":"seven"}"#), None);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut r = Response::new(Some(9), "solve_ok");
+        r.status = Some("completed".into());
+        r.reward = Some(123.456789012345);
+        r.selection = Some(vec![4, 0, 2]);
+        r.evals = Some(99);
+        let line = r.to_line();
+        let back = Response::parse(&line).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn reward_bits_survive_the_wire() {
+        // A value whose decimal form does not round-trip through a
+        // short float literal: exercise exact bit preservation.
+        let reward = f64::from_bits(0x4093_4800_0000_0001);
+        let mut r = Response::new(Some(1), "solve_ok");
+        r.reward = Some(reward);
+        let back = Response::parse(&r.to_line()).unwrap();
+        assert_eq!(back.reward.unwrap().to_bits(), reward.to_bits());
+    }
+}

@@ -1,0 +1,57 @@
+//! # mmph-serve — request/response service layer
+//!
+//! Lifts the batch solve pipeline behind a versioned NDJSON protocol
+//! so the solver can run as a long-lived daemon (`mmph serve`) while
+//! `mmph batch` stays a thin in-process client of the very same code
+//! path.
+//!
+//! Layers, bottom to top:
+//!
+//! - [`envelope`] — the wire format: [`envelope::Request`] /
+//!   [`envelope::Response`] lines with `id`/`in_reply_to` correlation
+//!   and a protocol version gate.
+//! - [`service`] — transport-independent dispatch: a
+//!   [`service::Service`] turns rounds of requests into rounds of
+//!   responses by multiplexing solves onto
+//!   [`mmph_core::BatchRunner`], keeping its scratch-arena and
+//!   adjacent-identical engine reuse under request traffic.
+//! - [`transport`] — byte movers: NDJSON over stdin/stdout
+//!   ([`transport::serve_stdio`]) and over TCP
+//!   ([`transport::serve_tcp`]), both draining into one shared
+//!   dispatch queue.
+//! - [`signals`] — a SIGINT-to-flag bridge so Ctrl-C drains in-flight
+//!   requests instead of killing them.
+
+pub mod envelope;
+pub mod service;
+pub mod signals;
+pub mod transport;
+
+pub use envelope::{salvage_id, Request, Response, ServiceStats, PROTOCOL_VERSION, REQUEST_OPS};
+pub use service::{parse_solver, report_from_responses, Incoming, Service, ServiceConfig};
+pub use signals::{install_sigint_flag, ShutdownFlag};
+pub use transport::{serve_stdio, serve_tcp, TcpServerConfig};
+
+/// Service-layer error type.
+#[derive(Debug, thiserror::Error)]
+pub enum ServeError {
+    /// Malformed or unsupported request/response content (message is
+    /// wire-facing).
+    #[error("{0}")]
+    Protocol(String),
+    /// Propagated core error.
+    #[error(transparent)]
+    Core(#[from] mmph_core::CoreError),
+    /// Propagated simulation error (scenario generation/validation).
+    #[error(transparent)]
+    Sim(#[from] mmph_sim::SimError),
+    /// I/O failure on a transport.
+    #[error("io: {0}")]
+    Io(#[from] std::io::Error),
+    /// JSON (de)serialization failure.
+    #[error("json: {0}")]
+    Json(#[from] serde_json::Error),
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

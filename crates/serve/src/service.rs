@@ -1,0 +1,635 @@
+//! Transport-independent request handling.
+//!
+//! A [`Service`] owns the solver configuration, the scenario→instance
+//! cache, and the aggregate counters. Transports (stdio, TCP, or the
+//! in-process `mmph batch` driver) feed it *rounds* of requests —
+//! everything queued at dispatch time, up to `max_batch` — and get
+//! back exactly one [`Response`] per input, in input order.
+//!
+//! Dispatching a whole round at once is what lets the daemon reuse the
+//! batch pipeline unchanged: the round becomes one
+//! [`BatchRunner::run_budgeted`] call, so adjacent identical requests
+//! share an engine build and every worker keeps its
+//! [`SolveScratch`](mmph_core::SolveScratch) arena — the same
+//! amortizations `mmph batch` gets, now under sustained request
+//! traffic. Per-request deadlines ride along as [`SolveBudget`]s; a
+//! tripped budget degrades that request (prefix selection, `degraded`
+//! status), a panicking worker becomes an `error` response, and
+//! neither ever stalls the round.
+
+use std::time::Instant;
+
+use mmph_core::{
+    BatchReport, BatchResult, BatchRunner, EngineKind, Instance, OracleStrategy, SolveBudget,
+    SolveStatus,
+};
+use mmph_sim::{parse_spec, validate_scenario, Scenario};
+
+use crate::envelope::{salvage_id, Request, Response, ServiceStats};
+use crate::{Result, ServeError};
+
+/// How many scenario→instance pairs the service keeps generated.
+/// Streams of repeated scenarios (the serving workload) hit the cache;
+/// a varied stream regenerates at most one instance per request.
+const INSTANCE_CACHE: usize = 4;
+
+/// Tunables shared by every transport.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Default candidate-argmax strategy when a request has no
+    /// `solver` override.
+    pub strategy: OracleStrategy,
+    /// Default reward engine when a request has no `engine` override.
+    pub engine: EngineKind,
+    /// Build CSR adjacencies with the rayon-parallel path.
+    pub parallel_csr: bool,
+    /// Scratch/engine reuse (the warm batch pipeline). `false` is the
+    /// cold per-request baseline.
+    pub warm: bool,
+    /// Dirty-region CELF upgrade on sparse engines.
+    pub dirty_region: bool,
+    /// Budget applied to requests that carry none of their own.
+    pub default_budget: SolveBudget,
+    /// Most requests drained into one dispatch round by the
+    /// transports. Larger rounds amortize better; smaller rounds
+    /// bound per-request queueing delay.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            strategy: OracleStrategy::Lazy,
+            engine: EngineKind::Sparse,
+            parallel_csr: false,
+            warm: true,
+            dirty_region: false,
+            default_budget: SolveBudget::unlimited(),
+            max_batch: 64,
+        }
+    }
+}
+
+/// Parses a request-level solver name. `greedy2`/`seq` is the eager
+/// sequential argmax, `lazy` the CELF oracle, `par` the rayon argmax.
+pub fn parse_solver(raw: &str) -> Result<OracleStrategy> {
+    match raw {
+        "greedy2" | "seq" => Ok(OracleStrategy::Seq),
+        "lazy" => Ok(OracleStrategy::Lazy),
+        "par" => Ok(OracleStrategy::Par),
+        other => Err(ServeError::Protocol(format!(
+            "unknown solver `{other}` (known: greedy2, lazy, par)"
+        ))),
+    }
+}
+
+/// One queued line with the instant the transport read it; latency in
+/// the response is measured from `received`.
+#[derive(Debug)]
+pub struct Incoming {
+    /// The raw NDJSON line.
+    pub line: String,
+    /// When the transport read it off the wire.
+    pub received: Instant,
+}
+
+impl Incoming {
+    /// Wraps a line, stamping it now.
+    pub fn now(line: String) -> Self {
+        Incoming {
+            line,
+            received: Instant::now(),
+        }
+    }
+}
+
+/// What one round item turns into before the solve pass runs.
+enum Plan {
+    /// Control op or error: the response is already known.
+    Ready(Box<Response>),
+    /// Solve request `slot` positions into the round's solve stream.
+    Solve { slot: usize, id: u64 },
+}
+
+/// A solve extracted from a request, pre-generation.
+struct SolveItem {
+    instance: Instance<2>,
+    budget: SolveBudget,
+    strategy: OracleStrategy,
+    engine: EngineKind,
+    received: Instant,
+}
+
+/// The transport-independent request handler. See the module docs.
+pub struct Service {
+    config: ServiceConfig,
+    stats: ServiceStats,
+    cache: Vec<(Scenario, Instance<2>)>,
+    shutdown: bool,
+}
+
+impl Service {
+    /// A service with the given tunables.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            config,
+            stats: ServiceStats::default(),
+            cache: Vec::new(),
+            shutdown: false,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// True once a `shutdown` request has been handled; transports
+    /// drain their queues and exit when they observe this.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handles one round of raw lines: exactly one response per input,
+    /// in input order. Never fails — malformed lines become `error`
+    /// responses (correlated via best-effort id salvage).
+    pub fn handle_lines(&mut self, batch: &[Incoming]) -> Vec<Response> {
+        self.stats.received += batch.len() as u64;
+        let parsed: Vec<(std::result::Result<Request, Response>, Instant)> = batch
+            .iter()
+            .map(|inc| {
+                let item = Request::parse(&inc.line)
+                    .map_err(|e| Response::error(salvage_id(&inc.line), e.to_string()));
+                (item, inc.received)
+            })
+            .collect();
+        self.dispatch(parsed)
+    }
+
+    /// Handles one round of already-parsed requests (the in-process
+    /// transport used by `mmph batch`). Stamps every request with the
+    /// same receive instant, `now`.
+    pub fn handle_requests(&mut self, requests: Vec<Request>, now: Instant) -> Vec<Response> {
+        self.stats.received += requests.len() as u64;
+        let parsed = requests
+            .into_iter()
+            .map(|r| {
+                (
+                    r.validate()
+                        .map_err(|e| Response::error(None, e.to_string())),
+                    now,
+                )
+            })
+            .collect();
+        self.dispatch(parsed)
+    }
+
+    /// The dispatch core shared by both entry points.
+    fn dispatch(
+        &mut self,
+        parsed: Vec<(std::result::Result<Request, Response>, Instant)>,
+    ) -> Vec<Response> {
+        let mut plans: Vec<Plan> = Vec::with_capacity(parsed.len());
+        let mut solves: Vec<SolveItem> = Vec::new();
+        for (item, received) in parsed {
+            let req = match item {
+                Ok(req) => req,
+                Err(resp) => {
+                    plans.push(Plan::Ready(Box::new(resp)));
+                    continue;
+                }
+            };
+            match req.op.as_str() {
+                "ping" => plans.push(Plan::Ready(Box::new(Response::new(Some(req.id), "pong")))),
+                "stats" => {
+                    let mut resp = Response::new(Some(req.id), "stats_ok");
+                    resp.stats = Some(self.stats.clone());
+                    plans.push(Plan::Ready(Box::new(resp)));
+                }
+                "shutdown" => {
+                    self.shutdown = true;
+                    plans.push(Plan::Ready(Box::new(Response::new(Some(req.id), "bye"))));
+                }
+                "solve" => match self.prepare_solve(&req, received) {
+                    Ok(item) => {
+                        solves.push(item);
+                        plans.push(Plan::Solve {
+                            slot: solves.len() - 1,
+                            id: req.id,
+                        });
+                    }
+                    Err(e) => plans.push(Plan::Ready(Box::new(Response::error(
+                        Some(req.id),
+                        e.to_string(),
+                    )))),
+                },
+                // validate() already rejected anything else.
+                other => plans.push(Plan::Ready(Box::new(Response::error(
+                    Some(req.id),
+                    format!("unknown op `{other}`"),
+                )))),
+            }
+        }
+
+        let solved = self.run_solves(&solves);
+        let out: Vec<Response> = plans
+            .into_iter()
+            .map(|plan| match plan {
+                Plan::Ready(resp) => *resp,
+                Plan::Solve { slot, id } => {
+                    Self::solve_response(id, &solved[slot], solves[slot].received)
+                }
+            })
+            .collect();
+        for resp in &out {
+            match resp.op.as_str() {
+                "error" => self.stats.errors += 1,
+                "solve_ok" => {
+                    if resp.status.as_deref() == Some("completed") {
+                        self.stats.solved += 1;
+                    } else {
+                        self.stats.degraded += 1;
+                    }
+                    if resp.engine_reused == Some(true) {
+                        self.stats.engines_reused += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.stats.responded += out.len() as u64;
+        out
+    }
+
+    /// Resolves one solve request to an instance + budget + config.
+    fn prepare_solve(&mut self, req: &Request, received: Instant) -> Result<SolveItem> {
+        let scenario = match (&req.scenario, &req.spec) {
+            (Some(sc), None) => sc.clone(),
+            (None, Some(spec)) => {
+                let spec = parse_spec(spec)?;
+                if spec.count != 1 || spec.repeat != 1 {
+                    return Err(ServeError::Protocol(
+                        "a solve request names exactly one scenario (count=repeat=1)".into(),
+                    ));
+                }
+                spec.scenarios().remove(0)
+            }
+            (Some(_), Some(_)) => {
+                return Err(ServeError::Protocol(
+                    "request carries both `scenario` and `spec`; pick one".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(ServeError::Protocol(
+                    "solve request needs a `scenario` or a `spec`".into(),
+                ))
+            }
+        };
+        validate_scenario(&scenario)?;
+        let instance = self.instance_for(&scenario)?;
+        let mut budget = self.config.default_budget;
+        if req.deadline_ms.is_some() || req.max_evals.is_some() {
+            budget = SolveBudget::unlimited();
+            if let Some(ms) = req.deadline_ms {
+                budget = budget.with_deadline_ms(ms);
+            }
+            if let Some(cap) = req.max_evals {
+                budget = budget.with_max_evals(cap);
+            }
+        }
+        let strategy = match &req.solver {
+            Some(name) => parse_solver(name)?,
+            None => self.config.strategy,
+        };
+        let engine = match &req.engine {
+            Some(name) => EngineKind::parse(name).map_err(ServeError::Protocol)?,
+            None => self.config.engine,
+        };
+        Ok(SolveItem {
+            instance,
+            budget,
+            strategy,
+            engine,
+            received,
+        })
+    }
+
+    /// Generates (or recalls) the instance a scenario pins. The cache
+    /// is MRU-ordered and returns *clones of one generation*, so
+    /// repeated scenarios are `==` by pointer-free structural equality
+    /// and the batch layer's adjacent-identical engine reuse fires.
+    fn instance_for(&mut self, scenario: &Scenario) -> Result<Instance<2>> {
+        if let Some(pos) = self.cache.iter().position(|(sc, _)| sc == scenario) {
+            let entry = self.cache.remove(pos);
+            let inst = entry.1.clone();
+            self.cache.push(entry);
+            return Ok(inst);
+        }
+        let inst = scenario.generate_2d()?;
+        if self.cache.len() == INSTANCE_CACHE {
+            self.cache.remove(0);
+        }
+        self.cache.push((scenario.clone(), inst.clone()));
+        Ok(inst)
+    }
+
+    /// Runs the round's solve stream through the batch pipeline.
+    /// Consecutive items with the same (strategy, engine) form one
+    /// `run_budgeted` call; results come back aligned with `solves`.
+    fn run_solves(&self, solves: &[SolveItem]) -> Vec<BatchResult> {
+        let mut out: Vec<BatchResult> = Vec::with_capacity(solves.len());
+        let mut i = 0;
+        while i < solves.len() {
+            let (strategy, engine) = (solves[i].strategy, solves[i].engine);
+            let mut j = i + 1;
+            while j < solves.len() && solves[j].strategy == strategy && solves[j].engine == engine {
+                j += 1;
+            }
+            let seg = &solves[i..j];
+            let instances: Vec<Instance<2>> = seg.iter().map(|s| s.instance.clone()).collect();
+            let budgets: Vec<SolveBudget> = seg.iter().map(|s| s.budget).collect();
+            let runner = BatchRunner::new()
+                .with_strategy(strategy)
+                .with_engine(engine)
+                .with_parallel_csr(self.config.parallel_csr)
+                .with_warm(self.config.warm)
+                .with_dirty_region(self.config.dirty_region);
+            let report = runner.run_budgeted(&instances, &budgets);
+            out.extend(report.results);
+            i = j;
+        }
+        out
+    }
+
+    /// Maps one batch result into its wire response.
+    fn solve_response(id: u64, result: &BatchResult, received: Instant) -> Response {
+        let mut resp = if let Some(msg) = &result.error {
+            Response::error(Some(id), format!("solve panicked: {msg}"))
+        } else {
+            let mut r = Response::new(Some(id), "solve_ok");
+            match &result.status {
+                SolveStatus::Completed => r.status = Some("completed".into()),
+                SolveStatus::Degraded { reason } => {
+                    r.status = Some("degraded".into());
+                    r.degrade_reason = Some(reason.to_string());
+                }
+            }
+            r.reward = Some(result.reward);
+            r.selection = Some(result.selection.clone());
+            r
+        };
+        resp.n = Some(result.n);
+        resp.k = Some(result.k);
+        resp.evals = Some(result.evals);
+        resp.engine_reused = Some(result.engine_reused);
+        resp.solve_us = Some(result.solve_nanos / 1_000);
+        resp.latency_us = Some(received.elapsed().as_micros() as u64);
+        resp
+    }
+}
+
+/// Rebuilds a [`BatchReport`] from solve responses so serve-side
+/// streams can be pinned against `mmph batch` with
+/// [`mmph_core::verify_reports`]. Responses are ordered by
+/// `in_reply_to`, which the batch driver assigns as the 0-based stream
+/// position. Control responses are rejected; error responses become
+/// error entries (empty selection), matching the batch layer's
+/// panic-isolation shape.
+pub fn report_from_responses(
+    responses: &[Response],
+    wall_nanos: u64,
+    workers: usize,
+    warm: bool,
+) -> Result<BatchReport> {
+    let mut sorted: Vec<&Response> = responses.iter().collect();
+    for r in &sorted {
+        if r.op != "solve_ok" && r.op != "error" {
+            return Err(ServeError::Protocol(format!(
+                "response op `{}` has no batch equivalent",
+                r.op
+            )));
+        }
+        if r.in_reply_to.is_none() {
+            return Err(ServeError::Protocol(
+                "response with no in_reply_to cannot be ordered".into(),
+            ));
+        }
+    }
+    sorted.sort_by_key(|r| r.in_reply_to.unwrap());
+    let results = sorted
+        .iter()
+        .map(|r| {
+            let status = match r.status.as_deref() {
+                Some("completed") | None => SolveStatus::Completed,
+                Some(_) => SolveStatus::Degraded {
+                    reason: mmph_core::DegradeReason::RungFailed {
+                        rung: "service".into(),
+                        error: r.degrade_reason.clone().unwrap_or_default(),
+                    },
+                },
+            };
+            BatchResult {
+                index: r.in_reply_to.unwrap() as usize,
+                n: r.n.unwrap_or(0),
+                k: r.k.unwrap_or(0),
+                reward: r.reward.unwrap_or(0.0),
+                evals: r.evals.unwrap_or(0),
+                solve_nanos: r.solve_us.unwrap_or(0) * 1_000,
+                engine_reused: r.engine_reused.unwrap_or(false),
+                status: if r.op == "error" {
+                    SolveStatus::Degraded {
+                        reason: mmph_core::DegradeReason::RungFailed {
+                            rung: "service".into(),
+                            error: r.error.clone().unwrap_or_default(),
+                        },
+                    }
+                } else {
+                    status
+                },
+                error: r.error.clone(),
+                selection: r.selection.clone().unwrap_or_default(),
+            }
+        })
+        .collect();
+    Ok(BatchReport {
+        results,
+        wall_nanos,
+        workers,
+        warm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmph_geom::Norm;
+    use mmph_sim::WeightScheme;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::paper_2d(30, 3, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, seed)
+    }
+
+    fn lines(reqs: &[Request]) -> Vec<Incoming> {
+        reqs.iter().map(|r| Incoming::now(r.to_line())).collect()
+    }
+
+    #[test]
+    fn ping_stats_shutdown() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let batch = lines(&[
+            Request::control(1, "ping"),
+            Request::control(2, "stats"),
+            Request::control(3, "shutdown"),
+        ]);
+        let out = svc.handle_lines(&batch);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].op, "pong");
+        assert_eq!(out[0].in_reply_to, Some(1));
+        assert_eq!(out[1].op, "stats_ok");
+        assert_eq!(out[1].stats.as_ref().unwrap().received, 3);
+        assert_eq!(out[2].op, "bye");
+        assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn solve_round_reuses_engines_and_orders_responses() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let sc = scenario(5);
+        let batch = lines(&[
+            Request::solve(10, sc.clone()),
+            Request::solve(11, sc.clone()),
+            Request::solve(12, scenario(6)),
+        ]);
+        let out = svc.handle_lines(&batch);
+        assert_eq!(out.len(), 3);
+        for (resp, id) in out.iter().zip([10u64, 11, 12]) {
+            assert_eq!(resp.op, "solve_ok", "{:?}", resp.error);
+            assert_eq!(resp.in_reply_to, Some(id));
+            assert!(resp.is_completed_solve());
+            assert!(resp.latency_us.is_some());
+        }
+        assert_eq!(
+            out[0].selection, out[1].selection,
+            "same scenario, same pick"
+        );
+        assert_eq!(out[1].engine_reused, Some(true), "adjacent identical reuse");
+        assert_eq!(svc.stats().solved, 3);
+        assert_eq!(svc.stats().engines_reused, 1);
+    }
+
+    #[test]
+    fn repeated_scenarios_hit_the_instance_cache() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let sc = scenario(7);
+        let a = svc.handle_lines(&lines(&[Request::solve(0, sc.clone())]));
+        let b = svc.handle_lines(&lines(&[Request::solve(1, sc.clone())]));
+        assert_eq!(a[0].selection, b[0].selection);
+        assert_eq!(svc.cache.len(), 1, "one distinct scenario, one entry");
+    }
+
+    #[test]
+    fn spec_requests_resolve_to_one_scenario() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut req = Request::control(4, "solve");
+        req.spec = Some("n=25,k=2,seed=9".into());
+        let out = svc.handle_lines(&lines(&[req]));
+        assert!(out[0].is_completed_solve(), "{:?}", out[0].error);
+        assert_eq!(out[0].n, Some(25));
+        assert_eq!(out[0].k, Some(2));
+
+        let mut multi = Request::control(5, "solve");
+        multi.spec = Some("n=25,repeat=3".into());
+        let out = svc.handle_lines(&lines(&[multi]));
+        assert_eq!(out[0].op, "error");
+        assert!(out[0].error.as_deref().unwrap().contains("exactly one"));
+    }
+
+    #[test]
+    fn malformed_and_bad_requests_get_error_responses() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let batch = vec![
+            Incoming::now("not json at all".into()),
+            Incoming::now(r#"{"id": 9, "op": "solve""#.into()), // truncated
+            Incoming::now(r#"{"id": 8, "op": "solve"}"#.into()), // no scenario
+            Incoming::now(Request::solve(7, scenario(1)).to_line()),
+        ];
+        let out = svc.handle_lines(&batch);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].op, "error");
+        assert_eq!(out[0].in_reply_to, None);
+        assert_eq!(out[1].op, "error");
+        assert_eq!(out[1].in_reply_to, Some(9), "id salvaged from truncation");
+        assert_eq!(out[2].op, "error");
+        assert!(out[2].error.as_deref().unwrap().contains("scenario"));
+        assert!(out[3].is_completed_solve(), "good request still served");
+        assert_eq!(svc.stats().errors, 3);
+        assert_eq!(svc.stats().solved, 1);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_without_hanging() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut req = Request::solve(1, scenario(2));
+        req.deadline_ms = Some(0);
+        let out = svc.handle_lines(&lines(&[req]));
+        assert_eq!(out[0].op, "solve_ok");
+        assert_eq!(out[0].status.as_deref(), Some("degraded"));
+        assert!(out[0]
+            .degrade_reason
+            .as_deref()
+            .unwrap()
+            .contains("deadline"));
+        assert_eq!(out[0].selection.as_deref(), Some(&[][..]));
+        assert_eq!(svc.stats().degraded, 1);
+    }
+
+    #[test]
+    fn per_request_solver_and_engine_overrides() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let sc = scenario(11);
+        let mut a = Request::solve(0, sc.clone());
+        a.solver = Some("greedy2".into());
+        a.engine = Some("scan".into());
+        let b = Request::solve(1, sc.clone());
+        let out = svc.handle_lines(&lines(&[a, b]));
+        assert!(out[0].is_completed_solve());
+        assert!(out[1].is_completed_solve());
+        assert_eq!(
+            out[0].selection, out[1].selection,
+            "engines are bit-identical"
+        );
+        assert_eq!(out[1].engine_reused, Some(false), "segment split, no reuse");
+
+        let mut bad = Request::solve(2, sc);
+        bad.solver = Some("quantum".into());
+        let out = svc.handle_lines(&lines(&[bad]));
+        assert_eq!(out[0].op, "error");
+        assert!(out[0].error.as_deref().unwrap().contains("unknown solver"));
+    }
+
+    #[test]
+    fn report_from_responses_matches_direct_batch() {
+        let sc = scenario(13);
+        let insts: Vec<Instance<2>> = vec![
+            sc.generate_2d().unwrap(),
+            sc.generate_2d().unwrap(),
+            scenario(14).generate_2d().unwrap(),
+        ];
+        let direct = BatchRunner::new().run(&insts);
+
+        let mut svc = Service::new(ServiceConfig::default());
+        let reqs = vec![
+            Request::solve(0, sc.clone()),
+            Request::solve(1, sc),
+            Request::solve(2, scenario(14)),
+        ];
+        let responses = svc.handle_requests(reqs, Instant::now());
+        let report = report_from_responses(&responses, 0, 1, true).unwrap();
+        mmph_core::verify_reports(&direct, &report).unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! SIGINT → shutdown-flag bridge.
+//!
+//! The daemon must drain in-flight requests on Ctrl-C rather than die
+//! mid-solve. The container has no `libc`/`signal-hook` crate, but on
+//! Unix `std` itself links libc, so the one symbol needed —
+//! `signal(2)` — is declared directly. The handler does the only
+//! async-signal-safe thing possible: it flips a static atomic that
+//! the dispatch loops poll.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Set by the signal handler. Only flags handed out by
+/// [`install_sigint_flag`] observe it; plain [`ShutdownFlag::new`]
+/// flags stay independent (important for tests sharing one process).
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Shared "please stop" switch polled by the transport loops. Clone is
+/// cheap (an `Arc`); any holder can trip it.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    local: Arc<AtomicBool>,
+    observe_sigint: bool,
+}
+
+impl ShutdownFlag {
+    /// A fresh, untripped flag that ignores SIGINT.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag.
+    pub fn trip(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// True once tripped — programmatically via [`trip`](Self::trip),
+    /// or by SIGINT for flags from [`install_sigint_flag`].
+    pub fn is_tripped(&self) -> bool {
+        self.local.load(Ordering::SeqCst)
+            || (self.observe_sigint && SIGINT_SEEN.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+
+    // `std` links libc on every Unix target, so the symbol resolves
+    // without a libc crate dependency. The handler travels as a plain
+    // `usize` function address.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe operation: store to an atomic.
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal plumbing off Unix; the flag still works when tripped
+    /// programmatically (stdin EOF, `shutdown` op).
+    pub fn install() {}
+}
+
+/// Installs a process-wide SIGINT handler (idempotent) and returns a
+/// [`ShutdownFlag`] that observes it in addition to manual trips.
+pub fn install_sigint_flag() -> ShutdownFlag {
+    imp::install();
+    ShutdownFlag {
+        local: Arc::default(),
+        observe_sigint: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_trip_is_visible_through_clones() {
+        let flag = ShutdownFlag::new();
+        let peer = flag.clone();
+        assert!(!peer.is_tripped());
+        flag.trip();
+        assert!(peer.is_tripped());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigint_trips_installed_flags_only() {
+        unsafe extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        let flag = install_sigint_flag();
+        let plain = ShutdownFlag::new();
+        assert!(!flag.is_tripped());
+        unsafe {
+            raise(2);
+        }
+        assert!(flag.is_tripped());
+        assert!(!plain.is_tripped(), "plain flags ignore the signal");
+    }
+}

@@ -1,0 +1,156 @@
+//! The equivalence pin behind the whole refactor: a scenario stream
+//! answered by the service — in-process, or over the stdio transport's
+//! actual wire bytes — produces selections and rewards bit-identical
+//! to `BatchRunner` driving the same instances directly. `mmph batch`
+//! and `mmph serve` are two transports over one code path, and this
+//! test is the proof.
+
+use std::io::Cursor;
+use std::time::Instant;
+
+use mmph_core::{verify_reports, BatchRunner, Instance, SolveBudget};
+use mmph_serve::{
+    report_from_responses, serve_stdio, Incoming, Request, Response, Service, ServiceConfig,
+    ShutdownFlag,
+};
+use mmph_sim::{Scenario, WeightScheme};
+
+/// A mixed stream with repeats (engine reuse) and size changes.
+fn stream() -> Vec<Scenario> {
+    let sc = |n, k, seed| {
+        Scenario::paper_2d(
+            n,
+            k,
+            1.0,
+            mmph_geom::Norm::L2,
+            WeightScheme::PAPER_WEIGHTED,
+            seed,
+        )
+    };
+    vec![
+        sc(40, 4, 1),
+        sc(40, 4, 1),
+        sc(40, 4, 1),
+        sc(25, 3, 2),
+        sc(40, 4, 1),
+        sc(60, 5, 3),
+        sc(60, 5, 3),
+    ]
+}
+
+fn instances(scenarios: &[Scenario]) -> Vec<Instance<2>> {
+    scenarios.iter().map(|s| s.generate_2d().unwrap()).collect()
+}
+
+fn requests(scenarios: &[Scenario]) -> Vec<Request> {
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Request::solve(i as u64, s.clone()))
+        .collect()
+}
+
+#[test]
+fn in_process_service_matches_direct_batch() {
+    let scenarios = stream();
+    let direct = BatchRunner::new().run(&instances(&scenarios));
+
+    let mut svc = Service::new(ServiceConfig::default());
+    let responses = svc.handle_requests(requests(&scenarios), Instant::now());
+    let served = report_from_responses(&responses, 0, 1, true).unwrap();
+
+    verify_reports(&direct, &served).expect("service must be bit-identical to batch");
+    assert!(
+        served
+            .results
+            .iter()
+            .skip(1)
+            .take(2)
+            .all(|r| r.engine_reused),
+        "repeated scenarios keep the batch pipeline's engine reuse"
+    );
+}
+
+#[test]
+fn stdio_wire_bytes_match_direct_batch() {
+    let scenarios = stream();
+    let direct = BatchRunner::new().run(&instances(&scenarios));
+
+    let mut input = String::new();
+    for req in requests(&scenarios) {
+        input.push_str(&req.to_line());
+        input.push('\n');
+    }
+    let mut svc = Service::new(ServiceConfig::default());
+    let mut out = Vec::new();
+    serve_stdio(
+        &mut svc,
+        Cursor::new(input.into_bytes()),
+        &mut out,
+        &ShutdownFlag::new(),
+    )
+    .unwrap();
+
+    let responses: Vec<Response> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Response::parse(l).unwrap())
+        .collect();
+    let served = report_from_responses(&responses, 0, 1, true).unwrap();
+    verify_reports(&direct, &served)
+        .expect("responses re-parsed from actual wire bytes must match batch bit-for-bit");
+}
+
+#[test]
+fn eval_budgets_degrade_identically_on_both_paths() {
+    let scenarios = stream();
+    let budgets: Vec<SolveBudget> = (0..scenarios.len())
+        .map(|i| {
+            if i % 2 == 0 {
+                SolveBudget::unlimited().with_max_evals(60)
+            } else {
+                SolveBudget::unlimited()
+            }
+        })
+        .collect();
+    let direct = BatchRunner::new().run_budgeted(&instances(&scenarios), &budgets);
+
+    let mut reqs = requests(&scenarios);
+    for (i, req) in reqs.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            req.max_evals = Some(60);
+        }
+    }
+    let mut svc = Service::new(ServiceConfig::default());
+    let responses = svc.handle_requests(reqs, Instant::now());
+    let served = report_from_responses(&responses, 0, 1, true).unwrap();
+
+    verify_reports(&direct, &served)
+        .expect("eval-budget degradation is deterministic, so prefixes must agree");
+    assert!(
+        responses
+            .iter()
+            .any(|r| r.status.as_deref() == Some("degraded")),
+        "the cap must actually bite for this pin to mean anything"
+    );
+}
+
+#[test]
+fn cold_pipeline_matches_too() {
+    let scenarios = stream();
+    let direct = BatchRunner::new()
+        .with_warm(false)
+        .run(&instances(&scenarios));
+
+    let mut svc = Service::new(ServiceConfig {
+        warm: false,
+        ..ServiceConfig::default()
+    });
+    let batch: Vec<Incoming> = requests(&scenarios)
+        .iter()
+        .map(|r| Incoming::now(r.to_line()))
+        .collect();
+    let responses = svc.handle_lines(&batch);
+    let served = report_from_responses(&responses, 0, 1, false).unwrap();
+    verify_reports(&direct, &served).expect("cold path equivalence");
+}

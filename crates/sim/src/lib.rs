@@ -35,7 +35,10 @@ pub mod trace;
 
 pub use gen::{SpaceSpec, WeightScheme};
 pub use scenario::Scenario;
-pub use stream::{instances_from_arg, parse_spec, scenarios_from_arg, StreamSpec};
+pub use stream::{
+    instances_from_arg, parse_scenario_line, parse_spec, scenarios_from_arg, validate_scenario,
+    StreamSpec,
+};
 
 /// Errors from simulation configuration and I/O.
 #[derive(Debug, thiserror::Error)]
@@ -43,6 +46,10 @@ pub enum SimError {
     /// Invalid scenario or generator configuration.
     #[error("invalid configuration: {0}")]
     InvalidConfig(String),
+    /// A malformed, truncated, or semantically invalid scenario line
+    /// (NDJSON service input or a `--scenarios` file entry).
+    #[error("bad scenario: {0}")]
+    BadScenario(String),
     /// Propagated core-model error.
     #[error(transparent)]
     Core(#[from] mmph_core::CoreError),

@@ -126,13 +126,108 @@ pub fn parse_spec(s: &str) -> Result<StreamSpec> {
     Ok(spec)
 }
 
+/// Maximum `n` accepted from untrusted scenario input. A larger value
+/// is almost certainly hostile or a typo, and would try to allocate
+/// tens of GiB before `Instance::new` could reject anything.
+pub const MAX_STREAM_N: usize = 100_000_000;
+
+/// Maximum `[`/`{` nesting accepted from untrusted scenario input.
+/// The vendored JSON parser is recursive; unbounded depth is a stack
+/// overflow (an abort, not a catchable error), so cap it well above
+/// any legitimate [`Scenario`] document.
+pub const MAX_JSON_DEPTH: usize = 64;
+
+/// Rejects input whose bracket nesting would blow the recursive
+/// parser's stack. String contents are skipped so braces inside labels
+/// don't count.
+fn check_depth(s: &str) -> Result<()> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for b in s.bytes() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' | b'{' => {
+                depth += 1;
+                if depth > MAX_JSON_DEPTH {
+                    return Err(SimError::BadScenario(format!(
+                        "JSON nesting deeper than {MAX_JSON_DEPTH} levels"
+                    )));
+                }
+            }
+            b']' | b'}' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Sanity-checks a parsed scenario before anything allocates for it.
+/// `Instance::new` re-validates geometry; this guards the generation
+/// step itself (allocation size, degenerate parameters) so untrusted
+/// service input cannot OOM or panic the worker.
+pub fn validate_scenario(sc: &Scenario) -> Result<()> {
+    if sc.n == 0 {
+        return Err(SimError::BadScenario("n must be >= 1".into()));
+    }
+    if sc.n > MAX_STREAM_N {
+        return Err(SimError::BadScenario(format!(
+            "n = {} exceeds the stream cap of {MAX_STREAM_N}",
+            sc.n
+        )));
+    }
+    if sc.k == 0 {
+        return Err(SimError::BadScenario("k must be >= 1".into()));
+    }
+    if !sc.r.is_finite() || sc.r <= 0.0 {
+        return Err(SimError::BadScenario(format!(
+            "r must be a positive finite number (got {})",
+            sc.r
+        )));
+    }
+    Ok(())
+}
+
+/// Parses one NDJSON line holding a [`Scenario`]. Malformed JSON,
+/// truncated lines, wrong shapes, and hostile parameters all come back
+/// as [`SimError::BadScenario`] — never a panic. This is the entry
+/// point the solve service uses for inline request scenarios.
+pub fn parse_scenario_line(line: &str) -> Result<Scenario> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Err(SimError::BadScenario("empty scenario line".into()));
+    }
+    check_depth(trimmed)?;
+    let sc: Scenario = serde_json::from_str(trimmed)
+        .map_err(|e| SimError::BadScenario(format!("scenario JSON: {e}")))?;
+    validate_scenario(&sc)?;
+    Ok(sc)
+}
+
 fn scenarios_from_json(path: &Path) -> Result<Vec<Scenario>> {
     let text = std::fs::read_to_string(path)?;
+    check_depth(&text)?;
     // A file may hold a single scenario or an array of them.
-    match serde_json::from_str::<Vec<Scenario>>(&text) {
-        Ok(v) => Ok(v),
-        Err(_) => Ok(vec![serde_json::from_str::<Scenario>(&text)?]),
+    let list = match serde_json::from_str::<Vec<Scenario>>(&text) {
+        Ok(v) => v,
+        Err(_) => vec![serde_json::from_str::<Scenario>(&text)
+            .map_err(|e| SimError::BadScenario(format!("{}: {e}", path.display())))?],
+    };
+    for sc in &list {
+        validate_scenario(sc)
+            .map_err(|e| SimError::BadScenario(format!("{}: {e}", path.display())))?;
     }
+    Ok(list)
 }
 
 /// Resolves a `--scenarios` argument (directory, file, or inline
@@ -284,5 +379,87 @@ mod tests {
     fn bad_arg_reports_clearly() {
         let err = instances_from_arg("/no/such/path").unwrap_err();
         assert!(err.to_string().contains("neither a path nor"));
+    }
+
+    #[test]
+    fn scenario_line_roundtrips() {
+        let sc = Scenario::paper_2d(12, 3, 1.0, Norm::L2, WeightScheme::Same, 4);
+        let line = serde_json::to_string(&sc).unwrap();
+        assert_eq!(parse_scenario_line(&line).unwrap(), sc);
+        // Surrounding whitespace is fine (NDJSON lines keep their `\n`).
+        assert_eq!(parse_scenario_line(&format!("  {line}\n")).unwrap(), sc);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_not_panics() {
+        let sc = Scenario::paper_2d(12, 3, 1.0, Norm::L2, WeightScheme::Same, 4);
+        let good = serde_json::to_string(&sc).unwrap();
+        let cases: Vec<String> = vec![
+            String::new(),
+            "   ".into(),
+            "not json".into(),
+            "{".into(),
+            good[..good.len() / 2].to_string(), // truncated mid-object
+            "[1,2,3]".into(),                   // wrong shape
+            "{\"label\":\"x\"}".into(),         // missing fields
+            good.replace("\"n\":12", "\"n\":\"twelve\""), // wrong type
+            good.replace("\"n\":12", "\"n\":-3"), // negative count
+        ];
+        for case in cases {
+            let err = parse_scenario_line(&case).unwrap_err();
+            assert!(
+                matches!(err, SimError::BadScenario(_)),
+                "`{case}` gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_parameters_are_rejected_before_allocation() {
+        let sc = Scenario::paper_2d(12, 3, 1.0, Norm::L2, WeightScheme::Same, 4);
+        let good = serde_json::to_string(&sc).unwrap();
+        for (from, to) in [
+            ("\"n\":12", format!("\"n\":{}", MAX_STREAM_N + 1).as_str()),
+            ("\"n\":12", "\"n\":0"),
+            ("\"k\":3", "\"k\":0"),
+            ("\"r\":1.0", "\"r\":0.0"),
+            ("\"r\":1.0", "\"r\":-2.5"),
+        ] {
+            let case = good.replace(from, to);
+            assert_ne!(case, good, "replacement `{from}` must apply");
+            let err = parse_scenario_line(&case).unwrap_err();
+            assert!(matches!(err, SimError::BadScenario(_)), "{case}: {err}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let bomb = "[".repeat(100_000);
+        let err = parse_scenario_line(&bomb).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Depth inside strings does not count.
+        let sc = Scenario::paper_2d(5, 1, 1.0, Norm::L2, WeightScheme::Same, 0);
+        let mut deep_label = sc.clone();
+        deep_label.label = "[".repeat(200);
+        let line = serde_json::to_string(&deep_label).unwrap();
+        assert_eq!(parse_scenario_line(&line).unwrap(), deep_label);
+    }
+
+    #[test]
+    fn scenario_files_are_validated_too() {
+        let dir = std::env::temp_dir().join(format!("mmph-badfile-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"label\": \"trunc").unwrap();
+        let err = instances_from_arg(bad.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, SimError::BadScenario(_)), "{err}");
+        let sc = Scenario::paper_2d(5, 1, 1.0, Norm::L2, WeightScheme::Same, 0);
+        let hostile = serde_json::to_string(&sc)
+            .unwrap()
+            .replace("\"k\":1", "\"k\":0");
+        std::fs::write(&bad, hostile).unwrap();
+        let err = instances_from_arg(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("k must be"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
