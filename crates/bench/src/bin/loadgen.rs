@@ -26,6 +26,13 @@
 //! its request id and nothing may be dropped; any correlation gap,
 //! unexpected error, or non-graceful shutdown makes the binary exit
 //! non-zero so CI can run it directly.
+//!
+//! A third arm (**tcp-overload**) drives the same mix at a daemon
+//! configured with tiny admission caps, so a healthy run *must* shed:
+//! the client honors each `overloaded` response's `retry_after_ms`
+//! with exponential backoff until the request lands. Shed/retry
+//! counts and server-reported queue-delay percentiles (`queue_ms`)
+//! are recorded per arm.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -33,7 +40,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Command, ExitCode, Stdio};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mmph_serve::{serve_tcp, Request, Response, Service, ServiceConfig, ShutdownFlag};
 use mmph_sim::{Scenario, WeightScheme};
@@ -152,56 +159,125 @@ fn build_mix(count: usize, id_base: u64) -> Vec<Request> {
 #[derive(Debug, Default)]
 struct Outcome {
     latencies_us: Vec<u64>,
+    queue_us: Vec<u64>,
     solved: usize,
     degraded: usize,
     errors: usize,
     pongs: usize,
     uncorrelated: usize,
+    shed: usize,
+    retries: usize,
+    gave_up: usize,
 }
 
 impl Outcome {
     fn absorb(&mut self, other: Outcome) {
         self.latencies_us.extend(other.latencies_us);
+        self.queue_us.extend(other.queue_us);
         self.solved += other.solved;
         self.degraded += other.degraded;
         self.errors += other.errors;
         self.pongs += other.pongs;
         self.uncorrelated += other.uncorrelated;
+        self.shed += other.shed;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
     }
 }
 
+/// Ceiling on backoff growth so a long shed streak cannot stall an arm.
+const MAX_BACKOFF: Duration = Duration::from_millis(250);
+
 /// Pipelines `reqs` with at most `window` in flight, measuring
-/// client-side latency per response. Generic over the wire so the
-/// child-process stdio pipes and TCP sockets share one driver.
+/// client-side latency per response. An `overloaded` response is
+/// retried (up to `max_retries` times) after the server's
+/// `retry_after_ms` hint, doubled per attempt; client-side latency for
+/// a retried request spans first send to final answer. Generic over
+/// the wire so the child-process stdio pipes and TCP sockets share one
+/// driver.
 fn drive<W: Write, R: BufRead>(
     w: &mut W,
     r: &mut R,
     reqs: &[Request],
     window: usize,
+    max_retries: usize,
 ) -> Result<Outcome, String> {
     let mut outcome = Outcome::default();
-    let mut sent: HashMap<u64, Instant> = HashMap::new();
+    // id → (first send, attempts so far)
+    let mut sent: HashMap<u64, (Instant, usize)> = HashMap::new();
+    let by_id: HashMap<u64, &Request> = reqs.iter().map(|rq| (rq.id, rq)).collect();
+    // Shed requests waiting out their backoff: (ready_at, id).
+    let mut parked: Vec<(Instant, u64)> = Vec::new();
     let mut next = 0usize;
-    let mut done = 0usize;
-    while done < reqs.len() {
-        while next < reqs.len() && next - done < window {
+    let mut completed = 0usize;
+    let mut inflight = 0usize;
+    while completed < reqs.len() {
+        // Re-send any retry whose backoff has elapsed, then top the
+        // window up with fresh requests.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < parked.len() {
+            if inflight < window && parked[i].0 <= now {
+                let (_, id) = parked.swap_remove(i);
+                writeln!(w, "{}", by_id[&id].to_line()).map_err(|e| format!("send: {e}"))?;
+                outcome.retries += 1;
+                inflight += 1;
+            } else {
+                i += 1;
+            }
+        }
+        while next < reqs.len() && inflight < window {
             let req = &reqs[next];
-            sent.insert(req.id, Instant::now());
+            sent.insert(req.id, (Instant::now(), 0));
             writeln!(w, "{}", req.to_line()).map_err(|e| format!("send: {e}"))?;
+            inflight += 1;
             next += 1;
         }
         w.flush().map_err(|e| format!("flush: {e}"))?;
+        if inflight == 0 {
+            // Nothing on the wire: every remaining request is backing
+            // off. Sleep until the earliest becomes ready.
+            let earliest = parked.iter().map(|(at, _)| *at).min().expect("parked");
+            thread::sleep(earliest.saturating_duration_since(Instant::now()) + TICK);
+            continue;
+        }
         let mut line = String::new();
         let read = r.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
         if read == 0 {
             return Err(format!(
                 "server closed with {} responses outstanding",
-                reqs.len() - done
+                reqs.len() - completed
             ));
         }
         let resp = Response::parse(&line).map_err(|e| e.to_string())?;
+        inflight -= 1;
+        if let Some(q_ms) = resp.queue_ms {
+            outcome.queue_us.push((q_ms * 1e3) as u64);
+        }
+        if resp.op == "overloaded" {
+            outcome.shed += 1;
+            if let Some(&mut (_, ref mut attempts)) =
+                resp.in_reply_to.and_then(|id| sent.get_mut(&id))
+            {
+                *attempts += 1;
+                let id = resp.in_reply_to.expect("correlated shed");
+                if *attempts <= max_retries {
+                    let hint = Duration::from_millis(resp.retry_after_ms.unwrap_or(1).max(1));
+                    let backoff = (hint * (1u32 << (*attempts - 1).min(8))).min(MAX_BACKOFF);
+                    parked.push((Instant::now() + backoff, id));
+                } else {
+                    sent.remove(&id);
+                    outcome.gave_up += 1;
+                    completed += 1;
+                }
+            } else {
+                outcome.uncorrelated += 1;
+                completed += 1;
+            }
+            continue;
+        }
         match resp.in_reply_to.and_then(|id| sent.remove(&id)) {
-            Some(at) => outcome.latencies_us.push(at.elapsed().as_micros() as u64),
+            Some((at, _)) => outcome.latencies_us.push(at.elapsed().as_micros() as u64),
             None => outcome.uncorrelated += 1,
         }
         match resp.op.as_str() {
@@ -216,10 +292,14 @@ fn drive<W: Write, R: BufRead>(
             }
             _ => {}
         }
-        done += 1;
+        completed += 1;
     }
     Ok(outcome)
 }
+
+/// Slack added when sleeping out a backoff, so the retry is ready on
+/// the next pass.
+const TICK: Duration = Duration::from_millis(1);
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -234,6 +314,8 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 struct ArmReport {
     transport: String,
     skipped: bool,
+    /// True for the admission-stress arm, which must shed to be healthy.
+    overload: bool,
     requests: usize,
     clients: usize,
     window: usize,
@@ -243,11 +325,17 @@ struct ArmReport {
     latency_p90_us: u64,
     latency_p99_us: u64,
     latency_max_us: u64,
+    queue_p50_us: u64,
+    queue_p90_us: u64,
+    queue_p99_us: u64,
     solved: usize,
     degraded: usize,
     errors: usize,
     pongs: usize,
     uncorrelated: usize,
+    shed: usize,
+    retries: usize,
+    gave_up: usize,
     graceful_exit: bool,
 }
 
@@ -256,6 +344,7 @@ impl ArmReport {
         ArmReport {
             transport: transport.to_owned(),
             skipped: true,
+            overload: false,
             requests: 0,
             clients: 0,
             window: 0,
@@ -265,17 +354,25 @@ impl ArmReport {
             latency_p90_us: 0,
             latency_p99_us: 0,
             latency_max_us: 0,
+            queue_p50_us: 0,
+            queue_p90_us: 0,
+            queue_p99_us: 0,
             solved: 0,
             degraded: 0,
             errors: 0,
             pongs: 0,
             uncorrelated: 0,
+            shed: 0,
+            retries: 0,
+            gave_up: 0,
             graceful_exit: false,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn from_outcome(
         transport: &str,
+        overload: bool,
         outcome: Outcome,
         requests: usize,
         clients: usize,
@@ -285,9 +382,12 @@ impl ArmReport {
     ) -> Self {
         let mut lat = outcome.latencies_us.clone();
         lat.sort_unstable();
+        let mut queue = outcome.queue_us.clone();
+        queue.sort_unstable();
         ArmReport {
             transport: transport.to_owned(),
             skipped: false,
+            overload,
             requests,
             clients,
             window,
@@ -297,25 +397,38 @@ impl ArmReport {
             latency_p90_us: percentile(&lat, 0.90),
             latency_p99_us: percentile(&lat, 0.99),
             latency_max_us: lat.last().copied().unwrap_or(0),
+            queue_p50_us: percentile(&queue, 0.50),
+            queue_p90_us: percentile(&queue, 0.90),
+            queue_p99_us: percentile(&queue, 0.99),
             solved: outcome.solved,
             degraded: outcome.degraded,
             errors: outcome.errors,
             pongs: outcome.pongs,
             uncorrelated: outcome.uncorrelated,
+            shed: outcome.shed,
+            retries: outcome.retries,
+            gave_up: outcome.gave_up,
             graceful_exit,
         }
     }
 
     /// The invariants CI asserts: everything answered, correlated,
     /// error-free, with the budgeted slice of the mix degrading and a
-    /// clean shutdown.
+    /// clean shutdown. The overload arm must additionally have shed
+    /// and retried (the whole point of its tiny caps), and every retry
+    /// must eventually land.
     fn healthy(&self) -> bool {
-        !self.skipped
+        let base = !self.skipped
             && self.uncorrelated == 0
             && self.errors == 0
             && self.degraded >= 1
             && self.solved >= 1
-            && self.graceful_exit
+            && self.graceful_exit;
+        if self.overload {
+            base && self.shed >= 1 && self.retries >= 1 && self.gave_up == 0
+        } else {
+            base && self.shed == 0
+        }
     }
 }
 
@@ -342,7 +455,7 @@ fn stdio_arm(args: &Args) -> Result<ArmReport, String> {
 
     let reqs = build_mix(args.requests, 0);
     let start = Instant::now();
-    let outcome = drive(&mut stdin, &mut stdout, &reqs, args.window)?;
+    let outcome = drive(&mut stdin, &mut stdout, &reqs, args.window, MAX_RETRIES)?;
     let wall_ms = start.elapsed().as_nanos() as f64 / 1e6;
 
     // Graceful shutdown: the op gets a `bye` and the process exits 0.
@@ -362,6 +475,7 @@ fn stdio_arm(args: &Args) -> Result<ArmReport, String> {
 
     Ok(ArmReport::from_outcome(
         "stdio",
+        false,
         outcome,
         args.requests,
         1,
@@ -371,12 +485,22 @@ fn stdio_arm(args: &Args) -> Result<ArmReport, String> {
     ))
 }
 
-/// Starts the in-process TCP daemon and fans concurrent clients at it.
-fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
+/// Retry ceiling per request when the daemon sheds it.
+const MAX_RETRIES: usize = 16;
+
+/// Starts an in-process TCP daemon with the given config and fans
+/// concurrent clients at it. `overload` tags the report arm that is
+/// expected to shed.
+fn tcp_arm_with(
+    args: &Args,
+    label: &str,
+    overload: bool,
+    cfg: ServiceConfig,
+) -> Result<ArmReport, String> {
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     let daemon = thread::spawn(move || {
-        let mut service = Service::new(ServiceConfig::default());
+        let mut service = Service::new(cfg);
         serve_tcp(&mut service, listener, &ShutdownFlag::new())
     });
 
@@ -396,7 +520,7 @@ fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
             let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
             let mut reader = BufReader::new(stream);
             let reqs = build_mix(count, id_base);
-            drive(&mut writer, &mut reader, &reqs, window)
+            drive(&mut writer, &mut reader, &reqs, window, MAX_RETRIES)
         }));
     }
     let mut outcome = Outcome::default();
@@ -405,22 +529,36 @@ fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
     }
     let wall_ms = start.elapsed().as_nanos() as f64 / 1e6;
 
+    // Shutdown on a fresh connection; under tiny caps even this can be
+    // shed, so honor the hint and retry like any other client would.
     let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writeln!(
-        writer,
-        "{}",
-        Request::control(u64::MAX, "shutdown").to_line()
-    )
-    .map_err(|e| e.to_string())?;
-    let mut bye = String::new();
-    BufReader::new(stream)
-        .read_line(&mut bye)
+    let mut reader = BufReader::new(stream);
+    let mut graceful = false;
+    for _ in 0..=MAX_RETRIES {
+        writeln!(
+            writer,
+            "{}",
+            Request::control(u64::MAX, "shutdown").to_line()
+        )
         .map_err(|e| e.to_string())?;
-    let graceful = bye.contains("\"bye\"") && daemon.join().map_err(|_| "daemon panicked")?.is_ok();
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let resp = Response::parse(&line).map_err(|e| e.to_string())?;
+        if resp.op == "overloaded" {
+            thread::sleep(Duration::from_millis(
+                resp.retry_after_ms.unwrap_or(1).max(1),
+            ));
+            continue;
+        }
+        graceful = resp.op == "bye";
+        break;
+    }
+    graceful = graceful && daemon.join().map_err(|_| "daemon panicked")?.is_ok();
 
     Ok(ArmReport::from_outcome(
-        "tcp",
+        label,
+        overload,
         outcome,
         args.requests,
         args.clients,
@@ -428,6 +566,23 @@ fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
         wall_ms,
         graceful,
     ))
+}
+
+/// The default-config TCP arm.
+fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
+    tcp_arm_with(args, "tcp", false, ServiceConfig::default())
+}
+
+/// The admission-stress arm: caps far below the offered load, so the
+/// daemon must shed and the clients must retry their way through.
+fn tcp_overload_arm(args: &Args) -> Result<ArmReport, String> {
+    let cfg = ServiceConfig {
+        queue_cap: 4,
+        per_conn_inflight: 4,
+        retry_after_ms: 2,
+        ..ServiceConfig::default()
+    };
+    tcp_arm_with(args, "tcp-overload", true, cfg)
 }
 
 fn main() -> ExitCode {
@@ -461,15 +616,22 @@ fn main() -> ExitCode {
             arms.push(ArmReport::skipped("tcp"));
         }
     }
+    match tcp_overload_arm(&args) {
+        Ok(arm) => arms.push(arm),
+        Err(e) => {
+            failures.push(format!("tcp-overload arm: {e}"));
+            arms.push(ArmReport::skipped("tcp-overload"));
+        }
+    }
 
     for arm in &arms {
         if arm.skipped {
             continue;
         }
         println!(
-            "{:>6}: {} reqs ({} clients × window {}) in {:.1} ms = {:.1} req/s; \
-             p50 {} µs, p90 {} µs, p99 {} µs, max {} µs; {} solved, {} degraded, \
-             {} errors, {} pongs{}",
+            "{:>12}: {} reqs ({} clients × window {}) in {:.1} ms = {:.1} req/s; \
+             p50 {} µs, p90 {} µs, p99 {} µs, max {} µs; queue p50 {} µs, p99 {} µs; \
+             {} solved, {} degraded, {} errors, {} pongs, {} shed, {} retries{}",
             arm.transport,
             arm.requests,
             arm.clients,
@@ -480,10 +642,14 @@ fn main() -> ExitCode {
             arm.latency_p90_us,
             arm.latency_p99_us,
             arm.latency_max_us,
+            arm.queue_p50_us,
+            arm.queue_p99_us,
             arm.solved,
             arm.degraded,
             arm.errors,
             arm.pongs,
+            arm.shed,
+            arm.retries,
             if arm.graceful_exit {
                 "; graceful exit"
             } else {

@@ -43,6 +43,12 @@ OPTIONS:
   --max-batch N    max requests folded into one dispatch round [64]
   --deadline-ms N  default per-request wall-clock budget
   --max-evals N    default per-request evaluation budget
+  --queue-cap N    dispatch backlog bound; excess is shed with an
+                   `overloaded` response carrying retry_after_ms [1024]
+  --max-inflight N per-connection in-flight request cap (TCP) [64]
+  --retry-after-ms N   backoff hint attached to shed responses [25]
+  --write-timeout-ms N per-connection socket write timeout; a stalled
+                       client is disconnected and its work cancelled [2000]
   --help           show this message";
 
 fn summarize(stats: &ServiceStats) -> String {
@@ -85,12 +91,20 @@ where
             "max-batch",
             "deadline-ms",
             "max-evals",
+            "queue-cap",
+            "max-inflight",
+            "retry-after-ms",
+            "write-timeout-ms",
         ],
         &["par-csr", "cold"],
     )?;
     args::install_thread_pool(&flags)?;
     let mut config = service_config_from_flags(&flags)?;
     config.max_batch = flags.get_or("max-batch", config.max_batch)?;
+    config.queue_cap = flags.get_or("queue-cap", config.queue_cap)?;
+    config.per_conn_inflight = flags.get_or("max-inflight", config.per_conn_inflight)?;
+    config.retry_after_ms = flags.get_or("retry-after-ms", config.retry_after_ms)?;
+    config.write_timeout_ms = flags.get_or("write-timeout-ms", config.write_timeout_ms)?;
     let mut service = Service::new(config);
     let shutdown = install_sigint_flag();
 
@@ -164,6 +178,28 @@ mod tests {
         let (r, out) = run_script(&[], &script);
         assert!(r.is_ok(), "{r:?}");
         assert!(out.lines().any(|l| l.contains("\"bye\"")), "{out}");
+    }
+
+    #[test]
+    fn admission_flags_parse_and_serve_normally() {
+        let script = concat!(r#"{"id":7,"op":"solve","spec":"n=30,k=3,seed=4"}"#, "\n");
+        let (r, out) = run_script(
+            &[
+                "--queue-cap",
+                "8",
+                "--max-inflight",
+                "2",
+                "--retry-after-ms",
+                "5",
+                "--write-timeout-ms",
+                "500",
+            ],
+            script,
+        );
+        assert!(r.is_ok(), "{r:?}");
+        let resp = Response::parse(out.lines().next().unwrap()).unwrap();
+        assert!(resp.is_completed_solve(), "{:?}", resp.error);
+        assert!(resp.queue_ms.is_some(), "responses report queueing delay");
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub fn solve_rounds_within<const D: usize>(
             return (total, Some(reason));
         }
         let best = oracle.best_candidate(&scratch.residuals);
+        // A cancel trip mid-argmax poisons `best` (post-trip scores are
+        // substituted with 0.0): discard the round and return the
+        // committed prefix instead of committing a junk pick.
+        if clock.cancelled() {
+            return (total, Some(DegradeReason::Cancelled));
+        }
         let gain = scratch.residuals.apply(inst, inst.point(best.index));
         scratch.picks.push(best.index);
         scratch.round_gains.push(gain);
@@ -393,7 +399,8 @@ impl BatchRunner {
         let solved = catch_unwind(AssertUnwindSafe(|| {
             self.maybe_inject_panic(index);
             let oracle = GainOracle::with_engine(inst, kind, self.strategy)
-                .with_dirty_region(self.dirty_region);
+                .with_dirty_region(self.dirty_region)
+                .with_cancel(budget.cancel_token().cloned());
             let mut residuals = crate::reward::Residuals::new(inst.n());
             let mut picks = Vec::with_capacity(inst.k());
             let mut reward = 0.0;
@@ -404,6 +411,10 @@ impl BatchRunner {
                     break;
                 }
                 let best = oracle.best_candidate(&residuals);
+                if clock.cancelled() {
+                    tripped = Some(DegradeReason::Cancelled);
+                    break;
+                }
                 reward += residuals.apply(inst, inst.point(best.index));
                 picks.push(best.index);
             }
@@ -437,7 +448,7 @@ impl BatchRunner {
         chunk: &[Instance<D>],
         budgets: &[SolveBudget],
     ) -> Vec<BatchResult> {
-        let budget_for = |off: usize| budgets.get(off).copied().unwrap_or_default();
+        let budget_for = |off: usize| budgets.get(off).cloned().unwrap_or_default();
         let mut out = Vec::with_capacity(chunk.len());
         if !self.warm {
             for (off, inst) in chunk.iter().enumerate() {
@@ -456,15 +467,19 @@ impl BatchRunner {
                 j += 1;
             }
             let build0 = Instant::now();
-            let oracle = self.build_oracle(inst, &mut scratch);
+            let mut oracle = self.build_oracle(inst, &mut scratch);
             let build_nanos = build0.elapsed().as_nanos() as u64;
             let mut evals_before = 0u64;
             let mut panicked = false;
             let run_start = i;
             for r in run_start..j {
                 let index = start + r;
+                let budget = budget_for(r);
+                // Requests in one reuse run can come from different
+                // connections, each with its own token.
+                oracle.set_cancel(budget.cancel_token().cloned());
                 let t0 = Instant::now();
-                let clock = budget_for(r).start();
+                let clock = budget.start();
                 let solved = catch_unwind(AssertUnwindSafe(|| {
                     self.maybe_inject_panic(index);
                     solve_rounds_within(&oracle, &mut scratch, &clock)

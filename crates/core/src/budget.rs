@@ -23,13 +23,15 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::CancelToken;
 use crate::solver::Solution;
 
 /// Resource limits for one solve. The default is unlimited.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SolveBudget {
     deadline: Option<Duration>,
     max_evals: Option<u64>,
+    cancel: Option<CancelToken>,
 }
 
 impl SolveBudget {
@@ -55,6 +57,14 @@ impl SolveBudget {
         self
     }
 
+    /// Attaches a cancellation token: tripping any clone of the token
+    /// degrades the solve to its committed prefix at the next
+    /// eval-check (see [`CancelToken`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The configured deadline, if any.
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline
@@ -65,22 +75,32 @@ impl SolveBudget {
         self.max_evals
     }
 
-    /// True when neither limit is set.
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// True when the attached token (if any) has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// True when neither limit is set and no token is attached.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_evals.is_none()
+        self.deadline.is_none() && self.max_evals.is_none() && self.cancel.is_none()
     }
 
     /// Starts the wall clock for this budget.
     pub fn start(&self) -> BudgetClock {
         BudgetClock {
             started: Instant::now(),
-            budget: *self,
+            budget: self.clone(),
         }
     }
 }
 
 /// A started [`SolveBudget`]: limits plus the instant the solve began.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BudgetClock {
     started: Instant,
     budget: SolveBudget,
@@ -93,10 +113,14 @@ impl BudgetClock {
     }
 
     /// Checks the budget against `evals` spent so far. Returns the
-    /// reason when a limit is reached. The eval cap trips at
-    /// `evals >= max`, so a zero-eval budget is exhausted immediately —
-    /// even for solvers whose argmax charges nothing.
+    /// reason when a limit is reached. Cancellation is checked first
+    /// (a dead client outranks resource accounting), then the eval cap
+    /// trips at `evals >= max`, so a zero-eval budget is exhausted
+    /// immediately — even for solvers whose argmax charges nothing.
     pub fn check(&self, evals: u64) -> Option<DegradeReason> {
+        if self.budget.is_cancelled() {
+            return Some(DegradeReason::Cancelled);
+        }
         if let Some(max) = self.budget.max_evals {
             if evals >= max {
                 return Some(DegradeReason::EvalsExhausted { evals, max });
@@ -117,6 +141,13 @@ impl BudgetClock {
         self.check(evals).is_some()
     }
 
+    /// True when the budget's cancellation token has been tripped.
+    /// A plain (uncounted) read: the round loops use this to discard
+    /// a round whose argmax raced the trip.
+    pub fn cancelled(&self) -> bool {
+        self.budget.is_cancelled()
+    }
+
     /// The budget left after spending `evals`: the remaining wall-clock
     /// window and eval headroom, saturating at zero. Used by the
     /// degradation ladder to hand each rung what the previous rungs
@@ -128,6 +159,7 @@ impl BudgetClock {
                 .deadline
                 .map(|d| d.saturating_sub(self.started.elapsed())),
             max_evals: self.budget.max_evals.map(|m| m.saturating_sub(evals)),
+            cancel: self.budget.cancel.clone(),
         }
     }
 }
@@ -147,6 +179,10 @@ pub enum DegradeReason {
         /// The configured cap.
         max: u64,
     },
+    /// The solve's [`CancelToken`] was tripped (client disconnect,
+    /// shed queue, write failure); the prefix committed before the
+    /// trip is returned.
+    Cancelled,
     /// A ladder rung panicked and was isolated by `catch_unwind`.
     RungPanicked {
         /// Name of the rung that panicked.
@@ -170,6 +206,7 @@ impl std::fmt::Display for DegradeReason {
             DegradeReason::EvalsExhausted { evals, max } => {
                 write!(f, "evaluation budget exhausted ({evals} of {max})")
             }
+            DegradeReason::Cancelled => write!(f, "solve cancelled"),
             DegradeReason::RungPanicked { rung } => write!(f, "rung `{rung}` panicked"),
             DegradeReason::RungFailed { rung, error } => {
                 write!(f, "rung `{rung}` failed: {error}")
@@ -313,6 +350,44 @@ mod tests {
             clock.check(0),
             Some(DegradeReason::EvalsExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn cancelled_token_outranks_other_trips() {
+        let token = CancelToken::new();
+        let clock = SolveBudget::unlimited()
+            .with_max_evals(0)
+            .with_cancel(token.clone())
+            .start();
+        // Untripped token: the eval cap still reports first.
+        assert!(matches!(
+            clock.check(0),
+            Some(DegradeReason::EvalsExhausted { .. })
+        ));
+        assert!(!clock.cancelled());
+        token.cancel();
+        assert!(clock.cancelled());
+        assert!(matches!(clock.check(0), Some(DegradeReason::Cancelled)));
+    }
+
+    #[test]
+    fn remaining_carries_the_token() {
+        let token = CancelToken::new();
+        let clock = SolveBudget::unlimited()
+            .with_max_evals(5)
+            .with_cancel(token.clone())
+            .start();
+        let rest = clock.remaining(3);
+        assert_eq!(rest.cancel_token(), Some(&token));
+        token.cancel();
+        assert!(rest.is_cancelled());
+    }
+
+    #[test]
+    fn budget_with_token_is_not_unlimited() {
+        let b = SolveBudget::unlimited().with_cancel(CancelToken::new());
+        assert!(!b.is_unlimited());
+        assert!(!b.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Cooperative mid-solve cancellation.
+//!
+//! A [`CancelToken`] is a shared atomic flag threaded through
+//! [`crate::SolveBudget`] into the oracle's eval-check path. Any holder
+//! of a clone — a transport reader thread that saw its client
+//! disconnect, an admission controller shedding stale work — can trip
+//! it, and the in-flight solve observes the trip at its next
+//! candidate-gain evaluation: post-trip evaluations return exact `0.0`
+//! without charging the eval counter, and the round loop discards the
+//! poisoned round and returns the committed prefix as
+//! [`crate::SolveStatus::Degraded`] with
+//! [`crate::DegradeReason::Cancelled`]. Cancellation latency is
+//! therefore bounded by one eval-check, and overshoot of committed work
+//! by one round — the same contract the budget trips already uphold.
+//!
+//! Every observation made *inside the eval path* goes through
+//! [`CancelToken::check`], which counts. [`CancelToken::tripping_after`]
+//! builds a token that self-trips on the `j`-th such check, giving
+//! tests a deterministic way to cut a solve at an exact point in its
+//! evaluation schedule; the committed prefix is then bit-reproducible
+//! run over run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag for one in-flight solve. Cloning shares
+/// the underlying state; tripping any clone trips them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    checks: AtomicU64,
+    /// `u64::MAX` means "never self-trips"; otherwise the token trips
+    /// itself when the counted check number reaches this value.
+    trip_after: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            cancelled: AtomicBool::new(false),
+            checks: AtomicU64::new(0),
+            trip_after: u64::MAX,
+        }
+    }
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that trips itself on the `j`-th counted check (1-based):
+    /// `tripping_after(0)` is tripped before any work happens, and
+    /// `tripping_after(j)` lets checks `1..j` pass and fails check `j`
+    /// and every later one. Deterministic cancellation for tests.
+    pub fn tripping_after(j: u64) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(j == 0),
+                checks: AtomicU64::new(0),
+                trip_after: j.max(1),
+            }),
+        }
+    }
+
+    /// Trips the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Current state without counting a check — for round-boundary and
+    /// transport-side observations outside the eval path.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Counted observation from the eval-check path: increments the
+    /// check counter, self-trips when the configured check number is
+    /// reached, and returns the (possibly just-tripped) state.
+    pub fn check(&self) -> bool {
+        let seen = self.inner.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen >= self.inner.trip_after {
+            self.inner.cancelled.store(true, Ordering::Relaxed);
+        }
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Number of counted checks so far.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+}
+
+/// Tokens compare by identity: two clones of one token are equal, two
+/// independently created tokens are not (even if both are untripped).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_untripped() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.check());
+        assert_eq!(t.checks(), 1);
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.check());
+    }
+
+    #[test]
+    fn tripping_after_is_deterministic() {
+        let t = CancelToken::tripping_after(3);
+        assert!(!t.check());
+        assert!(!t.check());
+        assert!(t.check(), "trips exactly on the j-th check");
+        assert!(t.check(), "stays tripped");
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn tripping_after_zero_is_pre_tripped() {
+        let t = CancelToken::tripping_after(0);
+        assert!(t.is_cancelled());
+        assert!(t.check());
+    }
+
+    #[test]
+    fn is_cancelled_does_not_count() {
+        let t = CancelToken::tripping_after(1);
+        assert!(!t.is_cancelled());
+        assert_eq!(t.checks(), 0);
+        assert!(t.check());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -40,6 +40,7 @@ pub mod analysis;
 pub mod batch;
 pub mod bounds;
 pub mod budget;
+pub mod cancel;
 pub mod instance;
 pub mod kernel;
 pub mod oracle;
@@ -54,6 +55,7 @@ pub use batch::{
     BatchRunner,
 };
 pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
+pub use cancel::CancelToken;
 pub use instance::{Instance, InstanceBuilder};
 pub use kernel::{Kernel, PreparedKernel};
 pub use oracle::{GainOracle, LazyScratch, OracleStrategy, Pruning, Scored};

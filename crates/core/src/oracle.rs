@@ -36,6 +36,7 @@ use std::sync::Mutex;
 use mmph_geom::{BallTree, KdTree, Point};
 use rayon::prelude::*;
 
+use crate::cancel::CancelToken;
 use crate::instance::Instance;
 use crate::reward::{objective, EngineKind, Residuals, RewardEngine, SparseStats};
 
@@ -201,6 +202,12 @@ pub struct GainOracle<'a, const D: usize> {
     dirty_region: bool,
     /// Stale heap entries revalidated without charging an evaluation.
     dirty_skips: std::sync::atomic::AtomicU64,
+    /// Cooperative cancellation: checked (and counted) on every scoring
+    /// call. Post-trip calls return exact `0.0` without charging an
+    /// evaluation — gains are non-negative, so a `0.0` can never win a
+    /// strict-`>` argmax, and the round loops re-check the token after
+    /// each argmax and discard the poisoned round.
+    cancel: Option<CancelToken>,
     // Interior mutability for the CELF heap; a Mutex (not RefCell)
     // keeps the oracle Sync so `Par` solvers can share it.
     lazy: Mutex<LazyState>,
@@ -236,7 +243,32 @@ impl<'a, const D: usize> GainOracle<'a, D> {
             prune: None,
             dirty_region: true,
             dirty_skips: std::sync::atomic::AtomicU64::new(0),
+            cancel: None,
             lazy: Mutex::new(LazyState::default()),
+        }
+    }
+
+    /// Attaches (or clears) a cancellation token on the eval-check
+    /// path. Builder form of [`GainOracle::set_cancel`].
+    pub fn with_cancel(mut self, token: Option<CancelToken>) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attaches (or clears) a cancellation token. A reused oracle
+    /// serves requests from different connections, so the token is
+    /// swapped per request.
+    pub fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Counted cancellation check from the eval path (see
+    /// [`CancelToken::check`]); `false` when no token is attached.
+    #[inline]
+    fn cancel_tripped(&self) -> bool {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => false,
         }
     }
 
@@ -336,8 +368,12 @@ impl<'a, const D: usize> GainOracle<'a, D> {
     }
 
     /// Coverage reward of an arbitrary point (not necessarily a
-    /// candidate) against `residuals`. Charges one evaluation.
+    /// candidate) against `residuals`. Charges one evaluation (none
+    /// once the cancel token has tripped: abandoned work is free).
     pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
+        if self.cancel_tripped() {
+            return 0.0;
+        }
         self.engine.gain(c, residuals)
     }
 
@@ -345,6 +381,9 @@ impl<'a, const D: usize> GainOracle<'a, D> {
     /// evaluation, so solvers that score whole solutions (beam search,
     /// local search) share the same work metric as the greedy scans.
     pub fn objective(&self, centers: &[Point<D>]) -> f64 {
+        if self.cancel_tripped() {
+            return 0.0;
+        }
         self.engine.note_eval();
         objective(self.instance(), centers)
     }
@@ -369,8 +408,12 @@ impl<'a, const D: usize> GainOracle<'a, D> {
     }
 
     /// Gain of candidate `i`, with pruning applied. A pruned candidate
-    /// returns exact 0.0 without charging an evaluation.
+    /// returns exact 0.0 without charging an evaluation, as does every
+    /// call after the cancel token trips.
     fn candidate_gain(&self, i: usize, residuals: &Residuals) -> f64 {
+        if self.cancel_tripped() {
+            return 0.0;
+        }
         if self.pruned(i, residuals) {
             return 0.0;
         }

@@ -103,6 +103,12 @@ pub(crate) fn run_rounds<const D: usize>(
             break;
         }
         let c = pick(oracle, &residuals, round)?;
+        // A cancel trip during `pick` poisons its result (post-trip
+        // scores read 0.0): drop the round, keep the committed prefix.
+        if clock.cancelled() {
+            tripped = Some(crate::budget::DegradeReason::Cancelled);
+            break;
+        }
         if let Some(tr) = assignments.as_mut() {
             tr.push(residuals.assignments(inst, &c));
         }

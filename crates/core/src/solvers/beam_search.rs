@@ -95,7 +95,8 @@ impl<const D: usize> Solver<D> for BeamSearch {
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         let n = inst.n();
-        let oracle = GainOracle::with_engine(inst, self.engine, self.strategy);
+        let oracle = GainOracle::with_engine(inst, self.engine, self.strategy)
+            .with_cancel(budget.cancel_token().cloned());
         let clock = budget.start();
         let mut tripped: Option<DegradeReason> = None;
         let mut beam = vec![BeamState {

@@ -180,7 +180,8 @@ impl<const D: usize> Solver<D> for ComplexGreedy {
         // The growth iteration is inherently sequential per start point
         // (each recenter depends on the previous acceptance), so the
         // oracle serves as the shared gain evaluator and eval counter.
-        let oracle = GainOracle::new(inst, OracleStrategy::Seq);
+        let oracle =
+            GainOracle::new(inst, OracleStrategy::Seq).with_cancel(budget.cancel_token().cloned());
         let mut considered = vec![false; inst.n()];
         let mut grown: Vec<Point<D>> = Vec::with_capacity(inst.n());
         let clock = budget.start();

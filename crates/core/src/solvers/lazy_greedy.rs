@@ -65,7 +65,8 @@ impl<const D: usize> Solver<D> for LazyGreedy {
     }
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
-        let oracle = GainOracle::with_engine(inst, self.engine, OracleStrategy::Lazy);
+        let oracle = GainOracle::with_engine(inst, self.engine, OracleStrategy::Lazy)
+            .with_cancel(budget.cancel_token().cloned());
         let clock = budget.start();
         run_rounds(
             Solver::<D>::name(self),

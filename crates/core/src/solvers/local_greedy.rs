@@ -111,7 +111,9 @@ impl<const D: usize> Solver<D> for LocalGreedy {
     }
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
-        let oracle = self.oracle(inst);
+        let oracle = self
+            .oracle(inst)
+            .with_cancel(budget.cancel_token().cloned());
         let clock = budget.start();
         run_rounds(
             Solver::<D>::name(self),

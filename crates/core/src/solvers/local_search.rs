@@ -91,7 +91,8 @@ impl<const D: usize> Solver<D> for LocalSearch {
         }
         // All swap evaluations flow through the oracle so the reported
         // `evals` uses one consistent metric (seed scans + swap scores).
-        let oracle = GainOracle::new(inst, self.strategy);
+        let oracle =
+            GainOracle::new(inst, self.strategy).with_cancel(budget.cancel_token().cloned());
         let mut centers = seed.centers;
         let mut best_f = seed.total_reward;
         let mut tripped: Option<DegradeReason> = None;

@@ -442,7 +442,8 @@ impl<O: RoundOracle<D>, const D: usize> Solver<D> for RoundBased<O> {
     }
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
-        let oracle = GainOracle::new(inst, self.strategy);
+        let oracle =
+            GainOracle::new(inst, self.strategy).with_cancel(budget.cancel_token().cloned());
         let clock = budget.start();
         run_rounds(
             Solver::<D>::name(self),

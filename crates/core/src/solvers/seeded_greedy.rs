@@ -61,10 +61,11 @@ impl SeededGreedy {
         &self,
         inst: &Instance<D>,
         prefix: &[usize],
+        cancel: Option<&crate::cancel::CancelToken>,
     ) -> (Vec<Point<D>>, Vec<f64>, u64) {
         // Sequential oracle per completion: parallelism lives at the
         // prefix level, one thread per enumerated prefix.
-        let oracle = GainOracle::new(inst, OracleStrategy::Seq);
+        let oracle = GainOracle::new(inst, OracleStrategy::Seq).with_cancel(cancel.cloned());
         let mut residuals = Residuals::new(inst.n());
         let mut centers = Vec::with_capacity(inst.k());
         let mut gains = Vec::with_capacity(inst.k());
@@ -108,7 +109,7 @@ impl<const D: usize> Solver<D> for SeededGreedy {
         let clock = budget.start();
         let mut tripped: Option<DegradeReason> = None;
         let run = |prefix: &Vec<usize>| {
-            let (centers, gains, evals) = self.complete(inst, prefix);
+            let (centers, gains, evals) = self.complete(inst, prefix, budget.cancel_token());
             let total: f64 = gains.iter().sum();
             (total, centers, gains, evals)
         };
@@ -127,6 +128,12 @@ impl<const D: usize> Solver<D> for SeededGreedy {
                         break;
                     }
                     let r = run(p);
+                    // A cancel trip mid-completion leaves junk picks in
+                    // this completion: discard it, keep the earlier ones.
+                    if clock.cancelled() {
+                        tripped = Some(DegradeReason::Cancelled);
+                        break;
+                    }
                     evals_so_far += r.3;
                     out.push(r);
                 }

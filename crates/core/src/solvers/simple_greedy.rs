@@ -64,7 +64,8 @@ impl<const D: usize> Solver<D> for SimpleGreedy {
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
         // The w·y argmax is residual bookkeeping, not a coverage-reward
         // evaluation, so the strategy is irrelevant here: `evals` stays 0.
-        let oracle = GainOracle::new(inst, OracleStrategy::Seq);
+        let oracle =
+            GainOracle::new(inst, OracleStrategy::Seq).with_cancel(budget.cancel_token().cloned());
         let clock = budget.start();
         run_rounds(
             Solver::<D>::name(self),

@@ -105,7 +105,8 @@ impl<const D: usize> Solver<D> for StochasticGreedy {
     }
 
     fn solve_within(&self, inst: &Instance<D>, budget: &SolveBudget) -> Result<SolveOutcome<D>> {
-        let oracle = GainOracle::with_engine(inst, self.engine, self.strategy);
+        let oracle = GainOracle::with_engine(inst, self.engine, self.strategy)
+            .with_cancel(budget.cancel_token().cloned());
         let s = self.sample_size(inst.n(), inst.k());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let clock = budget.start();

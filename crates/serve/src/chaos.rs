@@ -1,0 +1,482 @@
+//! Deterministic chaos: a seeded transport-fault injector.
+//!
+//! A [`ChaosPlan`] assigns every request line of a client script a
+//! [`LineFate`] — delivered whole, truncated mid-byte, split across
+//! two flushes, merged with the next line, delayed, delivered and then
+//! disconnected, or fired as part of a burst. The plan is drawn from a
+//! dedicated RNG stream seeded only by `(seed, len, config)`, in the
+//! style of the simulator's `FaultPlan`: regenerating with the same
+//! inputs is bit-identical, so a failing soak seed replays the exact
+//! same fault schedule.
+//!
+//! The plan compiles to a [`WriteStep`] script that any `Write`-half
+//! can execute — a TCP stream, or the in-memory [`pipe`] that stands
+//! in for stdin when soaking the stdio transport. Faults are applied
+//! strictly on the *client* side: the server under test runs
+//! unmodified production code, which is the point.
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain-separation constant for the chaos RNG stream, so a chaos
+/// seed never collides with the scenario seeds a soak script uses.
+const CHAOS_STREAM: u64 = 0x0063_6861_6f73_u64; // "chaos"
+
+/// Seeds the CI soak matrix; kept here so the workflow and the tests
+/// cannot drift apart.
+pub const SOAK_SEEDS: &[u64] = &[101, 202, 303];
+
+/// Per-line fault probabilities. Probabilities are checked in the
+/// order of the struct fields against a single uniform draw, so they
+/// must sum to at most 1; the remainder delivers the line intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Cut the line mid-byte (a malformed frame the service must
+    /// still answer, correlated via id salvage when possible).
+    pub truncate: f64,
+    /// Write the line in two chunks with a pause between flushes.
+    pub split: f64,
+    /// Hold the line unflushed and write it together with the next
+    /// one (frame merging: line framing must not depend on packet
+    /// boundaries).
+    pub merge: f64,
+    /// Pause before delivering.
+    pub delay: f64,
+    /// Deliver, then drop the connection before reading responses
+    /// (TCP arm; the stdio pipe has no disconnect, keep this 0 there).
+    pub disconnect: f64,
+    /// Deliver with no pacing pause, piling requests into the queue.
+    pub burst: f64,
+    /// Upper bound for drawn pauses.
+    pub max_delay_ms: u64,
+    /// Baseline pacing pause before each intact delivery (`burst`
+    /// skips it). 0 floods at full speed.
+    pub pace_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            truncate: 0.0,
+            split: 0.0,
+            merge: 0.0,
+            delay: 0.0,
+            disconnect: 0.0,
+            burst: 0.0,
+            max_delay_ms: 2,
+            pace_ms: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The fault mix the soak tests use on transports that can
+    /// reconnect (TCP).
+    pub fn aggressive() -> Self {
+        ChaosConfig {
+            truncate: 0.08,
+            split: 0.10,
+            merge: 0.10,
+            delay: 0.05,
+            disconnect: 0.04,
+            burst: 0.25,
+            max_delay_ms: 2,
+            pace_ms: 0,
+        }
+    }
+
+    /// [`Self::aggressive`] minus disconnects, for the stdio pipe.
+    pub fn aggressive_no_disconnect() -> Self {
+        ChaosConfig {
+            disconnect: 0.0,
+            ..Self::aggressive()
+        }
+    }
+}
+
+/// What the plan does to one scripted line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineFate {
+    /// Written whole and flushed.
+    Deliver,
+    /// Cut after `keep_frac` of its bytes; the stub still ends in a
+    /// newline, so the server sees one malformed frame.
+    Truncate { keep_frac: f64 },
+    /// Written in two chunks with `pause_ms` between the flushes.
+    Split { at_frac: f64, pause_ms: u64 },
+    /// Held unflushed until the next line's flush point.
+    MergeWithNext,
+    /// Delivered whole after `pause_ms`.
+    Delay { pause_ms: u64 },
+    /// Delivered whole, then the connection drops.
+    DisconnectAfter,
+    /// Delivered whole with pacing suppressed (burst flood).
+    Burst,
+}
+
+impl LineFate {
+    /// Whether the line's bytes reach the server unmangled.
+    pub fn intact(&self) -> bool {
+        !matches!(self, LineFate::Truncate { .. })
+    }
+}
+
+/// A seeded, reproducible fault schedule for `len` request lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// The seed the schedule was drawn from.
+    pub seed: u64,
+    /// Baseline pacing before intact deliveries (`Burst` skips it).
+    pub pace: Duration,
+    /// One fate per scripted line.
+    pub fates: Vec<LineFate>,
+}
+
+impl ChaosPlan {
+    /// Draws the schedule. Pure in `(seed, len, cfg)`: calling twice
+    /// yields identical plans, which the soak tests assert.
+    pub fn generate(seed: u64, len: usize, cfg: &ChaosConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ CHAOS_STREAM);
+        let fates = (0..len)
+            .map(|_| {
+                let roll: f64 = rng.gen_range(0.0..1.0);
+                let mut edge = cfg.truncate;
+                if roll < edge {
+                    return LineFate::Truncate {
+                        keep_frac: rng.gen_range(0.2..0.9),
+                    };
+                }
+                edge += cfg.split;
+                if roll < edge {
+                    return LineFate::Split {
+                        at_frac: rng.gen_range(0.1..0.9),
+                        pause_ms: rng.gen_range(0..=cfg.max_delay_ms),
+                    };
+                }
+                edge += cfg.merge;
+                if roll < edge {
+                    return LineFate::MergeWithNext;
+                }
+                edge += cfg.delay;
+                if roll < edge {
+                    return LineFate::Delay {
+                        pause_ms: rng.gen_range(0..=cfg.max_delay_ms),
+                    };
+                }
+                edge += cfg.disconnect;
+                if roll < edge {
+                    return LineFate::DisconnectAfter;
+                }
+                edge += cfg.burst;
+                if roll < edge {
+                    return LineFate::Burst;
+                }
+                LineFate::Deliver
+            })
+            .collect();
+        ChaosPlan {
+            seed,
+            pace: Duration::from_millis(cfg.pace_ms),
+            fates,
+        }
+    }
+
+    /// Compiles the plan against concrete request lines (without
+    /// trailing newlines) into an executable write script, with the
+    /// per-line bookkeeping the soak correlation checks need.
+    pub fn script(&self, lines: &[String]) -> ChaosScript {
+        assert_eq!(lines.len(), self.fates.len(), "plan length mismatch");
+        let mut steps = Vec::with_capacity(lines.len() * 2);
+        let mut intact = Vec::with_capacity(lines.len());
+        let mut line_starts = Vec::with_capacity(lines.len());
+        for (line, fate) in lines.iter().zip(&self.fates) {
+            let bytes = format!("{line}\n").into_bytes();
+            intact.push(fate.intact());
+            line_starts.push(steps.len());
+            match fate {
+                LineFate::Deliver => {
+                    if !self.pace.is_zero() {
+                        steps.push(WriteStep::Pause(self.pace));
+                    }
+                    steps.push(WriteStep::Chunk(bytes));
+                    steps.push(WriteStep::Flush);
+                }
+                LineFate::Truncate { keep_frac } => {
+                    // Keep at least one byte and never the full line,
+                    // so the frame is reliably malformed.
+                    let cut = ((line.len() as f64 * keep_frac) as usize)
+                        .clamp(1, line.len().saturating_sub(1).max(1));
+                    let mut stub = line.as_bytes()[..cut].to_vec();
+                    stub.push(b'\n');
+                    steps.push(WriteStep::Chunk(stub));
+                    steps.push(WriteStep::Flush);
+                }
+                LineFate::Split { at_frac, pause_ms } => {
+                    let cut = ((bytes.len() as f64 * at_frac) as usize).clamp(1, bytes.len() - 1);
+                    steps.push(WriteStep::Chunk(bytes[..cut].to_vec()));
+                    steps.push(WriteStep::Flush);
+                    steps.push(WriteStep::Pause(Duration::from_millis(*pause_ms)));
+                    steps.push(WriteStep::Chunk(bytes[cut..].to_vec()));
+                    steps.push(WriteStep::Flush);
+                }
+                LineFate::MergeWithNext => {
+                    // No flush: these bytes ride in the same write as
+                    // whatever comes next (the final drain flushes a
+                    // trailing merge).
+                    steps.push(WriteStep::Chunk(bytes));
+                }
+                LineFate::Delay { pause_ms } => {
+                    steps.push(WriteStep::Pause(Duration::from_millis(*pause_ms)));
+                    steps.push(WriteStep::Chunk(bytes));
+                    steps.push(WriteStep::Flush);
+                }
+                LineFate::DisconnectAfter => {
+                    steps.push(WriteStep::Chunk(bytes));
+                    steps.push(WriteStep::Flush);
+                    steps.push(WriteStep::Disconnect);
+                }
+                LineFate::Burst => {
+                    steps.push(WriteStep::Chunk(bytes));
+                    steps.push(WriteStep::Flush);
+                }
+            }
+        }
+        steps.push(WriteStep::Flush);
+        ChaosScript {
+            steps,
+            intact,
+            line_starts,
+        }
+    }
+}
+
+/// A compiled chaos script plus per-line bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScript {
+    /// The executable instruction stream.
+    pub steps: Vec<WriteStep>,
+    /// Per line: whether its bytes go out unmangled.
+    pub intact: Vec<bool>,
+    /// Per line: the index of its first step, so a resume point from
+    /// [`ScriptOutcome::Disconnected`] maps back to which lines went
+    /// out on which connection.
+    pub line_starts: Vec<usize>,
+}
+
+/// One instruction of a compiled chaos script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteStep {
+    /// Write these bytes (buffered until the next flush).
+    Chunk(Vec<u8>),
+    /// Flush buffered bytes to the transport.
+    Flush,
+    /// Sleep before continuing.
+    Pause(Duration),
+    /// Drop the connection; the executor returns so the caller can
+    /// reconnect and resume from the next step.
+    Disconnect,
+}
+
+/// Why [`run_script`] returned.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ScriptOutcome {
+    /// Every step executed.
+    Completed,
+    /// Hit a [`WriteStep::Disconnect`]; resume from `resume_at` on a
+    /// fresh connection.
+    Disconnected {
+        /// Index of the first unexecuted step.
+        resume_at: usize,
+    },
+}
+
+/// Executes script steps starting at `start` against one writer.
+/// Returns at the first `Disconnect` (the caller reconnects and
+/// resumes) or when the script is exhausted. Write errors surface so
+/// TCP soaks notice a dead server.
+pub fn run_script(
+    steps: &[WriteStep],
+    start: usize,
+    w: &mut dyn Write,
+) -> io::Result<ScriptOutcome> {
+    for (i, step) in steps.iter().enumerate().skip(start) {
+        match step {
+            WriteStep::Chunk(bytes) => w.write_all(bytes)?,
+            WriteStep::Flush => w.flush()?,
+            WriteStep::Pause(d) => {
+                if !d.is_zero() {
+                    std::thread::sleep(*d);
+                }
+            }
+            WriteStep::Disconnect => return Ok(ScriptOutcome::Disconnected { resume_at: i + 1 }),
+        }
+    }
+    Ok(ScriptOutcome::Completed)
+}
+
+/// The write half of an in-memory byte pipe; see [`pipe`].
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+/// The read half of an in-memory byte pipe; see [`pipe`].
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// An in-memory pipe whose read half implements `Read` and write half
+/// `Write`: lets a chaos client drive `serve_stdio` exactly as a
+/// process would drive stdin, including EOF when the writer drops.
+/// Writes buffer until `flush`, so chunk/flush boundaries in a chaos
+/// script translate into the read sizes the transport observes.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = mpsc::channel();
+    (
+        PipeWriter {
+            tx,
+            buf: Vec::new(),
+        },
+        PipeReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let chunk = std::mem::take(&mut self.buf);
+        self.tx
+            .send(chunk)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader dropped"))
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                // Writer dropped: EOF, the stdio drain contract.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ChaosConfig::aggressive();
+        let a = ChaosPlan::generate(42, 500, &cfg);
+        let b = ChaosPlan::generate(42, 500, &cfg);
+        assert_eq!(a, b, "regeneration is bit-identical");
+        let c = ChaosPlan::generate(43, 500, &cfg);
+        assert_ne!(a.fates, c.fates, "different seed, different schedule");
+    }
+
+    #[test]
+    fn aggressive_plan_exercises_every_fate() {
+        let plan = ChaosPlan::generate(7, 2000, &ChaosConfig::aggressive());
+        let has = |f: fn(&LineFate) -> bool| plan.fates.iter().any(f);
+        assert!(has(|f| matches!(f, LineFate::Deliver)));
+        assert!(has(|f| matches!(f, LineFate::Truncate { .. })));
+        assert!(has(|f| matches!(f, LineFate::Split { .. })));
+        assert!(has(|f| matches!(f, LineFate::MergeWithNext)));
+        assert!(has(|f| matches!(f, LineFate::Delay { .. })));
+        assert!(has(|f| matches!(f, LineFate::DisconnectAfter)));
+        assert!(has(|f| matches!(f, LineFate::Burst)));
+    }
+
+    #[test]
+    fn inactive_config_delivers_everything() {
+        let plan = ChaosPlan::generate(9, 100, &ChaosConfig::default());
+        assert!(plan.fates.iter().all(|f| *f == LineFate::Deliver));
+    }
+
+    #[test]
+    fn script_truncation_mangles_only_the_truncated_line() {
+        let mut plan = ChaosPlan::generate(1, 2, &ChaosConfig::default());
+        plan.fates[0] = LineFate::Truncate { keep_frac: 0.5 };
+        let lines = vec!["abcdefgh".to_string(), "ijklmnop".to_string()];
+        let script = plan.script(&lines);
+        assert_eq!(script.intact, vec![false, true]);
+        let mut wire = Vec::new();
+        assert_eq!(
+            run_script(&script.steps, 0, &mut wire).unwrap(),
+            ScriptOutcome::Completed
+        );
+        let text = String::from_utf8(wire).unwrap();
+        assert_eq!(text, "abcd\nijklmnop\n", "half the first line survives");
+    }
+
+    #[test]
+    fn script_resumes_after_disconnect() {
+        let mut plan = ChaosPlan::generate(1, 3, &ChaosConfig::default());
+        plan.fates[1] = LineFate::DisconnectAfter;
+        let lines: Vec<String> = (0..3).map(|i| format!("line{i}")).collect();
+        let script = plan.script(&lines);
+        let mut first = Vec::new();
+        let ScriptOutcome::Disconnected { resume_at } =
+            run_script(&script.steps, 0, &mut first).unwrap()
+        else {
+            panic!("expected a disconnect");
+        };
+        assert_eq!(String::from_utf8(first).unwrap(), "line0\nline1\n");
+        let mut second = Vec::new();
+        assert_eq!(
+            run_script(&script.steps, resume_at, &mut second).unwrap(),
+            ScriptOutcome::Completed
+        );
+        assert_eq!(String::from_utf8(second).unwrap(), "line2\n");
+        // The resume point lands exactly on the post-disconnect line.
+        assert!(script.line_starts[2] >= resume_at);
+        assert!(script.line_starts[1] < resume_at);
+    }
+
+    #[test]
+    fn pipe_carries_chunks_and_signals_eof() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world\n").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let mut all = String::new();
+        r.read_to_string(&mut all).unwrap();
+        assert_eq!(all, "hello world\n");
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "EOF after writer drop");
+    }
+}

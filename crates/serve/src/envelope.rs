@@ -28,6 +28,18 @@
 //! with `in_reply_to` set when an `id` could still be extracted, and
 //! `null` otherwise. Unknown protocol versions are rejected, never
 //! guessed at.
+//!
+//! Under overload the service sheds rather than queues without bound:
+//! a shed request gets `op: "overloaded"` carrying `retry_after_ms`,
+//! the client's cue to back off and retry. Solve responses additionally
+//! report `queue_ms` — the time the request waited between the
+//! transport reading it and the dispatcher starting its round — so
+//! clients can split end-to-end latency into queueing and solving:
+//!
+//! ```json
+//! {"v":1,"in_reply_to":7,"op":"overloaded","retry_after_ms":25,
+//!  "queue_ms":12.4}
+//! ```
 
 use serde::{Deserialize, Serialize};
 
@@ -177,10 +189,19 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Engine reuses across adjacent identical requests.
     pub engines_reused: u64,
+    /// Requests shed by admission control (`overloaded` responses):
+    /// queue over capacity, per-connection in-flight cap hit, or the
+    /// deadline already spent in the queue.
+    #[serde(default)]
+    pub shed: u64,
+    /// Solves abandoned by a tripped cancel token (client disconnect
+    /// or write failure), before or during the solve.
+    #[serde(default)]
+    pub cancelled: u64,
 }
 
 /// One response line. `op` is `solve_ok`, `pong`, `stats_ok`, `bye`,
-/// or `error`; the optional fields are filled per op.
+/// `overloaded`, or `error`; the optional fields are filled per op.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
     /// Protocol version of the responding service.
@@ -225,6 +246,15 @@ pub struct Response {
     /// moment the transport read the line to response serialization.
     #[serde(default)]
     pub latency_us: Option<u64>,
+    /// Time the request spent queued between the transport reading it
+    /// and the dispatcher picking it up, in milliseconds (fractional
+    /// for sub-millisecond queues). Solve and `overloaded` responses.
+    #[serde(default)]
+    pub queue_ms: Option<f64>,
+    /// Back-off hint on `op: "overloaded"`: retry no sooner than this
+    /// many milliseconds from now.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
     /// Service counters (`stats_ok` responses).
     #[serde(default)]
     pub stats: Option<ServiceStats>,
@@ -248,6 +278,8 @@ impl Response {
             engine_reused: None,
             solve_us: None,
             latency_us: None,
+            queue_ms: None,
+            retry_after_ms: None,
             stats: None,
         }
     }
@@ -256,6 +288,14 @@ impl Response {
     pub fn error(in_reply_to: Option<u64>, msg: impl Into<String>) -> Self {
         let mut r = Self::new(in_reply_to, "error");
         r.error = Some(msg.into());
+        r
+    }
+
+    /// A load-shed response: the service refused this request and the
+    /// client should retry after `retry_after_ms`.
+    pub fn overloaded(in_reply_to: Option<u64>, retry_after_ms: u64) -> Self {
+        let mut r = Self::new(in_reply_to, "overloaded");
+        r.retry_after_ms = Some(retry_after_ms);
         r
     }
 

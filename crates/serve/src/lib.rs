@@ -21,12 +21,18 @@
 //!   dispatch queue.
 //! - [`signals`] — a SIGINT-to-flag bridge so Ctrl-C drains in-flight
 //!   requests instead of killing them.
+//! - [`chaos`] — a seeded, reproducible transport-fault injector
+//!   ([`chaos::ChaosPlan`]) the soak tests drive against both
+//!   transports: truncation, frame splits/merges, delays, mid-request
+//!   disconnects, and burst floods, all on the client side.
 
+pub mod chaos;
 pub mod envelope;
 pub mod service;
 pub mod signals;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosPlan, LineFate, SOAK_SEEDS};
 pub use envelope::{salvage_id, Request, Response, ServiceStats, PROTOCOL_VERSION, REQUEST_OPS};
 pub use service::{parse_solver, report_from_responses, Incoming, Service, ServiceConfig};
 pub use signals::{install_sigint_flag, ShutdownFlag};

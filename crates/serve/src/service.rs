@@ -16,12 +16,22 @@
 //! tripped budget degrades that request (prefix selection, `degraded`
 //! status), a panicking worker becomes an `error` response, and
 //! neither ever stalls the round.
+//!
+//! Overload and disconnects are handled *before* a worker is burned:
+//! queueing delay is measured per request and subtracted from its
+//! effective deadline (a request whose positive deadline the queue
+//! already ate is shed as `overloaded` with a `retry_after_ms` hint),
+//! and a request whose connection [`CancelToken`] has tripped — the
+//! client hung up or stopped reading — is answered degraded without
+//! solving. Tokens also thread into the [`SolveBudget`], so a
+//! disconnect mid-solve abandons the remaining rounds at the next
+//! eval check and returns the committed prefix.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mmph_core::{
-    BatchReport, BatchResult, BatchRunner, EngineKind, Instance, OracleStrategy, SolveBudget,
-    SolveStatus,
+    BatchReport, BatchResult, BatchRunner, CancelToken, EngineKind, Instance, OracleStrategy,
+    SolveBudget, SolveStatus,
 };
 use mmph_sim::{parse_spec, validate_scenario, Scenario};
 
@@ -54,6 +64,21 @@ pub struct ServiceConfig {
     /// transports. Larger rounds amortize better; smaller rounds
     /// bound per-request queueing delay.
     pub max_batch: usize,
+    /// Dispatch-backlog depth at which transports shed the newest
+    /// queued requests with `overloaded` responses instead of letting
+    /// the queue grow without bound.
+    pub queue_cap: usize,
+    /// Per-connection in-flight cap (TCP): a connection with this many
+    /// unanswered requests gets further lines shed at the reader,
+    /// before they consume global queue space.
+    pub per_conn_inflight: usize,
+    /// Back-off hint stamped on every `overloaded` response.
+    pub retry_after_ms: u64,
+    /// TCP write timeout in milliseconds; a client that cannot absorb
+    /// its responses within this window is treated as disconnected
+    /// (its connection token trips, abandoning its pending work).
+    /// `0` disables the timeout.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +91,10 @@ impl Default for ServiceConfig {
             dirty_region: false,
             default_budget: SolveBudget::unlimited(),
             max_batch: 64,
+            queue_cap: 1024,
+            per_conn_inflight: 64,
+            retry_after_ms: 25,
+            write_timeout_ms: 2000,
         }
     }
 }
@@ -91,6 +120,9 @@ pub struct Incoming {
     pub line: String,
     /// When the transport read it off the wire.
     pub received: Instant,
+    /// The originating connection's cancel token; `None` for
+    /// transports without disconnect semantics (stdio, in-process).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Incoming {
@@ -99,6 +131,16 @@ impl Incoming {
         Incoming {
             line,
             received: Instant::now(),
+            cancel: None,
+        }
+    }
+
+    /// Wraps a line carrying its connection's cancel token.
+    pub fn with_cancel(line: String, cancel: CancelToken) -> Self {
+        Incoming {
+            line,
+            received: Instant::now(),
+            cancel: Some(cancel),
         }
     }
 }
@@ -118,7 +160,26 @@ struct SolveItem {
     strategy: OracleStrategy,
     engine: EngineKind,
     received: Instant,
+    queue_delay: Duration,
 }
+
+/// What `prepare_solve` decided for a well-formed solve request.
+enum Prepared {
+    /// Admitted: run it through the round's solve pass.
+    Solve(Box<SolveItem>),
+    /// Answered without solving: the queue ate its deadline
+    /// (`overloaded`) or its connection is gone (degraded, cancelled).
+    Ready(Box<Response>),
+}
+
+/// One dispatched item: the parse outcome (or the ready error
+/// response), the instant the transport read it, and its connection's
+/// cancel token.
+type ParsedItem = (
+    std::result::Result<Request, Response>,
+    Instant,
+    Option<CancelToken>,
+);
 
 /// The transport-independent request handler. See the module docs.
 pub struct Service {
@@ -160,12 +221,12 @@ impl Service {
     /// responses (correlated via best-effort id salvage).
     pub fn handle_lines(&mut self, batch: &[Incoming]) -> Vec<Response> {
         self.stats.received += batch.len() as u64;
-        let parsed: Vec<(std::result::Result<Request, Response>, Instant)> = batch
+        let parsed: Vec<ParsedItem> = batch
             .iter()
             .map(|inc| {
                 let item = Request::parse(&inc.line)
                     .map_err(|e| Response::error(salvage_id(&inc.line), e.to_string()));
-                (item, inc.received)
+                (item, inc.received, inc.cancel.clone())
             })
             .collect();
         self.dispatch(parsed)
@@ -183,6 +244,7 @@ impl Service {
                     r.validate()
                         .map_err(|e| Response::error(None, e.to_string())),
                     now,
+                    None,
                 )
             })
             .collect();
@@ -190,13 +252,10 @@ impl Service {
     }
 
     /// The dispatch core shared by both entry points.
-    fn dispatch(
-        &mut self,
-        parsed: Vec<(std::result::Result<Request, Response>, Instant)>,
-    ) -> Vec<Response> {
+    fn dispatch(&mut self, parsed: Vec<ParsedItem>) -> Vec<Response> {
         let mut plans: Vec<Plan> = Vec::with_capacity(parsed.len());
         let mut solves: Vec<SolveItem> = Vec::new();
-        for (item, received) in parsed {
+        for (item, received, cancel) in parsed {
             let req = match item {
                 Ok(req) => req,
                 Err(resp) => {
@@ -215,14 +274,15 @@ impl Service {
                     self.shutdown = true;
                     plans.push(Plan::Ready(Box::new(Response::new(Some(req.id), "bye"))));
                 }
-                "solve" => match self.prepare_solve(&req, received) {
-                    Ok(item) => {
-                        solves.push(item);
+                "solve" => match self.prepare_solve(&req, received, cancel) {
+                    Ok(Prepared::Solve(item)) => {
+                        solves.push(*item);
                         plans.push(Plan::Solve {
                             slot: solves.len() - 1,
                             id: req.id,
                         });
                     }
+                    Ok(Prepared::Ready(resp)) => plans.push(Plan::Ready(resp)),
                     Err(e) => plans.push(Plan::Ready(Box::new(Response::error(
                         Some(req.id),
                         e.to_string(),
@@ -241,19 +301,27 @@ impl Service {
             .into_iter()
             .map(|plan| match plan {
                 Plan::Ready(resp) => *resp,
-                Plan::Solve { slot, id } => {
-                    Self::solve_response(id, &solved[slot], solves[slot].received)
-                }
+                Plan::Solve { slot, id } => Self::solve_response(
+                    id,
+                    &solved[slot],
+                    solves[slot].received,
+                    solves[slot].queue_delay,
+                ),
             })
             .collect();
         for resp in &out {
             match resp.op.as_str() {
                 "error" => self.stats.errors += 1,
+                "overloaded" => self.stats.shed += 1,
                 "solve_ok" => {
                     if resp.status.as_deref() == Some("completed") {
                         self.stats.solved += 1;
                     } else {
                         self.stats.degraded += 1;
+                        // Cancelled solves are a subset of `degraded`.
+                        if resp.degrade_reason.as_deref() == Some("solve cancelled") {
+                            self.stats.cancelled += 1;
+                        }
                     }
                     if resp.engine_reused == Some(true) {
                         self.stats.engines_reused += 1;
@@ -266,8 +334,21 @@ impl Service {
         out
     }
 
-    /// Resolves one solve request to an instance + budget + config.
-    fn prepare_solve(&mut self, req: &Request, received: Instant) -> Result<SolveItem> {
+    /// Resolves one solve request to an instance + budget + config, or
+    /// to an immediate response when queueing already decided its
+    /// fate: a tripped connection token means the client is gone
+    /// (degraded, no solve), and a *positive* deadline fully consumed
+    /// by queueing delay is shed as `overloaded` without burning a
+    /// worker. A zero deadline stays an explicit empty-prefix probe
+    /// and degrades through the clock as before. Otherwise queueing
+    /// delay is subtracted from the effective deadline so
+    /// `deadline_ms` bounds end-to-end latency, not just solve time.
+    fn prepare_solve(
+        &mut self,
+        req: &Request,
+        received: Instant,
+        cancel: Option<CancelToken>,
+    ) -> Result<Prepared> {
         let scenario = match (&req.scenario, &req.spec) {
             (Some(sc), None) => sc.clone(),
             (None, Some(spec)) => {
@@ -292,7 +373,16 @@ impl Service {
         };
         validate_scenario(&scenario)?;
         let instance = self.instance_for(&scenario)?;
-        let mut budget = self.config.default_budget;
+        let queue_delay = received.elapsed();
+        if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Ok(Prepared::Ready(Box::new(Self::cancelled_response(
+                req.id,
+                &instance,
+                received,
+                queue_delay,
+            ))));
+        }
+        let mut budget = self.config.default_budget.clone();
         if req.deadline_ms.is_some() || req.max_evals.is_some() {
             budget = SolveBudget::unlimited();
             if let Some(ms) = req.deadline_ms {
@@ -302,6 +392,23 @@ impl Service {
                 budget = budget.with_max_evals(cap);
             }
         }
+        if let Some(deadline) = budget.deadline() {
+            if !deadline.is_zero() {
+                match deadline.checked_sub(queue_delay).filter(|d| !d.is_zero()) {
+                    Some(left) => budget = budget.with_deadline(left),
+                    None => {
+                        let mut resp =
+                            Response::overloaded(Some(req.id), self.config.retry_after_ms);
+                        resp.queue_ms = Some(queue_delay.as_secs_f64() * 1e3);
+                        resp.latency_us = Some(received.elapsed().as_micros() as u64);
+                        return Ok(Prepared::Ready(Box::new(resp)));
+                    }
+                }
+            }
+        }
+        if let Some(token) = cancel {
+            budget = budget.with_cancel(token);
+        }
         let strategy = match &req.solver {
             Some(name) => parse_solver(name)?,
             None => self.config.strategy,
@@ -310,13 +417,60 @@ impl Service {
             Some(name) => EngineKind::parse(name).map_err(ServeError::Protocol)?,
             None => self.config.engine,
         };
-        Ok(SolveItem {
+        Ok(Prepared::Solve(Box::new(SolveItem {
             instance,
             budget,
             strategy,
             engine,
             received,
-        })
+            queue_delay,
+        })))
+    }
+
+    /// The response for a request whose connection died before its
+    /// solve started: same shape as a budget-degraded solve (empty
+    /// prefix, `degraded`/`solve cancelled`), zero evals burned.
+    fn cancelled_response(
+        id: u64,
+        instance: &Instance<2>,
+        received: Instant,
+        queue_delay: Duration,
+    ) -> Response {
+        let mut resp = Response::new(Some(id), "solve_ok");
+        resp.status = Some("degraded".into());
+        resp.degrade_reason = Some(mmph_core::DegradeReason::Cancelled.to_string());
+        resp.reward = Some(0.0);
+        resp.selection = Some(Vec::new());
+        resp.n = Some(instance.n());
+        resp.k = Some(instance.k());
+        resp.evals = Some(0);
+        resp.engine_reused = Some(false);
+        resp.solve_us = Some(0);
+        resp.latency_us = Some(received.elapsed().as_micros() as u64);
+        resp.queue_ms = Some(queue_delay.as_secs_f64() * 1e3);
+        resp
+    }
+
+    /// Builds and counts an `overloaded` response for a request shed
+    /// at dispatch (backlog past `queue_cap`). `received` stamps
+    /// `queue_ms` so the client sees how long the line waited before
+    /// being refused.
+    pub fn shed_response(&mut self, id: Option<u64>, received: Instant) -> Response {
+        self.stats.received += 1;
+        self.stats.shed += 1;
+        self.stats.responded += 1;
+        let mut resp = Response::overloaded(id, self.config.retry_after_ms);
+        resp.queue_ms = Some(received.elapsed().as_secs_f64() * 1e3);
+        resp
+    }
+
+    /// Folds in requests a transport shed on its own threads (TCP
+    /// readers answer per-connection cap violations directly, without
+    /// routing through dispatch).
+    pub fn record_transport_sheds(&mut self, n: u64) {
+        self.stats.received += n;
+        self.stats.shed += n;
+        self.stats.responded += n;
     }
 
     /// Generates (or recalls) the instance a scenario pins. The cache
@@ -352,7 +506,7 @@ impl Service {
             }
             let seg = &solves[i..j];
             let instances: Vec<Instance<2>> = seg.iter().map(|s| s.instance.clone()).collect();
-            let budgets: Vec<SolveBudget> = seg.iter().map(|s| s.budget).collect();
+            let budgets: Vec<SolveBudget> = seg.iter().map(|s| s.budget.clone()).collect();
             let runner = BatchRunner::new()
                 .with_strategy(strategy)
                 .with_engine(engine)
@@ -367,7 +521,12 @@ impl Service {
     }
 
     /// Maps one batch result into its wire response.
-    fn solve_response(id: u64, result: &BatchResult, received: Instant) -> Response {
+    fn solve_response(
+        id: u64,
+        result: &BatchResult,
+        received: Instant,
+        queue_delay: Duration,
+    ) -> Response {
         let mut resp = if let Some(msg) = &result.error {
             Response::error(Some(id), format!("solve panicked: {msg}"))
         } else {
@@ -389,6 +548,7 @@ impl Service {
         resp.engine_reused = Some(result.engine_reused);
         resp.solve_us = Some(result.solve_nanos / 1_000);
         resp.latency_us = Some(received.elapsed().as_micros() as u64);
+        resp.queue_ms = Some(queue_delay.as_secs_f64() * 1e3);
         resp
     }
 }
@@ -586,6 +746,58 @@ mod tests {
             .contains("deadline"));
         assert_eq!(out[0].selection.as_deref(), Some(&[][..]));
         assert_eq!(svc.stats().degraded, 1);
+    }
+
+    #[test]
+    fn mid_solve_cancellation_frees_the_worker_within_an_eval_check() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let token = CancelToken::tripping_after(12);
+        let line = Request::solve(1, scenario(20)).to_line();
+        let out = svc.handle_lines(&[Incoming::with_cancel(line, token)]);
+        assert_eq!(out[0].op, "solve_ok");
+        assert_eq!(out[0].status.as_deref(), Some("degraded"));
+        assert_eq!(out[0].degrade_reason.as_deref(), Some("solve cancelled"));
+        // The solve stopped within one eval-check of the trip:
+        // post-trip scoring charges no evals, so the reported count
+        // can never pass the tripping point.
+        assert!(out[0].evals.unwrap() <= 12, "evals: {:?}", out[0].evals);
+        assert_eq!(svc.stats().cancelled, 1);
+        assert_eq!(svc.stats().degraded, 1);
+    }
+
+    #[test]
+    fn pre_cancelled_request_skips_the_solve_entirely() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let line = Request::solve(2, scenario(21)).to_line();
+        let out = svc.handle_lines(&[Incoming::with_cancel(line, token)]);
+        assert_eq!(out[0].status.as_deref(), Some("degraded"));
+        assert_eq!(out[0].degrade_reason.as_deref(), Some("solve cancelled"));
+        assert_eq!(out[0].evals, Some(0), "no worker burned");
+        assert_eq!(out[0].selection.as_deref(), Some(&[][..]));
+        assert_eq!(svc.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn queue_spent_deadline_sheds_instead_of_solving() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut req = Request::solve(3, scenario(22));
+        req.deadline_ms = Some(5);
+        // Stamp the request as received 50ms ago: its whole deadline
+        // was eaten in the queue, so solving would be wasted work.
+        let inc = Incoming {
+            line: req.to_line(),
+            received: Instant::now() - Duration::from_millis(50),
+            cancel: None,
+        };
+        let out = svc.handle_lines(&[inc]);
+        assert_eq!(out[0].op, "overloaded");
+        assert_eq!(out[0].in_reply_to, Some(3));
+        assert_eq!(out[0].retry_after_ms, Some(svc.config().retry_after_ms));
+        assert!(out[0].queue_ms.unwrap() >= 50.0);
+        assert_eq!(svc.stats().shed, 1);
+        assert_eq!(svc.stats().degraded, 0, "shed, not degraded");
     }
 
     #[test]

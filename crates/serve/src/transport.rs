@@ -6,45 +6,44 @@
 //! reuse, budgets, panic isolation — lives below the transport, which
 //! is what keeps `mmph batch` and `mmph serve` on one code path.
 //!
+//! Overload never grows the dispatch backlog past
+//! `ServiceConfig::queue_cap`: each round first sheds the *newest*
+//! queued lines with `overloaded` responses (the oldest have waited
+//! longest and must not be starved), then serves the oldest
+//! `max_batch`. The shed/served split of [`admission_round`] is a pure
+//! function of the backlog order — no randomness, no clocks — so a
+//! given arrival sequence always partitions the same way. TCP
+//! additionally sheds at the reader when a single connection exceeds
+//! `per_conn_inflight` unanswered requests, before those lines consume
+//! shared queue space, and trips the connection's
+//! [`CancelToken`](mmph_core::CancelToken) on disconnect or a jammed
+//! write so queued and in-flight solves are abandoned instead of
+//! computed into a dead socket.
+//!
 //! Shutdown is cooperative everywhere: stdin EOF, a `shutdown`
 //! request, or a tripped [`ShutdownFlag`] (SIGINT) all drain the
 //! already-queued requests, flush responses, and return the final
 //! stats — in-flight work is answered, never dropped.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TryRecvError};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use crate::envelope::ServiceStats;
+use mmph_core::CancelToken;
+
+use crate::envelope::{salvage_id, Response, ServiceStats};
 use crate::service::{Incoming, Service};
 use crate::signals::ShutdownFlag;
 use crate::Result;
 
-/// How long the stdio dispatcher blocks waiting for the first line of
-/// a round before re-checking the shutdown flag.
+/// How long a dispatcher blocks waiting for the first event of a
+/// round before re-checking the shutdown flag.
 const DISPATCH_POLL: Duration = Duration::from_millis(50);
-
-/// Idle sleep of the TCP accept/dispatch loop when nothing is queued.
-const TCP_IDLE_SLEEP: Duration = Duration::from_millis(2);
-
-/// Pulls everything currently queued (up to `cap` items) without
-/// blocking.
-fn drain_queue<T>(rx: &Receiver<T>, first: Option<T>, cap: usize) -> Vec<T> {
-    let mut batch = Vec::new();
-    if let Some(item) = first {
-        batch.push(item);
-    }
-    while batch.len() < cap {
-        match rx.try_recv() {
-            Ok(item) => batch.push(item),
-            Err(_) => break,
-        }
-    }
-    batch
-}
 
 /// Runs one round through the service and writes the responses.
 fn write_round(service: &mut Service, batch: &[Incoming], out: &mut dyn Write) -> Result<()> {
@@ -58,11 +57,35 @@ fn write_round(service: &mut Service, batch: &[Incoming], out: &mut dyn Write) -
     Ok(())
 }
 
+/// One admission + dispatch round over the queued backlog: sheds the
+/// newest lines past `queue_cap` with `overloaded` responses, then
+/// serves the oldest `max_batch`. Leftovers stay queued for the next
+/// round. Deterministic given the backlog contents (see module docs).
+fn admission_round(
+    service: &mut Service,
+    backlog: &mut VecDeque<Incoming>,
+    out: &mut dyn Write,
+) -> Result<()> {
+    let queue_cap = service.config().queue_cap.max(1);
+    let max_batch = service.config().max_batch.max(1);
+    while backlog.len() > queue_cap {
+        let inc = backlog.pop_back().expect("backlog longer than cap");
+        let resp = service.shed_response(salvage_id(&inc.line), inc.received);
+        writeln!(out, "{}", resp.to_line())?;
+    }
+    let take = max_batch.min(backlog.len());
+    let round: Vec<Incoming> = backlog.drain(..take).collect();
+    write_round(service, &round, out)?;
+    out.flush()?;
+    Ok(())
+}
+
 /// Serves NDJSON requests from `reader` (stdin in production, any
 /// buffered reader in tests), writing responses to `out`. Returns the
 /// final stats when the input reaches EOF, a `shutdown` request is
 /// handled, or `shutdown` trips — in every case the already-queued
-/// requests are answered and `out` is flushed first.
+/// requests are answered (served or shed per admission control) and
+/// `out` is flushed first.
 pub fn serve_stdio<R>(
     service: &mut Service,
     reader: R,
@@ -88,32 +111,40 @@ where
         }
     });
 
-    let max_batch = service.config().max_batch.max(1);
+    let mut backlog: VecDeque<Incoming> = VecDeque::new();
     loop {
         if shutdown.is_tripped() {
             break;
         }
-        match rx.recv_timeout(DISPATCH_POLL) {
-            Ok(first) => {
-                let batch = drain_queue(&rx, Some(first), max_batch);
-                write_round(service, &batch, out)?;
-                if service.shutdown_requested() {
-                    break;
-                }
+        // Block only while idle; with work queued, rounds run
+        // back-to-back and new lines ride along each drain.
+        if backlog.is_empty() {
+            match rx.recv_timeout(DISPATCH_POLL) {
+                Ok(first) => backlog.push_back(first),
+                Err(RecvTimeoutError::Timeout) => continue,
+                // Reader hit EOF and the queue is fully drained.
+                Err(RecvTimeoutError::Disconnected) => break,
             }
-            Err(RecvTimeoutError::Timeout) => continue,
-            // Reader hit EOF and the queue is fully drained.
-            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        while let Ok(inc) = rx.try_recv() {
+            backlog.push_back(inc);
+        }
+        admission_round(service, &mut backlog, out)?;
+        if service.shutdown_requested() {
+            break;
         }
     }
 
-    // Final drain: answer whatever was queued before the stop signal.
+    // Final drain: answer whatever was queued before the stop signal,
+    // still under the cap so a flooded queue cannot stall exit.
     loop {
-        let batch = drain_queue(&rx, None, max_batch);
-        if batch.is_empty() {
+        while let Ok(inc) = rx.try_recv() {
+            backlog.push_back(inc);
+        }
+        if backlog.is_empty() {
             break;
         }
-        write_round(service, &batch, out)?;
+        admission_round(service, &mut backlog, out)?;
     }
     out.flush()?;
     Ok(service.stats().clone())
@@ -134,109 +165,264 @@ impl Default for TcpServerConfig {
     }
 }
 
-/// One event from a connection reader thread.
+/// One event from the accept thread or a connection reader thread.
 enum ConnEvent {
+    Accepted(TcpStream),
     Line { conn: u64, inc: Incoming },
     Closed { conn: u64 },
 }
 
+/// Dispatcher-side connection state.
+struct ConnState {
+    /// Shared with the connection's reader thread, which writes
+    /// `overloaded` responses for reader-shed lines directly.
+    writer: Arc<Mutex<TcpStream>>,
+    /// Trips when the client disconnects or stops absorbing writes.
+    token: CancelToken,
+    /// Admitted-but-unanswered lines from this connection.
+    inflight: Arc<AtomicUsize>,
+}
+
+/// Immutable context the dispatcher hands each new connection.
+struct ConnCtx {
+    tx: Sender<ConnEvent>,
+    per_conn_inflight: usize,
+    retry_after_ms: u64,
+    write_timeout: Option<Duration>,
+    /// Reader-side sheds, folded into the service stats every round.
+    reader_sheds: Arc<AtomicU64>,
+}
+
+/// Locks a connection writer, recovering the guard if a previous
+/// holder panicked — a poisoned stream is still a valid stream.
+fn lock_writer(writer: &Mutex<TcpStream>) -> std::sync::MutexGuard<'_, TcpStream> {
+    match writer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Spawns the reader thread for a newly accepted connection and
+/// registers its dispatcher-side state.
+fn spawn_conn(
+    stream: TcpStream,
+    conn: u64,
+    conns: &mut HashMap<u64, ConnState>,
+    ctx: &ConnCtx,
+) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    if let Some(t) = ctx.write_timeout {
+        stream.set_write_timeout(Some(t)).ok();
+    }
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let token = CancelToken::new();
+    let inflight = Arc::new(AtomicUsize::new(0));
+    conns.insert(
+        conn,
+        ConnState {
+            writer: Arc::clone(&writer),
+            token: token.clone(),
+            inflight: Arc::clone(&inflight),
+        },
+    );
+    let tx = ctx.tx.clone();
+    let per_conn = ctx.per_conn_inflight.max(1);
+    let retry_after = ctx.retry_after_ms;
+    let sheds = Arc::clone(&ctx.reader_sheds);
+    // Detached: exits when the client closes or the dispatcher drops
+    // its receiver on the way out.
+    thread::spawn(move || {
+        let buf = BufReader::new(stream);
+        for line in buf.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if inflight.load(Ordering::Relaxed) >= per_conn {
+                // Per-connection cap: refuse at the reader, before the
+                // line consumes shared queue space or a worker.
+                sheds.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::overloaded(salvage_id(&line), retry_after);
+                let mut w = lock_writer(&writer);
+                if writeln!(w, "{}", resp.to_line())
+                    .and_then(|_| w.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            inflight.fetch_add(1, Ordering::Relaxed);
+            if tx
+                .send(ConnEvent::Line {
+                    conn,
+                    inc: Incoming::with_cancel(line, token.clone()),
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        // The client hung up (or its socket died): abandon this
+        // connection's queued and in-flight work.
+        token.cancel();
+        let _ = tx.send(ConnEvent::Closed { conn });
+    });
+    Ok(())
+}
+
+/// Writes one response to its connection, releasing the in-flight
+/// slot. A write failure means the client is gone or jammed past its
+/// write timeout: the connection token trips (abandoning its queued
+/// and in-flight solves) and the writer is dropped.
+fn route_response(conns: &mut HashMap<u64, ConnState>, conn: u64, resp: &Response) {
+    let Some(st) = conns.get(&conn) else { return };
+    st.inflight.fetch_sub(1, Ordering::Relaxed);
+    let mut w = lock_writer(&st.writer);
+    let ok = writeln!(w, "{}", resp.to_line()).and_then(|_| w.flush());
+    drop(w);
+    if ok.is_err() {
+        st.token.cancel();
+        conns.remove(&conn);
+    }
+}
+
+/// Unblocks the accept thread so it can observe the stop flag: a
+/// throwaway self-connection is the portable way to interrupt a
+/// blocking `accept`.
+fn wake_acceptor(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+}
+
 /// Serves NDJSON requests over TCP. Every connection gets a reader
 /// thread feeding one shared queue; the dispatch loop batches lines
-/// from *all* connections into service rounds (so concurrent clients
-/// still amortize engine builds) and routes each response back to the
-/// connection its request came from. Returns the final stats once a
-/// `shutdown` request is handled or `shutdown` trips.
+/// from *all* connections into admission-controlled service rounds
+/// (so concurrent clients still amortize engine builds) and routes
+/// each response back to the connection its request came from.
+/// Returns the final stats once a `shutdown` request is handled or
+/// `shutdown` trips; the queued backlog is drained (served or shed)
+/// before returning.
 pub fn serve_tcp(
     service: &mut Service,
     listener: TcpListener,
     shutdown: &ShutdownFlag,
 ) -> Result<ServiceStats> {
-    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
     let (tx, rx) = mpsc::channel::<ConnEvent>();
-    let mut writers: HashMap<u64, TcpStream> = HashMap::new();
+    let accept_stop = Arc::new(AtomicBool::new(false));
+    {
+        let tx = tx.clone();
+        let stop = Arc::clone(&accept_stop);
+        // Blocking accept thread; `recv_timeout` on the unified event
+        // queue replaces the old fixed idle sleep, so accepted
+        // connections and first lines wake the dispatcher immediately.
+        thread::spawn(move || {
+            while let Ok((stream, _peer)) = listener.accept() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if tx.send(ConnEvent::Accepted(stream)).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+
+    let cfg = service.config();
+    let ctx = ConnCtx {
+        tx,
+        per_conn_inflight: cfg.per_conn_inflight,
+        retry_after_ms: cfg.retry_after_ms,
+        write_timeout: match cfg.write_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        reader_sheds: Arc::new(AtomicU64::new(0)),
+    };
+    let queue_cap = cfg.queue_cap.max(1);
+    let max_batch = cfg.max_batch.max(1);
+
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut next_conn: u64 = 0;
-    let max_batch = service.config().max_batch.max(1);
-
+    let mut backlog: VecDeque<(u64, Incoming)> = VecDeque::new();
     let mut stopping = false;
+
+    let mut handle_event = |ev: ConnEvent,
+                            conns: &mut HashMap<u64, ConnState>,
+                            backlog: &mut VecDeque<(u64, Incoming)>,
+                            stopping: bool|
+     -> Result<()> {
+        match ev {
+            ConnEvent::Accepted(stream) => {
+                // Late arrivals during drain are turned away by
+                // closing the socket; accepting them would let a
+                // persistent client stall shutdown forever.
+                if !stopping {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    spawn_conn(stream, conn, conns, &ctx)?;
+                }
+            }
+            ConnEvent::Line { conn, inc } => backlog.push_back((conn, inc)),
+            ConnEvent::Closed { conn } => {
+                // The reader already tripped the token; queued lines
+                // from this connection resolve cheaply as cancelled.
+                conns.remove(&conn);
+            }
+        }
+        Ok(())
+    };
+
     loop {
-        if shutdown.is_tripped() {
+        if shutdown.is_tripped() && !stopping {
             stopping = true;
+            wake_acceptor(&accept_stop, local_addr);
         }
-        // Accept any waiting connections (non-blocking).
-        if !stopping {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        stream.set_nodelay(true).ok();
-                        let writer = stream.try_clone()?;
-                        let conn = next_conn;
-                        next_conn += 1;
-                        writers.insert(conn, writer);
-                        let tx = tx.clone();
-                        // Detached: exits when the client closes or the
-                        // dispatcher drops `rx` on its way out.
-                        thread::spawn(move || {
-                            let buf = BufReader::new(stream);
-                            for line in buf.lines() {
-                                let Ok(line) = line else { break };
-                                if line.trim().is_empty() {
-                                    continue;
-                                }
-                                if tx
-                                    .send(ConnEvent::Line {
-                                        conn,
-                                        inc: Incoming::now(line),
-                                    })
-                                    .is_err()
-                                {
-                                    return;
-                                }
-                            }
-                            let _ = tx.send(ConnEvent::Closed { conn });
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) => return Err(e.into()),
-                }
+        if backlog.is_empty() && !stopping {
+            match rx.recv_timeout(DISPATCH_POLL) {
+                Ok(ev) => handle_event(ev, &mut conns, &mut backlog, stopping)?,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        while let Ok(ev) = rx.try_recv() {
+            handle_event(ev, &mut conns, &mut backlog, stopping)?;
+        }
+        service.record_transport_sheds(ctx.reader_sheds.swap(0, Ordering::Relaxed));
 
-        // Gather one round across all connections.
-        let mut conns: Vec<u64> = Vec::new();
-        let mut batch: Vec<Incoming> = Vec::new();
-        while batch.len() < max_batch {
-            match rx.try_recv() {
-                Ok(ConnEvent::Line { conn, inc }) => {
-                    conns.push(conn);
-                    batch.push(inc);
-                }
-                Ok(ConnEvent::Closed { conn }) => {
-                    writers.remove(&conn);
-                }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        // Admission control: refuse the newest lines past the cap.
+        while backlog.len() > queue_cap {
+            let (conn, inc) = backlog.pop_back().expect("backlog longer than cap");
+            let resp = service.shed_response(salvage_id(&inc.line), inc.received);
+            route_response(&mut conns, conn, &resp);
         }
 
-        if batch.is_empty() {
+        if backlog.is_empty() {
             if stopping {
                 break;
             }
-            thread::sleep(TCP_IDLE_SLEEP);
             continue;
         }
 
+        let take = max_batch.min(backlog.len());
+        let (ids, batch): (Vec<u64>, Vec<Incoming>) = backlog.drain(..take).unzip();
         let responses = service.handle_lines(&batch);
-        for (conn, resp) in conns.iter().zip(&responses) {
-            if let Some(w) = writers.get_mut(conn) {
-                let ok = writeln!(w, "{}", resp.to_line()).and_then(|_| w.flush());
-                if ok.is_err() {
-                    writers.remove(conn);
-                }
-            }
+        for (conn, resp) in ids.iter().zip(&responses) {
+            route_response(&mut conns, *conn, resp);
         }
-        if service.shutdown_requested() {
+        if service.shutdown_requested() && !stopping {
             stopping = true;
+            wake_acceptor(&accept_stop, local_addr);
         }
+    }
+    service.record_transport_sheds(ctx.reader_sheds.swap(0, Ordering::Relaxed));
+    // Close every surviving connection so clients reading to EOF (and
+    // our own blocked reader threads) observe the server going away.
+    for st in conns.values() {
+        lock_writer(&st.writer)
+            .shutdown(std::net::Shutdown::Both)
+            .ok();
     }
     Ok(service.stats().clone())
 }
@@ -252,6 +438,12 @@ mod tests {
 
     fn scenario(seed: u64) -> Scenario {
         Scenario::paper_2d(25, 3, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, seed)
+    }
+
+    /// Big enough that a solve takes milliseconds — long enough for a
+    /// test client to disconnect or flood while it runs.
+    fn slow_scenario(seed: u64) -> Scenario {
+        Scenario::paper_2d(800, 10, 1.0, Norm::L2, WeightScheme::PAPER_WEIGHTED, seed)
     }
 
     fn script(reqs: &[Request]) -> Cursor<Vec<u8>> {
@@ -328,6 +520,80 @@ mod tests {
     }
 
     #[test]
+    fn admission_round_partition_is_deterministic() {
+        // The shed/served split is a pure function of backlog order:
+        // newest past the cap are shed, oldest max_batch served.
+        let run = || {
+            let mut svc = Service::new(ServiceConfig {
+                queue_cap: 3,
+                max_batch: 2,
+                ..ServiceConfig::default()
+            });
+            let mut backlog: VecDeque<Incoming> = (1..=8)
+                .map(|id| Incoming::now(Request::control(id, "ping").to_line()))
+                .collect();
+            let mut out = Vec::new();
+            admission_round(&mut svc, &mut backlog, &mut out).unwrap();
+            assert_eq!(
+                backlog
+                    .iter()
+                    .map(|i| salvage_id(&i.line).unwrap())
+                    .collect::<Vec<_>>(),
+                vec![3],
+                "only the under-cap leftover stays queued"
+            );
+            parse_out(&out)
+                .iter()
+                .map(|r| (r.op.clone(), r.in_reply_to.unwrap()))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        let shed: Vec<u64> = first
+            .iter()
+            .filter(|(op, _)| op == "overloaded")
+            .map(|(_, id)| *id)
+            .collect();
+        let served: Vec<u64> = first
+            .iter()
+            .filter(|(op, _)| op == "pong")
+            .map(|(_, id)| *id)
+            .collect();
+        assert_eq!(shed, vec![8, 7, 6, 5, 4], "newest shed first");
+        assert_eq!(served, vec![1, 2], "oldest served first");
+        assert_eq!(first, run(), "identical backlog, identical partition");
+    }
+
+    #[test]
+    fn stdio_flood_past_queue_cap_sheds_with_retry_hint() {
+        let mut svc = Service::new(ServiceConfig {
+            queue_cap: 3,
+            max_batch: 2,
+            retry_after_ms: 7,
+            ..ServiceConfig::default()
+        });
+        // A slow head-of-line solve lets the remaining lines pile up
+        // past the cap while it runs.
+        let mut reqs = vec![Request::solve(0, slow_scenario(1))];
+        reqs.extend((1..=10).map(|id| Request::control(id, "ping")));
+        let mut out = Vec::new();
+        let stats = serve_stdio(&mut svc, script(&reqs), &mut out, &ShutdownFlag::new()).unwrap();
+        let responses = parse_out(&out);
+        assert_eq!(responses.len(), 11, "exactly one response per request");
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.in_reply_to.unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..=10).collect::<Vec<_>>(), "every id answered once");
+        let shed: Vec<&Response> = responses.iter().filter(|r| r.op == "overloaded").collect();
+        assert!(!shed.is_empty(), "flood past the cap must shed");
+        for r in &shed {
+            assert_eq!(r.retry_after_ms, Some(7));
+            assert!(r.queue_ms.is_some());
+        }
+        assert_eq!(stats.shed, shed.len() as u64);
+        assert_eq!(stats.received, 11);
+        assert_eq!(stats.responded, 11);
+    }
+
+    #[test]
     fn tcp_round_trips_and_shuts_down() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -357,6 +623,7 @@ mod tests {
         assert!(solved.is_completed_solve(), "{:?}", solved.error);
         assert_eq!(solved.in_reply_to, Some(8));
         assert!(solved.latency_us.is_some());
+        assert!(solved.queue_ms.is_some());
 
         send(&Request::control(9, "shutdown"));
         let bye = read_resp();
@@ -401,5 +668,101 @@ mod tests {
         BufReader::new(stream).read_line(&mut line).unwrap();
         assert_eq!(Response::parse(&line).unwrap().op, "bye");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_disconnect_abandons_queued_and_inflight_work() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut svc = Service::new(ServiceConfig::default());
+            serve_tcp(&mut svc, listener, &ShutdownFlag::new()).unwrap()
+        });
+
+        // Two slow solves, then hang up without reading a byte. The
+        // reader thread's EOF trips the connection token: whichever
+        // solve is in flight abandons at its next eval check and the
+        // queued one never burns a worker.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all((Request::solve(1, slow_scenario(5)).to_line() + "\n").as_bytes())
+                .unwrap();
+            stream
+                .write_all((Request::solve(2, slow_scenario(6)).to_line() + "\n").as_bytes())
+                .unwrap();
+            // dropped here: disconnect
+        }
+        // Let the server chew through the round before shutting down.
+        thread::sleep(Duration::from_millis(50));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all((Request::control(9, "shutdown").to_line() + "\n").as_bytes())
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert_eq!(Response::parse(&line).unwrap().op, "bye");
+        let stats = server.join().unwrap();
+        assert!(
+            stats.cancelled >= 1,
+            "disconnect must cancel at least the queued solve (stats: {stats:?})"
+        );
+        assert_eq!(stats.received, 3);
+        assert_eq!(stats.responded, 3);
+    }
+
+    #[test]
+    fn tcp_per_conn_inflight_cap_sheds_at_the_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut svc = Service::new(ServiceConfig {
+                per_conn_inflight: 1,
+                retry_after_ms: 13,
+                ..ServiceConfig::default()
+            });
+            serve_tcp(&mut svc, listener, &ShutdownFlag::new()).unwrap()
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // One slow solve holds the single in-flight slot; the pings
+        // behind it are shed by the reader without queueing.
+        writer
+            .write_all((Request::solve(0, slow_scenario(7)).to_line() + "\n").as_bytes())
+            .unwrap();
+        for id in 1..=5u64 {
+            writer
+                .write_all((Request::control(id, "ping").to_line() + "\n").as_bytes())
+                .unwrap();
+        }
+        let mut reader = BufReader::new(stream);
+        let mut shed = 0;
+        let mut solved = 0;
+        for _ in 0..6 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let resp = Response::parse(&line).unwrap();
+            match resp.op.as_str() {
+                "overloaded" => {
+                    assert_eq!(resp.retry_after_ms, Some(13));
+                    shed += 1;
+                }
+                "solve_ok" => solved += 1,
+                other => panic!("unexpected op {other}"),
+            }
+        }
+        assert_eq!(solved, 1);
+        assert_eq!(shed, 5, "every ping behind the cap shed at the reader");
+
+        writer
+            .write_all((Request::control(9, "shutdown").to_line() + "\n").as_bytes())
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::parse(&line).unwrap().op, "bye");
+        let stats = server.join().unwrap();
+        assert_eq!(stats.shed, 5);
+        assert_eq!(stats.received, 7, "reader sheds count as received");
     }
 }

@@ -1,0 +1,327 @@
+//! Chaos soak: thousands of requests through both transports under a
+//! seeded fault injector, asserting the overload-safety contract:
+//!
+//! - every frame the client put on the wire — intact or mangled —
+//!   gets exactly one correlated response (`solve_ok`, `error`, or
+//!   `overloaded`); the server never double-answers an id;
+//! - no worker panic escapes the server (thread joins cleanly and the
+//!   service counters balance: received == responded);
+//! - shutdown always drains: EOF on stdio and a `shutdown` request on
+//!   TCP both answer everything admitted before returning;
+//! - re-running a seed regenerates the identical fault schedule.
+//!
+//! The seeds come from [`mmph_serve::SOAK_SEEDS`], the same matrix the
+//! CI `chaos-soak` job iterates.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::thread;
+
+use mmph_serve::chaos::{pipe, run_script, ChaosConfig, ChaosPlan, ScriptOutcome};
+use mmph_serve::{
+    serve_stdio, serve_tcp, Request, Response, Service, ServiceConfig, ShutdownFlag, SOAK_SEEDS,
+};
+use mmph_sim::{Scenario, WeightScheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small scenario pool (fits the service's 4-entry instance cache) so
+/// the soak exercises cache hits and engine reuse, not generation.
+fn scenario(slot: u64) -> Scenario {
+    Scenario::paper_2d(
+        30 + (slot as usize % 3) * 5,
+        3,
+        1.0,
+        mmph_geom::Norm::L2,
+        WeightScheme::PAPER_WEIGHTED,
+        slot % 3,
+    )
+}
+
+/// A heavier scenario so rounds occasionally take long enough for the
+/// backlog (and admission control) to matter.
+fn heavy_scenario() -> Scenario {
+    Scenario::paper_2d(
+        220,
+        6,
+        1.0,
+        mmph_geom::Norm::L2,
+        WeightScheme::PAPER_WEIGHTED,
+        77,
+    )
+}
+
+/// Id of the `i`-th scripted line. Offset into a 4-digit range so no
+/// id is a decimal prefix of another: truncation chopping id digits
+/// mid-number then salvages a value that cannot collide with any real
+/// line's id (e.g. `"id":1600` cut to `"id":160` → 160, not in range).
+fn line_id(i: usize) -> u64 {
+    1000 + i as u64 + 1
+}
+
+/// Builds the request mix for one soak run: mostly cached small
+/// solves, some eval-budgeted, a few heavy, a sprinkle of pings.
+/// Ids come from [`line_id`], so correlation checks are direct.
+fn build_lines(seed: u64, len: usize) -> (Vec<String>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines = Vec::with_capacity(len);
+    let mut ids = Vec::with_capacity(len);
+    for i in 0..len {
+        let id = line_id(i);
+        let line = match rng.gen_range(0..10u32) {
+            0 => Request::control(id, "ping").to_line(),
+            1 => {
+                let mut req = Request::solve(id, scenario(rng.gen_range(0..3)));
+                req.max_evals = Some(rng.gen_range(10..80));
+                req.to_line()
+            }
+            2 => Request::solve(id, heavy_scenario()).to_line(),
+            _ => Request::solve(id, scenario(rng.gen_range(0..3))).to_line(),
+        };
+        lines.push(line);
+        ids.push(id);
+    }
+    (lines, ids)
+}
+
+/// Ops a request is allowed to resolve to.
+fn assert_sane_op(resp: &Response) {
+    assert!(
+        matches!(
+            resp.op.as_str(),
+            "solve_ok" | "pong" | "error" | "overloaded" | "bye"
+        ),
+        "unexpected op {:?}",
+        resp.op
+    );
+}
+
+#[test]
+fn stdio_soak_over_seed_matrix() {
+    for &seed in SOAK_SEEDS {
+        stdio_soak(seed);
+    }
+}
+
+fn stdio_soak(seed: u64) {
+    const LEN: usize = 600;
+    let cfg = ChaosConfig::aggressive_no_disconnect();
+    let (lines, _ids) = build_lines(seed, LEN);
+    let plan = ChaosPlan::generate(seed, LEN, &cfg);
+    assert_eq!(
+        plan,
+        ChaosPlan::generate(seed, LEN, &cfg),
+        "seed {seed}: schedule must regenerate bit-identically"
+    );
+    let script = plan.script(&lines);
+
+    // Small queue so bursts actually shed; small rounds so the
+    // backlog sees multiple admission passes.
+    let svc_cfg = ServiceConfig {
+        queue_cap: 32,
+        max_batch: 8,
+        ..ServiceConfig::default()
+    };
+    let (mut w, r) = pipe();
+    let server = thread::spawn(move || {
+        let mut svc = Service::new(svc_cfg);
+        let mut out = Vec::new();
+        let stats = serve_stdio(&mut svc, r, &mut out, &ShutdownFlag::new()).unwrap();
+        (stats, out)
+    });
+    assert_eq!(
+        run_script(&script.steps, 0, &mut w).unwrap(),
+        ScriptOutcome::Completed,
+        "stdio scripts carry no disconnects"
+    );
+    drop(w); // EOF: the transport drains and returns.
+    let (stats, out) = server.join().expect("no panic escapes the server");
+
+    let responses: Vec<Response> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Response::parse(l).unwrap())
+        .collect();
+    assert_eq!(
+        responses.len(),
+        LEN,
+        "seed {seed}: exactly one response per frame"
+    );
+    assert_eq!(stats.received, LEN as u64);
+    assert_eq!(stats.responded, stats.received, "shutdown always drains");
+
+    // Correlation: every intact line's id answered exactly once with
+    // a success-or-shed op; mangled frames resolve to errors.
+    let mut by_id: HashMap<u64, Vec<&Response>> = HashMap::new();
+    let mut uncorrelated = 0usize;
+    for resp in &responses {
+        assert_sane_op(resp);
+        match resp.in_reply_to {
+            Some(id) => by_id.entry(id).or_default().push(resp),
+            None => uncorrelated += 1,
+        }
+    }
+    let mut mangled = 0usize;
+    for (i, intact) in script.intact.iter().enumerate() {
+        let id = line_id(i);
+        if *intact {
+            let got = by_id
+                .get(&id)
+                .unwrap_or_else(|| panic!("seed {seed}: intact id {id} never answered"));
+            assert_eq!(got.len(), 1, "seed {seed}: id {id} answered once");
+            assert!(
+                matches!(got[0].op.as_str(), "solve_ok" | "pong" | "overloaded"),
+                "seed {seed}: intact id {id} resolved to {:?}",
+                got[0].op
+            );
+        } else {
+            mangled += 1;
+            // A mangled frame either errors at parse or is shed at
+            // admission before parsing — never a success op.
+            if let Some(got) = by_id.get(&id) {
+                assert!(
+                    got.iter()
+                        .all(|r| matches!(r.op.as_str(), "error" | "overloaded")),
+                    "seed {seed}: mangled id {id} resolved to a success op"
+                );
+            }
+        }
+    }
+    let errors = responses.iter().filter(|r| r.op == "error").count();
+    assert!(
+        errors <= mangled,
+        "seed {seed}: only mangled frames may error ({errors} errors, {mangled} mangled)"
+    );
+    assert_eq!(
+        stats.errors as usize, errors,
+        "seed {seed}: stats agree with the wire"
+    );
+    assert!(
+        uncorrelated <= mangled,
+        "only mangled frames may lose their id"
+    );
+    let sheds = responses.iter().filter(|r| r.op == "overloaded").count();
+    assert_eq!(stats.shed as usize, sheds);
+    for r in responses.iter().filter(|r| r.op == "overloaded") {
+        assert!(r.retry_after_ms.is_some(), "sheds carry the retry hint");
+    }
+}
+
+#[test]
+fn tcp_soak_over_seed_matrix() {
+    for &seed in SOAK_SEEDS {
+        tcp_soak(seed);
+    }
+}
+
+fn tcp_soak(seed: u64) {
+    const LEN: usize = 400;
+    let cfg = ChaosConfig::aggressive();
+    let (lines, _ids) = build_lines(seed, LEN);
+    let plan = ChaosPlan::generate(seed, LEN, &cfg);
+    assert_eq!(
+        plan,
+        ChaosPlan::generate(seed, LEN, &cfg),
+        "seed {seed}: schedule must regenerate bit-identically"
+    );
+    let script = plan.script(&lines);
+
+    // Generous caps: this arm stresses framing, disconnects and
+    // drain; shedding is the stdio arm's job (a shed `shutdown`
+    // could stall the run).
+    let svc_cfg = ServiceConfig {
+        queue_cap: 4096,
+        per_conn_inflight: 4096,
+        ..ServiceConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        let mut svc = Service::new(svc_cfg);
+        serve_tcp(&mut svc, listener, &ShutdownFlag::new()).unwrap()
+    });
+
+    let mut collected: Vec<Response> = Vec::new();
+    let mut start = 0usize;
+    loop {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone().unwrap();
+        let collector = thread::spawn(move || {
+            let mut got = Vec::new();
+            for line in BufReader::new(read_half).lines() {
+                let Ok(line) = line else { break };
+                let resp = Response::parse(&line).unwrap();
+                let done = resp.op == "bye";
+                got.push(resp);
+                if done {
+                    break;
+                }
+            }
+            got
+        });
+        let mut write_half = stream.try_clone().unwrap();
+        match run_script(&script.steps, start, &mut write_half).unwrap() {
+            ScriptOutcome::Disconnected { resume_at } => {
+                // Mid-request hangup: close both halves and resume on
+                // a fresh connection.
+                stream.shutdown(Shutdown::Both).ok();
+                collected.extend(collector.join().unwrap());
+                start = resume_at;
+            }
+            ScriptOutcome::Completed => {
+                // Script done; this connection stays up, so every one
+                // of its admitted requests must be answered before
+                // the `bye` that ends the run.
+                write_half
+                    .write_all((Request::control(u64::MAX, "shutdown").to_line() + "\n").as_bytes())
+                    .unwrap();
+                write_half.flush().unwrap();
+                let final_responses = collector.join().unwrap();
+                collected.extend(final_responses);
+                break;
+            }
+        }
+    }
+    let stats = server.join().expect("no panic escapes the server");
+
+    // Server-side exactly-once: every admitted frame was answered,
+    // even the ones whose connection died before the write.
+    assert_eq!(
+        stats.received, stats.responded,
+        "seed {seed}: shutdown always drains ({stats:?})"
+    );
+
+    // Client-side: ids are never double-answered, and everything the
+    // final (surviving) connection sent intact came back correlated.
+    let mut seen: HashMap<u64, &Response> = HashMap::new();
+    for resp in &collected {
+        assert_sane_op(resp);
+        if let Some(id) = resp.in_reply_to {
+            assert!(
+                seen.insert(id, resp).is_none(),
+                "seed {seed}: id {id} answered twice"
+            );
+        }
+    }
+    assert_eq!(
+        seen.get(&u64::MAX).map(|r| r.op.as_str()),
+        Some("bye"),
+        "seed {seed}: shutdown acknowledged"
+    );
+    let final_start = start;
+    for (i, intact) in script.intact.iter().enumerate() {
+        if script.line_starts[i] >= final_start && *intact {
+            let id = line_id(i);
+            let got = seen.get(&id).unwrap_or_else(|| {
+                panic!("seed {seed}: id {id} sent on the surviving connection, never answered")
+            });
+            assert!(
+                matches!(got.op.as_str(), "solve_ok" | "pong" | "overloaded"),
+                "seed {seed}: intact id {id} resolved to {:?}",
+                got.op
+            );
+        }
+    }
+}

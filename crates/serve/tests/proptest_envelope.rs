@@ -68,6 +68,7 @@ fn response() -> impl Strategy<Value = Response> {
         Just("stats_ok".to_string()),
         Just("bye".to_string()),
         Just("error".to_string()),
+        Just("overloaded".to_string()),
     ];
     let status = prop_oneof![Just("completed".to_string()), Just("degraded".to_string())];
     (
@@ -75,14 +76,23 @@ fn response() -> impl Strategy<Value = Response> {
         opt(-1e12..1e12f64),
         opt(prop::collection::vec(0usize..100_000, 0..12)),
         (opt(0u64..u64::MAX), 0u32..2),
+        (opt(0.0..1e6f64), opt(0u64..100_000)),
     )
         .prop_map(
-            |((in_reply_to, op, status), reward, selection, (latency_us, with_stats))| {
+            |(
+                (in_reply_to, op, status),
+                reward,
+                selection,
+                (latency_us, with_stats),
+                (queue_ms, retry_after_ms),
+            )| {
                 let mut r = Response::new(in_reply_to, &op);
                 r.status = status;
                 r.reward = reward;
                 r.selection = selection;
                 r.latency_us = latency_us;
+                r.queue_ms = queue_ms;
+                r.retry_after_ms = retry_after_ms;
                 if with_stats == 1 {
                     r.stats = Some(ServiceStats {
                         received: 10,
@@ -91,6 +101,8 @@ fn response() -> impl Strategy<Value = Response> {
                         degraded: 1,
                         errors: 1,
                         engines_reused: 4,
+                        shed: 2,
+                        cancelled: 1,
                     });
                 }
                 r
