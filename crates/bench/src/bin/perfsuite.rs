@@ -1,8 +1,10 @@
 //! `perfsuite` — the persisted engine-performance baseline behind
-//! `BENCH_PR4.json`.
+//! `BENCH_PR4.json`, and (with `--kernels`) the blocked-kernel /
+//! mixed-precision baseline behind `BENCH_PR8.json`.
 //!
 //! ```text
 //! perfsuite [--quick] [--huge] [--out PATH] [--seed S]
+//! perfsuite --kernels [--quick] [--out PATH] [--seed S]
 //! ```
 //!
 //! Sweeps n × k × oracle strategy × evaluation engine over uniform
@@ -13,17 +15,27 @@
 //! the ROADMAP — where only the sparse engines under the lazy strategy
 //! are run (scan, kd and seq are recorded as skipped rows).
 //!
-//! The suite doubles as a correctness gate: within each
-//! `(n, k, strategy)` group every engine must select byte-identical
-//! centers, and the sparse engine must never charge more evaluations
-//! than the dense scan. Violations exit non-zero so CI can run this
-//! binary directly.
+//! `--kernels` runs the PR8 microbench instead: per n it measures the
+//! blocked lane kernel against the scalar per-entry reference walk
+//! (evals/sec at a mid-solve residual state, best of 3 trials) and the
+//! `f32` mixed-precision engine against the `f64` one (lazy solve wall
+//! time, measured per-eval and end-to-end objective error against the
+//! DESIGN.md bounds).
+//!
+//! Both modes double as correctness gates: the sweep requires
+//! byte-identical selections per `(n, k, strategy)` group and
+//! monotone eval counts; the kernel mode requires blocked/scalar bit
+//! identity, blocked throughput at least matching scalar, and all
+//! measured `f32` errors within their documented bounds. Violations
+//! exit non-zero so CI can run this binary directly.
 
+use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mmph_bench::perfrows::{build_instance, run_one, Row, DEFAULT_SEED, SCAN_MAX_N, TARGET_DEGREE};
-use mmph_core::{EngineKind, OracleStrategy};
+use mmph_core::{objective, EngineKind, OracleStrategy, Residuals, RewardEngine, SPARSE_LANES};
 use serde::Serialize;
 
 /// Above this n only `(lazy, sparse*)` combinations run; everything
@@ -34,7 +46,8 @@ const HUGE_MIN_N: usize = 1_000_000;
 struct Args {
     quick: bool,
     huge: bool,
-    out: PathBuf,
+    kernels: bool,
+    out: Option<PathBuf>,
     seed: u64,
 }
 
@@ -42,7 +55,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         huge: false,
-        out: PathBuf::from("BENCH_PR4.json"),
+        kernels: false,
+        out: None,
         seed: DEFAULT_SEED,
     };
     let mut it = std::env::args().skip(1);
@@ -50,13 +64,14 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--huge" => args.huge = true,
-            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--kernels" => args.kernels = true,
+            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: perfsuite [--quick] [--huge] [--out PATH] [--seed S]");
+                println!("usage: perfsuite [--kernels] [--quick] [--huge] [--out PATH] [--seed S]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -185,6 +200,291 @@ fn sweep_cell(
     checks_ok
 }
 
+/// One blocked-vs-scalar gain-throughput measurement at a mid-solve
+/// residual state.
+#[derive(Debug, Clone, Serialize)]
+struct KernelRow {
+    n: usize,
+    k: usize,
+    /// Greedy rounds committed before timing, so residuals are partially
+    /// consumed the way a real solve sees them.
+    mid_rounds: usize,
+    /// Gain evaluations per timed trial (full eval-order passes).
+    evals_per_trial: usize,
+    blocked_evals_per_sec: f64,
+    scalar_evals_per_sec: f64,
+    blocked_over_scalar: f64,
+    /// Blocked and scalar gains agreed to the bit at the timed state.
+    bit_identical: bool,
+}
+
+/// One f32-vs-f64 lazy-solve comparison with the measured precision
+/// errors against the DESIGN.md bounds.
+#[derive(Debug, Clone, Serialize)]
+struct PrecisionRow {
+    n: usize,
+    k: usize,
+    f64_wall_ms: f64,
+    f32_wall_ms: f64,
+    f64_objective: f64,
+    f32_objective: f64,
+    /// |f64 − f32| of the true (recomputed in f64) objectives.
+    objective_gap: f64,
+    /// DESIGN.md end-to-end bound: k · 2⁻²⁰ · f64 objective.
+    objective_gap_bound: f64,
+    /// Largest |g32 − g64| over all candidates at fresh residuals.
+    max_per_eval_error: f64,
+    /// DESIGN.md per-eval bound at the heaviest row: 2⁻²² · max mass.
+    per_eval_error_bound: f64,
+    /// Reported reward vs recomputed objective (both engines apply
+    /// rewards in exact f64, so these are summation-order noise only).
+    reported_vs_true_f64: f64,
+    reported_vs_true_f32: f64,
+    selections_match: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelReport {
+    suite: String,
+    quick: bool,
+    seed: u64,
+    target_degree: f64,
+    lanes: usize,
+    kernel_rows: Vec<KernelRow>,
+    precision_rows: Vec<PrecisionRow>,
+    checks_ok: bool,
+}
+
+/// Documented per-eval relative error of the f32 engine (DESIGN.md
+/// "Kernel layout & precision").
+const F32_PER_EVAL_REL: f64 = 1.0 / (1u64 << 22) as f64;
+/// Documented end-to-end relative objective drift per selected center.
+const F32_END_TO_END_REL: f64 = 1.0 / (1u64 << 20) as f64;
+
+/// Minimum of `trials` timed runs of `pass`, in seconds.
+fn best_of(trials: usize, mut pass: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        black_box(pass());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The `--kernels` microbench: blocked-vs-scalar gain throughput and
+/// f32-vs-f64 solve arms, per instance size. Returns false when a
+/// correctness or performance gate failed.
+fn kernel_cell(
+    n: usize,
+    k: usize,
+    seed: u64,
+    kernel_rows: &mut Vec<KernelRow>,
+    precision_rows: &mut Vec<PrecisionRow>,
+) -> bool {
+    let mut checks_ok = true;
+    let inst = build_instance(n, k, seed);
+
+    // --- Blocked vs scalar, f64 engine, mid-solve residual state. ---
+    let engine = RewardEngine::sparse(&inst);
+    let mut residuals = Residuals::new(inst.n());
+    let mid_rounds = k / 2;
+    for _ in 0..mid_rounds {
+        let mut best = 0usize;
+        let mut best_gain = f64::NEG_INFINITY;
+        for i in 0..inst.n() {
+            let g = engine.candidate_gain(i, &residuals);
+            if g > best_gain {
+                best_gain = g;
+                best = i;
+            }
+        }
+        residuals.apply(&inst, inst.point(best));
+    }
+    let mut bit_identical = true;
+    for i in 0..inst.n() {
+        let blocked = engine.candidate_gain(i, &residuals);
+        let scalar = engine
+            .candidate_gain_unblocked(i, &residuals)
+            .expect("sparse");
+        if blocked.to_bits() != scalar.to_bits() {
+            eprintln!(
+                "perfsuite: KERNEL BIT MISMATCH n={n} candidate {i}: blocked {blocked} vs scalar {scalar}"
+            );
+            bit_identical = false;
+            checks_ok = false;
+            break;
+        }
+    }
+    // Both kernels walk candidates in storage order so the comparison
+    // is purely the inner loop, not the memory access pattern.
+    let order: Vec<u32> = engine.eval_order().expect("sparse").to_vec();
+    let reps = (2_000_000 / n).max(1);
+    let evals_per_trial = n * reps;
+    let time_pass = |scalar: bool| {
+        best_of(3, || {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                for &i in &order {
+                    acc += if scalar {
+                        engine
+                            .candidate_gain_unblocked(i as usize, &residuals)
+                            .expect("sparse")
+                    } else {
+                        engine.candidate_gain(i as usize, &residuals)
+                    };
+                }
+            }
+            acc
+        })
+    };
+    let blocked_secs = time_pass(false);
+    let scalar_secs = time_pass(true);
+    let blocked_eps = evals_per_trial as f64 / blocked_secs;
+    let scalar_eps = evals_per_trial as f64 / scalar_secs;
+    let ratio = blocked_eps / scalar_eps;
+    println!(
+        "kernel n={n:>7}: blocked {blocked_eps:>12.0} evals/s vs scalar {scalar_eps:>12.0} = {ratio:.2}x (bit-identical: {bit_identical})"
+    );
+    if ratio < 1.0 {
+        eprintln!("perfsuite: BLOCKED KERNEL SLOWER THAN SCALAR at n={n} ({ratio:.2}x)");
+        checks_ok = false;
+    }
+    kernel_rows.push(KernelRow {
+        n,
+        k,
+        mid_rounds,
+        evals_per_trial,
+        blocked_evals_per_sec: blocked_eps,
+        scalar_evals_per_sec: scalar_eps,
+        blocked_over_scalar: ratio,
+        bit_identical,
+    });
+
+    // Fresh-state f64 gains double as the per-row masses of the error
+    // model (every stored frac <= 1).
+    let fresh = Residuals::new(inst.n());
+    let g64: Vec<f64> = (0..inst.n())
+        .map(|i| engine.candidate_gain(i, &fresh))
+        .collect();
+    drop(engine);
+
+    // --- f32 vs f64: per-eval error at fresh residuals. ---
+    let engine32 = RewardEngine::sparse_f32(&inst);
+    let mut max_err = 0.0f64;
+    let mut max_mass = 0.0f64;
+    for (i, &m) in g64.iter().enumerate() {
+        let err = (engine32.candidate_gain(i, &fresh) - m).abs();
+        max_err = max_err.max(err);
+        max_mass = max_mass.max(m);
+        if err > F32_PER_EVAL_REL * m + 1e-12 {
+            eprintln!(
+                "perfsuite: F32 PER-EVAL ERROR OUT OF BOUND n={n} candidate {i}: {err:e} > {:e}",
+                F32_PER_EVAL_REL * m
+            );
+            checks_ok = false;
+        }
+    }
+    drop(engine32);
+
+    // --- f32 vs f64: full lazy solve arms. ---
+    let row64 = run_one(
+        &inst,
+        "lazy",
+        OracleStrategy::Lazy,
+        "sparse",
+        EngineKind::Sparse,
+        false,
+    );
+    let row32 = run_one(
+        &inst,
+        "lazy",
+        OracleStrategy::Lazy,
+        "sparse-f32",
+        EngineKind::SparseF32,
+        false,
+    );
+    let centers = |row: &Row| -> Vec<_> { row.selection.iter().map(|&i| *inst.point(i)).collect() };
+    let obj64 = objective(&inst, &centers(&row64));
+    let obj32 = objective(&inst, &centers(&row32));
+    let gap = (obj64 - obj32).abs();
+    let gap_bound = k as f64 * F32_END_TO_END_REL * obj64 + 1e-9;
+    let rvt64 = (row64.reward - obj64).abs();
+    let rvt32 = (row32.reward - obj32).abs();
+    println!(
+        "precision n={n:>7}: f64 {:.2} ms vs f32 {:.2} ms; objective gap {gap:.3e} (bound {gap_bound:.3e}); max per-eval err {max_err:.3e}",
+        row64.wall_ms, row32.wall_ms
+    );
+    if gap > gap_bound {
+        eprintln!("perfsuite: F32 OBJECTIVE GAP OUT OF BOUND n={n}: {gap:e} > {gap_bound:e}");
+        checks_ok = false;
+    }
+    for (name, rvt, obj) in [("f64", rvt64, obj64), ("f32", rvt32, obj32)] {
+        if rvt > 1e-9 * obj.max(1.0) {
+            eprintln!(
+                "perfsuite: {name} REPORTED REWARD DRIFTED FROM TRUE OBJECTIVE n={n}: {rvt:e}"
+            );
+            checks_ok = false;
+        }
+    }
+    precision_rows.push(PrecisionRow {
+        n,
+        k,
+        f64_wall_ms: row64.wall_ms,
+        f32_wall_ms: row32.wall_ms,
+        f64_objective: obj64,
+        f32_objective: obj32,
+        objective_gap: gap,
+        objective_gap_bound: gap_bound,
+        max_per_eval_error: max_err,
+        per_eval_error_bound: F32_PER_EVAL_REL * max_mass,
+        reported_vs_true_f64: rvt64,
+        reported_vs_true_f32: rvt32,
+        selections_match: row64.selection == row32.selection,
+    });
+    checks_ok
+}
+
+fn run_kernels(args: &Args) -> ExitCode {
+    let sizes: Vec<usize> = if args.quick {
+        vec![10_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    };
+    let k = 16;
+    let mut kernel_rows = Vec::new();
+    let mut precision_rows = Vec::new();
+    let mut checks_ok = true;
+    for &n in &sizes {
+        checks_ok &= kernel_cell(n, k, args.seed, &mut kernel_rows, &mut precision_rows);
+    }
+    let report = KernelReport {
+        suite: "perfsuite-kernels".to_owned(),
+        quick: args.quick,
+        seed: args.seed,
+        target_degree: TARGET_DEGREE,
+        lanes: SPARSE_LANES,
+        kernel_rows,
+        precision_rows,
+        checks_ok,
+    };
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR8.json"));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("perfsuite: writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("perfsuite: wrote {}", out.display());
+    if !checks_ok {
+        eprintln!("perfsuite: kernel checks FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -193,6 +493,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.kernels {
+        return run_kernels(&args);
+    }
     let mut sizes: Vec<usize> = if args.quick {
         vec![1_000, 10_000]
     } else {
@@ -230,12 +533,16 @@ fn main() -> ExitCode {
         speedups,
         checks_ok,
     };
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR4.json"));
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    if let Err(e) = std::fs::write(&args.out, json + "\n") {
-        eprintln!("perfsuite: writing {}: {e}", args.out.display());
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("perfsuite: writing {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
-    println!("perfsuite: wrote {}", args.out.display());
+    println!("perfsuite: wrote {}", out.display());
 
     if !checks_ok {
         eprintln!("perfsuite: cross-checks FAILED");

@@ -2,7 +2,7 @@
 //! `BENCH_PR5.json`.
 //!
 //! ```text
-//! throughput [--quick] [--out PATH] [--seed S] [--threads N]
+//! throughput [--quick] [--out PATH] [--seed S] [--threads N] [--engine E]
 //! ```
 //!
 //! Sweeps batch shapes (distinct instances × adjacent repeats) ×
@@ -65,6 +65,7 @@ struct Args {
     out: PathBuf,
     seed: u64,
     threads: Option<usize>,
+    engine: EngineKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("BENCH_PR5.json"),
         seed: DEFAULT_SEED,
         threads: None,
+        engine: EngineKind::Sparse,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -87,8 +89,23 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = Some(v.parse().map_err(|_| format!("bad --threads value: {v}"))?);
             }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                args.engine = match v.as_str() {
+                    "sparse" => EngineKind::Sparse,
+                    "sparse-f32" => EngineKind::SparseF32,
+                    other => {
+                        return Err(format!(
+                            "--engine must be sparse or sparse-f32, got {other}"
+                        ))
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: throughput [--quick] [--out PATH] [--seed S] [--threads N]");
+                println!(
+                    "usage: throughput [--quick] [--out PATH] [--seed S] [--threads N] \
+                     [--engine sparse|sparse-f32]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -139,6 +156,7 @@ struct Report {
     seed: u64,
     n: usize,
     k: usize,
+    engine: String,
     target_degree: f64,
     arms: Vec<Arm>,
     warm_vs_cold: Vec<WarmCold>,
@@ -203,12 +221,12 @@ fn csr_build_check(inst: &Instance<2>) -> CsrBuild {
     let parallel = RewardEngine::sparse_with_scratch(inst, &mut s2, true);
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-    let (so, si, sf, sw) = serial.csr_parts().expect("serial CSR present");
-    let (po, pi, pf, pw) = parallel.csr_parts().expect("parallel CSR present");
+    let (so, sd, si, sf, sw) = serial.csr_parts().expect("serial CSR present");
+    let (po, pd, pi, pf, pw) = parallel.csr_parts().expect("parallel CSR present");
     fn bits_eq(a: &[f64], b: &[f64]) -> bool {
         a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
     }
-    let byte_identical = so == po && si == pi && bits_eq(sf, pf) && bits_eq(sw, pw);
+    let byte_identical = so == po && sd == pd && si == pi && bits_eq(sf, pf) && bits_eq(sw, pw);
     CsrBuild {
         n: inst.n(),
         threads: rayon::current_num_threads(),
@@ -221,8 +239,10 @@ fn csr_build_check(inst: &Instance<2>) -> CsrBuild {
 
 /// Counts allocations during a steady-state warm solve (after one
 /// warmup solve on the same oracle + scratch). Must return 0.
-fn steady_state_allocs(inst: &Instance<2>, strategy: OracleStrategy) -> u64 {
-    let runner = BatchRunner::new().with_strategy(strategy);
+fn steady_state_allocs(inst: &Instance<2>, strategy: OracleStrategy, engine: EngineKind) -> u64 {
+    let runner = BatchRunner::new()
+        .with_strategy(strategy)
+        .with_engine(engine);
     let mut scratch = SolveScratch::new();
     let oracle = runner.build_oracle(inst, &mut scratch);
     solve_rounds(&oracle, &mut scratch); // warmup
@@ -255,9 +275,11 @@ fn main() -> ExitCode {
     let mut warm_vs_cold = Vec::new();
     let mut checks_ok = true;
 
-    let cold_runner = BatchRunner::new().with_warm(false);
-    let warm_serial = BatchRunner::new();
-    let warm_parallel = BatchRunner::new().with_parallel_csr(true);
+    let cold_runner = BatchRunner::new().with_warm(false).with_engine(args.engine);
+    let warm_serial = BatchRunner::new().with_engine(args.engine);
+    let warm_parallel = BatchRunner::new()
+        .with_parallel_csr(true)
+        .with_engine(args.engine);
 
     for &repeat in repeats {
         let insts = stream(n, k, args.seed, distinct, repeat);
@@ -321,7 +343,7 @@ fn main() -> ExitCode {
     let alloc_probe = build_instance(if args.quick { 2_000 } else { 10_000 }, k, args.seed);
     let mut steady = Vec::new();
     for (name, strategy) in [("seq", OracleStrategy::Seq), ("lazy", OracleStrategy::Lazy)] {
-        let allocs = steady_state_allocs(&alloc_probe, strategy);
+        let allocs = steady_state_allocs(&alloc_probe, strategy, args.engine);
         println!("steady-state allocs ({name}): {allocs}");
         if allocs != 0 {
             eprintln!("throughput: STEADY-STATE SOLVE ALLOCATED ({name}: {allocs})");
@@ -376,6 +398,7 @@ fn main() -> ExitCode {
         seed: args.seed,
         n,
         k,
+        engine: args.engine.name().to_owned(),
         target_degree: TARGET_DEGREE,
         arms,
         warm_vs_cold,

@@ -90,7 +90,8 @@ pub fn parse_oracle(raw: &str) -> Result<mmph_core::OracleStrategy> {
     raw.parse().map_err(CliError::Usage)
 }
 
-/// Parses a reward-engine name ("auto", "scan", "kd", "ball", "sparse").
+/// Parses a reward-engine name ("auto", "scan", "kd", "ball", "sparse",
+/// "sparse-f32").
 pub fn parse_engine(raw: &str) -> Result<mmph_core::EngineKind> {
     raw.parse().map_err(CliError::Usage)
 }
@@ -229,7 +230,9 @@ mod tests {
         assert_eq!(parse_engine("kd").unwrap(), EngineKind::Kd);
         assert_eq!(parse_engine("ball").unwrap(), EngineKind::Ball);
         assert_eq!(parse_engine("sparse").unwrap(), EngineKind::Sparse);
+        assert_eq!(parse_engine("sparse-f32").unwrap(), EngineKind::SparseF32);
         assert!(parse_engine("dense").is_err());
+        assert!(parse_engine("f32").is_err());
     }
 
     #[test]

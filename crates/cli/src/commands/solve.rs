@@ -31,8 +31,9 @@ OPTIONS:
   --oracle S     candidate-scoring strategy: seq | par | lazy (default seq);
                  all three produce identical solutions
   --engine E     reward-evaluation engine: auto | scan | kd | ball | sparse
-                 (default auto = sparse with a memory-cap fallback to kd);
-                 all engines produce bit-identical solutions
+                 | sparse-f32 (default auto = sparse with a memory-cap
+                 fallback to kd); all engines except the opt-in
+                 mixed-precision sparse-f32 produce bit-identical solutions
   --threads N    rayon worker threads for --oracle par (default: all cores)
   --svg FILE     write a coverage map of the (first) solution
   --dim D        2 or 3 when using --input (default 2)

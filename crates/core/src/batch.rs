@@ -281,8 +281,9 @@ impl BatchRunner {
 
     /// Reward-evaluation engine. [`EngineKind::Auto`] is treated as
     /// [`EngineKind::Sparse`] here: batch serving is exactly the
-    /// workload the CSR engine exists for, and only the sparse engine
-    /// participates in CSR-scratch reuse.
+    /// workload the CSR engine exists for, and only the sparse engines
+    /// (`sparse`, and the opt-in mixed-precision `sparse-f32`)
+    /// participate in CSR-scratch reuse.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
@@ -335,6 +336,9 @@ impl BatchRunner {
         let engine = match self.engine {
             EngineKind::Sparse | EngineKind::Auto => {
                 RewardEngine::sparse_with_scratch(inst, &mut scratch.csr, self.parallel_csr)
+            }
+            EngineKind::SparseF32 => {
+                RewardEngine::sparse_f32_with_scratch(inst, &mut scratch.csr, self.parallel_csr)
             }
             kind => RewardEngine::with_kind(inst, kind),
         };

@@ -61,7 +61,7 @@ pub use kernel::{Kernel, PreparedKernel};
 pub use oracle::{GainOracle, LazyScratch, OracleStrategy, Pruning, Scored};
 pub use reward::{
     coverage_reward, objective, psi, CsrScratch, EngineKind, Residuals, RewardEngine, SparseStats,
-    DEFAULT_SPARSE_CAP_BYTES,
+    DEFAULT_SPARSE_CAP_BYTES, SPARSE_LANES,
 };
 pub use scratch::SolveScratch;
 pub use solver::{Solution, Solver};

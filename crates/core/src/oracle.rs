@@ -447,9 +447,20 @@ impl<'a, const D: usize> GainOracle<'a, D> {
                     .collect();
                 out.extend_from_slice(&gains);
             }
-            OracleStrategy::Seq | OracleStrategy::Lazy => {
-                out.extend((0..n).map(|i| self.candidate_gain(i, residuals)));
-            }
+            OracleStrategy::Seq | OracleStrategy::Lazy => match self.engine.eval_order() {
+                // Sparse engines: score in storage order for sequential
+                // CSR reads, scatter by index. Same per-candidate values
+                // and eval count as the index-order walk.
+                Some(order) => {
+                    out.resize(n, 0.0);
+                    for &i in order {
+                        out[i as usize] = self.candidate_gain(i as usize, residuals);
+                    }
+                }
+                None => {
+                    out.extend((0..n).map(|i| self.candidate_gain(i, residuals)));
+                }
+            },
         }
     }
 
@@ -466,16 +477,36 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         }
     }
 
-    /// Strict-`>` scan: the reference argmax.
+    /// Strict-`>` scan: the reference argmax. On sparse engines the
+    /// scan walks the candidates in the engine's cache-friendly storage
+    /// order ([`RewardEngine::eval_order`]) with an explicit
+    /// max-gain/min-index tie-break — over a permutation that selects
+    /// exactly the same candidate as the index-order first-max scan
+    /// (gains are per-candidate values independent of scan order), so
+    /// the selection stays bit-identical while the CSR streams are read
+    /// sequentially.
     fn argmax_seq(&self, residuals: &Residuals) -> Scored {
         let mut best = Scored {
             index: 0,
             gain: f64::NEG_INFINITY,
         };
-        for i in 0..self.instance().n() {
-            let g = self.candidate_gain(i, residuals);
-            if g > best.gain {
-                best = Scored { index: i, gain: g };
+        match self.engine.eval_order() {
+            Some(order) => {
+                for &i in order {
+                    let i = i as usize;
+                    let g = self.candidate_gain(i, residuals);
+                    if g > best.gain || (g == best.gain && i < best.index) {
+                        best = Scored { index: i, gain: g };
+                    }
+                }
+            }
+            None => {
+                for i in 0..self.instance().n() {
+                    let g = self.candidate_gain(i, residuals);
+                    if g > best.gain {
+                        best = Scored { index: i, gain: g };
+                    }
+                }
             }
         }
         best
@@ -509,19 +540,25 @@ impl<'a, const D: usize> GainOracle<'a, D> {
             // The heap's storage is detached, cleared (discarding any
             // partial prime left by a poisoned holder — and, through a
             // reused scratch, any previous solve's entries), refilled
-            // in index order and heapified in place: no allocation once
-            // the capacity has reached n. Entry ordering is total
-            // (distinct indices break every gain tie), so the pop
-            // sequence is independent of how the heap was built.
+            // — in the engine's cache-friendly eval order on sparse
+            // engines, index order otherwise — and heapified in place:
+            // no allocation once the capacity has reached n. Entry
+            // ordering is total (distinct indices break every gain
+            // tie), so the pop sequence is independent of how the heap
+            // was built, including the fill order.
             let mut entries = std::mem::take(&mut state.heap).into_vec();
             entries.clear();
-            for i in 0..self.instance().n() {
+            let mut push = |i: usize| {
                 let gain = self.candidate_gain(i, residuals);
                 entries.push(Entry {
                     gain,
                     idx: i,
                     version,
                 });
+            };
+            match self.engine.eval_order() {
+                Some(order) => order.iter().for_each(|&i| push(i as usize)),
+                None => (0..self.instance().n()).for_each(push),
             }
             state.heap = BinaryHeap::from(entries);
             state.primed = true;

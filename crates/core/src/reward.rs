@@ -294,11 +294,19 @@ pub enum EngineKind {
     Ball,
     /// Precomputed CSR neighbor lists (forced, ignoring the memory cap).
     Sparse,
+    /// The sparse CSR engine with `frac`/`weight` stored as `f32`
+    /// (accumulation stays `f64`). Roughly halves the CSR footprint and
+    /// doubles kernel memory bandwidth at the cost of the bit-identical
+    /// guarantee: gains carry a documented relative error bound (see
+    /// DESIGN.md "Kernel layout & precision"). Opt-in only — never
+    /// selected by [`EngineKind::Auto`].
+    SparseF32,
 }
 
 impl EngineKind {
     /// All parseable names, for CLI help strings.
-    pub const NAMES: &'static [&'static str] = &["auto", "scan", "kd", "ball", "sparse"];
+    pub const NAMES: &'static [&'static str] =
+        &["auto", "scan", "kd", "ball", "sparse", "sparse-f32"];
 
     /// Parses a CLI name.
     pub fn parse(s: &str) -> Result<Self, String> {
@@ -308,6 +316,7 @@ impl EngineKind {
             "kd" => Ok(EngineKind::Kd),
             "ball" => Ok(EngineKind::Ball),
             "sparse" => Ok(EngineKind::Sparse),
+            "sparse-f32" => Ok(EngineKind::SparseF32),
             other => Err(format!(
                 "unknown engine '{other}' (expected {})",
                 Self::NAMES.join("|")
@@ -323,6 +332,7 @@ impl EngineKind {
             EngineKind::Kd => "kd",
             EngineKind::Ball => "ball",
             EngineKind::Sparse => "sparse",
+            EngineKind::SparseF32 => "sparse-f32",
         }
     }
 }
@@ -353,8 +363,12 @@ pub struct SparseStats {
     pub build_nanos: u64,
     /// Bytes held by the CSR buffers.
     pub bytes: usize,
-    /// Total neighbor entries (sum of row degrees).
+    /// Total neighbor entries (sum of row degrees, after dropping
+    /// zero-`frac` entries; excludes lane padding).
     pub entries: usize,
+    /// Stored entries including the per-row padding up to the lane
+    /// width [`SPARSE_LANES`].
+    pub padded_entries: usize,
     /// Mean row degree.
     pub avg_degree: f64,
     /// Largest row degree.
@@ -364,12 +378,127 @@ pub struct SparseStats {
     pub used_grid: bool,
 }
 
-/// Precomputed fixed-radius adjacency in CSR form: row `i` holds the
-/// ascending-index neighbors `j` with `d(x_i, x_j) ≤ r`, alongside the
-/// kernel fraction `frac(d_ij, r)` and the weight `w_j`, in flat
-/// structure-of-arrays buffers. `frac` and `weight` are kept separate
-/// (not premultiplied) because a gain term is `w_j · min(frac, y_j)` —
-/// the min must see the raw fraction for bit-identical scan semantics.
+/// Lane width of the blocked sparse kernel: every CSR row is padded to
+/// a multiple of this many entries so the gain loop runs in branchless
+/// fixed-width chunks the compiler can vectorize.
+pub const SPARSE_LANES: usize = 8;
+
+/// Storage scalar of the sparse CSR `frac`/`weight` streams: `f64` for
+/// the bit-identical reference engine, `f32` for the mixed-precision
+/// variant. Accumulation is always `f64` — a lane term widens its
+/// operands exactly before the multiply, so the only rounding the `f32`
+/// engine introduces is the one narrowing at build time.
+trait LaneScalar: Copy + std::fmt::Debug + Send + Sync + 'static {
+    /// Bytes per stored value.
+    const BYTES: usize;
+    /// Build-time narrowing from the exact `f64` kernel math.
+    fn narrow(x: f64) -> Self;
+    /// Exact widening back to `f64` (lossless for both scalars).
+    fn widen(self) -> f64;
+    /// Takes this scalar's `(frac, weight)` buffers from the scratch.
+    fn take_bufs(scratch: &mut CsrScratch) -> (Vec<Self>, Vec<Self>);
+    /// Returns buffers taken with [`Self::take_bufs`].
+    fn put_bufs(scratch: &mut CsrScratch, frac: Vec<Self>, weight: Vec<Self>);
+}
+
+impl LaneScalar for f64 {
+    const BYTES: usize = 8;
+    #[inline(always)]
+    fn narrow(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self
+    }
+    fn take_bufs(scratch: &mut CsrScratch) -> (Vec<Self>, Vec<Self>) {
+        (
+            std::mem::take(&mut scratch.frac),
+            std::mem::take(&mut scratch.weight),
+        )
+    }
+    fn put_bufs(scratch: &mut CsrScratch, frac: Vec<Self>, weight: Vec<Self>) {
+        scratch.frac = frac;
+        scratch.weight = weight;
+    }
+}
+
+impl LaneScalar for f32 {
+    const BYTES: usize = 4;
+    #[inline(always)]
+    fn narrow(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+    fn take_bufs(scratch: &mut CsrScratch) -> (Vec<Self>, Vec<Self>) {
+        (
+            std::mem::take(&mut scratch.frac32),
+            std::mem::take(&mut scratch.weight32),
+        )
+    }
+    fn put_bufs(scratch: &mut CsrScratch, frac: Vec<Self>, weight: Vec<Self>) {
+        scratch.frac32 = frac;
+        scratch.weight32 = weight;
+    }
+}
+
+/// The coordinate bit pattern of a point — the lexicographic sort key
+/// behind the copied-point candidate lookup ([`RewardEngine::gain`]).
+/// Bitwise equality (not `==`) is the right relation: bit-equal points
+/// produce bit-identical CSR rows, while `-0.0`/`0.0` or NaN lookups
+/// simply miss and fall back to the dense reference scan.
+#[inline]
+fn point_bits<const D: usize>(p: &Point<D>) -> [u64; D] {
+    std::array::from_fn(|d| p[d].to_bits())
+}
+
+/// Fills `order` with all point indices sorted by grid cell (cell side
+/// = the interest radius) and index within a cell — the storage order
+/// of the blocked CSR. Spatially adjacent candidates share most of
+/// their neighbor sets, so evaluating them consecutively touches
+/// overlapping residual cache lines.
+fn spatial_order<const D: usize>(points: &[Point<D>], radius: f64, order: &mut Vec<u32>) {
+    order.clear();
+    order.extend(0..points.len() as u32);
+    let cell = radius.max(1e-9);
+    let mut lo = [f64::INFINITY; D];
+    for p in points {
+        for d in 0..D {
+            lo[d] = lo[d].min(p[d]);
+        }
+    }
+    // The key ends with the index, so the order is total (no unstable
+    // tie arbitration) and ascending-index within each cell.
+    order.sort_unstable_by_key(|&i| {
+        let p = &points[i as usize];
+        let cells: [u64; D] = std::array::from_fn(|d| ((p[d] - lo[d]) / cell) as u64);
+        (cells, i)
+    });
+}
+
+/// Precomputed fixed-radius adjacency in blocked CSR form: row `i`
+/// holds the ascending-index neighbors `j` with `d(x_i, x_j) ≤ r` and
+/// `frac(d_ij, r) > 0`, alongside the kernel fraction and the weight
+/// `w_j`, in flat structure-of-arrays buffers. `frac` and `weight` are
+/// kept separate (not premultiplied) because a gain term is
+/// `w_j · min(frac, y_j)` — the min must see the raw fraction for
+/// bit-identical scan semantics.
+///
+/// Two layout passes distinguish this from a plain CSR:
+///
+/// * **Lane padding** — every row is padded to a multiple of
+///   [`SPARSE_LANES`] entries by repeating its last real neighbor with
+///   `frac = weight = 0` (an exact `+0.0` gain term), so the kernel
+///   walks fixed-width chunks with no tail loop and no per-entry
+///   branches. `degrees` records the real (unpadded) length.
+/// * **Row blocking** — rows are stored in grid-cell order
+///   ([`spatial_order`]), not index order: `order[slot]` is the
+///   candidate stored at `slot`, `slot_of[i]` its inverse. Scanning
+///   candidates in `order` reads the CSR streams strictly sequentially
+///   and revisits hot residual cache lines.
 ///
 /// The candidate set and the target set are the same points and the
 /// relation `d ≤ r` is symmetric, so this structure is simultaneously
@@ -377,11 +506,22 @@ pub struct SparseStats {
 /// reverse index (row `i` = which candidates cover point `i`) the
 /// dirty-region test needs.
 #[derive(Debug)]
-struct SparseCsr {
+struct SparseCsr<S> {
+    /// Padded row boundaries, indexed by storage *slot* (not candidate
+    /// index); every boundary is a multiple of [`SPARSE_LANES`] apart.
     offsets: Vec<u32>,
+    /// Real (unpadded) entry count of each slot's row.
+    degrees: Vec<u32>,
+    /// Storage slot of candidate `i`.
+    slot_of: Vec<u32>,
+    /// Candidate stored at each slot — the cache-friendly eval order.
+    order: Vec<u32>,
+    /// Candidate indices sorted by coordinate bit pattern, for the
+    /// copied-point lookup behind [`RewardEngine::gain`].
+    by_coords: Vec<u32>,
     neighbors: Vec<u32>,
-    frac: Vec<f64>,
-    weight: Vec<f64>,
+    frac: Vec<S>,
+    weight: Vec<S>,
     stats: SparseStats,
 }
 
@@ -442,10 +582,12 @@ impl<const D: usize> Enumerator<D> {
     }
 }
 
-/// Reusable buffers for the sparse CSR adjacency: the four flat CSR
-/// arrays plus the per-row sort buffer the serial build uses. A
-/// [`RewardEngine::sparse_with_scratch`] build *takes* these vectors
-/// (an O(1) move), refills them in place, and
+/// Reusable buffers for the sparse CSR adjacency: the flat CSR arrays
+/// (including the lane-padded layout vectors and the `f32` streams of
+/// the mixed-precision engine) plus the per-row sort buffer the serial
+/// build uses. A [`RewardEngine::sparse_with_scratch`] or
+/// [`RewardEngine::sparse_f32_with_scratch`] build *takes* the vectors
+/// it needs (an O(1) move), refills them in place, and
 /// [`RewardEngine::reclaim`] puts them back after the solve — so a
 /// warm batch pipeline rebuilds the CSR for each new instance without
 /// fresh heap allocations once capacities have grown to the workload's
@@ -453,9 +595,15 @@ impl<const D: usize> Enumerator<D> {
 #[derive(Debug, Default)]
 pub struct CsrScratch {
     offsets: Vec<u32>,
+    degrees: Vec<u32>,
+    slot_of: Vec<u32>,
+    order: Vec<u32>,
+    by_coords: Vec<u32>,
     neighbors: Vec<u32>,
     frac: Vec<f64>,
     weight: Vec<f64>,
+    frac32: Vec<f32>,
+    weight32: Vec<f32>,
     row: Vec<(u32, f64)>,
 }
 
@@ -467,15 +615,27 @@ impl CsrScratch {
 
     /// Total bytes currently retained across all buffers (diagnostics).
     pub fn retained_bytes(&self) -> usize {
-        self.offsets.capacity() * 4
-            + self.neighbors.capacity() * 4
+        (self.offsets.capacity()
+            + self.degrees.capacity()
+            + self.slot_of.capacity()
+            + self.order.capacity()
+            + self.by_coords.capacity()
+            + self.neighbors.capacity())
+            * 4
             + (self.frac.capacity() + self.weight.capacity()) * 8
+            + (self.frac32.capacity() + self.weight32.capacity()) * 4
             + self.row.capacity() * 16
     }
 }
 
-impl SparseCsr {
-    const BYTES_PER_ENTRY: usize = 4 + 8 + 8; // neighbor + frac + weight
+/// Padded storage length of a row with `deg` real entries.
+#[inline]
+fn padded_len(deg: usize) -> usize {
+    deg.div_ceil(SPARSE_LANES) * SPARSE_LANES
+}
+
+impl<S: LaneScalar> SparseCsr<S> {
+    const BYTES_PER_ENTRY: usize = 4 + 2 * S::BYTES; // neighbor + frac + weight
 
     /// Builds the CSR over `inst`'s points via `enumerator`, with fresh
     /// buffers and the serial fill path.
@@ -483,12 +643,13 @@ impl SparseCsr {
         Self::build_with(inst, enumerator, &mut CsrScratch::default(), false)
     }
 
-    /// Builds the CSR into the buffers taken from `scratch` (leaving it
-    /// empty; see [`RewardEngine::reclaim`]). When `parallel` is set the
-    /// rows are enumerated by contiguous chunks across the rayon pool
-    /// and stitched together with a prefix-sum pass; each row's content
-    /// (enumeration, sort, kernel math) is untouched, so the resulting
-    /// arrays are byte-identical to the serial build.
+    /// Builds the CSR into the buffers taken from `scratch` (leaving
+    /// this scalar's buffers empty; see [`RewardEngine::reclaim`]).
+    /// When `parallel` is set the rows are enumerated by contiguous
+    /// slot chunks across the rayon pool and stitched together with a
+    /// prefix-sum pass; each row's content (enumeration, sort, kernel
+    /// math, padding) is untouched, so the resulting arrays are
+    /// byte-identical to the serial build.
     fn build_with<const D: usize>(
         inst: &Instance<D>,
         enumerator: &Enumerator<D>,
@@ -498,20 +659,36 @@ impl SparseCsr {
         let started = std::time::Instant::now();
         let n = inst.n();
         let mut offsets = std::mem::take(&mut scratch.offsets);
+        let mut degrees = std::mem::take(&mut scratch.degrees);
+        let mut slot_of = std::mem::take(&mut scratch.slot_of);
+        let mut order = std::mem::take(&mut scratch.order);
+        let mut by_coords = std::mem::take(&mut scratch.by_coords);
         let mut neighbors = std::mem::take(&mut scratch.neighbors);
-        let mut frac = std::mem::take(&mut scratch.frac);
-        let mut weight = std::mem::take(&mut scratch.weight);
+        let (mut frac, mut weight) = S::take_bufs(scratch);
         offsets.clear();
+        degrees.clear();
         neighbors.clear();
         frac.clear();
         weight.clear();
         offsets.reserve(n + 1);
+        degrees.reserve(n);
+        spatial_order(inst.points(), inst.radius(), &mut order);
+        slot_of.clear();
+        slot_of.resize(n, 0);
+        for (slot, &i) in order.iter().enumerate() {
+            slot_of[i as usize] = slot as u32;
+        }
+        by_coords.clear();
+        by_coords.extend(0..n as u32);
+        by_coords.sort_unstable_by_key(|&j| point_bits(inst.point(j as usize)));
         offsets.push(0u32);
         let max_degree = if parallel && rayon::current_num_threads() > 1 && n > 1 {
             Self::fill_parallel(
                 inst,
                 enumerator,
+                &order,
                 &mut offsets,
+                &mut degrees,
                 &mut neighbors,
                 &mut frac,
                 &mut weight,
@@ -521,7 +698,9 @@ impl SparseCsr {
             let max = Self::fill_serial(
                 inst,
                 enumerator,
+                &order,
                 &mut offsets,
+                &mut degrees,
                 &mut neighbors,
                 &mut frac,
                 &mut weight,
@@ -530,18 +709,26 @@ impl SparseCsr {
             scratch.row = row;
             max
         };
-        let entries = neighbors.len();
-        let bytes = offsets.len() * 4 + entries * Self::BYTES_PER_ENTRY;
+        let entries = degrees.iter().map(|&d| d as usize).sum::<usize>();
+        let padded_entries = neighbors.len();
+        let bytes = (offsets.len() + degrees.len() + slot_of.len() + order.len() + by_coords.len())
+            * 4
+            + padded_entries * Self::BYTES_PER_ENTRY;
         let stats = SparseStats {
             build_nanos: started.elapsed().as_nanos() as u64,
             bytes,
             entries,
+            padded_entries,
             avg_degree: entries as f64 / n as f64,
             max_degree,
             used_grid: enumerator.used_grid(),
         };
         SparseCsr {
             offsets,
+            degrees,
+            slot_of,
+            order,
+            by_coords,
             neighbors,
             frac,
             weight,
@@ -549,37 +736,76 @@ impl SparseCsr {
         }
     }
 
-    /// The reference row fill: enumerate, sort ascending, append.
+    /// Appends one enumerated-and-sorted row: keeps the entries with
+    /// positive kernel fraction (a zero-`frac` entry — a point exactly
+    /// on the rim — contributes an exact `+0.0` to every gain, so
+    /// dropping it is bit-transparent), then pads to a lane multiple by
+    /// repeating the last real neighbor with `frac = weight = 0`.
+    /// Returns the real degree.
+    fn append_row<const D: usize>(
+        inst: &Instance<D>,
+        kernel: &PreparedKernel,
+        row: &[(u32, f64)],
+        neighbors: &mut Vec<u32>,
+        frac: &mut Vec<S>,
+        weight: &mut Vec<S>,
+    ) -> usize {
+        let r = inst.radius();
+        let before = neighbors.len();
+        for &(j, d) in row {
+            let f = kernel.frac(d, r);
+            if f > 0.0 {
+                neighbors.push(j);
+                frac.push(S::narrow(f));
+                weight.push(S::narrow(inst.weight(j as usize)));
+            }
+        }
+        let deg = neighbors.len() - before;
+        let target = before + padded_len(deg);
+        if deg > 0 {
+            // Padding duplicates a real in-range neighbor index so the
+            // kernel's unchecked residual gather stays in bounds and the
+            // dirty-region test sees no phantom points.
+            let pad = *neighbors.last().expect("deg > 0");
+            while neighbors.len() < target {
+                neighbors.push(pad);
+                frac.push(S::narrow(0.0));
+                weight.push(S::narrow(0.0));
+            }
+        }
+        deg
+    }
+
+    /// The reference row fill, in storage-slot order: enumerate, sort
+    /// ascending, drop zero-`frac` entries, append, pad.
     #[allow(clippy::too_many_arguments)]
     fn fill_serial<const D: usize>(
         inst: &Instance<D>,
         enumerator: &Enumerator<D>,
+        order: &[u32],
         offsets: &mut Vec<u32>,
+        degrees: &mut Vec<u32>,
         neighbors: &mut Vec<u32>,
-        frac: &mut Vec<f64>,
-        weight: &mut Vec<f64>,
+        frac: &mut Vec<S>,
+        weight: &mut Vec<S>,
         row: &mut Vec<(u32, f64)>,
     ) -> usize {
-        let n = inst.n();
         let r = inst.radius();
         let norm = inst.norm();
         let kernel = inst.kernel().prepared();
         let mut max_degree = 0usize;
-        for i in 0..n {
+        for &i in order {
             row.clear();
-            enumerator.for_each_within(inst.point(i), r, norm, |j, d| {
+            enumerator.for_each_within(inst.point(i as usize), r, norm, |j, d| {
                 row.push((j as u32, d));
             });
             // Enumerators emit in index-unrelated order (cell or leaf
             // order); ascending neighbor index is what makes the sparse
             // accumulation bit-identical to the dense scan.
             row.sort_unstable_by_key(|&(j, _)| j);
-            max_degree = max_degree.max(row.len());
-            for &(j, d) in row.iter() {
-                neighbors.push(j);
-                frac.push(kernel.frac(d, r));
-                weight.push(inst.weight(j as usize));
-            }
+            let deg = Self::append_row(inst, &kernel, row, neighbors, frac, weight);
+            max_degree = max_degree.max(deg);
+            degrees.push(deg as u32);
             assert!(
                 neighbors.len() <= u32::MAX as usize,
                 "sparse engine: neighbor entries overflow u32 offsets"
@@ -590,60 +816,64 @@ impl SparseCsr {
     }
 
     /// Parallel row fill: each worker enumerates a contiguous chunk of
-    /// rows into local buffers (same per-row enumeration, sort and
-    /// kernel math as [`Self::fill_serial`]), then a serial prefix-sum
-    /// pass concatenates the chunks in row order — the flat arrays come
+    /// storage slots into local buffers (same per-row enumeration,
+    /// sort, zero-drop, kernel math and padding as
+    /// [`Self::fill_serial`]), then a serial prefix-sum pass
+    /// concatenates the chunks in slot order — the flat arrays come
     /// out byte-identical to the serial build.
+    #[allow(clippy::too_many_arguments)]
     fn fill_parallel<const D: usize>(
         inst: &Instance<D>,
         enumerator: &Enumerator<D>,
+        order: &[u32],
         offsets: &mut Vec<u32>,
+        degrees: &mut Vec<u32>,
         neighbors: &mut Vec<u32>,
-        frac: &mut Vec<f64>,
-        weight: &mut Vec<f64>,
+        frac: &mut Vec<S>,
+        weight: &mut Vec<S>,
     ) -> usize {
         use rayon::prelude::*;
-        let n = inst.n();
+        let n = order.len();
         let r = inst.radius();
         let norm = inst.norm();
         let kernel = inst.kernel().prepared();
         let threads = rayon::current_num_threads().max(1);
         let chunk = n.div_ceil(threads);
-        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
-            .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
-            .filter(|rg| !rg.is_empty())
-            .collect();
-        struct ChunkOut {
+        let ranges: Vec<&[u32]> = order.chunks(chunk).collect();
+        struct ChunkOut<S> {
             degrees: Vec<u32>,
             neighbors: Vec<u32>,
-            frac: Vec<f64>,
-            weight: Vec<f64>,
+            frac: Vec<S>,
+            weight: Vec<S>,
             max_degree: usize,
         }
-        let parts: Vec<ChunkOut> = ranges
+        let parts: Vec<ChunkOut<S>> = ranges
             .into_par_iter()
-            .map(|rg| {
+            .map(|slots| {
                 let mut out = ChunkOut {
-                    degrees: Vec::with_capacity(rg.len()),
+                    degrees: Vec::with_capacity(slots.len()),
                     neighbors: Vec::new(),
                     frac: Vec::new(),
                     weight: Vec::new(),
                     max_degree: 0,
                 };
                 let mut row: Vec<(u32, f64)> = Vec::new();
-                for i in rg {
+                for &i in slots {
                     row.clear();
-                    enumerator.for_each_within(inst.point(i), r, norm, |j, d| {
+                    enumerator.for_each_within(inst.point(i as usize), r, norm, |j, d| {
                         row.push((j as u32, d));
                     });
                     row.sort_unstable_by_key(|&(j, _)| j);
-                    out.max_degree = out.max_degree.max(row.len());
-                    out.degrees.push(row.len() as u32);
-                    for &(j, d) in row.iter() {
-                        out.neighbors.push(j);
-                        out.frac.push(kernel.frac(d, r));
-                        out.weight.push(inst.weight(j as usize));
-                    }
+                    let deg = Self::append_row(
+                        inst,
+                        &kernel,
+                        &row,
+                        &mut out.neighbors,
+                        &mut out.frac,
+                        &mut out.weight,
+                    );
+                    out.max_degree = out.max_degree.max(deg);
+                    out.degrees.push(deg as u32);
                 }
                 out
             })
@@ -659,10 +889,11 @@ impl SparseCsr {
         let mut max_degree = 0usize;
         let mut running = 0u32;
         for part in parts {
-            for deg in part.degrees {
-                running += deg;
+            for &deg in &part.degrees {
+                running += padded_len(deg as usize) as u32;
                 offsets.push(running);
             }
+            degrees.extend_from_slice(&part.degrees);
             neighbors.extend_from_slice(&part.neighbors);
             frac.extend_from_slice(&part.frac);
             weight.extend_from_slice(&part.weight);
@@ -674,20 +905,97 @@ impl SparseCsr {
     /// Moves the flat buffers back into `scratch` for the next build.
     fn recycle(self, scratch: &mut CsrScratch) {
         scratch.offsets = self.offsets;
+        scratch.degrees = self.degrees;
+        scratch.slot_of = self.slot_of;
+        scratch.order = self.order;
+        scratch.by_coords = self.by_coords;
         scratch.neighbors = self.neighbors;
-        scratch.frac = self.frac;
-        scratch.weight = self.weight;
+        S::put_bufs(scratch, self.frac, self.weight);
     }
 
-    /// The half-open entry range of row `i`.
+    /// The half-open *padded* entry range of candidate `i`'s row — what
+    /// the blocked kernel walks.
     #[inline]
-    fn row(&self, i: usize) -> std::ops::Range<usize> {
-        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    fn padded_row(&self, i: usize) -> std::ops::Range<usize> {
+        let slot = self.slot_of[i] as usize;
+        self.offsets[slot] as usize..self.offsets[slot + 1] as usize
+    }
+
+    /// The half-open *real* entry range of candidate `i`'s row (padding
+    /// excluded) — what the scalar reference walk and the dirty-region
+    /// test iterate.
+    #[inline]
+    fn real_row(&self, i: usize) -> std::ops::Range<usize> {
+        let slot = self.slot_of[i] as usize;
+        let start = self.offsets[slot] as usize;
+        start..start + self.degrees[slot] as usize
+    }
+
+    /// Coverage reward of candidate `i` via the blocked lane kernel:
+    /// fixed-width chunks of branchless
+    /// `widen(w) · min(widen(frac), y[neighbor])` terms, each chunk's
+    /// terms computed independently (the compiler vectorizes this) and
+    /// then added to the accumulator *in entry order* — the same `f64`
+    /// association as the scalar reference walk.
+    ///
+    /// Bit-identity with the reference for `S = f64` rests on three
+    /// invariants: residuals are never negative (`y − min(frac, y) ≥ 0`
+    /// exactly in IEEE arithmetic), so a `y = 0` entry contributes
+    /// `w · 0.0 = +0.0`; padding and zero-weight terms are exact
+    /// `+0.0`; and the accumulator starts at `+0.0` and only ever adds
+    /// non-negative terms, so `x + 0.0` is always the identity on its
+    /// bits.
+    #[inline]
+    fn gain_blocked(&self, i: usize, y: &[f64]) -> f64 {
+        let range = self.padded_row(i);
+        let nb = &self.neighbors[range.clone()];
+        let fr = &self.frac[range.clone()];
+        let wt = &self.weight[range];
+        let mut total = 0.0f64;
+        for ((nb8, fr8), wt8) in nb
+            .chunks_exact(SPARSE_LANES)
+            .zip(fr.chunks_exact(SPARSE_LANES))
+            .zip(wt.chunks_exact(SPARSE_LANES))
+        {
+            let mut terms = [0.0f64; SPARSE_LANES];
+            for l in 0..SPARSE_LANES {
+                // SAFETY: every stored neighbor index is < n = y.len():
+                // real entries come from the radius enumerator over the
+                // instance's own points, and padding repeats a real
+                // entry of the same row.
+                let yv = unsafe { *y.get_unchecked(nb8[l] as usize) };
+                terms[l] = wt8[l].widen() * fr8[l].widen().min(yv);
+            }
+            for t in terms {
+                total += t;
+            }
+        }
+        total
+    }
+
+    /// The pre-blocking scalar reference: walk the real row with
+    /// per-entry `y`/`frac` guards. Kept as the bit-identity witness
+    /// for the blocked kernel (tests, `perfsuite --kernels`).
+    #[inline]
+    fn gain_unblocked(&self, i: usize, y: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for idx in self.real_row(i) {
+            let yv = y[self.neighbors[idx] as usize];
+            if yv <= 0.0 {
+                continue;
+            }
+            let f = self.frac[idx].widen();
+            if f > 0.0 {
+                total += self.weight[idx].widen() * f.min(yv);
+            }
+        }
+        total
     }
 
     /// Estimates the full CSR footprint by probing every `stride`-th
     /// row's degree — cheap relative to the build, accurate on the
-    /// near-uniform inputs the grid targets.
+    /// near-uniform inputs the grid targets. Includes the layout
+    /// vectors and an average half-lane of padding per row.
     fn estimate_bytes<const D: usize>(inst: &Instance<D>, enumerator: &Enumerator<D>) -> usize {
         let n = inst.n();
         let stride = (n / 256).max(1);
@@ -701,8 +1009,9 @@ impl SparseCsr {
             sampled += 1;
             i += stride;
         }
-        let est_entries = entries as f64 / sampled as f64 * n as f64;
-        (n + 1) * 4 + (est_entries * Self::BYTES_PER_ENTRY as f64) as usize
+        let est_entries =
+            entries as f64 / sampled as f64 * n as f64 + (n * SPARSE_LANES / 2) as f64;
+        (n + 1) * 4 + n * 4 * 4 + (est_entries * Self::BYTES_PER_ENTRY as f64) as usize
     }
 }
 
@@ -728,7 +1037,8 @@ enum Backend<const D: usize> {
     Scan,
     Kd(KdTree<D>),
     Ball(BallTree<D>),
-    Sparse(SparseCsr),
+    Sparse(SparseCsr<f64>),
+    SparseF32(SparseCsr<f32>),
 }
 
 impl<'a, const D: usize> RewardEngine<'a, D> {
@@ -786,23 +1096,77 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
         )
     }
 
+    /// The mixed-precision sparse engine: same CSR build and blocked
+    /// kernel as [`Self::sparse`], but `frac`/`weight` are narrowed to
+    /// `f32` at build time (accumulation stays `f64`). Gains carry a
+    /// documented relative error bound instead of the bit-identical
+    /// guarantee — see DESIGN.md "Kernel layout & precision".
+    pub fn sparse_f32(inst: &'a Instance<D>) -> Self {
+        let enumerator = Enumerator::build(inst.points(), inst.radius());
+        Self::with_backend(
+            inst,
+            Backend::SparseF32(SparseCsr::build(inst, &enumerator)),
+        )
+    }
+
+    /// [`Self::sparse_f32`] over scratch-borrowed buffers, mirroring
+    /// [`Self::sparse_with_scratch`].
+    pub fn sparse_f32_with_scratch(
+        inst: &'a Instance<D>,
+        scratch: &mut CsrScratch,
+        parallel: bool,
+    ) -> Self {
+        let enumerator = Enumerator::build(inst.points(), inst.radius());
+        Self::with_backend(
+            inst,
+            Backend::SparseF32(SparseCsr::build_with(inst, &enumerator, scratch, parallel)),
+        )
+    }
+
     /// Returns the CSR buffers of a sparse engine to `scratch` so the
-    /// next [`Self::sparse_with_scratch`] build reuses their capacity.
+    /// next [`Self::sparse_with_scratch`] (or
+    /// [`Self::sparse_f32_with_scratch`]) build reuses their capacity.
     /// A no-op for the other backends.
     pub fn reclaim(self, scratch: &mut CsrScratch) {
-        if let Backend::Sparse(csr) = self.backend {
-            csr.recycle(scratch);
+        match self.backend {
+            Backend::Sparse(csr) => csr.recycle(scratch),
+            Backend::SparseF32(csr) => csr.recycle(scratch),
+            _ => {}
         }
     }
 
-    /// Raw CSR arrays `(offsets, neighbors, frac, weight)` of the
-    /// sparse backend — exposed so tests and benches can assert the
-    /// parallel build is byte-identical to the serial one.
+    /// Raw CSR arrays `(offsets, degrees, neighbors, frac, weight)` of
+    /// the `f64` sparse backend (offsets are padded and indexed by
+    /// storage slot; see [`Self::eval_order`] for the slot → candidate
+    /// map) — exposed so tests and benches can assert the parallel
+    /// build is byte-identical to the serial one.
     #[doc(hidden)]
     #[allow(clippy::type_complexity)]
-    pub fn csr_parts(&self) -> Option<(&[u32], &[u32], &[f64], &[f64])> {
+    pub fn csr_parts(&self) -> Option<(&[u32], &[u32], &[u32], &[f64], &[f64])> {
         match &self.backend {
-            Backend::Sparse(csr) => Some((&csr.offsets, &csr.neighbors, &csr.frac, &csr.weight)),
+            Backend::Sparse(csr) => Some((
+                &csr.offsets,
+                &csr.degrees,
+                &csr.neighbors,
+                &csr.frac,
+                &csr.weight,
+            )),
+            _ => None,
+        }
+    }
+
+    /// The cache-friendly candidate evaluation order of a sparse
+    /// backend: `order[slot]` is the candidate whose CSR row is stored
+    /// at `slot`, so scanning candidates in this order reads the CSR
+    /// streams strictly sequentially and keeps spatially-adjacent
+    /// residual lines hot. `None` for non-sparse backends. The order is
+    /// a permutation of `0..n`; an argmax over it with the explicit
+    /// max-gain/min-index tie-break selects exactly the candidate the
+    /// index-order first-max scan does.
+    pub fn eval_order(&self) -> Option<&[u32]> {
+        match &self.backend {
+            Backend::Sparse(csr) => Some(&csr.order),
+            Backend::SparseF32(csr) => Some(&csr.order),
             _ => None,
         }
     }
@@ -816,15 +1180,17 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
     /// [`Self::auto`] with an explicit cap in bytes.
     pub fn auto_with_cap(inst: &'a Instance<D>, cap_bytes: usize) -> Self {
         let enumerator = Enumerator::build(inst.points(), inst.radius());
-        let est = SparseCsr::estimate_bytes(inst, &enumerator);
-        if est > cap_bytes || est / SparseCsr::BYTES_PER_ENTRY >= u32::MAX as usize {
+        let est = SparseCsr::<f64>::estimate_bytes(inst, &enumerator);
+        if est > cap_bytes || est / SparseCsr::<f64>::BYTES_PER_ENTRY >= u32::MAX as usize {
             let tree = enumerator.into_kdtree(inst.points());
             return Self::with_backend(inst, Backend::Kd(tree));
         }
         Self::with_backend(inst, Backend::Sparse(SparseCsr::build(inst, &enumerator)))
     }
 
-    /// Engine for an [`EngineKind`] selection.
+    /// Engine for an [`EngineKind`] selection. [`EngineKind::Auto`]
+    /// only ever chooses between the bit-identical backends; the
+    /// approximate [`EngineKind::SparseF32`] must be named explicitly.
     pub fn with_kind(inst: &'a Instance<D>, kind: EngineKind) -> Self {
         match kind {
             EngineKind::Auto => Self::auto(inst),
@@ -832,6 +1198,7 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
             EngineKind::Kd => Self::indexed(inst),
             EngineKind::Ball => Self::ball_indexed(inst),
             EngineKind::Sparse => Self::sparse(inst),
+            EngineKind::SparseF32 => Self::sparse_f32(inst),
         }
     }
 
@@ -842,13 +1209,15 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
             Backend::Kd(_) => EngineKind::Kd,
             Backend::Ball(_) => EngineKind::Ball,
             Backend::Sparse(_) => EngineKind::Sparse,
+            Backend::SparseF32(_) => EngineKind::SparseF32,
         }
     }
 
-    /// CSR build statistics when the sparse backend is active.
+    /// CSR build statistics when a sparse backend is active.
     pub fn sparse_stats(&self) -> Option<SparseStats> {
         match &self.backend {
             Backend::Sparse(csr) => Some(csr.stats),
+            Backend::SparseF32(csr) => Some(csr.stats),
             _ => None,
         }
     }
@@ -871,12 +1240,52 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Resolves an arbitrary query point back to its candidate index
+    /// when it *is* one of the instance's points. Two tiers: a pointer
+    /// range check (catches `inst.point(i)` references for free), then
+    /// a binary search over the coordinate-bits-sorted candidate
+    /// permutation (catches *copied* points, e.g. the local-search
+    /// polish loop's `*inst.point(cand)`). Bit-equal duplicates are
+    /// interchangeable — identical coordinates produce identical CSR
+    /// rows, hence identical gains.
+    fn candidate_index(&self, c: &Point<D>, by_coords: &[u32]) -> Option<usize> {
+        let points = self.inst.points();
+        let size = std::mem::size_of::<Point<D>>();
+        if size > 0 {
+            let base = points.as_ptr() as usize;
+            let addr = c as *const Point<D> as usize;
+            if addr >= base
+                && addr < base + std::mem::size_of_val(points)
+                && (addr - base).is_multiple_of(size)
+            {
+                return Some((addr - base) / size);
+            }
+        }
+        let key = point_bits(c);
+        by_coords
+            .binary_search_by(|&j| point_bits(&points[j as usize]).cmp(&key))
+            .ok()
+            .map(|pos| by_coords[pos] as usize)
+    }
+
     /// Coverage reward of `c` against `residuals` (Eq. 13's inner
-    /// objective), via the configured evaluation strategy. Arbitrary
-    /// points have no CSR row, so the sparse backend answers these with
-    /// the dense reference scan; index candidates should go through
-    /// [`Self::candidate_gain`].
+    /// objective), via the configured evaluation strategy. On the
+    /// sparse backends a query point that is (bit-equal to) one of the
+    /// instance's points routes through [`Self::candidate_gain`]'s
+    /// O(degree) row walk — non-greedy callers like the local-search
+    /// polish get the sparse path too. Genuinely arbitrary points have
+    /// no CSR row and fall back to the dense reference scan.
     pub fn gain(&self, c: &Point<D>, residuals: &Residuals) -> f64 {
+        let by_coords = match &self.backend {
+            Backend::Sparse(csr) => Some(&csr.by_coords),
+            Backend::SparseF32(csr) => Some(&csr.by_coords),
+            _ => None,
+        };
+        if let Some(by) = by_coords {
+            if let Some(i) = self.candidate_index(c, by) {
+                return self.candidate_gain(i, residuals);
+            }
+        }
         self.note_eval();
         let r = self.inst.radius();
         let kernel = &self.kernel;
@@ -888,7 +1297,7 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
             }
         };
         match &self.backend {
-            Backend::Scan | Backend::Sparse(_) => {
+            Backend::Scan | Backend::Sparse(_) | Backend::SparseF32(_) => {
                 return coverage_reward_with(self.inst, c, residuals, kernel);
             }
             Backend::Kd(tree) => tree.for_each_within(c, r, self.inst.norm(), &mut add),
@@ -898,43 +1307,64 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
     }
 
     /// Coverage reward of candidate point `i` — the hot path of every
-    /// point-candidate greedy. On the sparse backend this is an
-    /// O(degree) walk of the precomputed row with the same guard and
-    /// accumulation order as the dense scan (hence bit-identical); other
-    /// backends delegate to [`Self::gain`]. Charges one evaluation.
+    /// point-candidate greedy. On the sparse backends this is the
+    /// blocked O(degree) lane kernel over the precomputed row, with the
+    /// same `f64` accumulation order as the dense scan (hence
+    /// bit-identical on the `f64` backend); other backends delegate to
+    /// [`Self::gain`]. Charges one evaluation.
     pub fn candidate_gain(&self, i: usize, residuals: &Residuals) -> f64 {
-        let Backend::Sparse(csr) = &self.backend else {
-            return self.gain(self.inst.point(i), residuals);
-        };
-        self.note_eval();
-        let mut total = 0.0;
-        for idx in csr.row(i) {
-            let y = residuals.y(csr.neighbors[idx] as usize);
-            if y <= 0.0 {
-                continue;
+        match &self.backend {
+            Backend::Sparse(csr) => {
+                self.note_eval();
+                csr.gain_blocked(i, residuals.as_slice())
             }
-            let frac = csr.frac[idx];
-            if frac > 0.0 {
-                total += csr.weight[idx] * frac.min(y);
+            Backend::SparseF32(csr) => {
+                self.note_eval();
+                csr.gain_blocked(i, residuals.as_slice())
             }
+            _ => self.gain(self.inst.point(i), residuals),
         }
-        total
+    }
+
+    /// The scalar (unblocked) reference walk of candidate `i`'s CSR
+    /// row: per-entry branches, padding excluded. `None` on non-sparse
+    /// backends. Exposed as the bit-identity witness for
+    /// [`Self::candidate_gain`]'s blocked kernel (the `kernel_layout`
+    /// test and `perfsuite --kernels` compare the two); charges one
+    /// evaluation so throughput comparisons stay symmetric.
+    #[doc(hidden)]
+    pub fn candidate_gain_unblocked(&self, i: usize, residuals: &Residuals) -> Option<f64> {
+        match &self.backend {
+            Backend::Sparse(csr) => {
+                self.note_eval();
+                Some(csr.gain_unblocked(i, residuals.as_slice()))
+            }
+            Backend::SparseF32(csr) => {
+                self.note_eval();
+                Some(csr.gain_unblocked(i, residuals.as_slice()))
+            }
+            _ => None,
+        }
     }
 
     /// Dirty-region test for the CELF lazy oracle: has candidate `i`'s
     /// gain provably not changed since residual version `version`? Only
-    /// the sparse backend can answer (`None` otherwise). `Some(true)`
+    /// the sparse backends can answer (`None` otherwise). `Some(true)`
     /// means every point the candidate can touch last shrank at or
     /// before `version`, so a gain computed then is still exact — the
     /// oracle may reuse it without charging an evaluation. Free: an
-    /// O(degree) integer compare against the CSR row, no kernel math.
+    /// O(degree) integer compare against the real (unpadded) CSR row,
+    /// no kernel math.
     pub fn unchanged_since(&self, i: usize, residuals: &Residuals, version: u64) -> Option<bool> {
-        let Backend::Sparse(csr) = &self.backend else {
-            return None;
+        let (neighbors, range) = match &self.backend {
+            Backend::Sparse(csr) => (&csr.neighbors, csr.real_row(i)),
+            Backend::SparseF32(csr) => (&csr.neighbors, csr.real_row(i)),
+            _ => return None,
         };
         Some(
-            csr.row(i)
-                .all(|idx| residuals.touched(csr.neighbors[idx] as usize) <= version),
+            neighbors[range]
+                .iter()
+                .all(|&j| residuals.touched(j as usize) <= version),
         )
     }
 }
@@ -1182,9 +1612,10 @@ mod tests {
             let serial = RewardEngine::sparse(&inst);
             let mut scratch = CsrScratch::new();
             let parallel = RewardEngine::sparse_with_scratch(&inst, &mut scratch, true);
-            let (so, sn, sf, sw) = serial.csr_parts().unwrap();
-            let (po, pn, pf, pw) = parallel.csr_parts().unwrap();
+            let (so, sd, sn, sf, sw) = serial.csr_parts().unwrap();
+            let (po, pd, pn, pf, pw) = parallel.csr_parts().unwrap();
             assert_eq!(so, po, "seed {seed}: offsets diverged");
+            assert_eq!(sd, pd, "seed {seed}: degrees diverged");
             assert_eq!(sn, pn, "seed {seed}: neighbor indices diverged");
             let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(sf), bits(pf), "seed {seed}: frac bits diverged");
@@ -1204,16 +1635,17 @@ mod tests {
         let mut scratch = CsrScratch::new();
         let engine = RewardEngine::sparse_with_scratch(&inst, &mut scratch, false);
         let entries = engine.sparse_stats().unwrap().entries;
-        // The four CSR vectors were moved into the engine; only the
+        // The CSR vectors were moved into the engine; only the
         // per-row sort buffer stays behind.
         assert!(scratch.retained_bytes() <= scratch.row.capacity() * 16);
         engine.reclaim(&mut scratch);
-        assert!(scratch.retained_bytes() >= entries * SparseCsr::BYTES_PER_ENTRY);
+        assert!(scratch.retained_bytes() >= entries * SparseCsr::<f64>::BYTES_PER_ENTRY);
         // A rebuild through the warm scratch matches a fresh build.
         let warm = RewardEngine::sparse_with_scratch(&inst, &mut scratch, false);
         let cold = RewardEngine::sparse(&inst);
         assert_eq!(warm.csr_parts().unwrap().0, cold.csr_parts().unwrap().0);
         assert_eq!(warm.csr_parts().unwrap().1, cold.csr_parts().unwrap().1);
+        assert_eq!(warm.csr_parts().unwrap().2, cold.csr_parts().unwrap().2);
         warm.reclaim(&mut scratch);
     }
 

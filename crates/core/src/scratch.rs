@@ -33,8 +33,9 @@ use crate::reward::{CsrScratch, Residuals};
 pub struct SolveScratch {
     /// Residual satisfaction state (`y_i`, touched versions).
     pub(crate) residuals: Residuals,
-    /// CSR build scratch (row buffers + the four CSR arrays between
-    /// solves).
+    /// CSR build scratch (row buffers + the flat blocked-CSR arrays —
+    /// lane-padded entry streams, layout vectors, and the `f32`
+    /// streams of the mixed-precision engine — between solves).
     pub(crate) csr: CsrScratch,
     /// CELF heap storage for the lazy oracle strategy.
     pub(crate) lazy: LazyScratch,

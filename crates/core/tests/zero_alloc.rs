@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mmph_core::{solve_rounds, BatchRunner, Instance, OracleStrategy, SolveScratch};
+use mmph_core::{solve_rounds, BatchRunner, EngineKind, Instance, OracleStrategy, SolveScratch};
 use mmph_geom::{Norm, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,10 +59,19 @@ fn instance(seed: u64, n: usize, k: usize) -> Instance<2> {
 #[test]
 fn steady_state_solve_allocates_nothing() {
     // Par is excluded: the vendored thread-pool shim materializes
-    // per-call vectors. Seq and Lazy are the serving-path strategies.
-    for strategy in [OracleStrategy::Seq, OracleStrategy::Lazy] {
+    // per-call vectors. Seq and Lazy are the serving-path strategies;
+    // the mixed-precision engine rides the same scratch arena (its f32
+    // streams recycle through `CsrScratch` like the f64 ones), so its
+    // blocked-layout steady state must be equally silent.
+    for (strategy, engine) in [
+        (OracleStrategy::Seq, EngineKind::Sparse),
+        (OracleStrategy::Lazy, EngineKind::Sparse),
+        (OracleStrategy::Lazy, EngineKind::SparseF32),
+    ] {
         let inst = instance(7, 400, 8);
-        let runner = BatchRunner::new().with_strategy(strategy);
+        let runner = BatchRunner::new()
+            .with_strategy(strategy)
+            .with_engine(engine);
         let mut scratch = SolveScratch::new();
         let oracle = runner.build_oracle(&inst, &mut scratch);
 

@@ -74,7 +74,7 @@ pub struct Request {
     /// Solver override: `greedy2` (eager) or `lazy` (CELF).
     #[serde(default)]
     pub solver: Option<String>,
-    /// Engine override: `auto|scan|kd|ball|sparse`.
+    /// Engine override: `auto|scan|kd|ball|sparse|sparse-f32`.
     #[serde(default)]
     pub engine: Option<String>,
     /// Per-request wall-clock deadline in milliseconds.
