@@ -1,0 +1,357 @@
+//! `churnbench` — the persisted incremental re-solve baseline behind
+//! `BENCH_PR9.json`.
+//!
+//! ```text
+//! churnbench [--quick] [--out PATH] [--seed S] [--steps N] [--fraction F]
+//! ```
+//!
+//! For each instance size the suite covers (n = 10⁴ and 10⁵; plus the
+//! ROADMAP's n = 10⁶ in full mode), builds the degree-pinned uniform
+//! instance once, then drives `--steps` rounds of seeded churn
+//! ([`ChurnPlan`], default 1% of n per round) through an
+//! [`IncrementalInstance`]. Each round is measured twice:
+//!
+//! - **warm** — `apply_churn` (in-place CSR delta patching) followed
+//!   by `resolve` (previous centers + swap polish), i.e. the whole
+//!   re-solve-after-churn hot path;
+//! - **cold** — the PR5 baseline on the identical mutated point set:
+//!   full CSR rebuild plus a dirty-CELF solve (lazy strategy, sparse
+//!   engine, dirty-region pruning — the 6.3 s row of
+//!   `BENCH_PR5.json` at n = 10⁶).
+//!
+//! In-binary gates (any failure exits non-zero so CI can run this
+//! directly in the `churn-smoke` job):
+//!
+//! - every round's warm resolve actually took the warm path;
+//! - warm objective ≥ cold objective every round — strict (to 1e-9)
+//!   at the n = 10⁶ arm the ISSUE gate names, within 0.5% at the
+//!   quick arms (a 1-swap local optimum can trail a from-scratch
+//!   greedy by a hair when k is large relative to n);
+//! - at n ≤ 10⁵ the patched CSR is verified equivalent to a cold
+//!   rebuild after every round (`verify_against_rebuild`); at 10⁶
+//!   that check is priced like a rebuild, so the proptests own it;
+//! - the largest arm's median warm-vs-cold speedup clears its floor:
+//!   ≥ 10× at n = 10⁶ (the ISSUE gate), ≥ 2× for the quick arms.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mmph_bench::perfrows::{build_instance, run_one, DEFAULT_SEED};
+use mmph_core::{EngineKind, IncrementalInstance, OracleStrategy, ResolveConfig, SolveScratch};
+use mmph_sim::ChurnPlan;
+use serde::Serialize;
+
+#[derive(Debug, Clone)]
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+    steps: usize,
+    fraction: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("BENCH_PR9.json"),
+        seed: DEFAULT_SEED,
+        steps: 3,
+        fraction: 0.01,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                args.steps = v.parse().map_err(|_| format!("bad --steps value: {v}"))?;
+            }
+            "--fraction" => {
+                let v = it.next().ok_or("--fraction needs a value")?;
+                args.fraction = v
+                    .parse()
+                    .map_err(|_| format!("bad --fraction value: {v}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: churnbench [--quick] [--out PATH] [--seed S] [--steps N] \
+                     [--fraction F]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.steps == 0 || args.fraction <= 0.0 || args.fraction.is_nan() {
+        return Err("--steps must be >= 1 and --fraction > 0".into());
+    }
+    Ok(args)
+}
+
+/// One churn round's warm-vs-cold measurement.
+#[derive(Debug, Clone, Serialize)]
+struct StepRow {
+    step: usize,
+    /// Deltas applied this round.
+    deltas: usize,
+    /// `apply_churn` + warm `resolve`, the full hot path.
+    warm_ms: f64,
+    /// The `apply_churn` share of `warm_ms` (in-place CSR patching).
+    patch_ms: f64,
+    /// The warm `resolve` share of `warm_ms` (seed + polish).
+    resolve_ms: f64,
+    /// Cold rebuild + dirty-CELF on the identical mutated instance.
+    cold_ms: f64,
+    speedup: f64,
+    warm_reward: f64,
+    cold_reward: f64,
+    /// Must be true: 1% churn stays under the warm threshold.
+    warm: bool,
+    /// Swaps the polish accepted.
+    swaps: usize,
+    evals_warm: u64,
+    evals_cold: u64,
+    /// True when `verify_against_rebuild` ran (n ≤ 1e5) and passed.
+    equivalence_checked: bool,
+}
+
+/// One instance size's arm.
+#[derive(Debug, Clone, Serialize)]
+struct Arm {
+    n: usize,
+    k: usize,
+    fraction: f64,
+    /// Initial CSR build inside `IncrementalInstance::new`.
+    init_ms: f64,
+    /// The seeding cold solve (first `resolve`, warm = false).
+    seed_solve_ms: f64,
+    seed_reward: f64,
+    steps: Vec<StepRow>,
+    median_speedup: f64,
+    min_speedup: f64,
+    /// Speedup floor this arm must clear (on the median).
+    speedup_floor: f64,
+    /// Set when this arm carries the ISSUE's n = 10⁶ ≥ 10× gate.
+    gates_speedup: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    suite: String,
+    quick: bool,
+    seed: u64,
+    steps_per_arm: usize,
+    fraction: f64,
+    arms: Vec<Arm>,
+    checks_ok: bool,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[sorted.len() / 2]
+}
+
+/// Runs one instance size end to end; pushes any gate violations into
+/// `failures`.
+fn run_arm(
+    n: usize,
+    k: usize,
+    args: &Args,
+    gates_speedup: bool,
+    speedup_floor: f64,
+    strict_objective: bool,
+    failures: &mut Vec<String>,
+) -> Arm {
+    eprintln!(
+        "churnbench: n={n} k={k} ({} steps of {:.2}% churn)",
+        args.steps,
+        args.fraction * 1e2
+    );
+    let inst = build_instance(n, k, args.seed);
+    let t0 = Instant::now();
+    let mut inc = IncrementalInstance::new(inst, EngineKind::Sparse).expect("sparse engine builds");
+    let init_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut scratch = SolveScratch::new();
+    let cfg = ResolveConfig::default();
+    let t0 = Instant::now();
+    let seed_out = inc.resolve(&mut scratch, &cfg);
+    let seed_solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if seed_out.warm {
+        failures.push(format!("n={n}: seeding resolve claimed to be warm"));
+    }
+
+    let plan = ChurnPlan::new(args.seed ^ 0xC4A9, args.steps, args.fraction);
+    let check_equivalence = n <= 100_000;
+    let mut steps = Vec::new();
+    for step in 0..args.steps {
+        let deltas = plan
+            .deltas(step as u64, inc.instance())
+            .expect("plan draws deltas");
+        let count = deltas.len();
+
+        let t0 = Instant::now();
+        inc.apply_churn(&deltas).expect("deltas apply");
+        let patch_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let warm_out = inc.resolve(&mut scratch, &cfg);
+        let resolve_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        if !warm_out.warm {
+            failures.push(format!(
+                "n={n} step {step}: resolve fell back cold ({})",
+                warm_out.cold_reason.unwrap_or("?")
+            ));
+        }
+        let equivalence_checked = if check_equivalence {
+            if let Err(e) = inc.verify_against_rebuild() {
+                failures.push(format!("n={n} step {step}: patched CSR diverged: {e}"));
+            }
+            true
+        } else {
+            false
+        };
+
+        // The cold baseline rebuilds everything from the mutated
+        // point set — run_one times oracle construction (CSR build
+        // included) plus the k greedy rounds.
+        let cold = run_one(
+            inc.instance(),
+            "lazy",
+            OracleStrategy::Lazy,
+            "sparse+dirty",
+            EngineKind::Sparse,
+            true,
+        );
+
+        let tolerance = if strict_objective {
+            1e-9
+        } else {
+            cold.reward * 5e-3
+        };
+        if warm_out.reward < cold.reward - tolerance {
+            failures.push(format!(
+                "n={n} step {step}: warm objective {} < cold {} (tolerance {tolerance:.3e})",
+                warm_out.reward, cold.reward
+            ));
+        }
+        let speedup = cold.wall_ms / warm_ms.max(1e-9);
+        eprintln!(
+            "churnbench:   step {step}: {count} deltas, warm {warm_ms:.1} ms \
+             (patch {patch_ms:.1} + resolve {resolve_ms:.1}) vs cold {:.1} ms \
+             ({speedup:.1}×), reward {:.6} vs {:.6}{}",
+            cold.wall_ms,
+            warm_out.reward,
+            cold.reward,
+            if warm_out.warm {
+                ""
+            } else {
+                " [COLD FALLBACK]"
+            }
+        );
+        steps.push(StepRow {
+            step,
+            deltas: count,
+            warm_ms,
+            patch_ms,
+            resolve_ms,
+            cold_ms: cold.wall_ms,
+            speedup,
+            warm_reward: warm_out.reward,
+            cold_reward: cold.reward,
+            warm: warm_out.warm,
+            swaps: warm_out.swaps,
+            evals_warm: warm_out.evals,
+            evals_cold: cold.evals,
+            equivalence_checked,
+        });
+    }
+
+    let mut speedups: Vec<f64> = steps.iter().map(|s| s.speedup).collect();
+    speedups.sort_by(|a, b| a.total_cmp(b));
+    let med = median(&speedups);
+    let min = speedups.first().copied().unwrap_or(0.0);
+    if gates_speedup && med < speedup_floor {
+        failures.push(format!(
+            "n={n}: median warm speedup {med:.2}× below the {speedup_floor}× floor"
+        ));
+    }
+    Arm {
+        n,
+        k,
+        fraction: args.fraction,
+        init_ms,
+        seed_solve_ms,
+        seed_reward: seed_out.reward,
+        steps,
+        median_speedup: med,
+        min_speedup: min,
+        speedup_floor,
+        gates_speedup,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("churnbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = Vec::new();
+    let mut arms = Vec::new();
+    // k matches the persisted baselines: 16 at the PR4 scale, 4 at
+    // the PR5 "millions of users" row the 6.3 s gate references.
+    arms.push(run_arm(10_000, 16, &args, false, 2.0, false, &mut failures));
+    // The quick arms still gate a speedup floor so churn-smoke means
+    // something; only n = 1e6 carries the ISSUE's 10× and strict
+    // warm ≥ cold objective gates.
+    arms.push(run_arm(100_000, 16, &args, true, 2.0, false, &mut failures));
+    if !args.quick {
+        arms.push(run_arm(
+            1_000_000,
+            4,
+            &args,
+            true,
+            10.0,
+            true,
+            &mut failures,
+        ));
+    }
+
+    let checks_ok = failures.is_empty();
+    let report = Report {
+        suite: "churnbench".to_owned(),
+        quick: args.quick,
+        seed: args.seed,
+        steps_per_arm: args.steps,
+        fraction: args.fraction,
+        arms,
+        checks_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("churnbench: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("churnbench: wrote {}", args.out.display());
+
+    if !checks_ok {
+        for f in &failures {
+            eprintln!("churnbench: FAIL {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

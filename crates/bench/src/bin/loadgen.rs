@@ -33,6 +33,14 @@
 //! with exponential backoff until the request lands. Shed/retry
 //! counts and server-reported queue-delay percentiles (`queue_ms`)
 //! are recorded per arm.
+//!
+//! A fourth arm (**tcp-churn**) exercises the incremental protocol: a
+//! single ordered connection (the tracked instance is per-service
+//! state) initializes with `mutate {scenario}` then alternates seeded
+//! `mutate {deltas}` batches with `resolve` requests, recording the
+//! daemon's warm re-solve latency percentiles (`resolve_p*_us`) next
+//! to the overall ones. Healthy means every mutate landed and every
+//! post-seed resolve came back warm.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -42,8 +50,9 @@ use std::process::{Command, ExitCode, Stdio};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use mmph_core::{EngineKind, IncrementalInstance};
 use mmph_serve::{serve_tcp, Request, Response, Service, ServiceConfig, ShutdownFlag};
-use mmph_sim::{Scenario, WeightScheme};
+use mmph_sim::{ChurnPlan, Scenario, WeightScheme};
 use serde::Serialize;
 
 #[derive(Debug, Clone)]
@@ -155,15 +164,53 @@ fn build_mix(count: usize, id_base: u64) -> Vec<Request> {
         .collect()
 }
 
+/// The churn conversation: one init `mutate {scenario}`, a seed
+/// `resolve`, then `steps` rounds of `mutate {deltas}` + `resolve`.
+/// The delta batches come from a seeded [`ChurnPlan`] applied against
+/// a local mirror of the instance, so every index the wire carries is
+/// valid against the daemon's evolving tracked state.
+fn build_churn_mix(steps: usize, id_base: u64) -> Vec<Request> {
+    let sc = Scenario::paper_2d(
+        600,
+        6,
+        1.0,
+        mmph_geom::Norm::L2,
+        WeightScheme::PAPER_WEIGHTED,
+        21,
+    );
+    let inst = sc.generate_2d().expect("churn scenario generates");
+    let mut inc = IncrementalInstance::new(inst, EngineKind::Sparse).expect("sparse engine");
+    let plan = ChurnPlan::new(0x010A_D9E4, steps.max(1), 0.02);
+    let mut reqs = vec![
+        Request::mutate(id_base, Some(sc), None),
+        Request::resolve(id_base + 1),
+    ];
+    for step in 0..steps as u64 {
+        let deltas = plan
+            .deltas(step, inc.instance())
+            .expect("plan draws deltas");
+        inc.apply_churn(&deltas).expect("mirror applies deltas");
+        let id = id_base + 2 + 2 * step;
+        reqs.push(Request::mutate(id, None, Some(deltas)));
+        reqs.push(Request::resolve(id + 1));
+    }
+    reqs
+}
+
 /// What one driven connection observed.
 #[derive(Debug, Default)]
 struct Outcome {
     latencies_us: Vec<u64>,
     queue_us: Vec<u64>,
+    /// Client-side latencies of `resolve` answers alone — the daemon's
+    /// churn re-solve cost, separated from mutate/solve traffic.
+    resolve_us: Vec<u64>,
     solved: usize,
     degraded: usize,
     errors: usize,
     pongs: usize,
+    mutations: usize,
+    warm_resolves: usize,
     uncorrelated: usize,
     shed: usize,
     retries: usize,
@@ -174,10 +221,13 @@ impl Outcome {
     fn absorb(&mut self, other: Outcome) {
         self.latencies_us.extend(other.latencies_us);
         self.queue_us.extend(other.queue_us);
+        self.resolve_us.extend(other.resolve_us);
         self.solved += other.solved;
         self.degraded += other.degraded;
         self.errors += other.errors;
         self.pongs += other.pongs;
+        self.mutations += other.mutations;
+        self.warm_resolves += other.warm_resolves;
         self.uncorrelated += other.uncorrelated;
         self.shed += other.shed;
         self.retries += other.retries;
@@ -276,14 +326,28 @@ fn drive<W: Write, R: BufRead>(
             }
             continue;
         }
-        match resp.in_reply_to.and_then(|id| sent.remove(&id)) {
-            Some((at, _)) => outcome.latencies_us.push(at.elapsed().as_micros() as u64),
-            None => outcome.uncorrelated += 1,
-        }
+        let latency_us = match resp.in_reply_to.and_then(|id| sent.remove(&id)) {
+            Some((at, _)) => {
+                let us = at.elapsed().as_micros() as u64;
+                outcome.latencies_us.push(us);
+                Some(us)
+            }
+            None => {
+                outcome.uncorrelated += 1;
+                None
+            }
+        };
         match resp.op.as_str() {
             "pong" => outcome.pongs += 1,
             "error" => outcome.errors += 1,
-            "solve_ok" => {
+            "mutate_ok" => outcome.mutations += 1,
+            "solve_ok" | "resolve_ok" => {
+                if resp.op == "resolve_ok" {
+                    outcome.resolve_us.extend(latency_us);
+                    if resp.warm == Some(true) {
+                        outcome.warm_resolves += 1;
+                    }
+                }
                 if resp.status.as_deref() == Some("degraded") {
                     outcome.degraded += 1;
                 } else {
@@ -316,6 +380,9 @@ struct ArmReport {
     skipped: bool,
     /// True for the admission-stress arm, which must shed to be healthy.
     overload: bool,
+    /// True for the incremental-protocol arm, which must mutate and
+    /// re-solve warm to be healthy (and never degrades by design).
+    churn: bool,
     requests: usize,
     clients: usize,
     window: usize,
@@ -328,10 +395,14 @@ struct ArmReport {
     queue_p50_us: u64,
     queue_p90_us: u64,
     queue_p99_us: u64,
+    resolve_p50_us: u64,
+    resolve_p99_us: u64,
     solved: usize,
     degraded: usize,
     errors: usize,
     pongs: usize,
+    mutations: usize,
+    warm_resolves: usize,
     uncorrelated: usize,
     shed: usize,
     retries: usize,
@@ -345,6 +416,7 @@ impl ArmReport {
             transport: transport.to_owned(),
             skipped: true,
             overload: false,
+            churn: false,
             requests: 0,
             clients: 0,
             window: 0,
@@ -357,10 +429,14 @@ impl ArmReport {
             queue_p50_us: 0,
             queue_p90_us: 0,
             queue_p99_us: 0,
+            resolve_p50_us: 0,
+            resolve_p99_us: 0,
             solved: 0,
             degraded: 0,
             errors: 0,
             pongs: 0,
+            mutations: 0,
+            warm_resolves: 0,
             uncorrelated: 0,
             shed: 0,
             retries: 0,
@@ -373,6 +449,7 @@ impl ArmReport {
     fn from_outcome(
         transport: &str,
         overload: bool,
+        churn: bool,
         outcome: Outcome,
         requests: usize,
         clients: usize,
@@ -384,10 +461,13 @@ impl ArmReport {
         lat.sort_unstable();
         let mut queue = outcome.queue_us.clone();
         queue.sort_unstable();
+        let mut resolve = outcome.resolve_us.clone();
+        resolve.sort_unstable();
         ArmReport {
             transport: transport.to_owned(),
             skipped: false,
             overload,
+            churn,
             requests,
             clients,
             window,
@@ -400,10 +480,14 @@ impl ArmReport {
             queue_p50_us: percentile(&queue, 0.50),
             queue_p90_us: percentile(&queue, 0.90),
             queue_p99_us: percentile(&queue, 0.99),
+            resolve_p50_us: percentile(&resolve, 0.50),
+            resolve_p99_us: percentile(&resolve, 0.99),
             solved: outcome.solved,
             degraded: outcome.degraded,
             errors: outcome.errors,
             pongs: outcome.pongs,
+            mutations: outcome.mutations,
+            warm_resolves: outcome.warm_resolves,
             uncorrelated: outcome.uncorrelated,
             shed: outcome.shed,
             retries: outcome.retries,
@@ -416,18 +500,25 @@ impl ArmReport {
     /// error-free, with the budgeted slice of the mix degrading and a
     /// clean shutdown. The overload arm must additionally have shed
     /// and retried (the whole point of its tiny caps), and every retry
-    /// must eventually land.
+    /// must eventually land. The churn arm never degrades (no budgets,
+    /// no deadlines) but every mutate must land and every post-seed
+    /// resolve must come back warm.
     fn healthy(&self) -> bool {
         let base = !self.skipped
             && self.uncorrelated == 0
             && self.errors == 0
-            && self.degraded >= 1
             && self.solved >= 1
             && self.graceful_exit;
-        if self.overload {
-            base && self.shed >= 1 && self.retries >= 1 && self.gave_up == 0
-        } else {
+        if self.churn {
             base && self.shed == 0
+                && self.degraded == 0
+                && self.mutations >= 2
+                && self.warm_resolves >= 1
+                && self.warm_resolves == self.solved - 1
+        } else if self.overload {
+            base && self.degraded >= 1 && self.shed >= 1 && self.retries >= 1 && self.gave_up == 0
+        } else {
+            base && self.degraded >= 1 && self.shed == 0
         }
     }
 }
@@ -476,6 +567,7 @@ fn stdio_arm(args: &Args) -> Result<ArmReport, String> {
     Ok(ArmReport::from_outcome(
         "stdio",
         false,
+        false,
         outcome,
         args.requests,
         1,
@@ -495,7 +587,9 @@ fn tcp_arm_with(
     args: &Args,
     label: &str,
     overload: bool,
+    churn: bool,
     cfg: ServiceConfig,
+    mix: fn(usize, u64) -> Vec<Request>,
 ) -> Result<ArmReport, String> {
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -504,22 +598,29 @@ fn tcp_arm_with(
         serve_tcp(&mut service, listener, &ShutdownFlag::new())
     });
 
-    let per_client = args.requests / args.clients;
-    let start = Instant::now();
-    let mut handles = Vec::new();
-    for c in 0..args.clients {
-        let window = args.window;
-        let count = if c == args.clients - 1 {
-            args.requests - per_client * (args.clients - 1)
+    // The churn conversation is stateful (one tracked instance per
+    // service), so that arm keeps a single ordered connection.
+    let clients = if churn { 1 } else { args.clients };
+    let per_client = args.requests / clients;
+    let mut mixes: Vec<Vec<Request>> = Vec::new();
+    for c in 0..clients {
+        let count = if c == clients - 1 {
+            args.requests - per_client * (clients - 1)
         } else {
             per_client
         };
-        let id_base = (c as u64) << 32;
+        mixes.push(mix(count, (c as u64) << 32));
+    }
+    let total: usize = mixes.iter().map(Vec::len).sum();
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for reqs in mixes {
+        let window = args.window;
         handles.push(thread::spawn(move || -> Result<Outcome, String> {
             let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
             let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
             let mut reader = BufReader::new(stream);
-            let reqs = build_mix(count, id_base);
             drive(&mut writer, &mut reader, &reqs, window, MAX_RETRIES)
         }));
     }
@@ -559,9 +660,10 @@ fn tcp_arm_with(
     Ok(ArmReport::from_outcome(
         label,
         overload,
+        churn,
         outcome,
-        args.requests,
-        args.clients,
+        total,
+        clients,
         args.window,
         wall_ms,
         graceful,
@@ -570,7 +672,14 @@ fn tcp_arm_with(
 
 /// The default-config TCP arm.
 fn tcp_arm(args: &Args) -> Result<ArmReport, String> {
-    tcp_arm_with(args, "tcp", false, ServiceConfig::default())
+    tcp_arm_with(
+        args,
+        "tcp",
+        false,
+        false,
+        ServiceConfig::default(),
+        build_mix,
+    )
 }
 
 /// The admission-stress arm: caps far below the offered load, so the
@@ -582,7 +691,25 @@ fn tcp_overload_arm(args: &Args) -> Result<ArmReport, String> {
         retry_after_ms: 2,
         ..ServiceConfig::default()
     };
-    tcp_arm_with(args, "tcp-overload", true, cfg)
+    tcp_arm_with(args, "tcp-overload", true, false, cfg, build_mix)
+}
+
+/// The incremental-protocol arm: mutate/resolve churn over one ordered
+/// connection. `count` requests become an init pair plus
+/// `(count - 2) / 2` churn rounds.
+fn tcp_churn_arm(args: &Args) -> Result<ArmReport, String> {
+    fn churn_mix(count: usize, id_base: u64) -> Vec<Request> {
+        let steps = (count / 2).saturating_sub(1).max(2);
+        build_churn_mix(steps, id_base)
+    }
+    tcp_arm_with(
+        args,
+        "tcp-churn",
+        false,
+        true,
+        ServiceConfig::default(),
+        churn_mix,
+    )
 }
 
 fn main() -> ExitCode {
@@ -623,6 +750,13 @@ fn main() -> ExitCode {
             arms.push(ArmReport::skipped("tcp-overload"));
         }
     }
+    match tcp_churn_arm(&args) {
+        Ok(arm) => arms.push(arm),
+        Err(e) => {
+            failures.push(format!("tcp-churn arm: {e}"));
+            arms.push(ArmReport::skipped("tcp-churn"));
+        }
+    }
 
     for arm in &arms {
         if arm.skipped {
@@ -631,7 +765,8 @@ fn main() -> ExitCode {
         println!(
             "{:>12}: {} reqs ({} clients × window {}) in {:.1} ms = {:.1} req/s; \
              p50 {} µs, p90 {} µs, p99 {} µs, max {} µs; queue p50 {} µs, p99 {} µs; \
-             {} solved, {} degraded, {} errors, {} pongs, {} shed, {} retries{}",
+             {} solved, {} degraded, {} errors, {} pongs, {} mutated ({} warm), \
+             {} shed, {} retries{}",
             arm.transport,
             arm.requests,
             arm.clients,
@@ -648,6 +783,8 @@ fn main() -> ExitCode {
             arm.degraded,
             arm.errors,
             arm.pongs,
+            arm.mutations,
+            arm.warm_resolves,
             arm.shed,
             arm.retries,
             if arm.graceful_exit {

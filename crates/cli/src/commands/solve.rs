@@ -8,7 +8,11 @@ use mmph_core::solvers::{
     AdaptiveSolver, BeamSearch, ComplexGreedy, Exhaustive, KCenter, KMeans, LazyGreedy,
     LocalGreedy, LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
 };
-use mmph_core::{EngineKind, Instance, OracleStrategy, Solution, Solver};
+use mmph_core::{
+    EngineKind, IncrementalInstance, Instance, OracleStrategy, ResolveConfig, Solution,
+    SolveScratch, Solver,
+};
+use mmph_sim::churn::ChurnPlan;
 use mmph_sim::scenario::Scenario;
 use mmph_sim::trace::{load_traces, InstanceTrace};
 
@@ -39,7 +43,12 @@ OPTIONS:
   --dim D        2 or 3 when using --input (default 2)
   --deadline-ms MS  wall-clock budget per solve; past it the solver
                  returns its best-so-far centers marked `degraded`
-  --max-evals N  objective-evaluation budget per solve (same semantics)";
+  --max-evals N  objective-evaluation budget per solve (same semantics)
+  --churn SxF    after the initial solve, run S churn steps each mutating
+                 a fraction F of the points (e.g. 20x0.01), re-solving
+                 incrementally and printing warm-vs-cold timings;
+                 requires a sparse engine (auto/sparse/sparse-f32)
+  --churn-seed N seed for the churn plan (default: --seed)";
 
 /// The solver registry: names accepted by `--solver`.
 pub const SOLVER_NAMES: [&str; 14] = [
@@ -248,6 +257,98 @@ fn write_svg(path: &str, inst: &Instance<2>, sol: &Solution<2>) -> Result<()> {
     Ok(())
 }
 
+/// Parses a `--churn STEPSxFRAC` spec, e.g. `20x0.01`.
+fn parse_churn_spec(spec: &str) -> Result<(usize, f64)> {
+    let usage = || {
+        CliError::Usage(format!(
+            "--churn expects STEPSxFRAC (e.g. 20x0.01), got `{spec}`"
+        ))
+    };
+    let (s, f) = spec.split_once('x').ok_or_else(usage)?;
+    let steps: usize = s.parse().map_err(|_| usage())?;
+    let fraction: f64 = f.parse().map_err(|_| usage())?;
+    if steps == 0 || !fraction.is_finite() || fraction <= 0.0 {
+        return Err(usage());
+    }
+    Ok((steps, fraction))
+}
+
+/// The `--churn` loop: incremental warm re-solves against a cold
+/// from-scratch reference each step.
+fn run_churn(
+    out: &mut dyn Write,
+    inst: Instance<2>,
+    engine: EngineKind,
+    spec: &str,
+    churn_seed: u64,
+) -> Result<()> {
+    let (steps, fraction) = parse_churn_spec(spec)?;
+    let kind = match engine {
+        EngineKind::Auto | EngineKind::Sparse => EngineKind::Sparse,
+        EngineKind::SparseF32 => EngineKind::SparseF32,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--churn needs a sparse engine (auto, sparse or sparse-f32), got {other:?}"
+            )))
+        }
+    };
+    let plan = ChurnPlan::new(churn_seed, steps, fraction);
+    writeln!(
+        out,
+        "instance: n = {}, k = {}, r = {}; churn: {} steps x {:.4} of n, seed {}",
+        inst.n(),
+        inst.k(),
+        inst.radius(),
+        steps,
+        fraction,
+        churn_seed
+    )?;
+    let mut inc = IncrementalInstance::new(inst, kind)?;
+    let mut scratch = SolveScratch::new();
+    let t0 = std::time::Instant::now();
+    let initial = inc.resolve(&mut scratch, &ResolveConfig::default());
+    writeln!(
+        out,
+        "initial cold solve: reward {:.4} in {:.1} ms",
+        initial.reward,
+        t0.elapsed().as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        out,
+        "{:>4} {:>7} {:>10} {:>10} {:>8} {:>12} {:>12} {:<6}",
+        "step", "deltas", "warm ms", "cold ms", "speedup", "warm reward", "cold reward", "mode"
+    )?;
+    for step in 0..steps as u64 {
+        let deltas = plan.deltas(step, inc.instance())?;
+        let t = std::time::Instant::now();
+        inc.apply_churn(&deltas)?;
+        let warm = inc.resolve(&mut scratch, &ResolveConfig::default());
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Cold reference: CELF from scratch, CSR rebuild included —
+        // exactly what a non-incremental caller would pay per step.
+        let t = std::time::Instant::now();
+        let cold = LazyGreedy::new().with_engine(kind).solve(inc.instance())?;
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        writeln!(
+            out,
+            "{:>4} {:>7} {:>10.2} {:>10.2} {:>7.1}x {:>12.4} {:>12.4} {:<6}",
+            step,
+            deltas.len(),
+            warm_ms,
+            cold_ms,
+            cold_ms / warm_ms.max(1e-9),
+            warm.reward,
+            cold.total_reward,
+            if warm.warm {
+                "warm"
+            } else {
+                warm.cold_reason.unwrap_or("cold")
+            }
+        )?;
+    }
+    Ok(())
+}
+
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -272,6 +373,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
             "threads",
             "deadline-ms",
             "max-evals",
+            "churn",
+            "churn-seed",
         ],
         &["all"],
     )?;
@@ -286,6 +389,11 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     let budget = parse_budget(&flags)?;
     install_thread_pool(&flags)?;
     let inst = load_or_generate_2d(&flags)?;
+    if let Some(spec) = flags.get("churn") {
+        let churn_seed: u64 = flags.get_or("churn-seed", flags.get_or("seed", 0u64)?)?;
+        let spec = spec.to_owned();
+        return run_churn(out, inst, engine, &spec, churn_seed);
+    }
     let outcomes: Vec<SolveOutcome<2>> = if flags.has("all") {
         SOLVER_NAMES
             .iter()
@@ -480,5 +588,59 @@ mod tests {
     fn missing_input_file_errors() {
         let (r, _) = run_capture(&["--input", "/nonexistent/foo.json"]);
         assert!(r.is_err());
+    }
+
+    /// Everything except wall-clock columns: step, deltas, rewards, mode.
+    fn churn_facts(out: &str) -> Vec<Vec<String>> {
+        out.lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .map(|l| {
+                let f: Vec<String> = l.split_whitespace().map(str::to_owned).collect();
+                // drop warm ms / cold ms / speedup (fields 2..5)
+                [&f[..2], &f[5..]].concat()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn churn_loop_prints_warm_and_cold_columns() {
+        let (r, out) = run_capture(&["--n", "60", "--k", "3", "--churn", "4x0.02"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("initial cold solve"), "{out}");
+        assert!(out.contains("warm ms"), "{out}");
+        let rows = churn_facts(&out);
+        assert_eq!(rows.len(), 4, "{out}");
+        // 2% churn is under the 5% threshold: the warm path engages.
+        assert!(rows.iter().any(|r| r.last().unwrap() == "warm"), "{out}");
+        // The loop is seeded: same invocation replays the same facts.
+        let (_, again) = run_capture(&["--n", "60", "--k", "3", "--churn", "4x0.02"]);
+        assert_eq!(rows, churn_facts(&again));
+    }
+
+    #[test]
+    fn heavy_churn_reports_cold_fallback() {
+        let (r, out) = run_capture(&["--n", "60", "--k", "3", "--churn", "2x0.5"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("threshold"), "{out}");
+    }
+
+    #[test]
+    fn churn_seed_changes_the_workload() {
+        let base = ["--n", "50", "--k", "3", "--churn", "3x0.2"];
+        let (_, a) = run_capture(&base);
+        let (r, b) = run_capture(&[&base[..], &["--churn-seed", "9"]].concat());
+        assert!(r.is_ok(), "{r:?}");
+        assert_ne!(churn_facts(&a), churn_facts(&b));
+    }
+
+    #[test]
+    fn bad_churn_specs_rejected() {
+        for spec in ["x", "4x", "x0.1", "0x0.1", "4x0", "4xNaN", "fourxten"] {
+            let (r, _) = run_capture(&["--n", "20", "--churn", spec]);
+            assert!(matches!(r, Err(CliError::Usage(_))), "spec {spec} passed");
+        }
+        // Non-sparse engines cannot patch in place.
+        let (r, _) = run_capture(&["--n", "20", "--churn", "2x0.1", "--engine", "kd"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 }

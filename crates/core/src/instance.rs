@@ -229,6 +229,118 @@ impl<const D: usize> Instance<D> {
         inst.kernel = kernel;
         Ok(inst)
     }
+
+    /// Appends a new point with weight `w` and returns its index (`n`
+    /// before the call). Validates like [`Self::new`]: finite
+    /// coordinates, finite positive weight.
+    pub fn insert_point(&mut self, p: Point<D>, w: f64) -> Result<usize> {
+        if !p.is_finite() {
+            return Err(CoreError::InvalidInstance(format!(
+                "inserted point has a non-finite coordinate: {p}"
+            )));
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(CoreError::InvalidInstance(format!(
+                "inserted weight must be finite and positive, got {w}"
+            )));
+        }
+        self.points.push(p);
+        self.weights.push(w);
+        Ok(self.points.len() - 1)
+    }
+
+    /// Removes point `i` by **swap-remove**: the last point (index
+    /// `n-1`) takes index `i`, so all other indices stay stable and the
+    /// removal is O(1). Callers holding selections must renumber
+    /// `n-1 → i` themselves (the incremental layer does this for you).
+    /// Errors when `i` is out of range or when it would empty the
+    /// instance — an [`Instance`] is never empty.
+    pub fn remove_point(&mut self, i: usize) -> Result<()> {
+        if i >= self.points.len() {
+            return Err(CoreError::InvalidInstance(format!(
+                "remove_point index {i} out of range (n = {})",
+                self.points.len()
+            )));
+        }
+        if self.points.len() == 1 {
+            return Err(CoreError::InvalidInstance(
+                "cannot remove the last remaining point".into(),
+            ));
+        }
+        self.points.swap_remove(i);
+        self.weights.swap_remove(i);
+        Ok(())
+    }
+
+    /// Moves point `i` to new coordinates `to` (weight unchanged).
+    pub fn move_point(&mut self, i: usize, to: Point<D>) -> Result<()> {
+        if i >= self.points.len() {
+            return Err(CoreError::InvalidInstance(format!(
+                "move_point index {i} out of range (n = {})",
+                self.points.len()
+            )));
+        }
+        if !to.is_finite() {
+            return Err(CoreError::InvalidInstance(format!(
+                "moved point has a non-finite coordinate: {to}"
+            )));
+        }
+        self.points[i] = to;
+        Ok(())
+    }
+
+    /// Applies a batch of churn deltas **sequentially** (each delta sees
+    /// the point set left by the previous one, including swap-remove
+    /// renumbering). On error the instance is left with the prefix of
+    /// deltas that validated applied. Returns the number applied.
+    pub fn apply_churn(&mut self, deltas: &[Delta<D>]) -> Result<usize> {
+        for (applied, delta) in deltas.iter().enumerate() {
+            let r = match delta {
+                Delta::Insert { point, weight } => self.insert_point(*point, *weight).map(|_| ()),
+                Delta::Remove { index } => self.remove_point(*index),
+                Delta::Move { index, to } => self.move_point(*index, *to),
+            };
+            if let Err(e) = r {
+                return Err(CoreError::InvalidInstance(format!(
+                    "churn delta {applied}: {e}"
+                )));
+            }
+        }
+        Ok(deltas.len())
+    }
+}
+
+/// One point-churn mutation, the unit of [`Instance::apply_churn`] and
+/// of the incremental CSR patching layer
+/// ([`crate::incremental::IncrementalInstance`]). Deltas in a batch are
+/// applied sequentially; `Remove` uses swap-remove semantics (the last
+/// point is renumbered to the removed index).
+///
+/// On the wire (the serve `mutate` op) a delta is externally tagged by
+/// its variant name: `{"Move":{"index":7,"to":[1.5,0.25]}}`,
+/// `{"Insert":{"point":[2.0,2.0],"weight":3.0}}`,
+/// `{"Remove":{"index":0}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Delta<const D: usize> {
+    /// Append a new point (its index becomes the current `n`).
+    Insert {
+        /// Coordinates of the new point.
+        point: Point<D>,
+        /// Its weight (finite, positive).
+        weight: f64,
+    },
+    /// Swap-remove the point at `index`.
+    Remove {
+        /// Index to remove; the last point takes this index.
+        index: usize,
+    },
+    /// Move the point at `index` to new coordinates.
+    Move {
+        /// Index to move.
+        index: usize,
+        /// New coordinates.
+        to: Point<D>,
+    },
 }
 
 /// Fluent builder for [`Instance`].

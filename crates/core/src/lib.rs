@@ -41,6 +41,7 @@ pub mod batch;
 pub mod bounds;
 pub mod budget;
 pub mod cancel;
+pub mod incremental;
 pub mod instance;
 pub mod kernel;
 pub mod oracle;
@@ -56,7 +57,10 @@ pub use batch::{
 };
 pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 pub use cancel::CancelToken;
-pub use instance::{Instance, InstanceBuilder};
+pub use incremental::{
+    IncrementalInstance, ResolveConfig, ResolveOutcome, DEFAULT_CHURN_THRESHOLD,
+};
+pub use instance::{Delta, Instance, InstanceBuilder};
 pub use kernel::{Kernel, PreparedKernel};
 pub use oracle::{GainOracle, LazyScratch, OracleStrategy, Pruning, Scored};
 pub use reward::{

@@ -340,9 +340,25 @@ impl<'a, const D: usize> GainOracle<'a, D> {
         self.engine
     }
 
+    /// Borrows the underlying engine (e.g. for its O(degree)
+    /// [`RewardEngine::apply_candidate`] commit path).
+    pub fn engine(&self) -> &RewardEngine<'a, D> {
+        &self.engine
+    }
+
     /// The configured argmax strategy.
     pub fn strategy(&self) -> OracleStrategy {
         self.strategy
+    }
+
+    /// Switches the argmax strategy in place. The CELF heap is reset
+    /// when leaving/entering [`OracleStrategy::Lazy`] territory — a
+    /// stale heap must never survive a strategy change.
+    pub fn set_strategy(&mut self, strategy: OracleStrategy) {
+        if self.strategy != strategy {
+            self.strategy = strategy;
+            self.reset_lazy();
+        }
     }
 
     /// Number of reward evaluations charged so far (candidate gains,

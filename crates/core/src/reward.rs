@@ -388,7 +388,7 @@ pub const SPARSE_LANES: usize = 8;
 /// variant. Accumulation is always `f64` — a lane term widens its
 /// operands exactly before the multiply, so the only rounding the `f32`
 /// engine introduces is the one narrowing at build time.
-trait LaneScalar: Copy + std::fmt::Debug + Send + Sync + 'static {
+pub(crate) trait LaneScalar: Copy + std::fmt::Debug + Send + Sync + 'static {
     /// Bytes per stored value.
     const BYTES: usize;
     /// Build-time narrowing from the exact `f64` kernel math.
@@ -451,7 +451,7 @@ impl LaneScalar for f32 {
 /// produce bit-identical CSR rows, while `-0.0`/`0.0` or NaN lookups
 /// simply miss and fall back to the dense reference scan.
 #[inline]
-fn point_bits<const D: usize>(p: &Point<D>) -> [u64; D] {
+pub(crate) fn point_bits<const D: usize>(p: &Point<D>) -> [u64; D] {
     std::array::from_fn(|d| p[d].to_bits())
 }
 
@@ -460,7 +460,11 @@ fn point_bits<const D: usize>(p: &Point<D>) -> [u64; D] {
 /// of the blocked CSR. Spatially adjacent candidates share most of
 /// their neighbor sets, so evaluating them consecutively touches
 /// overlapping residual cache lines.
-fn spatial_order<const D: usize>(points: &[Point<D>], radius: f64, order: &mut Vec<u32>) {
+pub(crate) fn spatial_order<const D: usize>(
+    points: &[Point<D>],
+    radius: f64,
+    order: &mut Vec<u32>,
+) {
     order.clear();
     order.extend(0..points.len() as u32);
     let cell = radius.max(1e-9);
@@ -506,29 +510,36 @@ fn spatial_order<const D: usize>(points: &[Point<D>], radius: f64, order: &mut V
 /// reverse index (row `i` = which candidates cover point `i`) the
 /// dirty-region test needs.
 #[derive(Debug)]
-struct SparseCsr<S> {
-    /// Padded row boundaries, indexed by storage *slot* (not candidate
-    /// index); every boundary is a multiple of [`SPARSE_LANES`] apart.
-    offsets: Vec<u32>,
+pub(crate) struct SparseCsr<S> {
+    /// Padded row *start* of each storage slot (not candidate index);
+    /// every start is a multiple of [`SPARSE_LANES`]. A freshly built
+    /// CSR is dense (each row ends where the next begins, and a final
+    /// sentinel closes the last row); after incremental delta patching
+    /// (`crate::incremental`) rows may be relocated to the tail, so a
+    /// row's end is always derived from `degrees`, never from the next
+    /// slot's start.
+    pub(crate) offsets: Vec<u32>,
     /// Real (unpadded) entry count of each slot's row.
-    degrees: Vec<u32>,
+    pub(crate) degrees: Vec<u32>,
     /// Storage slot of candidate `i`.
-    slot_of: Vec<u32>,
+    pub(crate) slot_of: Vec<u32>,
     /// Candidate stored at each slot — the cache-friendly eval order.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Candidate indices sorted by coordinate bit pattern, for the
-    /// copied-point lookup behind [`RewardEngine::gain`].
-    by_coords: Vec<u32>,
-    neighbors: Vec<u32>,
-    frac: Vec<S>,
-    weight: Vec<S>,
-    stats: SparseStats,
+    /// copied-point lookup behind [`RewardEngine::gain`]. Cleared (and
+    /// flagged stale) by delta patching; an empty permutation just
+    /// routes copied-point lookups to the dense reference scan.
+    pub(crate) by_coords: Vec<u32>,
+    pub(crate) neighbors: Vec<u32>,
+    pub(crate) frac: Vec<S>,
+    pub(crate) weight: Vec<S>,
+    pub(crate) stats: SparseStats,
 }
 
 /// Radius enumerator behind the CSR build: the uniform grid for the
 /// common dense-bbox case, the kd-tree when the points are spread so
 /// wide that grid cells would outnumber points.
-enum Enumerator<const D: usize> {
+pub(crate) enum Enumerator<const D: usize> {
     Grid(GridIndex<D>),
     Kd(KdTree<D>),
 }
@@ -536,7 +547,7 @@ enum Enumerator<const D: usize> {
 impl<const D: usize> Enumerator<D> {
     /// Grid unless the cell count at cell side `r` would exceed
     /// ~4n (high-spread input), in which case the kd-tree enumerates.
-    fn build(points: &[Point<D>], radius: f64) -> Self {
+    pub(crate) fn build(points: &[Point<D>], radius: f64) -> Self {
         let mut cells = 1usize;
         for d in 0..D {
             let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -556,7 +567,7 @@ impl<const D: usize> Enumerator<D> {
         }
     }
 
-    fn for_each_within(
+    pub(crate) fn for_each_within(
         &self,
         center: &Point<D>,
         radius: f64,
@@ -604,7 +615,7 @@ pub struct CsrScratch {
     weight: Vec<f64>,
     frac32: Vec<f32>,
     weight32: Vec<f32>,
-    row: Vec<(u32, f64)>,
+    pub(crate) row: Vec<(u32, f64)>,
 }
 
 impl CsrScratch {
@@ -630,16 +641,40 @@ impl CsrScratch {
 
 /// Padded storage length of a row with `deg` real entries.
 #[inline]
-fn padded_len(deg: usize) -> usize {
+pub(crate) fn padded_len(deg: usize) -> usize {
     deg.div_ceil(SPARSE_LANES) * SPARSE_LANES
 }
 
 impl<S: LaneScalar> SparseCsr<S> {
     const BYTES_PER_ENTRY: usize = 4 + 2 * S::BYTES; // neighbor + frac + weight
 
+    /// A zero-point CSR — the placeholder the incremental layer swaps
+    /// in while its real CSR is transplanted into an engine.
+    pub(crate) fn empty() -> Self {
+        SparseCsr {
+            offsets: Vec::new(),
+            degrees: Vec::new(),
+            slot_of: Vec::new(),
+            order: Vec::new(),
+            by_coords: Vec::new(),
+            neighbors: Vec::new(),
+            frac: Vec::new(),
+            weight: Vec::new(),
+            stats: SparseStats {
+                build_nanos: 0,
+                bytes: 0,
+                entries: 0,
+                padded_entries: 0,
+                avg_degree: 0.0,
+                max_degree: 0,
+                used_grid: true,
+            },
+        }
+    }
+
     /// Builds the CSR over `inst`'s points via `enumerator`, with fresh
     /// buffers and the serial fill path.
-    fn build<const D: usize>(inst: &Instance<D>, enumerator: &Enumerator<D>) -> Self {
+    pub(crate) fn build<const D: usize>(inst: &Instance<D>, enumerator: &Enumerator<D>) -> Self {
         Self::build_with(inst, enumerator, &mut CsrScratch::default(), false)
     }
 
@@ -650,7 +685,7 @@ impl<S: LaneScalar> SparseCsr<S> {
     /// prefix-sum pass; each row's content (enumeration, sort, kernel
     /// math, padding) is untouched, so the resulting arrays are
     /// byte-identical to the serial build.
-    fn build_with<const D: usize>(
+    pub(crate) fn build_with<const D: usize>(
         inst: &Instance<D>,
         enumerator: &Enumerator<D>,
         scratch: &mut CsrScratch,
@@ -742,7 +777,7 @@ impl<S: LaneScalar> SparseCsr<S> {
     /// dropping it is bit-transparent), then pads to a lane multiple by
     /// repeating the last real neighbor with `frac = weight = 0`.
     /// Returns the real degree.
-    fn append_row<const D: usize>(
+    pub(crate) fn append_row<const D: usize>(
         inst: &Instance<D>,
         kernel: &PreparedKernel,
         row: &[(u32, f64)],
@@ -903,7 +938,7 @@ impl<S: LaneScalar> SparseCsr<S> {
     }
 
     /// Moves the flat buffers back into `scratch` for the next build.
-    fn recycle(self, scratch: &mut CsrScratch) {
+    pub(crate) fn recycle(self, scratch: &mut CsrScratch) {
         scratch.offsets = self.offsets;
         scratch.degrees = self.degrees;
         scratch.slot_of = self.slot_of;
@@ -914,18 +949,22 @@ impl<S: LaneScalar> SparseCsr<S> {
     }
 
     /// The half-open *padded* entry range of candidate `i`'s row — what
-    /// the blocked kernel walks.
+    /// the blocked kernel walks. The end is derived from the row's own
+    /// degree (not the next slot's start) so rows relocated to the tail
+    /// by delta patching stay addressable; on a fresh dense build the
+    /// two are equal.
     #[inline]
-    fn padded_row(&self, i: usize) -> std::ops::Range<usize> {
+    pub(crate) fn padded_row(&self, i: usize) -> std::ops::Range<usize> {
         let slot = self.slot_of[i] as usize;
-        self.offsets[slot] as usize..self.offsets[slot + 1] as usize
+        let start = self.offsets[slot] as usize;
+        start..start + padded_len(self.degrees[slot] as usize)
     }
 
     /// The half-open *real* entry range of candidate `i`'s row (padding
     /// excluded) — what the scalar reference walk and the dirty-region
     /// test iterate.
     #[inline]
-    fn real_row(&self, i: usize) -> std::ops::Range<usize> {
+    pub(crate) fn real_row(&self, i: usize) -> std::ops::Range<usize> {
         let slot = self.slot_of[i] as usize;
         let start = self.offsets[slot] as usize;
         start..start + self.degrees[slot] as usize
@@ -973,6 +1012,32 @@ impl<S: LaneScalar> SparseCsr<S> {
         total
     }
 
+    /// Commits candidate `i`'s row against `residuals`: subtract each
+    /// real entry's claimed assignment and return the round gain — the
+    /// O(degree) sparse twin of [`Residuals::apply`]. The real row is
+    /// exactly the dense loop's post-guard visit set (positive-`frac`
+    /// points, ascending index), so for `S = f64` the gain bits and the
+    /// mutated residuals match the dense apply exactly.
+    fn apply_row(&self, i: usize, residuals: &mut Residuals) -> f64 {
+        residuals.version += 1;
+        let version = residuals.version;
+        let mut gain = 0.0;
+        for idx in self.real_row(i) {
+            let j = self.neighbors[idx] as usize;
+            let y = residuals.y[j];
+            if y <= 0.0 {
+                continue;
+            }
+            let z = self.frac[idx].widen().min(y);
+            if z > 0.0 {
+                gain += self.weight[idx].widen() * z;
+                residuals.y[j] = y - z;
+                residuals.touched[j] = version;
+            }
+        }
+        gain
+    }
+
     /// The pre-blocking scalar reference: walk the real row with
     /// per-entry `y`/`frac` guards. Kept as the bit-identity witness
     /// for the blocked kernel (tests, `perfsuite --kernels`).
@@ -987,6 +1052,37 @@ impl<S: LaneScalar> SparseCsr<S> {
             let f = self.frac[idx].widen();
             if f > 0.0 {
                 total += self.weight[idx].widen() * f.min(yv);
+            }
+        }
+        total
+    }
+
+    /// Coverage reward of the row at `slot` against *fresh* residuals
+    /// (`y = 1.0` everywhere): `Σ w · min(frac, 1.0)` over the padded
+    /// row, accumulated in entry order. Bit-identical to
+    /// [`Self::gain_blocked`] on reset residuals — the gather would
+    /// return `1.0` for every neighbor and padding terms stay exact
+    /// `+0.0` — but needs no neighbor gather at all, and slot-order
+    /// callers stream `frac`/`weight` sequentially instead of chasing
+    /// rows through `slot_of`. This is the warm-polish pool builder's
+    /// hot loop.
+    #[inline]
+    fn root_gain_at(&self, slot: usize) -> f64 {
+        let start = self.offsets[slot] as usize;
+        let len = padded_len(self.degrees[slot] as usize);
+        let fr = &self.frac[start..start + len];
+        let wt = &self.weight[start..start + len];
+        let mut total = 0.0f64;
+        for (fr8, wt8) in fr
+            .chunks_exact(SPARSE_LANES)
+            .zip(wt.chunks_exact(SPARSE_LANES))
+        {
+            let mut terms = [0.0f64; SPARSE_LANES];
+            for l in 0..SPARSE_LANES {
+                terms[l] = wt8[l].widen() * fr8[l].widen().min(1.0);
+            }
+            for t in terms {
+                total += t;
             }
         }
         total
@@ -1033,7 +1129,7 @@ pub struct RewardEngine<'a, const D: usize> {
 
 /// The evaluation backend of a [`RewardEngine`].
 #[derive(Debug)]
-enum Backend<const D: usize> {
+pub(crate) enum Backend<const D: usize> {
     Scan,
     Kd(KdTree<D>),
     Ball(BallTree<D>),
@@ -1042,12 +1138,41 @@ enum Backend<const D: usize> {
 }
 
 impl<'a, const D: usize> RewardEngine<'a, D> {
-    fn with_backend(inst: &'a Instance<D>, backend: Backend<D>) -> Self {
+    pub(crate) fn with_backend(inst: &'a Instance<D>, backend: Backend<D>) -> Self {
         RewardEngine {
             inst,
             backend,
             kernel: inst.kernel().prepared(),
             evals: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Engine wrapping an already-built `f64` CSR — the incremental
+    /// layer transplants its delta-patched adjacency in without a
+    /// rebuild ([`crate::incremental`]).
+    pub(crate) fn from_csr(inst: &'a Instance<D>, csr: SparseCsr<f64>) -> Self {
+        Self::with_backend(inst, Backend::Sparse(csr))
+    }
+
+    /// [`Self::from_csr`] for the mixed-precision `f32` streams.
+    pub(crate) fn from_csr32(inst: &'a Instance<D>, csr: SparseCsr<f32>) -> Self {
+        Self::with_backend(inst, Backend::SparseF32(csr))
+    }
+
+    /// Takes the `f64` CSR back out of a sparse engine (the inverse of
+    /// [`Self::from_csr`]); `None` for other backends.
+    pub(crate) fn take_csr(self) -> Option<SparseCsr<f64>> {
+        match self.backend {
+            Backend::Sparse(csr) => Some(csr),
+            _ => None,
+        }
+    }
+
+    /// Takes the `f32` CSR back out ([`Self::from_csr32`]'s inverse).
+    pub(crate) fn take_csr32(self) -> Option<SparseCsr<f32>> {
+        match self.backend {
+            Backend::SparseF32(csr) => Some(csr),
+            _ => None,
         }
     }
 
@@ -1179,13 +1304,59 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
 
     /// [`Self::auto`] with an explicit cap in bytes.
     pub fn auto_with_cap(inst: &'a Instance<D>, cap_bytes: usize) -> Self {
+        Self::auto_with_cap_kind(inst, cap_bytes, EngineKind::Sparse)
+    }
+
+    /// Cap-checked sparse engine for an explicit sparse scalar `kind`
+    /// ([`EngineKind::Sparse`] or [`EngineKind::SparseF32`]; anything
+    /// else is treated as `Sparse`). The footprint estimate uses the
+    /// kind's *real* per-entry cost — 20 B for the `f64` streams,
+    /// 12 B for `f32` — so under the same cap the mixed-precision
+    /// engine stays sparse to roughly 1.67× more entries instead of
+    /// falling back to the kd-tree at the `f64` threshold.
+    pub fn auto_with_cap_kind(inst: &'a Instance<D>, cap_bytes: usize, kind: EngineKind) -> Self {
         let enumerator = Enumerator::build(inst.points(), inst.radius());
-        let est = SparseCsr::<f64>::estimate_bytes(inst, &enumerator);
-        if est > cap_bytes || est / SparseCsr::<f64>::BYTES_PER_ENTRY >= u32::MAX as usize {
+        let f32_kind = matches!(kind, EngineKind::SparseF32);
+        let (est, per_entry) = if f32_kind {
+            (
+                SparseCsr::<f32>::estimate_bytes(inst, &enumerator),
+                SparseCsr::<f32>::BYTES_PER_ENTRY,
+            )
+        } else {
+            (
+                SparseCsr::<f64>::estimate_bytes(inst, &enumerator),
+                SparseCsr::<f64>::BYTES_PER_ENTRY,
+            )
+        };
+        if est > cap_bytes || est / per_entry >= u32::MAX as usize {
             let tree = enumerator.into_kdtree(inst.points());
             return Self::with_backend(inst, Backend::Kd(tree));
         }
-        Self::with_backend(inst, Backend::Sparse(SparseCsr::build(inst, &enumerator)))
+        if f32_kind {
+            Self::with_backend(
+                inst,
+                Backend::SparseF32(SparseCsr::build(inst, &enumerator)),
+            )
+        } else {
+            Self::with_backend(inst, Backend::Sparse(SparseCsr::build(inst, &enumerator)))
+        }
+    }
+
+    /// The estimated CSR footprint in bytes that [`Self::auto_with_cap_kind`]
+    /// would compare against the cap for `kind` (sampled row degrees ×
+    /// the kind's per-entry bytes). `None` for non-sparse kinds.
+    pub fn estimated_sparse_bytes(inst: &Instance<D>, kind: EngineKind) -> Option<usize> {
+        match kind {
+            EngineKind::Sparse | EngineKind::Auto => {
+                let enumerator = Enumerator::build(inst.points(), inst.radius());
+                Some(SparseCsr::<f64>::estimate_bytes(inst, &enumerator))
+            }
+            EngineKind::SparseF32 => {
+                let enumerator = Enumerator::build(inst.points(), inst.radius());
+                Some(SparseCsr::<f32>::estimate_bytes(inst, &enumerator))
+            }
+            _ => None,
+        }
     }
 
     /// Engine for an [`EngineKind`] selection. [`EngineKind::Auto`]
@@ -1326,6 +1497,44 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
         }
     }
 
+    /// Appends `(gain(b | ∅), b)` for every candidate `b` with
+    /// `dirty[b]` to `out`, visiting rows in **CSR slot order** so the
+    /// `frac`/`weight` streams are read near-sequentially (index-order
+    /// iteration would chase every row through `slot_of` — random
+    /// access over the whole CSR). Each root gain is bit-identical to
+    /// [`Self::candidate_gain`] against reset residuals (see
+    /// `SparseCsr::root_gain_at`), and each charges one evaluation.
+    /// Returns `false` (appending nothing) on non-sparse backends.
+    ///
+    /// This is how the warm re-solve prices its CELF swap-pool bounds:
+    /// at 1% churn on n = 10⁶ the dirty set is ~half the instance, so
+    /// the pool build dominates the warm resolve unless it streams.
+    pub fn root_gains_into(&self, dirty: &[bool], out: &mut Vec<(f64, usize)>) -> bool {
+        fn collect<S: LaneScalar>(
+            csr: &SparseCsr<S>,
+            dirty: &[bool],
+            out: &mut Vec<(f64, usize)>,
+        ) -> u64 {
+            let mut evals = 0u64;
+            for slot in 0..csr.order.len() {
+                let i = csr.order[slot] as usize;
+                if dirty.get(i).copied().unwrap_or(false) {
+                    out.push((csr.root_gain_at(slot), i));
+                    evals += 1;
+                }
+            }
+            evals
+        }
+        let evals = match &self.backend {
+            Backend::Sparse(csr) => collect(csr, dirty, out),
+            Backend::SparseF32(csr) => collect(csr, dirty, out),
+            _ => return false,
+        };
+        self.evals
+            .fetch_add(evals, std::sync::atomic::Ordering::Relaxed);
+        true
+    }
+
     /// The scalar (unblocked) reference walk of candidate `i`'s CSR
     /// row: per-entry branches, padding excluded. `None` on non-sparse
     /// backends. Exposed as the bit-identity witness for
@@ -1343,6 +1552,28 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
                 self.note_eval();
                 Some(csr.gain_unblocked(i, residuals.as_slice()))
             }
+            _ => None,
+        }
+    }
+
+    /// Commits candidate `i` as a center by walking its *real* CSR row:
+    /// the sparse counterpart of [`Residuals::apply`], O(degree)
+    /// instead of O(n). `None` on non-sparse backends.
+    ///
+    /// Bit-identity with the dense apply on the `f64` backend: the real
+    /// row is exactly the set of points with positive kernel fraction,
+    /// in ascending index order (the dense loop's visit order after its
+    /// `z > 0` guard), each entry's `frac`/`weight` carry the same bits
+    /// the dense path recomputes, and per-point updates are independent
+    /// — so both the returned gain and the mutated residuals match the
+    /// dense apply bit for bit. On the `f32` backend the row streams
+    /// are narrowed, so the apply is self-consistent with
+    /// [`Self::candidate_gain`] rather than with the dense reference
+    /// (same documented error bound as every other f32 gain).
+    pub fn apply_candidate(&self, i: usize, residuals: &mut Residuals) -> Option<f64> {
+        match &self.backend {
+            Backend::Sparse(csr) => Some(csr.apply_row(i, residuals)),
+            Backend::SparseF32(csr) => Some(csr.apply_row(i, residuals)),
             _ => None,
         }
     }
@@ -1662,5 +1893,39 @@ mod tests {
         // L1 distance from origin to (0.5, 0.5) is 1.0: boundary, frac 0.
         let f = objective(&inst, &[Point::new([0.0, 0.0])]);
         assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    /// The auto-cap estimate uses each kind's *real* per-entry cost:
+    /// a cap wedged between the f32 (12 B/entry) and f64 (20 B/entry)
+    /// footprints keeps `SparseF32` sparse while `Sparse` falls back
+    /// to the kd-tree.
+    #[test]
+    fn auto_cap_uses_f32_footprint_for_sparse_f32() {
+        let mut b = InstanceBuilder::new();
+        for i in 0..64 {
+            b = b.point([(i % 8) as f64, (i / 8) as f64], 1.0);
+        }
+        let inst = b.radius(1.5).k(4).build().unwrap();
+        let est64 = RewardEngine::estimated_sparse_bytes(&inst, EngineKind::Sparse).unwrap();
+        let est32 = RewardEngine::estimated_sparse_bytes(&inst, EngineKind::SparseF32).unwrap();
+        assert!(
+            est32 < est64,
+            "f32 estimate {est32} !< f64 estimate {est64}"
+        );
+        // exact per-entry ratio: 4 + 2*BYTES (index u32 + frac + weight)
+        assert_eq!(SparseCsr::<f64>::BYTES_PER_ENTRY, 20);
+        assert_eq!(SparseCsr::<f32>::BYTES_PER_ENTRY, 12);
+        let cap = (est32 + est64) / 2;
+        let e64 = RewardEngine::auto_with_cap_kind(&inst, cap, EngineKind::Sparse);
+        let e32 = RewardEngine::auto_with_cap_kind(&inst, cap, EngineKind::SparseF32);
+        assert_eq!(e64.kind(), EngineKind::Kd, "f64 over cap must fall to kd");
+        assert_eq!(
+            e32.kind(),
+            EngineKind::SparseF32,
+            "f32 fits under the same cap"
+        );
+        // Same cap, generous: both stay sparse in their own scalar.
+        let e64 = RewardEngine::auto_with_cap_kind(&inst, est64 + 1, EngineKind::Sparse);
+        assert_eq!(e64.kind(), EngineKind::Sparse);
     }
 }

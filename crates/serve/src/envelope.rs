@@ -16,7 +16,15 @@
 //! [`mmph_sim::Scenario`] document) or by reference (`spec`, an inline
 //! `n=..,k=..` stream spec naming exactly one scenario). Control ops:
 //! `ping` (liveness), `stats` (service counters), `shutdown` (drain
-//! and exit). Responses:
+//! and exit).
+//!
+//! Incremental ops maintain one *tracked* instance per service:
+//! `mutate` initializes it from a `scenario`/`spec` and/or patches it
+//! in place with a `deltas` array of insert/remove/move edits
+//! (answered with `mutate_ok` carrying the new `churn_version`), and
+//! `resolve` warm re-solves the tracked instance from the previous
+//! selection (`resolve_ok` with `warm` saying whether the warm path
+//! was taken or the solver fell back to a cold greedy). Responses:
 //!
 //! ```json
 //! {"v":1,"in_reply_to":7,"op":"solve_ok","status":"degraded",
@@ -51,7 +59,7 @@ use crate::{Result, ServeError};
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Request operations understood by the service.
-pub const REQUEST_OPS: &[&str] = &["solve", "ping", "stats", "shutdown"];
+pub const REQUEST_OPS: &[&str] = &["solve", "mutate", "resolve", "ping", "stats", "shutdown"];
 
 /// One request line. Fields beyond `id`/`op` are op-specific; see the
 /// module docs for the wire shapes.
@@ -83,6 +91,10 @@ pub struct Request {
     /// Per-request objective-evaluation cap.
     #[serde(default)]
     pub max_evals: Option<u64>,
+    /// Point edits for `mutate`: applied in order to the tracked
+    /// incremental instance.
+    #[serde(default)]
+    pub deltas: Option<Vec<mmph_core::Delta<2>>>,
 }
 
 impl Request {
@@ -98,10 +110,11 @@ impl Request {
             engine: None,
             deadline_ms: None,
             max_evals: None,
+            deltas: None,
         }
     }
 
-    /// A control request (`ping`, `stats`, `shutdown`).
+    /// A control request (`ping`, `stats`, `shutdown`, bare `resolve`).
     pub fn control(id: u64, op: &str) -> Self {
         Request {
             v: PROTOCOL_VERSION,
@@ -113,7 +126,26 @@ impl Request {
             engine: None,
             deadline_ms: None,
             max_evals: None,
+            deltas: None,
         }
+    }
+
+    /// A `mutate` request: initialize the tracked instance from
+    /// `scenario` (when given) and/or apply `deltas` to it.
+    pub fn mutate(
+        id: u64,
+        scenario: Option<Scenario>,
+        deltas: Option<Vec<mmph_core::Delta<2>>>,
+    ) -> Self {
+        let mut req = Self::control(id, "mutate");
+        req.scenario = scenario;
+        req.deltas = deltas;
+        req
+    }
+
+    /// A `resolve` request: warm re-solve the tracked instance.
+    pub fn resolve(id: u64) -> Self {
+        Self::control(id, "resolve")
     }
 
     /// Checks version and op; normalizes an absent version to the
@@ -198,10 +230,18 @@ pub struct ServiceStats {
     /// or write failure), before or during the solve.
     #[serde(default)]
     pub cancelled: u64,
+    /// `mutate` requests applied to the tracked instance.
+    #[serde(default)]
+    pub mutations: u64,
+    /// `resolve` requests answered by the warm path (seed + polish,
+    /// no cold fallback).
+    #[serde(default)]
+    pub warm_resolves: u64,
 }
 
-/// One response line. `op` is `solve_ok`, `pong`, `stats_ok`, `bye`,
-/// `overloaded`, or `error`; the optional fields are filled per op.
+/// One response line. `op` is `solve_ok`, `mutate_ok`, `resolve_ok`,
+/// `pong`, `stats_ok`, `bye`, `overloaded`, or `error`; the optional
+/// fields are filled per op.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
     /// Protocol version of the responding service.
@@ -258,6 +298,13 @@ pub struct Response {
     /// Service counters (`stats_ok` responses).
     #[serde(default)]
     pub stats: Option<ServiceStats>,
+    /// Whether a `resolve` took the warm path (`resolve_ok`).
+    #[serde(default)]
+    pub warm: Option<bool>,
+    /// Churn version of the tracked instance after this op
+    /// (`mutate_ok` / `resolve_ok`): bumps once per applied delta.
+    #[serde(default)]
+    pub churn_version: Option<u64>,
 }
 
 impl Response {
@@ -281,6 +328,8 @@ impl Response {
             queue_ms: None,
             retry_after_ms: None,
             stats: None,
+            warm: None,
+            churn_version: None,
         }
     }
 

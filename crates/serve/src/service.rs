@@ -30,8 +30,8 @@
 use std::time::{Duration, Instant};
 
 use mmph_core::{
-    BatchReport, BatchResult, BatchRunner, CancelToken, EngineKind, Instance, OracleStrategy,
-    SolveBudget, SolveStatus,
+    BatchReport, BatchResult, BatchRunner, CancelToken, EngineKind, IncrementalInstance, Instance,
+    OracleStrategy, ResolveConfig, SolveBudget, SolveScratch, SolveStatus,
 };
 use mmph_sim::{parse_spec, validate_scenario, Scenario};
 
@@ -181,11 +181,20 @@ type ParsedItem = (
     Option<CancelToken>,
 );
 
+/// The service's tracked incremental instance: the state behind the
+/// `mutate`/`resolve` ops. One per service — the serving analogue of a
+/// long-lived solver process watching one evolving population.
+struct Tracked {
+    inc: IncrementalInstance<2>,
+    scratch: SolveScratch,
+}
+
 /// The transport-independent request handler. See the module docs.
 pub struct Service {
     config: ServiceConfig,
     stats: ServiceStats,
     cache: Vec<(Scenario, Instance<2>)>,
+    tracked: Option<Tracked>,
     shutdown: bool,
 }
 
@@ -196,6 +205,7 @@ impl Service {
             config,
             stats: ServiceStats::default(),
             cache: Vec::new(),
+            tracked: None,
             shutdown: false,
         }
     }
@@ -274,6 +284,17 @@ impl Service {
                     self.shutdown = true;
                     plans.push(Plan::Ready(Box::new(Response::new(Some(req.id), "bye"))));
                 }
+                "mutate" => {
+                    let resp = match self.handle_mutate(&req) {
+                        Ok(resp) => resp,
+                        Err(e) => Response::error(Some(req.id), e.to_string()),
+                    };
+                    plans.push(Plan::Ready(Box::new(resp)));
+                }
+                "resolve" => {
+                    let resp = self.handle_resolve(&req, received, cancel);
+                    plans.push(Plan::Ready(Box::new(resp)));
+                }
                 "solve" => match self.prepare_solve(&req, received, cancel) {
                     Ok(Prepared::Solve(item)) => {
                         solves.push(*item);
@@ -313,6 +334,20 @@ impl Service {
             match resp.op.as_str() {
                 "error" => self.stats.errors += 1,
                 "overloaded" => self.stats.shed += 1,
+                "mutate_ok" => self.stats.mutations += 1,
+                "resolve_ok" => {
+                    if resp.status.as_deref() == Some("completed") {
+                        self.stats.solved += 1;
+                        if resp.warm == Some(true) {
+                            self.stats.warm_resolves += 1;
+                        }
+                    } else {
+                        self.stats.degraded += 1;
+                        if resp.degrade_reason.as_deref() == Some("solve cancelled") {
+                            self.stats.cancelled += 1;
+                        }
+                    }
+                }
                 "solve_ok" => {
                     if resp.status.as_deref() == Some("completed") {
                         self.stats.solved += 1;
@@ -349,28 +384,9 @@ impl Service {
         received: Instant,
         cancel: Option<CancelToken>,
     ) -> Result<Prepared> {
-        let scenario = match (&req.scenario, &req.spec) {
-            (Some(sc), None) => sc.clone(),
-            (None, Some(spec)) => {
-                let spec = parse_spec(spec)?;
-                if spec.count != 1 || spec.repeat != 1 {
-                    return Err(ServeError::Protocol(
-                        "a solve request names exactly one scenario (count=repeat=1)".into(),
-                    ));
-                }
-                spec.scenarios().remove(0)
-            }
-            (Some(_), Some(_)) => {
-                return Err(ServeError::Protocol(
-                    "request carries both `scenario` and `spec`; pick one".into(),
-                ))
-            }
-            (None, None) => {
-                return Err(ServeError::Protocol(
-                    "solve request needs a `scenario` or a `spec`".into(),
-                ))
-            }
-        };
+        let scenario = Self::scenario_from(req)?.ok_or_else(|| {
+            ServeError::Protocol("solve request needs a `scenario` or a `spec`".into())
+        })?;
         validate_scenario(&scenario)?;
         let instance = self.instance_for(&scenario)?;
         let queue_delay = received.elapsed();
@@ -425,6 +441,133 @@ impl Service {
             received,
             queue_delay,
         })))
+    }
+
+    /// The scenario a request names, inline or by spec; `None` when it
+    /// names neither, an error when it names both or the spec expands
+    /// to more than one scenario.
+    fn scenario_from(req: &Request) -> Result<Option<Scenario>> {
+        match (&req.scenario, &req.spec) {
+            (Some(sc), None) => Ok(Some(sc.clone())),
+            (None, Some(spec)) => {
+                let spec = parse_spec(spec)?;
+                if spec.count != 1 || spec.repeat != 1 {
+                    return Err(ServeError::Protocol(
+                        "a solve request names exactly one scenario (count=repeat=1)".into(),
+                    ));
+                }
+                Ok(Some(spec.scenarios().remove(0)))
+            }
+            (Some(_), Some(_)) => Err(ServeError::Protocol(
+                "request carries both `scenario` and `spec`; pick one".into(),
+            )),
+            (None, None) => Ok(None),
+        }
+    }
+
+    /// `mutate`: initialize the tracked incremental instance from the
+    /// request's scenario (when given) and/or patch it with the
+    /// request's deltas, in order. Initialization and patching compose
+    /// in one request; a request carrying neither is an error.
+    fn handle_mutate(&mut self, req: &Request) -> Result<Response> {
+        let scenario = Self::scenario_from(req)?;
+        if scenario.is_none() && req.deltas.is_none() {
+            return Err(ServeError::Protocol(
+                "mutate request needs a `scenario`/`spec` to track and/or `deltas` to apply".into(),
+            ));
+        }
+        if let Some(scenario) = scenario {
+            validate_scenario(&scenario)?;
+            let instance = self.instance_for(&scenario)?;
+            let kind = match req
+                .engine
+                .as_deref()
+                .map(EngineKind::parse)
+                .transpose()
+                .map_err(ServeError::Protocol)?
+                .unwrap_or(self.config.engine)
+            {
+                EngineKind::Auto | EngineKind::Sparse => EngineKind::Sparse,
+                EngineKind::SparseF32 => EngineKind::SparseF32,
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "mutate needs a sparse engine (auto, sparse or sparse-f32), got {other:?}"
+                    )))
+                }
+            };
+            self.tracked = Some(Tracked {
+                inc: IncrementalInstance::new(instance, kind)?,
+                scratch: SolveScratch::new(),
+            });
+        }
+        let tracked = self.tracked.as_mut().ok_or_else(|| {
+            ServeError::Protocol(
+                "no tracked instance: send a mutate with a `scenario` first".into(),
+            )
+        })?;
+        if let Some(deltas) = &req.deltas {
+            tracked.inc.apply_churn(deltas)?;
+        }
+        let mut resp = Response::new(Some(req.id), "mutate_ok");
+        resp.n = Some(tracked.inc.instance().n());
+        resp.k = Some(tracked.inc.instance().k());
+        resp.churn_version = Some(tracked.inc.churn_version());
+        Ok(resp)
+    }
+
+    /// `resolve`: warm re-solve the tracked instance. Shed/cancel
+    /// semantics match `solve`: a connection that already hung up gets
+    /// a degraded response without burning the solver, a positive
+    /// deadline the queue consumed is shed as `overloaded`, and a
+    /// token tripping mid-solve degrades the response while the
+    /// pending churn (and the previous seed) survive for the next
+    /// clean resolve.
+    fn handle_resolve(
+        &mut self,
+        req: &Request,
+        received: Instant,
+        cancel: Option<CancelToken>,
+    ) -> Response {
+        let queue_delay = received.elapsed();
+        let Some(tracked) = self.tracked.as_mut() else {
+            return Response::error(
+                Some(req.id),
+                "no tracked instance: send a mutate with a `scenario` first",
+            );
+        };
+        if let Some(ms) = req.deadline_ms {
+            if ms > 0 && queue_delay >= Duration::from_millis(ms) {
+                let mut resp = Response::overloaded(Some(req.id), self.config.retry_after_ms);
+                resp.queue_ms = Some(queue_delay.as_secs_f64() * 1e3);
+                resp.latency_us = Some(received.elapsed().as_micros() as u64);
+                return resp;
+            }
+        }
+        let cfg = ResolveConfig {
+            cancel: cancel.clone(),
+            ..ResolveConfig::default()
+        };
+        let solve_start = Instant::now();
+        let outcome = tracked.inc.resolve(&mut tracked.scratch, &cfg);
+        let solve_us = solve_start.elapsed().as_micros() as u64;
+        let mut resp = Response::new(Some(req.id), "resolve_ok");
+        if outcome.cancelled {
+            resp.status = Some("degraded".into());
+            resp.degrade_reason = Some(mmph_core::DegradeReason::Cancelled.to_string());
+        } else {
+            resp.status = Some("completed".into());
+        }
+        resp.n = Some(tracked.inc.instance().n());
+        resp.k = Some(tracked.inc.instance().k());
+        resp.reward = Some(outcome.reward);
+        resp.selection = Some(outcome.selection);
+        resp.evals = Some(outcome.evals);
+        resp.warm = Some(outcome.warm);
+        resp.churn_version = Some(outcome.churn_version);
+        resp.solve_us = Some(solve_us);
+        resp.latency_us = Some(received.elapsed().as_micros() as u64);
+        resp.queue_ms = Some(queue_delay.as_secs_f64() * 1e3);
+        resp
     }
 
     /// The response for a request whose connection died before its

@@ -2,6 +2,8 @@
 //! types can express survives a serialize → parse → serialize cycle
 //! bit-for-bit, so pipelined clients can rely on stable lines.
 
+use mmph_core::Delta;
+use mmph_geom::Point;
 use mmph_serve::{Request, Response, ServiceStats, PROTOCOL_VERSION};
 use mmph_sim::{Scenario, WeightScheme};
 use proptest::prelude::*;
@@ -27,12 +29,28 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     })
 }
 
+fn delta() -> impl Strategy<Value = Delta<2>> {
+    prop_oneof![
+        ((-4.0..4.0f64, -4.0..4.0f64), 1.0..5.0f64).prop_map(|((x, y), weight)| Delta::Insert {
+            point: Point::new([x, y]),
+            weight,
+        }),
+        (0usize..1000).prop_map(|index| Delta::Remove { index }),
+        (0usize..1000, (-4.0..4.0f64, -4.0..4.0f64)).prop_map(|(index, (x, y))| Delta::Move {
+            index,
+            to: Point::new([x, y]),
+        }),
+    ]
+}
+
 fn request() -> impl Strategy<Value = Request> {
     let op = prop_oneof![
         Just("ping".to_string()),
         Just("stats".to_string()),
         Just("shutdown".to_string()),
         Just("solve".to_string()),
+        Just("mutate".to_string()),
+        Just("resolve".to_string()),
     ];
     let solver = prop_oneof![Just("greedy2".to_string()), Just("lazy".to_string())];
     let engine = prop_oneof![
@@ -45,9 +63,10 @@ fn request() -> impl Strategy<Value = Request> {
         opt(scenario()),
         (opt(solver), opt(engine)),
         (opt(0u64..10_000), opt(0u64..1_000_000)),
+        opt(prop::collection::vec(delta(), 0..6)),
     )
         .prop_map(
-            |((id, op), scenario, (solver, engine), (deadline_ms, max_evals))| Request {
+            |((id, op), scenario, (solver, engine), (deadline_ms, max_evals), deltas)| Request {
                 v: PROTOCOL_VERSION,
                 id,
                 op,
@@ -57,6 +76,7 @@ fn request() -> impl Strategy<Value = Request> {
                 engine,
                 deadline_ms,
                 max_evals,
+                deltas,
             },
         )
 }
@@ -103,6 +123,8 @@ fn response() -> impl Strategy<Value = Response> {
                         engines_reused: 4,
                         shed: 2,
                         cancelled: 1,
+                        mutations: 3,
+                        warm_resolves: 2,
                     });
                 }
                 r

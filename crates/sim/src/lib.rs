@@ -10,6 +10,9 @@
 //!   placements in `[0,4]^2` / `[0,4]^3` with same/different integer
 //!   weights, plus Gaussian clusters, grids, rings and Zipf weights as
 //!   extensions.
+//! * [`churn`] — seeded churn plans: reproducible insert/remove/move
+//!   delta batches for incremental re-solving (`--churn`, churnbench,
+//!   the serve mutate mix).
 //! * [`scenario`] — serializable experiment configurations, including
 //!   the paper's full parameter sweep.
 //! * [`stream`] — request streams for batched solving: turns a
@@ -26,6 +29,7 @@
 //!   regenerated from pinned inputs.
 
 pub mod broadcast;
+pub mod churn;
 pub mod gen;
 pub mod metrics;
 pub mod rng;
@@ -33,6 +37,7 @@ pub mod scenario;
 pub mod stream;
 pub mod trace;
 
+pub use churn::ChurnPlan;
 pub use gen::{SpaceSpec, WeightScheme};
 pub use scenario::Scenario;
 pub use stream::{

@@ -40,7 +40,8 @@ pub use mmph_sim as sim;
 pub mod prelude {
     pub use mmph_core::bounds::{approx_local, approx_round_based, ONE_MINUS_INV_E};
     pub use mmph_core::budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
-    pub use mmph_core::instance::{Instance, InstanceBuilder};
+    pub use mmph_core::incremental::{IncrementalInstance, ResolveConfig, ResolveOutcome};
+    pub use mmph_core::instance::{Delta, Instance, InstanceBuilder};
     pub use mmph_core::reward::{coverage_reward, objective, psi, Residuals};
     pub use mmph_core::solver::{Solution, Solver};
     pub use mmph_core::solvers::{
@@ -48,6 +49,7 @@ pub mod prelude {
         LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
     };
     pub use mmph_geom::{Norm, Point, Point2, Point3};
+    pub use mmph_sim::churn::ChurnPlan;
     pub use mmph_sim::gen::WeightScheme;
     pub use mmph_sim::scenario::Scenario;
 }
