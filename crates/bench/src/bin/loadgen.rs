@@ -51,7 +51,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use mmph_core::{EngineKind, IncrementalInstance};
-use mmph_serve::{serve_tcp, Request, Response, Service, ServiceConfig, ShutdownFlag};
+use mmph_serve::{
+    merge_chunks, serve_tcp, Request, Response, Service, ServiceConfig, ShutdownFlag,
+};
 use mmph_sim::{ChurnPlan, Scenario, WeightScheme};
 use serde::Serialize;
 
@@ -258,6 +260,8 @@ fn drive<W: Write, R: BufRead>(
     let by_id: HashMap<u64, &Request> = reqs.iter().map(|rq| (rq.id, rq)).collect();
     // Shed requests waiting out their backoff: (ready_at, id).
     let mut parked: Vec<(Instant, u64)> = Vec::new();
+    // Partial chunked responses, buffered until their last frame.
+    let mut chunked: HashMap<Option<u64>, Vec<Response>> = HashMap::new();
     let mut next = 0usize;
     let mut completed = 0usize;
     let mut inflight = 0usize;
@@ -300,6 +304,20 @@ fn drive<W: Write, R: BufRead>(
             ));
         }
         let resp = Response::parse(&line).map_err(|e| e.to_string())?;
+        // A chunked selection arrives as several frames; the request
+        // stays in flight until its last frame reassembles.
+        let resp = if let Some(count) = resp.chunk_count {
+            let key = resp.in_reply_to;
+            let frames = chunked.entry(key).or_default();
+            frames.push(resp);
+            if (frames.len() as u64) < count {
+                continue;
+            }
+            let frames = chunked.remove(&key).expect("complete frame set");
+            merge_chunks(frames).ok_or("chunked response failed to reassemble")?
+        } else {
+            resp
+        };
         inflight -= 1;
         if let Some(q_ms) = resp.queue_ms {
             outcome.queue_us.push((q_ms * 1e3) as u64);

@@ -1,0 +1,382 @@
+//! `megabench` — the large-n pipeline gate behind `BENCH_PR10.json`.
+//!
+//! ```text
+//! megabench [--quick] [--n N] [--shard-n N] [--k K] [--cells C]
+//!           [--shards S] [--cap-bytes B] [--out PATH] [--seed S]
+//! ```
+//!
+//! Two arms over degree-pinned uniform paper-space instances:
+//!
+//! * **Coreset** — an instance whose estimated CSR footprint busts the
+//!   engine byte cap (n = 10⁷ at the default 512 MiB cap), solved
+//!   through [`solve_coreset`]: grid-cell reduction, in-cap sparse
+//!   greedy on the representatives, then a streaming full-resolution
+//!   objective pass. Gates: [`plan_scale`] really escalates at this
+//!   (n, cap), the solve is not degraded, and the **realized** gap
+//!   between the coreset objective and the full-resolution objective
+//!   stays ≤ 5%.
+//! * **Shard** — a smaller instance solved shard-then-merge, serial
+//!   sweep vs parallel sweep. Gates: both sweeps are bit-identical
+//!   (determinism), and — only when the host actually has more than
+//!   one core — parallel is ≥ 1.5× faster. On a 1-core host the ratio
+//!   is recorded, not enforced, and the report says so.
+//!
+//! `--quick` shrinks both arms and the cap for CI smoke runs; the
+//! escalation gate still fires because the cap shrinks with n.
+//! Violations exit non-zero so CI can run this binary directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mmph_bench::perfrows::{measure_host_parallelism, HostParallelism, DEFAULT_SEED};
+use mmph_core::{
+    plan_scale, solve_coreset, solve_sharded, CoresetConfig, EngineKind, RewardEngine, ScalePlan,
+    ShardConfig, DEFAULT_SPARSE_CAP_BYTES,
+};
+use mmph_sim::{uniform_degree_instance_2d, SpaceSpec};
+use serde::Serialize;
+
+/// Expected within-radius neighbor count, held constant across n so
+/// the CSR footprint scales linearly and predictably (`≈ n·deg·20` B).
+const DEGREE: f64 = 48.0;
+
+#[derive(Debug, Clone)]
+struct Args {
+    quick: bool,
+    n: Option<usize>,
+    shard_n: Option<usize>,
+    k: usize,
+    cells: f64,
+    shards: usize,
+    cap_bytes: Option<usize>,
+    out: Option<PathBuf>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        n: None,
+        shard_n: None,
+        k: 16,
+        cells: 3.0,
+        shards: 8,
+        cap_bytes: None,
+        out: None,
+        seed: DEFAULT_SEED,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--n" => args.n = Some(parse(&value("--n")?)?),
+            "--shard-n" => args.shard_n = Some(parse(&value("--shard-n")?)?),
+            "--k" => args.k = parse(&value("--k")?)?,
+            "--cells" => args.cells = parse(&value("--cells")?)?,
+            "--shards" => args.shards = parse(&value("--shards")?)?,
+            "--cap-bytes" => args.cap_bytes = Some(parse(&value("--cap-bytes")?)?),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: megabench [--quick] [--n N] [--shard-n N] [--k K] [--cells C] \
+                     [--shards S] [--cap-bytes B] [--out PATH] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad flag value: {v}"))
+}
+
+/// The coreset arm's persisted measurements.
+#[derive(Debug, Serialize)]
+struct CoresetArm {
+    n: usize,
+    k: usize,
+    radius: f64,
+    cells_per_radius: f64,
+    cap_bytes: usize,
+    /// `RewardEngine`'s full-instance CSR estimate — the number the
+    /// escalation decision is made on.
+    est_full_csr_bytes: usize,
+    /// `plan_scale` verdict at (instance, Auto, cap).
+    plan: String,
+    coreset_n: usize,
+    /// n / coreset_n.
+    reduction: f64,
+    /// Engine the coreset solve used (sparse when the reduced CSR
+    /// fits the cap, kd fallback otherwise — both respect the cap).
+    engine: String,
+    evals: u64,
+    coreset_objective: f64,
+    full_objective: f64,
+    /// Realized relative gap — the gated number.
+    gap: f64,
+    /// A-priori additive bound from the construction.
+    error_bound: f64,
+    degraded: bool,
+    gen_ms: f64,
+    build_ms: f64,
+    solve_ms: f64,
+    eval_ms: f64,
+    total_ms: f64,
+}
+
+/// The shard arm's persisted measurements.
+#[derive(Debug, Serialize)]
+struct ShardArm {
+    n: usize,
+    k: usize,
+    shards: usize,
+    candidates: usize,
+    objective: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    /// serial / parallel wall-clock.
+    speedup: f64,
+    /// Serial and parallel sweeps selected bit-identical centers.
+    deterministic: bool,
+    /// True when the ≥ 1.5× gate was actually enforced (multi-core
+    /// host); false means the ratio is record-only.
+    speedup_gate_enforced: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    suite: String,
+    quick: bool,
+    seed: u64,
+    degree: f64,
+    host: HostParallelism,
+    coreset: CoresetArm,
+    shard: ShardArm,
+    checks_ok: bool,
+}
+
+/// Gate threshold on the realized coreset gap.
+const MAX_GAP: f64 = 0.05;
+/// Gate threshold on the shard-parallel speedup (multi-core hosts).
+const MIN_SPEEDUP: f64 = 1.5;
+
+fn run_coreset_arm(args: &Args, checks_ok: &mut bool) -> Result<CoresetArm, String> {
+    let n = args
+        .n
+        .unwrap_or(if args.quick { 200_000 } else { 10_000_000 });
+    // The default cap scales down in quick mode so the escalation
+    // condition (`est > cap`) still fires on the small instance.
+    let cap_bytes = args.cap_bytes.unwrap_or(if args.quick {
+        8 << 20
+    } else {
+        DEFAULT_SPARSE_CAP_BYTES
+    });
+
+    let t0 = Instant::now();
+    let inst = uniform_degree_instance_2d(n, args.k, DEGREE, SpaceSpec::PAPER, args.seed)
+        .map_err(|e| e.to_string())?;
+    let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let est = RewardEngine::estimated_sparse_bytes(&inst, EngineKind::Sparse).unwrap_or(0);
+    let plan = plan_scale(&inst, EngineKind::Auto, cap_bytes);
+    println!(
+        "coreset arm: n={n} r={:.4e} est CSR {:.1} MiB vs cap {:.1} MiB -> {plan:?} ({gen_ms:.0} ms gen)",
+        inst.radius(),
+        est as f64 / (1 << 20) as f64,
+        cap_bytes as f64 / (1 << 20) as f64
+    );
+    if plan != ScalePlan::Coreset {
+        eprintln!(
+            "megabench: ESCALATION GATE FAILED: n={n} fits the {cap_bytes}-byte cap; \
+             the coreset path was not exercised"
+        );
+        *checks_ok = false;
+    }
+
+    let cfg = CoresetConfig {
+        cells_per_radius: args.cells,
+        cap_bytes,
+        ..CoresetConfig::default()
+    };
+    let t1 = Instant::now();
+    let report = solve_coreset(&inst, &cfg).map_err(|e| e.to_string())?;
+    let total_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "coreset arm: {} -> {} reps ({:.0}x), engine {}, gap {:.4}% (bound {:.3e}), \
+         build {:.0} ms + solve {:.0} ms + full-pass {:.0} ms",
+        report.full_n,
+        report.coreset_n,
+        report.full_n as f64 / report.coreset_n.max(1) as f64,
+        report.engine,
+        report.gap * 100.0,
+        report.error_bound,
+        report.build_ms,
+        report.solve_ms,
+        report.eval_ms
+    );
+    if report.gap > MAX_GAP {
+        eprintln!(
+            "megabench: CORESET GAP GATE FAILED: realized gap {:.4} > {MAX_GAP}",
+            report.gap
+        );
+        *checks_ok = false;
+    }
+    if report.degraded.is_some() {
+        eprintln!(
+            "megabench: CORESET SOLVE DEGRADED: {:?} (unlimited budget must complete)",
+            report.degraded
+        );
+        *checks_ok = false;
+    }
+
+    Ok(CoresetArm {
+        n,
+        k: args.k,
+        radius: inst.radius(),
+        cells_per_radius: args.cells,
+        cap_bytes,
+        est_full_csr_bytes: est,
+        plan: format!("{plan:?}"),
+        coreset_n: report.coreset_n,
+        reduction: report.full_n as f64 / report.coreset_n.max(1) as f64,
+        engine: report.engine.to_string(),
+        evals: report.evals,
+        coreset_objective: report.coreset_objective,
+        full_objective: report.full_objective,
+        gap: report.gap,
+        error_bound: report.error_bound,
+        degraded: report.degraded.is_some(),
+        gen_ms,
+        build_ms: report.build_ms,
+        solve_ms: report.solve_ms,
+        eval_ms: report.eval_ms,
+        total_ms,
+    })
+}
+
+fn run_shard_arm(
+    args: &Args,
+    host: &HostParallelism,
+    checks_ok: &mut bool,
+) -> Result<ShardArm, String> {
+    // Sized so each spatial shard's CSR fits the default cap on its
+    // own (per-shard n ≈ n/shards at the same density).
+    let n = args
+        .shard_n
+        .unwrap_or(if args.quick { 50_000 } else { 2_000_000 });
+    let inst = uniform_degree_instance_2d(n, args.k, DEGREE, SpaceSpec::PAPER, args.seed)
+        .map_err(|e| e.to_string())?;
+    let arm = |parallel: bool| {
+        let cfg = ShardConfig {
+            shards: args.shards,
+            parallel,
+            ..ShardConfig::default()
+        };
+        let t0 = Instant::now();
+        let report = solve_sharded(&inst, &cfg).map_err(|e| e.to_string())?;
+        Ok::<_, String>((report, t0.elapsed().as_secs_f64() * 1e3))
+    };
+    let (serial, serial_ms) = arm(false)?;
+    let (parallel, parallel_ms) = arm(true)?;
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let deterministic = serial.selection == parallel.selection
+        && serial.objective.to_bits() == parallel.objective.to_bits();
+    let multi_core = host.available_parallelism > 1 && host.rayon_threads > 1;
+    println!(
+        "shard arm: n={n} x {} shards, serial {serial_ms:.0} ms vs parallel {parallel_ms:.0} ms \
+         = {speedup:.2}x ({}; deterministic: {deterministic})",
+        args.shards,
+        if multi_core {
+            "gate >= 1.5x enforced"
+        } else {
+            "1-core host: record-only"
+        }
+    );
+    if !deterministic {
+        eprintln!("megabench: SHARD DETERMINISM GATE FAILED: serial and parallel sweeps diverged");
+        *checks_ok = false;
+    }
+    if multi_core && speedup < MIN_SPEEDUP {
+        eprintln!(
+            "megabench: SHARD SPEEDUP GATE FAILED: {speedup:.2}x < {MIN_SPEEDUP}x on a \
+             {}-core host",
+            host.available_parallelism
+        );
+        *checks_ok = false;
+    }
+    Ok(ShardArm {
+        n,
+        k: args.k,
+        shards: args.shards,
+        candidates: serial.candidates,
+        objective: serial.objective,
+        serial_ms,
+        parallel_ms,
+        speedup,
+        deterministic,
+        speedup_gate_enforced: multi_core,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("megabench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checks_ok = true;
+
+    let host = measure_host_parallelism(if args.quick { 2_000 } else { 20_000 }, 8, args.seed);
+    println!(
+        "host: available_parallelism={} rayon_threads={} probe shard speedup {:.2}x",
+        host.available_parallelism, host.rayon_threads, host.shard_speedup
+    );
+
+    let coreset = match run_coreset_arm(&args, &mut checks_ok) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("megabench: coreset arm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shard = match run_shard_arm(&args, &host, &mut checks_ok) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("megabench: shard arm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = Report {
+        suite: "megabench".to_owned(),
+        quick: args.quick,
+        seed: args.seed,
+        degree: DEGREE,
+        host,
+        coreset,
+        shard,
+        checks_ok,
+    };
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR10.json"));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("megabench: writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("megabench: wrote {}", out.display());
+    if !checks_ok {
+        eprintln!("megabench: gates FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

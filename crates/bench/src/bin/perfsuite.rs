@@ -34,7 +34,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mmph_bench::perfrows::{build_instance, run_one, Row, DEFAULT_SEED, SCAN_MAX_N, TARGET_DEGREE};
+use mmph_bench::perfrows::{
+    build_instance, measure_host_parallelism, run_one, HostParallelism, Row, DEFAULT_SEED,
+    SCAN_MAX_N, TARGET_DEGREE,
+};
 use mmph_core::{objective, EngineKind, OracleStrategy, Residuals, RewardEngine, SPARSE_LANES};
 use serde::Serialize;
 
@@ -97,6 +100,7 @@ struct Report {
     huge: bool,
     seed: u64,
     target_degree: f64,
+    host: HostParallelism,
     rows: Vec<Row>,
     speedups: Vec<Speedup>,
     checks_ok: bool,
@@ -250,6 +254,7 @@ struct KernelReport {
     seed: u64,
     target_degree: f64,
     lanes: usize,
+    host: HostParallelism,
     kernel_rows: Vec<KernelRow>,
     precision_rows: Vec<PrecisionRow>,
     checks_ok: bool,
@@ -445,6 +450,23 @@ fn kernel_cell(
     checks_ok
 }
 
+/// The shared host-concurrency probe: cheap in `--quick` mode, a
+/// slightly larger solve otherwise so per-shard work dominates the
+/// scheduling overhead being measured.
+fn host_probe(args: &Args) -> HostParallelism {
+    let probe_n = if args.quick { 2_000 } else { 20_000 };
+    let host = measure_host_parallelism(probe_n, 8, args.seed);
+    println!(
+        "host: available_parallelism={} rayon_threads={} shard speedup {:.2}x (serial {:.1} ms / parallel {:.1} ms)",
+        host.available_parallelism,
+        host.rayon_threads,
+        host.shard_speedup,
+        host.shard_serial_ms,
+        host.shard_parallel_ms
+    );
+    host
+}
+
 fn run_kernels(args: &Args) -> ExitCode {
     let sizes: Vec<usize> = if args.quick {
         vec![10_000]
@@ -464,6 +486,7 @@ fn run_kernels(args: &Args) -> ExitCode {
         seed: args.seed,
         target_degree: TARGET_DEGREE,
         lanes: SPARSE_LANES,
+        host: host_probe(args),
         kernel_rows,
         precision_rows,
         checks_ok,
@@ -529,6 +552,7 @@ fn main() -> ExitCode {
         huge: args.huge,
         seed: args.seed,
         target_degree: TARGET_DEGREE,
+        host: host_probe(&args),
         rows,
         speedups,
         checks_ok,

@@ -7,7 +7,9 @@
 use std::f64::consts::PI;
 use std::time::Instant;
 
-use mmph_core::{EngineKind, GainOracle, Instance, OracleStrategy, Residuals};
+use mmph_core::{
+    solve_sharded, EngineKind, GainOracle, Instance, OracleStrategy, Residuals, ShardConfig,
+};
 use mmph_sim::gen::{PointDistribution, SpaceSpec, WeightScheme};
 use mmph_sim::rng::SeedSeq;
 use serde::Serialize;
@@ -67,6 +69,63 @@ impl Row {
             reward: 0.0,
             selection: Vec::new(),
         }
+    }
+}
+
+/// Host concurrency snapshot plus one measured serial-vs-parallel
+/// shard-solve ratio, persisted alongside every `BENCH_*.json` so a
+/// reader can tell whether a parallel speedup gate was meaningful on
+/// the recording host (a 1-core container cannot speed anything up).
+#[derive(Debug, Clone, Serialize)]
+pub struct HostParallelism {
+    /// `std::thread::available_parallelism()` (0 when unknown).
+    pub available_parallelism: usize,
+    /// Threads the rayon pool actually runs.
+    pub rayon_threads: usize,
+    /// Instance size of the measurement solve.
+    pub probe_n: usize,
+    /// Shard count of the measurement solve.
+    pub probe_shards: usize,
+    /// Wall time of `solve_sharded` with `parallel: false`.
+    pub shard_serial_ms: f64,
+    /// Wall time of `solve_sharded` with `parallel: true`.
+    pub shard_parallel_ms: f64,
+    /// serial / parallel — ~1.0 on a 1-core host by construction.
+    pub shard_speedup: f64,
+}
+
+/// Measures [`HostParallelism`] with a degree-pinned instance of
+/// `probe_n` points split `probe_shards` ways. Both sweeps produce
+/// bit-identical selections (pinned by the core proptests), so the
+/// ratio isolates scheduling alone.
+pub fn measure_host_parallelism(probe_n: usize, probe_shards: usize, seed: u64) -> HostParallelism {
+    let inst = build_instance(probe_n, 8, seed);
+    let time_arm = |parallel: bool| {
+        let cfg = ShardConfig {
+            shards: probe_shards,
+            parallel,
+            ..ShardConfig::default()
+        };
+        let t0 = Instant::now();
+        let report = solve_sharded(&inst, &cfg).expect("probe instance is valid");
+        std::hint::black_box(report.objective);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    // Untimed warmup so the serial arm doesn't eat the cold-cache /
+    // allocator cost and fake a "speedup" on a 1-core host.
+    let _ = time_arm(false);
+    let shard_serial_ms = time_arm(false);
+    let shard_parallel_ms = time_arm(true);
+    HostParallelism {
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(0),
+        rayon_threads: rayon::current_num_threads(),
+        probe_n,
+        probe_shards,
+        shard_serial_ms,
+        shard_parallel_ms,
+        shard_speedup: shard_serial_ms / shard_parallel_ms.max(1e-9),
     }
 }
 
@@ -136,6 +195,16 @@ pub fn run_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_parallelism_probe_reports_sane_numbers() {
+        let host = measure_host_parallelism(400, 4, DEFAULT_SEED);
+        assert!(host.rayon_threads >= 1);
+        assert!(host.shard_serial_ms > 0.0 && host.shard_parallel_ms > 0.0);
+        assert!(host.shard_speedup.is_finite() && host.shard_speedup > 0.0);
+        assert_eq!(host.probe_n, 400);
+        assert_eq!(host.probe_shards, 4);
+    }
 
     #[test]
     fn radius_tracks_target_degree() {

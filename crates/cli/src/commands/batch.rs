@@ -35,6 +35,10 @@ OPTIONS:
   --cold            disable scratch/engine reuse (per-request baseline)
   --deadline-ms N   per-request wall-clock budget (degrades, never hangs)
   --max-evals N     per-request objective-evaluation budget
+  --coreset-cells C solve every request through the coreset pipeline
+                    (grid cells per radius; see `mmph solve`)
+  --shards S        solve every request through the shard-then-merge
+                    pipeline with S spatial shards
   --verify          also run the opposite mode and require bit-identical
                     selections and rewards (rejected with --deadline-ms:
                     wall-clock budgets are nondeterministic)
@@ -83,15 +87,64 @@ pub fn service_config_from_flags(flags: &Flags) -> Result<ServiceConfig> {
     })
 }
 
+/// Per-request large-n pipeline selection shared by every request in
+/// the stream: `--coreset-cells` or `--shards`.
+#[derive(Clone, Copy, Default)]
+struct PipelineFlags {
+    coreset_cells: Option<f64>,
+    shards: Option<usize>,
+}
+
+impl PipelineFlags {
+    fn from_flags(flags: &Flags) -> Result<Self> {
+        let coreset_cells = flags
+            .get("coreset-cells")
+            .map(|raw| {
+                raw.parse::<f64>()
+                    .ok()
+                    .filter(|c| *c > 0.0 && c.is_finite())
+                    .ok_or_else(|| CliError::Usage(format!("invalid --coreset-cells: {raw}")))
+            })
+            .transpose()?;
+        let shards = flags
+            .get("shards")
+            .map(|raw| {
+                raw.parse::<usize>()
+                    .ok()
+                    .filter(|s| *s >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid --shards: {raw}")))
+            })
+            .transpose()?;
+        if coreset_cells.is_some() && shards.is_some() {
+            return Err(CliError::Usage(
+                "--coreset-cells and --shards are mutually exclusive; pick one pipeline".into(),
+            ));
+        }
+        Ok(PipelineFlags {
+            coreset_cells,
+            shards,
+        })
+    }
+}
+
 /// Runs one scenario stream through a fresh [`Service`] and folds the
 /// responses back into a [`BatchReport`].
-fn run_stream(config: ServiceConfig, scenarios: &[mmph_sim::Scenario]) -> Result<BatchReport> {
+fn run_stream(
+    config: ServiceConfig,
+    scenarios: &[mmph_sim::Scenario],
+    pipeline: PipelineFlags,
+) -> Result<BatchReport> {
     let warm = config.warm;
     let mut service = Service::new(config);
     let requests: Vec<Request> = scenarios
         .iter()
         .enumerate()
-        .map(|(i, sc)| Request::solve(i as u64, sc.clone()))
+        .map(|(i, sc)| {
+            let mut req = Request::solve(i as u64, sc.clone());
+            req.coreset_cells = pipeline.coreset_cells;
+            req.shards = pipeline.shards;
+            req
+        })
         .collect();
     let start = Instant::now();
     let responses = service.handle_requests(requests, start);
@@ -121,6 +174,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
             "json",
             "deadline-ms",
             "max-evals",
+            "coreset-cells",
+            "shards",
         ],
         &["par-csr", "cold", "verify", "quiet"],
     )?;
@@ -136,9 +191,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     }
     let config = service_config_from_flags(&flags)?;
     let warm = config.warm;
+    let pipeline = PipelineFlags::from_flags(&flags)?;
 
     let scenarios = mmph_sim::scenarios_from_arg(&scenarios_arg)?;
-    let report = run_stream(config.clone(), &scenarios)?;
+    let report = run_stream(config.clone(), &scenarios, pipeline)?;
 
     let verified = if flags.has("verify") {
         let reference = run_stream(
@@ -147,6 +203,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
                 ..config.clone()
             },
             &scenarios,
+            pipeline,
         )?;
         verify_reports(&report, &reference).map_err(CliError::Usage)?;
         Some(true)
@@ -314,6 +371,36 @@ mod tests {
         assert!(text.contains("\"throughput_per_sec\""));
         assert!(text.contains("\"engine_reused\": true"), "repeat reused");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pipeline_flags_route_through_the_service() {
+        let (r, out) = run_capture(&[
+            "--scenarios",
+            "n=40,k=3,repeat=2",
+            "--coreset-cells",
+            "6",
+            "--quiet",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("2 requests"), "{out}");
+
+        let (r, out) = run_capture(&["--scenarios", "n=40,k=3", "--shards", "2", "--quiet"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("1 requests"), "{out}");
+
+        let (r, _) = run_capture(&[
+            "--scenarios",
+            "n=20",
+            "--coreset-cells",
+            "4",
+            "--shards",
+            "2",
+        ]);
+        let Err(CliError::Usage(msg)) = r else {
+            panic!("both pipelines must be rejected: {r:?}");
+        };
+        assert!(msg.contains("mutually exclusive"), "{msg}");
     }
 
     #[test]

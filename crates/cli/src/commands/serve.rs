@@ -49,7 +49,13 @@ OPTIONS:
   --retry-after-ms N   backoff hint attached to shed responses [25]
   --write-timeout-ms N per-connection socket write timeout; a stalled
                        client is disconnected and its work cancelled [2000]
-  --help           show this message";
+  --chunk-selection N  stream selections longer than N back as multiple
+                       chunked frames (0 disables chunking) [4096]
+  --help           show this message
+
+Solve requests may carry `coreset_cells` or `shards` to route through
+the large-n pipelines; an `auto`-engine request whose CSR estimate
+busts the sparse cap escalates to the coreset pipeline on its own.";
 
 fn summarize(stats: &ServiceStats) -> String {
     format!(
@@ -95,6 +101,7 @@ where
             "max-inflight",
             "retry-after-ms",
             "write-timeout-ms",
+            "chunk-selection",
         ],
         &["par-csr", "cold"],
     )?;
@@ -105,6 +112,7 @@ where
     config.per_conn_inflight = flags.get_or("max-inflight", config.per_conn_inflight)?;
     config.retry_after_ms = flags.get_or("retry-after-ms", config.retry_after_ms)?;
     config.write_timeout_ms = flags.get_or("write-timeout-ms", config.write_timeout_ms)?;
+    config.chunk_selection = flags.get_or("chunk-selection", config.chunk_selection)?;
     let mut service = Service::new(config);
     let shutdown = install_sigint_flag();
 
@@ -200,6 +208,34 @@ mod tests {
         let resp = Response::parse(out.lines().next().unwrap()).unwrap();
         assert!(resp.is_completed_solve(), "{:?}", resp.error);
         assert!(resp.queue_ms.is_some(), "responses report queueing delay");
+    }
+
+    #[test]
+    fn chunk_selection_flag_splits_big_selections() {
+        let script = concat!(r#"{"id":5,"op":"solve","spec":"n=40,k=4,seed=2"}"#, "\n");
+        let (r, out) = run_script(&["--chunk-selection", "3"], script);
+        assert!(r.is_ok(), "{r:?}");
+        let frames: Vec<Response> = out.lines().map(|l| Response::parse(l).unwrap()).collect();
+        assert_eq!(frames.len(), 2, "k=4 over a 3-entry cap: two frames");
+        assert_eq!(frames[0].chunk, Some(0));
+        assert_eq!(frames[1].chunk, Some(1));
+        let merged = mmph_serve::merge_chunks(frames).unwrap();
+        assert!(merged.is_completed_solve(), "{:?}", merged.error);
+        assert_eq!(merged.selection.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn pipeline_request_fields_answer_with_pipeline_metadata() {
+        let script = concat!(
+            r#"{"id":6,"op":"solve","spec":"n=60,k=3,seed=5","coreset_cells":6.0}"#,
+            "\n",
+        );
+        let (r, out) = run_script(&[], script);
+        assert!(r.is_ok(), "{r:?}");
+        let resp = Response::parse(out.lines().next().unwrap()).unwrap();
+        assert!(resp.is_completed_solve(), "{:?}", resp.error);
+        assert_eq!(resp.pipeline.as_deref(), Some("coreset"));
+        assert!(resp.gap.is_some());
     }
 
     #[test]

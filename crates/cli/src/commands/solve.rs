@@ -9,8 +9,9 @@ use mmph_core::solvers::{
     LocalGreedy, LocalSearch, RoundBased, SeededGreedy, SimpleGreedy, StochasticGreedy,
 };
 use mmph_core::{
-    EngineKind, IncrementalInstance, Instance, OracleStrategy, ResolveConfig, Solution,
-    SolveScratch, Solver,
+    plan_scale, solve_coreset, solve_sharded, CoresetConfig, EngineKind, IncrementalInstance,
+    Instance, OracleStrategy, ResolveConfig, ScalePlan, ShardConfig, Solution, SolveScratch,
+    Solver, DEFAULT_SPARSE_CAP_BYTES,
 };
 use mmph_sim::churn::ChurnPlan;
 use mmph_sim::scenario::Scenario;
@@ -48,7 +49,15 @@ OPTIONS:
                  a fraction F of the points (e.g. 20x0.01), re-solving
                  incrementally and printing warm-vs-cold timings;
                  requires a sparse engine (auto/sparse/sparse-f32)
-  --churn-seed N seed for the churn plan (default: --seed)";
+  --churn-seed N seed for the churn plan (default: --seed)
+  --coreset-cells C  solve through the weighted coreset path: aggregate
+                 points on a grid of C cells per radius, solve the
+                 reduction, report the realized full-resolution gap.
+                 With --engine auto, instances whose CSR would bust the
+                 512 MiB cap escalate to this path automatically
+  --shards S     solve through the shard-then-merge path: S spatial
+                 shards solved independently (in parallel under rayon),
+                 then a final greedy over the union of shard candidates";
 
 /// The solver registry: names accepted by `--solver`.
 pub const SOLVER_NAMES: [&str; 14] = [
@@ -349,6 +358,92 @@ fn run_churn(
     Ok(())
 }
 
+/// `--coreset-cells` (or auto-escalation): reduce, solve, report gap.
+fn run_coreset(
+    out: &mut dyn Write,
+    inst: &Instance<2>,
+    cells: f64,
+    engine: EngineKind,
+    strategy: OracleStrategy,
+    budget: SolveBudget,
+) -> Result<()> {
+    let report = solve_coreset(
+        inst,
+        &CoresetConfig {
+            cells_per_radius: cells,
+            engine,
+            strategy,
+            budget,
+            ..CoresetConfig::default()
+        },
+    )?;
+    writeln!(
+        out,
+        "coreset solve: n {} -> {} representatives (cell {:.4}, {} cells/r)",
+        report.full_n, report.coreset_n, report.cell, report.cells_per_radius
+    )?;
+    writeln!(
+        out,
+        "  engine {} | build {:.1} ms | solve {:.1} ms | full-res pass {:.1} ms | evals {}",
+        report.engine, report.build_ms, report.solve_ms, report.eval_ms, report.evals
+    )?;
+    writeln!(
+        out,
+        "  coreset objective {:.6} | full-resolution objective {:.6} | realized gap {:.3}%",
+        report.coreset_objective,
+        report.full_objective,
+        report.gap * 100.0
+    )?;
+    if let Some(reason) = &report.degraded {
+        writeln!(out, "  DEGRADED: {reason}")?;
+    }
+    for (i, c) in report.centers.iter().enumerate() {
+        writeln!(out, "  center {i}: {c}")?;
+    }
+    Ok(())
+}
+
+/// `--shards`: spatial partition, per-shard greedy, merge greedy.
+fn run_sharded(
+    out: &mut dyn Write,
+    inst: &Instance<2>,
+    shards: usize,
+    engine: EngineKind,
+    strategy: OracleStrategy,
+    budget: SolveBudget,
+) -> Result<()> {
+    let report = solve_sharded(
+        inst,
+        &ShardConfig {
+            shards,
+            engine,
+            strategy,
+            budget,
+            ..ShardConfig::default()
+        },
+    )?;
+    writeln!(
+        out,
+        "sharded solve: n {} over {} shards (sizes {:?}), {} merge candidates",
+        inst.n(),
+        report.shards,
+        report.shard_sizes,
+        report.candidates
+    )?;
+    writeln!(
+        out,
+        "  shard sweep {:.1} ms | merge {:.1} ms | objective {:.6}",
+        report.shard_ms, report.merge_ms, report.objective
+    )?;
+    if let Some(reason) = &report.degraded {
+        writeln!(out, "  DEGRADED: {reason}")?;
+    }
+    for (i, (&idx, c)) in report.selection.iter().zip(&report.centers).enumerate() {
+        writeln!(out, "  center {i}: point {idx} at {c}")?;
+    }
+    Ok(())
+}
+
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -375,6 +470,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
             "max-evals",
             "churn",
             "churn-seed",
+            "coreset-cells",
+            "shards",
         ],
         &["all"],
     )?;
@@ -393,6 +490,35 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<()> {
         let churn_seed: u64 = flags.get_or("churn-seed", flags.get_or("seed", 0u64)?)?;
         let spec = spec.to_owned();
         return run_churn(out, inst, engine, &spec, churn_seed);
+    }
+    if let Some(shards) = flags.get("shards") {
+        let shards: usize = shards
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --shards: {shards}")))?;
+        return run_sharded(out, &inst, shards, engine, strategy, budget);
+    }
+    if let Some(cells) = flags.get("coreset-cells") {
+        let cells: f64 = cells
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --coreset-cells: {cells}")))?;
+        return run_coreset(out, &inst, cells, engine, strategy, budget);
+    }
+    if plan_scale(&inst, engine, DEFAULT_SPARSE_CAP_BYTES) == ScalePlan::Coreset {
+        writeln!(
+            out,
+            "n = {} busts the {} MiB sparse cap: escalating to the coreset path \
+             (pass --engine kd to force a direct solve, or --coreset-cells to tune)",
+            inst.n(),
+            DEFAULT_SPARSE_CAP_BYTES >> 20,
+        )?;
+        return run_coreset(
+            out,
+            &inst,
+            mmph_core::DEFAULT_CORESET_CELLS,
+            engine,
+            strategy,
+            budget,
+        );
     }
     let outcomes: Vec<SolveOutcome<2>> = if flags.has("all") {
         SOLVER_NAMES
@@ -431,6 +557,30 @@ mod tests {
         let dir = std::env::temp_dir().join("mmph-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    #[test]
+    fn coreset_flag_reports_gap() {
+        let (r, out) = run_capture(&["--n", "200", "--k", "3", "--coreset-cells", "8"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("coreset solve"), "{out}");
+        assert!(out.contains("realized gap"), "{out}");
+    }
+
+    #[test]
+    fn shards_flag_reports_merge() {
+        let (r, out) = run_capture(&["--n", "200", "--k", "3", "--shards", "4"]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(out.contains("sharded solve"), "{out}");
+        assert!(out.contains("merge"), "{out}");
+    }
+
+    #[test]
+    fn bad_pipeline_flags_rejected() {
+        let (r, _) = run_capture(&["--n", "50", "--k", "2", "--coreset-cells", "x"]);
+        assert!(r.is_err());
+        let (r, _) = run_capture(&["--n", "50", "--k", "2", "--shards", "0"]);
+        assert!(r.is_err());
     }
 
     #[test]

@@ -62,6 +62,13 @@ use crate::{CoreError, Result};
 /// bookkeeping anyway.
 const REBUILD_MIN_ENTRIES: usize = 4096;
 
+/// Pending `by_coords` repairs accumulated before a merge repair is
+/// forced mid-batch. Each repair is `O(n + p log p)`; deferring it
+/// amortizes the linear term over many deltas while keeping the
+/// unsorted window (during which copied-point lookups may miss and
+/// fall back to the dense scan) bounded.
+const COORDS_REPAIR_THRESHOLD: usize = 4096;
+
 /// Incremental churn fraction above which [`IncrementalInstance::resolve`]
 /// abandons the warm start for a cold greedy.
 pub const DEFAULT_CHURN_THRESHOLD: f64 = 0.05;
@@ -258,6 +265,13 @@ pub struct IncrementalInstance<const D: usize> {
     /// churn allocates nothing once rows fit).
     row: Vec<(u32, f64)>,
     old_row: Vec<(u32, u64, u64)>,
+    /// Indices whose `by_coords` position is invalid (inserted, moved,
+    /// or renumbered by a swap-remove) since the last repair. The
+    /// permutation itself is kept live across patches — stale entries
+    /// can only cause a lookup miss (dense-scan fallback), never a
+    /// mis-route — and [`repair_coords`] merges these back in sorted
+    /// position instead of re-sorting all of `n`.
+    coords_pending: Vec<u32>,
     csr_scratch: CsrScratch,
 }
 
@@ -302,6 +316,7 @@ impl<const D: usize> IncrementalInstance<D> {
             prev_selection: Vec::new(),
             row: Vec::new(),
             old_row: Vec::new(),
+            coords_pending: Vec::new(),
             csr_scratch,
         })
     }
@@ -390,6 +405,7 @@ impl<const D: usize> IncrementalInstance<D> {
             }
         }
         self.row = row;
+        self.coords_pending.push(i as u32);
         self.note_delta();
         Ok(i)
     }
@@ -430,6 +446,11 @@ impl<const D: usize> IncrementalInstance<D> {
                 *s = i;
             }
         }
+        // The removed point's entry and the renumbered `last` entry
+        // are both reclaimed through `i`: the repair drops stale
+        // positions for pending indices (and any index >= n) and
+        // re-inserts `i` at its new coordinate-sorted position.
+        self.coords_pending.push(i as u32);
         self.note_delta();
         Ok(())
     }
@@ -486,6 +507,7 @@ impl<const D: usize> IncrementalInstance<D> {
         }
         self.row = row;
         self.old_row = old_row;
+        self.coords_pending.push(i as u32);
         self.note_delta();
         Ok(())
     }
@@ -502,11 +524,13 @@ impl<const D: usize> IncrementalInstance<D> {
                 Delta::Move { index, to } => self.move_point(index, to),
             };
             if let Err(e) = res {
+                self.repair_coords();
                 return Err(CoreError::InvalidInstance(format!(
                     "churn delta {applied}: {e}"
                 )));
             }
         }
+        self.repair_coords();
         Ok(deltas.len())
     }
 
@@ -514,6 +538,29 @@ impl<const D: usize> IncrementalInstance<D> {
         self.churned += 1;
         self.version += 1;
         self.maybe_rebuild();
+        if self.coords_pending.len() >= COORDS_REPAIR_THRESHOLD {
+            self.repair_coords();
+        }
+    }
+
+    /// Merges the pending indices back into the coordinate-sorted
+    /// `by_coords` permutation: drop every stale position (pending or
+    /// out-of-range after removals), then merge the pending indices —
+    /// sorted by their *current* coordinate bits — with the surviving
+    /// run, which is still sorted because untouched points kept their
+    /// coordinates. `O(n + p log p)` against `O(n log n)` for a full
+    /// re-sort.
+    fn repair_coords(&mut self) {
+        if self.coords_pending.is_empty() {
+            return;
+        }
+        let inst = &self.inst;
+        let pending = &mut self.coords_pending;
+        match &mut self.state {
+            CsrState::F64(csr) => repair_coords_into(&mut csr.by_coords, inst, pending),
+            CsrState::F32(csr) => repair_coords_into(&mut csr.by_coords, inst, pending),
+        }
+        pending.clear();
     }
 
     /// Compacts via a full cold rebuild when more than half the
@@ -562,6 +609,8 @@ impl<const D: usize> IncrementalInstance<D> {
         }
         self.dead_padded = 0;
         self.rebuilds += 1;
+        // A fresh build carries a complete, sorted permutation.
+        self.coords_pending.clear();
     }
 
     /// Re-solves after churn. Warm path: seed the residuals with the
@@ -574,6 +623,9 @@ impl<const D: usize> IncrementalInstance<D> {
     /// per-round gains are left in `scratch` exactly like
     /// [`crate::batch::solve_rounds`].
     pub fn resolve(&mut self, scratch: &mut SolveScratch, cfg: &ResolveConfig) -> ResolveOutcome {
+        // Ensure the transplanted engine sees a sorted permutation, so
+        // copied-point `gain()` queries route through the CSR rows.
+        self.repair_coords();
         let n = self.inst.n();
         let churn_frac = self.churned as f64 / n.max(1) as f64;
         let cold_reason = if cfg.force_cold {
@@ -658,13 +710,14 @@ impl<const D: usize> IncrementalInstance<D> {
     /// In-binary correctness anchor: checks the patched CSR against a
     /// cold rebuild of the current point set — per-candidate padded
     /// rows bitwise equal (neighbors, `frac`, `weight`, degree),
-    /// `order`/`slot_of` a consistent permutation, and `by_coords`
-    /// either cleared (stale after patching) or exactly the rebuilt
-    /// permutation. Used by the proptests and the `churnbench` gate.
+    /// `order`/`slot_of` a consistent permutation, and `by_coords` a
+    /// complete coordinate-sorted permutation once no repairs are
+    /// pending (between repairs only the surviving subsequence must
+    /// stay sorted). Used by the proptests and the `churnbench` gate.
     pub fn verify_against_rebuild(&self) -> std::result::Result<(), String> {
         match &self.state {
-            CsrState::F64(csr) => verify_csr(csr, &self.inst),
-            CsrState::F32(csr) => verify_csr(csr, &self.inst),
+            CsrState::F64(csr) => verify_csr(csr, &self.inst, &self.coords_pending),
+            CsrState::F32(csr) => verify_csr(csr, &self.inst, &self.coords_pending),
         }
     }
 }
@@ -767,7 +820,6 @@ fn patch_insert<S: LaneScalar, const D: usize>(
             csr.stats.entries += 1;
         }
     }
-    mark_stale(csr);
 }
 
 /// Removes candidate `rm`'s coverage and renumbers `last → rm`,
@@ -823,7 +875,6 @@ fn patch_remove<S: LaneScalar>(
         csr.slot_of[rm] = s;
     }
     csr.slot_of.pop();
-    mark_stale(csr);
 }
 
 /// Re-rows candidate `m` after a coordinate change: diff the old CSR
@@ -929,7 +980,6 @@ fn patch_move<S: LaneScalar, const D: usize>(
     csr.degrees[slot] = new_deg as u32;
     repad(csr, start, new_deg);
     csr.stats.entries = csr.stats.entries + new_deg - old_deg;
-    mark_stale(csr);
 }
 
 /// Pads a freshly appended tail row (starting at `start`, currently
@@ -1094,13 +1144,49 @@ fn shift_left<S: Copy>(v: &mut [S], start: usize, len: usize) {
     v.copy_within(start + 1..start + 1 + len, start);
 }
 
-/// Clears the coordinate-sorted candidate permutation: it is only an
-/// accelerator for copied-point lookups ([`RewardEngine::gain`]), and
-/// an empty permutation routes those through the dense reference scan
-/// (bit-identical for candidate points). Restored by the next
-/// compaction rebuild.
-fn mark_stale<S>(csr: &mut SparseCsr<S>) {
-    csr.by_coords.clear();
+/// The `by_coords` merge repair (see
+/// [`IncrementalInstance::repair_coords`]). Safe to defer: between
+/// repairs the permutation may hold out-of-order or out-of-range
+/// entries, but [`RewardEngine::gain`]'s lookup only accepts a probe
+/// on exact bit-equality (out-of-range entries compare as
+/// never-equal), so a stale window can only cause a miss and the
+/// bit-identical dense fallback — never a mis-route.
+fn repair_coords_into<const D: usize>(
+    by_coords: &mut Vec<u32>,
+    inst: &Instance<D>,
+    pending: &mut Vec<u32>,
+) {
+    let n = inst.n();
+    pending.sort_unstable();
+    pending.dedup();
+    // Pending indices still alive after removals, keyed by their
+    // current coordinates.
+    let mut fresh: Vec<u32> = pending
+        .iter()
+        .copied()
+        .filter(|&j| (j as usize) < n)
+        .collect();
+    fresh.sort_unstable_by_key(|&j| point_bits(inst.point(j as usize)));
+    // Untouched survivors kept their coordinates, so after dropping
+    // the stale positions the remainder is still sorted.
+    by_coords.retain(|&j| (j as usize) < n && pending.binary_search(&j).is_err());
+    let survivors = std::mem::take(by_coords);
+    by_coords.reserve(survivors.len() + fresh.len());
+    let (mut a, mut b) = (0, 0);
+    while a < survivors.len() && b < fresh.len() {
+        let ka = point_bits(inst.point(survivors[a] as usize));
+        let kb = point_bits(inst.point(fresh[b] as usize));
+        if ka <= kb {
+            by_coords.push(survivors[a]);
+            a += 1;
+        } else {
+            by_coords.push(fresh[b]);
+            b += 1;
+        }
+    }
+    by_coords.extend_from_slice(&survivors[a..]);
+    by_coords.extend_from_slice(&fresh[b..]);
+    debug_assert_eq!(by_coords.len(), n, "repaired by_coords must be complete");
 }
 
 /// The warm solve: seed → refill → swap polish. Returns
@@ -1289,6 +1375,7 @@ fn round_total(scratch: &SolveScratch) -> f64 {
 fn verify_csr<S: LaneScalar, const D: usize>(
     patched: &SparseCsr<S>,
     inst: &Instance<D>,
+    coords_pending: &[u32],
 ) -> std::result::Result<(), String> {
     let n = inst.n();
     if patched.order.len() != n || patched.slot_of.len() != n {
@@ -1347,15 +1434,44 @@ fn verify_csr<S: LaneScalar, const D: usize>(
             }
         }
     }
-    if !patched.by_coords.is_empty() {
-        // Only a freshly (re)built CSR carries the permutation; it
-        // must then be exactly the rebuilt one.
-        if patched.by_coords != cold.by_coords {
-            return Err("by_coords permutation diverges from rebuild".into());
+    // The maintained permutation need not equal the cold rebuild's
+    // entry-for-entry — `sort_unstable` arbitrates bit-equal duplicate
+    // coordinates arbitrarily, and duplicates are interchangeable for
+    // gain routing — but the surviving (non-pending, in-range)
+    // subsequence must be sorted by coordinate bits, and with no
+    // repairs pending the whole thing must be a complete sorted
+    // permutation of `0..n`.
+    let mut pending_sorted: Vec<u32> = coords_pending.to_vec();
+    pending_sorted.sort_unstable();
+    let live: Vec<u32> = patched
+        .by_coords
+        .iter()
+        .copied()
+        .filter(|&j| (j as usize) < n && pending_sorted.binary_search(&j).is_err())
+        .collect();
+    for w in live.windows(2) {
+        if point_bits(inst.point(w[0] as usize)) > point_bits(inst.point(w[1] as usize)) {
+            return Err("by_coords survivors out of coordinate order".into());
         }
     }
-    // The stale-or-absent permutation must never mis-route: spot-check
-    // that sorting candidates by coordinate bits reproduces cold's.
+    if pending_sorted.is_empty() {
+        if patched.by_coords.len() != n {
+            return Err(format!(
+                "repaired by_coords length {} != n {n}",
+                patched.by_coords.len()
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &j in &patched.by_coords {
+            if (j as usize) >= n || std::mem::replace(&mut seen[j as usize], true) {
+                return Err(format!(
+                    "repaired by_coords is not a permutation (index {j})"
+                ));
+            }
+        }
+    }
+    // The permutation must never mis-route: spot-check that sorting
+    // candidates by coordinate bits reproduces cold's.
     let mut sorted: Vec<u32> = (0..n as u32).collect();
     sorted.sort_unstable_by_key(|&j| point_bits(inst.point(j as usize)));
     if sorted != cold.by_coords {
@@ -1577,6 +1693,62 @@ mod tests {
         let out2 = inc.resolve(&mut scratch, &cfg2);
         assert!(!out2.cancelled);
         assert_eq!(inc.churned_since_resolve(), 0);
+    }
+
+    #[test]
+    fn churn_maintains_by_coords_permutation() {
+        let mut inc = incr(6, 1.7, 3, EngineKind::Sparse);
+        let deltas = vec![
+            Delta::Insert {
+                point: Point::new([0.55, 0.55]),
+                weight: 2.0,
+            },
+            Delta::Move {
+                index: 3,
+                to: Point::new([2.2, 0.4]),
+            },
+            Delta::Remove { index: 1 },
+            // Bit-equal duplicate of an existing coordinate: routing
+            // may resolve either index — both are interchangeable.
+            Delta::Insert {
+                point: Point::new([0.55, 0.55]),
+                weight: 1.0,
+            },
+        ];
+        inc.apply_churn(&deltas).unwrap();
+        inc.verify_against_rebuild().unwrap();
+        // The permutation is maintained across churn (it was cleared
+        // wholesale before), complete and sorted after the repair.
+        let by_coords = match &inc.state {
+            CsrState::F64(csr) => &csr.by_coords,
+            CsrState::F32(_) => unreachable!(),
+        };
+        assert_eq!(by_coords.len(), inc.inst.n());
+        assert!(inc.coords_pending.is_empty());
+        for w in by_coords.windows(2) {
+            assert!(
+                point_bits(inc.inst.point(w[0] as usize))
+                    <= point_bits(inc.inst.point(w[1] as usize))
+            );
+        }
+    }
+
+    #[test]
+    fn pending_window_verifies_between_repairs() {
+        let mut inc = incr(5, 1.3, 2, EngineKind::Sparse);
+        // Single-delta mutators defer the repair; the verifier must
+        // accept the pending window after every step.
+        inc.insert_point(Point::new([1.1, 2.3]), 1.5).unwrap();
+        inc.verify_against_rebuild().unwrap();
+        assert!(!inc.coords_pending.is_empty());
+        inc.remove_point(0).unwrap();
+        inc.verify_against_rebuild().unwrap();
+        inc.move_point(2, Point::new([3.3, 0.2])).unwrap();
+        inc.verify_against_rebuild().unwrap();
+        // An (empty) churn batch forces the repair.
+        inc.apply_churn(&[]).unwrap();
+        assert!(inc.coords_pending.is_empty());
+        inc.verify_against_rebuild().unwrap();
     }
 
     #[test]

@@ -41,12 +41,14 @@ pub mod batch;
 pub mod bounds;
 pub mod budget;
 pub mod cancel;
+pub mod coreset;
 pub mod incremental;
 pub mod instance;
 pub mod kernel;
 pub mod oracle;
 pub mod reward;
 pub mod scratch;
+pub mod shard;
 pub mod solver;
 pub mod solvers;
 pub mod submodular;
@@ -57,6 +59,10 @@ pub use batch::{
 };
 pub use budget::{DegradeReason, SolveBudget, SolveOutcome, SolveStatus};
 pub use cancel::CancelToken;
+pub use coreset::{
+    build_coreset, plan_scale, solve_coreset, streaming_objective, Coreset, CoresetConfig,
+    CoresetReport, ScalePlan, DEFAULT_CORESET_CELLS,
+};
 pub use incremental::{
     IncrementalInstance, ResolveConfig, ResolveOutcome, DEFAULT_CHURN_THRESHOLD,
 };
@@ -68,6 +74,7 @@ pub use reward::{
     DEFAULT_SPARSE_CAP_BYTES, SPARSE_LANES,
 };
 pub use scratch::SolveScratch;
+pub use shard::{solve_sharded, ShardConfig, ShardReport, DEFAULT_SHARDS};
 pub use solver::{Solution, Solver};
 
 /// Runtime failures inside a solver: conditions a malformed-but-validated

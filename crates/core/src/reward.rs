@@ -1434,7 +1434,16 @@ impl<'a, const D: usize> RewardEngine<'a, D> {
         }
         let key = point_bits(c);
         by_coords
-            .binary_search_by(|&j| point_bits(&points[j as usize]).cmp(&key))
+            .binary_search_by(|&j| match points.get(j as usize) {
+                Some(p) => point_bits(p).cmp(&key),
+                // A stale out-of-range entry (incremental churn keeps
+                // the permutation live between repairs): never a
+                // match. Any consistent non-Equal answer is safe —
+                // `Ok` requires bit-equality at the probed entry, so a
+                // disordered probe path can only cause a miss, and a
+                // miss falls back to the dense scan.
+                None => std::cmp::Ordering::Greater,
+            })
             .ok()
             .map(|pos| by_coords[pos] as usize)
     }

@@ -95,6 +95,14 @@ pub struct Request {
     /// incremental instance.
     #[serde(default)]
     pub deltas: Option<Vec<mmph_core::Delta<2>>>,
+    /// Force the coreset pipeline with this grid resolution
+    /// (cells per radius). Mutually exclusive with `shards`.
+    #[serde(default)]
+    pub coreset_cells: Option<f64>,
+    /// Force the shard-then-merge pipeline with this many spatial
+    /// shards. Mutually exclusive with `coreset_cells`.
+    #[serde(default)]
+    pub shards: Option<usize>,
 }
 
 impl Request {
@@ -111,6 +119,8 @@ impl Request {
             deadline_ms: None,
             max_evals: None,
             deltas: None,
+            coreset_cells: None,
+            shards: None,
         }
     }
 
@@ -127,6 +137,8 @@ impl Request {
             deadline_ms: None,
             max_evals: None,
             deltas: None,
+            coreset_cells: None,
+            shards: None,
         }
     }
 
@@ -305,6 +317,29 @@ pub struct Response {
     /// (`mutate_ok` / `resolve_ok`): bumps once per applied delta.
     #[serde(default)]
     pub churn_version: Option<u64>,
+    /// Which large-n pipeline produced this solve: `coreset` or
+    /// `shard`; absent for direct solves.
+    #[serde(default)]
+    pub pipeline: Option<String>,
+    /// Number of coreset representatives the reduced solve ran on
+    /// (`pipeline: "coreset"`).
+    #[serde(default)]
+    pub coreset_n: Option<u64>,
+    /// Realized full-resolution objective gap of the coreset solve:
+    /// `|coreset_obj − full_obj| / coreset_obj`.
+    #[serde(default)]
+    pub gap: Option<f64>,
+    /// Selected center coordinates, parallel to `selection`. Filled by
+    /// the pipeline paths, whose indices are pipeline-internal.
+    #[serde(default)]
+    pub centers: Option<Vec<[f64; 2]>>,
+    /// Chunk index (0-based) when a huge selection is streamed as
+    /// multiple frames; absent on single-frame responses.
+    #[serde(default)]
+    pub chunk: Option<u64>,
+    /// Total frame count of a chunked response.
+    #[serde(default)]
+    pub chunk_count: Option<u64>,
 }
 
 impl Response {
@@ -330,6 +365,12 @@ impl Response {
             stats: None,
             warm: None,
             churn_version: None,
+            pipeline: None,
+            coreset_n: None,
+            gap: None,
+            centers: None,
+            chunk: None,
+            chunk_count: None,
         }
     }
 
@@ -363,6 +404,77 @@ impl Response {
     pub fn is_completed_solve(&self) -> bool {
         self.op == "solve_ok" && self.status.as_deref() == Some("completed")
     }
+
+    /// Splits a response whose `selection` exceeds `max_per_chunk`
+    /// entries into a sequence of frames, each carrying at most
+    /// `max_per_chunk` selection entries (and the parallel `centers`
+    /// slice, when present). Frame 0 keeps every scalar field; later
+    /// frames carry only the correlation id, op, chunk coordinates,
+    /// and their slice, so a client reassembles by concatenating
+    /// slices in `chunk` order. Responses at or under the threshold
+    /// come back unchanged as a single frame with no chunk fields.
+    pub fn into_chunks(self, max_per_chunk: usize) -> Vec<Response> {
+        let len = self.selection.as_ref().map_or(0, Vec::len);
+        if max_per_chunk == 0 || len <= max_per_chunk {
+            return vec![self];
+        }
+        let selection = self.selection.clone().unwrap_or_default();
+        let centers = self.centers.clone();
+        let count = len.div_ceil(max_per_chunk) as u64;
+        let mut frames = Vec::with_capacity(count as usize);
+        for (i, sel_part) in selection.chunks(max_per_chunk).enumerate() {
+            let mut frame = if i == 0 {
+                self.clone()
+            } else {
+                Response::new(self.in_reply_to, &self.op)
+            };
+            frame.selection = Some(sel_part.to_vec());
+            frame.centers = centers.as_ref().map(|c| {
+                let lo = i * max_per_chunk;
+                c[lo.min(c.len())..(lo + sel_part.len()).min(c.len())].to_vec()
+            });
+            frame.chunk = Some(i as u64);
+            frame.chunk_count = Some(count);
+            frames.push(frame);
+        }
+        frames
+    }
+}
+
+/// Reassembles a chunked response from its frames (client side:
+/// loadgen, tests). Frames may arrive in any order; they are sorted
+/// by `chunk` index and their `selection`/`centers` slices
+/// concatenated onto the frame carrying the scalar fields (chunk 0).
+/// A single un-chunked response passes through untouched. Returns
+/// `None` on an empty, incomplete, or mismatched frame set.
+pub fn merge_chunks(mut frames: Vec<Response>) -> Option<Response> {
+    match frames.len() {
+        0 => return None,
+        1 if frames[0].chunk.is_none() => return frames.pop(),
+        _ => {}
+    }
+    frames.sort_by_key(|f| f.chunk.unwrap_or(u64::MAX));
+    let count = frames[0].chunk_count?;
+    if frames.len() as u64 != count {
+        return None;
+    }
+    for (i, f) in frames.iter().enumerate() {
+        if f.chunk != Some(i as u64) || f.chunk_count != Some(count) {
+            return None;
+        }
+    }
+    let mut merged = frames.remove(0);
+    for f in frames {
+        if let (Some(sel), Some(part)) = (merged.selection.as_mut(), f.selection) {
+            sel.extend(part);
+        }
+        if let (Some(cen), Some(part)) = (merged.centers.as_mut(), f.centers) {
+            cen.extend(part);
+        }
+    }
+    merged.chunk = None;
+    merged.chunk_count = None;
+    Some(merged)
 }
 
 #[cfg(test)]
@@ -430,6 +542,50 @@ mod tests {
         let back = Response::parse(&line).unwrap();
         assert_eq!(r, back);
         assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn small_selection_stays_single_frame() {
+        let mut r = Response::new(Some(1), "solve_ok");
+        r.selection = Some(vec![1, 2, 3]);
+        let frames = r.clone().into_chunks(8);
+        assert_eq!(frames, vec![r]);
+        assert!(frames[0].chunk.is_none());
+    }
+
+    #[test]
+    fn chunked_response_reassembles_exactly() {
+        let mut r = Response::new(Some(7), "solve_ok");
+        r.status = Some("completed".into());
+        r.reward = Some(812.5);
+        r.selection = Some((0..10).collect());
+        r.centers = Some((0..10).map(|i| [i as f64, -(i as f64)]).collect());
+        let frames = r.clone().into_chunks(3);
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[0].reward, Some(812.5));
+        assert_eq!(frames[1].reward, None, "later frames carry no scalars");
+        assert_eq!(frames[3].selection.as_ref().unwrap().len(), 1);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.chunk, Some(i as u64));
+            assert_eq!(f.chunk_count, Some(4));
+            assert_eq!(f.in_reply_to, Some(7));
+            // Every frame survives the wire independently.
+            assert_eq!(Response::parse(&f.to_line()).unwrap(), *f);
+        }
+        // Reassembly is order-independent.
+        let mut shuffled = frames.clone();
+        shuffled.reverse();
+        assert_eq!(merge_chunks(shuffled).unwrap(), r);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_frame_sets() {
+        let mut r = Response::new(Some(7), "solve_ok");
+        r.selection = Some((0..10).collect());
+        let mut frames = r.into_chunks(3);
+        frames.remove(2);
+        assert!(merge_chunks(frames).is_none());
+        assert!(merge_chunks(Vec::new()).is_none());
     }
 
     #[test]

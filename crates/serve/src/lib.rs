@@ -33,7 +33,9 @@ pub mod signals;
 pub mod transport;
 
 pub use chaos::{ChaosConfig, ChaosPlan, LineFate, SOAK_SEEDS};
-pub use envelope::{salvage_id, Request, Response, ServiceStats, PROTOCOL_VERSION, REQUEST_OPS};
+pub use envelope::{
+    merge_chunks, salvage_id, Request, Response, ServiceStats, PROTOCOL_VERSION, REQUEST_OPS,
+};
 pub use service::{parse_solver, report_from_responses, Incoming, Service, ServiceConfig};
 pub use signals::{install_sigint_flag, ShutdownFlag};
 pub use transport::{serve_stdio, serve_tcp, TcpServerConfig};

@@ -30,8 +30,10 @@
 use std::time::{Duration, Instant};
 
 use mmph_core::{
-    BatchReport, BatchResult, BatchRunner, CancelToken, EngineKind, IncrementalInstance, Instance,
-    OracleStrategy, ResolveConfig, SolveBudget, SolveScratch, SolveStatus,
+    plan_scale, solve_coreset, solve_sharded, BatchReport, BatchResult, BatchRunner, CancelToken,
+    CoresetConfig, EngineKind, IncrementalInstance, Instance, OracleStrategy, ResolveConfig,
+    ScalePlan, ShardConfig, SolveBudget, SolveScratch, SolveStatus, DEFAULT_CORESET_CELLS,
+    DEFAULT_SPARSE_CAP_BYTES,
 };
 use mmph_sim::{parse_spec, validate_scenario, Scenario};
 
@@ -79,6 +81,14 @@ pub struct ServiceConfig {
     /// (its connection token trips, abandoning its pending work).
     /// `0` disables the timeout.
     pub write_timeout_ms: u64,
+    /// Sparse-engine memory cap handed to the large-n pipelines: a
+    /// `solve` whose engine resolves to `auto` and whose CSR estimate
+    /// busts this cap escalates to the coreset pipeline instead of
+    /// silently degrading to the kd engine.
+    pub sparse_cap_bytes: usize,
+    /// Selections longer than this stream back as multiple chunked
+    /// frames (see [`Response::into_chunks`]); `0` disables chunking.
+    pub chunk_selection: usize,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +105,8 @@ impl Default for ServiceConfig {
             per_conn_inflight: 64,
             retry_after_ms: 25,
             write_timeout_ms: 2000,
+            sparse_cap_bytes: DEFAULT_SPARSE_CAP_BYTES,
+            chunk_selection: 4096,
         }
     }
 }
@@ -433,6 +445,29 @@ impl Service {
             Some(name) => EngineKind::parse(name).map_err(ServeError::Protocol)?,
             None => self.config.engine,
         };
+        if req.coreset_cells.is_some() && req.shards.is_some() {
+            return Err(ServeError::Protocol(
+                "request carries both `coreset_cells` and `shards`; pick one pipeline".into(),
+            ));
+        }
+        // Explicit pipeline request, or an `auto` engine whose CSR
+        // estimate busts the sparse cap: answer through the large-n
+        // pipeline instead of the direct batch path.
+        let escalate = req.coreset_cells.is_none()
+            && req.shards.is_none()
+            && plan_scale(&instance, engine, self.config.sparse_cap_bytes) == ScalePlan::Coreset;
+        if req.coreset_cells.is_some() || req.shards.is_some() || escalate {
+            let resp = self.pipeline_response(
+                req,
+                &instance,
+                budget,
+                strategy,
+                engine,
+                received,
+                queue_delay,
+            )?;
+            return Ok(Prepared::Ready(Box::new(resp)));
+        }
         Ok(Prepared::Solve(Box::new(SolveItem {
             instance,
             budget,
@@ -441,6 +476,75 @@ impl Service {
             received,
             queue_delay,
         })))
+    }
+
+    /// Runs one solve through a large-n pipeline — coreset reduction
+    /// (`coreset_cells` or auto-escalation) or shard-then-merge
+    /// (`shards`) — and maps the report onto the solve wire shape with
+    /// the pipeline extras (`pipeline`, `coreset_n`, `gap`, `centers`)
+    /// filled in. Pipelines run inline on the dispatch thread: they
+    /// parallelize internally, so fanning them out per-request would
+    /// only oversubscribe the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn pipeline_response(
+        &self,
+        req: &Request,
+        instance: &Instance<2>,
+        budget: SolveBudget,
+        strategy: OracleStrategy,
+        engine: EngineKind,
+        received: Instant,
+        queue_delay: Duration,
+    ) -> Result<Response> {
+        let solve_start = Instant::now();
+        let mut resp = Response::new(Some(req.id), "solve_ok");
+        resp.n = Some(instance.n());
+        resp.k = Some(instance.k());
+        resp.engine_reused = Some(false);
+        let degraded = if let Some(shards) = req.shards {
+            let cfg = ShardConfig {
+                shards,
+                engine,
+                strategy,
+                budget,
+                cap_bytes: self.config.sparse_cap_bytes,
+                parallel: true,
+            };
+            let report = solve_sharded(instance, &cfg)?;
+            resp.pipeline = Some("shard".into());
+            resp.reward = Some(report.objective);
+            resp.selection = Some(report.selection);
+            resp.centers = Some(report.centers.iter().map(|p| p.0).collect());
+            report.degraded
+        } else {
+            let cfg = CoresetConfig {
+                cells_per_radius: req.coreset_cells.unwrap_or(DEFAULT_CORESET_CELLS),
+                engine,
+                strategy,
+                budget,
+                cap_bytes: self.config.sparse_cap_bytes,
+            };
+            let report = solve_coreset(instance, &cfg)?;
+            resp.pipeline = Some("coreset".into());
+            resp.coreset_n = Some(report.coreset_n as u64);
+            resp.gap = Some(report.gap);
+            resp.evals = Some(report.evals);
+            resp.reward = Some(report.full_objective);
+            resp.selection = Some(report.selection);
+            resp.centers = Some(report.centers.iter().map(|p| p.0).collect());
+            report.degraded
+        };
+        match degraded {
+            Some(reason) => {
+                resp.status = Some("degraded".into());
+                resp.degrade_reason = Some(reason.to_string());
+            }
+            None => resp.status = Some("completed".into()),
+        }
+        resp.solve_us = Some(solve_start.elapsed().as_micros() as u64);
+        resp.latency_us = Some(received.elapsed().as_micros() as u64);
+        resp.queue_ms = Some(queue_delay.as_secs_f64() * 1e3);
+        Ok(resp)
     }
 
     /// The scenario a request names, inline or by spec; `None` when it
@@ -965,6 +1069,76 @@ mod tests {
         let out = svc.handle_lines(&lines(&[bad]));
         assert_eq!(out[0].op, "error");
         assert!(out[0].error.as_deref().unwrap().contains("unknown solver"));
+    }
+
+    #[test]
+    fn coreset_request_reports_pipeline_fields() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut req = Request::solve(1, scenario(30));
+        req.coreset_cells = Some(6.0);
+        let out = svc.handle_lines(&lines(&[req]));
+        assert!(out[0].is_completed_solve(), "{:?}", out[0].error);
+        assert_eq!(out[0].pipeline.as_deref(), Some("coreset"));
+        assert!(out[0].coreset_n.unwrap() >= 1);
+        assert!(out[0].gap.unwrap() >= 0.0);
+        assert!(out[0].reward.unwrap() > 0.0);
+        assert_eq!(
+            out[0].centers.as_ref().unwrap().len(),
+            out[0].selection.as_ref().unwrap().len(),
+            "centers ride parallel to selection"
+        );
+        assert_eq!(svc.stats().solved, 1);
+    }
+
+    #[test]
+    fn shard_request_reports_pipeline_fields() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut req = Request::solve(2, scenario(31));
+        req.shards = Some(3);
+        let out = svc.handle_lines(&lines(&[req]));
+        assert!(out[0].is_completed_solve(), "{:?}", out[0].error);
+        assert_eq!(out[0].pipeline.as_deref(), Some("shard"));
+        assert_eq!(out[0].selection.as_ref().unwrap().len(), 3);
+        assert_eq!(out[0].centers.as_ref().unwrap().len(), 3);
+        assert!(out[0].reward.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn both_pipeline_knobs_rejected() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let mut req = Request::solve(3, scenario(32));
+        req.coreset_cells = Some(4.0);
+        req.shards = Some(2);
+        let out = svc.handle_lines(&lines(&[req]));
+        assert_eq!(out[0].op, "error");
+        assert!(out[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("pick one pipeline"));
+    }
+
+    #[test]
+    fn auto_engine_past_cap_escalates_to_coreset() {
+        // A 1-byte cap makes every CSR estimate bust it: an `auto`
+        // request must escalate to the coreset pipeline, not silently
+        // fall back to the kd engine.
+        let mut svc = Service::new(ServiceConfig {
+            sparse_cap_bytes: 1,
+            ..ServiceConfig::default()
+        });
+        let mut req = Request::solve(4, scenario(33));
+        req.engine = Some("auto".into());
+        let out = svc.handle_lines(&lines(&[req]));
+        assert!(out[0].is_completed_solve(), "{:?}", out[0].error);
+        assert_eq!(out[0].pipeline.as_deref(), Some("coreset"));
+
+        // An explicit engine never escalates.
+        let mut direct = Request::solve(5, scenario(33));
+        direct.engine = Some("kd".into());
+        let out = svc.handle_lines(&lines(&[direct]));
+        assert!(out[0].is_completed_solve());
+        assert_eq!(out[0].pipeline, None);
     }
 
     #[test]

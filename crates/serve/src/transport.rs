@@ -45,13 +45,18 @@ use crate::Result;
 /// round before re-checking the shutdown flag.
 const DISPATCH_POLL: Duration = Duration::from_millis(50);
 
-/// Runs one round through the service and writes the responses.
+/// Runs one round through the service and writes the responses,
+/// splitting any response whose selection exceeds the configured
+/// chunk threshold into multiple frames.
 fn write_round(service: &mut Service, batch: &[Incoming], out: &mut dyn Write) -> Result<()> {
     if batch.is_empty() {
         return Ok(());
     }
+    let chunk = service.config().chunk_selection;
     for resp in service.handle_lines(batch) {
-        writeln!(out, "{}", resp.to_line())?;
+        for frame in resp.into_chunks(chunk) {
+            writeln!(out, "{}", frame.to_line())?;
+        }
     }
     out.flush()?;
     Ok(())
@@ -272,14 +277,23 @@ fn spawn_conn(
 }
 
 /// Writes one response to its connection, releasing the in-flight
-/// slot. A write failure means the client is gone or jammed past its
-/// write timeout: the connection token trips (abandoning its queued
-/// and in-flight solves) and the writer is dropped.
-fn route_response(conns: &mut HashMap<u64, ConnState>, conn: u64, resp: &Response) {
+/// slot. A selection past `chunk` entries goes out as multiple frames
+/// (`chunk` of `0` disables splitting). A write failure means the
+/// client is gone or jammed past its write timeout: the connection
+/// token trips (abandoning its queued and in-flight solves) and the
+/// writer is dropped.
+fn route_response(conns: &mut HashMap<u64, ConnState>, conn: u64, resp: &Response, chunk: usize) {
     let Some(st) = conns.get(&conn) else { return };
     st.inflight.fetch_sub(1, Ordering::Relaxed);
     let mut w = lock_writer(&st.writer);
-    let ok = writeln!(w, "{}", resp.to_line()).and_then(|_| w.flush());
+    let mut ok = Ok(());
+    for frame in resp.clone().into_chunks(chunk) {
+        ok = writeln!(w, "{}", frame.to_line());
+        if ok.is_err() {
+            break;
+        }
+    }
+    let ok = ok.and_then(|_| w.flush());
     drop(w);
     if ok.is_err() {
         st.token.cancel();
@@ -342,6 +356,7 @@ pub fn serve_tcp(
     };
     let queue_cap = cfg.queue_cap.max(1);
     let max_batch = cfg.max_batch.max(1);
+    let chunk_selection = cfg.chunk_selection;
 
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut next_conn: u64 = 0;
@@ -395,7 +410,7 @@ pub fn serve_tcp(
         while backlog.len() > queue_cap {
             let (conn, inc) = backlog.pop_back().expect("backlog longer than cap");
             let resp = service.shed_response(salvage_id(&inc.line), inc.received);
-            route_response(&mut conns, conn, &resp);
+            route_response(&mut conns, conn, &resp, chunk_selection);
         }
 
         if backlog.is_empty() {
@@ -409,7 +424,7 @@ pub fn serve_tcp(
         let (ids, batch): (Vec<u64>, Vec<Incoming>) = backlog.drain(..take).unzip();
         let responses = service.handle_lines(&batch);
         for (conn, resp) in ids.iter().zip(&responses) {
-            route_response(&mut conns, *conn, resp);
+            route_response(&mut conns, *conn, resp, chunk_selection);
         }
         if service.shutdown_requested() && !stopping {
             stopping = true;
@@ -517,6 +532,26 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(responses.len(), 2, "queued pings answered before exit");
+    }
+
+    #[test]
+    fn stdio_huge_selection_streams_as_chunks() {
+        let mut svc = Service::new(ServiceConfig {
+            chunk_selection: 2,
+            ..ServiceConfig::default()
+        });
+        // k=3 selections against a 2-entry chunk cap: two frames.
+        let reqs = vec![Request::solve(1, scenario(4))];
+        let mut out = Vec::new();
+        serve_stdio(&mut svc, script(&reqs), &mut out, &ShutdownFlag::new()).unwrap();
+        let responses = parse_out(&out);
+        assert_eq!(responses.len(), 2, "one solve, two frames");
+        assert_eq!(responses[0].chunk, Some(0));
+        assert_eq!(responses[1].chunk, Some(1));
+        assert_eq!(responses[1].reward, None, "scalars ride frame 0 only");
+        let merged = crate::envelope::merge_chunks(responses).unwrap();
+        assert!(merged.is_completed_solve());
+        assert_eq!(merged.selection.as_ref().unwrap().len(), 3);
     }
 
     #[test]

@@ -64,9 +64,17 @@ fn request() -> impl Strategy<Value = Request> {
         (opt(solver), opt(engine)),
         (opt(0u64..10_000), opt(0u64..1_000_000)),
         opt(prop::collection::vec(delta(), 0..6)),
+        (opt(0.5..64.0f64), opt(1usize..64)),
     )
         .prop_map(
-            |((id, op), scenario, (solver, engine), (deadline_ms, max_evals), deltas)| Request {
+            |(
+                (id, op),
+                scenario,
+                (solver, engine),
+                (deadline_ms, max_evals),
+                deltas,
+                (coreset_cells, shards),
+            )| Request {
                 v: PROTOCOL_VERSION,
                 id,
                 op,
@@ -77,6 +85,8 @@ fn request() -> impl Strategy<Value = Request> {
                 deadline_ms,
                 max_evals,
                 deltas,
+                coreset_cells,
+                shards,
             },
         )
 }

@@ -313,6 +313,45 @@ impl PointDistribution {
     }
 }
 
+/// Radius pinning the expected within-radius L2 neighbor count to
+/// `degree` for `n` uniform points in a 2-D `space`: solves
+/// `n · π r² / extent² = degree`. The large-n pipeline benches use
+/// this to dial the CSR footprint (`≈ n · degree · 20` bytes)
+/// precisely at any scale.
+pub fn radius_for_degree_2d(n: usize, degree: f64, space: SpaceSpec) -> Result<f64> {
+    if n == 0 {
+        return Err(SimError::InvalidConfig(
+            "degree-pinned radius needs n >= 1".into(),
+        ));
+    }
+    if !(degree > 0.0 && degree.is_finite()) {
+        return Err(SimError::InvalidConfig(format!(
+            "expected degree must be positive and finite (got {degree})"
+        )));
+    }
+    Ok(space.extent() * (degree / (std::f64::consts::PI * n as f64)).sqrt())
+}
+
+/// Degree-pinned uniform 2-D instance at any scale: `n` uniform
+/// points in `space` with paper weights and the radius from
+/// [`radius_for_degree_2d`], deterministically derived from `seed`.
+/// This is the generator behind the `megabench` n=10⁷ arms, where
+/// scenario documents (which pin `r` literally) are too rigid to hold
+/// the degree constant across sizes.
+pub fn uniform_degree_instance_2d(
+    n: usize,
+    k: usize,
+    degree: f64,
+    space: SpaceSpec,
+    seed: u64,
+) -> Result<mmph_core::Instance<2>> {
+    let r = radius_for_degree_2d(n, degree, space)?;
+    let seeds = SeedSeq::new(seed).child(n as u64);
+    let points = PointDistribution::Uniform.sample::<2>(n, space, seeds)?;
+    let weights = WeightScheme::PAPER_WEIGHTED.sample(n, seeds)?;
+    mmph_core::Instance::new(points, weights, r, k, mmph_geom::Norm::L2).map_err(SimError::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +548,35 @@ mod tests {
             for d in 0..3 {
                 assert!(p[d] >= 0.0 && p[d] < 4.0);
             }
+        }
+    }
+
+    #[test]
+    fn degree_pinned_radius_hits_the_expected_neighbor_count() {
+        // Analytic check: n·πr²/extent² must equal the requested degree.
+        let n = 50_000;
+        let degree = 48.0;
+        let r = radius_for_degree_2d(n, degree, SpaceSpec::PAPER).unwrap();
+        let realized = n as f64 * std::f64::consts::PI * r * r
+            / (SpaceSpec::PAPER.extent() * SpaceSpec::PAPER.extent());
+        assert!((realized - degree).abs() < 1e-9, "{realized}");
+        assert!(radius_for_degree_2d(0, degree, SpaceSpec::PAPER).is_err());
+        assert!(radius_for_degree_2d(n, 0.0, SpaceSpec::PAPER).is_err());
+        assert!(radius_for_degree_2d(n, f64::NAN, SpaceSpec::PAPER).is_err());
+    }
+
+    #[test]
+    fn degree_pinned_instance_is_deterministic() {
+        let a = uniform_degree_instance_2d(500, 4, 32.0, SpaceSpec::PAPER, 7).unwrap();
+        let b = uniform_degree_instance_2d(500, 4, 32.0, SpaceSpec::PAPER, 7).unwrap();
+        assert_eq!(a.n(), 500);
+        assert_eq!(a.radius(), b.radius());
+        assert_eq!(a.point(17), b.point(17));
+        assert_eq!(a.weight(17), b.weight(17));
+        // Paper weights are integers in 1..=5.
+        for i in 0..a.n() {
+            let w = a.weight(i);
+            assert!((1.0..=5.0).contains(&w) && w.fract() == 0.0);
         }
     }
 

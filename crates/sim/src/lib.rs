@@ -38,7 +38,7 @@ pub mod stream;
 pub mod trace;
 
 pub use churn::ChurnPlan;
-pub use gen::{SpaceSpec, WeightScheme};
+pub use gen::{radius_for_degree_2d, uniform_degree_instance_2d, SpaceSpec, WeightScheme};
 pub use scenario::Scenario;
 pub use stream::{
     instances_from_arg, parse_scenario_line, parse_spec, scenarios_from_arg, validate_scenario,
